@@ -1,0 +1,41 @@
+"""Ablation — convergence-threshold sensitivity for EM methods.
+
+DESIGN.md §7: the paper mentions a 1e-3 threshold in passing.  This
+ablation shows the final quality is insensitive to the threshold across
+three orders of magnitude while iteration counts (≈ runtime) are not —
+the practical justification for the library's 1e-4 default.
+"""
+
+from repro.core import create
+from repro.experiments.reporting import format_table
+from repro.metrics import f1_score
+
+from .conftest import save_report
+
+TOLERANCES = (1e-2, 1e-3, 1e-4, 1e-5)
+
+
+def test_ablation_convergence_threshold(benchmark, sweep_dataset):
+    dataset = sweep_dataset("D_Product")
+
+    def run():
+        rows = []
+        for tolerance in TOLERANCES:
+            result = create("D&S", seed=0,
+                            tolerance=tolerance).fit(dataset.answers)
+            rows.append([tolerance,
+                         round(f1_score(dataset.truth, result.truths), 4),
+                         result.n_iterations,
+                         round(result.elapsed_seconds, 3)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ablation_convergence", format_table(
+        ["tolerance", "F1", "iterations", "seconds"], rows,
+        title="Ablation: D&S convergence threshold on D_Product"))
+
+    f1s = [row[1] for row in rows]
+    iterations = [row[2] for row in rows]
+    # Quality stable across thresholds; work monotone (weakly) in them.
+    assert max(f1s) - min(f1s) < 0.03
+    assert iterations[-1] >= iterations[0]

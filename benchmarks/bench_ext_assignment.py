@@ -1,0 +1,71 @@
+"""Extension — online task assignment (paper §7, future direction 6).
+
+"It is interesting to see how the answers collected by different task
+assignment strategies can affect the truth inference quality."
+
+Runs the same D_Product-style workload (imbalanced binary tasks, mixed
+worker pool with spammers) under four assignment policies at an equal
+answer budget and reports the quality trajectory of each.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import format_series, format_table
+from repro.simulation import asymmetric_binary_worker, spammer
+from repro.tasking import compare_policies, create_policy
+
+from .conftest import save_report
+
+POLICY_NAMES = ("random", "round-robin", "uncertainty", "expected-accuracy")
+N_TASKS = 600
+N_ANSWERS = 3600  # budget: 6 answers per task on average
+REFRESH = 600
+
+
+def _workload(seed=0):
+    rng = np.random.default_rng(seed)
+    truths = (rng.random(N_TASKS) < 0.2).astype(np.int64)
+    workers = []
+    for _ in range(24):
+        draw = rng.random()
+        if draw < 0.15:
+            workers.append(spammer(2))
+        else:
+            workers.append(asymmetric_binary_worker(
+                recall_true=float(rng.uniform(0.5, 0.95)),
+                recall_false=float(rng.uniform(0.7, 0.95)),
+            ))
+    return truths, workers
+
+
+def test_ext_assignment_policies(benchmark):
+    truths, workers = _workload()
+    policies = [create_policy(name) for name in POLICY_NAMES]
+
+    traces = benchmark.pedantic(
+        lambda: compare_policies(truths, workers, policies,
+                                 n_answers=N_ANSWERS, seed=0,
+                                 refresh_every=REFRESH),
+        rounds=1, iterations=1)
+
+    budgets = [point[0] for point in traces["random"].checkpoints]
+    series = {
+        name: [point[1] for point in trace.checkpoints]
+        for name, trace in traces.items()
+    }
+    text = format_series(
+        "answers", budgets, series,
+        title=("Extension (paper §7.6): accuracy vs answer budget per "
+               "assignment policy"))
+    finals = format_table(
+        ["policy", "final accuracy"],
+        [[name, round(trace.final_accuracy, 4)]
+         for name, trace in traces.items()],
+    )
+    save_report("ext_assignment", text + "\n\n" + finals)
+
+    # Smart policies should not lose to random at the full budget.
+    assert traces["expected-accuracy"].final_accuracy >= \
+        traces["random"].final_accuracy - 0.01
+    assert traces["uncertainty"].final_accuracy >= \
+        traces["random"].final_accuracy - 0.01

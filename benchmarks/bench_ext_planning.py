@@ -1,0 +1,82 @@
+"""Extension — planning estimators (paper §7, directions 3–5).
+
+Three open questions from the paper's conclusion, answered with the
+planning toolbox on the D_PosSent replica:
+
+* §7.3 "how to estimate the data redundancy with stable quality?"
+  → saturation-redundancy estimate + fitted quality ceiling;
+* §7.4 "is it possible to estimate the benefit of qualification test?"
+  → bootstrap benefit estimate with a worthwhile/not verdict;
+* §7.5 "is it possible to estimate the improvement with hidden test?"
+  → ditto for planted golden tasks.
+"""
+
+from repro.experiments.reporting import format_series, format_table
+from repro.planning import (
+    estimate_hidden_benefit,
+    estimate_qualification_benefit,
+    estimate_saturation_redundancy,
+    fit_saturation_model,
+    redundancy_curve,
+)
+
+from .conftest import save_report
+
+GRID = (1, 2, 3, 5, 8, 12, 16, 20)
+
+
+def test_ext_redundancy_planning(benchmark, sweep_dataset):
+    dataset = sweep_dataset("D_PosSent")
+
+    def run():
+        curve = redundancy_curve(dataset, "MV", GRID, n_repeats=3,
+                                 base_seed=0)
+        r_hat = estimate_saturation_redundancy(GRID, curve, epsilon=0.005)
+        model = fit_saturation_model(GRID, curve)
+        return curve, r_hat, model
+
+    curve, r_hat, model = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        format_series("r", list(GRID), {"MV": curve},
+                      title="Extension (§7.3): MV accuracy vs redundancy"),
+        "",
+        f"estimated saturation redundancy r̂ = {r_hat}",
+        f"fitted ceiling q_inf = {model.q_inf:.4f}",
+        f"marginal gain at r=20: {model.marginal_gain(20):+.5f}",
+    ]
+    save_report("ext_planning_redundancy", "\n".join(lines))
+
+    # The paper observes D_PosSent saturates well before r=20.
+    assert r_hat < 20
+    assert model.marginal_gain(20) < 0.01
+
+
+def test_ext_benefit_planning(benchmark, sweep_dataset):
+    dataset = sweep_dataset("D_Product")
+
+    def run():
+        qualification = estimate_qualification_benefit(
+            dataset, "PM", n_golden=20, n_repeats=5, base_seed=0)
+        hidden = estimate_hidden_benefit(
+            dataset, "CATD", percentage=20, n_repeats=5, base_seed=0)
+        return qualification, hidden
+
+    qualification, hidden = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [est.protocol, est.method, est.metric,
+         round(est.baseline, 4), f"{est.mean_delta:+.4f}",
+         round(est.std_delta, 4), "yes" if est.worthwhile else "no"]
+        for est in (qualification, hidden)
+    ]
+    save_report("ext_planning_benefit", format_table(
+        ["protocol", "method", "metric", "baseline", "mean delta",
+         "std", "worthwhile?"],
+        rows,
+        title="Extension (§7.4–7.5): golden-task benefit estimates "
+              "(D_Product)"))
+
+    # Deltas are sane in magnitude (no blow-ups).
+    assert abs(qualification.mean_delta) < 0.2
+    assert abs(hidden.mean_delta) < 0.2

@@ -1,0 +1,40 @@
+"""Figure 6 — MAE/RMSE vs redundancy, numeric dataset (N_Emotion).
+
+Paper reference shape: errors of almost all methods decrease with
+increasing r; Mean stays at or near the bottom of both error curves.
+"""
+
+from repro.experiments.charts import ascii_chart
+from repro.experiments.redundancy import sweep_redundancy
+from repro.experiments.reporting import format_series
+
+from .conftest import save_report
+
+N_REPEATS = 3
+
+
+def test_figure6_n_emotion(benchmark, sweep_dataset):
+    dataset = sweep_dataset("N_Emotion")
+    sweep = benchmark.pedantic(
+        lambda: sweep_redundancy(
+            dataset, redundancies=(1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+            n_repeats=N_REPEATS, base_seed=0),
+        rounds=1, iterations=1)
+    sections = [
+        format_series("r", sweep.redundancies, sweep.series_for("mae"),
+                      title="Figure 6(a) N_Emotion: MAE vs redundancy"),
+        ascii_chart(sweep.redundancies, sweep.series_for("mae"),
+                    title="Figure 6(a) rendered (errors fall with r):",
+                    y_label="MAE"),
+        format_series("r", sweep.redundancies, sweep.series_for("rmse"),
+                      title="Figure 6(b) N_Emotion: RMSE vs redundancy"),
+    ]
+    save_report("figure6_n_emotion", "\n\n".join(sections))
+
+    mae_series = sweep.series_for("mae")
+    # Errors decrease with redundancy for every method.
+    for name, series in mae_series.items():
+        assert series[-1] < series[0], name
+    # Mean finishes at or near the best error (within 8%).
+    finals = {name: series[-1] for name, series in mae_series.items()}
+    assert finals["Mean"] <= min(finals.values()) * 1.08

@@ -1,0 +1,65 @@
+"""Figure 7 — the effect of hidden test, decision-making datasets.
+
+Protocol (paper §6.3.3): plant p% of the labelled tasks as golden,
+clamp their truth inside the iteration, evaluate on the rest,
+p ∈ {0, 10, 20, 30, 40, 50}.
+
+Paper reference shape: quality generally rises with p on D_Product;
+D_PosSent barely moves (each task already has 20 answers).
+"""
+
+from repro.experiments.hidden import hidden_test_experiment
+from repro.experiments.reporting import format_series
+
+from .conftest import save_report
+
+PERCENTAGES = (0, 10, 20, 30, 40, 50)
+N_REPEATS = 3
+#: The 8 decision-making methods of the paper's Figure 7.
+METHODS = ("ZC", "GLAD", "D&S", "Minimax", "LFC", "CATD", "PM", "VI-MF")
+
+
+def test_figure7_d_product(benchmark, sweep_dataset):
+    dataset = sweep_dataset("D_Product")
+    sweep = benchmark.pedantic(
+        lambda: hidden_test_experiment(dataset, percentages=PERCENTAGES,
+                                       methods=METHODS,
+                                       n_repeats=N_REPEATS, base_seed=0),
+        rounds=1, iterations=1)
+    sections = [
+        format_series("p%", sweep.percentages,
+                      sweep.series_for("accuracy"),
+                      title="Figure 7(a) D_Product: Accuracy vs hidden-test p%"),
+        format_series("p%", sweep.percentages, sweep.series_for("f1"),
+                      title="Figure 7(b) D_Product: F1 vs hidden-test p%"),
+    ]
+    save_report("figure7_d_product", "\n\n".join(sections))
+
+    acc = sweep.series_for("accuracy")
+    # Knowing half the truths should never hurt, and helps at least
+    # some methods visibly.
+    gains = [series[-1] - series[0] for series in acc.values()]
+    assert max(gains) > 0.0
+    assert min(gains) > -0.05
+
+
+def test_figure7_d_possent(benchmark, sweep_dataset):
+    dataset = sweep_dataset("D_PosSent")
+    sweep = benchmark.pedantic(
+        lambda: hidden_test_experiment(dataset, percentages=PERCENTAGES,
+                                       methods=METHODS,
+                                       n_repeats=N_REPEATS, base_seed=0),
+        rounds=1, iterations=1)
+    sections = [
+        format_series("p%", sweep.percentages,
+                      sweep.series_for("accuracy"),
+                      title="Figure 7(c) D_PosSent: Accuracy vs hidden-test p%"),
+        format_series("p%", sweep.percentages, sweep.series_for("f1"),
+                      title="Figure 7(d) D_PosSent: F1 vs hidden-test p%"),
+    ]
+    save_report("figure7_d_possent", "\n\n".join(sections))
+
+    acc = sweep.series_for("accuracy")
+    # The paper: "methods on D_PosSent do not have significant gains".
+    for name, series in acc.items():
+        assert abs(series[-1] - series[0]) < 0.05, name

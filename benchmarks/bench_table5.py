@@ -1,0 +1,30 @@
+"""Table 5 — dataset statistics, plus the Section 6.2.1 consistency C.
+
+Paper reference values:
+
+    dataset     #tasks  #truth  |V|     |V|/n  |W|   C
+    D_Product   8,315   8,315   24,945  3      176   0.38
+    D_PosSent   1,000   1,000   20,000  20     85    0.85
+    S_Rel       20,232  4,460   98,453  4.9    766   0.82
+    S_Adult     11,040  1,517   92,721  8.4    825   0.39
+    N_Emotion   700     700     7,000   10     38    20.44
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.stats import table5
+
+from .conftest import save_report
+
+
+def test_table5(benchmark, full_datasets):
+    rows = benchmark.pedantic(lambda: table5(full_datasets),
+                              rounds=1, iterations=1)
+    text = format_table(
+        ["dataset", "#tasks", "#truth", "|V|", "|V|/n", "|W|", "C"],
+        [[r["dataset"], r["n_tasks"], r["n_truth"], r["n_answers"],
+          r["redundancy"], r["n_workers"], r["consistency_C"]]
+         for r in rows],
+        title="Table 5: dataset statistics (replicas)",
+    )
+    save_report("table5", text)
+    assert len(rows) == 5

@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures and report output.
+
+Every benchmark regenerates one table or figure of the paper and writes
+the rows/series to ``benchmarks/results/<name>.txt`` (the textual
+equivalent of the paper's plots), while pytest-benchmark captures the
+wall-clock cost of the underlying experiment.
+
+Scales: the statistics benchmarks (Table 5, Figures 2–3) and the
+complete-data comparison (Table 6) run on FULL-SIZE replicas.  The
+sweep benchmarks (Figures 4–9, Table 7) run on reduced-scale replicas
+with fewer repeats than the paper's 30/100 — the sweeps repeat whole
+Table-6-sized workloads dozens of times, and the reduced runs already
+reproduce the reported shapes.  Scale factors are recorded in each
+report header.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.datasets import all_paper_datasets, load_paper_dataset
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Reduced scales used by the sweep benchmarks, per dataset.
+SWEEP_SCALE = {
+    "D_Product": 0.3,
+    "D_PosSent": 0.3,
+    "S_Rel": 0.12,
+    "S_Adult": 0.12,
+    "N_Emotion": 1.0,
+}
+
+
+def save_report(name: str, text: str) -> pathlib.Path:
+    """Write a reproduction report and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def full_datasets():
+    """Full-size replicas of all five paper datasets."""
+    return all_paper_datasets(seed=0, scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def sweep_dataset():
+    """Factory for reduced-scale replicas used by the sweeps."""
+
+    cache = {}
+
+    def build(name: str):
+        if name not in cache:
+            cache[name] = load_paper_dataset(name, seed=0,
+                                             scale=SWEEP_SCALE[name])
+        return cache[name]
+
+    return build

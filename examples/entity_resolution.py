@@ -1,0 +1,46 @@
+"""Entity resolution on a D_Product-style workload.
+
+The paper's motivating application (Section 1, Table 1): decide which
+product-name pairs refer to the same real-world entity.  The truth is
+heavily imbalanced (~12% matches), so the example reports both Accuracy
+and F1 and shows why confusion-matrix methods (D&S/LFC/BCC) earn their
+keep — the central finding of the paper's Table 6 on D_Product.
+
+Run:  python examples/entity_resolution.py
+"""
+
+from repro import create, load_paper_dataset
+from repro.metrics import accuracy, f1_score, precision_recall
+
+METHODS = ("MV", "ZC", "D&S", "LFC", "BCC", "PM", "KOS")
+
+
+def main() -> None:
+    dataset = load_paper_dataset("D_Product", seed=42, scale=0.4)
+    print(dataset)
+    positive_rate = (dataset.truth == 1).mean()
+    print(f"match rate in ground truth: {positive_rate:.1%} "
+          "(heavily imbalanced, as in the real D_Product)")
+    print()
+
+    header = f"{'method':>6}  {'accuracy':>9}  {'F1':>7}  " \
+             f"{'precision':>9}  {'recall':>7}  {'time':>7}"
+    print(header)
+    print("-" * len(header))
+    for name in METHODS:
+        result = create(name, seed=0).fit(dataset.answers)
+        acc = accuracy(dataset.truth, result.truths)
+        f1 = f1_score(dataset.truth, result.truths)
+        precision, recall = precision_recall(dataset.truth, result.truths)
+        print(f"{name:>6}  {acc:>9.2%}  {f1:>7.4f}  {precision:>9.4f}  "
+              f"{recall:>7.4f}  {result.elapsed_seconds:>6.2f}s")
+
+    print()
+    print("Note how the accuracy column barely separates the methods")
+    print("(predicting 'not a match' everywhere is already ~88% accurate)")
+    print("while F1 exposes the real quality differences — the paper's")
+    print("argument for using F1 on entity-resolution data.")
+
+
+if __name__ == "__main__":
+    main()

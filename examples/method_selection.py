@@ -1,0 +1,63 @@
+"""Method-selection tour across all five paper datasets.
+
+Implements the paper's Section 7 advice as executable code: runs every
+applicable method on (scaled) replicas of the five datasets, prints the
+per-dataset leaderboard, and re-derives the recommendations ("use D&S
+or LFC for labels, Mean for numbers, MV when redundancy is high").
+
+Run:  python examples/method_selection.py [scale]
+"""
+
+import sys
+
+from repro import all_paper_datasets, create, methods_for_task_type
+from repro.experiments.reporting import format_table
+
+PRIMARY_METRIC = {
+    "D_Product": "f1",
+    "D_PosSent": "accuracy",
+    "S_Rel": "accuracy",
+    "S_Adult": "accuracy",
+    "N_Emotion": "mae",
+}
+
+
+def leaderboard(dataset, metric):
+    rows = []
+    for name in methods_for_task_type(dataset.task_type):
+        kwargs = {"max_iter": 8} if name == "Minimax" else {}
+        result = create(name, seed=0, **kwargs).fit(dataset.answers)
+        scores = dataset.score(result)
+        rows.append((name, scores[metric], result.elapsed_seconds))
+    reverse = metric != "mae"  # errors sort ascending
+    rows.sort(key=lambda row: row[1], reverse=reverse)
+    return rows
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    datasets = all_paper_datasets(seed=0, scale=scale)
+
+    recommendations = []
+    for name, dataset in datasets.items():
+        metric = PRIMARY_METRIC[name]
+        rows = leaderboard(dataset, metric)
+        print(format_table(
+            ["method", metric, "seconds"],
+            [[m, round(v, 4), round(t, 2)] for m, v, t in rows],
+            title=f"{name} ({dataset.task_type.value}, "
+                  f"{dataset.answers.n_answers} answers)",
+        ))
+        print()
+        recommendations.append((name, rows[0][0]))
+
+    print("winners per dataset:")
+    for dataset_name, method in recommendations:
+        print(f"  {dataset_name:>10}: {method}")
+    print()
+    print("No single method wins everywhere — the paper's core claim")
+    print("('truth inference is not fully solved').")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Online task assignment: the paper's §7(6) as a runnable experiment.
+
+The paper evaluates *static* truth inference; its conclusion asks how
+assignment strategies change inference quality.  This example collects
+the same budget of answers under four policies and prints the quality
+trajectory: uncertainty-aware assignment concentrates redundancy where
+it matters and reaches higher accuracy per answer.
+
+Run:  python examples/online_assignment.py
+"""
+
+import numpy as np
+
+from repro.simulation import reliable_worker, spammer
+from repro.tasking import compare_policies, create_policy
+
+POLICIES = ("random", "round-robin", "uncertainty", "expected-accuracy")
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    truths = rng.integers(0, 2, size=400)
+    workers = []
+    for _ in range(20):
+        if rng.random() < 0.2:
+            workers.append(spammer(2))
+        else:
+            workers.append(reliable_worker(float(rng.uniform(0.6, 0.95)), 2))
+
+    budget = 2400  # 6 answers per task on average
+    traces = compare_policies(
+        truths, workers, [create_policy(name) for name in POLICIES],
+        n_answers=budget, seed=0, refresh_every=400,
+    )
+
+    budgets = [point[0] for point in traces["random"].checkpoints]
+    header = "answers  " + "  ".join(f"{name:>17}" for name in POLICIES)
+    print(header)
+    print("-" * len(header))
+    for row_index, answers in enumerate(budgets):
+        cells = "  ".join(
+            f"{traces[name].checkpoints[row_index][1]:>17.4f}"
+            for name in POLICIES
+        )
+        print(f"{answers:>7}  {cells}")
+
+    print()
+    best = max(POLICIES, key=lambda name: traces[name].final_accuracy)
+    print(f"best policy at budget {budget}: {best} "
+          f"({traces[best].final_accuracy:.2%})")
+    print("Quality-aware assignment buys accuracy per answer — the")
+    print("online-task-assignment direction of the paper's Section 7.")
+
+
+if __name__ == "__main__":
+    main()

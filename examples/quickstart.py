@@ -1,0 +1,59 @@
+"""Quickstart: infer truth from the paper's own 6-task example.
+
+Rebuilds Table 2 of the paper (3 workers × 6 entity-resolution tasks),
+runs Majority Voting and PM on it, and shows how PM recovers the truth
+MV gets wrong — the exact walk-through of the paper's Section 3.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnswerSet, TaskType, create
+
+# Table 2 of the paper.  Label encoding: F -> 0, T -> 1.
+T, F = 1, 0
+RECORDS = [
+    # worker w1
+    ("t1", "w1", F), ("t2", "w1", T), ("t3", "w1", T),
+    ("t4", "w1", F), ("t5", "w1", F), ("t6", "w1", F),
+    # worker w2 (did not answer t1)
+    ("t2", "w2", F), ("t3", "w2", F), ("t4", "w2", T),
+    ("t5", "w2", T), ("t6", "w2", F),
+    # worker w3
+    ("t1", "w3", T), ("t2", "w3", F), ("t3", "w3", F),
+    ("t4", "w3", F), ("t5", "w3", F), ("t6", "w3", T),
+]
+
+#: Ground truth: only (r1 = r2) and (r3 = r4) are real matches.
+GROUND_TRUTH = [T, F, F, F, F, T]
+
+
+def main() -> None:
+    answers = AnswerSet.from_records(RECORDS, TaskType.DECISION_MAKING,
+                                     label_order=[F, T])
+    print(answers)
+    print()
+
+    label = {0: "F", 1: "T"}
+    for name in ("MV", "PM", "D&S"):
+        method = create(name, seed=7)
+        result = method.fit(answers)
+        decoded = [label[int(v)] for v in result.truths]
+        n_correct = sum(int(v) == t
+                        for v, t in zip(result.truths, GROUND_TRUTH))
+        print(f"{name:>4}: truths = {decoded}   "
+              f"({n_correct}/6 correct, {result.n_iterations} iterations)")
+        qualities = ", ".join(
+            f"w{w + 1}={q:.2f}" for w, q in enumerate(result.worker_quality)
+        )
+        print(f"      worker qualities: {qualities}")
+    print()
+    print("The paper's Section 3 observation: w3 is the best worker, and")
+    print("PM recovers v*_1 = v*_6 = T, which plain majority voting")
+    print("cannot (t1 is a tie and t6 is outvoted).  D&S illustrates the")
+    print("other side: a confusion matrix has 4 free parameters per")
+    print("worker, far too many to fit from 6 tasks — richer models need")
+    print("more data, a recurring theme of the paper's evaluation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Tweet sentiment with a qualification test (D_PosSent-style workload).
+
+Demonstrates the Section 6.3.2 protocol end to end on the platform
+simulator: workers first answer 20 golden tasks; their score initialises
+each method's worker-quality estimate; we then compare inference with
+and without the qualification test at low redundancy (where the paper
+finds it helps most).
+
+Run:  python examples/sentiment_analysis.py
+"""
+
+import numpy as np
+
+from repro import TaskType, create
+from repro.datasets.schema import Dataset
+from repro.metrics import accuracy
+from repro.simulation import CrowdPlatform, reliable_worker, spammer
+
+METHODS = ("ZC", "D&S", "LFC", "PM")
+
+
+def build_platform(seed: int = 3):
+    """600 tweets, 30 workers of mixed quality, a few spammers."""
+    rng = np.random.default_rng(seed)
+    truths = (rng.random(600) < 0.53).astype(np.int64)  # slight T skew
+    workers = []
+    for _ in range(30):
+        if rng.random() < 0.15:
+            workers.append(spammer(2))
+        else:
+            workers.append(reliable_worker(float(rng.uniform(0.6, 0.95)), 2))
+    platform = CrowdPlatform(truths, workers, TaskType.DECISION_MAKING,
+                             seed=seed)
+    return platform, truths
+
+
+def main() -> None:
+    platform, truths = build_platform()
+
+    # Collect only 2 answers per tweet — the regime where a good
+    # initialisation actually matters.
+    answers = platform.collect(redundancy=2)
+    dataset = Dataset(name="sentiment", answers=answers, truth=truths)
+    print(dataset)
+
+    # Qualification test: 20 golden tweets per worker.
+    records = platform.qualification_test(n_golden=20)
+    initial_quality = np.array([r.accuracy for r in records])
+    print(f"qualification-test scores: min={initial_quality.min():.2f} "
+          f"mean={initial_quality.mean():.2f} "
+          f"max={initial_quality.max():.2f}")
+    print()
+
+    print(f"{'method':>6}  {'no test':>8}  {'with test':>9}  {'delta':>7}")
+    print("-" * 36)
+    for name in METHODS:
+        plain = create(name, seed=0).fit(answers)
+        boosted = create(name, seed=0).fit(answers,
+                                           initial_quality=initial_quality)
+        acc_plain = accuracy(truths, plain.truths)
+        acc_boosted = accuracy(truths, boosted.truths)
+        delta = acc_boosted - acc_plain
+        print(f"{name:>6}  {acc_plain:>8.2%}  {acc_boosted:>9.2%}  "
+              f"{delta:>+7.2%}")
+
+    print()
+    print("As in the paper's Table 7, the benefit is real but modest —")
+    print("and shrinks to nothing once redundancy is high enough for the")
+    print("methods to estimate worker quality unsupervised.")
+
+
+if __name__ == "__main__":
+    main()

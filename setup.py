@@ -1,0 +1,9 @@
+"""Setup shim for environments whose setuptools lacks PEP 517 wheels.
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Unsupervised crowd-data analysis: worker audits and task triage.
+
+Generalises the paper's Section 6.2 analyses (which require ground
+truth) to the truth-free setting a requester faces in production.
+"""
+
+from .tasks import (
+    DisagreementReport,
+    contested_tasks,
+    disagreement_report,
+    estimate_difficulty_from_result,
+    task_entropy,
+    underanswered_tasks,
+)
+from .workers import (
+    PoolProfile,
+    WorkerFlag,
+    detect_inverters,
+    detect_label_bias,
+    detect_uniform_spammers,
+    profile_pool,
+)
+
+__all__ = [
+    "DisagreementReport",
+    "PoolProfile",
+    "WorkerFlag",
+    "contested_tasks",
+    "detect_inverters",
+    "detect_label_bias",
+    "detect_uniform_spammers",
+    "disagreement_report",
+    "estimate_difficulty_from_result",
+    "profile_pool",
+    "task_entropy",
+    "underanswered_tasks",
+]

@@ -1,0 +1,131 @@
+"""Task-level analysis: difficulty estimation and disagreement triage.
+
+The paper's task models (GLAD's difficulty, §4.1.1) estimate difficulty
+*inside* a specific inference method.  This module provides
+method-agnostic task diagnostics a requester can act on directly:
+which tasks are contested, which look like systematic traps (everyone
+confidently agreeing may still be wrong — the S_Adult signature), and
+which simply need more answers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.result import InferenceResult
+
+
+def task_entropy(answers: AnswerSet) -> np.ndarray:
+    """Normalised answer entropy per task (0 = unanimous, 1 = uniform).
+
+    The per-task version of the paper's consistency statistic C; tasks
+    with no answers get NaN.
+    """
+    answers.require_categorical()
+    counts = answers.vote_counts()
+    totals = counts.sum(axis=1)
+    out = np.full(answers.n_tasks, np.nan)
+    answered = totals > 0
+    fractions = counts[answered] / totals[answered][:, None]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(fractions > 0, fractions * np.log(fractions), 0.0)
+    out[answered] = -terms.sum(axis=1) / np.log(answers.n_choices)
+    return out
+
+
+def contested_tasks(answers: AnswerSet, entropy_threshold: float = 0.9,
+                    min_answers: int = 2) -> np.ndarray:
+    """Tasks whose answers are split nearly evenly.
+
+    These are the highest-value targets for extra redundancy — exactly
+    the tasks an uncertainty assignment policy routes new workers to.
+    """
+    entropy = task_entropy(answers)
+    counts = answers.task_answer_counts()
+    return np.nonzero((entropy >= entropy_threshold)
+                      & (counts >= min_answers))[0]
+
+
+def underanswered_tasks(answers: AnswerSet, minimum: int = 1) -> np.ndarray:
+    """Tasks that received fewer than ``minimum`` answers."""
+    return np.nonzero(answers.task_answer_counts() < minimum)[0]
+
+
+@dataclasses.dataclass
+class DisagreementReport:
+    """Posterior-vs-votes triage of one inference run.
+
+    ``overruled`` — tasks where the method's inferred truth differs
+    from the plurality vote (the method actively used worker-quality
+    information); ``uncertain`` — tasks whose final posterior stays
+    close to uniform (the method is guessing); ``unanimous_uncertain``
+    is the dangerous corner: unanimous votes that the posterior still
+    distrusts.
+    """
+
+    overruled: np.ndarray
+    uncertain: np.ndarray
+    unanimous_uncertain: np.ndarray
+
+    def summary(self) -> str:
+        return (f"{len(self.overruled)} tasks overruled vs plurality, "
+                f"{len(self.uncertain)} uncertain, "
+                f"{len(self.unanimous_uncertain)} unanimous-but-uncertain")
+
+
+def disagreement_report(answers: AnswerSet, result: InferenceResult,
+                        uncertainty_threshold: float = 0.6
+                        ) -> DisagreementReport:
+    """Cross-examine an inference result against the raw votes."""
+    answers.require_categorical()
+    if result.posterior is None:
+        raise ValueError(f"{result.method} exposes no posterior to audit")
+    counts = answers.vote_counts()
+    answered = counts.sum(axis=1) > 0
+    plurality = counts.argmax(axis=1)
+
+    overruled = np.nonzero(answered
+                           & (result.truths != plurality))[0]
+    confidence = result.posterior.max(axis=1)
+    uncertain = np.nonzero(answered
+                           & (confidence < uncertainty_threshold))[0]
+    unanimous = answered & ((counts > 0).sum(axis=1) == 1)
+    unanimous_uncertain = np.nonzero(
+        unanimous & (confidence < uncertainty_threshold))[0]
+    return DisagreementReport(
+        overruled=overruled,
+        uncertain=uncertain,
+        unanimous_uncertain=unanimous_uncertain,
+    )
+
+
+def estimate_difficulty_from_result(answers: AnswerSet,
+                                    result: InferenceResult) -> np.ndarray:
+    """Per-task difficulty estimate from a fitted method.
+
+    Uses GLAD's explicit easiness when available (converted so that
+    *higher = harder*), otherwise falls back to one minus the
+    quality-weighted fraction of answers matching the inferred truth —
+    a method-agnostic difficulty proxy.
+    """
+    easiness = result.extras.get("task_easiness")
+    if easiness is not None:
+        easiness = np.asarray(easiness, dtype=np.float64)
+        return 1.0 / (1.0 + easiness)
+
+    answers.require_categorical()
+    quality = np.clip(result.worker_quality, 0.0, None)
+    match = (answers.values.astype(np.int64)
+             == result.truths[answers.tasks]).astype(float)
+    weights = quality[answers.workers]
+    matched = np.bincount(answers.tasks, weights=weights * match,
+                          minlength=answers.n_tasks)
+    total = np.bincount(answers.tasks, weights=weights,
+                        minlength=answers.n_tasks)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        agreement = matched / total
+    agreement[total == 0] = np.nan
+    return 1.0 - agreement

@@ -1,0 +1,192 @@
+"""Worker-pool analysis: spammer detection and pool profiling.
+
+Generalises the paper's Section 6.2.3 analysis (worker quality against
+ground truth) to the unsupervised setting a requester actually faces:
+no truth, only answers.  The detectors use the structure the paper's
+methods exploit — a spammer's answers are independent of everyone
+else's, a biased spammer's answers are independent of the task — and
+surface them as auditable flags rather than silent down-weighting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..metrics.agreement import pairwise_agreement_matrix
+
+
+@dataclasses.dataclass
+class WorkerFlag:
+    """One flagged worker with the evidence behind the flag."""
+
+    worker: int
+    reason: str
+    score: float
+    n_answers: int
+
+    def __str__(self) -> str:
+        return (f"worker {self.worker}: {self.reason} "
+                f"(score={self.score:.3f}, answers={self.n_answers})")
+
+
+def detect_uniform_spammers(
+    answers: AnswerSet,
+    margin_above_chance: float = 0.08,
+    min_answers: int = 10,
+) -> list[WorkerFlag]:
+    """Flag workers whose answers agree with nobody beyond chance.
+
+    A uniform spammer's expected agreement with any other worker is
+    *chance level* — roughly the collision probability of the answer
+    marginals (≈ ``1/l`` for balanced labels, 0.5 for binary) —
+    regardless of the other worker's quality, while honest workers
+    agree with each other well above it.  Workers whose mean pairwise
+    agreement sits within ``margin_above_chance`` of the chance level
+    (and who answered at least ``min_answers`` tasks) are flagged.
+    """
+    answers.require_categorical()
+    matrix = pairwise_agreement_matrix(answers)
+    counts = answers.worker_answer_counts()
+    # Chance level from the pool's marginal answer distribution.
+    marginals = np.bincount(answers.values.astype(np.int64),
+                            minlength=answers.n_choices)
+    marginals = marginals / max(marginals.sum(), 1)
+    chance = float((marginals**2).sum())
+    threshold = chance + margin_above_chance
+
+    flags = []
+    for worker in range(answers.n_workers):
+        if counts[worker] < min_answers:
+            continue
+        row = np.delete(matrix[worker], worker)
+        mean_agreement = float(np.nanmean(row)) if np.isfinite(row).any() \
+            else float("nan")
+        if np.isnan(mean_agreement):
+            continue
+        if mean_agreement < threshold:
+            flags.append(WorkerFlag(
+                worker=worker,
+                reason="agreement at chance level with every other "
+                       "worker (uniform-spammer signature)",
+                score=mean_agreement,
+                n_answers=int(counts[worker]),
+            ))
+    return flags
+
+
+def detect_label_bias(
+    answers: AnswerSet,
+    dominance_threshold: float = 0.75,
+    min_answers: int = 10,
+) -> list[WorkerFlag]:
+    """Flag workers who give (almost) the same label to everything.
+
+    The biased-spammer signature of the S_Rel replica: answer
+    distribution concentrated on one label far beyond the pool's
+    marginal label distribution.
+    """
+    answers.require_categorical()
+    counts = answers.worker_answer_counts()
+    values = answers.values.astype(np.int64)
+    flags = []
+    for worker in range(answers.n_workers):
+        idx = answers.answers_of_worker(worker)
+        if len(idx) < min_answers:
+            continue
+        given = values[idx]
+        distribution = np.bincount(given, minlength=answers.n_choices)
+        dominance = float(distribution.max() / distribution.sum())
+        if dominance >= dominance_threshold:
+            favourite = int(distribution.argmax())
+            flags.append(WorkerFlag(
+                worker=worker,
+                reason=f"answers label {favourite} on "
+                       f"{dominance:.0%} of tasks (label-bias signature)",
+                score=dominance,
+                n_answers=int(counts[worker]),
+            ))
+    return flags
+
+
+def detect_inverters(
+    answers: AnswerSet,
+    agreement_ceiling: float = 0.30,
+    min_answers: int = 10,
+) -> list[WorkerFlag]:
+    """Flag binary workers who systematically *disagree* with the pool.
+
+    A malicious worker's agreement with honest workers sits *below*
+    chance — they carry real information with the sign flipped (which
+    confusion-matrix methods exploit; see the failure-injection tests).
+    Only meaningful for decision-making tasks.
+    """
+    answers.require_categorical()
+    if answers.n_choices != 2:
+        return []
+    matrix = pairwise_agreement_matrix(answers)
+    counts = answers.worker_answer_counts()
+    flags = []
+    for worker in range(answers.n_workers):
+        if counts[worker] < min_answers:
+            continue
+        row = np.delete(matrix[worker], worker)
+        if not np.isfinite(row).any():
+            continue
+        mean_agreement = float(np.nanmean(row))
+        if mean_agreement < agreement_ceiling:
+            flags.append(WorkerFlag(
+                worker=worker,
+                reason="agreement below chance "
+                       "(systematic-inverter signature)",
+                score=mean_agreement,
+                n_answers=int(counts[worker]),
+            ))
+    return flags
+
+
+@dataclasses.dataclass
+class PoolProfile:
+    """Summary of a worker pool's structure (no ground truth needed)."""
+
+    n_workers: int
+    n_active: int
+    mean_agreement: float
+    uniform_spammers: list[WorkerFlag]
+    label_biased: list[WorkerFlag]
+    inverters: list[WorkerFlag]
+
+    @property
+    def n_flagged(self) -> int:
+        flagged = {f.worker for f in (self.uniform_spammers
+                                      + self.label_biased + self.inverters)}
+        return len(flagged)
+
+    def summary(self) -> str:
+        return (
+            f"pool of {self.n_workers} workers ({self.n_active} active): "
+            f"mean pairwise agreement {self.mean_agreement:.3f}; "
+            f"{len(self.uniform_spammers)} uniform spammers, "
+            f"{len(self.label_biased)} label-biased, "
+            f"{len(self.inverters)} inverters flagged"
+        )
+
+
+def profile_pool(answers: AnswerSet, min_answers: int = 10) -> PoolProfile:
+    """Full unsupervised audit of a worker pool."""
+    matrix = pairwise_agreement_matrix(answers)
+    off_diagonal = matrix[~np.eye(answers.n_workers, dtype=bool)]
+    mean_agreement = (float(np.nanmean(off_diagonal))
+                      if np.isfinite(off_diagonal).any() else float("nan"))
+    counts = answers.worker_answer_counts()
+    return PoolProfile(
+        n_workers=answers.n_workers,
+        n_active=int((counts > 0).sum()),
+        mean_agreement=mean_agreement,
+        uniform_spammers=detect_uniform_spammers(answers,
+                                                 min_answers=min_answers),
+        label_biased=detect_label_bias(answers, min_answers=min_answers),
+        inverters=detect_inverters(answers, min_answers=min_answers),
+    )

@@ -1,0 +1,215 @@
+"""Command-line interface: run inference and experiments from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro methods                    # list the 17 methods
+    python -m repro datasets                   # Table 5 of the replicas
+    python -m repro infer answers.csv --method "D&S"
+    python -m repro run --dataset D_Product --method D&S --scale 0.2
+    python -m repro sweep --dataset D_PosSent --methods MV ZC D&S
+    python -m repro plan-redundancy --dataset D_PosSent --method MV
+
+``infer`` reads a headerless/headered CSV of ``task,worker,answer``
+triples, so the CLI works on real exported crowd data, not only on the
+replicas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+from .core.answers import AnswerSet
+from .core.registry import available_methods, create, methods_for_task_type
+from .core.tasktypes import TaskType
+from .datasets.paper import PAPER_DATASET_NAMES, all_paper_datasets, load_paper_dataset
+from .experiments.reporting import format_series, format_table
+from .experiments.redundancy import sweep_redundancy
+from .experiments.stats import table5
+
+
+def _cmd_methods(_args) -> int:
+    rows = []
+    for name in available_methods():
+        method = create(name)
+        types = ", ".join(sorted(t.value for t in method.task_types))
+        rows.append([
+            name, types,
+            "yes" if method.supports_initial_quality else "no",
+            "yes" if method.supports_golden else "no",
+        ])
+    print(format_table(
+        ["method", "task types", "qualification", "hidden test"], rows,
+        title="Registered truth-inference methods (paper Table 4)"))
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    datasets = all_paper_datasets(seed=args.seed, scale=args.scale)
+    rows = [[r["dataset"], r["n_tasks"], r["n_truth"], r["n_answers"],
+             r["redundancy"], r["n_workers"], r["consistency_C"]]
+            for r in table5(datasets)]
+    print(format_table(
+        ["dataset", "#tasks", "#truth", "|V|", "|V|/n", "|W|", "C"], rows,
+        title=f"Paper-dataset replicas (seed={args.seed}, "
+              f"scale={args.scale})"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    dataset = load_paper_dataset(args.dataset, seed=args.seed,
+                                 scale=args.scale)
+    names = args.methods or methods_for_task_type(dataset.task_type)
+    rows = []
+    for name in names:
+        result = create(name, seed=args.seed).fit(dataset.answers)
+        scores = dataset.score(result)
+        rows.append([name]
+                    + [round(v, 4) for v in scores.values()]
+                    + [f"{result.elapsed_seconds:.2f}s"])
+    metric_names = list(dataset.score(
+        create(names[0], seed=args.seed).fit(dataset.answers)))
+    print(format_table(["method"] + metric_names + ["time"], rows,
+                       title=f"{dataset.name} (scale={args.scale})"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    dataset = load_paper_dataset(args.dataset, seed=args.seed,
+                                 scale=args.scale)
+    sweep = sweep_redundancy(
+        dataset,
+        redundancies=args.redundancies,
+        methods=args.methods or None,
+        n_repeats=args.repeats,
+        base_seed=args.seed,
+    )
+    for metric, series in sweep.series.items():
+        print(format_series("r", sweep.redundancies, series,
+                            title=f"{dataset.name}: {metric} vs redundancy"))
+        print()
+    return 0
+
+
+def _cmd_infer(args) -> int:
+    records = []
+    with open(args.answers, newline="") as handle:
+        reader = csv.reader(handle)
+        for row in reader:
+            if not row or row[0].strip().lower() in ("task", "#task"):
+                continue
+            records.append((row[0].strip(), row[1].strip(), row[2].strip()))
+    if not records:
+        print("no answers found", file=sys.stderr)
+        return 1
+
+    labels = sorted({value for _, _, value in records})
+    task_type = (TaskType.DECISION_MAKING if len(labels) == 2
+                 else TaskType.SINGLE_CHOICE)
+    answers = AnswerSet.from_records(records, task_type, label_order=labels)
+    result = create(args.method, seed=args.seed).fit(answers)
+
+    print(f"# method={args.method} tasks={answers.n_tasks} "
+          f"workers={answers.n_workers} answers={answers.n_answers}")
+    print("task,inferred_truth")
+    for task in range(answers.n_tasks):
+        task_id = (answers.task_labels[task] if answers.task_labels
+                   else str(task))
+        print(f"{task_id},{labels[int(result.truths[task])]}")
+    return 0
+
+
+def _cmd_plan_redundancy(args) -> int:
+    from .planning import (
+        estimate_saturation_redundancy,
+        fit_saturation_model,
+        redundancy_curve,
+    )
+
+    dataset = load_paper_dataset(args.dataset, seed=args.seed,
+                                 scale=args.scale)
+    max_r = max(2, int(round(dataset.answers.redundancy)))
+    grid = list(range(1, max_r + 1))
+    metric = "accuracy" if dataset.task_type.is_categorical else "mae"
+    curve = redundancy_curve(dataset, args.method, grid, metric=metric,
+                             n_repeats=args.repeats, base_seed=args.seed)
+    higher = dataset.task_type.is_categorical
+    r_hat = estimate_saturation_redundancy(grid, curve,
+                                           higher_is_better=higher)
+    print(format_series("r", grid, {args.method: curve},
+                        title=f"{dataset.name}: {metric} vs redundancy"))
+    print(f"\nestimated saturation redundancy r̂ = {r_hat}")
+    if len(grid) >= 3 and higher:
+        model = fit_saturation_model(grid, curve)
+        print(f"fitted ceiling q_inf = {model.q_inf:.4f}; "
+              f"gain from r={max_r} to r={max_r + 1}: "
+              f"{model.marginal_gain(max_r):+.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Truth-inference reproduction CLI (VLDB 2017 survey)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("methods", help="list registered methods")
+
+    p_datasets = sub.add_parser("datasets", help="Table 5 of the replicas")
+    _common(p_datasets)
+
+    p_run = sub.add_parser("run", help="run methods on a replica")
+    _common(p_run)
+    p_run.add_argument("--dataset", required=True,
+                       choices=PAPER_DATASET_NAMES)
+    p_run.add_argument("--methods", nargs="*", default=None)
+
+    p_sweep = sub.add_parser("sweep", help="redundancy sweep on a replica")
+    _common(p_sweep)
+    p_sweep.add_argument("--dataset", required=True,
+                         choices=PAPER_DATASET_NAMES)
+    p_sweep.add_argument("--methods", nargs="*", default=None)
+    p_sweep.add_argument("--redundancies", nargs="*", type=int, default=None)
+    p_sweep.add_argument("--repeats", type=int, default=3)
+
+    p_infer = sub.add_parser("infer",
+                             help="infer truths from a CSV of answers")
+    p_infer.add_argument("answers", help="CSV of task,worker,answer rows")
+    p_infer.add_argument("--method", default="D&S")
+    p_infer.add_argument("--seed", type=int, default=0)
+
+    p_plan = sub.add_parser("plan-redundancy",
+                            help="estimate the saturation redundancy")
+    _common(p_plan)
+    p_plan.add_argument("--dataset", required=True,
+                        choices=PAPER_DATASET_NAMES)
+    p_plan.add_argument("--method", default="MV")
+    p_plan.add_argument("--repeats", type=int, default=3)
+
+    return parser
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=0.2)
+
+
+_COMMANDS = {
+    "methods": _cmd_methods,
+    "datasets": _cmd_datasets,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "infer": _cmd_infer,
+    "plan-redundancy": _cmd_plan_redundancy,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

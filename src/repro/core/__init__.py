@@ -1,0 +1,37 @@
+"""Core data model and inference framework.
+
+Public names re-exported here form the stable API of the package core:
+the answer-set container, task-type taxonomy, result type, base method
+classes, and the registry.
+"""
+
+from .answers import AnswerSet
+from .base import (
+    BinaryMethod,
+    CategoricalMethod,
+    GeneralMethod,
+    NumericMethod,
+    TruthInferenceMethod,
+)
+from .framework import ConvergenceTracker
+from .registry import available_methods, create, create_all, methods_for_task_type
+from .result import InferenceResult
+from .tasktypes import LABEL_FALSE, LABEL_TRUE, TaskType
+
+__all__ = [
+    "AnswerSet",
+    "BinaryMethod",
+    "CategoricalMethod",
+    "ConvergenceTracker",
+    "GeneralMethod",
+    "InferenceResult",
+    "LABEL_FALSE",
+    "LABEL_TRUE",
+    "NumericMethod",
+    "TaskType",
+    "TruthInferenceMethod",
+    "available_methods",
+    "create",
+    "create_all",
+    "methods_for_task_type",
+]

@@ -1,0 +1,147 @@
+"""Shared machinery for the paper's iterative framework (Algorithm 1).
+
+All 14 iterative methods in the paper follow the same loop:
+
+1. initialise worker qualities (randomly, uniformly, or from a
+   qualification test);
+2. **step 1** — infer each task's truth from answers and qualities;
+3. **step 2** — re-estimate each worker's quality from answers and truth;
+4. repeat until the parameter change falls below a threshold
+   (the paper uses 1e-3) or an iteration cap is hit.
+
+This module provides the convergence tracker, golden-task clamping used
+by the hidden-test protocol (Section 6.3.3), and small numerical helpers
+shared by several methods.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+
+#: Convergence threshold the paper mentions ("e.g., 1e-3").
+DEFAULT_TOLERANCE = 1e-4
+
+#: Iteration cap; generous enough that EM methods converge well before it.
+DEFAULT_MAX_ITER = 100
+
+#: Floor used when clipping probabilities away from 0/1 before taking logs.
+PROBABILITY_FLOOR = 1e-10
+
+
+class ConvergenceTracker:
+    """Detects convergence of the two-step iteration.
+
+    Tracks the maximum absolute change of a parameter vector between
+    consecutive iterations, exactly as the paper describes ("check
+    whether the change of two sets of parameters is below some defined
+    threshold").
+    """
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE,
+                 max_iter: int = DEFAULT_MAX_ITER) -> None:
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        if max_iter < 1:
+            raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+        self.tolerance = tolerance
+        self.max_iter = max_iter
+        self.iteration = 0
+        self.converged = False
+        self._previous: np.ndarray | None = None
+
+    def update(self, parameters: np.ndarray) -> bool:
+        """Record one iteration; return True when iteration should stop.
+
+        ``parameters`` is any flat or multi-dimensional array capturing
+        the state being iterated (e.g. the truth posterior).  Raises
+        :class:`ConvergenceError` on NaN/inf parameters.
+        """
+        current = np.asarray(parameters, dtype=np.float64).ravel().copy()
+        if not np.all(np.isfinite(current)):
+            raise ConvergenceError(
+                f"non-finite parameters at iteration {self.iteration}"
+            )
+        self.iteration += 1
+        if self._previous is not None and len(self._previous) == len(current):
+            delta = float(np.max(np.abs(current - self._previous)))
+            if delta < self.tolerance:
+                self.converged = True
+                return True
+        self._previous = current
+        return self.iteration >= self.max_iter
+
+
+def clamp_golden_posterior(posterior: np.ndarray,
+                           golden: Mapping[int, int] | None) -> np.ndarray:
+    """Overwrite posterior rows of golden tasks with their known truth.
+
+    Implements the hidden-test protocol: "in step 1, we only update the
+    truth of tasks with unknown truth" — golden tasks keep probability 1
+    on their true label throughout the iteration.
+    """
+    if not golden:
+        return posterior
+    for task, label in golden.items():
+        posterior[task, :] = 0.0
+        posterior[task, int(label)] = 1.0
+    return posterior
+
+
+def clamp_golden_values(values: np.ndarray,
+                        golden: Mapping[int, float] | None) -> np.ndarray:
+    """Numeric analogue of :func:`clamp_golden_posterior`."""
+    if not golden:
+        return values
+    for task, truth in golden.items():
+        values[task] = float(truth)
+    return values
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Normalise each row to sum to one; uniform rows where the sum is 0."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    sums = matrix.sum(axis=1, keepdims=True)
+    n_cols = matrix.shape[1]
+    safe = np.where(sums > 0, sums, 1.0)
+    out = matrix / safe
+    out[np.squeeze(sums, axis=1) <= 0] = 1.0 / n_cols
+    return out
+
+
+def log_normalize_rows(log_matrix: np.ndarray) -> np.ndarray:
+    """Exponentiate and row-normalise a matrix of log scores, stably."""
+    log_matrix = np.asarray(log_matrix, dtype=np.float64)
+    shifted = log_matrix - log_matrix.max(axis=1, keepdims=True)
+    expd = np.exp(shifted)
+    return expd / expd.sum(axis=1, keepdims=True)
+
+
+def clip_probability(p: np.ndarray | float) -> np.ndarray:
+    """Clip probabilities into ``[floor, 1 - floor]`` before logs."""
+    return np.clip(p, PROBABILITY_FLOOR, 1.0 - PROBABILITY_FLOOR)
+
+
+def decode_posterior(posterior: np.ndarray, rng: np.random.Generator | None = None
+                     ) -> np.ndarray:
+    """Turn a truth posterior into hard labels, breaking ties randomly.
+
+    Majority voting and several iterative methods can end with exact
+    ties; the paper breaks them randomly ("it randomly infers v*_1 to
+    break the tie").  With ``rng=None`` ties break toward the lowest
+    label index (deterministic), which tests rely on.
+    """
+    posterior = np.asarray(posterior, dtype=np.float64)
+    if rng is None:
+        return posterior.argmax(axis=1)
+    n_tasks, n_choices = posterior.shape
+    best = posterior.max(axis=1, keepdims=True)
+    is_best = np.isclose(posterior, best)
+    labels = np.empty(n_tasks, dtype=np.int64)
+    for i in range(n_tasks):
+        candidates = np.nonzero(is_best[i])[0]
+        labels[i] = candidates[0] if len(candidates) == 1 else rng.choice(candidates)
+    return labels

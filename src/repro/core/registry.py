@@ -1,0 +1,89 @@
+"""Method registry: look up algorithms by their paper names.
+
+The experiment harness and benchmarks refer to methods by the exact
+names used in the paper's tables (``MV``, ``ZC``, ``GLAD``, ``D&S``,
+``Minimax``, ``BCC``, ``CBCC``, ``LFC``, ``CATD``, ``PM``, ``Multi``,
+``KOS``, ``VI-BP``, ``VI-MF``, ``LFC_N``, ``Mean``, ``Median``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..exceptions import UnknownMethodError
+from .base import TruthInferenceMethod
+from .tasktypes import TaskType
+
+_REGISTRY: dict[str, Callable[..., TruthInferenceMethod]] = {}
+
+
+def register(factory: Callable[..., TruthInferenceMethod]) -> Callable:
+    """Class decorator registering a method under its ``name`` attribute."""
+    name = getattr(factory, "name", None)
+    if not name or name == "abstract":
+        raise ValueError(f"{factory!r} must define a class-level 'name'")
+    if name in _REGISTRY:
+        raise ValueError(f"method {name!r} already registered")
+    _REGISTRY[name] = factory
+    return factory
+
+
+def available_methods() -> list[str]:
+    """All registered method names, in registration order."""
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def create(name: str, **kwargs) -> TruthInferenceMethod:
+    """Instantiate a method by its paper name.
+
+    Extra keyword arguments are forwarded to the method constructor
+    (e.g. ``seed=0``, ``max_iter=50``).
+    """
+    _ensure_loaded()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownMethodError(
+            f"unknown method {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def methods_for_task_type(task_type: TaskType,
+                          include_extensions: bool = False) -> list[str]:
+    """Names of methods applicable to a task type (paper Table 4).
+
+    By default only the paper's 17 methods are returned, so the
+    experiment harness stays faithful to the survey; pass
+    ``include_extensions=True`` to also get post-paper extensions
+    (methods whose class sets ``is_extension = True``).
+    """
+    _ensure_loaded()
+    return [
+        name
+        for name, factory in _REGISTRY.items()
+        if task_type in getattr(factory, "task_types", frozenset())
+        and (include_extensions or not getattr(factory, "is_extension",
+                                               False))
+    ]
+
+
+def create_all(task_type: TaskType, names: Iterable[str] | None = None,
+               **kwargs) -> dict[str, TruthInferenceMethod]:
+    """Instantiate every method applicable to ``task_type``.
+
+    ``names`` optionally restricts (and orders) the selection.
+    """
+    selected = list(names) if names is not None else methods_for_task_type(task_type)
+    instances = {}
+    for name in selected:
+        method = create(name, **kwargs)
+        if task_type in method.task_types:
+            instances[name] = method
+    return instances
+
+
+def _ensure_loaded() -> None:
+    """Import the methods package so its decorators populate the registry."""
+    from .. import methods as _methods  # noqa: F401

@@ -1,0 +1,90 @@
+"""Result container returned by every truth-inference method.
+
+The paper's Algorithm 1 returns two things: the inferred truth ``v*_i``
+for every task and the quality ``q^w`` for every worker.  We additionally
+keep the full truth posterior for categorical methods (useful for
+analysis and for the hidden-test protocol), convergence diagnostics, and
+wall-clock time, which Table 6 reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class InferenceResult:
+    """Output of a truth-inference run.
+
+    Attributes
+    ----------
+    method:
+        Registry name of the method that produced this result.
+    truths:
+        Array of length ``n_tasks``.  Integer label indices for
+        categorical tasks, floats for numeric tasks.
+    worker_quality:
+        Array of length ``n_workers`` with each worker's scalar quality
+        summary ``q^w``.  Methods with richer models (confusion matrices,
+        bias/variance) expose the full parameters via ``extras`` and
+        summarise them here (e.g. mean diagonal of the confusion matrix).
+    posterior:
+        Optional ``(n_tasks, n_choices)`` array of truth probabilities
+        for categorical methods; ``None`` for numeric methods.
+    n_iterations:
+        Number of framework iterations executed (0 for direct methods).
+    converged:
+        Whether the parameter change dropped below the threshold before
+        the iteration cap.
+    elapsed_seconds:
+        Wall-clock inference time (the "Time" column of Table 6).
+    extras:
+        Method-specific parameters, e.g. ``confusion`` matrices for D&S,
+        ``task_difficulty`` for GLAD, ``bias``/``variance`` for Multi.
+    """
+
+    method: str
+    truths: np.ndarray
+    worker_quality: np.ndarray
+    posterior: np.ndarray | None = None
+    n_iterations: int = 0
+    converged: bool = True
+    elapsed_seconds: float = 0.0
+    extras: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.truths = np.asarray(self.truths)
+        self.worker_quality = np.asarray(self.worker_quality, dtype=np.float64)
+        if self.posterior is not None:
+            self.posterior = np.asarray(self.posterior, dtype=np.float64)
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks the result covers."""
+        return len(self.truths)
+
+    @property
+    def n_workers(self) -> int:
+        """Number of workers the result covers."""
+        return len(self.worker_quality)
+
+    def truth_of(self, task: int):
+        """The inferred truth of a single task."""
+        return self.truths[task]
+
+    def top_workers(self, k: int = 10) -> np.ndarray:
+        """Indices of the ``k`` highest-quality workers, best first."""
+        order = np.argsort(-self.worker_quality, kind="stable")
+        return order[: min(k, len(order))]
+
+    def summary(self) -> str:
+        """One-line human-readable description of the run."""
+        state = "converged" if self.converged else "iteration cap"
+        return (
+            f"{self.method}: {self.n_tasks} tasks, {self.n_workers} workers, "
+            f"{self.n_iterations} iterations ({state}), "
+            f"{self.elapsed_seconds:.3f}s"
+        )

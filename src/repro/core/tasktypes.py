@@ -1,0 +1,71 @@
+"""Task-type taxonomy from Section 2 of the paper.
+
+The paper distinguishes three task types:
+
+* **decision-making** — a claim answered with true/false (binary labels);
+* **single-choice** — one choice out of ``l`` fixed candidate choices;
+* **numeric** — a real-valued answer with an inherent ordering.
+
+Decision-making is modelled as single-choice with ``l = 2`` throughout the
+library, matching the paper ("decision-making task is a special case of
+single-choice task"). Multiple-choice tasks are handled, as the paper
+suggests, by transforming them into sets of decision-making tasks (see
+:func:`repro.datasets.synthetic.multiple_choice_to_decisions`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TaskType(enum.Enum):
+    """The three task types studied in the paper (Definition 1)."""
+
+    DECISION_MAKING = "decision-making"
+    SINGLE_CHOICE = "single-choice"
+    NUMERIC = "numeric"
+
+    @property
+    def is_categorical(self) -> bool:
+        """True for decision-making and single-choice tasks."""
+        return self is not TaskType.NUMERIC
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for numeric tasks."""
+        return self is TaskType.NUMERIC
+
+
+#: Conventional label indices for decision-making tasks.  The paper uses
+#: 'T' as the first choice and 'F' as the second; we map T -> 1 and
+#: F -> 0 so that ``truth.astype(bool)`` reads naturally, and expose the
+#: names here so datasets and metrics agree on the encoding.
+LABEL_FALSE = 0
+LABEL_TRUE = 1
+
+#: Number of choices in a decision-making task.
+DECISION_CHOICES = 2
+
+
+def validate_n_choices(task_type: TaskType, n_choices: int | None) -> int:
+    """Return a validated choice count for a task type.
+
+    Decision-making tasks always have exactly two choices; single-choice
+    tasks need an explicit ``n_choices >= 2``; numeric tasks have none
+    (returns 0).
+    """
+    from ..exceptions import InvalidAnswerSetError
+
+    if task_type is TaskType.NUMERIC:
+        return 0
+    if task_type is TaskType.DECISION_MAKING:
+        if n_choices not in (None, DECISION_CHOICES):
+            raise InvalidAnswerSetError(
+                f"decision-making tasks have exactly 2 choices, got {n_choices}"
+            )
+        return DECISION_CHOICES
+    if n_choices is None or n_choices < 2:
+        raise InvalidAnswerSetError(
+            f"single-choice tasks need n_choices >= 2, got {n_choices}"
+        )
+    return int(n_choices)

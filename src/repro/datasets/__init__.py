@@ -1,0 +1,52 @@
+"""Dataset layer: container, persistence, generators, paper replicas."""
+
+from .io import load_dataset, save_dataset
+from .paper import (
+    PAPER_DATASET_NAMES,
+    all_paper_datasets,
+    d_possent,
+    d_product,
+    load_paper_dataset,
+    n_emotion,
+    s_adult,
+    s_rel,
+)
+from .multichoice import (
+    build_multichoice_dataset,
+    decisions_to_tag_sets,
+    tag_set_f1,
+    tag_set_jaccard,
+    tag_truth_vector,
+)
+from .schema import Dataset
+from .synthetic import (
+    HardTaskConfig,
+    generate_categorical,
+    generate_numeric,
+    multiple_choice_to_decisions,
+    sample_truths,
+)
+
+__all__ = [
+    "Dataset",
+    "HardTaskConfig",
+    "PAPER_DATASET_NAMES",
+    "all_paper_datasets",
+    "build_multichoice_dataset",
+    "decisions_to_tag_sets",
+    "tag_set_f1",
+    "tag_set_jaccard",
+    "tag_truth_vector",
+    "d_possent",
+    "d_product",
+    "generate_categorical",
+    "generate_numeric",
+    "load_dataset",
+    "load_paper_dataset",
+    "multiple_choice_to_decisions",
+    "n_emotion",
+    "s_adult",
+    "s_rel",
+    "sample_truths",
+    "save_dataset",
+]

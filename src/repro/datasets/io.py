@@ -1,0 +1,116 @@
+"""Dataset persistence in the format the paper's released data uses.
+
+The authors' project page distributes each dataset as two flat files:
+an answer file of ``task worker answer`` triples and a truth file of
+``task truth`` pairs.  We mirror that layout (CSV with a header) plus a
+small JSON sidecar holding the task type and metadata, so replicas can
+be saved once and reloaded by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.tasktypes import TaskType
+from ..exceptions import DatasetError
+from .schema import Dataset
+
+
+def save_dataset(dataset: Dataset, directory: str | pathlib.Path) -> None:
+    """Write ``answers.csv``, ``truth.csv`` and ``meta.json``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    with open(directory / "answers.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["task", "worker", "answer"])
+        for task, worker, value in zip(dataset.answers.tasks,
+                                       dataset.answers.workers,
+                                       dataset.answers.values):
+            writer.writerow([int(task), int(worker), value])
+
+    with open(directory / "truth.csv", "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["task", "truth"])
+        mask = (dataset.truth_mask if dataset.truth_mask is not None
+                else np.ones(dataset.n_tasks, dtype=bool))
+        for task in np.nonzero(mask)[0]:
+            writer.writerow([int(task), dataset.truth[task]])
+
+    meta = {
+        "name": dataset.name,
+        "task_type": dataset.task_type.value,
+        "n_choices": dataset.answers.n_choices,
+        "n_tasks": dataset.n_tasks,
+        "n_workers": dataset.n_workers,
+        "metadata": _jsonable(dataset.metadata),
+    }
+    with open(directory / "meta.json", "w") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def load_dataset(directory: str | pathlib.Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = pathlib.Path(directory)
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise DatasetError(f"no meta.json under {directory}")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    task_type = TaskType(meta["task_type"])
+    categorical = task_type.is_categorical
+
+    tasks, workers, values = [], [], []
+    with open(directory / "answers.csv", newline="") as handle:
+        for row in csv.DictReader(handle):
+            tasks.append(int(row["task"]))
+            workers.append(int(row["worker"]))
+            values.append(int(row["answer"]) if categorical
+                          else float(row["answer"]))
+
+    answers = AnswerSet(
+        task_indices=tasks,
+        worker_indices=workers,
+        values=values,
+        task_type=task_type,
+        n_choices=meta["n_choices"] or None,
+        n_tasks=meta["n_tasks"],
+        n_workers=meta["n_workers"],
+    )
+
+    truth_dtype = np.int64 if categorical else np.float64
+    truth = np.zeros(meta["n_tasks"], dtype=truth_dtype)
+    mask = np.zeros(meta["n_tasks"], dtype=bool)
+    with open(directory / "truth.csv", newline="") as handle:
+        for row in csv.DictReader(handle):
+            task = int(row["task"])
+            truth[task] = (int(row["truth"]) if categorical
+                           else float(row["truth"]))
+            mask[task] = True
+
+    truth_mask = None if mask.all() else mask
+    return Dataset(
+        name=meta["name"],
+        answers=answers,
+        truth=truth,
+        truth_mask=truth_mask,
+        metadata=meta.get("metadata", {}),
+    )
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars/arrays for JSON serialisation."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

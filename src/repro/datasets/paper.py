@@ -1,0 +1,366 @@
+"""Statistical replicas of the paper's five evaluation datasets.
+
+The original datasets live behind the authors' project page and are not
+available offline; per the reproduction plan (DESIGN.md §4) we rebuild
+each one through the platform simulator so that every *published
+statistic* matches Table 5 and Sections 6.2.2–6.2.3:
+
+=============  ======  ========  =====  =======  ============================
+dataset        #tasks  #answers  |V|/n  workers  behaviour tuned to
+=============  ======  ========  =====  =======  ============================
+D_Product       8,315    24,945    3.0      176  truth 1101 T / 7214 F;
+                                                 asymmetric workers (easy to
+                                                 spot differences, hard to
+                                                 confirm sameness); mean
+                                                 accuracy ≈ 0.79
+D_PosSent       1,000    20,000   20.0       85  balanced truth 528/472;
+                                                 symmetric workers ≈ 0.79
+S_Rel          20,232    98,453    4.9      766  4 ordinal choices; broad
+                                                 low-quality pool ≈ 0.53;
+                                                 correlated hard tasks;
+                                                 truth for 4,460 tasks
+S_Adult        11,040    92,721    8.4      825  4 choices; pool ≈ 0.65 but
+                                                 the labelled subset is
+                                                 dominated by trap tasks
+                                                 (all methods ≈ 36%);
+                                                 truth for 1,517 tasks
+N_Emotion         700     7,000   10.0       38  numeric in [−100, 100];
+                                                 shared negative bias +
+                                                 per-worker noise, RMSE in
+                                                 [20, 45], mean ≈ 29
+=============  ======  ========  =====  =======  ============================
+
+``scale`` shrinks a replica proportionally (tasks, workers, answers)
+while preserving redundancy and behaviour — the test suite runs on
+``scale≈0.1`` replicas, the benchmarks on full-size ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..simulation.workers import (
+    CategoricalWorker,
+    NumericWorker,
+    asymmetric_binary_worker,
+    biased_spammer,
+    reliable_worker,
+    spammer,
+)
+from .schema import Dataset
+from .synthetic import (
+    HardTaskConfig,
+    generate_categorical,
+    generate_numeric,
+    sample_truths,
+)
+
+PAPER_DATASET_NAMES = ("D_Product", "D_PosSent", "S_Rel", "S_Adult",
+                       "N_Emotion")
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def _clipnorm(rng: np.random.Generator, mean: float, std: float,
+              low: float, high: float) -> float:
+    return float(np.clip(rng.normal(mean, std), low, high))
+
+
+# ----------------------------------------------------------------------
+# Decision-making datasets
+# ----------------------------------------------------------------------
+def d_product(seed: int = 0, scale: float = 1.0) -> Dataset:
+    """Entity-resolution replica of D_Product (Wang et al., CrowdER).
+
+    The defining property (paper §6.3.1): workers are much better at
+    rejecting different products (high ``Pr(F|F)``) than at confirming
+    identical ones (low ``Pr(T|T)``), and the truth is imbalanced
+    0.12 : 0.88 — which is why F1 separates confusion-matrix methods
+    from worker-probability ones.
+    """
+    rng = np.random.default_rng(seed)
+    n_tasks = _scaled(8315, scale)
+    n_true = _scaled(1101, scale)
+    n_workers = _scaled(176, scale, minimum=10)
+    total_answers = 3 * n_tasks
+
+    truths = sample_truths(n_tasks, [n_tasks - n_true, n_true], rng)
+    # Trimodal pool.  A quarter of the workers are *excellent* — they
+    # check every product feature, so a 'T' vote from them is near-proof
+    # of a match.  Two thirds are hasty: they spot differences reliably
+    # (recall on F ≈ 0.78) but confirm sameness barely above chance.
+    # The remainder are spammers.  MV cannot tell the groups apart and
+    # lands at the paper's F1 ≈ 0.59; confusion-matrix methods identify
+    # the excellent workers and recover the paper's ≈ 0.70+ F1.
+    n_careful = int(round(0.25 * n_workers))
+    n_spam = max(1, int(round(0.10 * n_workers)))
+    n_hasty = n_workers - n_careful - n_spam
+    workers: list[CategoricalWorker] = []
+    for _ in range(n_careful):
+        workers.append(asymmetric_binary_worker(
+            recall_true=_clipnorm(rng, 0.94, 0.03, 0.70, 0.99),
+            recall_false=_clipnorm(rng, 0.95, 0.03, 0.70, 0.99),
+        ))
+    for _ in range(n_hasty):
+        workers.append(asymmetric_binary_worker(
+            recall_true=_clipnorm(rng, 0.45, 0.10, 0.15, 0.75),
+            recall_false=_clipnorm(rng, 0.78, 0.08, 0.50, 0.95),
+        ))
+    for _ in range(n_spam):
+        workers.append(spammer(2))
+
+    return generate_categorical(
+        name="D_Product",
+        truths=truths,
+        workers=workers,
+        total_answers=total_answers,
+        rng=rng,
+        n_choices=2,
+        metadata={"seed": seed, "scale": scale, "positive_label": 1},
+    )
+
+
+def d_possent(seed: int = 0, scale: float = 1.0) -> Dataset:
+    """Tweet-sentiment replica of D_PosSent (balanced, high redundancy).
+
+    Balanced truth (528 positive / 472 negative) and 20 answers per
+    task: the regime where nearly all methods tie near the top and even
+    MV reaches 93% (paper Table 6).
+    """
+    rng = np.random.default_rng(seed)
+    n_tasks = _scaled(1000, scale)
+    n_true = _scaled(528, scale)
+    n_workers = _scaled(85, scale, minimum=25)
+    total_answers = 20 * n_tasks
+
+    truths = sample_truths(n_tasks, [n_tasks - n_true, n_true], rng)
+    workers = []
+    for _ in range(n_workers):
+        if rng.random() < 0.06:
+            workers.append(spammer(2))
+        else:
+            workers.append(reliable_worker(
+                _clipnorm(rng, 0.81, 0.10, 0.55, 0.98), n_choices=2))
+
+    return generate_categorical(
+        name="D_PosSent",
+        truths=truths,
+        workers=workers,
+        total_answers=total_answers,
+        rng=rng,
+        n_choices=2,
+        zipf_exponent=0.6,
+        # Real tweets include sarcasm and mixed sentiment: ~4% of tasks
+        # are outright traps (annotators agree on the wrong reading) and
+        # ~10% are ambiguous (answers near coin flips).  This caps every
+        # method in the paper's 93–96% band instead of a clean sweep.
+        hard_tasks=HardTaskConfig(fraction=0.04, trap_strength=0.85,
+                                  noise_fraction=0.10, noise_strength=0.9),
+        metadata={"seed": seed, "scale": scale, "positive_label": 1},
+    )
+
+
+# ----------------------------------------------------------------------
+# Single-choice datasets
+# ----------------------------------------------------------------------
+def _ordinal_worker(accuracy: float, n_choices: int, decay: float = 1.2
+                    ) -> CategoricalWorker:
+    """A worker whose mistakes concentrate on adjacent ordinal choices.
+
+    Relevance grades (S_Rel) are ordinal: confusing 'relevant' with
+    'highly relevant' is far likelier than with 'broken link'.
+    """
+    confusion = np.zeros((n_choices, n_choices))
+    for j in range(n_choices):
+        off = np.array([np.exp(-decay * abs(j - k)) if k != j else 0.0
+                        for k in range(n_choices)])
+        off = off / off.sum() * (1.0 - accuracy)
+        confusion[j] = off
+        confusion[j, j] = accuracy
+    return CategoricalWorker(confusion)
+
+
+def s_rel(seed: int = 0, scale: float = 1.0) -> Dataset:
+    """TREC relevance-judging replica of S_Rel.
+
+    The hardest categorical dataset in the survey: a very broad worker
+    pool (mean accuracy ≈ 0.53 over 4 choices, many near chance), a
+    sizeable spammer contingent, and correlated hard documents.  Truth
+    is published for 4,460 of 20,232 topic–document pairs.
+    """
+    rng = np.random.default_rng(seed)
+    n_tasks = _scaled(20232, scale)
+    n_truth = _scaled(4460, scale)
+    n_workers = _scaled(766, scale, minimum=40)
+    total_answers = int(round(4.9 * n_tasks))
+    n_choices = 4
+
+    prior = np.array([0.35, 0.30, 0.25, 0.10])
+    counts = np.floor(prior * n_tasks).astype(int)
+    counts[0] += n_tasks - counts.sum()
+    truths = sample_truths(n_tasks, counts, rng)
+
+    # A coordinated clique of label-biased spammers (every one answers
+    # 'relevant' nearly always) sits inside an otherwise broad,
+    # low-quality pool.  The clique members mutually agree, so methods
+    # with scalar worker-probability models (ZC, CATD) inflate their
+    # quality through the EM feedback loop and get dragged below MV —
+    # the paper's Section 6.3.1 observation (3) — while confusion-matrix
+    # methods capture the column bias and neutralise them.
+    n_biased = max(1, int(round(0.10 * n_workers)))
+    n_uniform = max(1, int(round(0.06 * n_workers)))
+    workers = []
+    for _ in range(n_biased):
+        workers.append(biased_spammer(n_choices, favourite=1, strength=0.9))
+    for _ in range(n_uniform):
+        workers.append(spammer(n_choices))
+    for _ in range(n_workers - n_biased - n_uniform):
+        workers.append(_ordinal_worker(
+            _clipnorm(rng, 0.56, 0.18, 0.15, 0.95), n_choices))
+
+    # Activity: Zipf over the honest pool, with every clique member
+    # boosted to the activity of a mid-head honest worker.  The clique
+    # ends up supplying roughly a quarter of all answers — enough to
+    # hijack the EM feedback loop of scalar-quality methods, not enough
+    # to drown the signal entirely.
+    ranks = np.arange(1, n_workers + 1, dtype=np.float64)
+    weights = ranks**-1.0
+    rng.shuffle(weights)
+    clique_weight = np.sort(weights)[::-1][max(2, n_workers // 20)]
+    weights[:n_biased] = clique_weight
+
+    return generate_categorical(
+        name="S_Rel",
+        truths=truths,
+        workers=workers,
+        total_answers=total_answers,
+        rng=rng,
+        n_choices=n_choices,
+        truth_known=n_truth,
+        hard_tasks=HardTaskConfig(fraction=0.30, trap_strength=0.55),
+        worker_weights=weights,
+        metadata={"seed": seed, "scale": scale},
+    )
+
+
+def s_adult(seed: int = 0, scale: float = 1.0) -> Dataset:
+    """Website adult-rating replica of S_Adult.
+
+    The paper's anomaly: the pool is decent (mean accuracy ≈ 0.65, Figure
+    3d) yet *every* method scores ≈ 36% on the labelled subset (Table 6)
+    — evidence that the labelled tasks are systematically hard.  We
+    model this by making the evaluated subset trap-dominated: on those
+    borderline websites workers agree on a *wrong* rating, an error no
+    answer-only method can correct.
+    """
+    rng = np.random.default_rng(seed)
+    n_tasks = _scaled(11040, scale)
+    n_truth = _scaled(1517, scale)
+    n_workers = _scaled(825, scale, minimum=40)
+    total_answers = int(round(8.4 * n_tasks))
+    n_choices = 4
+
+    prior = np.array([0.50, 0.20, 0.18, 0.12])
+    counts = np.floor(prior * n_tasks).astype(int)
+    counts[0] += n_tasks - counts.sum()
+    truths = sample_truths(n_tasks, counts, rng)
+
+    workers = []
+    for _ in range(n_workers):
+        draw = rng.random()
+        if draw < 0.08:
+            workers.append(spammer(n_choices))
+        else:
+            workers.append(_ordinal_worker(
+                _clipnorm(rng, 0.68, 0.12, 0.25, 0.95), n_choices))
+
+    return generate_categorical(
+        name="S_Adult",
+        truths=truths,
+        workers=workers,
+        total_answers=total_answers,
+        rng=rng,
+        n_choices=n_choices,
+        truth_known=n_truth,
+        hard_tasks=HardTaskConfig(fraction=0.085, trap_strength=0.62),
+        eval_prefers_hard=True,
+        metadata={"seed": seed, "scale": scale},
+    )
+
+
+# ----------------------------------------------------------------------
+# Numeric dataset
+# ----------------------------------------------------------------------
+def n_emotion(seed: int = 0, scale: float = 1.0) -> Dataset:
+    """Emotion-scoring replica of N_Emotion (Snow et al.).
+
+    Scores in [−100, 100], 10 answers per task, 38 workers with RMSE
+    around 29.  Two deliberate properties reproduce the paper's "Mean
+    wins" finding: worker noise levels are nearly *homogeneous* (there
+    is no real variance signal for LFC_N/PM/CATD to exploit, so their
+    estimated weights are pure noise), and tasks carry a difficulty
+    multiplier (an ambiguous text is noisy for everyone) that per-worker
+    models misattribute to whichever workers happened to answer the hard
+    tasks.
+    """
+    rng = np.random.default_rng(seed)
+    n_tasks = _scaled(700, scale)
+    n_workers = _scaled(38, scale, minimum=12)
+
+    truths = np.clip(rng.normal(loc=5.0, scale=45.0, size=n_tasks),
+                     -100.0, 100.0)
+    difficulty = np.exp(rng.normal(loc=0.0, scale=0.45, size=n_tasks))
+    workers = [
+        NumericWorker(
+            bias=_clipnorm(rng, 0.0, 6.0, -15.0, 15.0),
+            sigma=_clipnorm(rng, 26.0, 3.0, 20.0, 34.0),
+        )
+        for _ in range(n_workers)
+    ]
+
+    return generate_numeric(
+        name="N_Emotion",
+        truths=truths,
+        workers=workers,
+        redundancy=10,
+        rng=rng,
+        value_range=(-100.0, 100.0),
+        task_difficulty=difficulty,
+        metadata={"seed": seed, "scale": scale},
+    )
+
+
+# ----------------------------------------------------------------------
+_BUILDERS: dict[str, Callable[..., Dataset]] = {
+    "D_Product": d_product,
+    "D_PosSent": d_possent,
+    "S_Rel": s_rel,
+    "S_Adult": s_adult,
+    "N_Emotion": n_emotion,
+}
+
+
+def load_paper_dataset(name: str, seed: int = 0, scale: float = 1.0
+                       ) -> Dataset:
+    """Build one of the five replicas by its paper name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown paper dataset {name!r}; available: "
+            f"{sorted(_BUILDERS)}"
+        ) from None
+    if scale <= 0:
+        raise DatasetError(f"scale must be positive, got {scale}")
+    return builder(seed=seed, scale=scale)
+
+
+def all_paper_datasets(seed: int = 0, scale: float = 1.0) -> dict[str, Dataset]:
+    """All five replicas, keyed by name, in the paper's Table 5 order."""
+    return {name: load_paper_dataset(name, seed=seed, scale=scale)
+            for name in PAPER_DATASET_NAMES}

@@ -1,0 +1,123 @@
+"""Dataset container: answers + (possibly partial) ground truth.
+
+Matches the structure of the paper's Table 5: some datasets (S_Rel,
+S_Adult) publish ground truth only for a subset of tasks, so the truth
+carries a boolean mask.  Evaluation and worker-quality statistics
+respect the mask.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.result import InferenceResult
+from ..core.tasktypes import TaskType
+from ..exceptions import DatasetError
+from ..metrics.quality import evaluate
+
+
+@dataclasses.dataclass
+class Dataset:
+    """A named crowdsourcing dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (e.g. ``"D_Product"``).
+    answers:
+        The collected answer set ``V``.
+    truth:
+        Ground-truth labels/values per task.  Entries where
+        ``truth_mask`` is False are ignored by evaluation (the paper's
+        "some large datasets only provide a subset as ground truth").
+    truth_mask:
+        Boolean mask of tasks with known truth; ``None`` means all known.
+    metadata:
+        Free-form generation parameters, kept for provenance.
+    """
+
+    name: str
+    answers: AnswerSet
+    truth: np.ndarray
+    truth_mask: np.ndarray | None = None
+    metadata: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.truth = np.asarray(self.truth)
+        if len(self.truth) != self.answers.n_tasks:
+            raise DatasetError(
+                f"truth has {len(self.truth)} entries for "
+                f"{self.answers.n_tasks} tasks"
+            )
+        if self.truth_mask is not None:
+            self.truth_mask = np.asarray(self.truth_mask, dtype=bool)
+            if len(self.truth_mask) != self.answers.n_tasks:
+                raise DatasetError("truth_mask length must equal n_tasks")
+
+    # ------------------------------------------------------------------
+    @property
+    def task_type(self) -> TaskType:
+        return self.answers.task_type
+
+    @property
+    def n_tasks(self) -> int:
+        return self.answers.n_tasks
+
+    @property
+    def n_workers(self) -> int:
+        return self.answers.n_workers
+
+    @property
+    def n_truth(self) -> int:
+        """Number of tasks with known ground truth (Table 5's #truth)."""
+        if self.truth_mask is None:
+            return self.n_tasks
+        return int(self.truth_mask.sum())
+
+    def evaluation_mask(self, exclude: set[int] | None = None) -> np.ndarray:
+        """Tasks to evaluate on: known truth, minus an excluded set.
+
+        The hidden-test protocol evaluates on ``T − T'``: pass the
+        golden-task indices as ``exclude``.
+        """
+        mask = (self.truth_mask.copy() if self.truth_mask is not None
+                else np.ones(self.n_tasks, dtype=bool))
+        if exclude:
+            mask[list(exclude)] = False
+        return mask
+
+    # ------------------------------------------------------------------
+    def score(self, result: InferenceResult,
+              exclude: set[int] | None = None) -> dict[str, float]:
+        """Evaluate an inference result with the task-type's metrics."""
+        mask = self.evaluation_mask(exclude)
+        return evaluate(self.task_type, self.truth, result.truths, mask)
+
+    def statistics(self) -> dict[str, Any]:
+        """The Table 5 row for this dataset."""
+        return {
+            "dataset": self.name,
+            "n_tasks": self.n_tasks,
+            "n_truth": self.n_truth,
+            "n_answers": self.answers.n_answers,
+            "redundancy": round(self.answers.redundancy, 1),
+            "n_workers": self.n_workers,
+        }
+
+    def subsample_redundancy(self, r: int, rng: np.random.Generator
+                             ) -> "Dataset":
+        """Dataset with at most ``r`` answers per task (Section 6.3.1)."""
+        return dataclasses.replace(
+            self, answers=self.answers.subsample_redundancy(r, rng)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, {self.task_type.value}, "
+            f"tasks={self.n_tasks}, answers={self.answers.n_answers}, "
+            f"workers={self.n_workers})"
+        )

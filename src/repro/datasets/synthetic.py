@@ -1,0 +1,291 @@
+"""Generic synthetic dataset generators.
+
+Building blocks used by :mod:`repro.datasets.paper` to replicate the
+paper's five datasets, and available directly for custom experiments.
+Three knobs matter for reproducing the paper's findings and all three
+are exposed:
+
+* the **worker pool** (accuracy distribution, asymmetry, spammers);
+* the **assignment** (per-task redundancy + long-tail activity);
+* **correlated hard tasks** — a fraction of tasks on which workers make
+  *the same* mistake (a task-specific trap answer).  Real crowd data
+  contains such tasks (ambiguous products, borderline websites); they
+  are what caps every method's accuracy on S_Adult-like data, since no
+  reweighting scheme can undo systematically correlated errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.tasktypes import TaskType
+from ..exceptions import DatasetError
+from ..simulation.platform import CrowdPlatform
+from ..simulation.workers import CategoricalWorker, NumericWorker
+from .schema import Dataset
+
+
+@dataclasses.dataclass
+class HardTaskConfig:
+    """Hard-task behaviour: correlated traps and uncorrelated ambiguity.
+
+    ``fraction`` of tasks are *trap* tasks: on them, any worker answers
+    the task's trap label with probability ``trap_strength`` (instead of
+    consulting their confusion matrix).  With ``trap_is_wrong=True`` the
+    trap label always differs from the truth — correlated errors no
+    answer-only method can undo.
+
+    ``noise_fraction`` of tasks are *ambiguous*: each answer on them is
+    independently replaced by a uniformly random label with probability
+    ``noise_strength``.  Unlike traps, ambiguity is uncorrelated, so
+    redundancy and good worker models claw some of it back — this is
+    what keeps the best methods a few points above MV without creating
+    an unrealistic ceiling.
+    """
+
+    fraction: float = 0.0
+    trap_strength: float = 0.6
+    trap_is_wrong: bool = True
+    noise_fraction: float = 0.0
+    noise_strength: float = 0.9
+
+    def validate(self) -> None:
+        for label, value in (("fraction", self.fraction),
+                             ("trap_strength", self.trap_strength),
+                             ("noise_fraction", self.noise_fraction),
+                             ("noise_strength", self.noise_strength)):
+            if not 0.0 <= value <= 1.0:
+                raise DatasetError(f"{label} must be in [0,1], got {value}")
+        if self.fraction + self.noise_fraction > 1.0:
+            raise DatasetError(
+                "fraction + noise_fraction must not exceed 1.0"
+            )
+
+
+def sample_truths(n_tasks: int, class_counts: Sequence[int],
+                  rng: np.random.Generator) -> np.ndarray:
+    """Truth labels with exact class counts, randomly placed.
+
+    ``class_counts[j]`` tasks get label ``j``; counts must sum to
+    ``n_tasks`` (this is how we pin D_Product to exactly 1101 T).
+    """
+    class_counts = [int(c) for c in class_counts]
+    if sum(class_counts) != n_tasks:
+        raise DatasetError(
+            f"class counts {class_counts} must sum to n_tasks={n_tasks}"
+        )
+    truths = np.concatenate([
+        np.full(count, label, dtype=np.int64)
+        for label, count in enumerate(class_counts)
+    ])
+    rng.shuffle(truths)
+    return truths
+
+
+def generate_categorical(
+    name: str,
+    truths: np.ndarray,
+    workers: Sequence[CategoricalWorker],
+    total_answers: int,
+    rng: np.random.Generator,
+    n_choices: int | None = None,
+    truth_known: int | None = None,
+    hard_tasks: HardTaskConfig | None = None,
+    eval_prefers_hard: bool = False,
+    zipf_exponent: float = 1.0,
+    shuffle_weights: bool = True,
+    worker_weights: np.ndarray | None = None,
+    metadata: dict | None = None,
+) -> Dataset:
+    """Generate a categorical dataset through the platform simulator.
+
+    Parameters beyond the obvious:
+
+    truth_known:
+        If given, only this many tasks keep a public ground-truth label
+        (Table 5's #truth column for S_Rel / S_Adult).
+    hard_tasks:
+        Correlated-error configuration; see :class:`HardTaskConfig`.
+    eval_prefers_hard:
+        When truth is partial, draw the evaluated subset from the hard
+        tasks first — modelling benchmarks whose labelled subset is the
+        difficult, disputed one.
+    shuffle_weights:
+        With the default True, activity is independent of worker
+        identity.  Set False to align the Zipf head with the front of
+        the ``workers`` list — order the pool best-first to model
+        platforms where prolific workers are also the careful ones.
+    worker_weights:
+        Explicit per-worker activity weights, overriding the Zipf law
+        (and ``zipf_exponent`` / ``shuffle_weights``).
+    """
+    truths = np.asarray(truths, dtype=np.int64)
+    n_tasks = len(truths)
+    platform = CrowdPlatform(
+        truths=truths,
+        workers=workers,
+        task_type=(TaskType.DECISION_MAKING if (n_choices or 2) == 2
+                   else TaskType.SINGLE_CHOICE),
+        n_choices=n_choices,
+        seed=int(rng.integers(2**31)),
+    )
+    if worker_weights is not None:
+        weights = np.asarray(worker_weights, dtype=np.float64)
+    else:
+        ranks = np.arange(1, len(workers) + 1, dtype=np.float64)
+        weights = ranks**-zipf_exponent
+        if shuffle_weights:
+            rng.shuffle(weights)
+    answers = platform.collect(total_answers=total_answers,
+                               worker_weights=weights)
+
+    hard_mask = np.zeros(n_tasks, dtype=bool)
+    if hard_tasks is not None and hard_tasks.fraction > 0:
+        hard_tasks.validate()
+        answers, hard_mask = _apply_traps(answers, truths, hard_tasks, rng)
+
+    truth_mask = None
+    if truth_known is not None and truth_known < n_tasks:
+        truth_mask = _partial_truth_mask(
+            n_tasks, truth_known, hard_mask if eval_prefers_hard else None, rng
+        )
+
+    return Dataset(
+        name=name,
+        answers=answers,
+        truth=truths,
+        truth_mask=truth_mask,
+        metadata={"hard_tasks": int(hard_mask.sum()), **(metadata or {})},
+    )
+
+
+def generate_numeric(
+    name: str,
+    truths: np.ndarray,
+    workers: Sequence[NumericWorker],
+    redundancy: int,
+    rng: np.random.Generator,
+    value_range: tuple[float, float] | None = None,
+    task_difficulty: np.ndarray | None = None,
+    metadata: dict | None = None,
+) -> Dataset:
+    """Generate a numeric dataset (uniform redundancy, as N_Emotion).
+
+    ``task_difficulty`` optionally scales every worker's noise per task;
+    see :meth:`repro.simulation.workers.NumericWorker.answer_many`.
+    """
+    truths = np.asarray(truths, dtype=np.float64)
+    platform = CrowdPlatform(
+        truths=truths,
+        workers=workers,
+        task_type=TaskType.NUMERIC,
+        seed=int(rng.integers(2**31)),
+        task_difficulty=task_difficulty,
+    )
+    answers = platform.collect(redundancy=redundancy)
+    values = answers.values
+    if value_range is not None:
+        low, high = value_range
+        values = np.clip(values, low, high)
+    answers = AnswerSet(
+        task_indices=answers.tasks,
+        worker_indices=answers.workers,
+        values=values,
+        task_type=TaskType.NUMERIC,
+        n_tasks=answers.n_tasks,
+        n_workers=answers.n_workers,
+    )
+    return Dataset(name=name, answers=answers, truth=truths,
+                   metadata=metadata or {})
+
+
+# ----------------------------------------------------------------------
+def _apply_traps(answers: AnswerSet, truths: np.ndarray,
+                 config: HardTaskConfig, rng: np.random.Generator
+                 ) -> tuple[AnswerSet, np.ndarray]:
+    """Apply trap and ambiguity behaviour to the hard tasks."""
+    n_tasks = answers.n_tasks
+    n_choices = answers.n_choices
+    n_trap = int(round(config.fraction * n_tasks))
+    n_noise = int(round(config.noise_fraction * n_tasks))
+    chosen = rng.choice(n_tasks, size=n_trap + n_noise, replace=False)
+    trap_tasks, noise_tasks = chosen[:n_trap], chosen[n_trap:]
+    hard_mask = np.zeros(n_tasks, dtype=bool)
+    hard_mask[trap_tasks] = True
+
+    traps = np.full(n_tasks, -1, dtype=np.int64)
+    for task in trap_tasks:
+        if config.trap_is_wrong:
+            options = [k for k in range(n_choices) if k != truths[task]]
+        else:
+            options = list(range(n_choices))
+        traps[task] = rng.choice(options)
+
+    values = answers.values.astype(np.int64).copy()
+    on_trap = hard_mask[answers.tasks]
+    fall_for_it = rng.random(answers.n_answers) < config.trap_strength
+    overwrite = on_trap & fall_for_it
+    values[overwrite] = traps[answers.tasks[overwrite]]
+
+    if len(noise_tasks):
+        noise_mask = np.zeros(n_tasks, dtype=bool)
+        noise_mask[noise_tasks] = True
+        on_noise = noise_mask[answers.tasks]
+        randomised = rng.random(answers.n_answers) < config.noise_strength
+        scramble = on_noise & randomised
+        values[scramble] = rng.integers(0, n_choices, size=int(scramble.sum()))
+
+    return AnswerSet(
+        task_indices=answers.tasks,
+        worker_indices=answers.workers,
+        values=values,
+        task_type=answers.task_type,
+        n_choices=n_choices,
+        n_tasks=answers.n_tasks,
+        n_workers=answers.n_workers,
+    ), hard_mask
+
+
+def _partial_truth_mask(n_tasks: int, truth_known: int,
+                        prefer: np.ndarray | None,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Pick which tasks keep a public ground-truth label."""
+    mask = np.zeros(n_tasks, dtype=bool)
+    chosen: list[int] = []
+    if prefer is not None:
+        preferred = np.nonzero(prefer)[0]
+        take = min(truth_known, len(preferred))
+        chosen.extend(rng.choice(preferred, size=take, replace=False))
+    remaining = truth_known - len(chosen)
+    if remaining > 0:
+        pool = np.setdiff1d(np.arange(n_tasks), np.array(chosen, dtype=int))
+        chosen.extend(rng.choice(pool, size=remaining, replace=False))
+    mask[np.array(chosen, dtype=int)] = True
+    return mask
+
+
+def multiple_choice_to_decisions(
+    task_tags: Sequence[Sequence[int]], n_tags: int
+) -> list[tuple[int, int]]:
+    """Transform multiple-choice tasks into decision-making tasks.
+
+    The paper (Section 2): "a multiple-choice task can be easily
+    transformed to a set of decision-making tasks" — one per (task, tag)
+    pair asking whether the tag applies.  Returns the (task, tag) index
+    pairs; the caller builds one decision task per pair with truth
+    ``tag in task_tags[task]``.
+    """
+    if n_tags < 1:
+        raise DatasetError(f"n_tags must be >= 1, got {n_tags}")
+    pairs = []
+    for task, tags in enumerate(task_tags):
+        bad = [t for t in tags if not 0 <= int(t) < n_tags]
+        if bad:
+            raise DatasetError(f"task {task} has out-of-range tags {bad}")
+        for tag in range(n_tags):
+            pairs.append((task, tag))
+    return pairs

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError`, so
+callers can catch a single type at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidAnswerSetError(ReproError):
+    """Raised when an answer set is malformed (bad shapes, bad labels)."""
+
+
+class TaskTypeMismatchError(ReproError):
+    """Raised when a method is applied to a task type it does not support."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative method fails in a non-recoverable way.
+
+    Note that simply hitting the iteration cap is *not* an error — the
+    paper's framework (Algorithm 1) returns the current estimate in that
+    case — but numerical blow-ups (NaN parameters) are.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be built, loaded, or validated."""
+
+
+class UnknownMethodError(ReproError, KeyError):
+    """Raised when the registry is asked for a method name it doesn't know."""

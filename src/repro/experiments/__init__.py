@@ -1,0 +1,47 @@
+"""Experiment harness reproducing every table and figure of Section 6."""
+
+from .comparison import TABLE6_ORDER, table6, table6_rows
+from .hidden import (
+    HIDDEN_TEST_METHODS,
+    HiddenTestSweep,
+    hidden_test_experiment,
+    sample_golden,
+)
+from .qualification import (
+    QUALIFICATION_METHODS,
+    QualificationOutcome,
+    bootstrap_initial_quality,
+    qualification_experiment,
+)
+from .redundancy import RedundancySweep, sweep_redundancy
+from .reporting import format_series, format_table, percentage
+from .runner import MethodRun, average_scores, repeat_with_seeds, run_many, run_method
+from .stats import figure2, figure2_tail_shares, figure3, table5
+
+__all__ = [
+    "HIDDEN_TEST_METHODS",
+    "HiddenTestSweep",
+    "MethodRun",
+    "QUALIFICATION_METHODS",
+    "QualificationOutcome",
+    "RedundancySweep",
+    "TABLE6_ORDER",
+    "average_scores",
+    "bootstrap_initial_quality",
+    "figure2",
+    "figure2_tail_shares",
+    "figure3",
+    "format_series",
+    "format_table",
+    "hidden_test_experiment",
+    "percentage",
+    "qualification_experiment",
+    "repeat_with_seeds",
+    "run_many",
+    "run_method",
+    "sample_golden",
+    "sweep_redundancy",
+    "table5",
+    "table6",
+    "table6_rows",
+]

@@ -1,0 +1,114 @@
+"""Plain-text line charts — the paper's figures without matplotlib.
+
+The benchmarks run offline with no plotting stack; this renderer turns
+metric-vs-x series into a monospace chart whose crossings and plateaus
+read like the paper's plots.  One character column per x value band,
+one letter per series (legend printed below).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: Plot glyphs assigned to series in order.
+GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render series as a monospace line chart.
+
+    Multiple series landing in the same cell print ``*``.  Returns the
+    chart plus an aligned legend.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(GLYPHS):
+        raise ValueError(f"too many series (max {len(GLYPHS)})")
+    x = np.asarray(list(x_values), dtype=np.float64)
+    if len(x) < 2:
+        raise ValueError("need at least two x values")
+
+    matrix = np.array([list(values) for values in series.values()],
+                      dtype=np.float64)
+    if matrix.shape[1] != len(x):
+        raise ValueError("every series must be parallel to x_values")
+
+    finite = matrix[np.isfinite(matrix)]
+    if len(finite) == 0:
+        raise ValueError("series contain no finite values")
+    y_min, y_max = float(finite.min()), float(finite.max())
+    if np.isclose(y_min, y_max):
+        y_min -= 0.5
+        y_max += 0.5
+
+    # Map x to columns and y to rows.
+    x_min, x_max = float(x.min()), float(x.max())
+    columns = np.round(
+        (x - x_min) / (x_max - x_min) * (width - 1)).astype(int)
+    grid = [[" "] * width for _ in range(height)]
+
+    for glyph, values in zip(GLYPHS, matrix):
+        for col_from, col_to, v_from, v_to in zip(
+                columns, columns[1:], values, values[1:]):
+            if not (np.isfinite(v_from) and np.isfinite(v_to)):
+                continue
+            steps = max(col_to - col_from, 1)
+            for step in range(steps + 1):
+                col = col_from + step
+                value = v_from + (v_to - v_from) * step / steps
+                row = (height - 1) - int(round(
+                    (value - y_min) / (y_max - y_min) * (height - 1)))
+                row = min(max(row, 0), height - 1)
+                cell = grid[row][col]
+                grid[row][col] = glyph if cell in (" ", glyph) else "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(pad)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}")
+    axis = f"{' ' * pad} +{'-' * width}"
+    lines.append(axis)
+    lines.append(f"{' ' * pad}  {x_min:<10.4g}{y_label:^38}{x_max:>10.4g}")
+    legend = "   ".join(f"{glyph}={name}"
+                        for glyph, name in zip(GLYPHS, series))
+    lines.append(f"{' ' * pad}  {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend summary using block glyphs."""
+    blocks = "▁▂▃▄▅▆▇█"
+    values = np.asarray(list(values), dtype=np.float64)
+    finite = values[np.isfinite(values)]
+    if len(finite) == 0:
+        return ""
+    lo, hi = float(finite.min()), float(finite.max())
+    if np.isclose(lo, hi):
+        return blocks[3] * len(values)
+    out = []
+    for value in values:
+        if not np.isfinite(value):
+            out.append(" ")
+            continue
+        level = int(round((value - lo) / (hi - lo) * (len(blocks) - 1)))
+        out.append(blocks[level])
+    return "".join(out)

@@ -1,0 +1,104 @@
+"""Hidden-test experiment: Figures 7, 8 and 9 (Section 6.3.3).
+
+Protocol from the paper: "we randomly select p% in the task set T as the
+golden tasks (T').  Then we take T' and workers' answers V as the input
+to different methods, and further test different methods' quality by
+comparing the inferred truth of T − T' with their ground truth.  We vary
+p ∈ [0, 50]."
+
+Only the 9 methods flagged ``supports_golden`` participate ("there are 9
+methods that can be easily extended to incorporate the golden tasks").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.registry import create, methods_for_task_type
+from ..datasets.schema import Dataset
+from .runner import average_scores, repeat_with_seeds, run_method
+
+#: The 9 methods of Section 6.3.3.
+HIDDEN_TEST_METHODS = ("ZC", "GLAD", "D&S", "Minimax", "LFC", "CATD",
+                       "PM", "VI-MF", "LFC_N")
+
+
+def sample_golden(dataset: Dataset, percentage: float,
+                  rng: np.random.Generator) -> dict[int, float]:
+    """Pick p% of the *evaluable* tasks as golden, with their truths.
+
+    Golden tasks are drawn from tasks whose truth is known (you cannot
+    plant a golden task you have no label for), which also guarantees
+    the evaluation set T − T' stays non-empty for p ≤ 50.
+    """
+    if not 0.0 <= percentage <= 100.0:
+        raise ValueError(f"percentage must be in [0, 100], got {percentage}")
+    candidates = np.nonzero(dataset.evaluation_mask())[0]
+    n_golden = int(round(len(candidates) * percentage / 100.0))
+    chosen = rng.choice(candidates, size=n_golden, replace=False)
+    return {int(t): dataset.truth[t] for t in chosen}
+
+
+@dataclasses.dataclass
+class HiddenTestSweep:
+    """Metric series per method over the golden-percentage axis."""
+
+    dataset: str
+    percentages: list[float]
+    series: dict[str, dict[str, list[float]]]
+
+    def series_for(self, metric: str) -> dict[str, list[float]]:
+        return self.series[metric]
+
+
+def hidden_test_experiment(
+    dataset: Dataset,
+    percentages: Sequence[float] = (0, 10, 20, 30, 40, 50),
+    methods: Iterable[str] | None = None,
+    n_repeats: int = 5,
+    base_seed: int = 0,
+) -> HiddenTestSweep:
+    """Run the hidden-test sweep for one dataset."""
+    applicable = set(methods_for_task_type(dataset.task_type))
+    names = [m for m in (methods or HIDDEN_TEST_METHODS)
+             if m in applicable and create(m).supports_golden]
+
+    metric_names: list[str] | None = None
+    series: dict[str, dict[str, list[float]]] = {}
+    for p in percentages:
+        def one_repeat(seed: int, p=p) -> dict[str, dict[str, float]]:
+            rng = np.random.default_rng(seed)
+            golden = sample_golden(dataset, p, rng)
+            return {
+                name: run_method(name, dataset, seed=seed,
+                                 golden=golden).scores
+                for name in names
+            }
+
+        repeats = repeat_with_seeds(one_repeat, n_repeats, base_seed)
+        for name in names:
+            averaged = average_scores([
+                _as_run(name, dataset.name, rep[name]) for rep in repeats
+            ])
+            if metric_names is None:
+                metric_names = list(averaged)
+                for metric in metric_names:
+                    series[metric] = {m: [] for m in names}
+            for metric, value in averaged.items():
+                series[metric][name].append(value)
+
+    return HiddenTestSweep(
+        dataset=dataset.name,
+        percentages=[float(p) for p in percentages],
+        series=series,
+    )
+
+
+def _as_run(method: str, dataset: str, scores: dict[str, float]):
+    from .runner import MethodRun
+
+    return MethodRun(method=method, dataset=dataset, scores=scores,
+                     elapsed_seconds=0.0, n_iterations=0, converged=True)

@@ -1,0 +1,88 @@
+"""Data-redundancy sweeps: Figures 4, 5 and 6 (Section 6.3.1).
+
+Protocol from the paper: "we vary the data redundancy r, where for each
+specific r, we randomly select r out of the answers collected for each
+task ... We repeat each experiment 30 times and the average quality is
+reported."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.registry import methods_for_task_type
+from ..datasets.schema import Dataset
+from .runner import average_scores, repeat_with_seeds, run_method
+
+
+@dataclasses.dataclass
+class RedundancySweep:
+    """Result of one dataset's sweep: metric series per method."""
+
+    dataset: str
+    redundancies: list[int]
+    #: series[metric][method] -> list of values parallel to redundancies
+    series: dict[str, dict[str, list[float]]]
+
+    def series_for(self, metric: str) -> dict[str, list[float]]:
+        return self.series[metric]
+
+
+def sweep_redundancy(
+    dataset: Dataset,
+    redundancies: Sequence[int] | None = None,
+    methods: Iterable[str] | None = None,
+    n_repeats: int = 5,
+    base_seed: int = 0,
+) -> RedundancySweep:
+    """Run the redundancy sweep for one dataset.
+
+    ``n_repeats`` controls the subsample-and-average repetitions (the
+    paper uses 30; the benchmarks default lower to keep wall-clock sane
+    — the variance over repeats is small for these dataset sizes).
+    """
+    if redundancies is None:
+        max_r = int(round(dataset.answers.redundancy))
+        redundancies = list(range(1, max(max_r, 1) + 1))
+    method_names = (list(methods) if methods is not None
+                    else methods_for_task_type(dataset.task_type))
+
+    metric_names: list[str] | None = None
+    series: dict[str, dict[str, list[float]]] = {}
+    for r in redundancies:
+        def one_repeat(seed: int, r=r) -> dict[str, dict[str, float]]:
+            rng = np.random.default_rng(seed)
+            subsampled = dataset.subsample_redundancy(r, rng)
+            out = {}
+            for name in method_names:
+                run = run_method(name, subsampled, seed=seed)
+                out[name] = run.scores
+            return out
+
+        repeats = repeat_with_seeds(one_repeat, n_repeats, base_seed)
+        for name in method_names:
+            averaged = average_scores([
+                _as_run(name, dataset.name, rep[name]) for rep in repeats
+            ])
+            if metric_names is None:
+                metric_names = list(averaged)
+                for metric in metric_names:
+                    series[metric] = {m: [] for m in method_names}
+            for metric, value in averaged.items():
+                series[metric][name].append(value)
+
+    return RedundancySweep(
+        dataset=dataset.name,
+        redundancies=list(redundancies),
+        series=series,
+    )
+
+
+def _as_run(method: str, dataset: str, scores: dict[str, float]):
+    from .runner import MethodRun
+
+    return MethodRun(method=method, dataset=dataset, scores=scores,
+                     elapsed_seconds=0.0, n_iterations=0, converged=True)

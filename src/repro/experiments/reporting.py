@@ -1,0 +1,58 @@
+"""Plain-text table and series formatting for benchmark output.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers render them in aligned monospace (no plotting
+dependency needed offline).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])),
+            max((len(row[col]) for row in cells), default=0))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, x_values: Sequence,
+                  series: dict[str, Sequence[float]],
+                  title: str | None = None) -> str:
+    """Render figure data as one row per x value, one column per line.
+
+    This is the textual equivalent of the paper's line plots: the
+    crossing/ordering of methods is readable directly from the columns.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for idx, x in enumerate(x_values):
+        row = [x] + [values[idx] for values in series.values()]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.4g}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def percentage(value: float) -> str:
+    """Format a [0, 1] fraction the way the paper's tables do (xx.xx%)."""
+    return f"{100.0 * value:.2f}%"

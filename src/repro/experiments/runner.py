@@ -1,0 +1,110 @@
+"""Common experiment-running utilities.
+
+Every experiment in Section 6 repeats the same pattern: build methods,
+run them on (possibly transformed) answer sets, score against ground
+truth, repeat over seeds, average.  This module centralises that loop so
+the per-figure modules only express *what varies*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..core.registry import create, methods_for_task_type
+from ..datasets.schema import Dataset
+
+
+@dataclasses.dataclass
+class MethodRun:
+    """One method × dataset execution: scores plus timing."""
+
+    method: str
+    dataset: str
+    scores: dict[str, float]
+    elapsed_seconds: float
+    n_iterations: int
+    converged: bool
+
+
+def run_method(
+    method_name: str,
+    dataset: Dataset,
+    seed: int = 0,
+    golden: Mapping[int, float] | None = None,
+    initial_quality: np.ndarray | None = None,
+    method_kwargs: dict | None = None,
+) -> MethodRun:
+    """Run one method on one dataset and score it.
+
+    With ``golden`` supplied, scoring excludes the golden tasks
+    (hidden-test protocol: evaluate on ``T − T'``).
+    """
+    method = create(method_name, seed=seed, **(method_kwargs or {}))
+    result = method.fit(dataset.answers, golden=golden,
+                        initial_quality=initial_quality)
+    exclude = set(int(t) for t in golden) if golden else None
+    scores = dataset.score(result, exclude=exclude)
+    return MethodRun(
+        method=method_name,
+        dataset=dataset.name,
+        scores=scores,
+        elapsed_seconds=result.elapsed_seconds,
+        n_iterations=result.n_iterations,
+        converged=result.converged,
+    )
+
+
+def run_many(
+    dataset: Dataset,
+    method_names: Iterable[str] | None = None,
+    seed: int = 0,
+    **kwargs,
+) -> list[MethodRun]:
+    """Run several methods (default: all applicable) on one dataset."""
+    if method_names is None:
+        method_names = methods_for_task_type(dataset.task_type)
+    return [run_method(name, dataset, seed=seed, **kwargs)
+            for name in method_names]
+
+
+def average_scores(runs: list[MethodRun]) -> dict[str, float]:
+    """Average each metric over repeated runs of the same method."""
+    if not runs:
+        return {}
+    keys = runs[0].scores.keys()
+    return {key: float(np.mean([run.scores[key] for run in runs]))
+            for key in keys}
+
+
+def repeat_with_seeds(
+    build_and_run,
+    n_repeats: int,
+    base_seed: int = 0,
+) -> list:
+    """Call ``build_and_run(seed)`` for ``n_repeats`` derived seeds.
+
+    The paper repeats its subsampling experiments 30 (redundancy) or 100
+    (qualification / hidden test) times; the benchmarks use smaller
+    counts, configurable per call.
+    """
+    if n_repeats < 1:
+        raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+    seeds = np.random.SeedSequence(base_seed).spawn(n_repeats)
+    return [build_and_run(int(s.generate_state(1)[0] % (2**31)))
+            for s in seeds]
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds."""
+
+    def __enter__(self) -> "Timer":
+        self.started = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self.started

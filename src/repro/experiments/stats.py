@@ -1,0 +1,60 @@
+"""Dataset-statistics experiments: Table 5, Figures 2–3, Section 6.2.
+
+These characterise the crowd data itself, before any inference:
+per-dataset size statistics, answer consistency C, worker-redundancy
+histograms (long tail) and worker-quality histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..datasets.schema import Dataset
+from ..metrics.consistency import consistency
+from ..metrics.workers import (
+    Histogram,
+    long_tail_ratio,
+    quality_histogram,
+    redundancy_histogram,
+)
+
+
+def table5(datasets: Mapping[str, Dataset]) -> list[dict]:
+    """Table 5 rows plus the Section 6.2.1 consistency column."""
+    rows = []
+    for dataset in datasets.values():
+        row = dataset.statistics()
+        row["consistency_C"] = round(consistency(dataset.answers), 2)
+        rows.append(row)
+    return rows
+
+
+def figure2(datasets: Mapping[str, Dataset], bins: int = 10
+            ) -> dict[str, Histogram]:
+    """Worker-redundancy histogram per dataset (Figure 2)."""
+    return {name: redundancy_histogram(ds.answers, bins=bins)
+            for name, ds in datasets.items()}
+
+
+def figure2_tail_shares(datasets: Mapping[str, Dataset],
+                        head_fraction: float = 0.2) -> dict[str, float]:
+    """Long-tail summary: answer share of the busiest 20% of workers."""
+    return {name: long_tail_ratio(ds.answers, head_fraction)
+            for name, ds in datasets.items()}
+
+
+def figure3(datasets: Mapping[str, Dataset], bins: int = 10
+            ) -> dict[str, Histogram]:
+    """Worker-quality histogram per dataset (Figure 3).
+
+    Categorical datasets use per-worker accuracy against ground truth;
+    the numeric dataset uses per-worker RMSE, exactly as the paper's
+    Figure 3(e).
+    """
+    out = {}
+    for name, dataset in datasets.items():
+        out[name] = quality_histogram(
+            dataset.answers, dataset.truth,
+            truth_mask=dataset.truth_mask, bins=bins,
+        )
+    return out

@@ -1,0 +1,35 @@
+"""Reusable inference machinery shared by the method implementations.
+
+These are the "substrates" the paper's algorithms are built on: an EM
+loop, a Gibbs-chain runner, mean-field/BP message helpers, gradient
+ascent, and distribution utilities.
+"""
+
+from .distributions import (
+    beta_expected_log,
+    chi_square_confidence,
+    dirichlet_expected_log,
+    sample_categorical_rows,
+    sample_dirichlet_rows,
+)
+from .em import EMOutcome, run_em
+from .gibbs import GibbsResult, run_gibbs
+from .optimize import gradient_ascent, projected_simplex
+from .variational import BetaPrior, expected_log_beta_counts, posterior_mean_accuracy
+
+__all__ = [
+    "BetaPrior",
+    "EMOutcome",
+    "GibbsResult",
+    "beta_expected_log",
+    "chi_square_confidence",
+    "dirichlet_expected_log",
+    "expected_log_beta_counts",
+    "gradient_ascent",
+    "posterior_mean_accuracy",
+    "projected_simplex",
+    "run_em",
+    "run_gibbs",
+    "sample_categorical_rows",
+    "sample_dirichlet_rows",
+]

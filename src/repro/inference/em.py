@@ -1,0 +1,71 @@
+"""Generic Expectation–Maximisation loop.
+
+ZC, GLAD, D&S, LFC and LFC_N all instantiate the same control flow: start
+from a truth estimate, alternate an M-step (worker/task parameters from
+the current truth posterior) and an E-step (truth posterior from the
+parameters), and stop when the posterior stabilises.  This module
+implements that control flow once so the method modules only provide the
+two steps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core.framework import ConvergenceTracker, clamp_golden_posterior
+
+
+@dataclasses.dataclass
+class EMOutcome:
+    """Result of :func:`run_em`: the final posterior plus diagnostics."""
+
+    posterior: np.ndarray
+    parameters: object
+    n_iterations: int
+    converged: bool
+
+
+def run_em(
+    initial_posterior: np.ndarray,
+    m_step: Callable[[np.ndarray], object],
+    e_step: Callable[[object], np.ndarray],
+    tolerance: float,
+    max_iter: int,
+    golden: Mapping[int, int] | None = None,
+) -> EMOutcome:
+    """Alternate ``m_step``/``e_step`` until the posterior stabilises.
+
+    Parameters
+    ----------
+    initial_posterior:
+        (n_tasks, n_choices) starting truth estimate (usually normalised
+        vote counts).
+    m_step:
+        Maps the current posterior to model parameters (any object).
+    e_step:
+        Maps parameters back to a fresh posterior.
+    golden:
+        Hidden-test truths clamped into the posterior after every E-step
+        *and* into the initial posterior, so the very first M-step
+        already benefits from them.
+    """
+    posterior = clamp_golden_posterior(np.array(initial_posterior, dtype=np.float64),
+                                       golden)
+    tracker = ConvergenceTracker(tolerance=tolerance, max_iter=max_iter)
+    parameters = None
+    while True:
+        parameters = m_step(posterior)
+        posterior = clamp_golden_posterior(
+            np.asarray(e_step(parameters), dtype=np.float64), golden
+        )
+        if tracker.update(posterior):
+            break
+    return EMOutcome(
+        posterior=posterior,
+        parameters=parameters,
+        n_iterations=tracker.iteration,
+        converged=tracker.converged,
+    )

@@ -1,0 +1,75 @@
+"""Gibbs-sampling scaffolding for BCC and CBCC.
+
+Both methods run a collapsed-ish Gibbs chain over (truth labels, worker
+confusion matrices, class prior).  This module provides the chain
+runner — burn-in, thinning, posterior label tallies — so the method
+modules implement only the conditional-sampling step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class GibbsResult:
+    """Tally of sampled truth labels after burn-in.
+
+    ``label_counts[i, j]`` counts how many retained samples assigned
+    label ``j`` to task ``i``; the posterior estimate is the normalised
+    tally and the point estimate its argmax.
+    """
+
+    label_counts: np.ndarray
+    n_samples: int
+
+    @property
+    def posterior(self) -> np.ndarray:
+        """Normalised per-task label frequencies over retained samples."""
+        totals = self.label_counts.sum(axis=1, keepdims=True)
+        totals = np.where(totals > 0, totals, 1.0)
+        return self.label_counts / totals
+
+
+def run_gibbs(
+    initial_labels: np.ndarray,
+    n_choices: int,
+    sample_step: Callable[[np.ndarray], np.ndarray],
+    n_samples: int = 60,
+    burn_in: int = 20,
+    thinning: int = 1,
+) -> GibbsResult:
+    """Run a Gibbs chain over task labels.
+
+    ``sample_step(labels) -> labels`` performs one full sweep: given the
+    current truth assignment it resamples all other latent variables and
+    then returns a fresh truth assignment.  The runner discards
+    ``burn_in`` sweeps, then retains every ``thinning``-th of the next
+    ``n_samples * thinning`` sweeps.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    if burn_in < 0:
+        raise ValueError(f"burn_in must be >= 0, got {burn_in}")
+    if thinning < 1:
+        raise ValueError(f"thinning must be >= 1, got {thinning}")
+
+    labels = np.asarray(initial_labels, dtype=np.int64).copy()
+    counts = np.zeros((len(labels), n_choices), dtype=np.float64)
+
+    for _ in range(burn_in):
+        labels = sample_step(labels)
+
+    retained = 0
+    sweep = 0
+    while retained < n_samples:
+        labels = sample_step(labels)
+        sweep += 1
+        if sweep % thinning == 0:
+            counts[np.arange(len(labels)), labels] += 1.0
+            retained += 1
+
+    return GibbsResult(label_counts=counts, n_samples=retained)

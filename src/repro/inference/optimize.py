@@ -1,0 +1,72 @@
+"""Lightweight optimisers for the optimisation-based methods.
+
+GLAD's M-step and Multi's MAP estimation need gradient ascent; Minimax
+needs coordinate updates with a few inner gradient steps.  scipy's
+general-purpose optimisers are overkill inside an EM loop (and dominate
+runtime, as the paper's Table 6 notes for GLAD), so we provide a simple
+fixed-step gradient ascent with optional step-size backoff.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def gradient_ascent(
+    objective_and_grad: Callable[[np.ndarray], tuple[float, np.ndarray]],
+    x0: np.ndarray,
+    learning_rate: float = 0.1,
+    max_steps: int = 25,
+    tolerance: float = 1e-6,
+) -> np.ndarray:
+    """Maximise a differentiable objective with backtracking steps.
+
+    ``objective_and_grad(x)`` returns ``(value, gradient)``.  The step
+    size halves whenever a step would decrease the objective, which is
+    robust enough for the well-conditioned inner problems the methods
+    pose, while staying deterministic and dependency-free.
+    """
+    x = np.array(x0, dtype=np.float64)
+    value, grad = objective_and_grad(x)
+    step = learning_rate
+    for _ in range(max_steps):
+        if not np.all(np.isfinite(grad)):
+            break
+        candidate = x + step * grad
+        new_value, new_grad = objective_and_grad(candidate)
+        if new_value >= value:
+            improvement = new_value - value
+            x, value, grad = candidate, new_value, new_grad
+            if improvement < tolerance:
+                break
+        else:
+            step *= 0.5
+            if step < 1e-8:
+                break
+    return x
+
+
+def projected_simplex(v: np.ndarray) -> np.ndarray:
+    """Euclidean projection of each row of ``v`` onto the simplex.
+
+    Used by Minimax when turning unconstrained scores back into the
+    per-task label distributions its objective is defined over.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    if v.ndim == 1:
+        v = v[None, :]
+        squeeze = True
+    else:
+        squeeze = False
+    n_rows, n_cols = v.shape
+    sorted_v = -np.sort(-v, axis=1)
+    cumulative = sorted_v.cumsum(axis=1)
+    arange = np.arange(1, n_cols + 1)
+    candidate = sorted_v - (cumulative - 1.0) / arange
+    rho = (candidate > 0).sum(axis=1)
+    rho = np.maximum(rho, 1)
+    theta = (cumulative[np.arange(n_rows), rho - 1] - 1.0) / rho
+    out = np.maximum(v - theta[:, None], 0.0)
+    return out[0] if squeeze else out

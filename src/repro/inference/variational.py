@@ -1,0 +1,66 @@
+"""Variational-inference helpers for VI-MF and VI-BP (Liu et al., 2012).
+
+Liu, Peng & Ihler model each worker with a two-coin confusion model —
+sensitivity (probability of answering T when the truth is T) and
+specificity (probability of answering F when the truth is F) — with Beta
+priors, and approximate the Bayesian posterior over truths either by
+mean-field (VI-MF) or belief propagation (VI-BP).  The message algebra
+shared by the two is implemented here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from scipy import special
+
+
+@dataclasses.dataclass
+class BetaPrior:
+    """Beta(a, b) prior over a worker's per-class accuracy."""
+
+    a: float = 2.0
+    b: float = 1.0
+
+    def validate(self) -> None:
+        if self.a <= 0 or self.b <= 0:
+            raise ValueError(f"Beta parameters must be positive: a={self.a}, b={self.b}")
+
+
+def expected_log_beta_counts(correct: np.ndarray, incorrect: np.ndarray,
+                             prior: BetaPrior) -> tuple[np.ndarray, np.ndarray]:
+    """Mean-field expectations E[log p], E[log(1-p)] given soft counts.
+
+    ``correct``/``incorrect`` are expected per-worker counts of correct
+    and incorrect answers for one truth class; the variational posterior
+    is Beta(prior.a + correct, prior.b + incorrect).
+    """
+    a = prior.a + np.asarray(correct, dtype=np.float64)
+    b = prior.b + np.asarray(incorrect, dtype=np.float64)
+    total = special.digamma(a + b)
+    return special.digamma(a) - total, special.digamma(b) - total
+
+
+def posterior_mean_accuracy(correct: np.ndarray, incorrect: np.ndarray,
+                            prior: BetaPrior) -> np.ndarray:
+    """Posterior-mean accuracy (a + c) / (a + b + c + ic) per worker."""
+    a = prior.a + np.asarray(correct, dtype=np.float64)
+    b = prior.b + np.asarray(incorrect, dtype=np.float64)
+    return a / (a + b)
+
+
+def log_beta_moment_messages(correct: np.ndarray, incorrect: np.ndarray,
+                             prior: BetaPrior) -> tuple[np.ndarray, np.ndarray]:
+    """BP-style messages: posterior-mean log-odds of a correct answer.
+
+    Belief propagation on the Liu et al. factor graph integrates worker
+    reliability out of each worker-to-task message using the Beta
+    posterior built from the *other* tasks' beliefs.  The first moment of
+    the Beta posterior is exactly ``posterior_mean_accuracy``; we return
+    ``log`` of the mean correct/incorrect probabilities, floored away
+    from log(0).
+    """
+    mean_correct = posterior_mean_accuracy(correct, incorrect, prior)
+    mean_correct = np.clip(mean_correct, 1e-10, 1.0 - 1e-10)
+    return np.log(mean_correct), np.log1p(-mean_correct)

@@ -1,0 +1,49 @@
+"""The 17 truth-inference algorithms surveyed by the paper (Table 4),
+plus post-paper extensions (currently ``Minimax-Ord``).
+
+Importing this package registers every method with
+:mod:`repro.core.registry`; look them up by their paper names::
+
+    from repro.core import create
+    method = create("D&S", seed=0)
+
+Extension methods carry ``is_extension = True`` and stay out of the
+paper-faithful experiment lists unless explicitly requested.
+"""
+
+from .baseline_numeric import MeanAggregation, MedianAggregation
+from .bcc import BCC
+from .catd import CATD
+from .cbcc import CBCC
+from .dawid_skene import DawidSkene
+from .glad import Glad
+from .kos import KOS
+from .lfc import LearningFromCrowds, LearningFromCrowdsNumeric
+from .majority import MajorityVoting
+from .minimax import MinimaxEntropy
+from .minimax_ordinal import MinimaxOrdinal
+from .multi import MultidimensionalWisdom
+from .pm import PM
+from .vi import VIBeliefPropagation, VIMeanField
+from .zc import ZenCrowd
+
+__all__ = [
+    "BCC",
+    "CATD",
+    "CBCC",
+    "DawidSkene",
+    "Glad",
+    "KOS",
+    "LearningFromCrowds",
+    "LearningFromCrowdsNumeric",
+    "MajorityVoting",
+    "MeanAggregation",
+    "MedianAggregation",
+    "MinimaxEntropy",
+    "MinimaxOrdinal",
+    "MultidimensionalWisdom",
+    "PM",
+    "VIBeliefPropagation",
+    "VIMeanField",
+    "ZenCrowd",
+]

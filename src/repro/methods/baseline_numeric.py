@@ -1,0 +1,73 @@
+"""Mean and Median — the direct-computation baselines for numeric tasks.
+
+The paper's Section 5.1: "for numeric tasks, Mean and Median are two
+baseline methods that regard the mean and median of workers' answers as
+the truth for each task".  Notably, Table 6 shows Mean *wins* on
+N_Emotion — one of the paper's headline findings about numeric tasks
+being under-served by sophisticated methods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.base import NumericMethod
+from ..core.registry import register
+from ..core.result import InferenceResult
+
+
+class _DirectNumeric(NumericMethod):
+    """Shared logic: aggregate each task's answers with a reducer."""
+
+    reducer: Callable[[np.ndarray], float] = staticmethod(np.mean)
+
+    def _fit(
+        self,
+        answers: AnswerSet,
+        golden: Mapping[int, float] | None,
+        initial_quality: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> InferenceResult:
+        truths = np.zeros(answers.n_tasks, dtype=np.float64)
+        for task in range(answers.n_tasks):
+            idx = answers.answers_of_task(task)
+            if len(idx):
+                truths[task] = self.reducer(answers.values[idx])
+
+        # No worker model; report the inverse of each worker's RMSE
+        # against the aggregate, so that "higher is better" holds.
+        errors = (answers.values - truths[answers.tasks]) ** 2
+        sums = np.bincount(answers.workers, weights=errors,
+                           minlength=answers.n_workers)
+        counts = np.maximum(answers.worker_answer_counts(), 1)
+        rmse = np.sqrt(sums / counts)
+        quality = 1.0 / (1.0 + rmse)
+
+        return InferenceResult(
+            method=self.name,
+            truths=truths,
+            worker_quality=quality,
+            posterior=None,
+            n_iterations=0,
+            converged=True,
+            extras={"worker_rmse": rmse},
+        )
+
+
+@register
+class MeanAggregation(_DirectNumeric):
+    """Per-task arithmetic mean of the collected answers."""
+
+    name = "Mean"
+    reducer = staticmethod(np.mean)
+
+
+@register
+class MedianAggregation(_DirectNumeric):
+    """Per-task median — robust to outlier answers."""
+
+    name = "Median"
+    reducer = staticmethod(np.median)

@@ -1,0 +1,144 @@
+"""D&S — Dawid & Skene (1979), maximum-likelihood observer error rates.
+
+The most classical truth-inference method and, per the survey's Table 6,
+still among the best.  Worker model: an ``l × l`` *confusion matrix*
+``q^w`` where ``q^w[j, k] = Pr(worker answers k | truth is j)``.  EM:
+
+* **E-step** — ``Pr(v*_i = j) ∝ p_j · Π_{w∈W_i} q^w[j, v^w_i]`` with
+  class prior ``p``;
+* **M-step** — confusion rows from expected counts, prior from the mean
+  posterior.
+
+A small Laplace smoothing keeps rows valid when a worker never saw some
+truth class; LFC (see :mod:`repro.methods.lfc`) generalises this to full
+Beta/Dirichlet priors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.base import CategoricalMethod
+from ..core.framework import decode_posterior, log_normalize_rows
+from ..core.registry import register
+from ..core.result import InferenceResult
+from ..inference.em import run_em
+
+
+@dataclasses.dataclass
+class _DSParameters:
+    """Confusion matrices (n_workers, l, l) and class prior (l,)."""
+
+    confusion: np.ndarray
+    prior: np.ndarray
+
+
+def initial_confusion_from_quality(quality: np.ndarray, n_choices: int
+                                   ) -> np.ndarray:
+    """Diagonal confusion matrices from scalar accuracies.
+
+    Used to initialise confusion-matrix methods from a qualification
+    test: accuracy ``a`` becomes ``a`` on the diagonal and
+    ``(1-a)/(l-1)`` elsewhere.
+    """
+    quality = np.clip(np.asarray(quality, dtype=np.float64), 1e-3, 1 - 1e-3)
+    n_workers = len(quality)
+    off = (1.0 - quality) / max(n_choices - 1, 1)
+    confusion = np.repeat(off[:, None, None], n_choices, axis=1)
+    confusion = np.repeat(confusion, n_choices, axis=2)
+    idx = np.arange(n_choices)
+    confusion[:, idx, idx] = quality[:, None]
+    return confusion
+
+
+class _ConfusionMatrixEM(CategoricalMethod):
+    """Shared EM implementation for D&S and LFC.
+
+    Subclasses control the Dirichlet pseudo-counts added in the M-step:
+    D&S uses a tiny symmetric smoothing, LFC a genuine prior with extra
+    mass on the diagonal.
+    """
+
+    #: Pseudo-count added to every confusion cell in the M-step.
+    smoothing_off_diagonal = 0.01
+    #: Extra pseudo-count added to diagonal cells (LFC's prior belief
+    #: that workers are better than random).
+    smoothing_diagonal_bonus = 0.0
+
+    supports_initial_quality = True
+    supports_golden = True
+
+    def _fit(
+        self,
+        answers: AnswerSet,
+        golden: Mapping[int, float] | None,
+        initial_quality: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> InferenceResult:
+        tasks = answers.tasks
+        workers = answers.workers
+        values = answers.values.astype(np.int64)
+        n_choices = answers.n_choices
+        n_workers = answers.n_workers
+        diag = np.arange(n_choices)
+
+        def m_step(posterior: np.ndarray) -> _DSParameters:
+            # counts[w, k, j] accumulates posterior mass of truth j for
+            # answers where worker w chose k; transposed to (w, j, k).
+            counts = np.zeros((n_workers, n_choices, n_choices))
+            np.add.at(counts, (workers, values), posterior[tasks])
+            confusion = counts.transpose(0, 2, 1)
+            confusion = confusion + self.smoothing_off_diagonal
+            confusion[:, diag, diag] += self.smoothing_diagonal_bonus
+            confusion /= confusion.sum(axis=2, keepdims=True)
+            prior = posterior.mean(axis=0)
+            prior = prior / prior.sum()
+            return _DSParameters(confusion=confusion, prior=prior)
+
+        def e_step(params: _DSParameters) -> np.ndarray:
+            log_conf = np.log(np.clip(params.confusion, 1e-12, None))
+            log_post = np.tile(np.log(np.clip(params.prior, 1e-12, None)),
+                               (answers.n_tasks, 1))
+            # log_conf[workers, :, values] has shape (n_answers, l): the
+            # per-truth-class log-likelihood of each observed answer.
+            contributions = log_conf[workers, :, values]
+            np.add.at(log_post, tasks, contributions)
+            return log_normalize_rows(log_post)
+
+        if initial_quality is not None:
+            confusion0 = initial_confusion_from_quality(initial_quality, n_choices)
+            prior0 = np.full(n_choices, 1.0 / n_choices)
+            start = e_step(_DSParameters(confusion=confusion0, prior=prior0))
+        else:
+            start = self.majority_posterior(answers)
+
+        outcome = run_em(
+            initial_posterior=start,
+            m_step=m_step,
+            e_step=e_step,
+            tolerance=self.tolerance,
+            max_iter=self.max_iter,
+            golden=golden,
+        )
+        params: _DSParameters = outcome.parameters
+        quality = params.confusion[:, diag, diag].mean(axis=1)
+        return InferenceResult(
+            method=self.name,
+            truths=decode_posterior(outcome.posterior, rng),
+            worker_quality=quality,
+            posterior=outcome.posterior,
+            n_iterations=outcome.n_iterations,
+            converged=outcome.converged,
+            extras={"confusion": params.confusion, "class_prior": params.prior},
+        )
+
+
+@register
+class DawidSkene(_ConfusionMatrixEM):
+    """Plain maximum-likelihood D&S with minimal smoothing."""
+
+    name = "D&S"

@@ -1,0 +1,60 @@
+"""Majority Voting (MV) — the paper's naive baseline (Section 3).
+
+MV regards the choice answered by the majority of workers as the truth
+and breaks ties randomly.  It has no task or worker model ("regards all
+workers as equal"), which is exactly the limitation the other 16 methods
+try to fix — yet Table 6 shows it is competitive when redundancy is
+high (e.g. D_PosSent with 20 answers per task).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.base import CategoricalMethod
+from ..core.framework import decode_posterior, normalize_rows
+from ..core.registry import register
+from ..core.result import InferenceResult
+
+
+@register
+class MajorityVoting(CategoricalMethod):
+    """Per-task plurality vote with random tie-breaking."""
+
+    name = "MV"
+
+    def __init__(self, seed: int | None = None, random_ties: bool = True) -> None:
+        super().__init__(seed=seed)
+        self.random_ties = random_ties
+
+    def _fit(
+        self,
+        answers: AnswerSet,
+        golden: Mapping[int, float] | None,
+        initial_quality: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> InferenceResult:
+        counts = answers.vote_counts()
+        posterior = normalize_rows(counts)
+        truths = decode_posterior(counts, rng if self.random_ties else None)
+
+        # MV has no worker model; as a convenience we report each
+        # worker's agreement rate with the majority answer, which is the
+        # statistic the paper's Section 3 example reasons with.
+        agree = (answers.values.astype(np.int64) == truths[answers.tasks]).astype(float)
+        per_worker = np.bincount(answers.workers, weights=agree,
+                                 minlength=answers.n_workers)
+        counts_w = np.maximum(answers.worker_answer_counts(), 1)
+        quality = per_worker / counts_w
+
+        return InferenceResult(
+            method=self.name,
+            truths=truths,
+            worker_quality=quality,
+            posterior=posterior,
+            n_iterations=0,
+            converged=True,
+        )

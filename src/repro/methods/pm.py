@@ -1,0 +1,151 @@
+"""PM (Li et al., SIGMOD 2014 / Aydin et al., AAAI 2014).
+
+An optimisation method minimising
+``f({q^w}, {v*}) = Σ_w q^w Σ_i d(v^w_i, v*_i)``
+(Section 5.2 of the survey).  Two coordinate steps:
+
+* **truth step** — ``v*_i = argmax_v Σ_{w∈W_i} q^w 1{v = v^w_i}`` for
+  categorical tasks; the weighted mean for numeric tasks (the minimiser
+  of the weighted squared distance);
+* **quality step** — ``q^w = −log( Σ d_w / max_w' Σ d_w' )`` which gives
+  weight 0 to the worst worker and unbounded weight to near-perfect ones
+  (the paper's Section 3 running example walks through exactly this
+  computation, which ``tests/methods/test_pm.py`` replays).
+
+A small regulariser inside the log keeps perfect workers finite.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.base import GeneralMethod
+from ..core.framework import (
+    ConvergenceTracker,
+    clamp_golden_posterior,
+    clamp_golden_values,
+    decode_posterior,
+    normalize_rows,
+)
+from ..core.registry import register
+from ..core.result import InferenceResult
+
+
+@register
+class PM(GeneralMethod):
+    """Coordinate descent on the PM objective (categorical + numeric)."""
+
+    name = "PM"
+    supports_initial_quality = True
+    supports_golden = True
+
+    def __init__(self, regularization: float = 0.01, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if regularization <= 0:
+            raise ValueError("regularization must be positive")
+        self.regularization = regularization
+
+    # ------------------------------------------------------------------
+    def _fit(
+        self,
+        answers: AnswerSet,
+        golden: Mapping[int, float] | None,
+        initial_quality: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> InferenceResult:
+        if answers.task_type.is_categorical:
+            return self._fit_categorical(answers, golden, initial_quality, rng)
+        return self._fit_numeric(answers, golden, initial_quality, rng)
+
+    def _initial_weights(self, answers: AnswerSet,
+                         initial_quality: np.ndarray | None) -> np.ndarray:
+        if initial_quality is None:
+            return np.ones(answers.n_workers)
+        # Map qualification-test accuracy to a PM-style weight: workers
+        # with accuracy a get -log(1 - a), floored to stay positive.
+        miss = np.clip(1.0 - np.asarray(initial_quality, dtype=np.float64),
+                       self.regularization, 1.0)
+        return np.maximum(-np.log(miss), self.regularization)
+
+    def _quality_step(self, answers: AnswerSet, distances: np.ndarray
+                      ) -> np.ndarray:
+        """The −log-normalised loss update shared by both task types."""
+        sums = np.bincount(answers.workers, weights=distances,
+                           minlength=answers.n_workers)
+        sums = sums + self.regularization
+        worst = sums.max()
+        return -np.log(sums / worst) + self.regularization
+
+    # ------------------------------------------------------------------
+    def _fit_categorical(self, answers, golden, initial_quality, rng
+                         ) -> InferenceResult:
+        tasks = answers.tasks
+        workers = answers.workers
+        values = answers.values.astype(np.int64)
+        weights = self._initial_weights(answers, initial_quality)
+
+        tracker = ConvergenceTracker(tolerance=self.tolerance,
+                                     max_iter=self.max_iter)
+        scores = np.zeros((answers.n_tasks, answers.n_choices))
+        while True:
+            # Truth step: weighted vote, ties broken randomly — the
+            # paper's Section 3 walk-through relies on this ("it
+            # randomly infers v*_1 to break the tie"), and the broken
+            # tie can decide which fixed point the iteration reaches.
+            scores.fill(0.0)
+            np.add.at(scores, (tasks, values), weights[workers])
+            posterior = clamp_golden_posterior(normalize_rows(scores), golden)
+            truths = decode_posterior(posterior, rng)
+
+            # Quality step: 0/1 distance to the current truth.
+            distances = (values != truths[tasks]).astype(np.float64)
+            weights = self._quality_step(answers, distances)
+            if tracker.update(weights):
+                break
+
+        return InferenceResult(
+            method=self.name,
+            truths=decode_posterior(posterior, rng),
+            worker_quality=weights,
+            posterior=posterior,
+            n_iterations=tracker.iteration,
+            converged=tracker.converged,
+        )
+
+    # ------------------------------------------------------------------
+    def _fit_numeric(self, answers, golden, initial_quality, rng
+                     ) -> InferenceResult:
+        tasks = answers.tasks
+        workers = answers.workers
+        values = answers.values
+        weights = self._initial_weights(answers, initial_quality)
+        # Distances are normalised by the global answer spread so the
+        # -log update is scale-free (the CRH trick).
+        scale = np.std(values) if np.std(values) > 0 else 1.0
+
+        tracker = ConvergenceTracker(tolerance=self.tolerance,
+                                     max_iter=self.max_iter)
+        while True:
+            w = weights[workers]
+            numer = np.bincount(tasks, weights=w * values,
+                                minlength=answers.n_tasks)
+            denom = np.bincount(tasks, weights=w, minlength=answers.n_tasks)
+            denom = np.where(denom > 0, denom, 1.0)
+            truths = clamp_golden_values(numer / denom, golden)
+
+            distances = ((values - truths[tasks]) / scale) ** 2
+            weights = self._quality_step(answers, distances)
+            if tracker.update(weights):
+                break
+
+        return InferenceResult(
+            method=self.name,
+            truths=truths,
+            worker_quality=weights,
+            posterior=None,
+            n_iterations=tracker.iteration,
+            converged=tracker.converged,
+        )

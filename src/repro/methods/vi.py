@@ -1,0 +1,245 @@
+"""VI-MF and VI-BP (Liu, Peng & Ihler, NIPS 2012).
+
+Both are *Bayesian estimators*: instead of the point estimate ZC/D&S
+compute, they approximate ``Pr(v*_i | V) = ∫ Pr(v*_i, {q^w} | V) dq``
+(survey Equation 2) under a two-coin worker model — per-class accuracies
+``s_w = Pr(answer T | truth T)`` and ``t_w = Pr(answer F | truth F)``
+with Beta priors — using variational inference:
+
+* **VI-MF** — mean field: fully factorised ``q(z_i) q(s_w) q(t_w)``;
+  coordinate updates use Dirichlet/Beta digamma expectations.
+* **VI-BP** — belief propagation: worker-to-task messages integrate the
+  worker's reliability out against the Beta posterior built from the
+  *other* tasks' beliefs.  We use the standard first-moment
+  approximation of those messages, which keeps the update O(|V|).
+
+Decision-making tasks only, as in the survey's Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.base import BinaryMethod
+from ..core.framework import (
+    ConvergenceTracker,
+    decode_posterior,
+    log_normalize_rows,
+)
+from ..core.registry import register
+from ..core.result import InferenceResult
+from ..core.tasktypes import LABEL_FALSE, LABEL_TRUE
+from ..inference.variational import (
+    BetaPrior,
+    expected_log_beta_counts,
+    posterior_mean_accuracy,
+)
+
+
+class _TwoCoinCounts:
+    """Soft per-worker correct/incorrect counts for both truth classes.
+
+    Given task beliefs ``mu[i] = Pr(z_i = T)``, accumulates for every
+    worker the expected number of correct and incorrect answers
+    separately for tasks whose truth is T (driving the sensitivity
+    posterior) and F (driving the specificity posterior).
+    """
+
+    def __init__(self, answers: AnswerSet) -> None:
+        self.answers = answers
+        self.said_true = answers.values.astype(np.int64) == LABEL_TRUE
+
+    def accumulate(self, mu: np.ndarray) -> tuple[np.ndarray, ...]:
+        a = self.answers
+        mu_edge = mu[a.tasks]
+        said_true = self.said_true
+
+        correct_t = np.bincount(a.workers, weights=mu_edge * said_true,
+                                minlength=a.n_workers)
+        incorrect_t = np.bincount(a.workers, weights=mu_edge * ~said_true,
+                                  minlength=a.n_workers)
+        correct_f = np.bincount(a.workers, weights=(1 - mu_edge) * ~said_true,
+                                minlength=a.n_workers)
+        incorrect_f = np.bincount(a.workers, weights=(1 - mu_edge) * said_true,
+                                  minlength=a.n_workers)
+        return correct_t, incorrect_t, correct_f, incorrect_f
+
+
+class _VariationalTwoCoin(BinaryMethod):
+    """Shared state initialisation for the two VI variants."""
+
+    supports_initial_quality = True
+    supports_golden = True
+
+    def __init__(self, prior_a: float = 2.0, prior_b: float = 1.0,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.prior = BetaPrior(a=prior_a, b=prior_b)
+        self.prior.validate()
+
+    def _initial_mu(self, answers: AnswerSet,
+                    initial_quality: np.ndarray | None) -> np.ndarray:
+        """Initial belief Pr(z_i = T), majority-based or quality-weighted."""
+        counts = answers.vote_counts()
+        if initial_quality is None:
+            totals = counts.sum(axis=1)
+            totals = np.where(totals > 0, totals, 1.0)
+            return counts[:, LABEL_TRUE] / totals
+        weights = np.clip(initial_quality, 0.05, 0.95)
+        said_true = answers.values.astype(np.int64) == LABEL_TRUE
+        w_edge = weights[answers.workers]
+        score_t = np.bincount(answers.tasks, weights=w_edge * said_true,
+                              minlength=answers.n_tasks)
+        score_f = np.bincount(answers.tasks, weights=w_edge * ~said_true,
+                              minlength=answers.n_tasks)
+        total = score_t + score_f
+        total = np.where(total > 0, total, 1.0)
+        return score_t / total
+
+    def _result(self, answers: AnswerSet, mu: np.ndarray,
+                counts: tuple[np.ndarray, ...], tracker: ConvergenceTracker,
+                rng: np.random.Generator) -> InferenceResult:
+        correct_t, incorrect_t, correct_f, incorrect_f = counts
+        sensitivity = posterior_mean_accuracy(correct_t, incorrect_t, self.prior)
+        specificity = posterior_mean_accuracy(correct_f, incorrect_f, self.prior)
+        posterior = np.column_stack([1.0 - mu, mu])  # columns: [F, T]
+        return InferenceResult(
+            method=self.name,
+            truths=decode_posterior(posterior, rng),
+            worker_quality=(sensitivity + specificity) / 2.0,
+            posterior=posterior,
+            n_iterations=tracker.iteration,
+            converged=tracker.converged,
+            extras={"sensitivity": sensitivity, "specificity": specificity},
+        )
+
+    @staticmethod
+    def _clamp_mu(mu: np.ndarray, golden: Mapping[int, float] | None
+                  ) -> np.ndarray:
+        if not golden:
+            return mu
+        for task, label in golden.items():
+            mu[task] = 1.0 if int(label) == LABEL_TRUE else 0.0
+        return mu
+
+
+@register
+class VIMeanField(_VariationalTwoCoin):
+    """Mean-field variational inference (VI-MF).
+
+    The full factorisation ``q(z) q(s) q(t) q(pi)`` includes the class
+    prevalence ``pi`` with its own (Dirichlet) factor; its expected log
+    enters every task update.  This is what lets VI-MF handle the
+    imbalanced D_Product data far better than VI-BP, whose message
+    approximation carries no prevalence information — the gap the
+    paper's Table 6 shows (83.9% vs 64.6%).
+    """
+
+    name = "VI-MF"
+
+    def _fit(
+        self,
+        answers: AnswerSet,
+        golden: Mapping[int, float] | None,
+        initial_quality: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> InferenceResult:
+        accumulator = _TwoCoinCounts(answers)
+        mu = self._clamp_mu(self._initial_mu(answers, initial_quality), golden)
+        said_true = accumulator.said_true
+        tracker = ConvergenceTracker(tolerance=self.tolerance,
+                                     max_iter=self.max_iter)
+        counts = accumulator.accumulate(mu)
+        while True:
+            correct_t, incorrect_t, correct_f, incorrect_f = counts
+            els_t, elf_t = expected_log_beta_counts(correct_t, incorrect_t,
+                                                    self.prior)
+            els_f, elf_f = expected_log_beta_counts(correct_f, incorrect_f,
+                                                    self.prior)
+            # Variational class-prevalence factor: Beta(1 + soft counts).
+            from scipy.special import digamma
+
+            prev_t = 1.0 + float(mu.sum())
+            prev_f = 1.0 + float(len(mu) - mu.sum())
+            total = digamma(prev_t + prev_f)
+            log_prev_t = np.array([digamma(prev_t) - total])
+            log_prev_f = np.array([digamma(prev_f) - total])
+            # Per-edge log-likelihood contributions for z=T and z=F.
+            log_t = np.where(said_true, els_t[answers.workers],
+                             elf_t[answers.workers])
+            log_f = np.where(said_true, elf_f[answers.workers],
+                             els_f[answers.workers])
+            log_post = np.zeros((answers.n_tasks, 2))
+            log_post[:, LABEL_TRUE] = float(log_prev_t[0]) + np.bincount(
+                answers.tasks, weights=log_t, minlength=answers.n_tasks)
+            log_post[:, LABEL_FALSE] = float(log_prev_f[0]) + np.bincount(
+                answers.tasks, weights=log_f, minlength=answers.n_tasks)
+            posterior = log_normalize_rows(log_post)
+            mu = self._clamp_mu(posterior[:, LABEL_TRUE].copy(), golden)
+            counts = accumulator.accumulate(mu)
+            if tracker.update(mu):
+                break
+
+        return self._result(answers, mu, counts, tracker, rng)
+
+
+@register
+class VIBeliefPropagation(_VariationalTwoCoin):
+    """Belief propagation with Beta-integrated messages (VI-BP).
+
+    For every edge (answer) the incoming worker message excludes the
+    edge's own contribution from the worker's Beta counts — the defining
+    difference from mean field, where each worker's posterior is shared
+    by all of its edges.
+    """
+
+    name = "VI-BP"
+
+    def _fit(
+        self,
+        answers: AnswerSet,
+        golden: Mapping[int, float] | None,
+        initial_quality: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> InferenceResult:
+        a = answers
+        accumulator = _TwoCoinCounts(a)
+        said_true = accumulator.said_true
+        mu = self._clamp_mu(self._initial_mu(a, initial_quality), golden)
+        tracker = ConvergenceTracker(tolerance=self.tolerance,
+                                     max_iter=self.max_iter)
+        counts = accumulator.accumulate(mu)
+        while True:
+            correct_t, incorrect_t, correct_f, incorrect_f = counts
+            mu_edge = mu[a.tasks]
+            # Cavity counts: worker totals minus this edge's contribution.
+            cav_ct = correct_t[a.workers] - mu_edge * said_true
+            cav_it = incorrect_t[a.workers] - mu_edge * ~said_true
+            cav_cf = correct_f[a.workers] - (1 - mu_edge) * ~said_true
+            cav_if = incorrect_f[a.workers] - (1 - mu_edge) * said_true
+            cav = [np.maximum(c, 0.0) for c in (cav_ct, cav_it, cav_cf, cav_if)]
+
+            mean_s = np.clip(
+                posterior_mean_accuracy(cav[0], cav[1], self.prior),
+                1e-10, 1 - 1e-10)
+            mean_t = np.clip(
+                posterior_mean_accuracy(cav[2], cav[3], self.prior),
+                1e-10, 1 - 1e-10)
+            log_msg_t = np.where(said_true, np.log(mean_s), np.log1p(-mean_s))
+            log_msg_f = np.where(said_true, np.log1p(-mean_t), np.log(mean_t))
+
+            log_post = np.zeros((a.n_tasks, 2))
+            log_post[:, LABEL_TRUE] = np.bincount(a.tasks, weights=log_msg_t,
+                                                  minlength=a.n_tasks)
+            log_post[:, LABEL_FALSE] = np.bincount(a.tasks, weights=log_msg_f,
+                                                   minlength=a.n_tasks)
+            posterior = log_normalize_rows(log_post)
+            mu = self._clamp_mu(posterior[:, LABEL_TRUE].copy(), golden)
+            counts = accumulator.accumulate(mu)
+            if tracker.update(mu):
+                break
+
+        return self._result(a, mu, counts, tracker, rng)

@@ -1,0 +1,93 @@
+"""ZC — ZenCrowd (Demartini, Difallah & Cudré-Mauroux, WWW 2012).
+
+Worker model: a single *worker probability* ``q^w`` in [0, 1] — the
+probability the worker answers a task correctly.  ZC maximises the
+likelihood of the observed answers with the truths as latent variables
+(paper Equation 1) via EM:
+
+* **E-step** — ``Pr(v*_i = z) ∝ Π_w q_w^{1[v=z]} ((1-q_w)/(l-1))^{1[v≠z]}``;
+* **M-step** — ``q_w`` = expected fraction of worker ``w``'s answers that
+  match the (soft) truth.
+
+For single-choice tasks with ``l`` choices the incorrect-answer mass is
+spread uniformly over the other ``l - 1`` choices, the standard
+extension the survey applies to run ZC on S_Rel/S_Adult.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.base import CategoricalMethod
+from ..core.framework import clip_probability, decode_posterior, log_normalize_rows
+from ..core.registry import register
+from ..core.result import InferenceResult
+from ..inference.em import run_em
+
+
+@register
+class ZenCrowd(CategoricalMethod):
+    """EM over the worker-probability model."""
+
+    name = "ZC"
+    supports_initial_quality = True
+    supports_golden = True
+
+    def _fit(
+        self,
+        answers: AnswerSet,
+        golden: Mapping[int, float] | None,
+        initial_quality: np.ndarray | None,
+        rng: np.random.Generator,
+    ) -> InferenceResult:
+        tasks = answers.tasks
+        workers = answers.workers
+        values = answers.values.astype(np.int64)
+        n_choices = answers.n_choices
+
+        def e_step(quality: np.ndarray) -> np.ndarray:
+            q = clip_probability(quality)
+            log_correct = np.log(q)
+            log_wrong = np.log((1.0 - q) / max(n_choices - 1, 1))
+            # Every answer contributes log_wrong to all labels of its
+            # task, plus (log_correct - log_wrong) to the answered label.
+            log_post = np.zeros((answers.n_tasks, n_choices))
+            base = np.bincount(tasks, weights=log_wrong[workers],
+                               minlength=answers.n_tasks)
+            log_post += base[:, None]
+            bonus = (log_correct - log_wrong)[workers]
+            np.add.at(log_post, (tasks, values), bonus)
+            return log_normalize_rows(log_post)
+
+        def m_step(posterior: np.ndarray) -> np.ndarray:
+            matched = posterior[tasks, values]
+            sums = np.bincount(workers, weights=matched,
+                               minlength=answers.n_workers)
+            counts = np.maximum(answers.worker_answer_counts(), 1)
+            return sums / counts
+
+        if initial_quality is not None:
+            start = e_step(initial_quality)
+        else:
+            start = self.majority_posterior(answers)
+
+        outcome = run_em(
+            initial_posterior=start,
+            m_step=m_step,
+            e_step=e_step,
+            tolerance=self.tolerance,
+            max_iter=self.max_iter,
+            golden=golden,
+        )
+        quality = m_step(outcome.posterior)
+        return InferenceResult(
+            method=self.name,
+            truths=decode_posterior(outcome.posterior, rng),
+            worker_quality=quality,
+            posterior=outcome.posterior,
+            n_iterations=outcome.n_iterations,
+            converged=outcome.converged,
+        )

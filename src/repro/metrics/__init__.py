@@ -1,0 +1,38 @@
+"""Evaluation metrics and crowd-data statistics (paper Sections 6.1–6.2)."""
+
+from .agreement import cohen_kappa, fleiss_kappa, pairwise_agreement_matrix
+from .consistency import categorical_consistency, consistency, numeric_consistency
+from .quality import accuracy, evaluate, f1_score, mae, precision_recall, rmse
+from .workers import (
+    Histogram,
+    histogram,
+    long_tail_ratio,
+    quality_histogram,
+    redundancy_histogram,
+    worker_accuracy,
+    worker_redundancy,
+    worker_rmse,
+)
+
+__all__ = [
+    "Histogram",
+    "accuracy",
+    "categorical_consistency",
+    "cohen_kappa",
+    "fleiss_kappa",
+    "pairwise_agreement_matrix",
+    "consistency",
+    "evaluate",
+    "f1_score",
+    "histogram",
+    "long_tail_ratio",
+    "mae",
+    "numeric_consistency",
+    "precision_recall",
+    "quality_histogram",
+    "redundancy_histogram",
+    "rmse",
+    "worker_accuracy",
+    "worker_redundancy",
+    "worker_rmse",
+]

@@ -1,0 +1,114 @@
+"""Inter-worker agreement statistics.
+
+Complements the paper's consistency statistic C (Section 6.2.1) with
+the standard chance-corrected agreement coefficients used throughout
+the crowdsourcing literature:
+
+* :func:`fleiss_kappa` — chance-corrected agreement over all tasks with
+  at least two answers (the dataset-level "are workers answering the
+  same thing?" number);
+* :func:`cohen_kappa` — pairwise chance-corrected agreement between two
+  workers on their shared tasks;
+* :func:`pairwise_agreement_matrix` — raw co-answer agreement between
+  every worker pair, the input to clique/community analyses (CBCC's
+  communities are visible in this matrix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+
+
+def fleiss_kappa(answers: AnswerSet) -> float:
+    """Fleiss' kappa over the tasks with >= 2 answers.
+
+    Returns NaN when no task has two answers or when agreement is
+    degenerate (all answers identical everywhere gives P_e = 1).
+    """
+    answers.require_categorical()
+    counts = answers.vote_counts()
+    totals = counts.sum(axis=1)
+    usable = totals >= 2
+    if not usable.any():
+        return float("nan")
+    counts = counts[usable]
+    totals = totals[usable]
+
+    # Per-task observed agreement, normalised for varying redundancy.
+    pairs = (counts * (counts - 1)).sum(axis=1)
+    possible = totals * (totals - 1)
+    p_observed = float((pairs / possible).mean())
+
+    # Chance agreement from the marginal label distribution.
+    marginals = counts.sum(axis=0) / counts.sum()
+    p_expected = float((marginals**2).sum())
+    if np.isclose(p_expected, 1.0):
+        return float("nan")
+    return (p_observed - p_expected) / (1.0 - p_expected)
+
+
+def cohen_kappa(answers: AnswerSet, worker_a: int, worker_b: int) -> float:
+    """Cohen's kappa between two workers on their shared tasks.
+
+    NaN when the workers share fewer than two tasks or when the chance
+    agreement is degenerate.
+    """
+    answers.require_categorical()
+    idx_a = answers.answers_of_worker(worker_a)
+    idx_b = answers.answers_of_worker(worker_b)
+    map_a = dict(zip(answers.tasks[idx_a].tolist(),
+                     answers.values[idx_a].tolist()))
+    map_b = dict(zip(answers.tasks[idx_b].tolist(),
+                     answers.values[idx_b].tolist()))
+    shared = sorted(set(map_a) & set(map_b))
+    if len(shared) < 2:
+        return float("nan")
+
+    a = np.array([map_a[t] for t in shared])
+    b = np.array([map_b[t] for t in shared])
+    p_observed = float(np.mean(a == b))
+    p_expected = 0.0
+    for label in range(answers.n_choices):
+        p_expected += float(np.mean(a == label)) * float(np.mean(b == label))
+    if np.isclose(p_expected, 1.0):
+        return float("nan")
+    return (p_observed - p_expected) / (1.0 - p_expected)
+
+
+def pairwise_agreement_matrix(answers: AnswerSet,
+                              min_shared: int = 1) -> np.ndarray:
+    """Raw agreement rate between every worker pair on shared tasks.
+
+    Entry ``[a, b]`` is the fraction of tasks answered by both where
+    the answers coincide; NaN where fewer than ``min_shared`` tasks are
+    shared.  Diagonal entries are 1 (a worker agrees with themselves).
+    """
+    answers.require_categorical()
+    n_workers = answers.n_workers
+    # task -> {worker: answer} lookup built once.
+    per_task: list[dict[int, int]] = [dict() for _ in range(answers.n_tasks)]
+    for task, worker, value in zip(answers.tasks, answers.workers,
+                                   answers.values):
+        per_task[task][int(worker)] = int(value)
+
+    agree = np.zeros((n_workers, n_workers))
+    shared = np.zeros((n_workers, n_workers))
+    for lookup in per_task:
+        members = sorted(lookup)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                shared[a, b] += 1
+                if lookup[a] == lookup[b]:
+                    agree[a, b] += 1
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        matrix = agree / shared
+    matrix[shared < min_shared] = np.nan
+    matrix = np.where(np.isnan(matrix) & ~np.isnan(matrix.T),
+                      matrix.T, matrix)
+    lower = np.tril_indices(n_workers, k=-1)
+    matrix[lower] = matrix.T[lower]
+    np.fill_diagonal(matrix, 1.0)
+    return matrix

@@ -1,0 +1,116 @@
+"""Per-worker statistics behind Figures 2 and 3 of the paper.
+
+* **Worker redundancy** (Figure 2) — number of tasks each worker
+  answered; the paper observes a long-tail distribution.
+* **Worker quality** (Figure 3) — each worker's accuracy against ground
+  truth (categorical) or RMSE (numeric); the paper observes wide,
+  dataset-dependent spreads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+
+
+def worker_redundancy(answers: AnswerSet) -> np.ndarray:
+    """Tasks answered per worker — the x-axis population of Figure 2."""
+    return answers.worker_answer_counts()
+
+
+def worker_accuracy(answers: AnswerSet, truth: np.ndarray,
+                    truth_mask: np.ndarray | None = None) -> np.ndarray:
+    """Per-worker accuracy against ground truth (Figure 3a–d).
+
+    ``truth_mask`` marks tasks whose ground truth is known — some paper
+    datasets (S_Rel, S_Adult) publish truth only for a subset, and
+    worker accuracy is computed on that subset only.  Workers with no
+    evaluable answers get NaN.
+    """
+    answers.require_categorical()
+    truth = np.asarray(truth)
+    evaluable = np.ones(answers.n_tasks, dtype=bool)
+    if truth_mask is not None:
+        evaluable = np.asarray(truth_mask, dtype=bool)
+
+    edge_ok = evaluable[answers.tasks]
+    correct = (answers.values.astype(np.int64) == truth[answers.tasks]) & edge_ok
+    hits = np.bincount(answers.workers, weights=correct.astype(float),
+                       minlength=answers.n_workers)
+    totals = np.bincount(answers.workers, weights=edge_ok.astype(float),
+                         minlength=answers.n_workers)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = hits / totals
+    out[totals == 0] = np.nan
+    return out
+
+
+def worker_rmse(answers: AnswerSet, truth: np.ndarray) -> np.ndarray:
+    """Per-worker RMSE against numeric ground truth (Figure 3e)."""
+    answers.require_numeric()
+    truth = np.asarray(truth, dtype=np.float64)
+    errors = (answers.values - truth[answers.tasks]) ** 2
+    sums = np.bincount(answers.workers, weights=errors,
+                       minlength=answers.n_workers)
+    counts = answers.worker_answer_counts().astype(float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.sqrt(sums / counts)
+    out[counts == 0] = np.nan
+    return out
+
+
+@dataclasses.dataclass
+class Histogram:
+    """A simple named histogram, serialisable into benchmark reports."""
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    def rows(self) -> list[tuple[float, float, int]]:
+        """(lo, hi, count) triples for printing."""
+        return [
+            (float(self.edges[k]), float(self.edges[k + 1]), int(self.counts[k]))
+            for k in range(len(self.counts))
+        ]
+
+
+def histogram(values: np.ndarray, bins: int = 10,
+              value_range: tuple[float, float] | None = None) -> Histogram:
+    """Histogram of finite values; NaNs are dropped."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[np.isfinite(values)]
+    counts, edges = np.histogram(values, bins=bins, range=value_range)
+    return Histogram(edges=edges, counts=counts)
+
+
+def redundancy_histogram(answers: AnswerSet, bins: int = 10) -> Histogram:
+    """Figure 2 histogram for one dataset."""
+    return histogram(worker_redundancy(answers).astype(float), bins=bins)
+
+
+def quality_histogram(answers: AnswerSet, truth: np.ndarray,
+                      truth_mask: np.ndarray | None = None,
+                      bins: int = 10) -> Histogram:
+    """Figure 3 histogram for one dataset (accuracy or RMSE)."""
+    if answers.task_type.is_categorical:
+        values = worker_accuracy(answers, truth, truth_mask)
+        return histogram(values, bins=bins, value_range=(0.0, 1.0))
+    return histogram(worker_rmse(answers, truth), bins=bins)
+
+
+def long_tail_ratio(answers: AnswerSet, head_fraction: float = 0.2) -> float:
+    """Share of all answers contributed by the most active workers.
+
+    A value well above ``head_fraction`` confirms the long-tail shape
+    the paper observes ("most workers answer a few tasks and only a few
+    workers answer plenty of tasks").
+    """
+    counts = np.sort(worker_redundancy(answers))[::-1]
+    total = counts.sum()
+    if total == 0:
+        return float("nan")
+    head = max(1, int(np.ceil(head_fraction * len(counts))))
+    return float(counts[:head].sum() / total)

@@ -1,0 +1,29 @@
+"""Planning tools — the paper's §7 future directions (3), (4) and (5).
+
+Redundancy planning (how many answers per task before quality
+saturates, what one more answer buys) and golden-task benefit
+estimation (is a qualification or hidden test worth paying for on this
+dataset with this method).
+"""
+
+from .benefit import (
+    BenefitEstimate,
+    estimate_hidden_benefit,
+    estimate_qualification_benefit,
+)
+from .redundancy import (
+    SaturationModel,
+    estimate_saturation_redundancy,
+    fit_saturation_model,
+    redundancy_curve,
+)
+
+__all__ = [
+    "BenefitEstimate",
+    "SaturationModel",
+    "estimate_hidden_benefit",
+    "estimate_qualification_benefit",
+    "estimate_saturation_redundancy",
+    "fit_saturation_model",
+    "redundancy_curve",
+]

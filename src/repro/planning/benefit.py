@@ -1,0 +1,155 @@
+"""Golden-task benefit estimation — paper §7 directions (4) and (5).
+
+"Not all methods can benefit from qualification test ... is it possible
+to estimate the benefit of qualification test for a method?"  and
+"is it possible to estimate the improvement with hidden test for a
+method on a dataset?"
+
+Both estimators run the respective protocol several times on the data
+at hand and summarise the quality delta with a bootstrap-style mean ±
+standard deviation, plus a decision flag (does the mean clear one
+standard deviation?).  This turns the paper's open question into a
+concrete, data-driven planning call: *should I spend money on golden
+tasks here?*
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.registry import create
+from ..datasets.schema import Dataset
+from ..experiments.hidden import sample_golden
+from ..experiments.qualification import bootstrap_initial_quality
+from ..experiments.runner import run_method
+
+
+@dataclasses.dataclass
+class BenefitEstimate:
+    """Estimated quality change from a golden-task intervention.
+
+    Deltas are stored sign-adjusted so that *positive always means
+    better* (error metrics are negated).
+    """
+
+    method: str
+    dataset: str
+    protocol: str
+    metric: str
+    baseline: float
+    mean_delta: float
+    std_delta: float
+    n_repeats: int
+
+    @property
+    def worthwhile(self) -> bool:
+        """True when the mean improvement clears one standard deviation."""
+        return self.mean_delta > self.std_delta
+
+    def summary(self) -> str:
+        verdict = "worthwhile" if self.worthwhile else "not worthwhile"
+        return (
+            f"{self.protocol} for {self.method} on {self.dataset}: "
+            f"Δ{self.metric} = {self.mean_delta:+.4f} ± "
+            f"{self.std_delta:.4f} over {self.n_repeats} repeats "
+            f"({verdict})"
+        )
+
+
+def _primary_metric(dataset: Dataset) -> tuple[str, float]:
+    """(metric name, sign) — sign +1 when higher is better."""
+    if dataset.task_type.is_categorical:
+        return "accuracy", 1.0
+    return "mae", -1.0
+
+
+def estimate_qualification_benefit(
+    dataset: Dataset,
+    method: str,
+    n_golden: int = 20,
+    n_repeats: int = 10,
+    base_seed: int = 0,
+) -> BenefitEstimate:
+    """Estimate Δquality from a qualification test (paper §6.3.2).
+
+    Raises ``ValueError`` for methods that cannot consume an initial
+    quality — the estimator's first useful answer is "this method
+    cannot benefit at all".
+    """
+    if not create(method).supports_initial_quality:
+        raise ValueError(
+            f"{method} cannot incorporate a qualification test "
+            "(see paper Table 7 for the 8 methods that can)"
+        )
+    metric, sign = _primary_metric(dataset)
+    baseline = run_method(method, dataset, seed=base_seed).scores[metric]
+
+    deltas = []
+    for repeat in range(n_repeats):
+        rng = np.random.default_rng(base_seed + 1000 + repeat)
+        initial = bootstrap_initial_quality(dataset, n_golden, rng)
+        scores = run_method(method, dataset, seed=base_seed + repeat,
+                            initial_quality=initial).scores
+        deltas.append(sign * (scores[metric] - baseline))
+
+    return BenefitEstimate(
+        method=method,
+        dataset=dataset.name,
+        protocol=f"qualification test ({n_golden} golden tasks)",
+        metric=metric,
+        baseline=baseline,
+        mean_delta=float(np.mean(deltas)),
+        std_delta=float(np.std(deltas)),
+        n_repeats=n_repeats,
+    )
+
+
+def estimate_hidden_benefit(
+    dataset: Dataset,
+    method: str,
+    percentage: float = 10.0,
+    n_repeats: int = 10,
+    base_seed: int = 0,
+) -> BenefitEstimate:
+    """Estimate Δquality from planting p% hidden golden tasks (§6.3.3).
+
+    Both arms are evaluated on the same T − T' subset: the golden
+    tasks' truths are clamped in one arm and withheld in the other —
+    exactly the comparison a requester deciding on golden tasks faces.
+    """
+    if not create(method).supports_golden:
+        raise ValueError(
+            f"{method} cannot incorporate hidden golden tasks "
+            "(see paper §6.3.3 for the 9 methods that can)"
+        )
+    metric, sign = _primary_metric(dataset)
+
+    baselines, deltas = [], []
+    for repeat in range(n_repeats):
+        rng = np.random.default_rng(base_seed + 2000 + repeat)
+        golden = sample_golden(dataset, percentage, rng)
+        exclude = set(golden)
+
+        with_result = create(method, seed=base_seed + repeat).fit(
+            dataset.answers, golden=golden)
+        with_score = dataset.score(with_result, exclude=exclude)[metric]
+
+        plain_result = create(method, seed=base_seed + repeat).fit(
+            dataset.answers)
+        plain_score = dataset.score(plain_result, exclude=exclude)[metric]
+
+        baselines.append(plain_score)
+        deltas.append(sign * (with_score - plain_score))
+
+    return BenefitEstimate(
+        method=method,
+        dataset=dataset.name,
+        protocol=f"hidden test ({percentage:.0f}% golden tasks)",
+        metric=metric,
+        baseline=float(np.mean(baselines)),
+        mean_delta=float(np.mean(deltas)),
+        std_delta=float(np.std(deltas)),
+        n_repeats=n_repeats,
+    )

@@ -1,0 +1,121 @@
+"""Redundancy planning — the paper's §7 future direction (3).
+
+"The quality significantly increases with small redundancy, and keeps
+stable for a large redundancy.  Then how to estimate the data
+redundancy with stable quality?  Is it possible to estimate the
+improvement with more data redundancy?"
+
+Two tools answer those two questions:
+
+* :func:`estimate_saturation_redundancy` — given a measured
+  quality-vs-redundancy curve, find the paper's r̂: the smallest r after
+  which the marginal gain stays below a threshold.
+* :class:`SaturationModel` — fit the curve with the saturating
+  exponential ``q(r) = q_inf − a·exp(−b·r)`` and *extrapolate* the
+  quality at redundancies that were never collected, i.e. "estimate the
+  improvement with more data redundancy".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from ..datasets.schema import Dataset
+from ..experiments.redundancy import sweep_redundancy
+
+
+def redundancy_curve(
+    dataset: Dataset,
+    method: str,
+    redundancies: Sequence[int],
+    metric: str = "accuracy",
+    n_repeats: int = 3,
+    base_seed: int = 0,
+) -> list[float]:
+    """Measure one method's quality-vs-redundancy curve (pilot data)."""
+    sweep = sweep_redundancy(dataset, redundancies=redundancies,
+                             methods=[method], n_repeats=n_repeats,
+                             base_seed=base_seed)
+    return sweep.series_for(metric)[method]
+
+
+def estimate_saturation_redundancy(
+    redundancies: Sequence[int],
+    qualities: Sequence[float],
+    epsilon: float = 0.005,
+    higher_is_better: bool = True,
+) -> int:
+    """The paper's r̂: smallest r whose remaining marginal gains < ε.
+
+    Scans the measured curve and returns the first redundancy after
+    which *every* subsequent per-step improvement is below ``epsilon``.
+    Falls back to the largest measured redundancy when the curve never
+    flattens.
+    """
+    redundancies = list(redundancies)
+    qualities = list(qualities)
+    if len(redundancies) != len(qualities):
+        raise ValueError("redundancies and qualities must be parallel")
+    if len(redundancies) < 2:
+        raise ValueError("need at least two curve points")
+    sign = 1.0 if higher_is_better else -1.0
+    gains = [sign * (b - a) for a, b in zip(qualities, qualities[1:])]
+    for position in range(len(gains)):
+        if all(gain < epsilon for gain in gains[position:]):
+            return redundancies[position]
+    return redundancies[-1]
+
+
+@dataclasses.dataclass
+class SaturationModel:
+    """Fitted ``q(r) = q_inf − a·exp(−b·r)`` saturation curve.
+
+    ``q_inf`` is the predicted quality ceiling; ``predict`` extrapolates
+    to unseen redundancies; ``marginal_gain`` answers "what do I buy
+    with one more answer per task?".
+    """
+
+    q_inf: float
+    a: float
+    b: float
+
+    def predict(self, r: np.ndarray | float) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        return self.q_inf - self.a * np.exp(-self.b * r)
+
+    def marginal_gain(self, r: float) -> float:
+        """Predicted quality gain from redundancy r to r + 1."""
+        return float(self.predict(r + 1) - self.predict(r))
+
+    def redundancy_for_quality(self, target: float) -> float:
+        """Smallest (real-valued) r whose predicted quality hits target.
+
+        Returns inf when the target exceeds the predicted ceiling.
+        """
+        if target >= self.q_inf:
+            return float("inf")
+        return float(-np.log((self.q_inf - target) / self.a) / self.b)
+
+
+def fit_saturation_model(redundancies: Sequence[int],
+                         qualities: Sequence[float]) -> SaturationModel:
+    """Least-squares fit of the saturating exponential to pilot data."""
+    r = np.asarray(redundancies, dtype=np.float64)
+    q = np.asarray(qualities, dtype=np.float64)
+    if len(r) < 3:
+        raise ValueError("need at least three points to fit three parameters")
+
+    def curve(r, q_inf, a, b):
+        return q_inf - a * np.exp(-b * r)
+
+    q_span = max(q.max() - q.min(), 1e-6)
+    initial = (q.max() + 0.1 * q_span, q_span, 0.5)
+    bounds = ([q.min(), 1e-9, 1e-4], [1.5, 10.0, 10.0])
+    params, _ = optimize.curve_fit(curve, r, q, p0=initial, bounds=bounds,
+                                   maxfev=20_000)
+    return SaturationModel(q_inf=float(params[0]), a=float(params[1]),
+                           b=float(params[2]))

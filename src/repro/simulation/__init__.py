@@ -1,0 +1,38 @@
+"""Crowdsourcing-platform simulation substrate.
+
+Replaces the real platforms (AMT, CrowdFlower) the paper collected data
+from: behavioural worker models, long-tail activity, assignment, and a
+platform pipeline with qualification/hidden-test support.
+"""
+
+from .assignment import assign_by_task, assign_by_worker, redundancy_schedule
+from .longtail import observed_tail_share, zipf_activity
+from .platform import CrowdPlatform, QualificationRecord
+from .workers import (
+    CategoricalWorker,
+    NumericWorker,
+    asymmetric_binary_worker,
+    biased_spammer,
+    malicious_worker,
+    reliable_worker,
+    sample_worker_pool,
+    spammer,
+)
+
+__all__ = [
+    "CategoricalWorker",
+    "CrowdPlatform",
+    "NumericWorker",
+    "QualificationRecord",
+    "assign_by_task",
+    "assign_by_worker",
+    "asymmetric_binary_worker",
+    "biased_spammer",
+    "malicious_worker",
+    "observed_tail_share",
+    "redundancy_schedule",
+    "reliable_worker",
+    "sample_worker_pool",
+    "spammer",
+    "zipf_activity",
+]

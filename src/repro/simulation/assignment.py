@@ -1,0 +1,125 @@
+"""Task-to-worker assignment strategies.
+
+Two complementary generators for the bipartite answer graph:
+
+* :func:`assign_by_task` — every task receives an exact number of
+  answers, workers chosen with probability proportional to an activity
+  weight.  This matches how AMT-style platforms replicate HITs (each
+  task posted ``r`` times, picked up by whichever workers are active)
+  and yields the long-tail worker redundancy of Figure 2 when the
+  weights are Zipf-distributed.
+* :func:`assign_by_worker` — every worker contributes an exact number of
+  answers over distinct tasks, tasks chosen to balance remaining need.
+
+Both return parallel ``(task_indices, worker_indices)`` arrays with no
+duplicate (task, worker) pair — a worker answers a task at most once, as
+in all the paper's datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DatasetError
+
+
+def assign_by_task(
+    task_redundancy: np.ndarray,
+    worker_weights: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Choose ``task_redundancy[i]`` distinct workers for each task.
+
+    Workers are sampled without replacement per task, with probability
+    proportional to ``worker_weights`` — heavy-weight workers pick up
+    many HITs, light ones few.
+    """
+    task_redundancy = np.asarray(task_redundancy, dtype=np.int64)
+    worker_weights = np.asarray(worker_weights, dtype=np.float64)
+    n_workers = len(worker_weights)
+    if (task_redundancy < 0).any():
+        raise DatasetError("task redundancy must be non-negative")
+    if task_redundancy.max(initial=0) > n_workers:
+        raise DatasetError(
+            f"a task needs {task_redundancy.max()} answers but only "
+            f"{n_workers} workers exist"
+        )
+    if (worker_weights <= 0).any():
+        raise DatasetError("worker weights must be positive")
+
+    probabilities = worker_weights / worker_weights.sum()
+    tasks_out: list[np.ndarray] = []
+    workers_out: list[np.ndarray] = []
+    for task, r in enumerate(task_redundancy):
+        if r == 0:
+            continue
+        chosen = rng.choice(n_workers, size=int(r), replace=False,
+                            p=probabilities)
+        tasks_out.append(np.full(int(r), task, dtype=np.int64))
+        workers_out.append(chosen.astype(np.int64))
+    if not tasks_out:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(tasks_out), np.concatenate(workers_out)
+
+
+def assign_by_worker(
+    n_tasks: int,
+    worker_counts: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Give each worker ``worker_counts[w]`` distinct tasks.
+
+    Tasks are sampled per worker with probability proportional to the
+    number of answers each task still "wants" (plus a floor so saturated
+    tasks remain eligible), which keeps the per-task redundancy tight
+    around the mean.
+    """
+    worker_counts = np.asarray(worker_counts, dtype=np.int64)
+    if (worker_counts < 0).any():
+        raise DatasetError("worker counts must be non-negative")
+    if worker_counts.max(initial=0) > n_tasks:
+        raise DatasetError(
+            f"a worker answers {worker_counts.max()} tasks but only "
+            f"{n_tasks} tasks exist"
+        )
+
+    total = int(worker_counts.sum())
+    target = max(1.0, total / max(n_tasks, 1))
+    need = np.full(n_tasks, target, dtype=np.float64)
+
+    tasks_out: list[np.ndarray] = []
+    workers_out: list[np.ndarray] = []
+    # Most active workers first: they need the most distinct tasks.
+    for worker in np.argsort(-worker_counts):
+        count = int(worker_counts[worker])
+        if count == 0:
+            continue
+        weights = np.maximum(need, 0.0) + 1e-3
+        probabilities = weights / weights.sum()
+        chosen = rng.choice(n_tasks, size=count, replace=False,
+                            p=probabilities)
+        need[chosen] -= 1.0
+        tasks_out.append(chosen.astype(np.int64))
+        workers_out.append(np.full(count, worker, dtype=np.int64))
+    if not tasks_out:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(tasks_out), np.concatenate(workers_out)
+
+
+def redundancy_schedule(n_tasks: int, total_answers: int) -> np.ndarray:
+    """Per-task answer counts summing exactly to ``total_answers``.
+
+    Spreads the remainder of ``total_answers / n_tasks`` over the first
+    tasks, mirroring how a fixed budget is spent on a task batch.
+    """
+    if n_tasks < 1:
+        raise DatasetError(f"n_tasks must be >= 1, got {n_tasks}")
+    if total_answers < 0:
+        raise DatasetError(f"total_answers must be >= 0, got {total_answers}")
+    base = total_answers // n_tasks
+    remainder = total_answers % n_tasks
+    schedule = np.full(n_tasks, base, dtype=np.int64)
+    schedule[:remainder] += 1
+    return schedule

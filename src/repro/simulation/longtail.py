@@ -1,0 +1,66 @@
+"""Long-tail activity sampling (paper Section 6.2.2, Figure 2).
+
+The paper observes worker redundancy "conforms to the long-tail
+phenomenon: most workers answer a few tasks and only a few workers
+answer plenty of tasks".  We model per-worker activity with a Zipf-like
+power law over worker ranks, normalised to hit a target total answer
+count, which reproduces both the histogram shape of Figure 2 and the
+|V| column of Table 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DatasetError
+
+
+def zipf_activity(
+    n_workers: int,
+    total_answers: int,
+    exponent: float = 1.0,
+    minimum: int = 1,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Answer counts per worker following a rank-``exponent`` power law.
+
+    Counts sum exactly to ``total_answers`` (remainders are distributed
+    to the head of the distribution) and every worker gets at least
+    ``minimum`` answers.  With ``rng`` provided, ranks are shuffled so
+    that worker index does not encode activity.
+    """
+    if n_workers < 1:
+        raise DatasetError(f"n_workers must be >= 1, got {n_workers}")
+    if total_answers < n_workers * minimum:
+        raise DatasetError(
+            f"total_answers={total_answers} cannot give every one of "
+            f"{n_workers} workers at least {minimum} answers"
+        )
+    if exponent < 0:
+        raise DatasetError(f"exponent must be >= 0, got {exponent}")
+
+    ranks = np.arange(1, n_workers + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+
+    budget = total_answers - n_workers * minimum
+    counts = minimum + np.floor(weights * budget).astype(np.int64)
+    shortfall = total_answers - int(counts.sum())
+    # Hand the integer remainder to the most active workers, one each.
+    for k in range(shortfall):
+        counts[k % n_workers] += 1
+
+    if rng is not None:
+        rng.shuffle(counts)
+    return counts
+
+
+def observed_tail_share(counts: np.ndarray, head_fraction: float = 0.2
+                        ) -> float:
+    """Fraction of answers from the busiest ``head_fraction`` of workers."""
+    counts = np.sort(np.asarray(counts))[::-1]
+    total = counts.sum()
+    if total == 0:
+        return float("nan")
+    head = max(1, int(np.ceil(head_fraction * len(counts))))
+    return float(counts[:head].sum() / total)

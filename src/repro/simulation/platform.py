@@ -1,0 +1,203 @@
+"""CrowdPlatform — a simulated AMT-style answer-collection pipeline.
+
+The substitute for the real crowdsourcing platforms the paper collected
+its data from.  Given a set of tasks with (latent) ground truths and a
+pool of behavioural worker models, the platform:
+
+* assigns tasks to workers (exact per-task redundancy, long-tail worker
+  activity — see :mod:`repro.simulation.assignment`);
+* collects one answer per assignment from each worker's behaviour model;
+* optionally runs a **qualification test** (Section 6.3.2): a fixed set
+  of golden tasks each worker answers before the real work, from which
+  an initial quality estimate is computed;
+* optionally plants **hidden golden tasks** (Section 6.3.3) whose truth
+  the requester knows.
+
+Every sampling decision flows through one :class:`numpy.random.Generator`
+so that a platform run is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.tasktypes import TaskType
+from ..exceptions import DatasetError
+from .assignment import assign_by_task, redundancy_schedule
+from .workers import CategoricalWorker, NumericWorker
+
+
+@dataclasses.dataclass
+class QualificationRecord:
+    """A worker's performance on the qualification test.
+
+    ``accuracy`` is the fraction of the golden tasks answered correctly
+    (categorical) or an RMSE-derived score in [0, 1] (numeric) — the
+    quantity used to initialise worker qualities in Table 7's protocol.
+    """
+
+    worker: int
+    n_golden: int
+    accuracy: float
+
+
+class CrowdPlatform:
+    """Collects simulated answers for a batch of tasks.
+
+    Parameters
+    ----------
+    truths:
+        Ground-truth labels (int) or values (float) per task.
+    workers:
+        Behavioural models; their list index is the worker index.
+    task_type:
+        Task type of the batch.
+    n_choices:
+        Choice count for single-choice batches.
+    seed:
+        Seed for the platform's random generator.
+    """
+
+    def __init__(
+        self,
+        truths: np.ndarray,
+        workers: Sequence[CategoricalWorker] | Sequence[NumericWorker],
+        task_type: TaskType,
+        n_choices: int | None = None,
+        seed: int | None = None,
+        task_difficulty: np.ndarray | None = None,
+    ) -> None:
+        self.truths = np.asarray(truths)
+        self.workers = list(workers)
+        self.task_type = task_type
+        self.n_choices = n_choices
+        self.rng = np.random.default_rng(seed)
+        # Per-task noise multiplier for numeric batches (1.0 = nominal).
+        self.task_difficulty = (
+            np.asarray(task_difficulty, dtype=np.float64)
+            if task_difficulty is not None else None
+        )
+        if (self.task_difficulty is not None
+                and len(self.task_difficulty) != len(self.truths)):
+            raise DatasetError("task_difficulty length must equal n_tasks")
+        if len(self.workers) == 0:
+            raise DatasetError("worker pool must be non-empty")
+        if task_type.is_categorical:
+            widths = {w.n_choices for w in self.workers}
+            if len(widths) != 1:
+                raise DatasetError(f"workers disagree on n_choices: {widths}")
+            width = widths.pop()
+            if n_choices is None:
+                self.n_choices = width
+            elif n_choices != width:
+                raise DatasetError(
+                    f"n_choices={n_choices} but workers have {width} choices"
+                )
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.truths)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    # ------------------------------------------------------------------
+    def collect(
+        self,
+        total_answers: int | None = None,
+        redundancy: int | None = None,
+        worker_weights: np.ndarray | None = None,
+    ) -> AnswerSet:
+        """Run the batch and return the collected answer set.
+
+        Exactly one of ``total_answers`` (budget spread over tasks) or
+        ``redundancy`` (uniform answers per task) must be given.
+        ``worker_weights`` shapes the long tail; defaults to a Zipf law.
+        """
+        if (total_answers is None) == (redundancy is None):
+            raise DatasetError(
+                "specify exactly one of total_answers / redundancy"
+            )
+        if redundancy is not None:
+            schedule = np.full(self.n_tasks, int(redundancy), dtype=np.int64)
+        else:
+            schedule = redundancy_schedule(self.n_tasks, int(total_answers))
+
+        if worker_weights is None:
+            ranks = np.arange(1, self.n_workers + 1, dtype=np.float64)
+            worker_weights = ranks**-1.0
+            self.rng.shuffle(worker_weights)
+
+        tasks, workers = assign_by_task(schedule, worker_weights, self.rng)
+        values = self._answers_for(tasks, workers)
+        return AnswerSet(
+            task_indices=tasks,
+            worker_indices=workers,
+            values=values,
+            task_type=self.task_type,
+            n_choices=self.n_choices,
+            n_tasks=self.n_tasks,
+            n_workers=self.n_workers,
+        )
+
+    def _answers_for(self, tasks: np.ndarray, workers: np.ndarray
+                     ) -> np.ndarray:
+        """Sample one answer per (task, worker) assignment."""
+        values = np.zeros(len(tasks),
+                          dtype=np.int64 if self.task_type.is_categorical
+                          else np.float64)
+        for worker in np.unique(workers):
+            edge = workers == worker
+            truths = self.truths[tasks[edge]]
+            if self.task_difficulty is not None and self.task_type.is_numeric:
+                values[edge] = self.workers[worker].answer_many(
+                    truths, self.rng,
+                    noise_scale=self.task_difficulty[tasks[edge]])
+            else:
+                values[edge] = self.workers[worker].answer_many(truths,
+                                                                self.rng)
+        return values
+
+    # ------------------------------------------------------------------
+    def qualification_test(self, n_golden: int = 20
+                           ) -> list[QualificationRecord]:
+        """Run each worker through ``n_golden`` fresh golden tasks.
+
+        Golden tasks are sampled from the same truth distribution as the
+        batch (with replacement), answered through the worker's model,
+        and scored against the known truths — the platform-side version
+        of AMT's qualification mechanism used for D_PosSent.
+        """
+        if n_golden < 1:
+            raise DatasetError(f"n_golden must be >= 1, got {n_golden}")
+        records = []
+        for worker_idx, worker in enumerate(self.workers):
+            golden_truths = self.rng.choice(self.truths, size=n_golden,
+                                            replace=True)
+            given = worker.answer_many(golden_truths, self.rng)
+            if self.task_type.is_categorical:
+                score = float(np.mean(given == golden_truths))
+            else:
+                error = float(np.sqrt(np.mean((given - golden_truths) ** 2)))
+                spread = float(np.std(self.truths)) or 1.0
+                score = float(np.clip(1.0 - error / (2.0 * spread), 0.0, 1.0))
+            records.append(QualificationRecord(
+                worker=worker_idx, n_golden=n_golden, accuracy=score))
+        return records
+
+    def plant_golden(self, fraction: float) -> dict[int, float]:
+        """Pick a random ``fraction`` of tasks as hidden-test goldens.
+
+        Returns the mapping from task index to its (known) truth that
+        methods supporting golden clamping consume.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise DatasetError(f"fraction must be in [0, 1], got {fraction}")
+        n_golden = int(round(fraction * self.n_tasks))
+        chosen = self.rng.choice(self.n_tasks, size=n_golden, replace=False)
+        return {int(t): self.truths[t] for t in chosen}

@@ -1,0 +1,210 @@
+"""Simulated worker behaviour models.
+
+The paper's Section 1 taxonomy of crowd workers — experts, ordinary
+workers, spammers ("randomly answer tasks in order to deceive money")
+and malicious workers ("intentionally give wrong answers") — realised as
+answer-generating models.  Categorical workers answer through a
+confusion matrix (the most expressive model in the survey's Table 4,
+which subsumes worker probability); numeric workers answer through the
+bias + variance Gaussian model of Section 4.2.3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..exceptions import DatasetError
+
+
+@dataclasses.dataclass
+class CategoricalWorker:
+    """A worker whose answers follow a confusion matrix.
+
+    ``confusion[j, k] = Pr(answer k | truth j)`` — exactly the paper's
+    Section 4.2.2 model.
+    """
+
+    confusion: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.confusion = np.asarray(self.confusion, dtype=np.float64)
+        if self.confusion.ndim != 2 or self.confusion.shape[0] != self.confusion.shape[1]:
+            raise DatasetError(
+                f"confusion matrix must be square, got {self.confusion.shape}"
+            )
+        sums = self.confusion.sum(axis=1)
+        if not np.allclose(sums, 1.0, atol=1e-6):
+            raise DatasetError(f"confusion rows must sum to 1, got {sums}")
+        if (self.confusion < 0).any():
+            raise DatasetError("confusion entries must be non-negative")
+
+    @property
+    def n_choices(self) -> int:
+        return self.confusion.shape[0]
+
+    @property
+    def accuracy_per_class(self) -> np.ndarray:
+        """Diagonal of the confusion matrix."""
+        return np.diag(self.confusion).copy()
+
+    def expected_accuracy(self, class_prior: np.ndarray | None = None) -> float:
+        """Marginal accuracy under a class prior (uniform by default)."""
+        diag = self.accuracy_per_class
+        if class_prior is None:
+            return float(diag.mean())
+        prior = np.asarray(class_prior, dtype=np.float64)
+        return float(diag @ (prior / prior.sum()))
+
+    def answer(self, truth: int, rng: np.random.Generator) -> int:
+        """Sample one answer for a task whose truth is ``truth``."""
+        return int(rng.choice(self.n_choices, p=self.confusion[int(truth)]))
+
+    def answer_many(self, truths: np.ndarray, rng: np.random.Generator
+                    ) -> np.ndarray:
+        """Vectorised sampling of answers for many tasks at once."""
+        truths = np.asarray(truths, dtype=np.int64)
+        cdf = self.confusion.cumsum(axis=1)[truths]
+        draws = rng.random((len(truths), 1))
+        return (draws > cdf).sum(axis=1)
+
+
+@dataclasses.dataclass
+class NumericWorker:
+    """Bias + variance Gaussian answer model (paper Section 4.2.3).
+
+    ``v^w_i ~ N(v*_i + bias, sigma^2)``: positive bias = systematic
+    overestimation; sigma captures the error spread around the bias.
+    """
+
+    bias: float = 0.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise DatasetError(f"sigma must be non-negative, got {self.sigma}")
+
+    def answer_many(self, truths: np.ndarray, rng: np.random.Generator,
+                    noise_scale: np.ndarray | None = None) -> np.ndarray:
+        """Sample answers; ``noise_scale`` multiplies sigma per task.
+
+        Task-level difficulty (a noisier photo, an ambiguous text) scales
+        every worker's noise on that task — error the worker "owns" in
+        the data but did not cause, which is exactly what defeats naive
+        per-worker variance weighting.
+        """
+        truths = np.asarray(truths, dtype=np.float64)
+        scale = np.full(len(truths), self.sigma)
+        if noise_scale is not None:
+            scale = scale * np.asarray(noise_scale, dtype=np.float64)
+        return truths + self.bias + rng.normal(scale=scale)
+
+    def expected_rmse(self) -> float:
+        """RMSE this worker converges to: sqrt(bias² + sigma²)."""
+        return float(np.sqrt(self.bias**2 + self.sigma**2))
+
+
+# ----------------------------------------------------------------------
+# Factory functions for the worker archetypes of the paper's Section 1.
+# ----------------------------------------------------------------------
+def reliable_worker(accuracy: float, n_choices: int) -> CategoricalWorker:
+    """A worker with symmetric per-class accuracy.
+
+    Accuracy on the diagonal, remaining mass spread over the wrong
+    choices — the confusion matrix a *worker probability* model assumes.
+    """
+    if not 0.0 <= accuracy <= 1.0:
+        raise DatasetError(f"accuracy must be in [0, 1], got {accuracy}")
+    off = (1.0 - accuracy) / max(n_choices - 1, 1)
+    confusion = np.full((n_choices, n_choices), off)
+    np.fill_diagonal(confusion, accuracy)
+    return CategoricalWorker(confusion)
+
+
+def asymmetric_binary_worker(recall_true: float, recall_false: float
+                             ) -> CategoricalWorker:
+    """A binary worker with different accuracies per truth class.
+
+    This is the D_Product situation the paper analyses: spotting one
+    difference suffices to answer 'F' correctly (high ``recall_false``)
+    but answering 'T' correctly requires checking every feature (lower
+    ``recall_true``).  Label convention: index 0 = F, index 1 = T.
+    """
+    for name, value in (("recall_true", recall_true),
+                        ("recall_false", recall_false)):
+        if not 0.0 <= value <= 1.0:
+            raise DatasetError(f"{name} must be in [0, 1], got {value}")
+    confusion = np.array([
+        [recall_false, 1.0 - recall_false],
+        [1.0 - recall_true, recall_true],
+    ])
+    return CategoricalWorker(confusion)
+
+
+def spammer(n_choices: int) -> CategoricalWorker:
+    """Uniformly random answers regardless of the truth."""
+    confusion = np.full((n_choices, n_choices), 1.0 / n_choices)
+    return CategoricalWorker(confusion)
+
+
+def malicious_worker(n_choices: int, wrongness: float = 0.9
+                     ) -> CategoricalWorker:
+    """Intentionally wrong answers: diagonal mass ``1 - wrongness``."""
+    if not 0.0 <= wrongness <= 1.0:
+        raise DatasetError(f"wrongness must be in [0, 1], got {wrongness}")
+    return reliable_worker(1.0 - wrongness, n_choices)
+
+
+def biased_spammer(n_choices: int, favourite: int, strength: float = 0.8
+                   ) -> CategoricalWorker:
+    """A worker who answers their favourite label regardless of truth.
+
+    The archetype behind the paper's observation that worker-probability
+    methods (ZC, CATD) degrade on S_Rel: a column-biased worker looks
+    "somewhat accurate" to a scalar quality model (they are right
+    whenever the truth happens to be their favourite), so their flood of
+    identical votes keeps distorting tasks, while a confusion matrix
+    captures the column structure and neutralises them.
+    """
+    if not 0 <= favourite < n_choices:
+        raise DatasetError(
+            f"favourite must be in [0, {n_choices}), got {favourite}"
+        )
+    if not 0.0 <= strength <= 1.0:
+        raise DatasetError(f"strength must be in [0, 1], got {strength}")
+    rest = (1.0 - strength) / n_choices
+    confusion = np.full((n_choices, n_choices), rest)
+    confusion[:, favourite] += strength
+    return CategoricalWorker(confusion)
+
+
+def sample_worker_pool(
+    n_workers: int,
+    n_choices: int,
+    rng: np.random.Generator,
+    mean_accuracy: float = 0.7,
+    accuracy_spread: float = 0.15,
+    spammer_fraction: float = 0.05,
+    malicious_fraction: float = 0.0,
+) -> list[CategoricalWorker]:
+    """Draw a heterogeneous worker pool around a target mean accuracy.
+
+    Reliable workers get accuracies from a clipped normal; a fraction are
+    spammers and (optionally) malicious — the mixture Figure 3 of the
+    paper shows empirically.
+    """
+    workers: list[CategoricalWorker] = []
+    for _ in range(n_workers):
+        draw = rng.random()
+        if draw < spammer_fraction:
+            workers.append(spammer(n_choices))
+        elif draw < spammer_fraction + malicious_fraction:
+            workers.append(malicious_worker(n_choices))
+        else:
+            accuracy = float(np.clip(
+                rng.normal(mean_accuracy, accuracy_spread),
+                1.0 / n_choices, 0.99,
+            ))
+            workers.append(reliable_worker(accuracy, n_choices))
+    return workers

@@ -1,0 +1,32 @@
+"""Online task assignment — the paper's §7 future direction (6).
+
+Assignment policies (random / round-robin / uncertainty / QASCA-style
+expected accuracy) and an online collection session that couples them
+with the platform simulator and periodic truth inference.
+"""
+
+from .policies import (
+    POLICIES,
+    AssignmentPolicy,
+    AssignmentState,
+    ExpectedAccuracyPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    UncertaintyPolicy,
+    create_policy,
+)
+from .session import OnlineSession, SessionTrace, compare_policies
+
+__all__ = [
+    "POLICIES",
+    "AssignmentPolicy",
+    "AssignmentState",
+    "ExpectedAccuracyPolicy",
+    "OnlineSession",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "SessionTrace",
+    "UncertaintyPolicy",
+    "compare_policies",
+    "create_policy",
+]

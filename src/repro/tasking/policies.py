@@ -1,0 +1,167 @@
+"""Online task-assignment policies (paper §7, future direction 6).
+
+The paper's evaluation is *static* — answers are given.  Its Section 7
+points at Online Task Assignment (citing QASCA [60] and iCrowd [19]) as
+the natural next step: when a worker arrives, which task should they
+get?  This module implements the standard policy ladder:
+
+* :class:`RandomPolicy` — uniform over eligible tasks;
+* :class:`RoundRobinPolicy` — fewest-answers-first (the budget-balanced
+  baseline most platforms ship);
+* :class:`UncertaintyPolicy` — highest current truth-posterior entropy;
+* :class:`ExpectedAccuracyPolicy` — QASCA-style: pick the task whose
+  expected posterior-max gain is largest under a Bayes update with the
+  arriving worker's estimated quality.
+
+Policies operate on an :class:`AssignmentState` snapshot so they are
+pure and unit-testable.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class AssignmentState:
+    """What a policy may look at when choosing a task.
+
+    Attributes
+    ----------
+    posterior:
+        Current (n_tasks, n_choices) truth estimate.
+    answer_counts:
+        Answers collected so far per task.
+    worker_quality:
+        Current per-worker quality estimates in [0, 1].
+    eligible:
+        Boolean mask of tasks the arriving worker may be given (not yet
+        answered by them, below the redundancy cap).
+    """
+
+    posterior: np.ndarray
+    answer_counts: np.ndarray
+    worker_quality: np.ndarray
+    eligible: np.ndarray
+
+    @property
+    def n_choices(self) -> int:
+        return self.posterior.shape[1]
+
+
+class AssignmentPolicy(abc.ABC):
+    """Strategy interface: pick one eligible task for a worker."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, state: AssignmentState, worker: int,
+               rng: np.random.Generator) -> int:
+        """Return the index of the task to assign (must be eligible)."""
+
+    @staticmethod
+    def _eligible_indices(state: AssignmentState) -> np.ndarray:
+        idx = np.nonzero(state.eligible)[0]
+        if len(idx) == 0:
+            raise ValueError("no eligible tasks for this worker")
+        return idx
+
+
+class RandomPolicy(AssignmentPolicy):
+    """Uniformly random eligible task."""
+
+    name = "random"
+
+    def select(self, state, worker, rng):
+        return int(rng.choice(self._eligible_indices(state)))
+
+
+class RoundRobinPolicy(AssignmentPolicy):
+    """Fewest answers first; ties broken randomly.
+
+    Equalises redundancy across tasks — what a platform does when it
+    replicates every HIT the same number of times.
+    """
+
+    name = "round-robin"
+
+    def select(self, state, worker, rng):
+        idx = self._eligible_indices(state)
+        counts = state.answer_counts[idx]
+        candidates = idx[counts == counts.min()]
+        return int(rng.choice(candidates))
+
+
+class UncertaintyPolicy(AssignmentPolicy):
+    """Highest-entropy task first.
+
+    Spends the budget where the current truth estimate is least sure.
+    """
+
+    name = "uncertainty"
+
+    def select(self, state, worker, rng):
+        idx = self._eligible_indices(state)
+        p = np.clip(state.posterior[idx], 1e-12, 1.0)
+        entropy = -(p * np.log(p)).sum(axis=1)
+        candidates = idx[np.isclose(entropy, entropy.max())]
+        return int(rng.choice(candidates))
+
+
+class ExpectedAccuracyPolicy(AssignmentPolicy):
+    """QASCA-style expected-accuracy maximisation.
+
+    For each eligible task, simulate the Bayes update of the task's
+    posterior for every answer the arriving worker could give (using the
+    worker's scalar quality as a symmetric confusion model), weight the
+    resulting posterior-max by the predicted answer probability, and
+    assign the task with the largest expected gain over its current
+    posterior max.  This is the expected-accuracy variant of QASCA's
+    assignment objective.
+    """
+
+    name = "expected-accuracy"
+
+    def select(self, state, worker, rng):
+        idx = self._eligible_indices(state)
+        quality = float(np.clip(state.worker_quality[worker], 1e-3, 1 - 1e-3))
+        n_choices = state.n_choices
+        wrong = (1.0 - quality) / max(n_choices - 1, 1)
+
+        p = np.clip(state.posterior[idx], 1e-12, 1.0)  # (m, K)
+        # likelihood[j, k] = Pr(answer k | truth j) under the scalar model
+        likelihood = np.full((n_choices, n_choices), wrong)
+        np.fill_diagonal(likelihood, quality)
+        # Predicted answer distribution per task: p @ likelihood.
+        answer_prob = p @ likelihood  # (m, K)
+        gain = np.zeros(len(idx))
+        current_max = p.max(axis=1)
+        for answer in range(n_choices):
+            updated = p * likelihood[:, answer]  # (m, K)
+            updated_sum = updated.sum(axis=1, keepdims=True)
+            updated = updated / np.where(updated_sum > 0, updated_sum, 1.0)
+            gain += answer_prob[:, answer] * updated.max(axis=1)
+        gain -= current_max
+        candidates = idx[np.isclose(gain, gain.max())]
+        return int(rng.choice(candidates))
+
+
+#: All built-in policies keyed by name.
+POLICIES = {
+    policy.name: policy
+    for policy in (RandomPolicy, RoundRobinPolicy, UncertaintyPolicy,
+                   ExpectedAccuracyPolicy)
+}
+
+
+def create_policy(name: str) -> AssignmentPolicy:
+    """Instantiate a policy by name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,203 @@
+"""Online answer-collection session driving an assignment policy.
+
+Couples the platform simulator's behavioural workers with an
+:class:`~repro.tasking.policies.AssignmentPolicy` and a truth-inference
+method: workers arrive one at a time, the policy picks their task, the
+worker's behaviour model produces an answer, and the truth posterior /
+worker-quality estimates are refreshed periodically by running the
+inference method on everything collected so far.
+
+This realises the experiment the paper's §7(6) asks for: "it is
+interesting to see how the answers collected by different task
+assignment strategies can affect the truth inference quality".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.framework import normalize_rows
+from ..core.registry import create
+from ..core.tasktypes import TaskType
+from ..exceptions import DatasetError
+from ..metrics.quality import accuracy
+from ..simulation.workers import CategoricalWorker
+from .policies import AssignmentPolicy, AssignmentState
+
+
+@dataclasses.dataclass
+class SessionTrace:
+    """Quality trajectory of one online session.
+
+    ``checkpoints`` holds (answers_collected, accuracy) pairs measured
+    against the (latent) truth each time the inference refreshes —
+    the series the extension benchmark plots.
+    """
+
+    policy: str
+    checkpoints: list[tuple[int, float]]
+    answers: AnswerSet
+    final_accuracy: float
+
+
+class OnlineSession:
+    """Simulates online assignment + collection + periodic inference.
+
+    Parameters
+    ----------
+    truths:
+        Latent ground truth per task (used by worker behaviour models
+        and for trajectory evaluation only — never shown to the policy).
+    workers:
+        Behavioural worker models.
+    policy:
+        The assignment strategy under test.
+    method:
+        Registry name of the inference method used for the periodic
+        posterior/quality refresh (default MV-free ZC: cheap and gives
+        worker-quality estimates the smarter policies need).
+    redundancy_cap:
+        Maximum answers any single task may receive.
+    refresh_every:
+        Refresh the posterior/qualities after this many new answers.
+    """
+
+    def __init__(
+        self,
+        truths: np.ndarray,
+        workers: Sequence[CategoricalWorker],
+        policy: AssignmentPolicy,
+        method: str = "ZC",
+        redundancy_cap: int = 20,
+        refresh_every: int = 200,
+        seed: int | None = None,
+    ) -> None:
+        self.truths = np.asarray(truths, dtype=np.int64)
+        self.workers = list(workers)
+        if not self.workers:
+            raise DatasetError("worker pool must be non-empty")
+        widths = {w.n_choices for w in self.workers}
+        if len(widths) != 1:
+            raise DatasetError(f"workers disagree on n_choices: {widths}")
+        self.n_choices = widths.pop()
+        self.policy = policy
+        self.method = method
+        self.redundancy_cap = redundancy_cap
+        self.refresh_every = refresh_every
+        self.rng = np.random.default_rng(seed)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.truths)
+
+    # ------------------------------------------------------------------
+    def run(self, n_answers: int) -> SessionTrace:
+        """Collect ``n_answers`` answers under the policy."""
+        if n_answers < 1:
+            raise DatasetError(f"n_answers must be >= 1, got {n_answers}")
+        n_tasks = self.n_tasks
+        n_workers = len(self.workers)
+        task_log: list[int] = []
+        worker_log: list[int] = []
+        value_log: list[int] = []
+
+        counts = np.zeros(n_tasks, dtype=np.int64)
+        answered = np.zeros((n_workers, n_tasks), dtype=bool)
+        posterior = np.full((n_tasks, self.n_choices), 1.0 / self.n_choices)
+        quality = np.full(n_workers, 0.7)
+        checkpoints: list[tuple[int, float]] = []
+
+        for step in range(n_answers):
+            worker = int(self.rng.integers(0, n_workers))
+            eligible = (~answered[worker]) & (counts < self.redundancy_cap)
+            if not eligible.any():
+                continue  # this worker has nothing left to do
+            state = AssignmentState(
+                posterior=posterior,
+                answer_counts=counts,
+                worker_quality=quality,
+                eligible=eligible,
+            )
+            task = self.policy.select(state, worker, self.rng)
+            answer = self.workers[worker].answer(int(self.truths[task]),
+                                                 self.rng)
+            task_log.append(task)
+            worker_log.append(worker)
+            value_log.append(int(answer))
+            counts[task] += 1
+            answered[worker, task] = True
+
+            # Cheap incremental posterior update (quality-weighted vote)
+            # between refreshes keeps the smarter policies informed.
+            weight = max(float(quality[worker]), 1e-3)
+            posterior[task] *= 1.0  # copy-on-write not needed: in place
+            posterior[task, answer] += weight
+            posterior[task] = posterior[task] / posterior[task].sum()
+
+            if (step + 1) % self.refresh_every == 0 or step + 1 == n_answers:
+                posterior, quality = self._refresh(
+                    task_log, worker_log, value_log, n_workers)
+                estimate = posterior.argmax(axis=1)
+                checkpoints.append(
+                    (step + 1, accuracy(self.truths, estimate)))
+
+        answers = AnswerSet(
+            task_indices=task_log,
+            worker_indices=worker_log,
+            values=value_log,
+            task_type=(TaskType.DECISION_MAKING if self.n_choices == 2
+                       else TaskType.SINGLE_CHOICE),
+            n_choices=self.n_choices,
+            n_tasks=n_tasks,
+            n_workers=n_workers,
+        )
+        final = checkpoints[-1][1] if checkpoints else float("nan")
+        return SessionTrace(
+            policy=self.policy.name,
+            checkpoints=checkpoints,
+            answers=answers,
+            final_accuracy=final,
+        )
+
+    # ------------------------------------------------------------------
+    def _refresh(self, task_log, worker_log, value_log, n_workers):
+        """Re-run the inference method on everything collected so far."""
+        answers = AnswerSet(
+            task_indices=task_log,
+            worker_indices=worker_log,
+            values=value_log,
+            task_type=(TaskType.DECISION_MAKING if self.n_choices == 2
+                       else TaskType.SINGLE_CHOICE),
+            n_choices=self.n_choices,
+            n_tasks=self.n_tasks,
+            n_workers=n_workers,
+        )
+        result = create(self.method,
+                        seed=int(self.rng.integers(2**31))).fit(answers)
+        if result.posterior is not None:
+            posterior = result.posterior.copy()
+        else:
+            posterior = normalize_rows(answers.vote_counts())
+        quality = np.clip(result.worker_quality, 0.0, 1.0)
+        return posterior, quality
+
+
+def compare_policies(
+    truths: np.ndarray,
+    workers: Sequence[CategoricalWorker],
+    policies: Sequence[AssignmentPolicy],
+    n_answers: int,
+    seed: int = 0,
+    **session_kwargs,
+) -> dict[str, SessionTrace]:
+    """Run the same workload under several policies (same seed)."""
+    traces = {}
+    for policy in policies:
+        session = OnlineSession(truths, workers, policy, seed=seed,
+                                **session_kwargs)
+        traces[policy.name] = session.run(n_answers)
+    return traces

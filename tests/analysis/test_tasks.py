@@ -1,0 +1,98 @@
+"""Tests for task-level analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tasks import (
+    contested_tasks,
+    disagreement_report,
+    estimate_difficulty_from_result,
+    task_entropy,
+    underanswered_tasks,
+)
+from repro.core import create
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+
+
+@pytest.fixture
+def mixed_answers():
+    """Task 0 unanimous, task 1 split 2-2, task 2 unanswered."""
+    return AnswerSet(
+        [0, 0, 0, 1, 1, 1, 1],
+        [0, 1, 2, 0, 1, 2, 3],
+        [1, 1, 1, 0, 0, 1, 1],
+        TaskType.DECISION_MAKING,
+        n_tasks=3, n_workers=4,
+    )
+
+
+class TestTaskEntropy:
+    def test_values(self, mixed_answers):
+        entropy = task_entropy(mixed_answers)
+        assert entropy[0] == pytest.approx(0.0)
+        assert entropy[1] == pytest.approx(1.0)
+        assert np.isnan(entropy[2])
+
+    def test_contested_detection(self, mixed_answers):
+        assert list(contested_tasks(mixed_answers)) == [1]
+
+    def test_underanswered(self, mixed_answers):
+        assert list(underanswered_tasks(mixed_answers, minimum=1)) == [2]
+        assert list(underanswered_tasks(mixed_answers, minimum=4)) == [0, 2]
+
+
+class TestDisagreementReport:
+    def test_overruled_and_uncertain(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("D&S", seed=0).fit(answers)
+        report = disagreement_report(answers, result)
+        # Plurality and D&S mostly agree on clean data.
+        assert len(report.overruled) < answers.n_tasks * 0.2
+        assert "overruled" in report.summary()
+
+    def test_requires_posterior(self, clean_numeric):
+        answers, _, _ = clean_numeric
+        result = create("Mean").fit(answers)
+        binary = AnswerSet([0], [0], [1], TaskType.DECISION_MAKING)
+        with pytest.raises(ValueError, match="posterior"):
+            disagreement_report(binary, result)
+
+
+class TestDifficultyEstimation:
+    def test_glad_easiness_used(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("GLAD", seed=0).fit(answers)
+        difficulty = estimate_difficulty_from_result(answers, result)
+        assert difficulty.shape == (answers.n_tasks,)
+        assert (difficulty[np.isfinite(difficulty)] >= 0).all()
+        assert (difficulty[np.isfinite(difficulty)] <= 1).all()
+
+    def test_fallback_for_methods_without_difficulty(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("D&S", seed=0).fit(answers)
+        difficulty = estimate_difficulty_from_result(answers, result)
+        finite = difficulty[np.isfinite(difficulty)]
+        assert len(finite) == answers.n_tasks
+        assert (finite >= -1e-9).all()
+
+    def test_hard_tasks_score_higher(self):
+        """Tasks with deliberately contradictory answers rank harder."""
+        rng = np.random.default_rng(0)
+        n_tasks = 100
+        truth = rng.integers(0, 2, size=n_tasks)
+        tasks, workers, values = [], [], []
+        for task in range(n_tasks):
+            for worker in range(5):
+                if task < 50:
+                    answer = truth[task]  # easy half
+                else:
+                    answer = rng.integers(0, 2)  # contested half
+                tasks.append(task)
+                workers.append(worker)
+                values.append(int(answer))
+        answers = AnswerSet(tasks, workers, values,
+                            TaskType.DECISION_MAKING)
+        result = create("D&S", seed=0).fit(answers)
+        difficulty = estimate_difficulty_from_result(answers, result)
+        assert np.nanmean(difficulty[50:]) > np.nanmean(difficulty[:50])

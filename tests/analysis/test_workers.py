@@ -1,0 +1,115 @@
+"""Tests for unsupervised worker-pool analysis."""
+
+import numpy as np
+
+from repro.analysis.workers import (
+    detect_inverters,
+    detect_label_bias,
+    detect_uniform_spammers,
+    profile_pool,
+)
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+
+
+def pool_with(behaviours, n_tasks=200, n_choices=2, seed=0):
+    """Build answers from per-worker behaviour callables."""
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, n_choices, size=n_tasks)
+    tasks, workers, values = [], [], []
+    for worker, behave in enumerate(behaviours):
+        for task in range(n_tasks):
+            tasks.append(task)
+            workers.append(worker)
+            values.append(int(behave(truth[task], rng)))
+    task_type = (TaskType.DECISION_MAKING if n_choices == 2
+                 else TaskType.SINGLE_CHOICE)
+    return AnswerSet(tasks, workers, values, task_type,
+                     n_choices=n_choices), truth
+
+
+def honest(accuracy):
+    def behave(truth, rng):
+        if rng.random() < accuracy:
+            return truth
+        return 1 - truth
+    return behave
+
+
+def uniform_spammer(n_choices=2):
+    def behave(truth, rng):
+        return rng.integers(0, n_choices)
+    return behave
+
+
+def always(label):
+    def behave(truth, rng):
+        return label
+    return behave
+
+
+def inverter():
+    def behave(truth, rng):
+        return 1 - truth
+    return behave
+
+
+class TestSpammerDetection:
+    def test_uniform_spammer_flagged(self):
+        answers, _ = pool_with([honest(0.9)] * 5 + [uniform_spammer()])
+        flags = detect_uniform_spammers(answers)
+        assert [f.worker for f in flags] == [5]
+
+    def test_honest_pool_clean(self):
+        answers, _ = pool_with([honest(0.85)] * 6)
+        assert detect_uniform_spammers(answers) == []
+
+    def test_min_answers_respected(self):
+        answers, _ = pool_with([honest(0.9)] * 3 + [uniform_spammer()],
+                               n_tasks=5)
+        assert detect_uniform_spammers(answers, min_answers=10) == []
+
+
+class TestLabelBiasDetection:
+    def test_always_worker_flagged(self):
+        answers, _ = pool_with([honest(0.9)] * 4 + [always(1)])
+        flags = detect_label_bias(answers)
+        assert [f.worker for f in flags] == [4]
+        assert "label 1" in flags[0].reason
+
+    def test_balanced_workers_clean(self):
+        answers, _ = pool_with([honest(0.8)] * 4)
+        assert detect_label_bias(answers) == []
+
+
+class TestInverterDetection:
+    def test_inverter_flagged(self):
+        answers, _ = pool_with([honest(0.9)] * 5 + [inverter()])
+        flags = detect_inverters(answers)
+        assert [f.worker for f in flags] == [5]
+
+    def test_multiclass_returns_empty(self):
+        answers, _ = pool_with(
+            [lambda t, rng: t] * 3, n_choices=4)
+        assert detect_inverters(answers) == []
+
+
+class TestPoolProfile:
+    def test_profile_counts_each_category(self):
+        answers, _ = pool_with(
+            [honest(0.9)] * 5 + [uniform_spammer(), always(0), inverter()])
+        profile = profile_pool(answers)
+        assert profile.n_workers == 8
+        assert profile.n_active == 8
+        flagged = {f.worker for f in (profile.uniform_spammers
+                                      + profile.label_biased
+                                      + profile.inverters)}
+        assert {5, 6, 7} <= flagged
+        assert profile.n_flagged >= 3
+        assert "pool of 8 workers" in profile.summary()
+
+    def test_clean_pool_profile(self):
+        answers, _ = pool_with([honest(0.85)] * 6)
+        profile = profile_pool(answers)
+        assert profile.n_flagged == 0
+        assert profile.mean_agreement > 0.6

@@ -1,0 +1,138 @@
+"""Shared fixtures: toy answer sets and scaled-down dataset replicas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.datasets import load_paper_dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def paper_example() -> AnswerSet:
+    """The paper's Table 2: 3 workers, 6 entity-resolution tasks.
+
+    Label encoding: F -> 0, T -> 1.  Ground truth is v*_1 = v*_6 = T and
+    F elsewhere; worker w3 is the best worker.
+    """
+    t, f = 1, 0
+    records = [
+        ("t1", "w1", f), ("t2", "w1", t), ("t3", "w1", t),
+        ("t4", "w1", f), ("t5", "w1", f), ("t6", "w1", f),
+        ("t2", "w2", f), ("t3", "w2", f), ("t4", "w2", t),
+        ("t5", "w2", t), ("t6", "w2", f),
+        ("t1", "w3", t), ("t2", "w3", f), ("t3", "w3", f),
+        ("t4", "w3", f), ("t5", "w3", f), ("t6", "w3", t),
+    ]
+    return AnswerSet.from_records(records, TaskType.DECISION_MAKING,
+                                  label_order=[0, 1])
+
+
+@pytest.fixture
+def paper_example_truth() -> np.ndarray:
+    """Ground truth for :func:`paper_example` (T=1 for t1 and t6)."""
+    return np.array([1, 0, 0, 0, 0, 1])
+
+
+def _binary_answers(n_tasks, worker_accuracies, redundancy, seed,
+                    positive_fraction=0.5):
+    """Synthesise a clean binary answer set with known worker accuracy."""
+    rng = np.random.default_rng(seed)
+    truth = (rng.random(n_tasks) < positive_fraction).astype(np.int64)
+    tasks, workers, values = [], [], []
+    n_workers = len(worker_accuracies)
+    for task in range(n_tasks):
+        chosen = rng.choice(n_workers, size=min(redundancy, n_workers),
+                            replace=False)
+        for worker in chosen:
+            correct = rng.random() < worker_accuracies[worker]
+            answer = truth[task] if correct else 1 - truth[task]
+            tasks.append(task)
+            workers.append(int(worker))
+            values.append(int(answer))
+    answers = AnswerSet(tasks, workers, values, TaskType.DECISION_MAKING,
+                        n_tasks=n_tasks, n_workers=n_workers)
+    return answers, truth
+
+
+@pytest.fixture
+def clean_binary():
+    """300 binary tasks, 8 workers of varied quality, redundancy 5."""
+    return _binary_answers(
+        n_tasks=300,
+        worker_accuracies=[0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.6, 0.35],
+        redundancy=5,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def clean_single_choice():
+    """200 4-choice tasks answered by reliable workers, redundancy 5."""
+    rng = np.random.default_rng(11)
+    n_tasks, n_choices, n_workers = 200, 4, 10
+    accuracies = rng.uniform(0.55, 0.9, size=n_workers)
+    truth = rng.integers(0, n_choices, size=n_tasks)
+    tasks, workers, values = [], [], []
+    for task in range(n_tasks):
+        for worker in rng.choice(n_workers, size=5, replace=False):
+            if rng.random() < accuracies[worker]:
+                answer = truth[task]
+            else:
+                answer = (truth[task] + rng.integers(1, n_choices)) % n_choices
+            tasks.append(task)
+            workers.append(int(worker))
+            values.append(int(answer))
+    answers = AnswerSet(tasks, workers, values, TaskType.SINGLE_CHOICE,
+                        n_choices=n_choices, n_tasks=n_tasks,
+                        n_workers=n_workers)
+    return answers, truth
+
+
+@pytest.fixture
+def clean_numeric():
+    """150 numeric tasks, 6 workers with known sigmas, redundancy 6."""
+    rng = np.random.default_rng(23)
+    n_tasks, n_workers = 150, 6
+    sigmas = np.array([1.0, 2.0, 3.0, 5.0, 8.0, 15.0])
+    truth = rng.uniform(-50, 50, size=n_tasks)
+    tasks, workers, values = [], [], []
+    for task in range(n_tasks):
+        for worker in range(n_workers):
+            tasks.append(task)
+            workers.append(worker)
+            values.append(float(truth[task] + rng.normal(0, sigmas[worker])))
+    answers = AnswerSet(tasks, workers, values, TaskType.NUMERIC,
+                        n_tasks=n_tasks, n_workers=n_workers)
+    return answers, truth, sigmas
+
+
+@pytest.fixture(scope="session")
+def small_product():
+    """Scale-0.1 D_Product replica (shared across the session)."""
+    return load_paper_dataset("D_Product", seed=0, scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def small_possent():
+    """Scale-0.2 D_PosSent replica."""
+    return load_paper_dataset("D_PosSent", seed=0, scale=0.2)
+
+
+@pytest.fixture(scope="session")
+def small_rel():
+    """Scale-0.05 S_Rel replica."""
+    return load_paper_dataset("S_Rel", seed=0, scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def small_emotion():
+    """Scale-0.5 N_Emotion replica."""
+    return load_paper_dataset("N_Emotion", seed=0, scale=0.5)

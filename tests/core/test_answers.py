@@ -1,0 +1,178 @@
+"""Unit tests for the AnswerSet container."""
+
+import numpy as np
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.exceptions import InvalidAnswerSetError, TaskTypeMismatchError
+
+
+def make(tasks, workers, values, **kwargs):
+    return AnswerSet(tasks, workers, values, TaskType.DECISION_MAKING,
+                     **kwargs)
+
+
+class TestConstruction:
+    def test_basic_shapes(self):
+        a = make([0, 0, 1], [0, 1, 0], [1, 0, 1])
+        assert a.n_tasks == 2
+        assert a.n_workers == 2
+        assert a.n_answers == 3
+
+    def test_explicit_sizes_allow_silent_tasks(self):
+        a = make([0], [0], [1], n_tasks=10, n_workers=5)
+        assert a.n_tasks == 10
+        assert a.n_workers == 5
+        assert len(a.answers_of_task(9)) == 0
+
+    def test_redundancy(self):
+        a = make([0, 0, 1, 1], [0, 1, 0, 1], [1, 1, 0, 0])
+        assert a.redundancy == 2.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidAnswerSetError, match="length mismatch"):
+            make([0, 1], [0], [1, 0])
+
+    def test_value_length_mismatch_rejected(self):
+        with pytest.raises(InvalidAnswerSetError, match="length mismatch"):
+            make([0, 1], [0, 1], [1])
+
+    def test_negative_task_index_rejected(self):
+        with pytest.raises(InvalidAnswerSetError, match="non-negative"):
+            make([-1], [0], [1])
+
+    def test_out_of_range_label_rejected(self):
+        with pytest.raises(InvalidAnswerSetError, match="categorical answers"):
+            make([0], [0], [2])
+
+    def test_too_small_n_tasks_rejected(self):
+        with pytest.raises(InvalidAnswerSetError, match="n_tasks"):
+            make([5], [0], [1], n_tasks=3)
+
+    def test_nan_numeric_rejected(self):
+        with pytest.raises(InvalidAnswerSetError, match="finite"):
+            AnswerSet([0], [0], [float("nan")], TaskType.NUMERIC)
+
+    def test_single_choice_needs_n_choices(self):
+        with pytest.raises(InvalidAnswerSetError, match="n_choices"):
+            AnswerSet([0], [0], [0], TaskType.SINGLE_CHOICE)
+
+    def test_decision_making_rejects_wrong_n_choices(self):
+        with pytest.raises(InvalidAnswerSetError, match="exactly 2"):
+            AnswerSet([0], [0], [0], TaskType.DECISION_MAKING, n_choices=4)
+
+    def test_arrays_are_frozen(self):
+        a = make([0], [0], [1])
+        with pytest.raises(ValueError):
+            a.tasks[0] = 3
+
+    def test_repr_mentions_sizes(self):
+        a = make([0, 1], [0, 1], [1, 0])
+        assert "tasks=2" in repr(a)
+        assert "workers=2" in repr(a)
+
+
+class TestFromRecords:
+    def test_indexes_in_order_of_appearance(self):
+        a = AnswerSet.from_records(
+            [("b", "x", "yes"), ("a", "y", "no"), ("b", "y", "yes")],
+            TaskType.DECISION_MAKING, label_order=["no", "yes"],
+        )
+        assert a.task_labels == ["b", "a"]
+        assert a.worker_labels == ["x", "y"]
+        assert list(a.values) == [1, 0, 1]
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(InvalidAnswerSetError, match="label"):
+            AnswerSet.from_records([("t", "w", "maybe")],
+                                   TaskType.DECISION_MAKING,
+                                   label_order=["no", "yes"])
+
+    def test_single_choice_infers_n_choices(self):
+        a = AnswerSet.from_records(
+            [("t", "w", "G"), ("t", "v", "PG"), ("t", "u", "R")],
+            TaskType.SINGLE_CHOICE, label_order=["G", "PG", "R", "X"],
+        )
+        assert a.n_choices == 4
+
+    def test_numeric_records(self):
+        a = AnswerSet.from_records([("t", "w", 3.5), ("t", "v", "4.5")],
+                                   TaskType.NUMERIC)
+        assert a.values.dtype == np.float64
+        assert list(a.values) == [3.5, 4.5]
+
+
+class TestAdjacency:
+    def test_workers_of_task(self, paper_example):
+        assert sorted(paper_example.workers_of_task(0)) == [0, 2]  # w1, w3
+
+    def test_tasks_of_worker(self, paper_example):
+        # w2 answered t2..t6 -> indices 1..5
+        assert sorted(paper_example.tasks_of_worker(1)) == [1, 2, 3, 4, 5]
+
+    def test_counts(self, paper_example):
+        assert list(paper_example.task_answer_counts()) == [2, 3, 3, 3, 3, 3]
+        assert list(paper_example.worker_answer_counts()) == [6, 5, 6]
+
+    def test_answers_of_task_indexes_flat_arrays(self, paper_example):
+        idx = paper_example.answers_of_task(3)
+        assert set(paper_example.tasks[idx]) == {3}
+
+
+class TestVoteCounts:
+    def test_paper_example_counts(self, paper_example):
+        counts = paper_example.vote_counts()
+        # t2 receives one T and two F
+        assert counts[1, 1] == 1
+        assert counts[1, 0] == 2
+
+    def test_total_equals_answers(self, paper_example):
+        assert paper_example.vote_counts().sum() == paper_example.n_answers
+
+    def test_numeric_rejects_vote_counts(self):
+        a = AnswerSet([0], [0], [1.0], TaskType.NUMERIC)
+        with pytest.raises(TaskTypeMismatchError):
+            a.vote_counts()
+
+    def test_onehot_shape(self, paper_example):
+        onehot = paper_example.onehot()
+        assert onehot.shape == (paper_example.n_answers, 2)
+        assert (onehot.sum(axis=1) == 1).all()
+
+
+class TestTransformations:
+    def test_select_preserves_index_space(self, paper_example):
+        sub = paper_example.select(np.array([0, 1, 2]))
+        assert sub.n_tasks == paper_example.n_tasks
+        assert sub.n_workers == paper_example.n_workers
+        assert sub.n_answers == 3
+
+    def test_select_boolean_mask(self, paper_example):
+        mask = np.zeros(paper_example.n_answers, dtype=bool)
+        mask[:4] = True
+        assert paper_example.select(mask).n_answers == 4
+
+    def test_select_wrong_mask_length_rejected(self, paper_example):
+        with pytest.raises(InvalidAnswerSetError):
+            paper_example.select(np.zeros(3, dtype=bool))
+
+    def test_subsample_redundancy_caps_per_task(self, paper_example, rng):
+        sub = paper_example.subsample_redundancy(1, rng)
+        assert (sub.task_answer_counts() <= 1).all()
+        assert sub.n_tasks == paper_example.n_tasks
+
+    def test_subsample_keeps_all_when_r_large(self, paper_example, rng):
+        sub = paper_example.subsample_redundancy(50, rng)
+        assert sub.n_answers == paper_example.n_answers
+
+    def test_subsample_rejects_zero(self, paper_example, rng):
+        with pytest.raises(InvalidAnswerSetError):
+            paper_example.subsample_redundancy(0, rng)
+
+    def test_subsample_is_a_subset(self, paper_example, rng):
+        sub = paper_example.subsample_redundancy(2, rng)
+        original = set(zip(paper_example.tasks, paper_example.workers,
+                           paper_example.values))
+        for triple in zip(sub.tasks, sub.workers, sub.values):
+            assert triple in original

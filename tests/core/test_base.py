@@ -1,0 +1,91 @@
+"""Unit tests for the TruthInferenceMethod base-class contract."""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.exceptions import TaskTypeMismatchError
+
+
+class TestFitValidation:
+    def test_task_type_mismatch_raises(self, clean_numeric):
+        answers, _, _ = clean_numeric
+        with pytest.raises(TaskTypeMismatchError, match="MV"):
+            create("MV").fit(answers)
+
+    def test_numeric_method_rejects_categorical(self, clean_binary):
+        answers, _ = clean_binary
+        with pytest.raises(TaskTypeMismatchError, match="Mean"):
+            create("Mean").fit(answers)
+
+    def test_binary_method_rejects_single_choice(self, clean_single_choice):
+        answers, _ = clean_single_choice
+        with pytest.raises(TaskTypeMismatchError, match="KOS"):
+            create("KOS").fit(answers)
+
+    def test_initial_quality_shape_checked(self, clean_binary):
+        answers, _ = clean_binary
+        with pytest.raises(ValueError, match="initial_quality"):
+            create("ZC").fit(answers, initial_quality=np.ones(3))
+
+    def test_golden_index_out_of_range_rejected(self, clean_binary):
+        answers, _ = clean_binary
+        with pytest.raises(ValueError, match="golden"):
+            create("ZC").fit(answers, golden={answers.n_tasks + 5: 1})
+
+    def test_result_carries_method_name_and_time(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("D&S", seed=0).fit(answers)
+        assert result.method == "D&S"
+        assert result.elapsed_seconds > 0
+
+    def test_unsupported_golden_silently_ignored(self, clean_binary):
+        # MV does not support golden tasks; passing them must not fail
+        # (the paper simply leaves those methods out of the experiment).
+        answers, truth = clean_binary
+        result = create("MV", seed=0).fit(answers, golden={0: 1})
+        assert result.n_tasks == answers.n_tasks
+
+    def test_unsupported_initial_quality_silently_ignored(self, clean_binary):
+        answers, _ = clean_binary
+        quality = np.full(answers.n_workers, 0.9)
+        result = create("KOS", seed=0).fit(answers, initial_quality=quality)
+        assert result.n_tasks == answers.n_tasks
+
+
+class TestSeeding:
+    @pytest.mark.parametrize("name", ["MV", "ZC", "D&S", "BCC", "KOS",
+                                      "Multi", "CBCC"])
+    def test_same_seed_same_output(self, clean_binary, name):
+        answers, _ = clean_binary
+        first = create(name, seed=99).fit(answers)
+        second = create(name, seed=99).fit(answers)
+        np.testing.assert_array_equal(first.truths, second.truths)
+        np.testing.assert_allclose(first.worker_quality,
+                                   second.worker_quality)
+
+    def test_different_seeds_may_change_sampled_methods(self, clean_binary):
+        answers, _ = clean_binary
+        first = create("BCC", seed=0).fit(answers)
+        second = create("BCC", seed=1).fit(answers)
+        # Posteriors are sampled; they should not be bit-identical.
+        assert not np.array_equal(first.posterior, second.posterior)
+
+
+class TestHelperPosteriors:
+    def test_uniform_posterior(self, clean_binary):
+        answers, _ = clean_binary
+        from repro.core.base import CategoricalMethod
+
+        posterior = CategoricalMethod.uniform_posterior(answers)
+        assert posterior.shape == (answers.n_tasks, 2)
+        np.testing.assert_allclose(posterior, 0.5)
+
+    def test_majority_posterior_rows_normalised(self, clean_binary):
+        answers, _ = clean_binary
+        from repro.core.base import CategoricalMethod
+
+        posterior = CategoricalMethod.majority_posterior(answers)
+        np.testing.assert_allclose(posterior.sum(axis=1), 1.0)

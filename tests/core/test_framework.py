@@ -1,0 +1,113 @@
+"""Unit tests for the shared iteration framework helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import (
+    ConvergenceTracker,
+    clamp_golden_posterior,
+    clamp_golden_values,
+    clip_probability,
+    decode_posterior,
+    log_normalize_rows,
+    normalize_rows,
+)
+from repro.exceptions import ConvergenceError
+
+
+class TestConvergenceTracker:
+    def test_converges_on_stable_parameters(self):
+        tracker = ConvergenceTracker(tolerance=1e-3, max_iter=50)
+        params = np.array([1.0, 2.0])
+        assert tracker.update(params) is False
+        assert tracker.update(params + 1e-5) is True
+        assert tracker.converged
+
+    def test_stops_at_iteration_cap(self):
+        tracker = ConvergenceTracker(tolerance=1e-9, max_iter=3)
+        stops = [tracker.update(np.array([float(i)])) for i in range(3)]
+        assert stops == [False, False, True]
+        assert not tracker.converged
+
+    def test_nan_raises(self):
+        tracker = ConvergenceTracker()
+        with pytest.raises(ConvergenceError):
+            tracker.update(np.array([np.nan]))
+
+    def test_shape_change_does_not_false_converge(self):
+        tracker = ConvergenceTracker(tolerance=1e-3, max_iter=50)
+        tracker.update(np.array([1.0, 2.0]))
+        assert tracker.update(np.array([1.0, 2.0, 3.0])) is False
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergenceTracker(tolerance=0)
+        with pytest.raises(ValueError):
+            ConvergenceTracker(max_iter=0)
+
+
+class TestGoldenClamping:
+    def test_posterior_rows_become_one_hot(self):
+        posterior = np.full((3, 2), 0.5)
+        out = clamp_golden_posterior(posterior, {1: 1})
+        assert list(out[1]) == [0.0, 1.0]
+        assert list(out[0]) == [0.5, 0.5]
+
+    def test_none_golden_is_identity(self):
+        posterior = np.full((2, 2), 0.5)
+        assert clamp_golden_posterior(posterior, None) is posterior
+
+    def test_numeric_values_clamped(self):
+        values = np.zeros(3)
+        out = clamp_golden_values(values, {2: 7.5})
+        assert out[2] == 7.5
+        assert out[0] == 0.0
+
+
+class TestNormalisation:
+    def test_normalize_rows_sums_to_one(self):
+        out = normalize_rows(np.array([[2.0, 2.0], [1.0, 3.0]]))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_normalize_zero_row_becomes_uniform(self):
+        out = normalize_rows(np.array([[0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(out, [[1 / 3, 1 / 3, 1 / 3]])
+
+    def test_log_normalize_matches_direct(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        direct = np.exp(logits) / np.exp(logits).sum()
+        np.testing.assert_allclose(log_normalize_rows(logits), direct)
+
+    def test_log_normalize_stable_for_large_values(self):
+        logits = np.array([[1e4, 1e4 - 1.0]])
+        out = log_normalize_rows(logits)
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_clip_probability_bounds(self):
+        out = clip_probability(np.array([0.0, 0.5, 1.0]))
+        assert out[0] > 0
+        assert out[2] < 1
+        assert out[1] == 0.5
+
+
+class TestDecodePosterior:
+    def test_argmax_without_rng(self):
+        posterior = np.array([[0.7, 0.3], [0.2, 0.8]])
+        assert list(decode_posterior(posterior)) == [0, 1]
+
+    def test_random_tie_break_hits_both_labels(self):
+        posterior = np.full((200, 2), 0.5)
+        labels = decode_posterior(posterior, np.random.default_rng(0))
+        assert 0 < labels.mean() < 1
+
+    def test_deterministic_tie_break_picks_lowest(self):
+        posterior = np.full((5, 3), 1 / 3)
+        assert list(decode_posterior(posterior)) == [0] * 5
+
+    def test_near_ties_are_ties(self):
+        posterior = np.array([[0.5, 0.5 + 1e-12]])
+        labels = [decode_posterior(posterior,
+                                   np.random.default_rng(seed))[0]
+                  for seed in range(50)]
+        assert set(labels) == {0, 1}

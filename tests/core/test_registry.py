@@ -1,0 +1,96 @@
+"""Unit tests for the method registry."""
+
+import pytest
+
+from repro.core import registry
+from repro.core.base import TruthInferenceMethod
+from repro.core.tasktypes import TaskType
+from repro.exceptions import UnknownMethodError
+
+ALL_PAPER_METHODS = {
+    "MV", "ZC", "GLAD", "D&S", "Minimax", "BCC", "CBCC", "LFC",
+    "CATD", "PM", "Multi", "KOS", "VI-BP", "VI-MF", "LFC_N",
+    "Mean", "Median",
+}
+
+
+class TestRegistry:
+    def test_all_17_paper_methods_registered(self):
+        assert ALL_PAPER_METHODS <= set(registry.available_methods())
+
+    def test_extensions_marked_and_excluded_by_default(self):
+        extras = set(registry.available_methods()) - ALL_PAPER_METHODS
+        assert extras == {"Minimax-Ord"}
+        for name in extras:
+            assert registry.create(name).is_extension
+        for task_type in TaskType:
+            assert not (set(registry.methods_for_task_type(task_type))
+                        & extras)
+
+    def test_extensions_opt_in(self):
+        names = registry.methods_for_task_type(TaskType.SINGLE_CHOICE,
+                                               include_extensions=True)
+        assert "Minimax-Ord" in names
+
+    def test_create_returns_instances(self):
+        method = registry.create("D&S")
+        assert isinstance(method, TruthInferenceMethod)
+        assert method.name == "D&S"
+
+    def test_create_forwards_kwargs(self):
+        method = registry.create("MV", seed=42)
+        assert method.seed == 42
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(UnknownMethodError, match="NoSuchMethod"):
+            registry.create("NoSuchMethod")
+
+    def test_decision_making_has_14_methods(self):
+        # Table 6 compares 14 methods on decision-making datasets.
+        names = registry.methods_for_task_type(TaskType.DECISION_MAKING)
+        assert len(names) == 14
+        assert "Mean" not in names
+
+    def test_single_choice_has_10_methods(self):
+        # Figure 5 compares 10 methods on single-choice datasets.
+        names = registry.methods_for_task_type(TaskType.SINGLE_CHOICE)
+        assert len(names) == 10
+        assert "KOS" not in names
+        assert "Multi" not in names
+        assert "VI-BP" not in names
+
+    def test_numeric_has_5_methods(self):
+        # Figure 6 compares 5 methods on the numeric dataset.
+        names = registry.methods_for_task_type(TaskType.NUMERIC)
+        assert set(names) == {"CATD", "PM", "LFC_N", "Mean", "Median"}
+
+    def test_create_all_filters_by_task_type(self):
+        methods = registry.create_all(TaskType.NUMERIC)
+        assert set(methods) == {"CATD", "PM", "LFC_N", "Mean", "Median"}
+
+    def test_create_all_respects_explicit_names(self):
+        methods = registry.create_all(TaskType.DECISION_MAKING,
+                                      names=["MV", "D&S"])
+        assert list(methods) == ["MV", "D&S"]
+
+    def test_qualification_support_matches_table7(self):
+        # Table 7's 8 methods can consume a qualification test.
+        supporting = {
+            name for name in registry.available_methods()
+            if registry.create(name).supports_initial_quality
+        }
+        assert supporting >= {"ZC", "GLAD", "D&S", "LFC", "CATD", "PM",
+                              "VI-MF", "LFC_N"}
+        assert "MV" not in supporting
+        assert "BCC" not in supporting
+
+    def test_hidden_test_support_matches_section633(self):
+        # Section 6.3.3's 9 methods can clamp golden tasks.
+        supporting = {
+            name for name in registry.available_methods()
+            if registry.create(name).supports_golden
+        }
+        assert supporting >= {"ZC", "GLAD", "D&S", "Minimax", "LFC",
+                              "CATD", "PM", "VI-MF", "LFC_N"}
+        assert "MV" not in supporting
+        assert "CBCC" not in supporting

@@ -1,0 +1,53 @@
+"""Unit tests for the InferenceResult container."""
+
+import numpy as np
+
+from repro.core.result import InferenceResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        method="MV",
+        truths=np.array([0, 1, 1]),
+        worker_quality=np.array([0.9, 0.5]),
+        posterior=np.array([[0.8, 0.2], [0.1, 0.9], [0.4, 0.6]]),
+        n_iterations=5,
+        converged=True,
+        elapsed_seconds=0.12,
+    )
+    defaults.update(overrides)
+    return InferenceResult(**defaults)
+
+
+class TestInferenceResult:
+    def test_sizes(self):
+        result = make_result()
+        assert result.n_tasks == 3
+        assert result.n_workers == 2
+
+    def test_truth_of(self):
+        assert make_result().truth_of(1) == 1
+
+    def test_top_workers_sorted_best_first(self):
+        result = make_result(worker_quality=np.array([0.1, 0.9, 0.5]))
+        assert list(result.top_workers(2)) == [1, 2]
+
+    def test_top_workers_caps_at_pool_size(self):
+        assert len(make_result().top_workers(10)) == 2
+
+    def test_summary_mentions_method_and_state(self):
+        text = make_result().summary()
+        assert "MV" in text
+        assert "converged" in text
+
+    def test_summary_reports_iteration_cap(self):
+        text = make_result(converged=False).summary()
+        assert "iteration cap" in text
+
+    def test_arrays_coerced(self):
+        result = make_result(worker_quality=[0.5, 0.6])
+        assert isinstance(result.worker_quality, np.ndarray)
+
+    def test_posterior_optional(self):
+        result = make_result(posterior=None)
+        assert result.posterior is None

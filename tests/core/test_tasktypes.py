@@ -1,0 +1,54 @@
+"""Unit tests for the task-type taxonomy."""
+
+import pytest
+
+from repro.core.tasktypes import (
+    DECISION_CHOICES,
+    LABEL_FALSE,
+    LABEL_TRUE,
+    TaskType,
+    validate_n_choices,
+)
+from repro.exceptions import InvalidAnswerSetError
+
+
+class TestTaskType:
+    def test_categorical_flags(self):
+        assert TaskType.DECISION_MAKING.is_categorical
+        assert TaskType.SINGLE_CHOICE.is_categorical
+        assert not TaskType.NUMERIC.is_categorical
+
+    def test_numeric_flags(self):
+        assert TaskType.NUMERIC.is_numeric
+        assert not TaskType.DECISION_MAKING.is_numeric
+
+    def test_values_round_trip(self):
+        for task_type in TaskType:
+            assert TaskType(task_type.value) is task_type
+
+
+class TestLabelConvention:
+    def test_true_false_are_distinct_binary_labels(self):
+        assert {LABEL_TRUE, LABEL_FALSE} == {0, 1}
+        assert DECISION_CHOICES == 2
+
+
+class TestValidateNChoices:
+    def test_decision_making_defaults_to_two(self):
+        assert validate_n_choices(TaskType.DECISION_MAKING, None) == 2
+        assert validate_n_choices(TaskType.DECISION_MAKING, 2) == 2
+
+    def test_decision_making_rejects_other(self):
+        with pytest.raises(InvalidAnswerSetError):
+            validate_n_choices(TaskType.DECISION_MAKING, 3)
+
+    def test_numeric_is_zero(self):
+        assert validate_n_choices(TaskType.NUMERIC, None) == 0
+        assert validate_n_choices(TaskType.NUMERIC, 7) == 0
+
+    def test_single_choice_requires_count(self):
+        with pytest.raises(InvalidAnswerSetError):
+            validate_n_choices(TaskType.SINGLE_CHOICE, None)
+        with pytest.raises(InvalidAnswerSetError):
+            validate_n_choices(TaskType.SINGLE_CHOICE, 1)
+        assert validate_n_choices(TaskType.SINGLE_CHOICE, 4) == 4

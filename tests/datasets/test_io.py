@@ -1,0 +1,59 @@
+"""Round-trip tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.paper import n_emotion
+from repro.exceptions import DatasetError
+
+
+class TestRoundTrip:
+    def test_categorical_round_trip(self, tmp_path, small_product):
+        save_dataset(small_product, tmp_path / "d_product")
+        loaded = load_dataset(tmp_path / "d_product")
+        assert loaded.name == small_product.name
+        assert loaded.task_type == small_product.task_type
+        np.testing.assert_array_equal(loaded.answers.tasks,
+                                      small_product.answers.tasks)
+        np.testing.assert_array_equal(loaded.answers.values,
+                                      small_product.answers.values)
+        np.testing.assert_array_equal(loaded.truth, small_product.truth)
+
+    def test_partial_truth_round_trip(self, tmp_path, small_rel):
+        save_dataset(small_rel, tmp_path / "s_rel")
+        loaded = load_dataset(tmp_path / "s_rel")
+        assert loaded.n_truth == small_rel.n_truth
+        np.testing.assert_array_equal(loaded.truth_mask,
+                                      small_rel.truth_mask)
+        # Truth values agree on the masked subset.
+        masked = np.nonzero(small_rel.truth_mask)[0]
+        np.testing.assert_array_equal(loaded.truth[masked],
+                                      small_rel.truth[masked])
+
+    def test_numeric_round_trip(self, tmp_path):
+        dataset = n_emotion(seed=3, scale=0.2)
+        save_dataset(dataset, tmp_path / "n_emotion")
+        loaded = load_dataset(tmp_path / "n_emotion")
+        np.testing.assert_allclose(loaded.answers.values,
+                                   dataset.answers.values)
+        np.testing.assert_allclose(loaded.truth, dataset.truth)
+
+    def test_metadata_preserved(self, tmp_path, small_product):
+        save_dataset(small_product, tmp_path / "d")
+        loaded = load_dataset(tmp_path / "d")
+        assert loaded.metadata["seed"] == small_product.metadata["seed"]
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "nope")
+
+    def test_scores_identical_after_reload(self, tmp_path, small_product):
+        from repro.core import create
+
+        save_dataset(small_product, tmp_path / "d")
+        loaded = load_dataset(tmp_path / "d")
+        original = small_product.score(
+            create("MV", seed=0).fit(small_product.answers))
+        reloaded = loaded.score(create("MV", seed=0).fit(loaded.answers))
+        assert original == reloaded

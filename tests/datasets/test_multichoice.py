@@ -1,0 +1,92 @@
+"""Tests for the multiple-choice workflow (paper §2 transformation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.core.result import InferenceResult
+from repro.datasets.multichoice import (
+    build_multichoice_dataset,
+    decisions_to_tag_sets,
+    tag_set_f1,
+    tag_set_jaccard,
+    tag_truth_vector,
+)
+from repro.exceptions import DatasetError
+from repro.simulation import reliable_worker
+
+TAGS = [[0, 2], [1], [], [0, 1, 2]]
+N_TAGS = 3
+
+
+class TestTruthVector:
+    def test_layout_matches_pair_order(self):
+        truths = tag_truth_vector(TAGS, N_TAGS)
+        # Item 0 has tags {0, 2}: pairs (0,0)=1, (0,1)=0, (0,2)=1.
+        assert list(truths[:3]) == [1, 0, 1]
+        # Item 2 has no tags.
+        assert list(truths[6:9]) == [0, 0, 0]
+
+    def test_length(self):
+        assert len(tag_truth_vector(TAGS, N_TAGS)) == len(TAGS) * N_TAGS
+
+
+class TestBuildDataset:
+    def test_dataset_shape(self):
+        workers = [reliable_worker(0.9, 2) for _ in range(5)]
+        ds = build_multichoice_dataset(TAGS, N_TAGS, workers,
+                                       redundancy=3, seed=0)
+        assert ds.n_tasks == 12
+        assert ds.metadata["n_items"] == 4
+        assert (ds.answers.task_answer_counts() == 3).all()
+
+    def test_non_binary_workers_rejected(self):
+        workers = [reliable_worker(0.9, 4)]
+        with pytest.raises(DatasetError, match="binary"):
+            build_multichoice_dataset(TAGS, N_TAGS, workers, redundancy=1)
+
+
+class TestRoundTrip:
+    def test_end_to_end_tag_recovery(self):
+        """The full paper-§2 pipeline: tags -> decisions -> inference
+        -> tags."""
+        rng = np.random.default_rng(0)
+        tags = [sorted(rng.choice(5, size=rng.integers(0, 4),
+                                  replace=False).tolist())
+                for _ in range(60)]
+        workers = [reliable_worker(0.9, 2) for _ in range(8)]
+        ds = build_multichoice_dataset(tags, 5, workers, redundancy=5,
+                                       seed=1)
+        result = create("D&S", seed=0).fit(ds.answers)
+        recovered = decisions_to_tag_sets(result, n_items=60, n_tags=5)
+        assert tag_set_f1(tags, recovered) > 0.9
+        assert tag_set_jaccard(tags, recovered) > 0.85
+
+    def test_size_mismatch_rejected(self):
+        result = InferenceResult(method="x", truths=np.zeros(5),
+                                 worker_quality=np.zeros(1))
+        with pytest.raises(DatasetError, match="decisions"):
+            decisions_to_tag_sets(result, n_items=2, n_tags=3)
+
+
+class TestTagMetrics:
+    def test_perfect_recovery(self):
+        recovered = [set(t) for t in TAGS]
+        assert tag_set_f1(TAGS, recovered) == 1.0
+        assert tag_set_jaccard(TAGS, recovered) == 1.0
+
+    def test_empty_sets_count_as_perfect_jaccard(self):
+        assert tag_set_jaccard([[]], [set()]) == 1.0
+
+    def test_all_empty_f1_zero(self):
+        assert tag_set_f1([[]], [set()]) == 0.0
+
+    def test_partial_overlap(self):
+        expected = [[0, 1]]
+        recovered = [{1, 2}]
+        assert tag_set_jaccard(expected, recovered) == pytest.approx(1 / 3)
+        assert tag_set_f1(expected, recovered) == pytest.approx(0.5)
+
+    def test_parallel_validation(self):
+        with pytest.raises(DatasetError):
+            tag_set_f1([[0]], [set(), set()])

@@ -1,0 +1,71 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.result import InferenceResult
+from repro.core.tasktypes import TaskType
+from repro.datasets.schema import Dataset
+from repro.exceptions import DatasetError
+
+
+def make_dataset(truth_mask=None):
+    answers = AnswerSet([0, 0, 1, 1, 2, 2], [0, 1, 0, 1, 0, 1],
+                        [1, 1, 0, 0, 1, 0], TaskType.DECISION_MAKING)
+    return Dataset(name="toy", answers=answers,
+                   truth=np.array([1, 0, 1]), truth_mask=truth_mask)
+
+
+class TestDataset:
+    def test_truth_length_validated(self):
+        answers = AnswerSet([0], [0], [1], TaskType.DECISION_MAKING)
+        with pytest.raises(DatasetError):
+            Dataset(name="bad", answers=answers, truth=np.array([1, 0]))
+
+    def test_n_truth_full(self):
+        assert make_dataset().n_truth == 3
+
+    def test_n_truth_partial(self):
+        ds = make_dataset(truth_mask=np.array([True, False, True]))
+        assert ds.n_truth == 2
+
+    def test_statistics_row(self):
+        row = make_dataset().statistics()
+        assert row["dataset"] == "toy"
+        assert row["n_tasks"] == 3
+        assert row["n_answers"] == 6
+        assert row["redundancy"] == 2.0
+
+    def test_score_uses_mask(self):
+        ds = make_dataset(truth_mask=np.array([True, True, False]))
+        result = InferenceResult(method="x",
+                                 truths=np.array([1, 0, 0]),
+                                 worker_quality=np.zeros(2))
+        # Task 2 (wrong label) is unmasked, so accuracy is perfect.
+        assert ds.score(result)["accuracy"] == 1.0
+
+    def test_score_excludes_golden(self):
+        ds = make_dataset()
+        result = InferenceResult(method="x",
+                                 truths=np.array([1, 0, 0]),
+                                 worker_quality=np.zeros(2))
+        scores = ds.score(result, exclude={2})
+        assert scores["accuracy"] == 1.0
+
+    def test_decision_making_scores_include_f1(self):
+        scores = make_dataset().score(InferenceResult(
+            method="x", truths=np.array([1, 0, 1]),
+            worker_quality=np.zeros(2)))
+        assert set(scores) == {"accuracy", "f1"}
+
+    def test_subsample_redundancy_returns_new_dataset(self, rng):
+        ds = make_dataset()
+        sub = ds.subsample_redundancy(1, rng)
+        assert sub.answers.n_answers == 3
+        assert ds.answers.n_answers == 6  # original untouched
+        np.testing.assert_array_equal(sub.truth, ds.truth)
+
+    def test_evaluation_mask_excludes(self):
+        mask = make_dataset().evaluation_mask(exclude={0})
+        assert list(mask) == [False, True, True]

@@ -1,0 +1,137 @@
+"""Tests for the generic synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    HardTaskConfig,
+    generate_categorical,
+    generate_numeric,
+    multiple_choice_to_decisions,
+    sample_truths,
+)
+from repro.exceptions import DatasetError
+from repro.simulation.workers import NumericWorker, reliable_worker
+
+
+class TestSampleTruths:
+    def test_exact_counts(self, rng):
+        truths = sample_truths(100, [70, 30], rng)
+        assert (truths == 0).sum() == 70
+        assert (truths == 1).sum() == 30
+
+    def test_counts_must_sum(self, rng):
+        with pytest.raises(DatasetError):
+            sample_truths(10, [5, 6], rng)
+
+    def test_shuffled_not_sorted(self, rng):
+        truths = sample_truths(1000, [500, 500], rng)
+        assert truths[:500].sum() > 0  # not all zeros up front
+
+
+class TestHardTaskConfig:
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            HardTaskConfig(fraction=1.5).validate()
+        with pytest.raises(DatasetError):
+            HardTaskConfig(fraction=0.6, noise_fraction=0.6).validate()
+        HardTaskConfig(fraction=0.1, noise_fraction=0.1).validate()
+
+
+class TestGenerateCategorical:
+    def _generate(self, rng, **kwargs):
+        truths = sample_truths(200, [150, 50], rng)
+        workers = [reliable_worker(0.85, 2) for _ in range(12)]
+        defaults = dict(
+            name="toy", truths=truths, workers=workers,
+            total_answers=600, rng=rng, n_choices=2,
+        )
+        defaults.update(kwargs)
+        return generate_categorical(**defaults)
+
+    def test_sizes(self, rng):
+        ds = self._generate(rng)
+        assert ds.n_tasks == 200
+        assert ds.answers.n_answers == 600
+        assert ds.n_workers == 12
+
+    def test_partial_truth(self, rng):
+        ds = self._generate(rng, truth_known=50)
+        assert ds.n_truth == 50
+
+    def test_trap_tasks_mislead_majority(self, rng):
+        ds = self._generate(
+            rng, total_answers=2000,
+            hard_tasks=HardTaskConfig(fraction=0.5, trap_strength=0.95),
+        )
+        from repro.core import create
+        from repro.metrics import accuracy
+
+        result = create("MV", seed=0).fit(ds.answers)
+        # Half the tasks are near-certain traps: MV accuracy collapses
+        # toward 50%.
+        assert accuracy(ds.truth, result.truths) < 0.75
+
+    def test_noise_tasks_raise_entropy(self, rng):
+        from repro.metrics import categorical_consistency
+
+        quiet = self._generate(rng, total_answers=2000)
+        rng2 = np.random.default_rng(42)
+        noisy = self._generate(
+            rng2, total_answers=2000,
+            hard_tasks=HardTaskConfig(fraction=0.0, noise_fraction=0.8,
+                                      noise_strength=0.9),
+        )
+        assert categorical_consistency(noisy.answers) > \
+            categorical_consistency(quiet.answers)
+
+    def test_eval_prefers_hard(self, rng):
+        ds = self._generate(
+            rng,
+            truth_known=20,
+            hard_tasks=HardTaskConfig(fraction=0.2, trap_strength=0.9),
+            eval_prefers_hard=True,
+        )
+        assert ds.metadata["hard_tasks"] == 40
+        # All 20 evaluated tasks come from the 40 hard ones — the
+        # evaluated subset should therefore be much harder than average.
+        assert ds.n_truth == 20
+
+    def test_explicit_worker_weights(self, rng):
+        weights = np.ones(12)
+        weights[0] = 100.0
+        ds = self._generate(rng, worker_weights=weights)
+        counts = ds.answers.worker_answer_counts()
+        assert counts[0] == counts.max()
+
+
+class TestGenerateNumeric:
+    def test_value_range_clipped(self, rng):
+        truths = rng.uniform(-100, 100, size=50)
+        workers = [NumericWorker(sigma=500.0) for _ in range(5)]
+        ds = generate_numeric("toy", truths, workers, redundancy=3,
+                              rng=rng, value_range=(-10, 10))
+        assert ds.answers.values.min() >= -10
+        assert ds.answers.values.max() <= 10
+
+    def test_difficulty_passed_through(self, rng):
+        truths = np.zeros(400)
+        difficulty = np.ones(400)
+        difficulty[200:] = 20.0
+        workers = [NumericWorker(sigma=1.0) for _ in range(5)]
+        ds = generate_numeric("toy", truths, workers, redundancy=3,
+                              rng=rng, task_difficulty=difficulty)
+        hard_values = ds.answers.values[ds.answers.tasks >= 200]
+        easy_values = ds.answers.values[ds.answers.tasks < 200]
+        assert hard_values.std() > 5 * easy_values.std()
+
+
+class TestMultipleChoiceTransform:
+    def test_pairs_cover_all_tags(self):
+        pairs = multiple_choice_to_decisions([[0, 2], [1]], n_tags=3)
+        assert len(pairs) == 6
+        assert (0, 1) in pairs
+
+    def test_out_of_range_tag_rejected(self):
+        with pytest.raises(DatasetError):
+            multiple_choice_to_decisions([[5]], n_tags=3)

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.charts import ascii_chart, sparkline
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        text = ascii_chart([1, 2, 3], {"MV": [0.5, 0.7, 0.8]},
+                           title="demo", height=8, width=30)
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert sum("A" in line for line in lines) > 0
+        assert "A=MV" in lines[-1]
+
+    def test_two_series_get_distinct_glyphs(self):
+        text = ascii_chart([1, 2], {"a": [0.0, 1.0], "b": [1.0, 0.0]},
+                           height=6, width=20)
+        assert "A=a" in text
+        assert "B=b" in text
+        body = "\n".join(text.splitlines()[:-1])
+        assert "A" in body
+        assert "B" in body
+
+    def test_y_range_labels(self):
+        text = ascii_chart([0, 1], {"x": [2.0, 10.0]}, height=5, width=10)
+        assert "10" in text
+        assert "2" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_chart([0, 1, 2], {"x": [0.5, 0.5, 0.5]},
+                           height=5, width=12)
+        assert "A" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"x": [0.5]})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"x": [0.5]})  # not parallel
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([2, 2, 2]) == "▄▄▄"
+
+    def test_nan_blanked(self):
+        assert " " in sparkline([1.0, float("nan"), 2.0])
+
+    def test_empty_when_all_nan(self):
+        assert sparkline([float("nan")]) == ""

@@ -1,0 +1,35 @@
+"""Tests for the Table 6 comparison harness."""
+
+from repro.experiments.comparison import TABLE6_ORDER, table6, table6_rows
+
+
+class TestTable6:
+    def test_skips_inapplicable_combinations(self, small_product,
+                                             small_emotion):
+        runs = table6({"D_Product": small_product,
+                       "N_Emotion": small_emotion},
+                      methods=["MV", "Mean"])
+        pairs = {(r.method, r.dataset) for r in runs}
+        assert ("MV", "D_Product") in pairs
+        assert ("Mean", "N_Emotion") in pairs
+        assert ("MV", "N_Emotion") not in pairs
+        assert ("Mean", "D_Product") not in pairs
+
+    def test_order_covers_all_17(self):
+        assert len(TABLE6_ORDER) == 17
+
+    def test_rows_render_missing_cells(self, small_product, small_emotion):
+        runs = table6({"D_Product": small_product,
+                       "N_Emotion": small_emotion},
+                      methods=["MV", "Mean"])
+        rows = table6_rows(runs, ["D_Product", "N_Emotion"])
+        by_method = {row[0]: row for row in rows}
+        assert by_method["MV"][3] == "×"  # MV on N_Emotion
+        assert by_method["Mean"][1] == "×"  # Mean on D_Product
+
+    def test_each_cell_has_metrics_and_time(self, small_product):
+        runs = table6({"D_Product": small_product}, methods=["MV"])
+        rows = table6_rows(runs, ["D_Product"])
+        metrics_cell, time_cell = rows[0][1], rows[0][2]
+        assert "/" in metrics_cell  # accuracy/f1
+        assert time_cell.endswith("s")

@@ -1,0 +1,57 @@
+"""Tests for the hidden-test experiment (Figures 7–9)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.hidden import (
+    HIDDEN_TEST_METHODS,
+    hidden_test_experiment,
+    sample_golden,
+)
+
+
+class TestSampleGolden:
+    def test_size_and_truths(self, small_product, rng):
+        golden = sample_golden(small_product, 20.0, rng)
+        expected = round(small_product.n_tasks * 0.2)
+        assert abs(len(golden) - expected) <= 1
+        for task, value in golden.items():
+            assert value == small_product.truth[task]
+
+    def test_only_labelled_tasks_eligible(self, small_rel, rng):
+        golden = sample_golden(small_rel, 50.0, rng)
+        mask = small_rel.truth_mask
+        for task in golden:
+            assert mask[task]
+
+    def test_zero_percent_empty(self, small_product, rng):
+        assert sample_golden(small_product, 0.0, rng) == {}
+
+    def test_invalid_percentage_rejected(self, small_product, rng):
+        with pytest.raises(ValueError):
+            sample_golden(small_product, 120.0, rng)
+
+
+class TestHiddenTestExperiment:
+    def test_section633_method_list_has_9(self):
+        assert len(HIDDEN_TEST_METHODS) == 9
+
+    def test_series_structure(self, small_product):
+        sweep = hidden_test_experiment(
+            small_product, percentages=(0, 30), methods=["ZC", "PM"],
+            n_repeats=2)
+        assert sweep.percentages == [0.0, 30.0]
+        series = sweep.series_for("accuracy")
+        assert set(series) == {"ZC", "PM"}
+
+    def test_unsupported_methods_filtered(self, small_product):
+        sweep = hidden_test_experiment(
+            small_product, percentages=(0,), methods=["MV", "ZC"],
+            n_repeats=1)
+        assert set(sweep.series_for("accuracy")) == {"ZC"}
+
+    def test_scores_remain_finite_at_50_percent(self, small_product):
+        sweep = hidden_test_experiment(
+            small_product, percentages=(50,), methods=["ZC"], n_repeats=2)
+        values = sweep.series_for("accuracy")["ZC"]
+        assert np.isfinite(values).all()

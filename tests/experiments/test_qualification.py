@@ -1,0 +1,57 @@
+"""Tests for the qualification-test experiment (Table 7)."""
+
+import numpy as np
+
+from repro.experiments.qualification import (
+    QUALIFICATION_METHODS,
+    bootstrap_initial_quality,
+    qualification_experiment,
+)
+
+
+class TestBootstrapInitialQuality:
+    def test_shape_and_range(self, small_product, rng):
+        quality = bootstrap_initial_quality(small_product, 20, rng)
+        assert quality.shape == (small_product.n_workers,)
+        assert (quality >= 0).all()
+        assert (quality <= 1).all()
+
+    def test_good_workers_score_higher(self, clean_binary, rng):
+        from repro.datasets.schema import Dataset
+
+        answers, truth = clean_binary
+        dataset = Dataset(name="toy", answers=answers, truth=truth)
+        quality = bootstrap_initial_quality(dataset, 50, rng)
+        # Fixture: worker 0 is 95% accurate, worker 7 is 35%.
+        assert quality[0] > quality[7]
+
+    def test_numeric_mapping(self, small_emotion, rng):
+        quality = bootstrap_initial_quality(small_emotion, 20, rng)
+        assert (quality >= 0).all() and (quality <= 1).all()
+
+
+class TestQualificationExperiment:
+    def test_only_supporting_methods_run(self, small_product):
+        outcomes = qualification_experiment(
+            small_product, methods=["MV", "ZC", "BCC"],
+            n_golden=10, n_repeats=2)
+        assert [o.method for o in outcomes] == ["ZC"]
+
+    def test_table7_method_list_has_8(self):
+        assert len(QUALIFICATION_METHODS) == 8
+
+    def test_delta_computed(self, small_product):
+        outcomes = qualification_experiment(
+            small_product, methods=["ZC"], n_golden=10, n_repeats=2)
+        outcome = outcomes[0]
+        for metric, delta in outcome.delta.items():
+            assert delta == outcome.with_test[metric] - \
+                outcome.baseline[metric]
+            assert np.isfinite(delta)
+
+    def test_numeric_dataset_uses_lfc_n(self, small_emotion):
+        outcomes = qualification_experiment(
+            small_emotion, n_golden=10, n_repeats=2)
+        names = [o.method for o in outcomes]
+        assert "LFC_N" in names
+        assert "ZC" not in names

@@ -1,0 +1,32 @@
+"""Tests for the redundancy sweeps (Figures 4–6)."""
+
+from repro.experiments.redundancy import sweep_redundancy
+
+
+class TestSweepRedundancy:
+    def test_series_structure(self, small_possent):
+        sweep = sweep_redundancy(small_possent, redundancies=[1, 3],
+                                 methods=["MV", "D&S"], n_repeats=2)
+        assert sweep.redundancies == [1, 3]
+        accuracy = sweep.series_for("accuracy")
+        assert set(accuracy) == {"MV", "D&S"}
+        assert len(accuracy["MV"]) == 2
+
+    def test_quality_increases_with_redundancy(self, small_possent):
+        """The paper's headline Figure 4 shape: quality rises with r."""
+        sweep = sweep_redundancy(small_possent, redundancies=[1, 10],
+                                 methods=["MV"], n_repeats=3)
+        series = sweep.series_for("accuracy")["MV"]
+        assert series[1] > series[0]
+
+    def test_numeric_errors_decrease_with_redundancy(self, small_emotion):
+        sweep = sweep_redundancy(small_emotion, redundancies=[1, 8],
+                                 methods=["Mean"], n_repeats=3)
+        series = sweep.series_for("mae")["Mean"]
+        assert series[1] < series[0]
+
+    def test_default_redundancies_span_dataset(self, small_emotion):
+        sweep = sweep_redundancy(small_emotion, methods=["Mean"],
+                                 n_repeats=1)
+        assert sweep.redundancies[0] == 1
+        assert sweep.redundancies[-1] >= 9

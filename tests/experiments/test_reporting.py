@@ -1,0 +1,39 @@
+"""Tests for the plain-text reporting helpers."""
+
+from repro.experiments.reporting import format_series, format_table, percentage
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["b", 22.125]],
+                            title="Demo")
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_nan_rendered(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "nan" in text
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        text = format_series("r", [1, 2], {"MV": [0.5, 0.6],
+                                           "D&S": [0.7, 0.8]})
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert "MV" in lines[0]
+        assert "D&S" in lines[0]
+
+
+class TestPercentage:
+    def test_paper_style(self):
+        assert percentage(0.8966) == "89.66%"
+        assert percentage(1.0) == "100.00%"

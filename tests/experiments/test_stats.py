@@ -1,0 +1,54 @@
+"""Tests for the dataset-statistics experiments (Table 5, Figs 2–3)."""
+
+import numpy as np
+
+from repro.experiments.stats import (
+    figure2,
+    figure2_tail_shares,
+    figure3,
+    table5,
+)
+
+
+class TestTable5:
+    def test_rows_have_expected_columns(self, small_product, small_emotion):
+        rows = table5({"D_Product": small_product,
+                       "N_Emotion": small_emotion})
+        assert len(rows) == 2
+        for row in rows:
+            assert {"dataset", "n_tasks", "n_truth", "n_answers",
+                    "redundancy", "n_workers", "consistency_C"} <= set(row)
+
+    def test_consistency_ranges(self, small_product, small_emotion):
+        rows = {r["dataset"]: r for r in table5(
+            {"D_Product": small_product, "N_Emotion": small_emotion})}
+        assert 0.0 <= rows["D_Product"]["consistency_C"] <= 1.0
+        assert rows["N_Emotion"]["consistency_C"] > 1.0  # numeric scale
+
+
+class TestFigure2:
+    def test_histograms_cover_all_workers(self, small_product):
+        hists = figure2({"D_Product": small_product})
+        assert hists["D_Product"].counts.sum() == small_product.n_workers
+
+    def test_tail_shares_show_long_tail(self, small_rel):
+        shares = figure2_tail_shares({"S_Rel": small_rel})
+        assert shares["S_Rel"] > 0.4
+
+
+class TestFigure3:
+    def test_categorical_histogram_on_unit_interval(self, small_product):
+        hists = figure3({"D_Product": small_product})
+        hist = hists["D_Product"]
+        assert hist.edges[0] >= 0.0
+        assert hist.edges[-1] <= 1.0
+
+    def test_numeric_histogram_on_rmse_scale(self, small_emotion):
+        hists = figure3({"N_Emotion": small_emotion})
+        assert hists["N_Emotion"].edges[-1] > 1.0
+
+    def test_partial_truth_respected(self, small_rel):
+        hists = figure3({"S_Rel": small_rel})
+        # Workers with no labelled answers are dropped, so the count can
+        # be below the pool size but never above.
+        assert hists["S_Rel"].counts.sum() <= small_rel.n_workers

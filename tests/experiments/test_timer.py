@@ -1,0 +1,25 @@
+"""Tests for the Timer helper."""
+
+import time
+
+from repro.experiments.runner import Timer
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.02)
+        assert timer.elapsed >= 0.015
+
+    def test_elapsed_zero_inside_block(self):
+        with Timer() as timer:
+            assert timer.elapsed == 0.0
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= first

@@ -1,0 +1,70 @@
+"""Tests for the generic EM loop."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.inference.em import run_em
+
+
+class TestRunEM:
+    def test_fixed_point_converges_immediately(self):
+        start = np.array([[0.9, 0.1], [0.2, 0.8]])
+        outcome = run_em(
+            initial_posterior=start,
+            m_step=lambda post: None,
+            e_step=lambda params: start,
+            tolerance=1e-6,
+            max_iter=50,
+        )
+        assert outcome.converged
+        assert outcome.n_iterations == 2  # one to set, one to confirm
+
+    def test_iteration_cap_respected(self):
+        flip = np.array([[1.0, 0.0]])
+        flop = np.array([[0.0, 1.0]])
+        state = {"toggle": False}
+
+        def e_step(params):
+            state["toggle"] = not state["toggle"]
+            return flip if state["toggle"] else flop
+
+        outcome = run_em(flip, lambda p: None, e_step,
+                         tolerance=1e-6, max_iter=7)
+        assert not outcome.converged
+        assert outcome.n_iterations == 7
+
+    def test_golden_clamped_in_initial_and_updates(self):
+        seen = []
+
+        def m_step(posterior):
+            seen.append(posterior.copy())
+            return None
+
+        def e_step(params):
+            return np.full((2, 2), 0.5)
+
+        run_em(np.full((2, 2), 0.5), m_step, e_step,
+               tolerance=1e-6, max_iter=5, golden={0: 1})
+        for posterior in seen:
+            assert list(posterior[0]) == [0.0, 1.0]
+
+    def test_parameters_returned_from_last_m_step(self):
+        outcome = run_em(
+            np.array([[0.5, 0.5]]),
+            m_step=lambda post: "params!",
+            e_step=lambda params: np.array([[0.6, 0.4]]),
+            tolerance=1e-6,
+            max_iter=10,
+        )
+        assert outcome.parameters == "params!"
+
+    def test_nan_posterior_raises(self):
+        with pytest.raises(ConvergenceError):
+            run_em(
+                np.array([[0.5, 0.5]]),
+                m_step=lambda post: None,
+                e_step=lambda params: np.array([[np.nan, 1.0]]),
+                tolerance=1e-6,
+                max_iter=5,
+            )

@@ -1,0 +1,59 @@
+"""Tests for the Gibbs-chain runner."""
+
+import numpy as np
+import pytest
+
+from repro.inference.gibbs import run_gibbs
+
+
+class TestRunGibbs:
+    def test_tally_counts_retained_samples(self):
+        labels = np.zeros(4, dtype=np.int64)
+        result = run_gibbs(labels, n_choices=2,
+                           sample_step=lambda lab: lab,
+                           n_samples=10, burn_in=3)
+        assert result.n_samples == 10
+        assert result.label_counts[:, 0].sum() == 40
+
+    def test_posterior_normalised(self):
+        rng = np.random.default_rng(0)
+
+        def step(labels):
+            return rng.integers(0, 3, size=len(labels))
+
+        result = run_gibbs(np.zeros(5, dtype=np.int64), 3, step,
+                           n_samples=20, burn_in=5)
+        np.testing.assert_allclose(result.posterior.sum(axis=1), 1.0)
+
+    def test_burn_in_samples_discarded(self):
+        calls = {"n": 0}
+
+        def step(labels):
+            calls["n"] += 1
+            # Return label 1 only during burn-in.
+            return (np.ones_like(labels) if calls["n"] <= 5
+                    else np.zeros_like(labels))
+
+        result = run_gibbs(np.zeros(3, dtype=np.int64), 2, step,
+                           n_samples=8, burn_in=5)
+        assert result.label_counts[:, 1].sum() == 0
+
+    def test_thinning_skips_sweeps(self):
+        calls = {"n": 0}
+
+        def step(labels):
+            calls["n"] += 1
+            return labels
+
+        run_gibbs(np.zeros(2, dtype=np.int64), 2, step,
+                  n_samples=4, burn_in=0, thinning=3)
+        assert calls["n"] == 12
+
+    def test_invalid_arguments_rejected(self):
+        labels = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ValueError):
+            run_gibbs(labels, 2, lambda x: x, n_samples=0)
+        with pytest.raises(ValueError):
+            run_gibbs(labels, 2, lambda x: x, n_samples=1, burn_in=-1)
+        with pytest.raises(ValueError):
+            run_gibbs(labels, 2, lambda x: x, n_samples=1, thinning=0)

@@ -1,0 +1,54 @@
+"""Tests for the lightweight optimisers."""
+
+import numpy as np
+
+from repro.inference.optimize import gradient_ascent, projected_simplex
+
+
+class TestGradientAscent:
+    def test_maximises_concave_quadratic(self):
+        target = np.array([3.0, -2.0])
+
+        def objective(x):
+            diff = x - target
+            return -float(diff @ diff), -2.0 * diff
+
+        out = gradient_ascent(objective, np.zeros(2), learning_rate=0.3,
+                              max_steps=200)
+        np.testing.assert_allclose(out, target, atol=1e-2)
+
+    def test_backtracks_on_overshoot(self):
+        def objective(x):
+            return -float(x @ x), -2.0 * x
+
+        out = gradient_ascent(objective, np.array([10.0]),
+                              learning_rate=5.0, max_steps=100)
+        assert abs(out[0]) < 10.0  # made progress despite huge step
+
+    def test_stops_on_nan_gradient(self):
+        def objective(x):
+            return 0.0, np.array([np.nan])
+
+        out = gradient_ascent(objective, np.array([1.0]))
+        assert out[0] == 1.0
+
+
+class TestProjectedSimplex:
+    def test_already_on_simplex_unchanged(self):
+        v = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(projected_simplex(v), v, atol=1e-12)
+
+    def test_projection_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        v = rng.normal(size=(20, 6))
+        out = projected_simplex(v)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+        assert (out >= 0).all()
+
+    def test_dominant_coordinate_wins(self):
+        out = projected_simplex(np.array([10.0, 0.0, 0.0]))
+        np.testing.assert_allclose(out, [1.0, 0.0, 0.0])
+
+    def test_1d_input_returns_1d(self):
+        out = projected_simplex(np.array([0.5, 0.5]))
+        assert out.shape == (2,)

@@ -1,0 +1,65 @@
+"""Tests for the variational helpers."""
+
+import numpy as np
+import pytest
+
+from repro.inference.variational import (
+    BetaPrior,
+    expected_log_beta_counts,
+    log_beta_moment_messages,
+    posterior_mean_accuracy,
+)
+
+
+class TestBetaPrior:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BetaPrior(a=0.0, b=1.0).validate()
+        BetaPrior(a=2.0, b=1.0).validate()  # no raise
+
+
+class TestPosteriorMean:
+    def test_no_data_returns_prior_mean(self):
+        prior = BetaPrior(a=2.0, b=1.0)
+        out = posterior_mean_accuracy(np.zeros(3), np.zeros(3), prior)
+        np.testing.assert_allclose(out, 2.0 / 3.0)
+
+    def test_data_dominates_with_many_counts(self):
+        prior = BetaPrior(a=2.0, b=1.0)
+        out = posterior_mean_accuracy(np.array([900.0]),
+                                      np.array([100.0]), prior)
+        assert abs(out[0] - 0.9) < 0.01
+
+    def test_monotone_in_correct_counts(self):
+        prior = BetaPrior()
+        correct = np.arange(0, 50, dtype=float)
+        out = posterior_mean_accuracy(correct, np.full(50, 10.0), prior)
+        assert (np.diff(out) > 0).all()
+
+
+class TestExpectedLogCounts:
+    def test_log_expectations_negative(self):
+        prior = BetaPrior()
+        e_log_p, e_log_q = expected_log_beta_counts(
+            np.array([5.0]), np.array([5.0]), prior)
+        assert e_log_p[0] < 0
+        assert e_log_q[0] < 0
+
+    def test_confident_worker_has_larger_gap(self):
+        prior = BetaPrior()
+        good_p, good_q = expected_log_beta_counts(
+            np.array([90.0]), np.array([10.0]), prior)
+        poor_p, poor_q = expected_log_beta_counts(
+            np.array([55.0]), np.array([45.0]), prior)
+        assert (good_p[0] - good_q[0]) > (poor_p[0] - poor_q[0])
+
+
+class TestMomentMessages:
+    def test_messages_are_valid_log_probabilities(self):
+        prior = BetaPrior()
+        log_c, log_w = log_beta_moment_messages(
+            np.array([10.0, 0.0]), np.array([2.0, 0.0]), prior)
+        assert (log_c <= 0).all()
+        assert (log_w <= 0).all()
+        probs = np.exp(log_c) + np.exp(log_w)
+        np.testing.assert_allclose(probs, 1.0, atol=1e-9)

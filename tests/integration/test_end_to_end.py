@@ -1,0 +1,93 @@
+"""End-to-end pipeline tests: platform → dataset → inference → metrics."""
+
+import numpy as np
+
+from repro.core import create, methods_for_task_type
+from repro.core.tasktypes import TaskType
+from repro.datasets.schema import Dataset
+from repro.experiments import (
+    hidden_test_experiment,
+    qualification_experiment,
+    sweep_redundancy,
+    table5,
+    table6,
+)
+from repro.metrics import accuracy
+from repro.simulation import CrowdPlatform, reliable_worker, spammer
+
+
+class TestPlatformToInference:
+    def test_full_pipeline(self):
+        """Collect answers on the simulated platform, infer, evaluate."""
+        rng = np.random.default_rng(0)
+        truths = rng.integers(0, 2, size=400)
+        workers = ([reliable_worker(0.9, 2) for _ in range(6)]
+                   + [spammer(2) for _ in range(2)])
+        platform = CrowdPlatform(truths, workers,
+                                 TaskType.DECISION_MAKING, seed=0)
+        answers = platform.collect(redundancy=5)
+        dataset = Dataset(name="pipeline", answers=answers, truth=truths)
+
+        for name in ("MV", "ZC", "D&S"):
+            result = create(name, seed=0).fit(dataset.answers)
+            assert dataset.score(result)["accuracy"] > 0.9
+
+    def test_qualification_pipeline(self):
+        """Platform qualification records feed method initialisation."""
+        rng = np.random.default_rng(1)
+        truths = rng.integers(0, 2, size=200)
+        workers = [reliable_worker(a, 2)
+                   for a in (0.95, 0.9, 0.8, 0.6, 0.5)]
+        platform = CrowdPlatform(truths, workers,
+                                 TaskType.DECISION_MAKING, seed=1)
+        answers = platform.collect(redundancy=4)
+        records = platform.qualification_test(n_golden=30)
+        initial = np.array([r.accuracy for r in records])
+        result = create("ZC", seed=0).fit(answers, initial_quality=initial)
+        assert accuracy(truths, result.truths) > 0.9
+
+    def test_hidden_golden_pipeline(self):
+        rng = np.random.default_rng(2)
+        truths = rng.integers(0, 2, size=200)
+        workers = [reliable_worker(0.7, 2) for _ in range(6)]
+        platform = CrowdPlatform(truths, workers,
+                                 TaskType.DECISION_MAKING, seed=2)
+        answers = platform.collect(redundancy=3)
+        golden = platform.plant_golden(0.25)
+        result = create("D&S", seed=0).fit(answers, golden=golden)
+        for task, value in golden.items():
+            assert result.truths[task] == value
+
+
+class TestExperimentHarnessEndToEnd:
+    def test_table5_and_table6_consistent(self, small_product):
+        datasets = {"D_Product": small_product}
+        stats = table5(datasets)
+        runs = table6(datasets, methods=["MV", "D&S"])
+        assert stats[0]["n_tasks"] == small_product.n_tasks
+        assert len(runs) == 2
+
+    def test_redundancy_then_hidden_then_qualification(self, small_possent):
+        sweep = sweep_redundancy(small_possent, redundancies=[1, 5],
+                                 methods=["MV", "ZC"], n_repeats=2)
+        assert len(sweep.series_for("accuracy")["ZC"]) == 2
+
+        hidden = hidden_test_experiment(small_possent, percentages=(0, 20),
+                                        methods=["ZC"], n_repeats=2)
+        assert len(hidden.series_for("accuracy")["ZC"]) == 2
+
+        qual = qualification_experiment(small_possent, methods=["ZC"],
+                                        n_golden=10, n_repeats=2)
+        assert qual[0].method == "ZC"
+
+    def test_every_method_runs_on_matching_paper_replica(
+            self, small_product, small_rel, small_emotion):
+        for dataset in (small_product, small_rel, small_emotion):
+            for name in methods_for_task_type(dataset.task_type):
+                kwargs = {}
+                if name == "Minimax":
+                    kwargs = {"max_iter": 3}
+                result = create(name, seed=0, **kwargs).fit(dataset.answers)
+                scores = dataset.score(result)
+                assert all(np.isfinite(v) for v in scores.values()), \
+                    f"{name} on {dataset.name}: {scores}"

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: Examples safe to run inside the test suite (method_selection is the
+#: one long-runner; it gets a reduced-scale argument below).
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "entity_resolution.py",
+    "sentiment_analysis.py",
+    "emotion_scores.py",
+    "crowd_audit.py",
+    "image_tagging.py",
+    "online_assignment.py",
+)
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_cleanly(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_method_selection_with_tiny_scale():
+    result = run_example("method_selection.py", "0.05")
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "winners per dataset" in result.stdout
+
+
+def test_examples_directory_is_fully_covered():
+    """Every example on disk is exercised by some test here."""
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | {"method_selection.py"}
+    assert on_disk == covered

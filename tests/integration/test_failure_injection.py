@@ -1,0 +1,124 @@
+"""Failure-injection and edge-case robustness tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import create, methods_for_task_type
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.metrics import accuracy
+
+
+def binary(tasks, workers, values, **kw):
+    return AnswerSet(tasks, workers, values, TaskType.DECISION_MAKING, **kw)
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize(
+        "name", sorted(methods_for_task_type(TaskType.DECISION_MAKING)))
+    def test_single_task_single_worker(self, name):
+        answers = binary([0], [0], [1])
+        result = create(name, seed=0).fit(answers)
+        assert result.truths.shape == (1,)
+
+    @pytest.mark.parametrize(
+        "name", sorted(methods_for_task_type(TaskType.DECISION_MAKING)))
+    def test_unanimous_single_label(self, name):
+        """Every worker answers T on every task — no F evidence at all."""
+        tasks = np.repeat(np.arange(10), 3)
+        workers = np.tile(np.arange(3), 10)
+        answers = binary(tasks, workers, np.ones(30, dtype=np.int64))
+        result = create(name, seed=0).fit(answers)
+        assert (result.truths == 1).all()
+
+    @pytest.mark.parametrize(
+        "name", sorted(methods_for_task_type(TaskType.DECISION_MAKING)))
+    def test_tasks_without_answers(self, name):
+        """Half the tasks receive no answers at all."""
+        answers = binary([0, 1, 2], [0, 1, 0], [1, 0, 1], n_tasks=6)
+        result = create(name, seed=0).fit(answers)
+        assert result.truths.shape == (6,)
+        assert np.isfinite(result.worker_quality).all()
+
+    @pytest.mark.parametrize(
+        "name", sorted(methods_for_task_type(TaskType.NUMERIC)))
+    def test_numeric_identical_answers(self, name):
+        tasks = np.repeat(np.arange(5), 4)
+        workers = np.tile(np.arange(4), 5)
+        answers = AnswerSet(tasks, workers, np.full(20, 3.14),
+                            TaskType.NUMERIC)
+        result = create(name, seed=0).fit(answers)
+        np.testing.assert_allclose(result.truths, 3.14)
+
+
+class TestAdversarialWorkers:
+    def _with_malicious(self, malicious_fraction, seed=0):
+        rng = np.random.default_rng(seed)
+        n_tasks, n_workers = 300, 10
+        n_malicious = int(malicious_fraction * n_workers)
+        truth = rng.integers(0, 2, size=n_tasks)
+        tasks, workers, values = [], [], []
+        for task in range(n_tasks):
+            for worker in rng.choice(n_workers, size=5, replace=False):
+                if worker < n_malicious:
+                    answer = 1 - truth[task] if rng.random() < 0.9 \
+                        else truth[task]
+                else:
+                    answer = truth[task] if rng.random() < 0.8 \
+                        else 1 - truth[task]
+                tasks.append(task)
+                workers.append(int(worker))
+                values.append(int(answer))
+        return binary(tasks, workers, values, n_tasks=n_tasks,
+                      n_workers=n_workers), truth
+
+    def test_ds_exploits_malicious_minority(self):
+        """A confusion matrix can *invert* a consistently wrong worker;
+        MV just suffers them."""
+        answers, truth = self._with_malicious(0.3)
+        mv = accuracy(truth, create("MV", seed=0).fit(answers).truths)
+        ds = accuracy(truth, create("D&S", seed=0).fit(answers).truths)
+        assert ds > mv
+        assert ds > 0.9
+
+    def test_malicious_majority_breaks_everything(self):
+        """With 70% malicious workers no unsupervised method should be
+        expected to recover — this documents the failure mode rather
+        than hiding it."""
+        answers, truth = self._with_malicious(0.7)
+        ds = accuracy(truth, create("D&S", seed=0).fit(answers).truths)
+        assert ds < 0.5  # the inversion wins: worse than chance
+
+    def test_golden_tasks_rescue_malicious_majority(self):
+        """Hidden-test golden tasks re-anchor the truth and flip the
+        inverted solution back — the paper's motivation for §6.3.3."""
+        answers, truth = self._with_malicious(0.7)
+        golden = {t: int(truth[t]) for t in range(0, 300, 4)}  # 25%
+        result = create("D&S", seed=0).fit(answers, golden=golden)
+        mask = np.ones(300, dtype=bool)
+        mask[list(golden)] = False
+        assert accuracy(truth, result.truths, mask) > 0.8
+
+
+class TestExtremeScale:
+    def test_many_workers_few_answers_each(self):
+        """Long-tail extreme: 400 workers answering ~2 tasks each."""
+        rng = np.random.default_rng(0)
+        n_tasks, n_workers = 200, 400
+        truth = rng.integers(0, 2, size=n_tasks)
+        tasks, workers, values = [], [], []
+        worker = 0
+        for task in range(n_tasks):
+            for _ in range(4):
+                w = worker % n_workers
+                worker += 1
+                answer = truth[task] if rng.random() < 0.75 \
+                    else 1 - truth[task]
+                tasks.append(task)
+                workers.append(w)
+                values.append(int(answer))
+        answers = binary(tasks, workers, values, n_tasks=n_tasks,
+                         n_workers=n_workers)
+        for name in ("MV", "ZC", "D&S", "VI-BP"):
+            result = create(name, seed=0).fit(answers)
+            assert accuracy(truth, result.truths) > 0.7, name

@@ -1,0 +1,127 @@
+"""Integration tests asserting the paper's qualitative findings.
+
+Each test pins one claim from Section 6 of the paper to the replicas.
+These are *shape* assertions (who wins, direction of change), never
+absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.metrics import accuracy, f1_score, mae
+
+
+@pytest.fixture(scope="module")
+def product():
+    from repro.datasets import load_paper_dataset
+
+    return load_paper_dataset("D_Product", seed=0, scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def emotion():
+    from repro.datasets import load_paper_dataset
+
+    return load_paper_dataset("N_Emotion", seed=0, scale=1.0)
+
+
+class TestDProductFindings:
+    """Paper §6.3.1 (1): confusion-matrix methods win F1 on D_Product."""
+
+    def test_ds_beats_mv_on_f1(self, product):
+        mv = create("MV", seed=0).fit(product.answers)
+        ds = create("D&S", seed=0).fit(product.answers)
+        assert f1_score(product.truth, ds.truths) > \
+            f1_score(product.truth, mv.truths)
+
+    def test_confusion_family_tops_worker_probability(self, product):
+        confusion = max(
+            f1_score(product.truth,
+                     create(name, seed=0).fit(product.answers).truths)
+            for name in ("D&S", "LFC", "BCC"))
+        scalar = max(
+            f1_score(product.truth,
+                     create(name, seed=0).fit(product.answers).truths)
+            for name in ("PM", "CATD", "KOS"))
+        assert confusion > scalar
+
+    def test_accuracy_alone_hides_the_gap(self, product):
+        """Most methods land near 85–90% accuracy; the spread in
+        accuracy is much smaller than the spread in F1 (the paper's
+        argument for reporting F1 on imbalanced data)."""
+        accs, f1s = [], []
+        for name in ("MV", "ZC", "D&S", "LFC", "PM"):
+            result = create(name, seed=0).fit(product.answers)
+            accs.append(accuracy(product.truth, result.truths))
+            f1s.append(f1_score(product.truth, result.truths))
+        assert (max(accs) - min(accs)) < (max(f1s) - min(f1s))
+
+    def test_vi_bp_underperforms(self, product):
+        """Paper Table 6: VI-BP collapses on D_Product (64.64%)."""
+        vibp = create("VI-BP", seed=0).fit(product.answers)
+        mv = create("MV", seed=0).fit(product.answers)
+        assert accuracy(product.truth, vibp.truths) < \
+            accuracy(product.truth, mv.truths)
+
+
+class TestNEmotionFindings:
+    """Paper §6.3.1: numeric tasks are not well-addressed; Mean wins."""
+
+    def test_mean_at_or_near_top(self, emotion):
+        errors = {
+            name: mae(emotion.truth,
+                      create(name, seed=0).fit(emotion.answers).truths)
+            for name in ("Mean", "Median", "LFC_N", "PM", "CATD")
+        }
+        # Mean must be within 5% of the best method — "the baseline
+        # method Mean performs best" (allowing statistical noise).
+        assert errors["Mean"] <= min(errors.values()) * 1.05
+
+    def test_sophistication_buys_nothing(self, emotion):
+        mean_err = mae(emotion.truth,
+                       create("Mean").fit(emotion.answers).truths)
+        pm_err = mae(emotion.truth,
+                     create("PM", seed=0).fit(emotion.answers).truths)
+        assert pm_err > mean_err * 0.95
+
+
+class TestRedundancyFindings:
+    """Paper §6.3.1 summary (1): quality rises steeply at small r then
+    saturates."""
+
+    def test_steep_then_flat(self, small_possent):
+        from repro.experiments import sweep_redundancy
+
+        sweep = sweep_redundancy(small_possent,
+                                 redundancies=[1, 5, 15, 19],
+                                 methods=["MV"], n_repeats=3)
+        series = sweep.series_for("accuracy")["MV"]
+        early_gain = series[1] - series[0]
+        late_gain = abs(series[3] - series[2])
+        assert early_gain > 0.03
+        assert late_gain < early_gain
+
+
+class TestStabilityFinding:
+    """Paper abstract: 'no algorithm outperforms others consistently'."""
+
+    def test_winner_changes_across_datasets(self, product, small_rel,
+                                            emotion):
+        def winner(dataset, names, metric):
+            scores = {}
+            for name in names:
+                result = create(name, seed=0).fit(dataset.answers)
+                scores[name] = metric(dataset, result)
+            return max(scores, key=scores.get)
+
+        shared = ["MV", "ZC", "D&S", "PM", "CATD"]
+        w_product = winner(product, shared,
+                           lambda d, r: f1_score(d.truth, r.truths))
+        w_rel = winner(small_rel, shared,
+                       lambda d, r: d.score(r)["accuracy"])
+        numeric_winner = winner(
+            emotion, ["Mean", "PM", "CATD", "LFC_N"],
+            lambda d, r: -d.score(r)["mae"])
+        winners = {w_product, w_rel, numeric_winner}
+        assert len(winners) >= 2

@@ -1,0 +1,97 @@
+"""BCC and CBCC sampling-method tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.metrics import accuracy
+
+
+class TestBCC:
+    def test_close_to_ds_on_clean_data(self, clean_binary):
+        """The survey's Table 6 finding: BCC and D&S land together."""
+        answers, truth = clean_binary
+        ds = accuracy(truth, create("D&S", seed=0).fit(answers).truths)
+        bcc = accuracy(truth, create("BCC", seed=0).fit(answers).truths)
+        assert abs(ds - bcc) < 0.05
+
+    def test_posterior_reflects_sampling_uncertainty(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("BCC", seed=0).fit(answers)
+        # The tallied posterior should not be fully degenerate.
+        assert ((result.posterior > 0.0) & (result.posterior < 1.0)).any()
+
+    def test_mean_confusion_exposed(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("BCC", seed=0).fit(answers)
+        confusion = result.extras["confusion"]
+        assert confusion.shape == (answers.n_workers, 2, 2)
+        np.testing.assert_allclose(confusion.sum(axis=2), 1.0, atol=1e-6)
+
+    def test_golden_respected(self, clean_binary):
+        answers, truth = clean_binary
+        wrong = {7: int(1 - truth[7])}
+        result = create("BCC", seed=0).fit(answers, golden=wrong)
+        assert result.truths[7] == wrong[7]
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            create("BCC", alpha_diagonal=0.0)
+        with pytest.raises(ValueError):
+            create("BCC", n_samples=0)
+
+    def test_sweep_count_reported(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("BCC", seed=0, n_samples=10, burn_in=5).fit(answers)
+        assert result.n_iterations == 15
+
+
+class TestCBCC:
+    def test_community_assignment_exposed(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("CBCC", seed=0, n_communities=3).fit(answers)
+        community = result.extras["community"]
+        assert community.shape == (answers.n_workers,)
+        assert community.min() >= 0
+        assert community.max() < 3
+
+    def test_single_community_close_to_pooled(self, clean_binary):
+        answers, truth = clean_binary
+        result = create("CBCC", seed=0, n_communities=1).fit(answers)
+        assert accuracy(truth, result.truths) > 0.85
+
+    def test_spammer_separated_from_experts(self):
+        """With a clear two-tier pool, CBCC puts tiers in different
+        communities."""
+        from repro.core.answers import AnswerSet
+        from repro.core.tasktypes import TaskType
+
+        rng = np.random.default_rng(4)
+        n_tasks = 300
+        truth = rng.integers(0, 2, n_tasks)
+        accuracies = [0.95] * 4 + [0.50] * 4
+        tasks, workers, values = [], [], []
+        for task in range(n_tasks):
+            for worker in range(8):
+                correct = rng.random() < accuracies[worker]
+                tasks.append(task)
+                workers.append(worker)
+                values.append(int(truth[task] if correct else 1 - truth[task]))
+        answers = AnswerSet(tasks, workers, values,
+                            TaskType.DECISION_MAKING,
+                            n_tasks=n_tasks, n_workers=8)
+        result = create("CBCC", seed=0, n_communities=2).fit(answers)
+        community = result.extras["community"]
+        experts = set(community[:4])
+        spammers = set(community[4:])
+        assert len(experts) == 1
+        assert experts != spammers or len(spammers) > 1
+
+    def test_invalid_communities_rejected(self):
+        with pytest.raises(ValueError):
+            create("CBCC", n_communities=0)
+
+    def test_accuracy_reasonable(self, clean_binary):
+        answers, truth = clean_binary
+        result = create("CBCC", seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.85

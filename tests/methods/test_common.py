@@ -1,0 +1,124 @@
+"""Contract tests every method must pass, parametrised over all 17."""
+
+import numpy as np
+import pytest
+
+from repro.core import create, methods_for_task_type
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.metrics import accuracy, rmse
+
+BINARY_METHODS = sorted(methods_for_task_type(TaskType.DECISION_MAKING))
+SINGLE_METHODS = sorted(methods_for_task_type(TaskType.SINGLE_CHOICE))
+NUMERIC_METHODS = sorted(methods_for_task_type(TaskType.NUMERIC))
+
+
+@pytest.mark.parametrize("name", BINARY_METHODS)
+class TestBinaryContract:
+    def test_output_shapes(self, clean_binary, name):
+        answers, _ = clean_binary
+        result = create(name, seed=0).fit(answers)
+        assert result.truths.shape == (answers.n_tasks,)
+        assert result.worker_quality.shape == (answers.n_workers,)
+        assert set(np.unique(result.truths)) <= {0, 1}
+
+    def test_posterior_is_valid_distribution(self, clean_binary, name):
+        answers, _ = clean_binary
+        result = create(name, seed=0).fit(answers)
+        if result.posterior is None:
+            pytest.skip(f"{name} does not expose a posterior")
+        assert result.posterior.shape == (answers.n_tasks, 2)
+        assert (result.posterior >= -1e-9).all()
+        np.testing.assert_allclose(result.posterior.sum(axis=1), 1.0,
+                                   atol=1e-6)
+
+    def test_beats_chance_on_clean_data(self, clean_binary, name):
+        answers, truth = clean_binary
+        result = create(name, seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.7
+
+    def test_worker_quality_finite(self, clean_binary, name):
+        answers, _ = clean_binary
+        result = create(name, seed=0).fit(answers)
+        assert np.isfinite(result.worker_quality).all()
+
+    def test_recovers_truth_with_perfect_workers(self, name):
+        rng = np.random.default_rng(5)
+        n_tasks = 80
+        truth = rng.integers(0, 2, size=n_tasks)
+        tasks, workers, values = [], [], []
+        for task in range(n_tasks):
+            for worker in range(4):
+                tasks.append(task)
+                workers.append(worker)
+                values.append(int(truth[task]))
+        answers = AnswerSet(tasks, workers, values,
+                            TaskType.DECISION_MAKING,
+                            n_tasks=n_tasks, n_workers=4)
+        result = create(name, seed=0).fit(answers)
+        assert accuracy(truth, result.truths) == 1.0
+
+
+@pytest.mark.parametrize("name", SINGLE_METHODS)
+class TestSingleChoiceContract:
+    def test_output_labels_in_range(self, clean_single_choice, name):
+        answers, _ = clean_single_choice
+        result = create(name, seed=0).fit(answers)
+        assert result.truths.min() >= 0
+        assert result.truths.max() < answers.n_choices
+
+    def test_beats_chance(self, clean_single_choice, name):
+        answers, truth = clean_single_choice
+        result = create(name, seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.5  # chance is 0.25
+
+
+@pytest.mark.parametrize("name", NUMERIC_METHODS)
+class TestNumericContract:
+    def test_output_shapes(self, clean_numeric, name):
+        answers, _, _ = clean_numeric
+        result = create(name, seed=0).fit(answers)
+        assert result.truths.shape == (answers.n_tasks,)
+        assert result.truths.dtype == np.float64
+        assert np.isfinite(result.truths).all()
+
+    def test_error_below_single_worker(self, clean_numeric, name):
+        # Aggregation must beat the average individual worker.
+        answers, truth, sigmas = clean_numeric
+        result = create(name, seed=0).fit(answers)
+        assert rmse(truth, result.truths) < sigmas.mean()
+
+    def test_exact_recovery_with_noiseless_workers(self, name):
+        rng = np.random.default_rng(3)
+        truth = rng.uniform(-10, 10, size=40)
+        tasks = np.repeat(np.arange(40), 3)
+        workers = np.tile(np.arange(3), 40)
+        values = truth[tasks]
+        answers = AnswerSet(tasks, workers, values, TaskType.NUMERIC)
+        result = create(name, seed=0).fit(answers)
+        np.testing.assert_allclose(result.truths, truth, atol=1e-6)
+
+
+@pytest.mark.parametrize("name", BINARY_METHODS)
+def test_single_answer_per_task_still_works(name):
+    """Redundancy 1 is the leftmost point of Figures 4–6."""
+    rng = np.random.default_rng(9)
+    n_tasks = 60
+    truth = rng.integers(0, 2, size=n_tasks)
+    tasks = np.arange(n_tasks)
+    workers = rng.integers(0, 5, size=n_tasks)
+    flip = rng.random(n_tasks) < 0.2
+    values = np.where(flip, 1 - truth, truth)
+    answers = AnswerSet(tasks, workers, values, TaskType.DECISION_MAKING,
+                        n_tasks=n_tasks, n_workers=5)
+    result = create(name, seed=0).fit(answers)
+    assert result.truths.shape == (n_tasks,)
+
+
+@pytest.mark.parametrize("name", BINARY_METHODS)
+def test_worker_quality_ranks_good_above_bad(clean_binary, name):
+    """All worker models should rank a 95% worker above a 35% worker."""
+    answers, _ = clean_binary
+    result = create(name, seed=0).fit(answers)
+    # Workers 0 (acc 0.95) vs 7 (acc 0.35) from the fixture.
+    assert result.worker_quality[0] > result.worker_quality[7]

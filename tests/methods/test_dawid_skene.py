@@ -1,0 +1,112 @@
+"""Dawid & Skene (and shared confusion-matrix EM) tests."""
+
+import numpy as np
+
+from repro.core import create
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.metrics import accuracy
+from repro.methods.dawid_skene import initial_confusion_from_quality
+
+
+class TestInitialConfusion:
+    def test_diagonal_matches_quality(self):
+        confusion = initial_confusion_from_quality(np.array([0.8, 0.6]), 4)
+        np.testing.assert_allclose(confusion[0].diagonal(), 0.8)
+        np.testing.assert_allclose(confusion[1].diagonal(), 0.6)
+
+    def test_rows_sum_to_one(self):
+        confusion = initial_confusion_from_quality(np.array([0.9, 0.2]), 3)
+        np.testing.assert_allclose(confusion.sum(axis=2), 1.0)
+
+    def test_extreme_qualities_clipped(self):
+        confusion = initial_confusion_from_quality(np.array([0.0, 1.0]), 2)
+        assert (confusion > 0).all()
+
+
+class TestDawidSkene:
+    def test_confusion_matrices_exposed(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("D&S", seed=0).fit(answers)
+        confusion = result.extras["confusion"]
+        assert confusion.shape == (answers.n_workers, 2, 2)
+        np.testing.assert_allclose(confusion.sum(axis=2), 1.0, atol=1e-9)
+
+    def test_estimated_confusion_tracks_true_accuracy(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("D&S", seed=0).fit(answers)
+        diag = result.extras["confusion"].diagonal(axis1=1, axis2=2)
+        mean_diag = diag.mean(axis=1)
+        # Fixture accuracies: worker 0 = 0.95 ... worker 7 = 0.35.
+        assert mean_diag[0] > 0.85
+        assert mean_diag[7] < 0.55
+
+    def test_class_prior_estimated(self, clean_binary):
+        answers, truth = clean_binary
+        result = create("D&S", seed=0).fit(answers)
+        prior = result.extras["class_prior"]
+        assert abs(prior[1] - truth.mean()) < 0.1
+
+    def test_beats_mv_with_spammy_pool(self):
+        """D&S's core claim: identify the good workers and beat MV."""
+        rng = np.random.default_rng(17)
+        n_tasks = 400
+        truth = rng.integers(0, 2, size=n_tasks)
+        accuracies = [0.95, 0.95, 0.5, 0.5, 0.5, 0.5, 0.5]
+        tasks, workers, values = [], [], []
+        for task in range(n_tasks):
+            for worker in rng.choice(7, size=5, replace=False):
+                correct = rng.random() < accuracies[worker]
+                tasks.append(task)
+                workers.append(int(worker))
+                values.append(int(truth[task] if correct else 1 - truth[task]))
+        answers = AnswerSet(tasks, workers, values,
+                            TaskType.DECISION_MAKING,
+                            n_tasks=n_tasks, n_workers=7)
+        mv = accuracy(truth, create("MV", seed=0).fit(answers).truths)
+        ds = accuracy(truth, create("D&S", seed=0).fit(answers).truths)
+        assert ds > mv
+
+    def test_golden_clamped_through_iterations(self, clean_binary):
+        answers, truth = clean_binary
+        wrong = {5: int(1 - truth[5])}
+        result = create("D&S", seed=0).fit(answers, golden=wrong)
+        assert result.truths[5] == wrong[5]
+        np.testing.assert_allclose(result.posterior[5, wrong[5]], 1.0)
+
+    def test_qualification_initialisation_accepted(self, clean_binary):
+        answers, truth = clean_binary
+        quality = np.full(answers.n_workers, 0.8)
+        result = create("D&S", seed=0).fit(answers, initial_quality=quality)
+        assert accuracy(truth, result.truths) > 0.85
+
+    def test_converges_before_cap(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("D&S", seed=0).fit(answers)
+        assert result.converged
+        assert result.n_iterations < 100
+
+
+class TestLFC:
+    def test_prior_strength_zero_matches_ds_closely(self, clean_binary):
+        answers, _ = clean_binary
+        ds = create("D&S", seed=0).fit(answers)
+        lfc = create("LFC", seed=0, prior_strength=0.01,
+                     diagonal_bonus=0.0).fit(answers)
+        assert (ds.truths == lfc.truths).mean() > 0.97
+
+    def test_negative_prior_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            create("LFC", prior_strength=-1.0)
+
+    def test_diagonal_bonus_biases_toward_trust(self, clean_binary):
+        answers, _ = clean_binary
+        strong = create("LFC", seed=0, prior_strength=0.1,
+                        diagonal_bonus=20.0).fit(answers)
+        weak = create("LFC", seed=0, prior_strength=0.1,
+                      diagonal_bonus=0.0).fit(answers)
+        # A massive diagonal prior drags every worker's estimated
+        # accuracy upward relative to the unbiased estimate.
+        assert strong.worker_quality.mean() > weak.worker_quality.mean()

@@ -1,0 +1,66 @@
+"""GLAD tests: ability × difficulty model."""
+
+import numpy as np
+
+from repro.core import create
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.metrics import accuracy
+
+
+def _dataset_with_difficulty(seed=0):
+    """Half the tasks are easy (everyone right), half hard (coin flips)."""
+    rng = np.random.default_rng(seed)
+    n_tasks, n_workers = 200, 8
+    truth = rng.integers(0, 2, size=n_tasks)
+    hard = np.zeros(n_tasks, dtype=bool)
+    hard[: n_tasks // 2] = True
+    tasks, workers, values = [], [], []
+    for task in range(n_tasks):
+        for worker in rng.choice(n_workers, size=5, replace=False):
+            p_correct = 0.55 if hard[task] else 0.95
+            correct = rng.random() < p_correct
+            tasks.append(task)
+            workers.append(int(worker))
+            values.append(int(truth[task] if correct else 1 - truth[task]))
+    answers = AnswerSet(tasks, workers, values, TaskType.DECISION_MAKING,
+                        n_tasks=n_tasks, n_workers=n_workers)
+    return answers, truth, hard
+
+
+class TestGlad:
+    def test_estimates_task_easiness(self):
+        answers, truth, hard = _dataset_with_difficulty()
+        result = create("GLAD", seed=0).fit(answers)
+        easiness = result.extras["task_easiness"]
+        assert easiness[~hard].mean() > easiness[hard].mean()
+
+    def test_ability_ranks_workers(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("GLAD", seed=0).fit(answers)
+        assert result.worker_quality[0] > result.worker_quality[7]
+
+    def test_accuracy_reasonable(self, clean_binary):
+        answers, truth = clean_binary
+        result = create("GLAD", seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.85
+
+    def test_golden_respected(self, clean_binary):
+        answers, truth = clean_binary
+        wrong = {1: int(1 - truth[1])}
+        result = create("GLAD", seed=0).fit(answers, golden=wrong)
+        assert result.truths[1] == wrong[1]
+
+    def test_initial_quality_maps_to_ability_sign(self, clean_binary):
+        answers, _ = clean_binary
+        # Accuracy below 0.5 should initialise a negative ability.
+        quality = np.full(answers.n_workers, 0.3)
+        method = create("GLAD", seed=0, max_iter=1, gradient_steps=0)
+        result = method.fit(answers, initial_quality=quality)
+        assert (result.worker_quality < 0).all()
+
+    def test_parameters_bounded(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("GLAD", seed=0).fit(answers)
+        assert np.abs(result.worker_quality).max() <= 10.0
+        assert result.extras["task_easiness"].max() <= np.exp(5.0) + 1e-9

@@ -1,0 +1,52 @@
+"""KOS message-passing tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.metrics import accuracy
+
+
+class TestKOS:
+    def test_spin_scores_exposed(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("KOS", seed=0).fit(answers)
+        scores = result.extras["task_scores"]
+        assert scores.shape == (answers.n_tasks,)
+        # Scores and labels agree in sign.
+        positive = scores > 0
+        np.testing.assert_array_equal(result.truths[positive], 1)
+
+    def test_accuracy_on_clean_data(self, clean_binary):
+        answers, truth = clean_binary
+        result = create("KOS", seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.8
+
+    def test_more_rounds_does_not_crash_or_blow_up(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("KOS", seed=0, n_rounds=40).fit(answers)
+        assert np.isfinite(result.extras["task_scores"]).all()
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            create("KOS", n_rounds=0)
+
+    def test_quality_in_unit_interval(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("KOS", seed=0).fit(answers)
+        assert (result.worker_quality >= 0).all()
+        assert (result.worker_quality <= 1).all()
+
+    def test_ties_broken_randomly(self):
+        # A single task answered T by one worker and F by another is a
+        # perfect tie: over seeds both labels must appear.
+        from repro.core.answers import AnswerSet
+        from repro.core.tasktypes import TaskType
+
+        answers = AnswerSet([0, 0], [0, 1], [1, 0],
+                            TaskType.DECISION_MAKING)
+        outcomes = {
+            int(create("KOS", seed=seed).fit(answers).truths[0])
+            for seed in range(40)
+        }
+        assert outcomes == {0, 1}

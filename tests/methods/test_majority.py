@@ -1,0 +1,51 @@
+"""Majority-voting tests, including the paper's Section 3 discussion."""
+
+import numpy as np
+
+from repro.core import create
+from repro.metrics import accuracy
+
+
+class TestMajorityVoting:
+    def test_paper_example_majority_choices(self, paper_example):
+        # Paper: "the truth derived by MV is v*_i = F for 2<=i<=6 and it
+        # randomly infers v*_1 to break the tie" — and MV therefore gets
+        # v*_6 wrong.
+        result = create("MV", seed=0).fit(paper_example)
+        assert list(result.truths[1:6]) == [0, 0, 0, 0, 0]
+
+    def test_tie_breaking_is_random_across_seeds(self, paper_example):
+        outcomes = {
+            create("MV", seed=seed).fit(paper_example).truths[0]
+            for seed in range(30)
+        }
+        assert outcomes == {0, 1}
+
+    def test_deterministic_mode_breaks_ties_low(self, paper_example):
+        method = create("MV", seed=0, random_ties=False)
+        assert method.fit(paper_example).truths[0] == 0
+
+    def test_unanimous_answers_win(self, clean_binary):
+        answers, truth = clean_binary
+        result = create("MV", seed=0).fit(answers)
+        counts = answers.vote_counts()
+        unanimous = (counts > 0).sum(axis=1) == 1
+        chosen = counts.argmax(axis=1)
+        np.testing.assert_array_equal(result.truths[unanimous],
+                                      chosen[unanimous])
+
+    def test_mv_quality_is_agreement_rate(self, paper_example):
+        result = create("MV", seed=0, random_ties=False).fit(paper_example)
+        # w2 agrees with the (deterministic) majority on 3 of 5 answers.
+        assert result.worker_quality[1] == 3 / 5
+
+    def test_mv_decent_on_clean_data(self, clean_binary):
+        answers, truth = clean_binary
+        result = create("MV", seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.85
+
+    def test_zero_iterations_reported(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("MV", seed=0).fit(answers)
+        assert result.n_iterations == 0
+        assert result.converged

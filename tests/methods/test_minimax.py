@@ -1,0 +1,51 @@
+"""Minimax-entropy tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.metrics import accuracy
+
+
+class TestMinimax:
+    def test_accuracy_on_clean_data(self, clean_binary):
+        answers, truth = clean_binary
+        result = create("Minimax", seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.8
+
+    def test_parameters_exposed(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("Minimax", seed=0).fit(answers)
+        assert result.extras["tau"].shape == (answers.n_tasks, 2)
+        assert result.extras["sigma"].shape == (answers.n_workers, 2, 2)
+
+    def test_quality_ranks_workers(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("Minimax", seed=0).fit(answers)
+        assert result.worker_quality[0] > result.worker_quality[7]
+
+    def test_single_choice_supported(self, clean_single_choice):
+        answers, truth = clean_single_choice
+        result = create("Minimax", seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.5
+
+    def test_golden_respected(self, clean_binary):
+        answers, truth = clean_binary
+        wrong = {9: int(1 - truth[9])}
+        result = create("Minimax", seed=0).fit(answers, golden=wrong)
+        assert result.truths[9] == wrong[9]
+
+    def test_invalid_temper_rejected(self):
+        with pytest.raises(ValueError):
+            create("Minimax", prior_temper=1.5)
+
+    def test_iteration_cap_low_by_default(self):
+        # Minimax is the slowest method in Table 6; the default cap
+        # keeps a full run tractable.
+        assert create("Minimax").max_iter <= 25
+
+    def test_parameters_stay_finite(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("Minimax", seed=0).fit(answers)
+        assert np.isfinite(result.extras["tau"]).all()
+        assert np.isfinite(result.extras["sigma"]).all()

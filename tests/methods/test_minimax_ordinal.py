@@ -1,0 +1,79 @@
+"""Tests for the ordinal minimax extension (Zhou et al. 2014)."""
+
+import numpy as np
+
+from repro.core import create
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.metrics import accuracy
+
+
+def ordinal_dataset(seed=0, n_tasks=250, n_choices=4, adjacent_error=0.35):
+    """Workers whose mistakes are strictly adjacent in the ordering."""
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, n_choices, size=n_tasks)
+    tasks, workers, values = [], [], []
+    for task in range(n_tasks):
+        for worker in rng.choice(10, size=5, replace=False):
+            answer = truth[task]
+            if rng.random() < adjacent_error:
+                step = rng.choice([-1, 1])
+                answer = int(np.clip(answer + step, 0, n_choices - 1))
+            tasks.append(task)
+            workers.append(int(worker))
+            values.append(int(answer))
+    answers = AnswerSet(tasks, workers, values, TaskType.SINGLE_CHOICE,
+                        n_choices=n_choices, n_tasks=n_tasks, n_workers=10)
+    return answers, truth
+
+
+class TestMinimaxOrdinal:
+    def test_is_extension(self):
+        method = create("Minimax-Ord")
+        assert method.is_extension
+
+    def test_beats_chance_on_ordinal_data(self):
+        answers, truth = ordinal_dataset()
+        result = create("Minimax-Ord", seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.6
+
+    def test_parameter_shapes(self):
+        answers, _ = ordinal_dataset()
+        result = create("Minimax-Ord", seed=0).fit(answers)
+        assert result.extras["omega"].shape == (10, 3, 2, 2)
+        assert result.extras["sigma"].shape == (10, 4, 4)
+
+    def test_competitive_with_plain_minimax_on_ordinal_data(self):
+        answers, truth = ordinal_dataset(adjacent_error=0.45)
+        plain = create("Minimax", seed=0, max_iter=8).fit(answers)
+        ordinal = create("Minimax-Ord", seed=0, max_iter=8).fit(answers)
+        plain_acc = accuracy(truth, plain.truths)
+        ordinal_acc = accuracy(truth, ordinal.truths)
+        # The tied parameterisation must not lose noticeably where its
+        # inductive bias matches the data.
+        assert ordinal_acc > plain_acc - 0.05
+
+    def test_fewer_parameters_than_plain_minimax(self):
+        answers, _ = ordinal_dataset(n_choices=4)
+        result = create("Minimax-Ord", seed=0).fit(answers)
+        # 4(l-1) = 12 parameters per worker vs l^2 = 16 for plain sigma.
+        assert result.extras["omega"][0].size < 16
+
+    def test_golden_respected(self):
+        answers, truth = ordinal_dataset()
+        wrong = {0: int((truth[0] + 2) % 4)}
+        result = create("Minimax-Ord", seed=0).fit(answers, golden=wrong)
+        assert result.truths[0] == wrong[0]
+
+    def test_binary_degenerates_to_single_split(self):
+        rng = np.random.default_rng(1)
+        truth = rng.integers(0, 2, size=100)
+        tasks = np.repeat(np.arange(100), 3)
+        workers = np.tile(np.arange(3), 100)
+        flip = rng.random(300) < 0.2
+        values = np.where(flip, 1 - truth[tasks], truth[tasks])
+        answers = AnswerSet(tasks, workers, values,
+                            TaskType.DECISION_MAKING)
+        result = create("Minimax-Ord", seed=0).fit(answers)
+        assert result.extras["omega"].shape == (3, 1, 2, 2)
+        assert accuracy(truth, result.truths) > 0.85

@@ -1,0 +1,46 @@
+"""Multi (Welinder et al.) latent-space model tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.metrics import accuracy
+
+
+class TestMulti:
+    def test_latent_parameters_exposed(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("Multi", seed=0, n_topics=3).fit(answers)
+        assert result.extras["task_embedding"].shape == (answers.n_tasks, 3)
+        assert result.extras["worker_direction"].shape == (answers.n_workers, 3)
+        assert result.extras["worker_bias"].shape == (answers.n_workers,)
+        assert result.extras["worker_variance"].shape == (answers.n_workers,)
+
+    def test_class_coordinate_separates_labels(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("Multi", seed=0).fit(answers)
+        x0 = result.extras["task_embedding"][:, 0]
+        predicted_true = result.truths == 1
+        assert x0[predicted_true].mean() > x0[~predicted_true].mean()
+
+    def test_accuracy_on_clean_data(self, clean_binary):
+        answers, truth = clean_binary
+        result = create("Multi", seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.8
+
+    def test_survives_imbalanced_truth(self, small_product):
+        """Regression test: the worker-bias term must not absorb class
+        imbalance (predicting far more positives than exist)."""
+        result = create("Multi", seed=0).fit(small_product.answers)
+        predicted_rate = (result.truths == 1).mean()
+        true_rate = (small_product.truth == 1).mean()
+        assert predicted_rate < 2.5 * true_rate + 0.05
+
+    def test_invalid_topics_rejected(self):
+        with pytest.raises(ValueError):
+            create("Multi", n_topics=0)
+
+    def test_worker_variance_positive(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("Multi", seed=0).fit(answers)
+        assert (result.extras["worker_variance"] > 0).all()

@@ -1,0 +1,89 @@
+"""Mean, Median, LFC_N and CATD-numeric behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.metrics import rmse
+
+
+class TestMeanMedian:
+    def test_mean_matches_numpy(self, clean_numeric):
+        answers, _, _ = clean_numeric
+        result = create("Mean", seed=0).fit(answers)
+        for task in [0, 10, 50]:
+            idx = answers.answers_of_task(task)
+            assert result.truths[task] == pytest.approx(
+                answers.values[idx].mean())
+
+    def test_median_robust_to_outlier(self):
+        tasks = [0, 0, 0, 0, 0]
+        workers = [0, 1, 2, 3, 4]
+        values = [10.0, 10.5, 9.5, 10.2, 1e6]
+        answers = AnswerSet(tasks, workers, values, TaskType.NUMERIC)
+        mean_r = create("Mean").fit(answers)
+        median_r = create("Median").fit(answers)
+        assert abs(median_r.truths[0] - 10.0) < 1.0
+        assert mean_r.truths[0] > 1000
+
+    def test_worker_rmse_reported(self, clean_numeric):
+        answers, _, sigmas = clean_numeric
+        result = create("Mean", seed=0).fit(answers)
+        worker_rmse = result.extras["worker_rmse"]
+        # The noisiest worker (sigma 15) shows the largest RMSE.
+        assert worker_rmse.argmax() == len(sigmas) - 1
+
+
+class TestLFCNumeric:
+    def test_variance_estimates_ordered(self, clean_numeric):
+        answers, _, sigmas = clean_numeric
+        result = create("LFC_N", seed=0).fit(answers)
+        variance = result.extras["worker_variance"]
+        # Estimated variances should correlate with the true sigmas.
+        order = np.argsort(variance)
+        assert order[0] in (0, 1)
+        assert order[-1] == len(sigmas) - 1
+
+    def test_beats_mean_under_heterogeneous_noise(self, clean_numeric):
+        """With genuinely different worker variances, precision
+        weighting must win — the flip side of the paper's N_Emotion
+        finding (where variances are homogeneous and Mean wins)."""
+        answers, truth, _ = clean_numeric
+        mean_error = rmse(truth, create("Mean").fit(answers).truths)
+        lfc_error = rmse(truth, create("LFC_N", seed=0).fit(answers).truths)
+        assert lfc_error < mean_error
+
+    def test_golden_respected(self, clean_numeric):
+        answers, _, _ = clean_numeric
+        result = create("LFC_N", seed=0).fit(answers, golden={0: -500.0})
+        assert result.truths[0] == -500.0
+
+    def test_variance_floor_enforced(self):
+        # Perfectly agreeing workers would give zero variance.
+        tasks = np.repeat(np.arange(10), 3)
+        workers = np.tile(np.arange(3), 10)
+        values = np.ones(30) * 5.0
+        answers = AnswerSet(tasks, workers, values, TaskType.NUMERIC)
+        result = create("LFC_N", seed=0).fit(answers)
+        assert (result.extras["worker_variance"] > 0).all()
+
+
+class TestCATDNumeric:
+    def test_chi_square_coefficient_grows_with_activity(self, clean_numeric):
+        answers, _, _ = clean_numeric
+        result = create("CATD", seed=0).fit(answers)
+        coeff = result.extras["chi_square_coefficient"]
+        counts = answers.worker_answer_counts()
+        assert (np.argsort(coeff) == np.argsort(counts)).all() or \
+            np.corrcoef(coeff, counts)[0, 1] > 0.99
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            create("CATD", confidence=0.3)
+
+    def test_error_finite(self, clean_numeric):
+        answers, truth, _ = clean_numeric
+        result = create("CATD", seed=0).fit(answers)
+        assert np.isfinite(rmse(truth, result.truths))

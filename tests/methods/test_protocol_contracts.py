@@ -1,0 +1,90 @@
+"""Protocol contracts: golden clamping and qualification initialisation
+must behave identically across every method that declares support."""
+
+import numpy as np
+import pytest
+
+from repro.core import available_methods, create, methods_for_task_type
+from repro.core.tasktypes import TaskType
+
+BINARY = set(methods_for_task_type(TaskType.DECISION_MAKING,
+                                   include_extensions=True))
+NUMERIC = set(methods_for_task_type(TaskType.NUMERIC))
+
+GOLDEN_BINARY = sorted(
+    name for name in BINARY if create(name).supports_golden)
+GOLDEN_NUMERIC = sorted(
+    name for name in NUMERIC if create(name).supports_golden)
+QUALIFIABLE_BINARY = sorted(
+    name for name in BINARY if create(name).supports_initial_quality)
+
+
+@pytest.mark.parametrize("name", GOLDEN_BINARY)
+class TestGoldenContractCategorical:
+    def test_every_golden_task_clamped(self, clean_binary, name):
+        answers, truth = clean_binary
+        golden = {t: int(1 - truth[t]) for t in (0, 7, 42)}  # wrong on purpose
+        result = create(name, seed=0).fit(answers, golden=golden)
+        for task, label in golden.items():
+            assert result.truths[task] == label, name
+
+    def test_golden_improves_or_preserves_rest(self, clean_binary, name):
+        """Clamping *correct* golden truths must not wreck the rest."""
+        answers, truth = clean_binary
+        golden = {t: int(truth[t]) for t in range(0, 60, 3)}
+        plain = create(name, seed=0).fit(answers)
+        clamped = create(name, seed=0).fit(answers, golden=golden)
+        mask = np.ones(answers.n_tasks, dtype=bool)
+        mask[list(golden)] = False
+        from repro.metrics import accuracy
+
+        plain_acc = accuracy(truth, plain.truths, mask)
+        clamped_acc = accuracy(truth, clamped.truths, mask)
+        assert clamped_acc >= plain_acc - 0.05, name
+
+
+@pytest.mark.parametrize("name", GOLDEN_NUMERIC)
+def test_golden_contract_numeric(clean_numeric, name):
+    answers, truth, _ = clean_numeric
+    golden = {0: 1234.5, 10: -999.0}
+    result = create(name, seed=0).fit(answers, golden=golden)
+    for task, value in golden.items():
+        assert result.truths[task] == value, name
+
+
+@pytest.mark.parametrize("name", QUALIFIABLE_BINARY)
+class TestQualificationContract:
+    def test_accepts_boundary_qualities(self, clean_binary, name):
+        """Accuracies of exactly 0 and 1 must not produce NaNs."""
+        answers, _ = clean_binary
+        quality = np.linspace(0.0, 1.0, answers.n_workers)
+        result = create(name, seed=0).fit(answers, initial_quality=quality)
+        assert np.isfinite(result.worker_quality).all(), name
+        if result.posterior is not None:
+            assert np.isfinite(result.posterior).all(), name
+
+    def test_good_initialisation_does_not_hurt(self, clean_binary, name):
+        """Initialising with the *true* accuracies must not degrade the
+        converged quality by more than noise."""
+        answers, truth = clean_binary
+        true_acc = np.array([0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.6, 0.35])
+        from repro.metrics import accuracy
+
+        plain = accuracy(truth, create(name, seed=0).fit(answers).truths)
+        informed = accuracy(truth, create(name, seed=0).fit(
+            answers, initial_quality=true_acc).truths)
+        assert informed >= plain - 0.03, name
+
+
+class TestExtensionSetConsistency:
+    def test_every_registered_method_instantiable_and_tagged(self):
+        for name in available_methods():
+            method = create(name)
+            assert isinstance(method.is_extension, bool)
+            assert method.name == name
+
+    def test_paper_harness_never_sees_extensions(self):
+        for task_type in TaskType:
+            names = methods_for_task_type(task_type)
+            for name in names:
+                assert not create(name).is_extension

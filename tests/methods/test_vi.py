@@ -1,0 +1,69 @@
+"""VI-MF / VI-BP (Liu et al.) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import create
+from repro.metrics import accuracy
+
+
+@pytest.mark.parametrize("name", ["VI-MF", "VI-BP"])
+class TestVariationalTwoCoin:
+    def test_sensitivity_specificity_exposed(self, clean_binary, name):
+        answers, _ = clean_binary
+        result = create(name, seed=0).fit(answers)
+        for key in ("sensitivity", "specificity"):
+            values = result.extras[key]
+            assert values.shape == (answers.n_workers,)
+            assert (values >= 0).all() and (values <= 1).all()
+
+    def test_good_worker_higher_sensitivity(self, clean_binary, name):
+        answers, _ = clean_binary
+        result = create(name, seed=0).fit(answers)
+        assert result.extras["sensitivity"][0] > \
+            result.extras["sensitivity"][7]
+
+    def test_accuracy_reasonable(self, clean_binary, name):
+        answers, truth = clean_binary
+        result = create(name, seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.8
+
+    def test_golden_respected(self, clean_binary, name):
+        answers, truth = clean_binary
+        wrong = {4: int(1 - truth[4])}
+        result = create(name, seed=0).fit(answers, golden=wrong)
+        assert result.truths[4] == wrong[4]
+
+    def test_invalid_prior_rejected(self, name):
+        with pytest.raises(ValueError):
+            create(name, prior_a=0.0)
+
+    def test_initial_quality_weights_first_belief(self, clean_binary, name):
+        answers, _ = clean_binary
+        quality = np.full(answers.n_workers, 0.5)
+        result = create(name, seed=0).fit(answers, initial_quality=quality)
+        assert result.truths.shape == (answers.n_tasks,)
+
+
+class TestBPvsMF:
+    def test_methods_differ_on_sparse_data(self):
+        """BP's cavity counts matter when workers have few answers."""
+        from repro.core.answers import AnswerSet
+        from repro.core.tasktypes import TaskType
+
+        rng = np.random.default_rng(2)
+        n_tasks = 40
+        truth = rng.integers(0, 2, n_tasks)
+        tasks, workers, values = [], [], []
+        for task in range(n_tasks):
+            for worker in rng.choice(20, size=3, replace=False):
+                correct = rng.random() < 0.7
+                tasks.append(task)
+                workers.append(int(worker))
+                values.append(int(truth[task] if correct else 1 - truth[task]))
+        answers = AnswerSet(tasks, workers, values,
+                            TaskType.DECISION_MAKING,
+                            n_tasks=n_tasks, n_workers=20)
+        mf = create("VI-MF", seed=0).fit(answers)
+        bp = create("VI-BP", seed=0).fit(answers)
+        assert not np.allclose(mf.posterior, bp.posterior)

@@ -1,0 +1,62 @@
+"""ZenCrowd (ZC) tests."""
+
+import numpy as np
+
+from repro.core import create
+from repro.metrics import accuracy
+
+
+class TestZC:
+    def test_quality_is_probability(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("ZC", seed=0).fit(answers)
+        assert (result.worker_quality >= 0).all()
+        assert (result.worker_quality <= 1).all()
+
+    def test_quality_tracks_true_accuracy(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("ZC", seed=0).fit(answers)
+        # Fixture: worker 0 has accuracy 0.95, worker 7 has 0.35.
+        assert result.worker_quality[0] > 0.85
+        assert result.worker_quality[7] < 0.55
+
+    def test_downweights_spammer_vs_mv(self, clean_binary):
+        answers, truth = clean_binary
+        mv = accuracy(truth, create("MV", seed=0).fit(answers).truths)
+        zc = accuracy(truth, create("ZC", seed=0).fit(answers).truths)
+        assert zc >= mv - 0.01
+
+    def test_single_choice_error_mass_spread(self, clean_single_choice):
+        answers, truth = clean_single_choice
+        result = create("ZC", seed=0).fit(answers)
+        assert accuracy(truth, result.truths) > 0.6
+
+    def test_golden_tasks_clamped(self, clean_binary):
+        answers, truth = clean_binary
+        wrong = {2: int(1 - truth[2])}
+        result = create("ZC", seed=0).fit(answers, golden=wrong)
+        assert result.truths[2] == wrong[2]
+
+    def test_initial_quality_used_for_first_estimate(self, clean_binary):
+        answers, _ = clean_binary
+        # Tell ZC the spammer (worker 7) is the only good worker: with a
+        # single iteration the inferred truths must tilt toward worker
+        # 7's answers compared to the uninitialised run.
+        quality = np.full(answers.n_workers, 0.2)
+        quality[7] = 0.99
+        poisoned = create("ZC", seed=0, max_iter=1).fit(
+            answers, initial_quality=quality)
+        neutral = create("ZC", seed=0, max_iter=1).fit(answers)
+        idx = answers.answers_of_worker(7)
+        w7_agreement_poisoned = (
+            poisoned.truths[answers.tasks[idx]] == answers.values[idx]
+        ).mean()
+        w7_agreement_neutral = (
+            neutral.truths[answers.tasks[idx]] == answers.values[idx]
+        ).mean()
+        assert w7_agreement_poisoned > w7_agreement_neutral
+
+    def test_converges(self, clean_binary):
+        answers, _ = clean_binary
+        result = create("ZC", seed=0).fit(answers)
+        assert result.converged

@@ -1,0 +1,100 @@
+"""Tests for inter-worker agreement statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.metrics.agreement import (
+    cohen_kappa,
+    fleiss_kappa,
+    pairwise_agreement_matrix,
+)
+
+
+def grid_answers(matrix, n_choices=2):
+    """(n_workers, n_tasks) label grid -> AnswerSet (full redundancy)."""
+    matrix = np.asarray(matrix)
+    n_workers, n_tasks = matrix.shape
+    tasks, workers, values = [], [], []
+    for worker in range(n_workers):
+        for task in range(n_tasks):
+            tasks.append(task)
+            workers.append(worker)
+            values.append(int(matrix[worker, task]))
+    task_type = (TaskType.DECISION_MAKING if n_choices == 2
+                 else TaskType.SINGLE_CHOICE)
+    return AnswerSet(tasks, workers, values, task_type,
+                     n_choices=n_choices)
+
+
+class TestFleissKappa:
+    def test_perfect_agreement_with_label_variety(self):
+        answers = grid_answers([[0, 1, 0, 1], [0, 1, 0, 1], [0, 1, 0, 1]])
+        assert fleiss_kappa(answers) == pytest.approx(1.0)
+
+    def test_random_answers_near_zero(self):
+        rng = np.random.default_rng(0)
+        answers = grid_answers(rng.integers(0, 2, size=(8, 400)))
+        assert abs(fleiss_kappa(answers)) < 0.06
+
+    def test_needs_two_answers_per_task(self):
+        answers = AnswerSet([0, 1], [0, 1], [1, 0],
+                            TaskType.DECISION_MAKING)
+        assert np.isnan(fleiss_kappa(answers))
+
+    def test_degenerate_unanimity_nan(self):
+        answers = grid_answers(np.zeros((3, 5), dtype=int))
+        assert np.isnan(fleiss_kappa(answers))
+
+
+class TestCohenKappa:
+    def test_identical_workers(self):
+        answers = grid_answers([[0, 1, 0, 1, 1], [0, 1, 0, 1, 1]])
+        assert cohen_kappa(answers, 0, 1) == pytest.approx(1.0)
+
+    def test_independent_workers_near_zero(self):
+        rng = np.random.default_rng(1)
+        answers = grid_answers(rng.integers(0, 2, size=(2, 500)))
+        assert abs(cohen_kappa(answers, 0, 1)) < 0.1
+
+    def test_systematic_disagreement_negative(self):
+        a = np.array([0, 1] * 10)
+        answers = grid_answers(np.stack([a, 1 - a]))
+        assert cohen_kappa(answers, 0, 1) < -0.9
+
+    def test_insufficient_overlap_nan(self):
+        answers = AnswerSet([0, 1], [0, 1], [1, 0],
+                            TaskType.DECISION_MAKING)
+        assert np.isnan(cohen_kappa(answers, 0, 1))
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_with_unit_diagonal(self):
+        rng = np.random.default_rng(2)
+        answers = grid_answers(rng.integers(0, 2, size=(5, 50)))
+        matrix = pairwise_agreement_matrix(answers)
+        np.testing.assert_allclose(matrix, matrix.T, equal_nan=True)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_known_agreement_rate(self):
+        answers = grid_answers([[0, 0, 0, 0], [0, 0, 1, 1]])
+        matrix = pairwise_agreement_matrix(answers)
+        assert matrix[0, 1] == pytest.approx(0.5)
+
+    def test_min_shared_masks_sparse_pairs(self):
+        answers = AnswerSet([0, 0, 1], [0, 1, 0], [1, 1, 0],
+                            TaskType.DECISION_MAKING)
+        matrix = pairwise_agreement_matrix(answers, min_shared=2)
+        assert np.isnan(matrix[0, 1])
+
+    def test_clique_visible(self):
+        """Two coordinated workers stand out against independents."""
+        rng = np.random.default_rng(3)
+        independent = rng.integers(0, 4, size=(4, 200))
+        clique_member = np.full((2, 200), 1)
+        answers = grid_answers(np.vstack([independent, clique_member]),
+                               n_choices=4)
+        matrix = pairwise_agreement_matrix(answers)
+        assert matrix[4, 5] == pytest.approx(1.0)
+        assert np.nanmean(matrix[0, 1:4]) < 0.5

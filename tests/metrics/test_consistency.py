@@ -1,0 +1,84 @@
+"""Tests for the data-consistency statistic C (Section 6.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.exceptions import TaskTypeMismatchError
+from repro.metrics.consistency import (
+    categorical_consistency,
+    consistency,
+    numeric_consistency,
+)
+
+
+def categorical(answers_per_task):
+    tasks, workers, values = [], [], []
+    worker = 0
+    for task, answers in enumerate(answers_per_task):
+        for value in answers:
+            tasks.append(task)
+            workers.append(worker)
+            worker += 1
+            values.append(value)
+    n_choices = max(max(a) for a in answers_per_task if a) + 1
+    task_type = (TaskType.DECISION_MAKING if n_choices <= 2
+                 else TaskType.SINGLE_CHOICE)
+    return AnswerSet(tasks, workers, values, task_type,
+                     n_choices=max(n_choices, 2))
+
+
+class TestCategoricalConsistency:
+    def test_unanimous_is_zero(self):
+        answers = categorical([[1, 1, 1], [0, 0, 0]])
+        assert categorical_consistency(answers) == pytest.approx(0.0)
+
+    def test_even_split_is_one(self):
+        answers = categorical([[0, 1], [1, 0]])
+        assert categorical_consistency(answers) == pytest.approx(1.0)
+
+    def test_log_base_keeps_range_for_many_choices(self):
+        answers = categorical([[0, 1, 2, 3]])
+        assert categorical_consistency(answers) == pytest.approx(1.0)
+
+    def test_paper_example_value(self, paper_example):
+        # t1: 1/1 split (entropy 1); t2..t6: 2/1 splits
+        # (entropy = -(2/3 log2 2/3 + 1/3 log2 1/3) ≈ 0.9183).
+        expected = (1.0 + 5 * 0.918295) / 6
+        assert categorical_consistency(paper_example) == \
+            pytest.approx(expected, abs=1e-4)
+
+    def test_numeric_rejected(self):
+        numeric = AnswerSet([0], [0], [1.0], TaskType.NUMERIC)
+        with pytest.raises(TaskTypeMismatchError):
+            categorical_consistency(numeric)
+
+
+class TestNumericConsistency:
+    def test_identical_answers_zero(self):
+        answers = AnswerSet([0, 0, 0], [0, 1, 2], [5.0, 5.0, 5.0],
+                            TaskType.NUMERIC)
+        assert numeric_consistency(answers) == 0.0
+
+    def test_known_deviation(self):
+        # Median of [0, 10] is 5; RMS deviation is 5.
+        answers = AnswerSet([0, 0], [0, 1], [0.0, 10.0], TaskType.NUMERIC)
+        assert numeric_consistency(answers) == pytest.approx(5.0)
+
+    def test_outlier_increases_c(self):
+        tight = AnswerSet([0, 0, 0], [0, 1, 2], [1.0, 1.1, 0.9],
+                          TaskType.NUMERIC)
+        loose = AnswerSet([0, 0, 0], [0, 1, 2], [1.0, 1.1, 50.0],
+                          TaskType.NUMERIC)
+        assert numeric_consistency(loose) > numeric_consistency(tight)
+
+
+class TestDispatch:
+    def test_consistency_dispatches(self, paper_example):
+        assert consistency(paper_example) == \
+            categorical_consistency(paper_example)
+
+    def test_numeric_dispatch(self):
+        answers = AnswerSet([0, 0], [0, 1], [0.0, 2.0], TaskType.NUMERIC)
+        assert consistency(answers) == numeric_consistency(answers)

@@ -1,0 +1,103 @@
+"""Tests for the evaluation metrics (paper Equations 3–5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tasktypes import TaskType
+from repro.metrics.quality import (
+    accuracy,
+    evaluate,
+    f1_score,
+    mae,
+    precision_recall,
+    rmse,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 0, 0])) == \
+            pytest.approx(2 / 3)
+
+    def test_mask(self):
+        truth = np.array([1, 0, 1])
+        inferred = np.array([1, 0, 0])
+        assert accuracy(truth, inferred, np.array([True, True, False])) == 1.0
+
+    def test_empty_mask_gives_nan(self):
+        out = accuracy(np.array([1]), np.array([1]), np.array([False]))
+        assert np.isnan(out)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1, 0]), np.array([1]))
+
+
+class TestF1:
+    def test_perfect(self):
+        truth = np.array([1, 1, 0, 0])
+        assert f1_score(truth, truth) == 1.0
+
+    def test_all_negative_prediction_zero(self):
+        # The paper's BCC-at-r=1 case: predicting everything F gives
+        # F1 = 0.
+        truth = np.array([1, 1, 0, 0])
+        predicted = np.zeros(4, dtype=int)
+        assert f1_score(truth, predicted) == 0.0
+
+    def test_no_positives_anywhere_zero(self):
+        truth = np.zeros(4, dtype=int)
+        assert f1_score(truth, truth) == 0.0
+
+    def test_matches_sklearn_formula(self):
+        truth = np.array([1, 1, 1, 0, 0, 0, 0, 0])
+        pred = np.array([1, 1, 0, 1, 1, 0, 0, 0])
+        precision, recall = precision_recall(truth, pred)
+        expected = 2 / (1 / precision + 1 / recall)
+        assert f1_score(truth, pred) == pytest.approx(expected)
+
+    def test_high_accuracy_low_f1_on_imbalance(self):
+        """The paper's D_Product argument: the all-F baseline has 88%
+        accuracy but 0 F1."""
+        truth = np.array([1] * 12 + [0] * 88)
+        baseline = np.zeros(100, dtype=int)
+        assert accuracy(truth, baseline) == pytest.approx(0.88)
+        assert f1_score(truth, baseline) == 0.0
+
+    def test_custom_positive_label(self):
+        truth = np.array([2, 2, 0])
+        pred = np.array([2, 0, 0])
+        assert f1_score(truth, pred, positive_label=2) == pytest.approx(2 / 3)
+
+
+class TestNumericErrors:
+    def test_mae(self):
+        assert mae(np.array([0.0, 2.0]), np.array([1.0, 0.0])) == 1.5
+
+    def test_rmse_penalises_large_errors(self):
+        truth = np.zeros(2)
+        spread = np.array([0.0, 2.0])
+        even = np.array([1.0, 1.0])
+        assert mae(truth, spread) == mae(truth, even)
+        assert rmse(truth, spread) > rmse(truth, even)
+
+    def test_zero_for_perfect(self):
+        truth = np.array([1.5, -2.5])
+        assert mae(truth, truth) == 0.0
+        assert rmse(truth, truth) == 0.0
+
+
+class TestEvaluate:
+    def test_decision_making_metrics(self):
+        out = evaluate(TaskType.DECISION_MAKING, np.array([1, 0]),
+                       np.array([1, 1]))
+        assert set(out) == {"accuracy", "f1"}
+
+    def test_single_choice_metrics(self):
+        out = evaluate(TaskType.SINGLE_CHOICE, np.array([1, 2]),
+                       np.array([1, 2]))
+        assert set(out) == {"accuracy"}
+
+    def test_numeric_metrics(self):
+        out = evaluate(TaskType.NUMERIC, np.array([1.0]), np.array([2.0]))
+        assert set(out) == {"mae", "rmse"}

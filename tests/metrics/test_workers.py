@@ -1,0 +1,77 @@
+"""Tests for per-worker statistics (Figures 2–3)."""
+
+import numpy as np
+
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.metrics.workers import (
+    histogram,
+    long_tail_ratio,
+    quality_histogram,
+    redundancy_histogram,
+    worker_accuracy,
+    worker_redundancy,
+    worker_rmse,
+)
+
+
+class TestWorkerRedundancy:
+    def test_counts(self, paper_example):
+        assert list(worker_redundancy(paper_example)) == [6, 5, 6]
+
+    def test_histogram_totals(self, paper_example):
+        hist = redundancy_histogram(paper_example, bins=3)
+        assert hist.counts.sum() == 3  # three workers
+
+    def test_long_tail_ratio_bounds(self, small_product):
+        ratio = long_tail_ratio(small_product.answers)
+        assert 0.2 <= ratio <= 1.0
+
+
+class TestWorkerAccuracy:
+    def test_against_known_truth(self, paper_example, paper_example_truth):
+        acc = worker_accuracy(paper_example, paper_example_truth)
+        # w3 answers: t1=T(✓) t2=F(✓) t3=F(✓) t4=F(✓) t5=F(✓) t6=T(✓).
+        assert acc[2] == 1.0
+        # w1: t1=F(✗) t2=T(✗) t3=T(✗) t4=F(✓) t5=F(✓) t6=F(✗) -> 2/6.
+        assert acc[0] == np.float64(2 / 6)
+
+    def test_truth_mask_restricts(self, paper_example, paper_example_truth):
+        mask = np.zeros(6, dtype=bool)
+        mask[3] = True  # only t4 counts
+        acc = worker_accuracy(paper_example, paper_example_truth, mask)
+        assert acc[0] == 1.0  # w1 answered t4 correctly
+        assert acc[1] == 0.0  # w2 answered t4 incorrectly
+
+    def test_silent_worker_nan(self):
+        answers = AnswerSet([0], [0], [1], TaskType.DECISION_MAKING,
+                            n_workers=2)
+        acc = worker_accuracy(answers, np.array([1]))
+        assert acc[0] == 1.0
+        assert np.isnan(acc[1])
+
+
+class TestWorkerRMSE:
+    def test_known_errors(self):
+        answers = AnswerSet([0, 1, 0, 1], [0, 0, 1, 1],
+                            [1.0, 1.0, 3.0, 3.0], TaskType.NUMERIC)
+        truth = np.array([0.0, 0.0])
+        rmse = worker_rmse(answers, truth)
+        assert rmse[0] == 1.0
+        assert rmse[1] == 3.0
+
+
+class TestHistogram:
+    def test_nan_dropped(self):
+        hist = histogram(np.array([0.5, np.nan, 0.7]), bins=2)
+        assert hist.counts.sum() == 2
+
+    def test_rows_format(self):
+        hist = histogram(np.array([1.0, 2.0, 3.0]), bins=3)
+        rows = hist.rows()
+        assert len(rows) == 3
+        assert rows[0][2] == 1
+
+    def test_quality_histogram_dispatch(self, small_emotion):
+        hist = quality_histogram(small_emotion.answers, small_emotion.truth)
+        assert hist.counts.sum() > 0

@@ -1,0 +1,56 @@
+"""Tests for golden-task benefit estimation (paper §7.4–7.5)."""
+
+import pytest
+
+from repro.planning.benefit import (
+    estimate_hidden_benefit,
+    estimate_qualification_benefit,
+)
+
+
+class TestQualificationBenefit:
+    def test_estimate_structure(self, small_product):
+        estimate = estimate_qualification_benefit(
+            small_product, "ZC", n_golden=10, n_repeats=3)
+        assert estimate.method == "ZC"
+        assert estimate.metric == "accuracy"
+        assert estimate.n_repeats == 3
+        assert estimate.std_delta >= 0
+        assert "qualification" in estimate.summary()
+
+    def test_unsupported_method_rejected(self, small_product):
+        with pytest.raises(ValueError, match="cannot incorporate"):
+            estimate_qualification_benefit(small_product, "MV")
+
+    def test_numeric_metric_sign_adjusted(self, small_emotion):
+        estimate = estimate_qualification_benefit(
+            small_emotion, "LFC_N", n_golden=10, n_repeats=3)
+        assert estimate.metric == "mae"
+        # Deltas are "positive = better"; magnitude bounded by the
+        # baseline error itself.
+        assert abs(estimate.mean_delta) < estimate.baseline
+
+
+class TestHiddenBenefit:
+    def test_estimate_structure(self, small_product):
+        estimate = estimate_hidden_benefit(
+            small_product, "ZC", percentage=20, n_repeats=3)
+        assert "hidden test" in estimate.protocol
+        assert estimate.dataset == "D_Product"
+
+    def test_unsupported_method_rejected(self, small_product):
+        with pytest.raises(ValueError, match="cannot incorporate"):
+            estimate_hidden_benefit(small_product, "CBCC")
+
+    def test_worthwhile_flag_consistent(self, small_product):
+        estimate = estimate_hidden_benefit(
+            small_product, "CATD", percentage=30, n_repeats=3)
+        assert estimate.worthwhile == \
+            (estimate.mean_delta > estimate.std_delta)
+
+    def test_golden_tasks_never_hurt_much(self, small_product):
+        """Planting true golden labels should not devastate quality —
+        a sanity bound on the protocol plumbing."""
+        estimate = estimate_hidden_benefit(
+            small_product, "D&S", percentage=30, n_repeats=3)
+        assert estimate.mean_delta > -0.05

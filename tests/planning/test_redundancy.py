@@ -1,0 +1,84 @@
+"""Tests for redundancy planning (paper §7.3)."""
+
+import numpy as np
+import pytest
+
+from repro.planning.redundancy import (
+    SaturationModel,
+    estimate_saturation_redundancy,
+    fit_saturation_model,
+    redundancy_curve,
+)
+
+
+class TestSaturationRedundancy:
+    def test_finds_plateau_start(self):
+        r = [1, 2, 3, 4, 5]
+        q = [0.6, 0.8, 0.9, 0.902, 0.903]
+        assert estimate_saturation_redundancy(r, q, epsilon=0.01) == 3
+
+    def test_never_flattening_returns_max(self):
+        r = [1, 2, 3]
+        q = [0.5, 0.6, 0.7]
+        assert estimate_saturation_redundancy(r, q, epsilon=0.01) == 3
+
+    def test_error_metrics_with_lower_is_better(self):
+        r = [1, 2, 3, 4]
+        errors = [20.0, 12.0, 11.9, 11.85]
+        assert estimate_saturation_redundancy(
+            r, errors, epsilon=0.1, higher_is_better=False) == 2
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            estimate_saturation_redundancy([1], [0.5])
+        with pytest.raises(ValueError):
+            estimate_saturation_redundancy([1, 2], [0.5])
+
+
+class TestSaturationModel:
+    def test_fit_recovers_known_parameters(self):
+        model_true = SaturationModel(q_inf=0.95, a=0.5, b=0.8)
+        r = np.arange(1, 12)
+        q = model_true.predict(r)
+        fitted = fit_saturation_model(r, q)
+        assert abs(fitted.q_inf - 0.95) < 0.01
+        assert abs(fitted.b - 0.8) < 0.1
+
+    def test_prediction_monotone_and_bounded(self):
+        model = SaturationModel(q_inf=0.9, a=0.4, b=0.5)
+        values = model.predict(np.arange(1, 30))
+        assert (np.diff(values) > 0).all()
+        assert values.max() < 0.9
+
+    def test_marginal_gain_shrinks(self):
+        model = SaturationModel(q_inf=0.9, a=0.4, b=0.5)
+        assert model.marginal_gain(2) > model.marginal_gain(10)
+
+    def test_redundancy_for_quality(self):
+        model = SaturationModel(q_inf=0.9, a=0.4, b=0.5)
+        r = model.redundancy_for_quality(0.85)
+        assert abs(model.predict(r) - 0.85) < 1e-9
+
+    def test_unreachable_target_is_inf(self):
+        model = SaturationModel(q_inf=0.9, a=0.4, b=0.5)
+        assert model.redundancy_for_quality(0.95) == float("inf")
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_saturation_model([1, 2], [0.5, 0.6])
+
+
+class TestRedundancyCurve:
+    def test_measures_rising_curve(self, small_possent):
+        curve = redundancy_curve(small_possent, "MV", [1, 5, 10],
+                                 n_repeats=2)
+        assert len(curve) == 3
+        assert curve[-1] > curve[0]
+
+    def test_end_to_end_estimate(self, small_possent):
+        grid = [1, 3, 5, 10, 15]
+        curve = redundancy_curve(small_possent, "MV", grid, n_repeats=2)
+        r_hat = estimate_saturation_redundancy(grid, curve, epsilon=0.01)
+        assert r_hat in grid
+        model = fit_saturation_model(grid, curve)
+        assert 0.5 < model.q_inf <= 1.5

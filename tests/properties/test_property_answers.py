@@ -1,0 +1,70 @@
+"""Property-based tests for the AnswerSet container."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+
+
+@st.composite
+def answer_sets(draw, max_tasks=30, max_workers=10, n_choices=3):
+    """Random categorical answer sets with no duplicate (task, worker)."""
+    n_tasks = draw(st.integers(1, max_tasks))
+    n_workers = draw(st.integers(1, max_workers))
+    pairs = draw(st.sets(
+        st.tuples(st.integers(0, n_tasks - 1),
+                  st.integers(0, n_workers - 1)),
+        min_size=1, max_size=n_tasks * n_workers,
+    ))
+    pairs = sorted(pairs)
+    values = draw(st.lists(st.integers(0, n_choices - 1),
+                           min_size=len(pairs), max_size=len(pairs)))
+    return AnswerSet(
+        [p[0] for p in pairs], [p[1] for p in pairs], values,
+        TaskType.SINGLE_CHOICE, n_choices=n_choices,
+        n_tasks=n_tasks, n_workers=n_workers,
+    )
+
+
+class TestAnswerSetInvariants:
+    @given(answers=answer_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_partitions_answers(self, answers):
+        total = sum(len(answers.answers_of_task(t))
+                    for t in range(answers.n_tasks))
+        assert total == answers.n_answers
+        total_w = sum(len(answers.answers_of_worker(w))
+                      for w in range(answers.n_workers))
+        assert total_w == answers.n_answers
+
+    @given(answers=answer_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_vote_counts_consistent_with_adjacency(self, answers):
+        counts = answers.vote_counts()
+        np.testing.assert_array_equal(
+            counts.sum(axis=1), answers.task_answer_counts())
+
+    @given(answers=answer_sets(), r=st.integers(1, 5),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_subsample_never_exceeds_r(self, answers, r, seed):
+        rng = np.random.default_rng(seed)
+        sub = answers.subsample_redundancy(r, rng)
+        assert (sub.task_answer_counts() <= r).all()
+        assert sub.n_tasks == answers.n_tasks
+        assert sub.n_workers == answers.n_workers
+
+    @given(answers=answer_sets(), seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_subsample_idempotent_at_full_redundancy(self, answers, seed):
+        rng = np.random.default_rng(seed)
+        max_r = int(answers.task_answer_counts().max())
+        sub = answers.subsample_redundancy(max_r, rng)
+        assert sub.n_answers == answers.n_answers
+
+    @given(answers=answer_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_onehot_row_sums(self, answers):
+        assert (answers.onehot().sum(axis=1) == 1).all()

@@ -1,0 +1,111 @@
+"""Property-based tests on method invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import create
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+
+from .test_property_answers import answer_sets
+
+
+class TestMajorityVotingProperties:
+    @given(answers=answer_sets(n_choices=3))
+    @settings(max_examples=40, deadline=None)
+    def test_mv_picks_a_modal_label(self, answers):
+        result = create("MV", seed=0).fit(answers)
+        counts = answers.vote_counts()
+        answered = counts.sum(axis=1) > 0
+        best = counts.max(axis=1)
+        chosen = counts[np.arange(answers.n_tasks), result.truths]
+        np.testing.assert_array_equal(chosen[answered], best[answered])
+
+    @given(answers=answer_sets(n_choices=3), seed=st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_mv_invariant_under_worker_relabelling(self, answers, seed):
+        """Shuffling worker identities cannot change majority counts."""
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(answers.n_workers)
+        relabelled = AnswerSet(
+            answers.tasks, perm[answers.workers], answers.values,
+            answers.task_type, n_choices=answers.n_choices,
+            n_tasks=answers.n_tasks, n_workers=answers.n_workers,
+        )
+        a = create("MV", seed=0, random_ties=False).fit(answers)
+        b = create("MV", seed=0, random_ties=False).fit(relabelled)
+        np.testing.assert_array_equal(a.truths, b.truths)
+
+
+class TestMeanMedianProperties:
+    @st.composite
+    @staticmethod
+    def numeric_sets(draw):
+        n_tasks = draw(st.integers(1, 15))
+        n_workers = draw(st.integers(1, 6))
+        pairs = sorted(draw(st.sets(
+            st.tuples(st.integers(0, n_tasks - 1),
+                      st.integers(0, n_workers - 1)),
+            min_size=1, max_size=n_tasks * n_workers)))
+        values = draw(st.lists(
+            st.floats(-1000, 1000, allow_nan=False),
+            min_size=len(pairs), max_size=len(pairs)))
+        return AnswerSet([p[0] for p in pairs], [p[1] for p in pairs],
+                         values, TaskType.NUMERIC,
+                         n_tasks=n_tasks, n_workers=n_workers)
+
+    @given(answers=numeric_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_aggregates_within_answer_range(self, answers):
+        for name in ("Mean", "Median"):
+            result = create(name, seed=0).fit(answers)
+            for task in range(answers.n_tasks):
+                idx = answers.answers_of_task(task)
+                if len(idx) == 0:
+                    continue
+                values = answers.values[idx]
+                assert values.min() - 1e-9 <= result.truths[task] \
+                    <= values.max() + 1e-9
+
+    @given(answers=numeric_sets(),
+           scale=st.floats(0.1, 10, allow_nan=False),
+           shift=st.floats(-100, 100, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_is_affine_equivariant(self, answers, scale, shift):
+        transformed = AnswerSet(
+            answers.tasks, answers.workers,
+            answers.values * scale + shift, TaskType.NUMERIC,
+            n_tasks=answers.n_tasks, n_workers=answers.n_workers)
+        base = create("Mean").fit(answers).truths
+        moved = create("Mean").fit(transformed).truths
+        answered = answers.task_answer_counts() > 0
+        np.testing.assert_allclose(moved[answered],
+                                   base[answered] * scale + shift,
+                                   rtol=1e-9, atol=1e-6)
+
+
+class TestIterativeMethodProperties:
+    @given(answers=answer_sets(n_choices=2), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_zc_posterior_valid_on_arbitrary_input(self, answers, seed):
+        binary = AnswerSet(answers.tasks, answers.workers,
+                           (answers.values % 2),
+                           TaskType.DECISION_MAKING,
+                           n_tasks=answers.n_tasks,
+                           n_workers=answers.n_workers)
+        result = create("ZC", seed=seed).fit(binary)
+        assert np.isfinite(result.posterior).all()
+        np.testing.assert_allclose(result.posterior.sum(axis=1), 1.0,
+                                   atol=1e-6)
+        assert (result.worker_quality >= 0).all()
+        assert (result.worker_quality <= 1).all()
+
+    @given(answers=answer_sets(n_choices=3), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_ds_never_crashes_and_stays_normalised(self, answers, seed):
+        result = create("D&S", seed=seed).fit(answers)
+        np.testing.assert_allclose(result.posterior.sum(axis=1), 1.0,
+                                   atol=1e-6)
+        confusion = result.extras["confusion"]
+        np.testing.assert_allclose(confusion.sum(axis=2), 1.0, atol=1e-6)

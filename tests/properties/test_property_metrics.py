@@ -1,0 +1,94 @@
+"""Property-based tests for the metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics.quality import accuracy, f1_score, mae, rmse
+
+labels = hnp.arrays(np.int64, st.integers(1, 60),
+                    elements=st.integers(0, 3))
+paired_labels = st.integers(1, 60).flatmap(
+    lambda n: st.tuples(
+        hnp.arrays(np.int64, n, elements=st.integers(0, 3)),
+        hnp.arrays(np.int64, n, elements=st.integers(0, 3)),
+    )
+)
+paired_floats = st.integers(1, 60).flatmap(
+    lambda n: st.tuples(
+        hnp.arrays(np.float64, n,
+                   elements=st.floats(-100, 100, allow_nan=False)),
+        hnp.arrays(np.float64, n,
+                   elements=st.floats(-100, 100, allow_nan=False)),
+    )
+)
+
+
+class TestAccuracyProperties:
+    @given(pair=paired_labels)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, pair):
+        truth, inferred = pair
+        assert 0.0 <= accuracy(truth, inferred) <= 1.0
+
+    @given(truth=labels)
+    @settings(max_examples=60, deadline=None)
+    def test_self_accuracy_is_one(self, truth):
+        assert accuracy(truth, truth) == 1.0
+
+    @given(pair=paired_labels, seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariant(self, pair, seed):
+        truth, inferred = pair
+        perm = np.random.default_rng(seed).permutation(len(truth))
+        assert accuracy(truth, inferred) == \
+            accuracy(truth[perm], inferred[perm])
+
+
+class TestF1Properties:
+    @given(pair=paired_labels)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, pair):
+        truth, inferred = pair
+        assert 0.0 <= f1_score(truth, inferred) <= 1.0
+
+    @given(truth=labels)
+    @settings(max_examples=60, deadline=None)
+    def test_self_f1_is_one_when_positives_exist(self, truth):
+        binary = (truth > 1).astype(np.int64)
+        expected = 1.0 if binary.any() else 0.0
+        assert f1_score(binary, binary) == expected
+
+    @given(pair=paired_labels)
+    @settings(max_examples=60, deadline=None)
+    def test_f1_zero_iff_no_true_positive(self, pair):
+        truth, inferred = pair
+        binary_t = (truth > 1).astype(np.int64)
+        binary_i = (inferred > 1).astype(np.int64)
+        has_tp = bool(((binary_t == 1) & (binary_i == 1)).any())
+        assert (f1_score(binary_t, binary_i) > 0) == has_tp
+
+
+class TestNumericErrorProperties:
+    @given(pair=paired_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_rmse_at_least_mae(self, pair):
+        truth, inferred = pair
+        assert rmse(truth, inferred) >= mae(truth, inferred) - 1e-12
+
+    @given(pair=paired_floats)
+    @settings(max_examples=60, deadline=None)
+    def test_nonnegative_and_zero_on_self(self, pair):
+        truth, _ = pair
+        assert mae(truth, truth) == 0.0
+        assert rmse(truth, truth) == 0.0
+
+    @given(pair=paired_floats, shift=st.floats(-50, 50, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_translation_invariant(self, pair, shift):
+        truth, inferred = pair
+        assert mae(truth, inferred) == \
+            np.float64(mae(truth + shift, inferred + shift)) or \
+            abs(mae(truth, inferred) - mae(truth + shift,
+                                           inferred + shift)) < 1e-9

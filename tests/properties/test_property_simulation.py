@@ -1,0 +1,77 @@
+"""Property-based tests for the simulation substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.assignment import assign_by_task, redundancy_schedule
+from repro.simulation.longtail import zipf_activity
+from repro.simulation.workers import reliable_worker
+
+
+class TestZipfProperties:
+    @given(n_workers=st.integers(1, 80),
+           per_worker=st.integers(1, 50),
+           exponent=st.floats(0.0, 3.0, allow_nan=False))
+    @settings(max_examples=80, deadline=None)
+    def test_total_and_minimum_always_hold(self, n_workers, per_worker,
+                                           exponent):
+        total = n_workers * per_worker
+        counts = zipf_activity(n_workers, total, exponent=exponent)
+        assert counts.sum() == total
+        assert counts.min() >= 1
+
+    @given(n_workers=st.integers(2, 50), budget=st.integers(100, 2000))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_sorted_by_rank_without_shuffle(self, n_workers, budget):
+        counts = zipf_activity(n_workers, max(budget, n_workers),
+                               exponent=1.0)
+        # Unshuffled counts are non-increasing in rank.
+        assert (np.diff(counts) <= 0).all()
+
+
+class TestScheduleProperties:
+    @given(n_tasks=st.integers(1, 200), total=st.integers(0, 5000))
+    @settings(max_examples=80, deadline=None)
+    def test_schedule_sums_exactly_and_is_balanced(self, n_tasks, total):
+        schedule = redundancy_schedule(n_tasks, total)
+        assert schedule.sum() == total
+        assert schedule.max() - schedule.min() <= 1
+
+
+class TestAssignmentProperties:
+    @given(n_tasks=st.integers(1, 40),
+           n_workers=st.integers(3, 15),
+           redundancy=st.integers(1, 3),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_assignment_invariants(self, n_tasks, n_workers, redundancy,
+                                   seed):
+        rng = np.random.default_rng(seed)
+        schedule = np.full(n_tasks, min(redundancy, n_workers))
+        tasks, workers = assign_by_task(schedule, np.ones(n_workers), rng)
+        # Exact redundancy per task.
+        np.testing.assert_array_equal(
+            np.bincount(tasks, minlength=n_tasks), schedule)
+        # No duplicate (task, worker) pair.
+        pairs = set(zip(tasks.tolist(), workers.tolist()))
+        assert len(pairs) == len(tasks)
+        # Worker indices in range.
+        assert workers.min(initial=0) >= 0
+        assert workers.max(initial=0) < n_workers
+
+
+class TestWorkerModelProperties:
+    @given(accuracy=st.floats(0.0, 1.0, allow_nan=False),
+           n_choices=st.integers(2, 6),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_reliable_worker_rows_always_valid(self, accuracy, n_choices,
+                                               seed):
+        worker = reliable_worker(accuracy, n_choices)
+        np.testing.assert_allclose(worker.confusion.sum(axis=1), 1.0)
+        assert (worker.confusion >= 0).all()
+        rng = np.random.default_rng(seed)
+        answers = worker.answer_many(np.zeros(50, dtype=np.int64), rng)
+        assert answers.min() >= 0
+        assert answers.max() < n_choices

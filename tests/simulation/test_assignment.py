@@ -1,0 +1,86 @@
+"""Tests for assignment strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.simulation.assignment import (
+    assign_by_task,
+    assign_by_worker,
+    redundancy_schedule,
+)
+
+
+class TestAssignByTask:
+    def test_exact_redundancy(self, rng):
+        schedule = np.array([3, 3, 2, 0])
+        tasks, workers = assign_by_task(schedule, np.ones(10), rng)
+        counts = np.bincount(tasks, minlength=4)
+        np.testing.assert_array_equal(counts, schedule)
+
+    def test_no_duplicate_pairs(self, rng):
+        tasks, workers = assign_by_task(np.full(50, 5), np.ones(8), rng)
+        pairs = set(zip(tasks.tolist(), workers.tolist()))
+        assert len(pairs) == len(tasks)
+
+    def test_heavy_workers_get_more(self, rng):
+        weights = np.ones(20)
+        weights[0] = 50.0
+        tasks, workers = assign_by_task(np.full(200, 3), weights, rng)
+        counts = np.bincount(workers, minlength=20)
+        assert counts[0] > counts[1:].max()
+
+    def test_redundancy_exceeding_pool_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            assign_by_task(np.array([5]), np.ones(3), rng)
+
+    def test_nonpositive_weights_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            assign_by_task(np.array([1]), np.array([0.0, 1.0]), rng)
+
+    def test_empty_schedule(self, rng):
+        tasks, workers = assign_by_task(np.zeros(3, dtype=int),
+                                        np.ones(2), rng)
+        assert len(tasks) == 0
+
+
+class TestAssignByWorker:
+    def test_exact_worker_counts(self, rng):
+        counts = np.array([10, 5, 0, 3])
+        tasks, workers = assign_by_worker(20, counts, rng)
+        observed = np.bincount(workers, minlength=4)
+        np.testing.assert_array_equal(observed, counts)
+
+    def test_distinct_tasks_per_worker(self, rng):
+        tasks, workers = assign_by_worker(30, np.array([30, 15]), rng)
+        for worker in range(2):
+            mine = tasks[workers == worker]
+            assert len(set(mine.tolist())) == len(mine)
+
+    def test_balanced_task_coverage(self, rng):
+        tasks, _ = assign_by_worker(100, np.full(10, 50), rng)
+        counts = np.bincount(tasks, minlength=100)
+        # Target redundancy 5; balance keeps everything within a
+        # moderate band.
+        assert counts.min() >= 2
+        assert counts.max() <= 9
+
+    def test_count_exceeding_tasks_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            assign_by_worker(5, np.array([6]), rng)
+
+
+class TestRedundancySchedule:
+    def test_sums_exactly(self):
+        schedule = redundancy_schedule(7, 24)
+        assert schedule.sum() == 24
+        assert schedule.max() - schedule.min() <= 1
+
+    def test_zero_budget(self):
+        assert redundancy_schedule(3, 0).sum() == 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(DatasetError):
+            redundancy_schedule(0, 5)
+        with pytest.raises(DatasetError):
+            redundancy_schedule(3, -1)

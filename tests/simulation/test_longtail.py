@@ -1,0 +1,49 @@
+"""Tests for long-tail activity sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.simulation.longtail import observed_tail_share, zipf_activity
+
+
+class TestZipfActivity:
+    def test_total_exact(self):
+        counts = zipf_activity(50, 1234)
+        assert counts.sum() == 1234
+
+    def test_minimum_respected(self):
+        counts = zipf_activity(20, 500, minimum=5)
+        assert counts.min() >= 5
+
+    def test_long_tail_shape(self):
+        counts = zipf_activity(100, 10_000, exponent=1.2)
+        share = observed_tail_share(counts, head_fraction=0.2)
+        assert share > 0.5  # busiest 20% produce most answers
+
+    def test_zero_exponent_is_flat(self):
+        counts = zipf_activity(10, 1000, exponent=0.0)
+        assert counts.max() - counts.min() <= 2
+
+    def test_shuffle_decouples_rank_from_index(self):
+        rng = np.random.default_rng(0)
+        counts = zipf_activity(50, 5000, rng=rng)
+        # With shuffling, the largest count should not always sit at 0.
+        assert counts.argmax() != 0 or counts[0] != counts.max() + 1
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            zipf_activity(10, 5, minimum=1)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(DatasetError):
+            zipf_activity(10, 100, exponent=-1.0)
+
+
+class TestTailShare:
+    def test_uniform_counts_share_equals_fraction(self):
+        share = observed_tail_share(np.full(100, 7), head_fraction=0.2)
+        assert abs(share - 0.2) < 0.01
+
+    def test_empty_counts_nan(self):
+        assert np.isnan(observed_tail_share(np.zeros(5)))

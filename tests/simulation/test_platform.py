@@ -1,0 +1,117 @@
+"""Tests for the CrowdPlatform answer-collection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.tasktypes import TaskType
+from repro.exceptions import DatasetError
+from repro.simulation.platform import CrowdPlatform
+from repro.simulation.workers import NumericWorker, reliable_worker
+
+
+def make_platform(n_tasks=50, n_workers=8, accuracy=0.9, seed=0):
+    rng = np.random.default_rng(seed)
+    truths = rng.integers(0, 2, size=n_tasks)
+    workers = [reliable_worker(accuracy, 2) for _ in range(n_workers)]
+    return CrowdPlatform(truths, workers, TaskType.DECISION_MAKING,
+                         seed=seed), truths
+
+
+class TestCollect:
+    def test_uniform_redundancy(self):
+        platform, _ = make_platform()
+        answers = platform.collect(redundancy=3)
+        assert (answers.task_answer_counts() == 3).all()
+
+    def test_budget_mode(self):
+        platform, _ = make_platform()
+        answers = platform.collect(total_answers=120)
+        assert answers.n_answers == 120
+
+    def test_must_choose_one_mode(self):
+        platform, _ = make_platform()
+        with pytest.raises(DatasetError):
+            platform.collect()
+        with pytest.raises(DatasetError):
+            platform.collect(total_answers=10, redundancy=2)
+
+    def test_answers_reflect_worker_accuracy(self):
+        platform, truths = make_platform(n_tasks=500, accuracy=0.9)
+        answers = platform.collect(redundancy=5)
+        correct = answers.values == truths[answers.tasks]
+        assert abs(correct.mean() - 0.9) < 0.03
+
+    def test_reproducible_from_seed(self):
+        a1 = make_platform(seed=7)[0].collect(redundancy=3)
+        a2 = make_platform(seed=7)[0].collect(redundancy=3)
+        np.testing.assert_array_equal(a1.values, a2.values)
+        np.testing.assert_array_equal(a1.workers, a2.workers)
+
+    def test_mismatched_worker_widths_rejected(self):
+        truths = np.zeros(5, dtype=np.int64)
+        workers = [reliable_worker(0.9, 2), reliable_worker(0.9, 3)]
+        with pytest.raises(DatasetError, match="disagree"):
+            CrowdPlatform(truths, workers, TaskType.SINGLE_CHOICE)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(DatasetError, match="non-empty"):
+            CrowdPlatform(np.zeros(3), [], TaskType.NUMERIC)
+
+
+class TestQualificationTest:
+    def test_scores_track_accuracy(self):
+        rng = np.random.default_rng(0)
+        truths = rng.integers(0, 2, size=100)
+        workers = [reliable_worker(0.95, 2), reliable_worker(0.55, 2)]
+        platform = CrowdPlatform(truths, workers,
+                                 TaskType.DECISION_MAKING, seed=0)
+        records = platform.qualification_test(n_golden=200)
+        assert records[0].accuracy > records[1].accuracy
+
+    def test_numeric_scores_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        truths = rng.uniform(-10, 10, size=50)
+        workers = [NumericWorker(sigma=1.0), NumericWorker(sigma=20.0)]
+        platform = CrowdPlatform(truths, workers, TaskType.NUMERIC, seed=0)
+        records = platform.qualification_test(n_golden=50)
+        for record in records:
+            assert 0.0 <= record.accuracy <= 1.0
+        assert records[0].accuracy > records[1].accuracy
+
+    def test_invalid_n_golden_rejected(self):
+        platform, _ = make_platform()
+        with pytest.raises(DatasetError):
+            platform.qualification_test(n_golden=0)
+
+
+class TestPlantGolden:
+    def test_fraction_size_and_truths(self):
+        platform, truths = make_platform(n_tasks=100)
+        golden = platform.plant_golden(0.2)
+        assert len(golden) == 20
+        for task, value in golden.items():
+            assert value == truths[task]
+
+    def test_invalid_fraction_rejected(self):
+        platform, _ = make_platform()
+        with pytest.raises(DatasetError):
+            platform.plant_golden(1.5)
+
+
+class TestTaskDifficulty:
+    def test_difficulty_scales_numeric_noise(self):
+        truths = np.zeros(2000)
+        difficulty = np.ones(2000)
+        difficulty[1000:] = 10.0
+        workers = [NumericWorker(sigma=1.0) for _ in range(4)]
+        platform = CrowdPlatform(truths, workers, TaskType.NUMERIC,
+                                 seed=0, task_difficulty=difficulty)
+        answers = platform.collect(redundancy=3)
+        easy = answers.values[answers.tasks < 1000]
+        hard = answers.values[answers.tasks >= 1000]
+        assert hard.std() > 5 * easy.std()
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DatasetError):
+            CrowdPlatform(np.zeros(5), [NumericWorker()], TaskType.NUMERIC,
+                          task_difficulty=np.ones(3))

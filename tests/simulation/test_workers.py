@@ -1,0 +1,118 @@
+"""Tests for the simulated worker behaviour models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.simulation.workers import (
+    CategoricalWorker,
+    NumericWorker,
+    asymmetric_binary_worker,
+    biased_spammer,
+    malicious_worker,
+    reliable_worker,
+    sample_worker_pool,
+    spammer,
+)
+
+
+class TestCategoricalWorker:
+    def test_row_validation(self):
+        with pytest.raises(DatasetError, match="sum to 1"):
+            CategoricalWorker(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DatasetError, match="square"):
+            CategoricalWorker(np.ones((2, 3)) / 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DatasetError, match="non-negative"):
+            CategoricalWorker(np.array([[1.5, -0.5], [0.5, 0.5]]))
+
+    def test_answer_frequencies_match_confusion(self, rng):
+        worker = reliable_worker(0.8, 3)
+        truths = np.zeros(30_000, dtype=np.int64)
+        answers = worker.answer_many(truths, rng)
+        freqs = np.bincount(answers, minlength=3) / len(answers)
+        np.testing.assert_allclose(freqs, worker.confusion[0], atol=0.01)
+
+    def test_expected_accuracy_with_prior(self):
+        worker = asymmetric_binary_worker(recall_true=0.6, recall_false=0.9)
+        acc = worker.expected_accuracy(np.array([0.9, 0.1]))  # mostly F
+        np.testing.assert_allclose(acc, 0.9 * 0.9 + 0.1 * 0.6)
+
+    def test_single_answer_api(self, rng):
+        worker = reliable_worker(1.0, 4)
+        assert worker.answer(2, rng) == 2
+
+
+class TestArchetypes:
+    def test_reliable_worker_diagonal(self):
+        worker = reliable_worker(0.7, 4)
+        np.testing.assert_allclose(np.diag(worker.confusion), 0.7)
+        np.testing.assert_allclose(worker.confusion.sum(axis=1), 1.0)
+
+    def test_spammer_uniform(self):
+        worker = spammer(4)
+        np.testing.assert_allclose(worker.confusion, 0.25)
+
+    def test_malicious_worse_than_chance(self):
+        worker = malicious_worker(2, wrongness=0.9)
+        assert worker.confusion[0, 0] == pytest.approx(0.1)
+
+    def test_asymmetric_binary_structure(self):
+        worker = asymmetric_binary_worker(recall_true=0.5, recall_false=0.95)
+        # Label 0 = F, label 1 = T.
+        assert worker.confusion[0, 0] == pytest.approx(0.95)
+        assert worker.confusion[1, 1] == pytest.approx(0.5)
+
+    def test_biased_spammer_column(self):
+        worker = biased_spammer(4, favourite=2, strength=0.8)
+        assert (worker.confusion[:, 2] > 0.8).all()
+        np.testing.assert_allclose(worker.confusion.sum(axis=1), 1.0)
+
+    def test_biased_spammer_validation(self):
+        with pytest.raises(DatasetError):
+            biased_spammer(3, favourite=5)
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(DatasetError):
+            reliable_worker(1.5, 2)
+
+
+class TestNumericWorker:
+    def test_bias_and_sigma_effects(self, rng):
+        worker = NumericWorker(bias=5.0, sigma=0.1)
+        answers = worker.answer_many(np.zeros(10_000), rng)
+        assert abs(answers.mean() - 5.0) < 0.05
+
+    def test_expected_rmse(self):
+        worker = NumericWorker(bias=3.0, sigma=4.0)
+        assert worker.expected_rmse() == pytest.approx(5.0)
+
+    def test_noise_scale_multiplies_sigma(self, rng):
+        worker = NumericWorker(bias=0.0, sigma=1.0)
+        quiet = worker.answer_many(np.zeros(20_000), rng,
+                                   noise_scale=np.full(20_000, 0.1))
+        loud = worker.answer_many(np.zeros(20_000), rng,
+                                  noise_scale=np.full(20_000, 10.0))
+        assert loud.std() > 50 * quiet.std()
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(DatasetError):
+            NumericWorker(sigma=-1.0)
+
+
+class TestPoolSampling:
+    def test_pool_size_and_mean_accuracy(self, rng):
+        pool = sample_worker_pool(300, 2, rng, mean_accuracy=0.75,
+                                  spammer_fraction=0.0)
+        assert len(pool) == 300
+        accuracies = [w.expected_accuracy() for w in pool]
+        assert abs(np.mean(accuracies) - 0.75) < 0.05
+
+    def test_spammer_fraction_respected(self, rng):
+        pool = sample_worker_pool(1000, 4, rng, spammer_fraction=0.2)
+        n_spammers = sum(1 for w in pool
+                         if np.allclose(w.confusion, 0.25))
+        assert 130 < n_spammers < 270

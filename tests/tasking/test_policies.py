@@ -1,0 +1,105 @@
+"""Unit tests for the assignment policies."""
+
+import numpy as np
+import pytest
+
+from repro.tasking.policies import (
+    POLICIES,
+    AssignmentState,
+    ExpectedAccuracyPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    UncertaintyPolicy,
+    create_policy,
+)
+
+
+def make_state(posterior, counts=None, quality=None, eligible=None):
+    posterior = np.asarray(posterior, dtype=float)
+    n_tasks = len(posterior)
+    return AssignmentState(
+        posterior=posterior,
+        answer_counts=(np.asarray(counts) if counts is not None
+                       else np.zeros(n_tasks, dtype=int)),
+        worker_quality=(np.asarray(quality) if quality is not None
+                        else np.full(3, 0.8)),
+        eligible=(np.asarray(eligible) if eligible is not None
+                  else np.ones(n_tasks, dtype=bool)),
+    )
+
+
+class TestFactory:
+    def test_all_policies_creatable(self):
+        for name in POLICIES:
+            assert create_policy(name).name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            create_policy("oracle")
+
+
+class TestEligibility:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_only_eligible_tasks_selected(self, name, rng):
+        state = make_state(
+            [[0.5, 0.5]] * 6,
+            eligible=np.array([False, True, False, True, False, False]),
+        )
+        policy = create_policy(name)
+        for _ in range(20):
+            assert policy.select(state, worker=0, rng=rng) in (1, 3)
+
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_no_eligible_raises(self, name, rng):
+        state = make_state([[0.5, 0.5]] * 3,
+                           eligible=np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError):
+            create_policy(name).select(state, worker=0, rng=rng)
+
+
+class TestRoundRobin:
+    def test_prefers_fewest_answers(self, rng):
+        state = make_state([[0.5, 0.5]] * 3, counts=[5, 1, 3])
+        assert RoundRobinPolicy().select(state, 0, rng) == 1
+
+    def test_breaks_ties_randomly(self):
+        state = make_state([[0.5, 0.5]] * 3, counts=[2, 2, 9])
+        chosen = {
+            RoundRobinPolicy().select(state, 0, np.random.default_rng(s))
+            for s in range(30)
+        }
+        assert chosen == {0, 1}
+
+
+class TestUncertainty:
+    def test_picks_highest_entropy(self, rng):
+        state = make_state([[0.9, 0.1], [0.5, 0.5], [0.99, 0.01]])
+        assert UncertaintyPolicy().select(state, 0, rng) == 1
+
+    def test_certain_tasks_never_chosen_over_uncertain(self, rng):
+        state = make_state([[1.0, 0.0], [0.6, 0.4]])
+        for _ in range(10):
+            assert UncertaintyPolicy().select(state, 0, rng) == 1
+
+
+class TestExpectedAccuracy:
+    def test_prefers_decidable_uncertainty(self, rng):
+        """A coin-flip task gains more expected accuracy from a good
+        worker than an already-decided task."""
+        state = make_state([[0.5, 0.5], [0.95, 0.05]],
+                           quality=np.array([0.9]))
+        assert ExpectedAccuracyPolicy().select(state, 0, rng) == 0
+
+    def test_spammer_gains_nothing_everywhere(self, rng):
+        """With quality 0.5 the Bayes update is a no-op: every task has
+        zero gain, so any eligible task may be returned."""
+        state = make_state([[0.5, 0.5], [0.7, 0.3]],
+                           quality=np.array([0.5]))
+        chosen = ExpectedAccuracyPolicy().select(state, 0, rng)
+        assert chosen in (0, 1)
+
+    def test_random_policy_uniform(self):
+        state = make_state([[0.5, 0.5]] * 4)
+        picks = [RandomPolicy().select(state, 0, np.random.default_rng(s))
+                 for s in range(200)]
+        assert set(picks) == {0, 1, 2, 3}

@@ -1,0 +1,92 @@
+"""Tests for the online assignment session."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.simulation import reliable_worker, spammer
+from repro.tasking import OnlineSession, compare_policies, create_policy
+
+
+def make_session(policy_name="round-robin", n_tasks=100, seed=0,
+                 **kwargs):
+    rng = np.random.default_rng(seed)
+    truths = rng.integers(0, 2, size=n_tasks)
+    workers = [reliable_worker(0.85, 2) for _ in range(8)]
+    session = OnlineSession(truths, workers, create_policy(policy_name),
+                            seed=seed, refresh_every=100, **kwargs)
+    return session, truths
+
+
+class TestOnlineSession:
+    def test_collects_requested_answers(self):
+        session, _ = make_session()
+        trace = session.run(n_answers=400)
+        assert trace.answers.n_answers == 400
+
+    def test_no_duplicate_worker_task_pairs(self):
+        session, _ = make_session()
+        trace = session.run(n_answers=400)
+        pairs = set(zip(trace.answers.tasks.tolist(),
+                        trace.answers.workers.tolist()))
+        assert len(pairs) == trace.answers.n_answers
+
+    def test_redundancy_cap_respected(self):
+        session, _ = make_session(redundancy_cap=3)
+        trace = session.run(n_answers=290)
+        assert trace.answers.task_answer_counts().max() <= 3
+
+    def test_checkpoints_recorded(self):
+        session, _ = make_session()
+        trace = session.run(n_answers=350)
+        assert trace.checkpoints[0][0] == 100
+        assert trace.checkpoints[-1][0] == 350
+
+    def test_quality_improves_over_session(self):
+        session, _ = make_session(n_tasks=200)
+        trace = session.run(n_answers=1000)
+        assert trace.checkpoints[-1][1] > trace.checkpoints[0][1] - 0.02
+        assert trace.final_accuracy > 0.85
+
+    def test_reproducible(self):
+        a = make_session(seed=5)[0].run(300)
+        b = make_session(seed=5)[0].run(300)
+        np.testing.assert_array_equal(a.answers.values, b.answers.values)
+
+    def test_invalid_inputs_rejected(self):
+        session, _ = make_session()
+        with pytest.raises(DatasetError):
+            session.run(0)
+        with pytest.raises(DatasetError):
+            OnlineSession(np.zeros(3, dtype=int), [],
+                          create_policy("random"))
+
+
+class TestComparePolicies:
+    def test_smart_policies_beat_random_with_spammers(self):
+        """The §7(6) experiment in miniature: uncertainty-aware
+        assignment wins at equal budget when the pool has spammers."""
+        rng = np.random.default_rng(1)
+        truths = rng.integers(0, 2, size=250)
+        workers = ([reliable_worker(float(rng.uniform(0.6, 0.95)), 2)
+                    for _ in range(12)] + [spammer(2) for _ in range(4)])
+        traces = compare_policies(
+            truths, workers,
+            [create_policy("random"), create_policy("expected-accuracy")],
+            n_answers=1200, seed=0, refresh_every=300,
+        )
+        assert traces["expected-accuracy"].final_accuracy >= \
+            traces["random"].final_accuracy - 0.01
+
+    def test_all_policies_complete(self):
+        rng = np.random.default_rng(2)
+        truths = rng.integers(0, 2, size=80)
+        workers = [reliable_worker(0.8, 2) for _ in range(6)]
+        policies = [create_policy(n)
+                    for n in ("random", "round-robin", "uncertainty",
+                              "expected-accuracy")]
+        traces = compare_policies(truths, workers, policies,
+                                  n_answers=240, seed=0,
+                                  refresh_every=120)
+        assert set(traces) == {"random", "round-robin", "uncertainty",
+                               "expected-accuracy"}

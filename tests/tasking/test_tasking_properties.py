@@ -1,0 +1,52 @@
+"""Property-based tests for assignment policies."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasking.policies import POLICIES, AssignmentState, create_policy
+
+
+@st.composite
+def states(draw, n_choices=2):
+    n_tasks = draw(st.integers(1, 25))
+    raw = draw(st.lists(
+        st.lists(st.floats(0.01, 1.0, allow_nan=False),
+                 min_size=n_choices, max_size=n_choices),
+        min_size=n_tasks, max_size=n_tasks))
+    posterior = np.asarray(raw)
+    posterior = posterior / posterior.sum(axis=1, keepdims=True)
+    eligible_bits = draw(st.lists(st.booleans(), min_size=n_tasks,
+                                  max_size=n_tasks))
+    eligible = np.asarray(eligible_bits)
+    if not eligible.any():
+        eligible[draw(st.integers(0, n_tasks - 1))] = True
+    counts = np.asarray(draw(st.lists(st.integers(0, 10),
+                                      min_size=n_tasks, max_size=n_tasks)))
+    quality = np.asarray(draw(st.lists(
+        st.floats(0.0, 1.0, allow_nan=False), min_size=3, max_size=3)))
+    return AssignmentState(posterior=posterior, answer_counts=counts,
+                           worker_quality=quality, eligible=eligible)
+
+
+class TestPolicyProperties:
+    @given(state=states(), seed=st.integers(0, 2**16),
+           policy_name=st.sampled_from(sorted(POLICIES)))
+    @settings(max_examples=120, deadline=None)
+    def test_selection_always_eligible_and_in_range(self, state, seed,
+                                                    policy_name):
+        policy = create_policy(policy_name)
+        rng = np.random.default_rng(seed)
+        worker = int(rng.integers(0, len(state.worker_quality)))
+        task = policy.select(state, worker, rng)
+        assert 0 <= task < len(state.posterior)
+        assert state.eligible[task]
+
+    @given(state=states(), policy_name=st.sampled_from(sorted(POLICIES)))
+    @settings(max_examples=60, deadline=None)
+    def test_selection_deterministic_given_rng_seed(self, state,
+                                                    policy_name):
+        policy = create_policy(policy_name)
+        first = policy.select(state, 0, np.random.default_rng(7))
+        second = policy.select(state, 0, np.random.default_rng(7))
+        assert first == second

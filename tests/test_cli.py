@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["methods"],
+            ["datasets", "--scale", "0.1"],
+            ["run", "--dataset", "D_Product", "--methods", "MV"],
+            ["sweep", "--dataset", "D_PosSent", "--methods", "MV"],
+            ["infer", "answers.csv", "--method", "ZC"],
+            ["plan-redundancy", "--dataset", "D_PosSent"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_unknown_dataset_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--dataset", "D_Nope"])
+
+
+class TestCommands:
+    def test_methods_lists_all_17(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("MV", "D&S", "GLAD", "Minimax", "LFC_N", "Median"):
+            assert name in out
+
+    def test_datasets_prints_table5(self, capsys):
+        assert main(["datasets", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "D_Product" in out
+        assert "N_Emotion" in out
+
+    def test_run_prints_scores(self, capsys):
+        code = main(["run", "--dataset", "D_Product", "--scale", "0.05",
+                     "--methods", "MV", "ZC"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MV" in out
+        assert "accuracy" in out
+
+    def test_sweep_prints_series(self, capsys):
+        code = main(["sweep", "--dataset", "D_PosSent", "--scale", "0.05",
+                     "--methods", "MV", "--redundancies", "1", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy vs redundancy" in out
+
+    def test_infer_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "answers.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["task", "worker", "answer"])
+            for worker in ("w1", "w2", "w3"):
+                writer.writerow(["t1", worker, "yes"])
+                writer.writerow(["t2", worker, "no"])
+        assert main(["infer", str(path), "--method", "MV"]) == 0
+        out = capsys.readouterr().out
+        assert "t1,yes" in out
+        assert "t2,no" in out
+
+    def test_infer_empty_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        path.write_text("task,worker,answer\n")
+        assert main(["infer", str(path)]) == 1
+
+    def test_plan_redundancy(self, capsys):
+        code = main(["plan-redundancy", "--dataset", "D_PosSent",
+                     "--scale", "0.05", "--method", "MV",
+                     "--repeats", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saturation redundancy" in out

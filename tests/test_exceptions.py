@@ -1,0 +1,38 @@
+"""Exception-hierarchy contracts: one catchable base for everything."""
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    DatasetError,
+    InvalidAnswerSetError,
+    ReproError,
+    TaskTypeMismatchError,
+    UnknownMethodError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConvergenceError, DatasetError, InvalidAnswerSetError,
+        TaskTypeMismatchError, UnknownMethodError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_unknown_method_is_also_key_error(self):
+        # Callers using dict-style access can catch KeyError.
+        assert issubclass(UnknownMethodError, KeyError)
+
+    def test_api_raises_catchable_base(self):
+        from repro import create
+
+        with pytest.raises(ReproError):
+            create("definitely-not-a-method")
+
+    def test_answer_validation_catchable_base(self):
+        from repro.core.answers import AnswerSet
+        from repro.core.tasktypes import TaskType
+
+        with pytest.raises(ReproError):
+            AnswerSet([0], [0, 1], [1], TaskType.DECISION_MAKING)
