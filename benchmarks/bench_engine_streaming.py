@@ -1,0 +1,94 @@
+"""Engine benchmark — warm vs cold refit on a grown answer stream.
+
+The streaming scenario the engine targets: a method has converged on a
+snapshot, then ~5% more answers arrive (including unseen tasks/workers)
+and the truth must be refreshed.  A cold refit pays the full EM cost; a
+warm refit resumes from the previous state and should converge in
+strictly fewer iterations.  The report records iterations, wall-clock
+time and the label agreement between both refits for every warm-capable
+categorical method, plus LFC_N on the numeric replica.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.registry import create
+from repro.engine import StreamingAnswerSet
+from repro.experiments.reporting import format_table
+
+from .conftest import save_report
+
+GROWTH = 0.05
+CATEGORICAL_METHODS = ("D&S", "ZC", "GLAD", "LFC")
+
+
+def _grown_snapshots(answers, seed=0):
+    """Feed a replica's answers through a stream, withholding the last
+    ~5% (in random arrival order) for the growth increment."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(answers.n_answers)
+    n_prefix = int(len(order) * (1.0 - GROWTH))
+    stream = StreamingAnswerSet.from_answer_set(
+        answers.select(np.sort(order[:n_prefix])))
+    # from_answer_set keeps the full index spaces, so the "before"
+    # snapshot has every task/worker but only 95% of the answers.
+    before = stream.snapshot()
+    # Re-add the withheld answers under the same task/worker keys
+    # from_answer_set registered (external labels when present).
+    stream.add_answers(answers.iter_records(order[n_prefix:]))
+    after = stream.snapshot()
+    assert after.n_tasks == before.n_tasks, "growth must not invent tasks"
+    return before, after
+
+
+def _timed_fit(method, answers, warm_start=None):
+    started = time.perf_counter()
+    result = method.fit(answers, warm_start=warm_start)
+    return result, time.perf_counter() - started
+
+
+def test_engine_streaming(benchmark, sweep_dataset):
+    categorical = sweep_dataset("D_PosSent")
+    numeric = sweep_dataset("N_Emotion")
+
+    def run():
+        rows = []
+        jobs = [(name, categorical) for name in CATEGORICAL_METHODS]
+        jobs.append(("LFC_N", numeric))
+        for name, dataset in jobs:
+            before, after = _grown_snapshots(dataset.answers)
+            method = create(name, seed=0, max_iter=200)
+            previous = method.fit(before)
+            cold, cold_s = _timed_fit(method, after)
+            warm, warm_s = _timed_fit(method, after, warm_start=previous)
+            if dataset.task_type.is_categorical:
+                agree = float((cold.truths == warm.truths).mean())
+            else:
+                agree = float(np.mean(
+                    np.abs(cold.truths - warm.truths) < 1e-2))
+            rows.append([
+                name, dataset.name,
+                cold.n_iterations, f"{cold_s * 1000:.1f}ms",
+                warm.n_iterations, f"{warm_s * 1000:.1f}ms",
+                f"{cold.n_iterations / max(warm.n_iterations, 1):.1f}x",
+                f"{cold_s / max(warm_s, 1e-9):.1f}x",
+                f"{agree:.4f}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("engine_streaming", format_table(
+        ["method", "dataset", "cold it", "cold time", "warm it",
+         "warm time", "it speedup", "time speedup", "truth agreement"],
+        rows,
+        title=(f"Streaming engine: warm vs cold refit after "
+               f"{GROWTH:.0%} answer growth"),
+    ))
+
+    for row in rows:
+        name, _, cold_it, _, warm_it = row[:5]
+        assert warm_it < cold_it, (
+            f"{name}: warm refit used {warm_it} iterations, "
+            f"cold used {cold_it}"
+        )

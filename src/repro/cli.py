@@ -5,13 +5,18 @@ Usage (after ``pip install -e .``)::
     python -m repro methods                    # list the 17 methods
     python -m repro datasets                   # Table 5 of the replicas
     python -m repro infer answers.csv --method "D&S"
+    python -m repro stream answers.csv --method "D&S" --chunk-size 200
     python -m repro run --dataset D_Product --method D&S --scale 0.2
+    python -m repro batch --datasets D_Product D_PosSent --workers 4
     python -m repro sweep --dataset D_PosSent --methods MV ZC D&S
     python -m repro plan-redundancy --dataset D_PosSent --method MV
 
 ``infer`` reads a headerless/headered CSV of ``task,worker,answer``
 triples, so the CLI works on real exported crowd data, not only on the
-replicas.
+replicas.  ``stream`` replays the same CSV through the
+:class:`~repro.engine.InferenceEngine` in chunks, warm-starting each
+refit from the previous one — the online-serving path.  ``batch`` fans a
+(dataset × method) grid across a thread pool.
 """
 
 from __future__ import annotations
@@ -92,21 +97,67 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_infer(args) -> int:
+def _read_answer_csv(path: str) -> list[tuple[str, str, str]]:
+    """Read ``task,worker,answer`` triples, skipping an optional header.
+
+    Raises :class:`ValueError` on rows with fewer than three columns.
+    """
     records = []
-    with open(args.answers, newline="") as handle:
+    with open(path, newline="") as handle:
         reader = csv.reader(handle)
-        for row in reader:
+        for number, row in enumerate(reader, start=1):
             if not row or row[0].strip().lower() in ("task", "#task"):
                 continue
+            if len(row) < 3:
+                raise ValueError(
+                    f"{path}:{number}: malformed row {row!r} "
+                    f"(expected task,worker,answer)"
+                )
             records.append((row[0].strip(), row[1].strip(), row[2].strip()))
+    return records
+
+
+def _read_answer_csv_or_complain(path: str):
+    """CSV records, or ``None`` after printing the error to stderr."""
+    try:
+        records = _read_answer_csv(path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return None
     if not records:
         print("no answers found", file=sys.stderr)
-        return 1
+        return None
+    return records
 
+
+def _classify_answer_labels(records) -> tuple[list[str], TaskType]:
+    """The label set of a CSV and the task type it implies."""
     labels = sorted({value for _, _, value in records})
     task_type = (TaskType.DECISION_MAKING if len(labels) == 2
                  else TaskType.SINGLE_CHOICE)
+    return labels, task_type
+
+
+def _require_applicable(method: str, task_type: TaskType) -> str | None:
+    """An error message if ``method`` cannot run on ``task_type``."""
+    if method not in available_methods():
+        return f"unknown method: {method} (see `repro methods`)"
+    if method not in methods_for_task_type(task_type):
+        return (f"method {method} does not support {task_type.value} "
+                f"tasks (see `repro methods`)")
+    return None
+
+
+def _cmd_infer(args) -> int:
+    records = _read_answer_csv_or_complain(args.answers)
+    if records is None:
+        return 1
+
+    labels, task_type = _classify_answer_labels(records)
+    error = _require_applicable(args.method, task_type)
+    if error:
+        print(error, file=sys.stderr)
+        return 1
     answers = AnswerSet.from_records(records, task_type, label_order=labels)
     result = create(args.method, seed=args.seed).fit(answers)
 
@@ -117,6 +168,79 @@ def _cmd_infer(args) -> int:
         task_id = (answers.task_labels[task] if answers.task_labels
                    else str(task))
         print(f"{task_id},{labels[int(result.truths[task])]}")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from .engine import InferenceEngine
+
+    records = _read_answer_csv_or_complain(args.answers)
+    if records is None:
+        return 1
+
+    # Pre-scan the label set so the choice space stays fixed across
+    # chunks (a growing label space would force cold refits).
+    labels, task_type = _classify_answer_labels(records)
+    error = _require_applicable(args.method, task_type)
+    if error:
+        print(error, file=sys.stderr)
+        return 1
+    engine = InferenceEngine(task_type, label_order=labels, seed=args.seed)
+
+    chunk = max(1, args.chunk_size)
+    print(f"# streaming {len(records)} answers in chunks of {chunk} "
+          f"(method={args.method})")
+    for start in range(0, len(records), chunk):
+        engine.add_answers(records[start:start + chunk])
+        result = engine.infer(args.method)
+        warm = "warm" if result.extras.get("warm_started") else "cold"
+        snapshot = engine.stream.snapshot()
+        print(f"# +{min(chunk, len(records) - start)} answers -> "
+              f"{snapshot.n_tasks} tasks, {snapshot.n_workers} workers | "
+              f"{warm} refit: {result.n_iterations} iterations, "
+              f"{result.elapsed_seconds * 1000:.1f} ms")
+
+    truth = engine.current_truth(args.method)
+    print("task,inferred_truth")
+    for task_id, value in truth.items():
+        print(f"{task_id},{value}")
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    from .experiments.runner import Timer, run_grid
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 1
+    if args.methods:
+        unknown = [m for m in args.methods if m not in available_methods()]
+        if unknown:
+            print(f"unknown methods: {', '.join(unknown)} "
+                  f"(see `repro methods`)", file=sys.stderr)
+            return 1
+    datasets = [load_paper_dataset(name, seed=args.seed, scale=args.scale)
+                for name in (args.datasets or PAPER_DATASET_NAMES)]
+    with Timer() as timer:
+        runs = run_grid(datasets, methods=args.methods or None,
+                        seed=args.seed, max_workers=args.workers)
+    if not runs:
+        print("no (dataset, method) combinations are applicable; check "
+              "the task types with `repro methods`", file=sys.stderr)
+        return 1
+    rows = [[run.method, run.dataset,
+             " ".join(f"{name}={value:.4f}"
+                      for name, value in run.scores.items()),
+             f"{run.elapsed_seconds:.2f}s"]
+            for run in runs]
+    print(format_table(
+        ["method", "dataset", "scores", "fit time"], rows,
+        title=f"Batch grid: {len(runs)} jobs on {args.workers} "
+              f"workers (scale={args.scale})"))
+    serial = sum(run.elapsed_seconds for run in runs)
+    print(f"\nwall time {timer.elapsed:.2f}s vs {serial:.2f}s summed fit "
+          f"time ({serial / max(timer.elapsed, 1e-9):.1f}x overlap)")
     return 0
 
 
@@ -180,6 +304,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_infer.add_argument("--method", default="D&S")
     p_infer.add_argument("--seed", type=int, default=0)
 
+    p_stream = sub.add_parser(
+        "stream",
+        help="replay a CSV through the streaming engine in chunks")
+    p_stream.add_argument("answers", help="CSV of task,worker,answer rows")
+    p_stream.add_argument("--method", default="D&S")
+    p_stream.add_argument("--chunk-size", type=int, default=500)
+    p_stream.add_argument("--seed", type=int, default=0)
+
+    p_batch = sub.add_parser(
+        "batch", help="fan a (dataset x method) grid across workers")
+    _common(p_batch)
+    p_batch.add_argument("--datasets", nargs="+", default=None,
+                         choices=PAPER_DATASET_NAMES)
+    p_batch.add_argument("--methods", nargs="+", default=None)
+    p_batch.add_argument("--workers", type=int, default=4)
+
     p_plan = sub.add_parser("plan-redundancy",
                             help="estimate the saturation redundancy")
     _common(p_plan)
@@ -202,6 +342,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "infer": _cmd_infer,
+    "stream": _cmd_stream,
+    "batch": _cmd_batch,
     "plan-redundancy": _cmd_plan_redundancy,
 }
 

@@ -174,6 +174,27 @@ class AnswerSet:
             worker_labels=[str(w) for w in worker_index],
         )
 
+    def iter_records(self, indices: Sequence[int] | None = None):
+        """Yield ``(task_id, worker_id, value)`` triples.
+
+        Task/worker identifiers are the external labels when present,
+        dense integer indices otherwise; categorical values come back as
+        plain ``int`` label codes, numeric values as ``float``.  The
+        inverse of :meth:`from_records` (modulo label decoding), and the
+        canonical way to replay an answer set into a stream.  Pass
+        ``indices`` to yield only those flat answer positions.
+        """
+        task_ids = (self.task_labels if self.task_labels is not None
+                    else list(range(self.n_tasks)))
+        worker_ids = (self.worker_labels if self.worker_labels is not None
+                      else list(range(self.n_workers)))
+        categorical = self.task_type.is_categorical
+        positions = range(self.n_answers) if indices is None else indices
+        for k in positions:
+            value = self.values[k]
+            yield (task_ids[self.tasks[k]], worker_ids[self.workers[k]],
+                   int(value) if categorical else float(value))
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------

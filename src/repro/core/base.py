@@ -43,12 +43,18 @@ class TruthInferenceMethod(abc.ABC):
     supports_golden:
         Whether the method can clamp hidden-test golden truths (Section
         6.3.3 lists the 9 methods that can).
+    supports_warm_start:
+        Whether the method can resume from a previous
+        :class:`InferenceResult` fitted on an earlier (smaller) snapshot
+        of the same answer stream — see :meth:`fit`'s ``warm_start``
+        parameter and :mod:`repro.core.warmstart`.
     """
 
     name: ClassVar[str] = "abstract"
     task_types: ClassVar[frozenset] = frozenset()
     supports_initial_quality: ClassVar[bool] = False
     supports_golden: ClassVar[bool] = False
+    supports_warm_start: ClassVar[bool] = False
     #: True for post-paper extension methods (kept out of the faithful
     #: 17-method experiment harness unless explicitly requested).
     is_extension: ClassVar[bool] = False
@@ -69,6 +75,7 @@ class TruthInferenceMethod(abc.ABC):
         answers: AnswerSet,
         golden: Mapping[int, float] | None = None,
         initial_quality: np.ndarray | None = None,
+        warm_start: InferenceResult | None = None,
     ) -> InferenceResult:
         """Infer truths and worker qualities from an answer set.
 
@@ -86,6 +93,14 @@ class TruthInferenceMethod(abc.ABC):
             Optional qualification-test estimate of each worker's
             accuracy in ``[0, 1]``, length ``n_workers``.  Ignored by
             methods that set ``supports_initial_quality = False``.
+        warm_start:
+            Optional :class:`InferenceResult` from a previous fit on an
+            earlier snapshot of the same (append-only) answer stream.
+            Methods that set ``supports_warm_start = True`` resume the
+            iteration from that state — previously seen tasks/workers
+            keep their fitted parameters, new ones are seeded from
+            majority voting or neutral defaults — and typically converge
+            in a handful of iterations.  Ignored by other methods.
         """
         if answers.task_type not in self.task_types:
             raise TaskTypeMismatchError(
@@ -104,6 +119,12 @@ class TruthInferenceMethod(abc.ABC):
             if bad:
                 raise ValueError(f"golden task indices out of range: {bad[:5]}")
 
+        extra_kwargs = {}
+        if self.supports_warm_start:
+            if warm_start is not None:
+                self._validate_warm_start(warm_start, answers)
+            extra_kwargs["warm_start"] = warm_start
+
         rng = np.random.default_rng(self.seed)
         started = time.perf_counter()
         result = self._fit(
@@ -113,10 +134,49 @@ class TruthInferenceMethod(abc.ABC):
                 initial_quality if self.supports_initial_quality else None
             ),
             rng=rng,
+            **extra_kwargs,
         )
         result.elapsed_seconds = time.perf_counter() - started
         result.method = self.name
         return result
+
+    def _validate_warm_start(self, warm_start: InferenceResult,
+                             answers: AnswerSet) -> None:
+        """Check a warm-start state is compatible with the answer set.
+
+        The streaming protocol is append-only, so a valid warm state
+        covers a *prefix* of the current task/worker index spaces and
+        (for categorical tasks) the same choice count.
+        """
+        if not isinstance(warm_start, InferenceResult):
+            raise ValueError(
+                f"warm_start must be an InferenceResult, got "
+                f"{type(warm_start).__name__}"
+            )
+        if warm_start.n_tasks > answers.n_tasks:
+            raise ValueError(
+                f"warm_start covers {warm_start.n_tasks} tasks but the "
+                f"answer set only has {answers.n_tasks}; warm starts "
+                f"require an append-only stream"
+            )
+        if warm_start.n_workers > answers.n_workers:
+            raise ValueError(
+                f"warm_start covers {warm_start.n_workers} workers but "
+                f"the answer set only has {answers.n_workers}"
+            )
+        if answers.task_type.is_categorical:
+            posterior = warm_start.posterior
+            if posterior is None:
+                raise ValueError(
+                    "warm_start for a categorical method needs the "
+                    "previous truth posterior"
+                )
+            if posterior.shape[1] != answers.n_choices:
+                raise ValueError(
+                    f"warm_start posterior has {posterior.shape[1]} "
+                    f"choices, answer set has {answers.n_choices}; the "
+                    f"label space must stay fixed across snapshots"
+                )
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

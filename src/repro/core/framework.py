@@ -39,6 +39,13 @@ class ConvergenceTracker:
     consecutive iterations, exactly as the paper describes ("check
     whether the change of two sets of parameters is below some defined
     threshold").
+
+    If the parameter vector changes **length** between updates (tasks or
+    workers were added between fits, e.g. by a warm-started refit on a
+    grown answer set), the comparison baseline is reset rather than an
+    error raised: the resized update can never trigger convergence, and
+    delta tracking resumes at the next same-length update.  Each such
+    reset is counted in :attr:`resets`.
     """
 
     def __init__(self, tolerance: float = DEFAULT_TOLERANCE,
@@ -51,6 +58,8 @@ class ConvergenceTracker:
         self.max_iter = max_iter
         self.iteration = 0
         self.converged = False
+        #: Number of times a resized parameter vector reset the baseline.
+        self.resets = 0
         self._previous: np.ndarray | None = None
 
     def update(self, parameters: np.ndarray) -> bool:
@@ -66,7 +75,10 @@ class ConvergenceTracker:
                 f"non-finite parameters at iteration {self.iteration}"
             )
         self.iteration += 1
-        if self._previous is not None and len(self._previous) == len(current):
+        if self._previous is not None and len(self._previous) != len(current):
+            self._previous = None
+            self.resets += 1
+        if self._previous is not None:
             delta = float(np.max(np.abs(current - self._previous)))
             if delta < self.tolerance:
                 self.converged = True

@@ -1,0 +1,63 @@
+"""Streaming truth-inference engine (online serving layer).
+
+The paper frames truth inference as a two-step iteration over a *growing*
+set of worker answers, but the core library is batch-shaped: every
+:meth:`~repro.core.base.TruthInferenceMethod.fit` call starts from
+scratch.  This package adds the online layer:
+
+* :class:`~repro.engine.stream.StreamingAnswerSet` — an append-only
+  ``(task, worker, value)`` buffer that absorbs new answers, tasks and
+  workers and emits immutable :class:`~repro.core.answers.AnswerSet`
+  snapshots cheaply, reusing its incrementally maintained index/label
+  tables instead of re-indexing;
+* :class:`~repro.engine.engine.InferenceEngine` — a facade that owns the
+  stream, caches the last fitted state per method, and serves
+  ``add_answers(...)`` / ``current_truth(...)`` round trips, refitting
+  *warm* whenever it can;
+* :class:`~repro.engine.batch.BatchRunner` — a :mod:`concurrent.futures`
+  fan-out for the (dataset, method) grids the comparison experiments run.
+
+Streaming protocol
+------------------
+The stream is **append-only**: task, worker and label indices are handed
+out in order of first appearance and never reassigned, so any state
+fitted on an earlier snapshot remains index-compatible with every later
+snapshot.  Warm starts build on exactly that guarantee: methods that set
+``supports_warm_start = True`` (D&S, LFC, ZC, GLAD, LFC_N) accept a
+previous :class:`~repro.core.result.InferenceResult` via
+``fit(answers, warm_start=...)``, keep the fitted parameters of known
+tasks/workers, seed newly arrived tasks from majority voting (and new
+workers from neutral defaults), and resume the two-step iteration — which
+then converges in a handful of iterations instead of tens.  Growing the
+*label space* breaks index compatibility, so the engine silently falls
+back to a cold fit in that case (fix ``n_choices``/``label_order`` up
+front to avoid it).
+
+Example
+-------
+>>> from repro.core.tasktypes import TaskType
+>>> from repro.engine import InferenceEngine
+>>> engine = InferenceEngine(TaskType.DECISION_MAKING, seed=0)
+>>> engine.add_answers([("t1", "ann", 1), ("t1", "bob", 1),
+...                     ("t2", "ann", 0), ("t2", "bob", 0),
+...                     ("t2", "cyd", 0)])
+5
+>>> engine.current_truth("D&S")            # cold fit
+{'t1': 1, 't2': 0}
+>>> engine.add_answers([("t3", "cyd", 1)])  # stream grows...
+1
+>>> truth = engine.current_truth("D&S")     # ...warm refit
+>>> engine.last_fit_was_warm("D&S")
+True
+"""
+
+from .batch import BatchJob, BatchRunner
+from .engine import InferenceEngine
+from .stream import StreamingAnswerSet
+
+__all__ = [
+    "BatchJob",
+    "BatchRunner",
+    "InferenceEngine",
+    "StreamingAnswerSet",
+]

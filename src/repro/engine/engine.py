@@ -1,0 +1,192 @@
+"""Live truth-inference facade over a streaming answer set.
+
+:class:`InferenceEngine` owns a :class:`~repro.engine.stream.StreamingAnswerSet`
+and a per-method cache of the last fitted state.  Callers push answers in
+with :meth:`add_answers` and read the current truth out with
+:meth:`current_truth` (or :meth:`infer` for the full
+:class:`~repro.core.result.InferenceResult`); the engine decides whether a
+fresh fit is needed at all, and whether it can be *warm* — resumed from
+the cached posterior/parameters of the previous fit — instead of cold.
+
+A warm refit is attempted when the method supports it
+(``supports_warm_start``), the stream only grew (append-only is
+guaranteed by the stream) and the label space is unchanged.  Methods
+without warm-start support simply refit cold; results are correct either
+way, warmth only changes the iteration count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from ..core.registry import create
+from ..core.result import InferenceResult
+from ..core.tasktypes import TaskType
+from .stream import StreamingAnswerSet
+
+
+@dataclasses.dataclass
+class _CachedFit:
+    """Last fitted state for one method."""
+
+    version: int
+    replacements: int
+    n_tasks: int
+    n_workers: int
+    n_choices: int
+    method_kwargs: dict
+    result: InferenceResult
+
+
+class InferenceEngine:
+    """Streaming truth inference with warm-started refits.
+
+    Parameters
+    ----------
+    task_type:
+        Task type of the stream (fixed for the engine's lifetime).
+    n_choices, label_order, on_duplicate:
+        Forwarded to :class:`StreamingAnswerSet`.
+    seed:
+        Seed forwarded to every method instantiation, so repeated fits
+        are reproducible.
+
+    Example
+    -------
+    >>> engine = InferenceEngine(TaskType.DECISION_MAKING)
+    >>> engine.add_answers([("t1", "w1", 1), ("t1", "w2", 1), ("t2", "w1", 0)])
+    3
+    >>> engine.current_truth("MV")
+    {'t1': 1, 't2': 0}
+    """
+
+    def __init__(
+        self,
+        task_type: TaskType,
+        n_choices: int | None = None,
+        label_order: Sequence | None = None,
+        on_duplicate: str = "keep",
+        seed: int | None = 0,
+    ) -> None:
+        self.stream = StreamingAnswerSet(
+            task_type=task_type,
+            n_choices=n_choices,
+            label_order=label_order,
+            on_duplicate=on_duplicate,
+        )
+        self.seed = seed
+        self._cache: dict[str, _CachedFit] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def add_answer(self, task, worker, value) -> None:
+        """Absorb one ``(task, worker, value)`` triple."""
+        self.stream.add_answer(task, worker, value)
+
+    def add_answers(self, records: Iterable[tuple]) -> int:
+        """Absorb a batch of triples; returns the number ingested."""
+        return self.stream.add_answers(records)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def infer(self, method: str = "MV", force_cold: bool = False,
+              **method_kwargs) -> InferenceResult:
+        """Fit ``method`` on the current snapshot, reusing cached state.
+
+        Returns the cached result outright when nothing changed since
+        the last fit with identical ``method_kwargs``; otherwise refits
+        — warm when possible, cold when not (first fit, changed kwargs,
+        or a grown label space).  ``force_cold=True`` always performs a
+        fresh cold fit, even on an unchanged stream, so callers can
+        compare warm and cold results.
+        """
+        snapshot = self.stream.snapshot()
+        cached = self._cache.get(method)
+        if (not force_cold
+                and cached is not None
+                and cached.version == self.stream.version
+                and cached.method_kwargs == method_kwargs):
+            return cached.result
+
+        instance = create(method, seed=self.seed, **method_kwargs)
+        warm = None
+        if (not force_cold
+                and cached is not None
+                and instance.supports_warm_start
+                and cached.method_kwargs == method_kwargs
+                and cached.n_choices == snapshot.n_choices
+                and cached.n_tasks <= snapshot.n_tasks
+                and cached.n_workers <= snapshot.n_workers
+                # In-place replacements since the cached fit contradict
+                # answers that fit was trained on — only a purely grown
+                # stream satisfies the warm-start contract.
+                and cached.replacements == self.stream.replacements):
+            warm = cached.result
+        result = instance.fit(snapshot, warm_start=warm)
+        self._cache[method] = _CachedFit(
+            version=self.stream.version,
+            replacements=self.stream.replacements,
+            n_tasks=snapshot.n_tasks,
+            n_workers=snapshot.n_workers,
+            n_choices=snapshot.n_choices,
+            method_kwargs=dict(method_kwargs),
+            result=result,
+        )
+        return result
+
+    def current_truth(self, method: str = "MV",
+                      **method_kwargs) -> dict:
+        """The inferred truth per task, keyed by external task id.
+
+        Categorical label codes are decoded back to the external labels
+        the stream ingested; numeric truths are returned as floats.
+        """
+        result = self.infer(method, **method_kwargs)
+        snapshot = self.stream.snapshot()
+        task_ids = snapshot.task_labels or [str(i) for i in
+                                            range(snapshot.n_tasks)]
+        if self.stream.task_type.is_categorical:
+            return {
+                task_ids[i]: self.stream.decode_value(result.truths[i])
+                for i in range(snapshot.n_tasks)
+            }
+        return {task_ids[i]: float(result.truths[i])
+                for i in range(snapshot.n_tasks)}
+
+    def worker_quality(self, method: str = "MV",
+                       **method_kwargs) -> dict[str, float]:
+        """Each worker's fitted quality, keyed by external worker id."""
+        result = self.infer(method, **method_kwargs)
+        snapshot = self.stream.snapshot()
+        worker_ids = snapshot.worker_labels or [str(i) for i in
+                                               range(snapshot.n_workers)]
+        return {worker_ids[w]: float(result.worker_quality[w])
+                for w in range(snapshot.n_workers)}
+
+    # ------------------------------------------------------------------
+    # Cache control
+    # ------------------------------------------------------------------
+    def invalidate(self, method: str | None = None) -> None:
+        """Drop cached fits (all of them, or one method's)."""
+        if method is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(method, None)
+
+    def cached_methods(self) -> list[str]:
+        """Method names with a cached fit."""
+        return list(self._cache)
+
+    def last_fit_was_warm(self, method: str) -> bool:
+        """Whether the cached fit for ``method`` resumed from state."""
+        cached = self._cache.get(method)
+        if cached is None:
+            return False
+        return bool(cached.result.extras.get("warm_started", False))
+
+    def __repr__(self) -> str:
+        return (f"InferenceEngine({self.stream!r}, "
+                f"cached={sorted(self._cache)})")

@@ -1,0 +1,366 @@
+"""Append-only answer stream emitting cheap immutable snapshots.
+
+:class:`StreamingAnswerSet` is the mutable companion of
+:class:`~repro.core.answers.AnswerSet`.  It absorbs ``(task, worker,
+value)`` triples one batch at a time — new tasks, new workers and new
+labels are indexed *in order of first appearance*, so every index that
+was valid in an earlier snapshot refers to the same entity in every
+later one (the append-only guarantee warm starts rely on).  Index and
+label tables are maintained incrementally: emitting a snapshot never
+re-scans or re-indexes previously ingested answers, it only materialises
+the accumulated arrays into a read-only :class:`AnswerSet`.
+
+Duplicate ``(task, worker)`` pairs are governed by ``on_duplicate``:
+
+* ``"keep"`` (default) — every answer is kept, matching
+  :meth:`AnswerSet.from_records`, which also allows repeated pairs;
+* ``"replace"`` — the newest answer overwrites the previous one
+  in place (the stream does not grow);
+* ``"error"`` — a repeated pair raises :class:`InvalidAnswerSetError`.
+
+Snapshots are cached per stream version, so calling :meth:`snapshot`
+repeatedly without intervening appends is free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.tasktypes import TaskType, validate_n_choices
+from ..exceptions import InvalidAnswerSetError
+
+_DUPLICATE_POLICIES = ("keep", "replace", "error")
+
+
+class StreamingAnswerSet:
+    """Append-only ``(task, worker, value)`` buffer with cheap snapshots.
+
+    Parameters
+    ----------
+    task_type:
+        One of :class:`~repro.core.tasktypes.TaskType`.
+    n_choices:
+        Optional fixed choice count for single-choice tasks.  When
+        omitted it follows the discovered label set (growing it as new
+        labels arrive — note that a grown label space invalidates warm
+        starts, so fix it up front when you can).
+    label_order:
+        Optional fixed label-code mapping for categorical values (e.g.
+        ``['F', 'T']``).  When given, unseen labels are rejected; when
+        omitted, labels are indexed in order of first appearance.
+    on_duplicate:
+        Policy for repeated ``(task, worker)`` pairs; see module
+        docstring.
+    """
+
+    def __init__(
+        self,
+        task_type: TaskType,
+        n_choices: int | None = None,
+        label_order: Sequence | None = None,
+        on_duplicate: str = "keep",
+    ) -> None:
+        if on_duplicate not in _DUPLICATE_POLICIES:
+            raise ValueError(
+                f"on_duplicate must be one of {_DUPLICATE_POLICIES}, "
+                f"got {on_duplicate!r}"
+            )
+        if label_order is not None and not task_type.is_categorical:
+            raise InvalidAnswerSetError(
+                "label_order only applies to categorical task types"
+            )
+        self.task_type = task_type
+        self.on_duplicate = on_duplicate
+        if task_type is TaskType.DECISION_MAKING and n_choices is None:
+            # The choice space is inherently fixed at 2; pinning it here
+            # makes a 3rd distinct label fail at ingestion instead of
+            # poisoning every later snapshot of the append-only stream.
+            n_choices = 2
+        self._fixed_choices = n_choices
+        self._fixed_labels = label_order is not None
+        self._label_index: dict = {}
+        if label_order is not None:
+            for label in label_order:
+                if label in self._label_index:
+                    raise InvalidAnswerSetError(
+                        f"duplicate label {label!r} in label_order"
+                    )
+                self._label_index[label] = len(self._label_index)
+        if task_type.is_categorical:
+            # Validate the fixed choice count once up front (and let
+            # decision-making default to 2 even with no labels yet).
+            validate_n_choices(task_type, n_choices if n_choices is not None
+                               else max(len(self._label_index), 2))
+            if (self._fixed_choices is not None
+                    and len(self._label_index) > self._fixed_choices):
+                raise InvalidAnswerSetError(
+                    f"label_order has {len(self._label_index)} labels but "
+                    f"n_choices is fixed at {self._fixed_choices}"
+                )
+
+        self._task_index: dict = {}
+        self._worker_index: dict = {}
+        self._task_labels: list[str] = []
+        self._worker_labels: list[str] = []
+        self._tasks: list[int] = []
+        self._workers: list[int] = []
+        self._values: list = []
+        self._pair_slot: dict[tuple[int, int], int] = {}
+        self._version = 0
+        self._replacements = 0
+        self._snapshot_cache: tuple[int, AnswerSet] | None = None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def add_answer(self, task, worker, value) -> None:
+        """Absorb a single ``(task, worker, value)`` triple.
+
+        Delegates to :meth:`add_answers` so a rejected triple rolls back
+        completely (e.g. a new label discovered by a duplicate answer
+        that ``on_duplicate="error"`` then rejects).
+        """
+        self.add_answers([(task, worker, value)])
+
+    def add_answers(self, records: Iterable[tuple]) -> int:
+        """Absorb a batch of triples atomically; returns the count.
+
+        All-or-nothing: if any record is rejected (unknown label,
+        duplicate under ``on_duplicate="error"``, non-finite numeric)
+        the stream is rolled back to its state before the call and the
+        error re-raised, so callers never observe a half-applied batch.
+        """
+        mark = (len(self._tasks), self._version, self._replacements,
+                len(self._task_index), len(self._worker_index),
+                len(self._label_index))
+        overwritten: list[tuple[int, object]] = []
+        count = 0
+        try:
+            for task, worker, value in records:
+                replaced = self._ingest(task, worker, value)
+                if replaced is not None:
+                    overwritten.append(replaced)
+                count += 1
+        except Exception:
+            self._rollback(mark, overwritten)
+            raise
+        return count
+
+    def _ingest(self, task, worker, value) -> tuple[int, object] | None:
+        """Apply one triple; returns ``(slot, old_value)`` on an
+        in-place replacement, ``None`` on an append."""
+        coded = self._encode_value(value)
+        task_idx = self._task_index.get(task)
+        if task_idx is None:
+            task_idx = self._task_index[task] = len(self._task_index)
+            self._task_labels.append(str(task))
+        worker_idx = self._worker_index.get(worker)
+        if worker_idx is None:
+            worker_idx = self._worker_index[worker] = len(self._worker_index)
+            self._worker_labels.append(str(worker))
+
+        # The pair table only exists to detect duplicates; the default
+        # "keep" policy never consults it, so skip the per-answer dict
+        # cost (one tuple entry per unique pair) entirely.
+        if self.on_duplicate != "keep":
+            pair = (task_idx, worker_idx)
+            slot = self._pair_slot.get(pair)
+            if slot is not None:
+                if self.on_duplicate == "error":
+                    raise InvalidAnswerSetError(
+                        f"duplicate answer for task {task!r} by worker "
+                        f"{worker!r}"
+                    )
+                old = self._values[slot]
+                self._values[slot] = coded
+                self._version += 1
+                self._replacements += 1
+                return (slot, old)
+            self._pair_slot[pair] = len(self._tasks)
+        self._tasks.append(task_idx)
+        self._workers.append(worker_idx)
+        self._values.append(coded)
+        self._version += 1
+        return None
+
+    def _rollback(self, mark: tuple, overwritten: list) -> None:
+        """Undo a partially applied batch (see :meth:`add_answers`)."""
+        n_answers, version, replacements, n_tasks, n_workers, n_labels = mark
+        for slot, old in reversed(overwritten):
+            self._values[slot] = old
+        for pair in [p for p, s in self._pair_slot.items() if s >= n_answers]:
+            del self._pair_slot[pair]
+        del self._tasks[n_answers:]
+        del self._workers[n_answers:]
+        del self._values[n_answers:]
+        # Index dicts are insertion-ordered: drop the newest entries.
+        for key in list(reversed(self._task_index))[
+                : len(self._task_index) - n_tasks]:
+            del self._task_index[key]
+        for key in list(reversed(self._worker_index))[
+                : len(self._worker_index) - n_workers]:
+            del self._worker_index[key]
+        for key in list(reversed(self._label_index))[
+                : len(self._label_index) - n_labels]:
+            del self._label_index[key]
+        del self._task_labels[n_tasks:]
+        del self._worker_labels[n_workers:]
+        self._version = version
+        self._replacements = replacements
+
+    def _encode_value(self, value):
+        if not self.task_type.is_categorical:
+            value = float(value)
+            if not np.isfinite(value):
+                raise InvalidAnswerSetError("numeric answers must be finite")
+            return value
+        code = self._label_index.get(value)
+        if code is None:
+            if self._fixed_labels:
+                raise InvalidAnswerSetError(
+                    f"answer label {value!r} not in the fixed label_order "
+                    f"{list(self._label_index)}"
+                )
+            code = len(self._label_index)
+            if (self._fixed_choices is not None
+                    and code >= self._fixed_choices):
+                raise InvalidAnswerSetError(
+                    f"label {value!r} would be choice #{code + 1} but "
+                    f"n_choices is fixed at {self._fixed_choices}"
+                )
+            self._label_index[value] = code
+        return code
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonically increasing change counter."""
+        return self._version
+
+    @property
+    def replacements(self) -> int:
+        """In-place overwrites so far (``on_duplicate="replace"``).
+
+        While this counter is unchanged the stream has only *grown*
+        since any earlier snapshot — the precondition warm starts rely
+        on.  A bump means some previously snapshotted answer was
+        contradicted in place.
+        """
+        return self._replacements
+
+    @property
+    def n_answers(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self._task_index)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._worker_index)
+
+    @property
+    def n_choices(self) -> int:
+        """The choice count a snapshot taken now would carry."""
+        if not self.task_type.is_categorical:
+            return 0
+        if self.task_type is TaskType.DECISION_MAKING:
+            return 2
+        if self._fixed_choices is not None:
+            return self._fixed_choices
+        return max(len(self._label_index), 2)
+
+    @property
+    def labels(self) -> list:
+        """Label values in code order (categorical streams)."""
+        return list(self._label_index)
+
+    def __len__(self) -> int:
+        return self.n_answers
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingAnswerSet(type={self.task_type.value}, "
+            f"tasks={self.n_tasks}, workers={self.n_workers}, "
+            f"answers={self.n_answers}, version={self._version})"
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> AnswerSet:
+        """Materialise the current state as an immutable answer set.
+
+        The task/worker/label index tables accumulated so far are reused
+        directly; only the flat answer arrays are copied.  The result is
+        cached until the next append.
+        """
+        if (self._snapshot_cache is not None
+                and self._snapshot_cache[0] == self._version):
+            return self._snapshot_cache[1]
+        if self.task_type.is_categorical:
+            values = np.asarray(self._values, dtype=np.int64)
+            n_choices = self.n_choices
+        else:
+            values = np.asarray(self._values, dtype=np.float64)
+            n_choices = None
+        snap = AnswerSet(
+            task_indices=np.asarray(self._tasks, dtype=np.int64),
+            worker_indices=np.asarray(self._workers, dtype=np.int64),
+            values=values,
+            task_type=self.task_type,
+            n_choices=n_choices,
+            n_tasks=self.n_tasks,
+            n_workers=self.n_workers,
+            task_labels=list(self._task_labels),
+            worker_labels=list(self._worker_labels),
+        )
+        self._snapshot_cache = (self._version, snap)
+        return snap
+
+    def decode_value(self, code):
+        """Map a label code back to the external label (categorical)."""
+        if not self.task_type.is_categorical:
+            return code
+        labels = self.labels
+        code = int(code)
+        if not 0 <= code < len(labels):
+            raise InvalidAnswerSetError(f"unknown label code {code}")
+        return labels[code]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_answer_set(cls, answers: AnswerSet,
+                        on_duplicate: str = "keep") -> "StreamingAnswerSet":
+        """Seed a stream from an existing answer set.
+
+        Label codes are preserved verbatim (``label_order`` is the code
+        range), so snapshots remain value-compatible with ``answers``.
+        """
+        stream = cls(
+            task_type=answers.task_type,
+            n_choices=answers.n_choices or None,
+            label_order=(list(range(answers.n_choices))
+                         if answers.task_type.is_categorical else None),
+            on_duplicate=on_duplicate,
+        )
+        task_ids = (answers.task_labels if answers.task_labels is not None
+                    else list(range(answers.n_tasks)))
+        worker_ids = (answers.worker_labels if answers.worker_labels is not None
+                      else list(range(answers.n_workers)))
+        # Register every task/worker up front so entities without answers
+        # keep their index positions.
+        for task in task_ids:
+            stream._task_index[task] = len(stream._task_index)
+            stream._task_labels.append(str(task))
+        for worker in worker_ids:
+            stream._worker_index[worker] = len(stream._worker_index)
+            stream._worker_labels.append(str(worker))
+        stream.add_answers(answers.iter_records())
+        return stream

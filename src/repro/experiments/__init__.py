@@ -15,7 +15,14 @@ from .qualification import (
 )
 from .redundancy import RedundancySweep, sweep_redundancy
 from .reporting import format_series, format_table, percentage
-from .runner import MethodRun, average_scores, repeat_with_seeds, run_many, run_method
+from .runner import (
+    MethodRun,
+    average_scores,
+    repeat_with_seeds,
+    run_grid,
+    run_many,
+    run_method,
+)
 from .stats import figure2, figure2_tail_shares, figure3, table5
 
 __all__ = [
@@ -37,6 +44,7 @@ __all__ = [
     "percentage",
     "qualification_experiment",
     "repeat_with_seeds",
+    "run_grid",
     "run_many",
     "run_method",
     "sample_golden",

@@ -62,13 +62,44 @@ def run_many(
     dataset: Dataset,
     method_names: Iterable[str] | None = None,
     seed: int = 0,
+    max_workers: int | None = None,
     **kwargs,
 ) -> list[MethodRun]:
-    """Run several methods (default: all applicable) on one dataset."""
+    """Run several methods (default: all applicable) on one dataset.
+
+    With ``max_workers`` set, the fits fan out across the engine's
+    :class:`~repro.engine.batch.BatchRunner` thread pool instead of
+    running serially; results keep method order either way.
+    """
     if method_names is None:
         method_names = methods_for_task_type(dataset.task_type)
+    if max_workers is not None:
+        from ..engine.batch import BatchJob, BatchRunner
+
+        jobs = [BatchJob(dataset=dataset, method=name, seed=seed, **kwargs)
+                for name in method_names]
+        return BatchRunner(max_workers=max_workers).run(jobs)
     return [run_method(name, dataset, seed=seed, **kwargs)
             for name in method_names]
+
+
+def run_grid(
+    datasets: Iterable[Dataset],
+    methods: Iterable[str] | None = None,
+    seed: int = 0,
+    max_workers: int | None = None,
+) -> list[MethodRun]:
+    """Cross datasets with applicable methods, optionally in parallel.
+
+    Thin wrapper over :meth:`repro.engine.batch.BatchRunner.run_grid`
+    so the comparison experiments can fan out without importing the
+    engine package directly.
+    """
+    from ..engine.batch import BatchRunner
+
+    return BatchRunner(max_workers=max_workers or 1).run_grid(
+        datasets, methods=methods, seed=seed
+    )
 
 
 def average_scores(runs: list[MethodRun]) -> dict[str, float]:

@@ -6,6 +6,22 @@ the current truth posterior) and an E-step (truth posterior from the
 parameters), and stop when the posterior stabilises.  This module
 implements that control flow once so the method modules only provide the
 two steps.
+
+Warm starts
+-----------
+:func:`run_em` can resume a previous run instead of starting cold.  Two
+entry points exist, matching the two halves of the EM state:
+
+* ``initial_posterior`` — a truth posterior to start from (cold fits pass
+  normalised vote counts here; warm fits may pass the previous run's
+  posterior, expanded with majority-vote rows for newly arrived tasks);
+* ``initial_parameters`` — previous model parameters (confusion matrices,
+  worker probabilities, …).  When given, the loop opens with an E-step
+  from those parameters, so the starting posterior covers *all* current
+  tasks automatically — the natural resume path when an answer set has
+  grown since the parameters were fitted.
+
+``initial_parameters`` takes precedence when both are supplied.
 """
 
 from __future__ import annotations
@@ -15,7 +31,12 @@ from typing import Callable, Mapping
 
 import numpy as np
 
-from ..core.framework import ConvergenceTracker, clamp_golden_posterior
+from ..core.framework import (
+    DEFAULT_MAX_ITER,
+    DEFAULT_TOLERANCE,
+    ConvergenceTracker,
+    clamp_golden_posterior,
+)
 
 
 @dataclasses.dataclass
@@ -29,12 +50,14 @@ class EMOutcome:
 
 
 def run_em(
-    initial_posterior: np.ndarray,
+    initial_posterior: np.ndarray | None = None,
+    *,
     m_step: Callable[[np.ndarray], object],
     e_step: Callable[[object], np.ndarray],
-    tolerance: float,
-    max_iter: int,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iter: int = DEFAULT_MAX_ITER,
     golden: Mapping[int, int] | None = None,
+    initial_parameters: object | None = None,
 ) -> EMOutcome:
     """Alternate ``m_step``/``e_step`` until the posterior stabilises.
 
@@ -42,7 +65,8 @@ def run_em(
     ----------
     initial_posterior:
         (n_tasks, n_choices) starting truth estimate (usually normalised
-        vote counts).
+        vote counts).  May be omitted when ``initial_parameters`` is
+        given.
     m_step:
         Maps the current posterior to model parameters (any object).
     e_step:
@@ -51,12 +75,31 @@ def run_em(
         Hidden-test truths clamped into the posterior after every E-step
         *and* into the initial posterior, so the very first M-step
         already benefits from them.
+    initial_parameters:
+        Previously fitted model parameters to warm-start from.  The loop
+        then begins with ``e_step(initial_parameters)`` instead of the
+        ``initial_posterior``, which lets a converged model resume on a
+        grown answer set in a handful of iterations.
     """
-    posterior = clamp_golden_posterior(np.array(initial_posterior, dtype=np.float64),
-                                       golden)
+    if initial_parameters is not None:
+        posterior = clamp_golden_posterior(
+            np.asarray(e_step(initial_parameters), dtype=np.float64), golden
+        )
+    elif initial_posterior is not None:
+        posterior = clamp_golden_posterior(
+            np.array(initial_posterior, dtype=np.float64), golden
+        )
+    else:
+        raise ValueError(
+            "run_em needs initial_posterior or initial_parameters"
+        )
     tracker = ConvergenceTracker(tolerance=tolerance, max_iter=max_iter)
-    parameters = None
-    while True:
+    # The priming E-step of a warm start is real work: count it as an
+    # iteration (and let it seed the convergence baseline) so warm and
+    # cold iteration counts compare honestly.
+    done = initial_parameters is not None and tracker.update(posterior)
+    parameters = initial_parameters if done else None
+    while not done:
         parameters = m_step(posterior)
         posterior = clamp_golden_posterior(
             np.asarray(e_step(parameters), dtype=np.float64), golden

@@ -26,6 +26,11 @@ from ..core.base import CategoricalMethod
 from ..core.framework import decode_posterior, log_normalize_rows
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.warmstart import (
+    diagonal_confusion,
+    expand_posterior,
+    neutral_accuracy,
+)
 from ..inference.em import run_em
 
 
@@ -71,6 +76,7 @@ class _ConfusionMatrixEM(CategoricalMethod):
 
     supports_initial_quality = True
     supports_golden = True
+    supports_warm_start = True
 
     def _fit(
         self,
@@ -78,6 +84,7 @@ class _ConfusionMatrixEM(CategoricalMethod):
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        warm_start: InferenceResult | None = None,
     ) -> InferenceResult:
         tasks = answers.tasks
         workers = answers.workers
@@ -109,7 +116,31 @@ class _ConfusionMatrixEM(CategoricalMethod):
             np.add.at(log_post, tasks, contributions)
             return log_normalize_rows(log_post)
 
-        if initial_quality is not None:
+        start = None
+        warm_params = None
+        if warm_start is not None:
+            prev_conf = warm_start.extras.get("confusion")
+            prev_prior = warm_start.extras.get("class_prior")
+            if prev_conf is not None and prev_prior is not None:
+                # Resume from the previous confusion matrices; workers
+                # that appeared since the last fit get neutral diagonal
+                # matrices at the pool's mean accuracy.
+                prev_conf = np.asarray(prev_conf, dtype=np.float64)
+                n_new = n_workers - prev_conf.shape[0]
+                if n_new > 0:
+                    prev_conf = np.concatenate([
+                        prev_conf,
+                        diagonal_confusion(
+                            n_new, n_choices,
+                            neutral_accuracy(warm_start.worker_quality)),
+                    ])
+                warm_params = _DSParameters(
+                    confusion=prev_conf,
+                    prior=np.asarray(prev_prior, dtype=np.float64),
+                )
+            else:
+                start = expand_posterior(warm_start.posterior, answers)
+        elif initial_quality is not None:
             confusion0 = initial_confusion_from_quality(initial_quality, n_choices)
             prior0 = np.full(n_choices, 1.0 / n_choices)
             start = e_step(_DSParameters(confusion=confusion0, prior=prior0))
@@ -123,6 +154,7 @@ class _ConfusionMatrixEM(CategoricalMethod):
             tolerance=self.tolerance,
             max_iter=self.max_iter,
             golden=golden,
+            initial_parameters=warm_params,
         )
         params: _DSParameters = outcome.parameters
         quality = params.confusion[:, diag, diag].mean(axis=1)
@@ -133,7 +165,11 @@ class _ConfusionMatrixEM(CategoricalMethod):
             posterior=outcome.posterior,
             n_iterations=outcome.n_iterations,
             converged=outcome.converged,
-            extras={"confusion": params.confusion, "class_prior": params.prior},
+            extras={
+                "confusion": params.confusion,
+                "class_prior": params.prior,
+                "warm_started": warm_start is not None,
+            },
         )
 
 

@@ -7,8 +7,14 @@ probability that worker ``w`` answers task ``i`` correctly is
 easiness (the paper's ``1/(1+e^{-d_i q^w})``).
 
 Inference is EM where the M-step runs gradient ascent on the expected
-complete log-likelihood over ``alpha`` and ``log beta`` (keeping easiness
-positive).  The gradients have the compact form
+complete log-*posterior* over ``alpha`` and ``log beta`` (keeping
+easiness positive).  Following the original paper, which is MAP
+estimation with Gaussian priors on ability and difficulty, a weak
+``N(1, 1/prior_strength)`` prior on ``alpha`` and ``N(0,
+1/prior_strength)`` prior on ``log beta`` regularise the ascent — on
+cleanly separable data the unpenalised likelihood is maximised at
+``alpha·beta → ∞``, so without the prior the iteration never settles.
+The data gradients have the compact form
 ``d/d alpha_w = Σ beta_i (P(truth = answer) − sigmoid)``, and
 symmetrically for ``beta`` — this is what makes GLAD slow (Table 6 shows
 it is orders of magnitude slower than D&S), and we keep that structure.
@@ -34,6 +40,7 @@ from ..core.framework import (
 )
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.warmstart import expand_task_vector, expand_worker_vector
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -53,12 +60,16 @@ class Glad(CategoricalMethod):
     name = "GLAD"
     supports_initial_quality = True
     supports_golden = True
+    supports_warm_start = True
 
     def __init__(self, learning_rate: float = 0.05, gradient_steps: int = 12,
-                 **kwargs) -> None:
+                 prior_strength: float = 0.5, **kwargs) -> None:
         super().__init__(**kwargs)
+        if prior_strength < 0:
+            raise ValueError("prior_strength must be non-negative")
         self.learning_rate = learning_rate
         self.gradient_steps = gradient_steps
+        self.prior_strength = prior_strength
 
     def _fit(
         self,
@@ -66,19 +77,36 @@ class Glad(CategoricalMethod):
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        warm_start: InferenceResult | None = None,
     ) -> InferenceResult:
         tasks = answers.tasks
         workers = answers.workers
         values = answers.values.astype(np.int64)
         n_choices = answers.n_choices
 
-        if initial_quality is not None:
+        if warm_start is not None:
+            # Resume abilities and easiness from the previous fit (alpha
+            # is GLAD's worker quality; easiness lives in the extras).
+            # New workers start at the neutral ability 1.0, new tasks at
+            # easiness 1 (log_beta = 0), as in a cold start.
+            alpha = expand_worker_vector(warm_start.worker_quality,
+                                         answers.n_workers, 1.0)
+            prev_easiness = warm_start.extras.get("task_easiness")
+            if prev_easiness is not None:
+                log_beta = expand_task_vector(
+                    np.log(np.clip(prev_easiness, np.exp(-5.0), np.exp(5.0))),
+                    answers.n_tasks, 0.0,
+                )
+            else:
+                log_beta = np.zeros(answers.n_tasks)
+        elif initial_quality is not None:
             # Map accuracy in [0,1] to ability via the logit at beta=1.
             clipped = np.clip(initial_quality, 0.05, 0.95)
             alpha = np.log(clipped / (1.0 - clipped))
+            log_beta = np.zeros(answers.n_tasks)
         else:
             alpha = np.ones(answers.n_workers)
-        log_beta = np.zeros(answers.n_tasks)
+            log_beta = np.zeros(answers.n_tasks)
 
         def e_step(alpha: np.ndarray, log_beta: np.ndarray) -> np.ndarray:
             p_correct = _sigmoid(alpha[workers] * np.exp(log_beta[tasks]))
@@ -91,10 +119,19 @@ class Glad(CategoricalMethod):
             np.add.at(log_post, (tasks, values), log_c - log_w)
             return log_normalize_rows(log_post)
 
-        posterior = clamp_golden_posterior(self.majority_posterior(answers), golden)
         tracker = ConvergenceTracker(tolerance=self.tolerance,
                                      max_iter=self.max_iter)
-        while True:
+        done = False
+        if warm_start is not None:
+            # Open with an E-step from the resumed parameters so the
+            # starting posterior covers newly arrived tasks too; count
+            # it so warm and cold iteration totals compare honestly.
+            posterior = clamp_golden_posterior(e_step(alpha, log_beta), golden)
+            done = tracker.update(posterior)
+        else:
+            posterior = clamp_golden_posterior(self.majority_posterior(answers),
+                                               golden)
+        while not done:
             # M-step: a few gradient-ascent steps on Q(alpha, log beta).
             match = posterior[tasks, values]
             for _ in range(self.gradient_steps):
@@ -104,11 +141,11 @@ class Glad(CategoricalMethod):
                 grad_alpha = np.bincount(
                     workers, weights=residual * beta[tasks],
                     minlength=answers.n_workers,
-                )
+                ) - self.prior_strength * (alpha - 1.0)
                 grad_logbeta = np.bincount(
                     tasks, weights=residual * alpha[workers] * beta[tasks],
                     minlength=answers.n_tasks,
-                )
+                ) - self.prior_strength * log_beta
                 alpha = alpha + self.learning_rate * grad_alpha
                 log_beta = log_beta + self.learning_rate * grad_logbeta
                 # Mild clamping keeps exp(log_beta) finite on pathological
@@ -127,5 +164,6 @@ class Glad(CategoricalMethod):
             posterior=posterior,
             n_iterations=tracker.iteration,
             converged=tracker.converged,
-            extras={"task_easiness": np.exp(log_beta)},
+            extras={"task_easiness": np.exp(log_beta),
+                    "warm_started": warm_start is not None},
         )

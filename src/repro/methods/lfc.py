@@ -23,6 +23,7 @@ from ..core.base import NumericMethod
 from ..core.framework import ConvergenceTracker, clamp_golden_values
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.warmstart import expand_worker_vector
 from .dawid_skene import _ConfusionMatrixEM
 
 
@@ -54,6 +55,7 @@ class LearningFromCrowdsNumeric(NumericMethod):
     name = "LFC_N"
     supports_initial_quality = True
     supports_golden = True
+    supports_warm_start = True
 
     def __init__(self, min_variance: float = 1e-6, **kwargs) -> None:
         super().__init__(**kwargs)
@@ -65,6 +67,7 @@ class LearningFromCrowdsNumeric(NumericMethod):
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        warm_start: InferenceResult | None = None,
     ) -> InferenceResult:
         tasks = answers.tasks
         workers = answers.workers
@@ -72,39 +75,59 @@ class LearningFromCrowdsNumeric(NumericMethod):
         counts_w = np.maximum(answers.worker_answer_counts(), 1)
         counts_t = np.maximum(answers.task_answer_counts(), 1)
 
-        # Initial truth: per-task mean.  Initial variance: global, unless
-        # a qualification test supplied per-worker accuracies (mapped to
-        # variances so better workers start more trusted).
-        truths = np.bincount(tasks, weights=values,
-                             minlength=answers.n_tasks) / counts_t
-        truths = clamp_golden_values(truths, golden)
-        if initial_quality is not None:
-            scale = np.var(values) if len(values) else 1.0
-            variance = np.maximum(
-                (1.0 - np.clip(initial_quality, 0.0, 1.0)) * scale,
-                self.min_variance,
-            )
+        def weighted_truths(variance: np.ndarray) -> np.ndarray:
+            """E-step: precision-weighted truth per task."""
+            weights = 1.0 / variance[workers]
+            numer = np.bincount(tasks, weights=weights * values,
+                                minlength=answers.n_tasks)
+            denom = np.bincount(tasks, weights=weights,
+                                minlength=answers.n_tasks)
+            return numer / np.where(denom > 0, denom, 1.0)
+
+        # Initial truth: per-task mean.  A warm start instead opens with
+        # an E-step from the previous per-worker variances (expanded
+        # with the global variance for unseen workers), so the resumed
+        # truths already weight every current answer by the learned
+        # precisions.
+        if warm_start is not None:
+            prev_var = warm_start.extras.get("worker_variance")
+            global_var = max(np.var(values) if len(values) else 1.0,
+                             self.min_variance)
+            if prev_var is not None:
+                variance = expand_worker_vector(
+                    np.maximum(prev_var, self.min_variance),
+                    answers.n_workers, global_var,
+                )
+            else:
+                variance = np.full(answers.n_workers, global_var)
+            truths = weighted_truths(variance)
         else:
-            variance = np.full(answers.n_workers,
-                               max(np.var(values), self.min_variance))
+            truths = np.bincount(tasks, weights=values,
+                                 minlength=answers.n_tasks) / counts_t
+            if initial_quality is not None:
+                scale = np.var(values) if len(values) else 1.0
+                variance = np.maximum(
+                    (1.0 - np.clip(initial_quality, 0.0, 1.0)) * scale,
+                    self.min_variance,
+                )
+            else:
+                variance = np.full(answers.n_workers,
+                                   max(np.var(values), self.min_variance))
+        truths = clamp_golden_values(truths, golden)
 
         tracker = ConvergenceTracker(tolerance=self.tolerance,
                                      max_iter=self.max_iter)
-        while True:
+        # The warm priming E-step above is real work: count it so warm
+        # and cold iteration totals compare honestly.
+        done = warm_start is not None and tracker.update(truths)
+        while not done:
             # M-step: per-worker variance against current truths.
             residual = (values - truths[tasks]) ** 2
             sums = np.bincount(workers, weights=residual,
                                minlength=answers.n_workers)
             variance = np.maximum(sums / counts_w, self.min_variance)
 
-            # E-step: precision-weighted truth per task.
-            weights = 1.0 / variance[workers]
-            numer = np.bincount(tasks, weights=weights * values,
-                                minlength=answers.n_tasks)
-            denom = np.bincount(tasks, weights=weights,
-                                minlength=answers.n_tasks)
-            denom = np.where(denom > 0, denom, 1.0)
-            truths = clamp_golden_values(numer / denom, golden)
+            truths = clamp_golden_values(weighted_truths(variance), golden)
             if tracker.update(truths):
                 break
 
@@ -116,5 +139,6 @@ class LearningFromCrowdsNumeric(NumericMethod):
             posterior=None,
             n_iterations=tracker.iteration,
             converged=tracker.converged,
-            extras={"worker_variance": variance},
+            extras={"worker_variance": variance,
+                    "warm_started": warm_start is not None},
         )

@@ -25,6 +25,7 @@ from ..core.base import CategoricalMethod
 from ..core.framework import clip_probability, decode_posterior, log_normalize_rows
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.warmstart import expand_worker_vector, neutral_accuracy
 from ..inference.em import run_em
 
 
@@ -35,6 +36,7 @@ class ZenCrowd(CategoricalMethod):
     name = "ZC"
     supports_initial_quality = True
     supports_golden = True
+    supports_warm_start = True
 
     def _fit(
         self,
@@ -42,6 +44,7 @@ class ZenCrowd(CategoricalMethod):
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        warm_start: InferenceResult | None = None,
     ) -> InferenceResult:
         tasks = answers.tasks
         workers = answers.workers
@@ -69,7 +72,17 @@ class ZenCrowd(CategoricalMethod):
             counts = np.maximum(answers.worker_answer_counts(), 1)
             return sums / counts
 
-        if initial_quality is not None:
+        start = None
+        warm_params = None
+        if warm_start is not None:
+            # The worker probability *is* ZC's EM parameter: resume from
+            # the previous qualities; unseen workers start at the pool's
+            # neutral seed accuracy.
+            warm_params = expand_worker_vector(
+                warm_start.worker_quality, answers.n_workers,
+                neutral_accuracy(warm_start.worker_quality),
+            )
+        elif initial_quality is not None:
             start = e_step(initial_quality)
         else:
             start = self.majority_posterior(answers)
@@ -81,6 +94,7 @@ class ZenCrowd(CategoricalMethod):
             tolerance=self.tolerance,
             max_iter=self.max_iter,
             golden=golden,
+            initial_parameters=warm_params,
         )
         quality = m_step(outcome.posterior)
         return InferenceResult(
@@ -90,4 +104,5 @@ class ZenCrowd(CategoricalMethod):
             posterior=outcome.posterior,
             n_iterations=outcome.n_iterations,
             converged=outcome.converged,
+            extras={"warm_started": warm_start is not None},
         )

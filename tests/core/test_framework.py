@@ -39,6 +39,31 @@ class TestConvergenceTracker:
         tracker.update(np.array([1.0, 2.0]))
         assert tracker.update(np.array([1.0, 2.0, 3.0])) is False
 
+    def test_resize_resets_baseline_explicitly(self):
+        """A resized parameter vector resets the comparison baseline —
+        the documented behaviour for warm-started refits on grown
+        streams — and is counted in ``resets``."""
+        tracker = ConvergenceTracker(tolerance=1e-3, max_iter=50)
+        tracker.update(np.array([1.0, 2.0]))
+        assert tracker.resets == 0
+        # Length change: never converges on this update, baseline resets.
+        assert tracker.update(np.array([1.0, 2.0, 3.0])) is False
+        assert tracker.resets == 1
+        assert not tracker.converged
+        # Delta tracking resumes against the *new* vector, so an
+        # identical-length near-identical update now converges.
+        assert tracker.update(np.array([1.0, 2.0, 3.0])) is True
+        assert tracker.converged
+        assert tracker.resets == 1
+
+    def test_resize_back_and_forth_counts_each_reset(self):
+        tracker = ConvergenceTracker(tolerance=1e-6, max_iter=50)
+        tracker.update(np.zeros(2))
+        tracker.update(np.zeros(3))
+        tracker.update(np.zeros(2))
+        assert tracker.resets == 2
+        assert not tracker.converged
+
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError):
             ConvergenceTracker(tolerance=0)

@@ -1,0 +1,1 @@
+"""Test package marker (keeps duplicate basenames importable)."""

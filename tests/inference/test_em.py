@@ -29,7 +29,7 @@ class TestRunEM:
             state["toggle"] = not state["toggle"]
             return flip if state["toggle"] else flop
 
-        outcome = run_em(flip, lambda p: None, e_step,
+        outcome = run_em(flip, m_step=lambda p: None, e_step=e_step,
                          tolerance=1e-6, max_iter=7)
         assert not outcome.converged
         assert outcome.n_iterations == 7
@@ -44,7 +44,7 @@ class TestRunEM:
         def e_step(params):
             return np.full((2, 2), 0.5)
 
-        run_em(np.full((2, 2), 0.5), m_step, e_step,
+        run_em(np.full((2, 2), 0.5), m_step=m_step, e_step=e_step,
                tolerance=1e-6, max_iter=5, golden={0: 1})
         for posterior in seen:
             assert list(posterior[0]) == [0.0, 1.0]

@@ -16,6 +16,10 @@ class TestParser:
             ["run", "--dataset", "D_Product", "--methods", "MV"],
             ["sweep", "--dataset", "D_PosSent", "--methods", "MV"],
             ["infer", "answers.csv", "--method", "ZC"],
+            ["stream", "answers.csv", "--method", "ZC",
+             "--chunk-size", "100"],
+            ["batch", "--datasets", "D_PosSent", "--methods", "MV",
+             "--workers", "2"],
             ["plan-redundancy", "--dataset", "D_PosSent"],
         ):
             args = parser.parse_args(argv)
@@ -72,6 +76,79 @@ class TestCommands:
         path = tmp_path / "empty.csv"
         path.write_text("task,worker,answer\n")
         assert main(["infer", str(path)]) == 1
+
+    def test_stream_replays_in_chunks(self, tmp_path, capsys):
+        path = tmp_path / "answers.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["task", "worker", "answer"])
+            for task in range(20):
+                for worker in ("w1", "w2", "w3"):
+                    writer.writerow([f"t{task}", worker,
+                                     "yes" if task % 2 else "no"])
+        code = main(["stream", str(path), "--method", "D&S",
+                     "--chunk-size", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold refit" in out
+        assert "warm refit" in out
+        assert "t0,no" in out
+        assert "t1,yes" in out
+
+    def test_stream_empty_file_fails(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("task,worker,answer\n")
+        assert main(["stream", str(path)]) == 1
+
+    def test_malformed_row_fails_loudly(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("t1,w1,yes\nt2,w2\n")
+        for command in ("infer", "stream"):
+            assert main([command, str(path), "--method", "MV"]) == 1
+            assert "malformed row" in capsys.readouterr().err
+
+    def test_stream_unknown_method_fails_loudly(self, tmp_path, capsys):
+        path = tmp_path / "answers.csv"
+        path.write_text("t1,w1,yes\nt1,w2,no\n")
+        assert main(["stream", str(path), "--method", "Bogus"]) == 1
+        assert "unknown method: Bogus" in capsys.readouterr().err
+
+    def test_stream_inapplicable_method_fails_loudly(self, tmp_path, capsys):
+        path = tmp_path / "answers.csv"
+        path.write_text("t1,w1,yes\nt1,w2,no\n")
+        assert main(["stream", str(path), "--method", "Mean"]) == 1
+        assert "does not support decision-making" in capsys.readouterr().err
+
+    def test_infer_inapplicable_method_fails_loudly(self, tmp_path, capsys):
+        path = tmp_path / "answers.csv"
+        path.write_text("t1,w1,yes\nt1,w2,no\n")
+        assert main(["infer", str(path), "--method", "Mean"]) == 1
+        assert "does not support decision-making" in capsys.readouterr().err
+
+    def test_batch_invalid_workers_fails_loudly(self, capsys):
+        assert main(["batch", "--datasets", "D_PosSent", "--methods",
+                     "MV", "--scale", "0.05", "--workers", "0"]) == 1
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_batch_empty_grid_fails_loudly(self, capsys):
+        # LFC_N is numeric-only; every selected dataset is categorical.
+        assert main(["batch", "--datasets", "D_PosSent", "--methods",
+                     "LFC_N", "--scale", "0.05"]) == 1
+        assert "no (dataset, method)" in capsys.readouterr().err
+
+    def test_batch_prints_grid(self, capsys):
+        code = main(["batch", "--datasets", "D_PosSent", "--methods",
+                     "MV", "ZC", "--scale", "0.05", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Batch grid: 2 jobs" in out
+        assert "MV" in out and "ZC" in out
+        assert "wall time" in out
+
+    def test_batch_unknown_method_fails_loudly(self, capsys):
+        assert main(["batch", "--datasets", "D_PosSent", "--methods",
+                     "Bogus", "--scale", "0.05"]) == 1
+        assert "unknown methods: Bogus" in capsys.readouterr().err
 
     def test_plan_redundancy(self, capsys):
         code = main(["plan-redundancy", "--dataset", "D_PosSent",
