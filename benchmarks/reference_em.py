@@ -1,0 +1,175 @@
+"""Pre-refactor reference EM implementations (frozen for parity).
+
+Faithful copies of the global-array EM inner loops the methods had
+*before* the sharded map-reduce refactor (``np.add.at`` scatter /
+``np.bincount`` closures over one flat answer array).  Two consumers
+pin against them and must share one copy so the reference cannot drift:
+
+* ``tests/properties/test_property_sharded.py`` — bit-for-bit parity of
+  the single-shard refactored path;
+* ``benchmarks/bench_sharded.py`` — wall-clock baseline and the same
+  bitwise check at benchmark scale.
+
+Do not "improve" this module: its value is that it stays exactly what
+the pre-refactor code computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import (
+    ConvergenceTracker,
+    clamp_golden_values,
+    log_normalize_rows,
+    normalize_rows,
+)
+from repro.inference.em import run_em
+
+
+class ConfusionParams:
+    """The (confusion, prior) pair of the pre-refactor D&S/LFC M-step."""
+
+    def __init__(self, confusion, prior):
+        self.confusion, self.prior = confusion, prior
+
+
+def reference_confusion_em(answers, off, bonus, tolerance, max_iter):
+    """Pre-refactor D&S/LFC: confusion-matrix EM over global arrays."""
+    tasks, workers = answers.tasks, answers.workers
+    values = answers.values.astype(np.int64)
+    n_choices, n_workers = answers.n_choices, answers.n_workers
+    diag = np.arange(n_choices)
+
+    def m_step(posterior):
+        counts = np.zeros((n_workers, n_choices, n_choices))
+        np.add.at(counts, (workers, values), posterior[tasks])
+        confusion = counts.transpose(0, 2, 1)
+        confusion = confusion + off
+        confusion[:, diag, diag] += bonus
+        confusion /= confusion.sum(axis=2, keepdims=True)
+        prior = posterior.mean(axis=0)
+        prior = prior / prior.sum()
+        return ConfusionParams(confusion, prior)
+
+    def e_step(params):
+        log_conf = np.log(np.clip(params.confusion, 1e-12, None))
+        log_post = np.tile(np.log(np.clip(params.prior, 1e-12, None)),
+                           (answers.n_tasks, 1))
+        contributions = log_conf[workers, :, values]
+        np.add.at(log_post, tasks, contributions)
+        return log_normalize_rows(log_post)
+
+    start = normalize_rows(answers.vote_counts())
+    return run_em(initial_posterior=start, m_step=m_step, e_step=e_step,
+                  tolerance=tolerance, max_iter=max_iter)
+
+
+def reference_zc(answers, tolerance, max_iter):
+    """Pre-refactor ZC; returns ``(EMOutcome, final worker quality)``."""
+    tasks, workers = answers.tasks, answers.workers
+    values = answers.values.astype(np.int64)
+    n_choices = answers.n_choices
+
+    def e_step(quality):
+        q = np.clip(quality, 1e-10, 1 - 1e-10)
+        log_correct = np.log(q)
+        log_wrong = np.log((1.0 - q) / max(n_choices - 1, 1))
+        log_post = np.zeros((answers.n_tasks, n_choices))
+        base = np.bincount(tasks, weights=log_wrong[workers],
+                           minlength=answers.n_tasks)
+        log_post += base[:, None]
+        bonus = (log_correct - log_wrong)[workers]
+        np.add.at(log_post, (tasks, values), bonus)
+        return log_normalize_rows(log_post)
+
+    def m_step(posterior):
+        matched = posterior[tasks, values]
+        sums = np.bincount(workers, weights=matched,
+                           minlength=answers.n_workers)
+        counts = np.maximum(answers.worker_answer_counts(), 1)
+        return sums / counts
+
+    start = normalize_rows(answers.vote_counts())
+    outcome = run_em(initial_posterior=start, m_step=m_step, e_step=e_step,
+                     tolerance=tolerance, max_iter=max_iter)
+    return outcome, m_step(outcome.posterior)
+
+
+def reference_glad(answers, tolerance, max_iter, learning_rate=0.05,
+                   gradient_steps=12, prior_strength=0.5):
+    """Pre-refactor GLAD (cold start); returns
+    ``(posterior, alpha, easiness, tracker)``."""
+    from repro.methods.glad import _sigmoid
+
+    tasks, workers = answers.tasks, answers.workers
+    values = answers.values.astype(np.int64)
+    n_choices = answers.n_choices
+    alpha = np.ones(answers.n_workers)
+    log_beta = np.zeros(answers.n_tasks)
+
+    def e_step(alpha, log_beta):
+        p_correct = _sigmoid(alpha[workers] * np.exp(log_beta[tasks]))
+        p_correct = np.clip(p_correct, 1e-10, 1 - 1e-10)
+        log_c = np.log(p_correct)
+        log_w = np.log((1.0 - p_correct) / max(n_choices - 1, 1))
+        log_post = np.zeros((answers.n_tasks, n_choices))
+        base = np.bincount(tasks, weights=log_w, minlength=answers.n_tasks)
+        log_post += base[:, None]
+        np.add.at(log_post, (tasks, values), log_c - log_w)
+        return log_normalize_rows(log_post)
+
+    posterior = normalize_rows(answers.vote_counts())
+    tracker = ConvergenceTracker(tolerance=tolerance, max_iter=max_iter)
+    while True:
+        match = posterior[tasks, values]
+        for _ in range(gradient_steps):
+            beta = np.exp(log_beta)
+            p = _sigmoid(alpha[workers] * beta[tasks])
+            residual = match - p
+            grad_alpha = np.bincount(
+                workers, weights=residual * beta[tasks],
+                minlength=answers.n_workers,
+            ) - prior_strength * (alpha - 1.0)
+            grad_logbeta = np.bincount(
+                tasks, weights=residual * alpha[workers] * beta[tasks],
+                minlength=answers.n_tasks,
+            ) - prior_strength * log_beta
+            alpha = alpha + learning_rate * grad_alpha
+            log_beta = log_beta + learning_rate * grad_logbeta
+            log_beta = np.clip(log_beta, -5.0, 5.0)
+            alpha = np.clip(alpha, -10.0, 10.0)
+        posterior = e_step(alpha, log_beta)
+        if tracker.update(posterior):
+            break
+    return posterior, alpha, np.exp(log_beta), tracker
+
+
+def reference_lfc_n(answers, tolerance, max_iter, min_variance=1e-6,
+                    golden=None):
+    """Pre-refactor LFC_N; returns ``(truths, variance, tracker)``."""
+    tasks, workers, values = answers.tasks, answers.workers, answers.values
+    counts_w = np.maximum(answers.worker_answer_counts(), 1)
+    counts_t = np.maximum(answers.task_answer_counts(), 1)
+
+    def weighted_truths(variance):
+        weights = 1.0 / variance[workers]
+        numer = np.bincount(tasks, weights=weights * values,
+                            minlength=answers.n_tasks)
+        denom = np.bincount(tasks, weights=weights,
+                            minlength=answers.n_tasks)
+        return numer / np.where(denom > 0, denom, 1.0)
+
+    truths = np.bincount(tasks, weights=values,
+                         minlength=answers.n_tasks) / counts_t
+    truths = clamp_golden_values(truths, golden)
+    tracker = ConvergenceTracker(tolerance=tolerance, max_iter=max_iter)
+    while True:
+        residual = (values - truths[tasks]) ** 2
+        sums = np.bincount(workers, weights=residual,
+                           minlength=answers.n_workers)
+        variance = np.maximum(sums / counts_w, min_variance)
+        truths = clamp_golden_values(weighted_truths(variance), golden)
+        if tracker.update(truths):
+            break
+    return truths, variance, tracker

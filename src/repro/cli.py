@@ -6,8 +6,10 @@ Usage (after ``pip install -e .``)::
     python -m repro datasets                   # Table 5 of the replicas
     python -m repro infer answers.csv --method "D&S"
     python -m repro stream answers.csv --method "D&S" --chunk-size 200
+    python -m repro stream answers.csv --method "D&S" --shards 4 --workers 2
     python -m repro run --dataset D_Product --method D&S --scale 0.2
     python -m repro batch --datasets D_Product D_PosSent --workers 4
+    python -m repro batch --methods D&S GLAD --shards 8 --executor process
     python -m repro sweep --dataset D_PosSent --methods MV ZC D&S
     python -m repro plan-redundancy --dataset D_PosSent --method MV
 
@@ -16,7 +18,9 @@ triples, so the CLI works on real exported crowd data, not only on the
 replicas.  ``stream`` replays the same CSV through the
 :class:`~repro.engine.InferenceEngine` in chunks, warm-starting each
 refit from the previous one — the online-serving path.  ``batch`` fans a
-(dataset × method) grid across a thread pool.
+(dataset × method) grid across a thread or process pool.  Both accept
+``--shards`` to run each EM fit as sharded map-reduce (see
+:mod:`repro.inference.sharded`).
 """
 
 from __future__ import annotations
@@ -177,15 +181,26 @@ def _cmd_stream(args) -> int:
     records = _read_answer_csv_or_complain(args.answers)
     if records is None:
         return 1
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 1
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}",
+              file=sys.stderr)
+        return 1
 
-    # Pre-scan the label set so the choice space stays fixed across
-    # chunks (a growing label space would force cold refits).
+    # Pre-scan the label set to classify decision-making vs
+    # single-choice.  Fixing label_order up front is no longer required
+    # for warmth — the engine pads cached state across label growth —
+    # but it keeps label codes deterministic for the printed output.
     labels, task_type = _classify_answer_labels(records)
     error = _require_applicable(args.method, task_type)
     if error:
         print(error, file=sys.stderr)
         return 1
-    engine = InferenceEngine(task_type, label_order=labels, seed=args.seed)
+    engine = InferenceEngine(task_type, label_order=labels, seed=args.seed,
+                             n_shards=args.shards,
+                             shard_workers=args.workers)
 
     chunk = max(1, args.chunk_size)
     print(f"# streaming {len(records)} answers in chunks of {chunk} "
@@ -214,6 +229,9 @@ def _cmd_batch(args) -> int:
         print(f"--workers must be >= 1, got {args.workers}",
               file=sys.stderr)
         return 1
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 1
     if args.methods:
         unknown = [m for m in args.methods if m not in available_methods()]
         if unknown:
@@ -224,7 +242,8 @@ def _cmd_batch(args) -> int:
                 for name in (args.datasets or PAPER_DATASET_NAMES)]
     with Timer() as timer:
         runs = run_grid(datasets, methods=args.methods or None,
-                        seed=args.seed, max_workers=args.workers)
+                        seed=args.seed, max_workers=args.workers,
+                        n_shards=args.shards, executor=args.executor)
     if not runs:
         print("no (dataset, method) combinations are applicable; check "
               "the task types with `repro methods`", file=sys.stderr)
@@ -311,6 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--method", default="D&S")
     p_stream.add_argument("--chunk-size", type=int, default=500)
     p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument("--shards", type=int, default=1,
+                          help="task-range shards per refit (sharded EM)")
+    p_stream.add_argument("--workers", type=int, default=0,
+                          help="threads mapping the shards (0 = serial)")
 
     p_batch = sub.add_parser(
         "batch", help="fan a (dataset x method) grid across workers")
@@ -319,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=PAPER_DATASET_NAMES)
     p_batch.add_argument("--methods", nargs="+", default=None)
     p_batch.add_argument("--workers", type=int, default=4)
+    p_batch.add_argument("--shards", type=int, default=1,
+                         help="task-range shards per fit for methods "
+                              "with sharded EM")
+    p_batch.add_argument("--executor", choices=["thread", "process"],
+                         default=None,
+                         help="pool type for the job fan-out "
+                              "(default: threads)")
 
     p_plan = sub.add_parser("plan-redundancy",
                             help="estimate the saturation redundancy")

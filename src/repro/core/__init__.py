@@ -14,12 +14,20 @@ from .base import (
     TruthInferenceMethod,
 )
 from .framework import ConvergenceTracker
-from .registry import available_methods, create, create_all, methods_for_task_type
+from .registry import (
+    available_methods,
+    create,
+    create_all,
+    method_class,
+    methods_for_task_type,
+)
 from .result import InferenceResult
+from .shards import AnswerShard, ShardedAnswerSet, shard_by_tasks
 from .tasktypes import LABEL_FALSE, LABEL_TRUE, TaskType
 
 __all__ = [
     "AnswerSet",
+    "AnswerShard",
     "BinaryMethod",
     "CategoricalMethod",
     "ConvergenceTracker",
@@ -28,10 +36,13 @@ __all__ = [
     "LABEL_FALSE",
     "LABEL_TRUE",
     "NumericMethod",
+    "ShardedAnswerSet",
     "TaskType",
     "TruthInferenceMethod",
     "available_methods",
     "create",
     "create_all",
+    "method_class",
     "methods_for_task_type",
+    "shard_by_tasks",
 ]

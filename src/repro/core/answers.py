@@ -352,3 +352,13 @@ class AnswerSet:
         self._build_adjacency()
         assert self._by_worker is not None
         return {w: self._by_worker[w] for w in range(self.n_workers)}
+
+    def shard_by_tasks(self, n_shards: int):
+        """Partition into contiguous task-range shards for map-reduce EM.
+
+        Returns a :class:`~repro.core.shards.ShardedAnswerSet`; with
+        ``n_shards=1`` the single shard reuses these arrays untouched.
+        """
+        from .shards import ShardedAnswerSet
+
+        return ShardedAnswerSet(self, n_shards)

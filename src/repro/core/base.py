@@ -16,7 +16,9 @@ class handles the cross-cutting concerns the paper's experiments rely on:
 from __future__ import annotations
 
 import abc
+import contextlib
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import ClassVar, Mapping
 
 import numpy as np
@@ -48,6 +50,17 @@ class TruthInferenceMethod(abc.ABC):
         :class:`InferenceResult` fitted on an earlier (smaller) snapshot
         of the same answer stream — see :meth:`fit`'s ``warm_start``
         parameter and :mod:`repro.core.warmstart`.
+    supports_sharding:
+        Whether the method's EM is expressed as mergeable sufficient
+        statistics over task-range shards
+        (:mod:`repro.inference.sharded`) and therefore honours the
+        ``n_shards`` / ``shard_workers`` constructor knobs and the
+        ``shard_runner`` fit parameter.
+    supports_seed_posterior:
+        Whether a cold fit can start from an externally supplied truth
+        posterior (``fit(..., seed_posterior=...)``) in place of the
+        majority-vote posterior it would otherwise compute — lets batch
+        runs compute majority voting once per dataset and share it.
     """
 
     name: ClassVar[str] = "abstract"
@@ -55,6 +68,8 @@ class TruthInferenceMethod(abc.ABC):
     supports_initial_quality: ClassVar[bool] = False
     supports_golden: ClassVar[bool] = False
     supports_warm_start: ClassVar[bool] = False
+    supports_sharding: ClassVar[bool] = False
+    supports_seed_posterior: ClassVar[bool] = False
     #: True for post-paper extension methods (kept out of the faithful
     #: 17-method experiment harness unless explicitly requested).
     is_extension: ClassVar[bool] = False
@@ -64,10 +79,25 @@ class TruthInferenceMethod(abc.ABC):
         tolerance: float = DEFAULT_TOLERANCE,
         max_iter: int = DEFAULT_MAX_ITER,
         seed: int | None = None,
+        n_shards: int = 1,
+        shard_workers: int = 0,
     ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if n_shards > 1 and not type(self).supports_sharding:
+            raise ValueError(
+                f"{self.name} does not support sharded EM (n_shards={n_shards})"
+            )
+        if shard_workers < 0:
+            raise ValueError(
+                f"shard_workers must be >= 0, got {shard_workers}"
+            )
         self.tolerance = tolerance
         self.max_iter = max_iter
         self.seed = seed
+        self.n_shards = n_shards
+        #: Thread-pool width for in-process sharded fits (0/1 = serial).
+        self.shard_workers = shard_workers
 
     # ------------------------------------------------------------------
     def fit(
@@ -76,6 +106,8 @@ class TruthInferenceMethod(abc.ABC):
         golden: Mapping[int, float] | None = None,
         initial_quality: np.ndarray | None = None,
         warm_start: InferenceResult | None = None,
+        seed_posterior: np.ndarray | None = None,
+        shard_runner=None,
     ) -> InferenceResult:
         """Infer truths and worker qualities from an answer set.
 
@@ -101,6 +133,20 @@ class TruthInferenceMethod(abc.ABC):
             keep their fitted parameters, new ones are seeded from
             majority voting or neutral defaults — and typically converge
             in a handful of iterations.  Ignored by other methods.
+        seed_posterior:
+            Optional ``(n_tasks, n_choices)`` truth posterior a cold fit
+            starts from *in place of* the majority-vote posterior it
+            would compute itself (same values, shared across methods —
+            see :class:`repro.engine.batch.BatchRunner`).  Lower
+            precedence than ``warm_start`` and ``initial_quality``;
+            ignored by methods without ``supports_seed_posterior``.
+        shard_runner:
+            Optional pre-built shard runner (e.g. a process-pool runner
+            over shared-memory shards from
+            :mod:`repro.engine.sharded`) that sharded EM methods use in
+            place of the serial runner they would build from
+            ``n_shards``.  Ignored by methods without
+            ``supports_sharding``.
         """
         if answers.task_type not in self.task_types:
             raise TaskTypeMismatchError(
@@ -124,6 +170,18 @@ class TruthInferenceMethod(abc.ABC):
             if warm_start is not None:
                 self._validate_warm_start(warm_start, answers)
             extra_kwargs["warm_start"] = warm_start
+        if self.supports_seed_posterior:
+            if seed_posterior is not None:
+                seed_posterior = np.asarray(seed_posterior, dtype=np.float64)
+                expected = (answers.n_tasks, answers.n_choices)
+                if seed_posterior.shape != expected:
+                    raise ValueError(
+                        f"seed_posterior must have shape {expected}, "
+                        f"got {seed_posterior.shape}"
+                    )
+            extra_kwargs["seed_posterior"] = seed_posterior
+        if self.supports_sharding:
+            extra_kwargs["shard_runner"] = shard_runner
 
         rng = np.random.default_rng(self.seed)
         started = time.perf_counter()
@@ -179,6 +237,47 @@ class TruthInferenceMethod(abc.ABC):
                 )
 
     # ------------------------------------------------------------------
+    # Sharded map-reduce EM (methods with supports_sharding = True)
+    # ------------------------------------------------------------------
+    def make_em_spec(self, n_tasks: int, n_workers: int, n_choices: int):
+        """Build this method's :class:`~repro.inference.sharded.ShardedEMSpec`.
+
+        Only meaningful for methods with ``supports_sharding = True``;
+        the spec depends solely on global sizes and constructor
+        configuration, so worker processes can rebuild it from the
+        registry (``create(name, **kwargs).make_em_spec(...)``).
+        """
+        raise NotImplementedError(
+            f"{self.name} does not express its EM as sharded statistics"
+        )
+
+    @contextlib.contextmanager
+    def _shard_runner(self, answers: AnswerSet, shard_runner=None):
+        """Yield the shard runner a sharded ``_fit`` should use.
+
+        An externally supplied runner (e.g. the process-pool runner from
+        :mod:`repro.engine.sharded`) wins; otherwise the answers are
+        partitioned into ``self.n_shards`` task ranges and run serially,
+        or on a transient thread pool when ``shard_workers > 1``.
+        """
+        if shard_runner is not None:
+            yield shard_runner
+            return
+        from ..inference.sharded import make_runner
+
+        spec = self.make_em_spec(
+            n_tasks=answers.n_tasks,
+            n_workers=answers.n_workers,
+            n_choices=answers.n_choices,
+        )
+        if self.n_shards > 1 and self.shard_workers > 1:
+            with ThreadPoolExecutor(
+                    max_workers=min(self.shard_workers, self.n_shards)
+            ) as pool:
+                yield make_runner(answers, spec, self.n_shards, pool=pool)
+        else:
+            yield make_runner(answers, spec, self.n_shards)
+
     @abc.abstractmethod
     def _fit(
         self,

@@ -40,14 +40,23 @@ def create(name: str, **kwargs) -> TruthInferenceMethod:
     Extra keyword arguments are forwarded to the method constructor
     (e.g. ``seed=0``, ``max_iter=50``).
     """
+    return method_class(name)(**kwargs)
+
+
+def method_class(name: str) -> Callable[..., TruthInferenceMethod]:
+    """The registered factory (class) for a method name, uninstantiated.
+
+    Lets callers inspect class-level capability flags
+    (``supports_sharding``, ``supports_seed_posterior``, ...) without
+    building an instance.
+    """
     _ensure_loaded()
     try:
-        factory = _REGISTRY[name]
+        return _REGISTRY[name]
     except KeyError:
         raise UnknownMethodError(
             f"unknown method {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
-    return factory(**kwargs)
 
 
 def methods_for_task_type(task_type: TaskType,

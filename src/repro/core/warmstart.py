@@ -17,14 +17,31 @@ The helpers here implement the expansions the iterative methods share:
   per-worker parameter vectors padded with a fill value;
 * :func:`diagonal_confusion` — fresh confusion matrices for workers that
   appeared after the previous fit.
+
+Streams can also grow their **label space** (a value never seen before
+arrives).  Label codes are append-only just like task/worker indices, so
+fitted state expands along the choice axis the same way it does along
+the task/worker axes: :func:`pad_posterior_labels`,
+:func:`pad_confusion_labels` and :func:`pad_class_prior` give unseen
+labels a small but non-zero probability mass (a hard zero would be
+irrecoverable under multiplicative EM updates), and
+:func:`pad_result_labels` applies all three to a cached
+:class:`~repro.core.result.InferenceResult` so the engine can warm-start
+across label growth instead of falling back to a cold refit.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
 from .answers import AnswerSet
 from .framework import normalize_rows
+from .result import InferenceResult
+
+#: Probability mass initially granted to a newly discovered label.
+LABEL_PAD_EPSILON = 1e-3
 
 
 def expand_posterior(previous: np.ndarray, answers: AnswerSet) -> np.ndarray:
@@ -87,6 +104,94 @@ def _expand_vector(previous: np.ndarray, size: int,
         out = fill_arr.astype(np.float64).copy()
     out[: len(previous)] = previous
     return out
+
+
+def pad_posterior_labels(posterior: np.ndarray, n_choices: int,
+                         epsilon: float = LABEL_PAD_EPSILON) -> np.ndarray:
+    """Expand a truth posterior along the label axis.
+
+    New labels receive ``epsilon`` mass and every row is renormalised,
+    so previously fitted beliefs survive (slightly discounted) while
+    the new labels stay reachable by the next E-step.
+    """
+    posterior = np.asarray(posterior, dtype=np.float64)
+    if posterior.ndim != 2:
+        raise ValueError("posterior must be 2-D (n_tasks, n_choices)")
+    grown = n_choices - posterior.shape[1]
+    if grown < 0:
+        raise ValueError(
+            f"posterior already has {posterior.shape[1]} labels, cannot "
+            f"shrink to {n_choices}; label codes are append-only"
+        )
+    if grown == 0:
+        return posterior.copy()
+    out = np.full((posterior.shape[0], n_choices), epsilon)
+    out[:, : posterior.shape[1]] = posterior
+    return normalize_rows(out)
+
+
+def pad_class_prior(prior: np.ndarray, n_choices: int,
+                    epsilon: float = LABEL_PAD_EPSILON) -> np.ndarray:
+    """Expand a class prior with ``epsilon`` mass per new label."""
+    prior = np.asarray(prior, dtype=np.float64)
+    grown = n_choices - len(prior)
+    if grown < 0:
+        raise ValueError("label codes are append-only; cannot shrink prior")
+    if grown == 0:
+        return prior.copy()
+    out = np.concatenate([prior, np.full(grown, epsilon)])
+    return out / out.sum()
+
+
+def pad_confusion_labels(confusion: np.ndarray, n_choices: int,
+                         epsilon: float = LABEL_PAD_EPSILON) -> np.ndarray:
+    """Expand ``(n_workers, l, l)`` confusion matrices to a grown label
+    space.
+
+    Existing truth rows get ``epsilon`` mass on the new answer columns;
+    new truth rows start uniform (the worker's behaviour on a label
+    nobody had seen is unknown).  All rows are renormalised.
+    """
+    confusion = np.asarray(confusion, dtype=np.float64)
+    if confusion.ndim != 3 or confusion.shape[1] != confusion.shape[2]:
+        raise ValueError("confusion must have shape (n_workers, l, l)")
+    old = confusion.shape[1]
+    if n_choices < old:
+        raise ValueError("label codes are append-only; cannot shrink "
+                         "confusion matrices")
+    if n_choices == old:
+        return confusion.copy()
+    out = np.full((confusion.shape[0], n_choices, n_choices), epsilon)
+    out[:, :old, :old] = confusion
+    out[:, old:, :] = 1.0 / n_choices
+    out /= out.sum(axis=2, keepdims=True)
+    return out
+
+
+def pad_result_labels(result: InferenceResult,
+                      n_choices: int) -> InferenceResult:
+    """A copy of ``result`` expanded to a grown label space.
+
+    Pads the posterior and the label-indexed extras (``confusion``,
+    ``class_prior``) so the copy satisfies the warm-start contract of a
+    snapshot with ``n_choices`` labels; everything else is shared.
+    """
+    if result.posterior is None:
+        raise ValueError(
+            "cannot pad a result without a posterior across label growth"
+        )
+    extras = dict(result.extras)
+    if extras.get("confusion") is not None:
+        extras["confusion"] = pad_confusion_labels(
+            extras["confusion"], n_choices)
+    if extras.get("class_prior") is not None:
+        extras["class_prior"] = pad_class_prior(
+            extras["class_prior"], n_choices)
+    return dataclasses.replace(
+        result,
+        posterior=pad_posterior_labels(result.posterior, n_choices),
+        extras=extras,
+    )
 
 
 def neutral_accuracy(previous_quality: np.ndarray) -> float:

@@ -15,7 +15,12 @@ scratch.  This package adds the online layer:
   ``add_answers(...)`` / ``current_truth(...)`` round trips, refitting
   *warm* whenever it can;
 * :class:`~repro.engine.batch.BatchRunner` — a :mod:`concurrent.futures`
-  fan-out for the (dataset, method) grids the comparison experiments run.
+  fan-out for the (dataset, method) grids the comparison experiments run,
+  over threads or processes, seeding every cold fit from one shared
+  majority-vote posterior per dataset;
+* :class:`~repro.engine.sharded.ShardedInferenceEngine` /
+  :class:`~repro.engine.sharded.ProcessShardRunner` — the multi-core
+  sharded-EM tier (see below).
 
 Streaming protocol
 ------------------
@@ -28,10 +33,34 @@ previous :class:`~repro.core.result.InferenceResult` via
 ``fit(answers, warm_start=...)``, keep the fitted parameters of known
 tasks/workers, seed newly arrived tasks from majority voting (and new
 workers from neutral defaults), and resume the two-step iteration — which
-then converges in a handful of iterations instead of tens.  Growing the
-*label space* breaks index compatibility, so the engine silently falls
-back to a cold fit in that case (fix ``n_choices``/``label_order`` up
-front to avoid it).
+then converges in a handful of iterations instead of tens.  Label codes
+are append-only too, so a *grown label space* also warm-starts: the
+engine pads the cached posterior/confusion state with a small seed mass
+for the new labels (:func:`~repro.core.warmstart.pad_result_labels`)
+instead of refitting cold.
+
+Shard/merge protocol
+--------------------
+Every EM method above is expressed as **mergeable sufficient
+statistics** over contiguous task-range shards
+(:mod:`repro.inference.sharded`): E-steps map over shards (each task's
+posterior depends only on that task's answers), M-steps run
+``accumulate(shard, posterior_block) → SufficientStats`` per shard,
+``merge`` the bundles by field-wise addition, and ``finalize`` the
+totals into global parameters.  One shard *is* the plain fit,
+bit-for-bit.  Execution tiers:
+
+* **serial / threads** — ``create(method, n_shards=..,
+  shard_workers=..)``; cheap, in-process, identical numbers;
+* **processes** — :class:`~repro.engine.sharded.ProcessShardRunner`
+  puts the answer arrays in :mod:`multiprocessing.shared_memory` and
+  dispatches the phases to a ``ProcessPoolExecutor``; prefer it for
+  large inputs on multi-core hosts, where thread tiers stall on the
+  GIL-holding NumPy kernels.  GLAD trades one message round per
+  gradient step, so it needs bigger shards than the one-round-trip
+  statistics methods before processes win.
+  :class:`~repro.engine.sharded.ShardedInferenceEngine` applies exactly
+  that policy automatically.
 
 Example
 -------
@@ -53,11 +82,14 @@ True
 
 from .batch import BatchJob, BatchRunner
 from .engine import InferenceEngine
+from .sharded import ProcessShardRunner, ShardedInferenceEngine
 from .stream import StreamingAnswerSet
 
 __all__ = [
     "BatchJob",
     "BatchRunner",
     "InferenceEngine",
+    "ProcessShardRunner",
+    "ShardedInferenceEngine",
     "StreamingAnswerSet",
 ]

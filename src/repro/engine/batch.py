@@ -4,19 +4,34 @@ The comparison experiments (Table 6 and the sweeps) run many independent
 ``method × dataset`` fits; :class:`BatchRunner` fans them across a
 :mod:`concurrent.futures` executor.  NumPy releases the GIL inside the
 heavy array kernels, so the default thread pool already overlaps most of
-the work without any pickling cost; results come back in job order and
-the first worker exception propagates to the caller.
+the work without any pickling cost; ``executor="process"`` switches to a
+:class:`~concurrent.futures.ProcessPoolExecutor` for grids dominated by
+GIL-holding kernels (the GLAD-heavy ones).  Results come back in job
+order and the first worker exception propagates to the caller.
+
+Cold fits of every categorical EM method start from the majority-vote
+posterior.  The runner computes that posterior **once per dataset** and
+seeds every method that accepts it (``supports_seed_posterior``) instead
+of letting each fit recompute identical vote counts — a pure dedup: the
+seeded values are exactly what the methods would have derived.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from ..datasets.schema import Dataset
 from ..experiments.runner import MethodRun, run_method
+
+_EXECUTORS = {
+    "thread": ThreadPoolExecutor,
+    "process": ProcessPoolExecutor,
+}
 
 
 @dataclasses.dataclass
@@ -29,6 +44,9 @@ class BatchJob:
     golden: Mapping[int, float] | None = None
     initial_quality: object = None
     method_kwargs: dict | None = None
+    #: Optional shared majority-vote posterior to seed a cold fit from;
+    #: filled in by :meth:`BatchRunner.run` when left as ``None``.
+    seed_posterior: np.ndarray | None = None
 
 
 class BatchRunner:
@@ -41,22 +59,60 @@ class BatchRunner:
     executor_factory:
         Callable returning a :class:`concurrent.futures.Executor` when
         invoked with ``max_workers=...``.  Defaults to
-        :class:`ThreadPoolExecutor`; swap in a process pool for
-        pickle-friendly CPU-bound workloads that do not vectorise.
+        :class:`ThreadPoolExecutor`.
+    executor:
+        Convenience selector overriding ``executor_factory``:
+        ``"thread"`` or ``"process"``.  Process pools pay pickling of
+        datasets/results but overlap GIL-bound kernels on real cores.
+    share_mv_seed:
+        Compute the majority-vote posterior once per (categorical)
+        dataset and seed every supporting method's cold fit from it.
     """
 
     def __init__(self, max_workers: int | None = None,
-                 executor_factory=ThreadPoolExecutor) -> None:
+                 executor_factory=ThreadPoolExecutor,
+                 executor: str | None = None,
+                 share_mv_seed: bool = True) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if executor is not None:
+            if executor not in _EXECUTORS:
+                raise ValueError(
+                    f"executor must be one of {sorted(_EXECUTORS)}, "
+                    f"got {executor!r}"
+                )
+            executor_factory = _EXECUTORS[executor]
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.executor_factory = executor_factory
+        self.share_mv_seed = share_mv_seed
+
+    # ------------------------------------------------------------------
+    def _seed_posteriors(self, jobs: Sequence[BatchJob]) -> None:
+        """Fill ``job.seed_posterior`` from a per-dataset MV cache."""
+        from ..core.framework import normalize_rows
+        from ..core.registry import method_class
+
+        cache: dict[int, np.ndarray] = {}
+        for job in jobs:
+            if job.seed_posterior is not None:
+                continue
+            if not job.dataset.task_type.is_categorical:
+                continue
+            if not getattr(method_class(job.method),
+                           "supports_seed_posterior", False):
+                continue
+            key = id(job.dataset)
+            if key not in cache:
+                cache[key] = normalize_rows(job.dataset.answers.vote_counts())
+            job.seed_posterior = cache[key]
 
     def run(self, jobs: Sequence[BatchJob]) -> list[MethodRun]:
         """Execute all jobs; results are returned in job order."""
         jobs = list(jobs)
         if not jobs:
             return []
+        if self.share_mv_seed:
+            self._seed_posteriors(jobs)
         if len(jobs) == 1 or self.max_workers == 1:
             return [self._run_one(job) for job in jobs]
         with self.executor_factory(max_workers=self.max_workers) as pool:
@@ -72,6 +128,7 @@ class BatchRunner:
             golden=job.golden,
             initial_quality=job.initial_quality,
             method_kwargs=job.method_kwargs,
+            seed_posterior=job.seed_posterior,
         )
 
     def run_grid(
@@ -79,12 +136,14 @@ class BatchRunner:
         datasets: Iterable[Dataset],
         methods: Iterable[str] | None = None,
         seed: int = 0,
+        n_shards: int | None = None,
     ) -> list[MethodRun]:
         """Cross every dataset with every applicable method and run all.
 
         Methods inapplicable to a dataset's task type are skipped, like
         the '×' cells of the paper's Table 6.  With ``methods=None`` each
         dataset gets every registered method for its task type.
+        ``n_shards`` turns on sharded EM for the methods that support it.
         """
         from ..core.registry import methods_for_task_type
 
@@ -93,6 +152,20 @@ class BatchRunner:
             applicable = methods_for_task_type(dataset.task_type)
             selected = (applicable if methods is None
                         else [m for m in methods if m in applicable])
-            jobs.extend(BatchJob(dataset=dataset, method=name, seed=seed)
-                        for name in selected)
+            jobs.extend(
+                BatchJob(dataset=dataset, method=name, seed=seed,
+                         method_kwargs=_sharding_kwargs(name, n_shards))
+                for name in selected
+            )
         return self.run(jobs)
+
+
+def _sharding_kwargs(method: str, n_shards: int | None) -> dict | None:
+    """``{"n_shards": n}`` when the method supports sharded EM."""
+    from ..core.registry import method_class
+
+    if not n_shards or n_shards <= 1:
+        return None
+    if not getattr(method_class(method), "supports_sharding", False):
+        return None
+    return {"n_shards": n_shards}

@@ -9,10 +9,14 @@ fresh fit is needed at all, and whether it can be *warm* — resumed from
 the cached posterior/parameters of the previous fit — instead of cold.
 
 A warm refit is attempted when the method supports it
-(``supports_warm_start``), the stream only grew (append-only is
-guaranteed by the stream) and the label space is unchanged.  Methods
-without warm-start support simply refit cold; results are correct either
-way, warmth only changes the iteration count.
+(``supports_warm_start``) and the stream only grew (append-only is
+guaranteed by the stream).  Label-space growth no longer forces a cold
+refit: label codes are append-only too, so the cached state is padded
+along the choice axis (:func:`~repro.core.warmstart.pad_result_labels`)
+and the iteration resumes — new labels start with a small seed mass and
+earn their posterior like any other parameter.  Methods without
+warm-start support simply refit cold; results are correct either way,
+warmth only changes the iteration count.
 """
 
 from __future__ import annotations
@@ -20,9 +24,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, Sequence
 
-from ..core.registry import create
+from ..core.registry import create, method_class
 from ..core.result import InferenceResult
 from ..core.tasktypes import TaskType
+from ..core.warmstart import pad_result_labels
 from .stream import StreamingAnswerSet
 
 
@@ -51,6 +56,11 @@ class InferenceEngine:
     seed:
         Seed forwarded to every method instantiation, so repeated fits
         are reproducible.
+    n_shards, shard_workers:
+        Sharded-EM knobs forwarded to methods that support them
+        (``supports_sharding``): partition each fit into ``n_shards``
+        task ranges, optionally mapped over ``shard_workers`` threads.
+        Methods without sharding support ignore both.
 
     Example
     -------
@@ -68,6 +78,8 @@ class InferenceEngine:
         label_order: Sequence | None = None,
         on_duplicate: str = "keep",
         seed: int | None = 0,
+        n_shards: int = 1,
+        shard_workers: int = 0,
     ) -> None:
         self.stream = StreamingAnswerSet(
             task_type=task_type,
@@ -76,6 +88,8 @@ class InferenceEngine:
             on_duplicate=on_duplicate,
         )
         self.seed = seed
+        self.n_shards = n_shards
+        self.shard_workers = shard_workers
         self._cache: dict[str, _CachedFit] = {}
 
     # ------------------------------------------------------------------
@@ -111,13 +125,21 @@ class InferenceEngine:
                 and cached.method_kwargs == method_kwargs):
             return cached.result
 
-        instance = create(method, seed=self.seed, **method_kwargs)
+        create_kwargs = dict(method_kwargs)
+        if self.n_shards > 1 and getattr(method_class(method),
+                                         "supports_sharding", False):
+            create_kwargs.setdefault("n_shards", self.n_shards)
+            create_kwargs.setdefault("shard_workers", self.shard_workers)
+        instance = create(method, seed=self.seed, **create_kwargs)
         warm = None
         if (not force_cold
                 and cached is not None
                 and instance.supports_warm_start
                 and cached.method_kwargs == method_kwargs
-                and cached.n_choices == snapshot.n_choices
+                # Label codes are append-only, so a grown label space
+                # warm-starts too (cached state padded below); a shrunk
+                # one is impossible by construction.
+                and cached.n_choices <= snapshot.n_choices
                 and cached.n_tasks <= snapshot.n_tasks
                 and cached.n_workers <= snapshot.n_workers
                 # In-place replacements since the cached fit contradict
@@ -125,6 +147,13 @@ class InferenceEngine:
                 # stream satisfies the warm-start contract.
                 and cached.replacements == self.stream.replacements):
             warm = cached.result
+            if (cached.n_choices < snapshot.n_choices
+                    and warm.posterior is not None):
+                # Dynamic-label warm start: pad the cached posterior /
+                # confusion state with seed mass for the new labels.
+                warm = pad_result_labels(warm, snapshot.n_choices)
+            elif cached.n_choices < snapshot.n_choices:
+                warm = None  # no posterior to pad: refit cold
         result = instance.fit(snapshot, warm_start=warm)
         self._cache[method] = _CachedFit(
             version=self.stream.version,

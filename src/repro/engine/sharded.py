@@ -1,0 +1,340 @@
+"""Process-parallel sharded inference over shared-memory answer arrays.
+
+:mod:`repro.inference.sharded` runs the map-reduce EM phases serially or
+on a thread pool; NumPy holds the GIL through most of the kernels, so
+threads cap out quickly.  This module is the true multi-core path:
+
+* :class:`ProcessShardRunner` — places the task-sorted answer arrays in
+  :mod:`multiprocessing.shared_memory` once, spawns a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, and dispatches the
+  spec phases (``init_block`` / ``accumulate`` / ``e_block`` /
+  ``grad_step``) to worker processes that rebuild their shard views and
+  method spec from the shared arrays.  Only small things cross the
+  pipe: phase names, model parameters, posterior blocks and partial
+  statistics — never the answers.
+* :class:`ShardedInferenceEngine` — a facade that picks the execution
+  tier per fit: **threads (or the serial path) for small inputs**,
+  where process spin-up would dominate, and **processes for large
+  ones** when real cores are available.
+
+When to prefer processes over threads
+-------------------------------------
+The per-iteration phase payloads are a few posterior blocks and
+parameter vectors, so process fan-out amortises well for methods whose
+per-shard work is one heavy kernel per phase (D&S/LFC/ZC/LFC_N: one
+``accumulate`` + one ``e_block`` round-trip per EM iteration).  GLAD
+exchanges gradients every ascent step (``gradient_steps`` round-trips
+per iteration), so it needs larger shards before processes beat the
+in-process path.  On a single-core host processes only add overhead —
+the engine's ``auto`` mode stays in-process there.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+from ..core.answers import AnswerSet
+from ..core.registry import create, method_class
+from ..core.result import InferenceResult
+from ..core.shards import AnswerShard, ShardedAnswerSet
+from ..inference.sharded import SerialShardRunner
+
+__all__ = ["ProcessShardRunner", "ShardedInferenceEngine"]
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+_WORKER_CTX: dict = {}
+
+
+def _attach(name: str, dtype: str, length: int):
+    """Attach a shared-memory block as a numpy array.
+
+    Pool workers share the parent's resource tracker, where the block is
+    already registered (registration is a set, so the attach-side
+    duplicate is a no-op); the parent unlinks it exactly once in
+    :meth:`ProcessShardRunner.close`.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    arr = np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf)
+    return shm, arr
+
+
+def _worker_init(descriptor: dict) -> None:
+    shms = []
+    arrays = {}
+    for field in ("tasks", "workers", "values"):
+        name, dtype, length = descriptor[field]
+        shm, arr = _attach(name, dtype, length)
+        shms.append(shm)
+        arrays[field] = arr
+    shards = []
+    for k, ((lo, hi), (start, stop)) in enumerate(
+            zip(descriptor["answer_bounds"], descriptor["task_ranges"])):
+        shards.append(AnswerShard(
+            tasks=arrays["tasks"][lo:hi],
+            workers=arrays["workers"][lo:hi],
+            values=arrays["values"][lo:hi],
+            task_start=start,
+            task_stop=stop,
+            n_tasks=descriptor["n_tasks"],
+            n_workers=descriptor["n_workers"],
+            n_choices=descriptor["n_choices"],
+            index=k,
+        ))
+    method = create(descriptor["method"], **descriptor["method_kwargs"])
+    spec = method.make_em_spec(
+        n_tasks=descriptor["n_tasks"],
+        n_workers=descriptor["n_workers"],
+        n_choices=descriptor["n_choices"],
+    )
+    _WORKER_CTX["shms"] = shms  # keep the mappings alive
+    _WORKER_CTX["shards"] = shards
+    _WORKER_CTX["spec"] = spec
+
+
+def _worker_phase(k: int, phase: str, args: tuple):
+    spec = _WORKER_CTX["spec"]
+    shard = _WORKER_CTX["shards"][k]
+    return getattr(spec, phase)(shard, spec.shard_ops(shard), *args)
+
+
+# ----------------------------------------------------------------------
+# Master side
+# ----------------------------------------------------------------------
+class ProcessShardRunner(SerialShardRunner):
+    """Shard runner dispatching spec phases to a process pool.
+
+    The master keeps its own spec instance (for ``finalize`` and M-step
+    orchestration) and the full :class:`ShardedAnswerSet`; workers hold
+    shard *views* over the shared-memory arrays plus their own spec
+    rebuilt from the method registry, with per-shard operators cached
+    across iterations.  Use as a context manager — or call
+    :meth:`close` — to shut the pool down and unlink the shared blocks.
+    """
+
+    def __init__(self, answers: AnswerSet, method: str,
+                 method_kwargs: Mapping | None = None, n_shards: int = 4,
+                 max_workers: int | None = None) -> None:
+        instance = create(method, **(method_kwargs or {}))
+        if not instance.supports_sharding:
+            raise ValueError(
+                f"{method} does not support sharded EM"
+            )
+        sharded = ShardedAnswerSet(answers, n_shards)
+        spec = instance.make_em_spec(
+            n_tasks=answers.n_tasks,
+            n_workers=answers.n_workers,
+            n_choices=answers.n_choices,
+        )
+        super().__init__(spec, sharded.shards)
+        self.sharded = sharded
+
+        flat = {
+            "tasks": sharded.flat_tasks,
+            "workers": sharded.flat_workers,
+            "values": sharded.flat_values,
+        }
+        self._shms: list[shared_memory.SharedMemory] = []
+        descriptor: dict = {
+            "n_tasks": answers.n_tasks,
+            "n_workers": answers.n_workers,
+            "n_choices": answers.n_choices,
+            "method": method,
+            "method_kwargs": dict(method_kwargs or {}),
+            "task_ranges": sharded.task_ranges,
+        }
+        bounds = []
+        offset = 0
+        for shard in sharded.shards:
+            bounds.append((offset, offset + shard.n_answers))
+            offset += shard.n_answers
+        descriptor["answer_bounds"] = bounds
+        try:
+            for field, arr in flat.items():
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(arr.nbytes, 1))
+                self._shms.append(shm)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[:] = arr
+                descriptor[field] = (shm.name, arr.dtype.str, len(arr))
+        except Exception:
+            # Don't leak already-created segments (e.g. /dev/shm full on
+            # the second block): __init__ never returns, so close()
+            # would be unreachable.
+            self._release_shms()
+            raise
+
+        workers = max_workers or min(self.n_shards, os.cpu_count() or 1)
+        self.max_workers = max(1, min(workers, self.n_shards))
+        # One single-worker pool per slot, with shard k pinned to pool
+        # k % max_workers: specs keep *state* per shard (cached scatter
+        # operators, GLAD's per-M-step match cache), so every phase of a
+        # shard must land in the same process.  Anonymous pool workers
+        # would scatter that state — and rebuild the operators — all
+        # over the pool.
+        self._pools = [
+            ProcessPoolExecutor(max_workers=1, initializer=_worker_init,
+                                initargs=(descriptor,))
+            for _ in range(self.max_workers)
+        ]
+        self._closed = False
+
+    def call(self, phase: str, per_shard=None, shared: tuple = ()) -> list:
+        futures = []
+        for k in range(self.n_shards):
+            args: tuple = ()
+            if per_shard is not None:
+                entry = per_shard[k]
+                args = entry if isinstance(entry, tuple) else (entry,)
+            futures.append(self._pools[k % self.max_workers].submit(
+                _worker_phase, k, phase, args + shared))
+        return [future.result() for future in futures]
+
+    def _release_shms(self) -> None:
+        for shm in self._shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # already unlinked elsewhere
+                pass
+        self._shms = []
+
+    def close(self) -> None:
+        """Shut down the pools and release the shared-memory blocks."""
+        if self._closed:
+            return
+        self._closed = True
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+        self._release_shms()
+
+    def __enter__(self) -> "ProcessShardRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ShardedInferenceEngine:
+    """One-shot sharded fits with automatic thread/process placement.
+
+    Parameters
+    ----------
+    n_shards:
+        Task-range shards per fit (default: the larger of 2 and the
+        core count, capped at 8).
+    max_workers:
+        Pool width; defaults to ``min(n_shards, cpu_count)``.
+    executor:
+        ``"auto"`` (default) — processes when the input is at least
+        ``process_threshold`` answers *and* more than one core is
+        available, otherwise the in-process sharded path;
+        ``"process"`` / ``"thread"`` / ``"serial"`` force a tier.
+    process_threshold:
+        Answer count above which ``auto`` reaches for processes.
+    seed:
+        Seed forwarded to method construction, as in
+        :class:`~repro.engine.engine.InferenceEngine`.
+
+    Example
+    -------
+    >>> engine = ShardedInferenceEngine(n_shards=4, executor="serial")
+    >>> # result = engine.fit(answers, "D&S")
+    """
+
+    _MODES = ("auto", "process", "thread", "serial")
+
+    def __init__(self, n_shards: int | None = None,
+                 max_workers: int | None = None, executor: str = "auto",
+                 process_threshold: int = 200_000,
+                 seed: int | None = 0) -> None:
+        if executor not in self._MODES:
+            raise ValueError(
+                f"executor must be one of {self._MODES}, got {executor!r}"
+            )
+        if n_shards is not None and n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        cpus = os.cpu_count() or 1
+        self.n_shards = n_shards or max(2, min(8, cpus))
+        self.max_workers = max_workers
+        self.executor = executor
+        self.process_threshold = process_threshold
+        self.seed = seed
+        #: Execution tier of the most recent fit ("process"/"thread"/
+        #: "serial"), for introspection and tests.
+        self.last_mode: str | None = None
+
+    # ------------------------------------------------------------------
+    def _resolve_mode(self, answers: AnswerSet) -> str:
+        if self.executor != "auto":
+            return self.executor
+        cpus = os.cpu_count() or 1
+        if answers.n_answers >= self.process_threshold and cpus > 1:
+            return "process"
+        # Small inputs default to threads whenever there is anything to
+        # overlap on; a single-core host falls back to the serial path.
+        if (self.max_workers or 0) > 1 or cpus > 1:
+            return "thread"
+        return "serial"
+
+    def fit(
+        self,
+        answers: AnswerSet,
+        method: str = "D&S",
+        golden: Mapping[int, float] | None = None,
+        initial_quality: np.ndarray | None = None,
+        warm_start: InferenceResult | None = None,
+        seed_posterior: np.ndarray | None = None,
+        **method_kwargs,
+    ) -> InferenceResult:
+        """Fit ``method`` on ``answers`` with sharded EM.
+
+        The result is identical (to within float merge order; bit-equal
+        between tiers at equal ``n_shards``) whichever tier executes it.
+        """
+        if not method_class(method).supports_sharding:
+            raise ValueError(
+                f"{method} does not support sharded EM; use the plain "
+                f"fit path instead"
+            )
+        mode = self._resolve_mode(answers)
+        self.last_mode = mode
+        fit_kwargs = dict(
+            golden=golden,
+            initial_quality=initial_quality,
+            warm_start=warm_start,
+            seed_posterior=seed_posterior,
+        )
+        if mode == "process":
+            # One kwargs dict for every construction site (the fitting
+            # instance here, the runner's master spec, the worker-side
+            # rebuilds), so a spec that ever depends on constructor
+            # state — seed included — cannot diverge between tiers.
+            runner_kwargs = {"seed": self.seed, **method_kwargs}
+            instance = create(method, **runner_kwargs)
+            with ProcessShardRunner(
+                    answers, method, runner_kwargs,
+                    n_shards=self.n_shards,
+                    max_workers=self.max_workers) as runner:
+                return instance.fit(answers, shard_runner=runner,
+                                    **fit_kwargs)
+        shard_workers = 0
+        if mode == "thread":
+            # A forced thread tier must actually thread, even when the
+            # pool width was left to default.
+            shard_workers = self.max_workers or min(
+                self.n_shards, max(2, os.cpu_count() or 1))
+        instance = create(method, seed=self.seed, n_shards=self.n_shards,
+                          shard_workers=shard_workers, **method_kwargs)
+        return instance.fit(answers, **fit_kwargs)
+
+    def __repr__(self) -> str:
+        return (f"ShardedInferenceEngine(n_shards={self.n_shards}, "
+                f"executor={self.executor!r})")

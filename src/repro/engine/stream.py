@@ -178,6 +178,11 @@ class StreamingAnswerSet:
                 self._values[slot] = coded
                 self._version += 1
                 self._replacements += 1
+                # The cached snapshot predates this in-place mutation;
+                # drop it explicitly rather than relying on the version
+                # key alone, so replace-after-snapshot can never serve
+                # the overwritten value.
+                self._snapshot_cache = None
                 return (slot, old)
             self._pair_slot[pair] = len(self._tasks)
         self._tasks.append(task_idx)

@@ -14,7 +14,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from ..core.registry import create, methods_for_task_type
+from ..core.registry import create, method_class, methods_for_task_type
 from ..datasets.schema import Dataset
 
 
@@ -37,15 +37,29 @@ def run_method(
     golden: Mapping[int, float] | None = None,
     initial_quality: np.ndarray | None = None,
     method_kwargs: dict | None = None,
+    seed_posterior: np.ndarray | None = None,
+    n_shards: int | None = None,
+    shard_workers: int | None = None,
 ) -> MethodRun:
     """Run one method on one dataset and score it.
 
     With ``golden`` supplied, scoring excludes the golden tasks
-    (hidden-test protocol: evaluate on ``T − T'``).
+    (hidden-test protocol: evaluate on ``T − T'``).  ``seed_posterior``
+    forwards a shared majority-vote posterior to methods that accept
+    one; ``n_shards``/``shard_workers`` turn on sharded EM for methods
+    that support it (ignored for the rest, so grids can set them
+    globally).
     """
-    method = create(method_name, seed=seed, **(method_kwargs or {}))
+    kwargs = dict(method_kwargs or {})
+    if n_shards and n_shards > 1 and getattr(
+            method_class(method_name), "supports_sharding", False):
+        kwargs.setdefault("n_shards", n_shards)
+        if shard_workers:
+            kwargs.setdefault("shard_workers", shard_workers)
+    method = create(method_name, seed=seed, **kwargs)
     result = method.fit(dataset.answers, golden=golden,
-                        initial_quality=initial_quality)
+                        initial_quality=initial_quality,
+                        seed_posterior=seed_posterior)
     exclude = set(int(t) for t in golden) if golden else None
     scores = dataset.score(result, exclude=exclude)
     return MethodRun(
@@ -63,23 +77,50 @@ def run_many(
     method_names: Iterable[str] | None = None,
     seed: int = 0,
     max_workers: int | None = None,
+    n_shards: int | None = None,
+    executor: str | None = None,
     **kwargs,
 ) -> list[MethodRun]:
     """Run several methods (default: all applicable) on one dataset.
 
     With ``max_workers`` set, the fits fan out across the engine's
-    :class:`~repro.engine.batch.BatchRunner` thread pool instead of
-    running serially; results keep method order either way.
+    :class:`~repro.engine.batch.BatchRunner` pool (threads by default,
+    ``executor="process"`` for a process pool) instead of running
+    serially; results keep method order either way.  ``n_shards`` turns
+    on sharded EM for the methods that support it.
     """
     if method_names is None:
         method_names = methods_for_task_type(dataset.task_type)
+    # Materialise up front: the capability scans below iterate the
+    # names before the run loop does, which would drain a generator.
+    method_names = list(method_names)
     if max_workers is not None:
-        from ..engine.batch import BatchJob, BatchRunner
+        from ..engine.batch import BatchJob, BatchRunner, _sharding_kwargs
 
-        jobs = [BatchJob(dataset=dataset, method=name, seed=seed, **kwargs)
-                for name in method_names]
-        return BatchRunner(max_workers=max_workers).run(jobs)
-    return [run_method(name, dataset, seed=seed, **kwargs)
+        method_kwargs = kwargs.pop("method_kwargs", None) or {}
+        # Caller-supplied method_kwargs win over the grid-level default,
+        # matching run_method's setdefault on the serial path.
+        jobs = [
+            BatchJob(dataset=dataset, method=name, seed=seed,
+                     method_kwargs={**(_sharding_kwargs(name, n_shards)
+                                       or {}),
+                                    **method_kwargs},
+                     **kwargs)
+            for name in method_names
+        ]
+        return BatchRunner(max_workers=max_workers,
+                           executor=executor).run(jobs)
+    # Serial path: still share one majority-vote posterior per dataset
+    # across every method that can start from it.
+    seed_posterior = None
+    if dataset.task_type.is_categorical and any(
+            getattr(method_class(name), "supports_seed_posterior", False)
+            for name in method_names):
+        from ..core.framework import normalize_rows
+
+        seed_posterior = normalize_rows(dataset.answers.vote_counts())
+    return [run_method(name, dataset, seed=seed, n_shards=n_shards,
+                       seed_posterior=seed_posterior, **kwargs)
             for name in method_names]
 
 
@@ -88,6 +129,8 @@ def run_grid(
     methods: Iterable[str] | None = None,
     seed: int = 0,
     max_workers: int | None = None,
+    n_shards: int | None = None,
+    executor: str | None = None,
 ) -> list[MethodRun]:
     """Cross datasets with applicable methods, optionally in parallel.
 
@@ -97,8 +140,9 @@ def run_grid(
     """
     from ..engine.batch import BatchRunner
 
-    return BatchRunner(max_workers=max_workers or 1).run_grid(
-        datasets, methods=methods, seed=seed
+    return BatchRunner(max_workers=max_workers or 1,
+                       executor=executor).run_grid(
+        datasets, methods=methods, seed=seed, n_shards=n_shards
     )
 
 

@@ -15,12 +15,27 @@ from .distributions import (
 from .em import EMOutcome, run_em
 from .gibbs import GibbsResult, run_gibbs
 from .optimize import gradient_ascent, projected_simplex
+from .segops import BasedScatterAdd, SegmentSum
+from .sharded import (
+    SerialShardRunner,
+    ShardedEMSpec,
+    SufficientStats,
+    make_runner,
+    run_em_sharded,
+)
 from .variational import BetaPrior, expected_log_beta_counts, posterior_mean_accuracy
 
 __all__ = [
+    "BasedScatterAdd",
     "BetaPrior",
     "EMOutcome",
     "GibbsResult",
+    "SegmentSum",
+    "SerialShardRunner",
+    "ShardedEMSpec",
+    "SufficientStats",
+    "make_runner",
+    "run_em_sharded",
     "beta_expected_log",
     "chi_square_confidence",
     "dirichlet_expected_log",

@@ -1,0 +1,306 @@
+"""Sharded map-reduce EM: mergeable sufficient statistics over shards.
+
+The generic loop of :func:`repro.inference.em.run_em` closes its two
+steps over one global answer array.  This module is the partition-first
+re-expression of that loop:
+
+* the **E-step** maps over :class:`~repro.core.shards.AnswerShard`\\ s —
+  each shard computes the posterior block of its own task range from its
+  own answers (tasks are range-partitioned, so no cross-shard traffic);
+* the **M-step** maps ``accumulate(shard, posterior_block)`` over shards
+  to produce per-shard :class:`SufficientStats`, reduces them with
+  :meth:`SufficientStats.merge` (plain field-wise addition), and calls
+  ``finalize`` once on the merged totals to obtain global parameters.
+
+A method participates by providing a :class:`ShardedEMSpec` describing
+its statistics; :func:`run_em_sharded` supplies the control flow, warm
+starts, golden-task clamping and convergence tracking with exactly the
+semantics of :func:`~repro.inference.em.run_em`.  With one shard the
+computation reduces to the unsharded math bit-for-bit (the shard is the
+original arrays, and the :mod:`~repro.inference.segops` operators
+reproduce the scalar kernels' accumulation order exactly); with many
+shards only the merge order of worker-side partial sums differs, which
+perturbs posteriors at the last-ulp level (~1e-15 per iteration).
+
+Execution is pluggable: :class:`SerialShardRunner` runs shards in the
+calling thread or fans them over a thread pool;
+:class:`repro.engine.sharded.ProcessShardRunner` runs the same phases in
+worker processes over shared-memory answer arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+import functools
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.framework import (
+    DEFAULT_MAX_ITER,
+    DEFAULT_TOLERANCE,
+    ConvergenceTracker,
+    clamp_golden_posterior,
+)
+from ..core.shards import AnswerShard, ShardedAnswerSet
+from .em import EMOutcome
+
+__all__ = [
+    "SufficientStats",
+    "ShardedEMSpec",
+    "SerialShardRunner",
+    "majority_block",
+    "make_runner",
+    "run_em_sharded",
+]
+
+
+class SufficientStats:
+    """A bundle of mergeable M-step accumulators.
+
+    Holds named arrays (or scalars); :meth:`merge` adds field-wise.
+    Sufficiency is the method's contract: merging the per-shard bundles
+    must yield the same totals the unsharded M-step would compute (up to
+    float summation order).
+    """
+
+    __slots__ = ("fields",)
+
+    def __init__(self, **fields) -> None:
+        self.fields = fields
+
+    def __getitem__(self, name):
+        return self.fields[name]
+
+    def merge(self, other: "SufficientStats") -> "SufficientStats":
+        """Field-wise sum of two stats bundles (the reduce step)."""
+        if set(self.fields) != set(other.fields):
+            raise ValueError(
+                f"cannot merge stats with fields {sorted(self.fields)} "
+                f"and {sorted(other.fields)}"
+            )
+        return SufficientStats(
+            **{k: self.fields[k] + other.fields[k] for k in self.fields}
+        )
+
+    def __repr__(self) -> str:
+        return f"SufficientStats({', '.join(sorted(self.fields))})"
+
+
+class ShardedEMSpec(abc.ABC):
+    """Method-specific shard computations for :func:`run_em_sharded`.
+
+    Subclasses implement the four phase hooks; every hook receives the
+    shard plus the per-shard static operators built (once) by
+    :meth:`build_ops`.  Hooks must depend only on their arguments and
+    the spec's construction-time configuration, so the same spec can be
+    rebuilt inside worker processes.
+
+    ``m_step`` has a default map-reduce implementation over
+    ``accumulate``/``merge``/``finalize``; methods whose M-step is
+    itself iterative (GLAD's gradient ascent) override it and use the
+    runner for their inner map-reduce rounds.
+    """
+
+    #: Clamp applied to the assembled global state after every E-step
+    #: (and to the initial state): posterior-style by default, numeric
+    #: methods override with :func:`clamp_golden_values`.
+    golden_clamp = staticmethod(clamp_golden_posterior)
+
+    def __init__(self) -> None:
+        self._ops: dict[int, object] = {}
+
+    # -- static per-shard state ----------------------------------------
+    def shard_ops(self, shard: AnswerShard):
+        """Cached static operators for ``shard`` (built on first use)."""
+        ops = self._ops.get(shard.index)
+        if ops is None:
+            ops = self._ops[shard.index] = self.build_ops(shard)
+        return ops
+
+    @abc.abstractmethod
+    def build_ops(self, shard: AnswerShard):
+        """Build the frozen scatter/reduce operators for one shard."""
+
+    # -- phases --------------------------------------------------------
+    @abc.abstractmethod
+    def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
+        """Cold-start state block for the shard's task range (the
+        method's default initialisation, e.g. majority voting)."""
+
+    @abc.abstractmethod
+    def accumulate(self, shard: AnswerShard, ops,
+                   block: np.ndarray) -> SufficientStats:
+        """Map phase of the M-step: this shard's sufficient statistics
+        given its current posterior block."""
+
+    @abc.abstractmethod
+    def finalize(self, stats: SufficientStats):
+        """Reduce epilogue: merged statistics -> global parameters."""
+
+    @abc.abstractmethod
+    def e_block(self, shard: AnswerShard, ops, params) -> np.ndarray:
+        """E-step for one shard: global parameters -> posterior block
+        covering ``[shard.task_start, shard.task_stop)``."""
+
+    # -- control -------------------------------------------------------
+    def m_step(self, runner: "SerialShardRunner", blocks: Sequence[np.ndarray],
+               prev_params):
+        """One M-step: map ``accumulate``, reduce ``merge``, ``finalize``.
+
+        ``prev_params`` is the previous iteration's parameter object
+        (``None`` on the first iteration); the default statistics path
+        ignores it, iterative M-steps (GLAD) resume from it.
+        """
+        stats = runner.call("accumulate", per_shard=blocks)
+        return self.finalize(functools.reduce(
+            lambda a, b: a.merge(b), stats))
+
+
+class SerialShardRunner:
+    """Executes spec phases over in-memory shards, serially or on a
+    thread pool.
+
+    The runner is the only component that knows *where* shards run; the
+    EM loop and the specs are agnostic.  ``pool`` may be any object with
+    an :meth:`~concurrent.futures.Executor.map`-compatible ``map``
+    (e.g. a ``ThreadPoolExecutor``); ``None`` runs in the calling
+    thread.  NumPy/SciPy hold the GIL through most of these kernels, so
+    threads mainly help when shards are large enough for the released
+    sections to overlap — the process runner in
+    :mod:`repro.engine.sharded` is the true multi-core path.
+    """
+
+    def __init__(self, spec: ShardedEMSpec, shards: Sequence[AnswerShard],
+                 pool=None) -> None:
+        self.spec = spec
+        self.shards = list(shards)
+        self.pool = pool
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def task_ranges(self) -> list[tuple[int, int]]:
+        """Global ``(task_start, task_stop)`` of every shard, in order."""
+        return [(s.task_start, s.task_stop) for s in self.shards]
+
+    def m_step(self, state: np.ndarray, prev_params=None):
+        """Run the spec's M-step on the global state (blocks sliced
+        here), returning the new global parameters."""
+        return self.spec.m_step(self, _split_blocks_ranges(
+            state, self.task_ranges), prev_params)
+
+    def call(self, phase: str, per_shard: Sequence | None = None,
+             shared: tuple = ()) -> list:
+        """Run ``spec.<phase>(shard, ops, *per_shard[i], *shared)`` for
+        every shard, returning results in shard order.
+
+        ``per_shard`` entries may be a tuple of positional arguments or
+        a single array (wrapped automatically).
+        """
+        fn = getattr(self.spec, phase)
+
+        def one(i: int):
+            shard = self.shards[i]
+            args = ()
+            if per_shard is not None:
+                entry = per_shard[i]
+                args = entry if isinstance(entry, tuple) else (entry,)
+            return fn(shard, self.spec.shard_ops(shard), *args, *shared)
+
+        indices = range(self.n_shards)
+        if self.pool is not None and self.n_shards > 1:
+            return list(self.pool.map(one, indices))
+        return [one(i) for i in indices]
+
+    def close(self) -> None:
+        """Release executor resources (no-op for the serial runner)."""
+
+
+def _split_blocks_ranges(state: np.ndarray,
+                         ranges: Sequence[tuple[int, int]]
+                         ) -> list[np.ndarray]:
+    """Slice a global state array into per-shard task-range views."""
+    return [state[start:stop] for start, stop in ranges]
+
+
+def majority_block(shard: AnswerShard) -> np.ndarray:
+    """Per-shard majority-vote posterior (normalised local vote counts).
+
+    Vote counts are integral, so per-shard accumulation equals the
+    global ``vote_counts`` rows exactly — majority initialisation is
+    bit-identical at any shard count.
+    """
+    from ..core.framework import normalize_rows
+
+    votes = np.bincount(
+        shard.local_tasks * shard.n_choices + shard.values,
+        minlength=shard.n_local_tasks * shard.n_choices,
+    ).astype(np.float64).reshape(shard.n_local_tasks, shard.n_choices)
+    return normalize_rows(votes)
+
+
+def run_em_sharded(
+    runner: SerialShardRunner,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iter: int = DEFAULT_MAX_ITER,
+    golden: Mapping[int, float] | None = None,
+    initial_posterior: np.ndarray | None = None,
+    initial_parameters: object | None = None,
+) -> EMOutcome:
+    """Sharded analogue of :func:`repro.inference.em.run_em`.
+
+    Per iteration: one ``m_step`` (map ``accumulate`` over shards, merge,
+    finalize — or the spec's own inner map-reduce), one mapped E-step,
+    reassembly of the global state by concatenating the task-range
+    blocks, golden clamping, and a convergence check on the global
+    state.  Warm-start semantics mirror ``run_em`` exactly: with
+    ``initial_parameters`` the loop opens with a priming E-step that is
+    counted as an iteration; ``initial_posterior`` starts the loop
+    without counting.  ``initial_parameters`` wins when both are given.
+    """
+    spec = runner.spec
+
+    def assemble(blocks: list[np.ndarray]) -> np.ndarray:
+        state = np.concatenate(blocks, axis=0)
+        return spec.golden_clamp(state, golden)
+
+    if initial_parameters is not None:
+        state = assemble(runner.call("e_block", shared=(initial_parameters,)))
+    elif initial_posterior is not None:
+        state = spec.golden_clamp(
+            np.array(initial_posterior, dtype=np.float64), golden)
+    else:
+        state = assemble(runner.call("init_block"))
+
+    tracker = ConvergenceTracker(tolerance=tolerance, max_iter=max_iter)
+    # As in run_em, the priming E-step of a warm start is real work:
+    # count it so warm and cold iteration totals compare honestly.
+    done = initial_parameters is not None and tracker.update(state)
+    parameters = initial_parameters
+    while not done:
+        parameters = runner.m_step(state, parameters)
+        state = assemble(runner.call("e_block", shared=(parameters,)))
+        if tracker.update(state):
+            break
+    return EMOutcome(
+        posterior=state,
+        parameters=parameters,
+        n_iterations=tracker.iteration,
+        converged=tracker.converged,
+    )
+
+
+def make_runner(answers_or_sharded, spec: ShardedEMSpec, n_shards: int = 1,
+                pool=None) -> SerialShardRunner:
+    """Convenience: build a :class:`SerialShardRunner` from an
+    :class:`~repro.core.answers.AnswerSet` (sharded here) or an existing
+    :class:`~repro.core.shards.ShardedAnswerSet`."""
+    if isinstance(answers_or_sharded, ShardedAnswerSet):
+        sharded = answers_or_sharded
+    else:
+        sharded = ShardedAnswerSet(answers_or_sharded, n_shards)
+    return SerialShardRunner(spec, sharded.shards, pool=pool)

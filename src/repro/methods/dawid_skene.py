@@ -12,11 +12,22 @@ still among the best.  Worker model: an ``l × l`` *confusion matrix*
 A small Laplace smoothing keeps rows valid when a worker never saw some
 truth class; LFC (see :mod:`repro.methods.lfc`) generalises this to full
 Beta/Dirichlet priors.
+
+Both steps are expressed as mergeable sufficient statistics over
+task-range shards (:mod:`repro.inference.sharded`): the M-step is
+``accumulate`` (expected per-worker answer×truth counts plus the
+posterior column sums) → ``merge`` (plain addition) → ``finalize``
+(smooth, normalise), and the E-step maps independently over shards.
+The plain ``fit`` is simply the single-shard instance of that map-reduce
+and reproduces the historical global-array implementation bit-for-bit
+(the :mod:`~repro.inference.segops` operators preserve its accumulation
+order exactly).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import types
 from typing import Mapping
 
 import numpy as np
@@ -26,12 +37,19 @@ from ..core.base import CategoricalMethod
 from ..core.framework import decode_posterior, log_normalize_rows
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.shards import AnswerShard
 from ..core.warmstart import (
     diagonal_confusion,
     expand_posterior,
     neutral_accuracy,
 )
-from ..inference.em import run_em
+from ..inference.segops import BasedScatterAdd, SegmentSum
+from ..inference.sharded import (
+    ShardedEMSpec,
+    SufficientStats,
+    majority_block,
+    run_em_sharded,
+)
 
 
 @dataclasses.dataclass
@@ -60,6 +78,83 @@ def initial_confusion_from_quality(quality: np.ndarray, n_choices: int
     return confusion
 
 
+class _ConfusionSpec(ShardedEMSpec):
+    """Sufficient statistics of the confusion-matrix EM (D&S / LFC).
+
+    Per shard, ``accumulate`` produces
+
+    * ``counts[w, k, j]`` — posterior mass of truth ``j`` on answers
+      where worker ``w`` chose ``k`` (the expected contingency table);
+    * ``posterior_sum[j]`` / ``n_tasks`` — for the class prior.
+
+    Both merge by addition; ``finalize`` adds the Dirichlet
+    pseudo-counts and row-normalises, exactly as the unsharded M-step
+    always has.
+    """
+
+    def __init__(self, n_tasks: int, n_workers: int, n_choices: int,
+                 smoothing_off_diagonal: float,
+                 smoothing_diagonal_bonus: float) -> None:
+        super().__init__()
+        self.n_tasks = n_tasks
+        self.n_workers = n_workers
+        self.n_choices = n_choices
+        self.smoothing_off_diagonal = smoothing_off_diagonal
+        self.smoothing_diagonal_bonus = smoothing_diagonal_bonus
+
+    def build_ops(self, shard: AnswerShard):
+        n_choices = self.n_choices
+        # Row w*l + k identifies the (worker, answered-label) cell.
+        rows_wv = shard.workers * n_choices + shard.values
+        return types.SimpleNamespace(
+            # M-step: answers read their task's posterior row directly.
+            count_sum=SegmentSum(rows_wv, self.n_workers * n_choices,
+                                 cols=shard.local_tasks,
+                                 n_cols=shard.n_local_tasks),
+            # E-step: answers read their (worker, label) row of the
+            # per-iteration log-likelihood table, on a log-prior base.
+            e_scatter=BasedScatterAdd(shard.local_tasks,
+                                      shard.n_local_tasks,
+                                      cols=rows_wv,
+                                      n_cols=self.n_workers * n_choices),
+        )
+
+    def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
+        return majority_block(shard)
+
+    def accumulate(self, shard: AnswerShard, ops,
+                   block: np.ndarray) -> SufficientStats:
+        counts = ops.count_sum(block).reshape(
+            self.n_workers, self.n_choices, self.n_choices)
+        return SufficientStats(
+            counts=counts,
+            posterior_sum=block.sum(axis=0),
+            n_tasks=float(block.shape[0]),
+        )
+
+    def finalize(self, stats: SufficientStats) -> _DSParameters:
+        diag = np.arange(self.n_choices)
+        # counts[w, k, j] -> confusion[w, j, k], then MAP smoothing.
+        confusion = stats["counts"].transpose(0, 2, 1)
+        confusion = confusion + self.smoothing_off_diagonal
+        confusion[:, diag, diag] += self.smoothing_diagonal_bonus
+        confusion /= confusion.sum(axis=2, keepdims=True)
+        prior = stats["posterior_sum"] / stats["n_tasks"]
+        prior = prior / prior.sum()
+        return _DSParameters(confusion=confusion, prior=prior)
+
+    def e_block(self, shard: AnswerShard, ops,
+                params: _DSParameters) -> np.ndarray:
+        log_conf = np.log(np.clip(params.confusion, 1e-12, None))
+        # lc[w*l + k, j]: per-truth-class log-likelihood of worker w
+        # answering k — a small table the kernel reads per answer, on
+        # top of the log-prior base.
+        lc = np.ascontiguousarray(log_conf.transpose(0, 2, 1)).reshape(
+            self.n_workers * self.n_choices, self.n_choices)
+        log_prior = np.log(np.clip(params.prior, 1e-12, None))
+        return log_normalize_rows(ops.e_scatter(log_prior, lc))
+
+
 class _ConfusionMatrixEM(CategoricalMethod):
     """Shared EM implementation for D&S and LFC.
 
@@ -77,6 +172,18 @@ class _ConfusionMatrixEM(CategoricalMethod):
     supports_initial_quality = True
     supports_golden = True
     supports_warm_start = True
+    supports_sharding = True
+    supports_seed_posterior = True
+
+    def make_em_spec(self, n_tasks: int, n_workers: int,
+                     n_choices: int) -> _ConfusionSpec:
+        return _ConfusionSpec(
+            n_tasks=n_tasks,
+            n_workers=n_workers,
+            n_choices=n_choices,
+            smoothing_off_diagonal=self.smoothing_off_diagonal,
+            smoothing_diagonal_bonus=self.smoothing_diagonal_bonus,
+        )
 
     def _fit(
         self,
@@ -85,77 +192,59 @@ class _ConfusionMatrixEM(CategoricalMethod):
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
         warm_start: InferenceResult | None = None,
+        seed_posterior: np.ndarray | None = None,
+        shard_runner=None,
     ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        values = answers.values.astype(np.int64)
         n_choices = answers.n_choices
         n_workers = answers.n_workers
         diag = np.arange(n_choices)
-
-        def m_step(posterior: np.ndarray) -> _DSParameters:
-            # counts[w, k, j] accumulates posterior mass of truth j for
-            # answers where worker w chose k; transposed to (w, j, k).
-            counts = np.zeros((n_workers, n_choices, n_choices))
-            np.add.at(counts, (workers, values), posterior[tasks])
-            confusion = counts.transpose(0, 2, 1)
-            confusion = confusion + self.smoothing_off_diagonal
-            confusion[:, diag, diag] += self.smoothing_diagonal_bonus
-            confusion /= confusion.sum(axis=2, keepdims=True)
-            prior = posterior.mean(axis=0)
-            prior = prior / prior.sum()
-            return _DSParameters(confusion=confusion, prior=prior)
-
-        def e_step(params: _DSParameters) -> np.ndarray:
-            log_conf = np.log(np.clip(params.confusion, 1e-12, None))
-            log_post = np.tile(np.log(np.clip(params.prior, 1e-12, None)),
-                               (answers.n_tasks, 1))
-            # log_conf[workers, :, values] has shape (n_answers, l): the
-            # per-truth-class log-likelihood of each observed answer.
-            contributions = log_conf[workers, :, values]
-            np.add.at(log_post, tasks, contributions)
-            return log_normalize_rows(log_post)
-
-        start = None
-        warm_params = None
-        if warm_start is not None:
-            prev_conf = warm_start.extras.get("confusion")
-            prev_prior = warm_start.extras.get("class_prior")
-            if prev_conf is not None and prev_prior is not None:
-                # Resume from the previous confusion matrices; workers
-                # that appeared since the last fit get neutral diagonal
-                # matrices at the pool's mean accuracy.
-                prev_conf = np.asarray(prev_conf, dtype=np.float64)
-                n_new = n_workers - prev_conf.shape[0]
-                if n_new > 0:
-                    prev_conf = np.concatenate([
-                        prev_conf,
-                        diagonal_confusion(
-                            n_new, n_choices,
-                            neutral_accuracy(warm_start.worker_quality)),
-                    ])
-                warm_params = _DSParameters(
-                    confusion=prev_conf,
-                    prior=np.asarray(prev_prior, dtype=np.float64),
+        with self._shard_runner(answers, shard_runner) as runner:
+            start = None
+            warm_params = None
+            if warm_start is not None:
+                prev_conf = warm_start.extras.get("confusion")
+                prev_prior = warm_start.extras.get("class_prior")
+                if prev_conf is not None and prev_prior is not None:
+                    # Resume from the previous confusion matrices;
+                    # workers that appeared since the last fit get
+                    # neutral diagonal matrices at the pool's mean
+                    # accuracy.
+                    prev_conf = np.asarray(prev_conf, dtype=np.float64)
+                    n_new = n_workers - prev_conf.shape[0]
+                    if n_new > 0:
+                        prev_conf = np.concatenate([
+                            prev_conf,
+                            diagonal_confusion(
+                                n_new, n_choices,
+                                neutral_accuracy(warm_start.worker_quality)),
+                        ])
+                    warm_params = _DSParameters(
+                        confusion=prev_conf,
+                        prior=np.asarray(prev_prior, dtype=np.float64),
+                    )
+                else:
+                    start = expand_posterior(warm_start.posterior, answers)
+            elif initial_quality is not None:
+                params0 = _DSParameters(
+                    confusion=initial_confusion_from_quality(
+                        initial_quality, n_choices),
+                    prior=np.full(n_choices, 1.0 / n_choices),
                 )
+                start = np.concatenate(
+                    runner.call("e_block", shared=(params0,)), axis=0)
             else:
-                start = expand_posterior(warm_start.posterior, answers)
-        elif initial_quality is not None:
-            confusion0 = initial_confusion_from_quality(initial_quality, n_choices)
-            prior0 = np.full(n_choices, 1.0 / n_choices)
-            start = e_step(_DSParameters(confusion=confusion0, prior=prior0))
-        else:
-            start = self.majority_posterior(answers)
+                # None lets run_em_sharded fall through to the per-shard
+                # majority-vote initialisation.
+                start = seed_posterior
 
-        outcome = run_em(
-            initial_posterior=start,
-            m_step=m_step,
-            e_step=e_step,
-            tolerance=self.tolerance,
-            max_iter=self.max_iter,
-            golden=golden,
-            initial_parameters=warm_params,
-        )
+            outcome = run_em_sharded(
+                runner,
+                tolerance=self.tolerance,
+                max_iter=self.max_iter,
+                golden=golden,
+                initial_posterior=start,
+                initial_parameters=warm_params,
+            )
         params: _DSParameters = outcome.parameters
         quality = params.confusion[:, diag, diag].mean(axis=1)
         return InferenceResult(

@@ -22,25 +22,32 @@ it is orders of magnitude slower than D&S), and we keep that structure.
 Multi-class answers spread the incorrect mass uniformly over the other
 ``l − 1`` labels, the standard generalisation the survey uses for
 S_Rel / S_Adult.
+
+Sharding: ``log beta`` is task-partitioned and ``alpha`` is global, so
+each gradient-ascent step is itself a small map-reduce — shards return
+their per-worker ability-gradient partial sums (merged by addition) and
+their own slice of the easiness gradient.  The M-step therefore
+overrides the default accumulate/merge/finalize path of
+:class:`~repro.inference.sharded.ShardedEMSpec` with an iterated
+map-reduce; the E-step maps over shards like every other method.
 """
 
 from __future__ import annotations
 
+import types
 from typing import Mapping
 
 import numpy as np
 
 from ..core.answers import AnswerSet
 from ..core.base import CategoricalMethod
-from ..core.framework import (
-    ConvergenceTracker,
-    clamp_golden_posterior,
-    decode_posterior,
-    log_normalize_rows,
-)
+from ..core.framework import decode_posterior, log_normalize_rows
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.shards import AnswerShard
 from ..core.warmstart import expand_task_vector, expand_worker_vector
+from ..inference.segops import BasedScatterAdd, SegmentSum
+from ..inference.sharded import ShardedEMSpec, majority_block, run_em_sharded
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -53,6 +60,120 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     return out
 
 
+class _GladSpec(ShardedEMSpec):
+    """Sharded GLAD: mapped gradient rounds plus a mapped E-step.
+
+    Parameters are the tuple ``(alpha, log_beta)`` — global worker
+    abilities and the task-partitioned log-easiness.  ``initial_state``
+    holds the cold-start values the first M-step ascends from (set by
+    the fitting method; never needed by shard workers).
+    """
+
+    def __init__(self, n_tasks: int, n_workers: int, n_choices: int,
+                 learning_rate: float, gradient_steps: int,
+                 prior_strength: float) -> None:
+        super().__init__()
+        self.n_tasks = n_tasks
+        self.n_workers = n_workers
+        self.n_choices = n_choices
+        self.learning_rate = learning_rate
+        self.gradient_steps = gradient_steps
+        self.prior_strength = prior_strength
+        self.initial_state: tuple[np.ndarray, np.ndarray] | None = None
+        # Per-shard posterior-match cache, refreshed once per M-step by
+        # begin_m_step and read by every gradient round of that M-step
+        # (worker-side state: lives in the process that runs the shard).
+        self._match: dict[int, np.ndarray] = {}
+
+    def build_ops(self, shard: AnswerShard):
+        rows_tv = shard.local_tasks * self.n_choices + shard.values
+        return types.SimpleNamespace(
+            worker_sum=SegmentSum(shard.workers, self.n_workers),
+            task_sum=SegmentSum(shard.local_tasks, shard.n_local_tasks),
+            bonus_scatter=BasedScatterAdd(
+                rows_tv, shard.n_local_tasks * self.n_choices),
+        )
+
+    def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
+        return majority_block(shard)
+
+    # -- M-step: iterated gradient map-reduce --------------------------
+    def m_step(self, runner, blocks, prev_params):
+        if prev_params is not None:
+            alpha, log_beta = prev_params
+        else:
+            assert self.initial_state is not None, \
+                "cold GLAD m_step needs spec.initial_state"
+            alpha, log_beta = self.initial_state
+        ranges = runner.task_ranges
+        # One pass caches each shard's posterior-match vector so the
+        # gradient rounds neither regather it nor reship the blocks.
+        runner.call("begin_m_step", per_shard=blocks)
+        for _ in range(self.gradient_steps):
+            partials = runner.call(
+                "grad_step",
+                per_shard=[log_beta[start:stop] for start, stop in ranges],
+                shared=(alpha,),
+            )
+            data_alpha = partials[0][0]
+            for part, _unused in partials[1:]:
+                data_alpha = data_alpha + part
+            grad_alpha = data_alpha - self.prior_strength * (alpha - 1.0)
+            data_beta = (partials[0][1] if len(partials) == 1 else
+                         np.concatenate([p[1] for p in partials]))
+            grad_logbeta = data_beta - self.prior_strength * log_beta
+            alpha = alpha + self.learning_rate * grad_alpha
+            log_beta = log_beta + self.learning_rate * grad_logbeta
+            # Mild clamping keeps exp(log_beta) finite on pathological
+            # inputs without affecting normal runs.
+            log_beta = np.clip(log_beta, -5.0, 5.0)
+            alpha = np.clip(alpha, -10.0, 10.0)
+        return (alpha, log_beta)
+
+    def begin_m_step(self, shard: AnswerShard, ops,
+                     block: np.ndarray) -> None:
+        """Cache this shard's posterior mass on the answered labels for
+        the gradient rounds of the current M-step."""
+        self._match[shard.index] = block[shard.local_tasks, shard.values]
+
+    def grad_step(self, shard: AnswerShard, ops,
+                  log_beta_local: np.ndarray, alpha: np.ndarray):
+        """One shard's data gradients at the current ``(alpha, beta)``:
+        per-worker partial sums (to merge) and the local easiness
+        gradient (to concatenate)."""
+        beta_t = np.exp(log_beta_local)[shard.local_tasks]
+        alpha_w = alpha[shard.workers]
+        p = _sigmoid(alpha_w * beta_t)
+        residual = self._match[shard.index] - p
+        return (ops.worker_sum(residual * beta_t),
+                ops.task_sum((residual * alpha_w) * beta_t))
+
+    # The statistics hooks are unused — m_step above replaces them.
+    def accumulate(self, shard, ops, block):  # pragma: no cover
+        raise NotImplementedError("GLAD merges gradients, not statistics")
+
+    def finalize(self, stats):  # pragma: no cover
+        raise NotImplementedError("GLAD merges gradients, not statistics")
+
+    # -- E-step --------------------------------------------------------
+    def e_block(self, shard: AnswerShard, ops, params) -> np.ndarray:
+        alpha, log_beta = params
+        log_beta_local = log_beta[shard.task_start: shard.task_stop]
+        p_correct = _sigmoid(
+            alpha[shard.workers]
+            * np.exp(log_beta_local)[shard.local_tasks])
+        p_correct = np.clip(p_correct, 1e-10, 1 - 1e-10)
+        log_c = np.log(p_correct)
+        log_w = np.log((1.0 - p_correct) / max(self.n_choices - 1, 1))
+        base = ops.task_sum(log_w)
+        base_cells = np.broadcast_to(
+            base[:, None], (shard.n_local_tasks, self.n_choices)
+        ).reshape(-1)
+        log_post = ops.bonus_scatter(base_cells, log_c - log_w).reshape(
+            shard.n_local_tasks, self.n_choices)
+        return log_normalize_rows(log_post)
+
+
 @register
 class Glad(CategoricalMethod):
     """EM with gradient-ascent M-step over abilities and difficulties."""
@@ -61,6 +182,8 @@ class Glad(CategoricalMethod):
     supports_initial_quality = True
     supports_golden = True
     supports_warm_start = True
+    supports_sharding = True
+    supports_seed_posterior = True
 
     def __init__(self, learning_rate: float = 0.05, gradient_steps: int = 12,
                  prior_strength: float = 0.5, **kwargs) -> None:
@@ -71,6 +194,17 @@ class Glad(CategoricalMethod):
         self.gradient_steps = gradient_steps
         self.prior_strength = prior_strength
 
+    def make_em_spec(self, n_tasks: int, n_workers: int,
+                     n_choices: int) -> _GladSpec:
+        return _GladSpec(
+            n_tasks=n_tasks,
+            n_workers=n_workers,
+            n_choices=n_choices,
+            learning_rate=self.learning_rate,
+            gradient_steps=self.gradient_steps,
+            prior_strength=self.prior_strength,
+        )
+
     def _fit(
         self,
         answers: AnswerSet,
@@ -78,12 +212,11 @@ class Glad(CategoricalMethod):
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
         warm_start: InferenceResult | None = None,
+        seed_posterior: np.ndarray | None = None,
+        shard_runner=None,
     ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        values = answers.values.astype(np.int64)
-        n_choices = answers.n_choices
-
+        start = None
+        warm_params = None
         if warm_start is not None:
             # Resume abilities and easiness from the previous fit (alpha
             # is GLAD's worker quality; easiness lives in the extras).
@@ -99,71 +232,37 @@ class Glad(CategoricalMethod):
                 )
             else:
                 log_beta = np.zeros(answers.n_tasks)
+            warm_params = (alpha, log_beta)
+            cold_state = None
         elif initial_quality is not None:
             # Map accuracy in [0,1] to ability via the logit at beta=1.
             clipped = np.clip(initial_quality, 0.05, 0.95)
-            alpha = np.log(clipped / (1.0 - clipped))
-            log_beta = np.zeros(answers.n_tasks)
+            cold_state = (np.log(clipped / (1.0 - clipped)),
+                          np.zeros(answers.n_tasks))
+            start = seed_posterior
         else:
-            alpha = np.ones(answers.n_workers)
-            log_beta = np.zeros(answers.n_tasks)
+            cold_state = (np.ones(answers.n_workers),
+                          np.zeros(answers.n_tasks))
+            start = seed_posterior
 
-        def e_step(alpha: np.ndarray, log_beta: np.ndarray) -> np.ndarray:
-            p_correct = _sigmoid(alpha[workers] * np.exp(log_beta[tasks]))
-            p_correct = np.clip(p_correct, 1e-10, 1 - 1e-10)
-            log_c = np.log(p_correct)
-            log_w = np.log((1.0 - p_correct) / max(n_choices - 1, 1))
-            log_post = np.zeros((answers.n_tasks, n_choices))
-            base = np.bincount(tasks, weights=log_w, minlength=answers.n_tasks)
-            log_post += base[:, None]
-            np.add.at(log_post, (tasks, values), log_c - log_w)
-            return log_normalize_rows(log_post)
-
-        tracker = ConvergenceTracker(tolerance=self.tolerance,
-                                     max_iter=self.max_iter)
-        done = False
-        if warm_start is not None:
-            # Open with an E-step from the resumed parameters so the
-            # starting posterior covers newly arrived tasks too; count
-            # it so warm and cold iteration totals compare honestly.
-            posterior = clamp_golden_posterior(e_step(alpha, log_beta), golden)
-            done = tracker.update(posterior)
-        else:
-            posterior = clamp_golden_posterior(self.majority_posterior(answers),
-                                               golden)
-        while not done:
-            # M-step: a few gradient-ascent steps on Q(alpha, log beta).
-            match = posterior[tasks, values]
-            for _ in range(self.gradient_steps):
-                beta = np.exp(log_beta)
-                p = _sigmoid(alpha[workers] * beta[tasks])
-                residual = match - p
-                grad_alpha = np.bincount(
-                    workers, weights=residual * beta[tasks],
-                    minlength=answers.n_workers,
-                ) - self.prior_strength * (alpha - 1.0)
-                grad_logbeta = np.bincount(
-                    tasks, weights=residual * alpha[workers] * beta[tasks],
-                    minlength=answers.n_tasks,
-                ) - self.prior_strength * log_beta
-                alpha = alpha + self.learning_rate * grad_alpha
-                log_beta = log_beta + self.learning_rate * grad_logbeta
-                # Mild clamping keeps exp(log_beta) finite on pathological
-                # inputs without affecting normal runs.
-                log_beta = np.clip(log_beta, -5.0, 5.0)
-                alpha = np.clip(alpha, -10.0, 10.0)
-
-            posterior = clamp_golden_posterior(e_step(alpha, log_beta), golden)
-            if tracker.update(posterior):
-                break
-
+        with self._shard_runner(answers, shard_runner) as runner:
+            runner.spec.initial_state = cold_state
+            outcome = run_em_sharded(
+                runner,
+                tolerance=self.tolerance,
+                max_iter=self.max_iter,
+                golden=golden,
+                initial_posterior=start,
+                initial_parameters=warm_params,
+            )
+        alpha, log_beta = outcome.parameters
         return InferenceResult(
             method=self.name,
-            truths=decode_posterior(posterior, rng),
+            truths=decode_posterior(outcome.posterior, rng),
             worker_quality=alpha,
-            posterior=posterior,
-            n_iterations=tracker.iteration,
-            converged=tracker.converged,
+            posterior=outcome.posterior,
+            n_iterations=outcome.n_iterations,
+            converged=outcome.converged,
             extras={"task_easiness": np.exp(log_beta),
                     "warm_started": warm_start is not None},
         )

@@ -9,21 +9,28 @@ D&S at low redundancy.
 
 LFC_N is Raykar's numeric variant: each worker has a Gaussian noise
 model ``v^w_i ~ N(v*_i, sigma_w^2)``; EM alternates precision-weighted
-truth estimates and per-worker variance estimates.
+truth estimates and per-worker variance estimates.  Both steps decompose
+over task-range shards: the E-step is per-task, and the M-step's
+sufficient statistics are the per-worker squared-residual sums and
+answer counts, merged by addition and finalised into variances.
 """
 
 from __future__ import annotations
 
+import types
 from typing import Mapping
 
 import numpy as np
 
 from ..core.answers import AnswerSet
 from ..core.base import NumericMethod
-from ..core.framework import ConvergenceTracker, clamp_golden_values
+from ..core.framework import clamp_golden_values
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.shards import AnswerShard
 from ..core.warmstart import expand_worker_vector
+from ..inference.segops import SegmentSum
+from ..inference.sharded import ShardedEMSpec, SufficientStats, run_em_sharded
 from .dawid_skene import _ConfusionMatrixEM
 
 
@@ -48,18 +55,84 @@ class LearningFromCrowds(_ConfusionMatrixEM):
         self.smoothing_diagonal_bonus = diagonal_bonus
 
 
+class _LFCNumericSpec(ShardedEMSpec):
+    """Sharded statistics of the Gaussian worker-variance EM.
+
+    The iterated state is the per-task truth vector (1-D blocks); the
+    parameters are the per-worker variances.
+    """
+
+    golden_clamp = staticmethod(clamp_golden_values)
+
+    def __init__(self, n_tasks: int, n_workers: int,
+                 min_variance: float) -> None:
+        super().__init__()
+        self.n_tasks = n_tasks
+        self.n_workers = n_workers
+        self.min_variance = min_variance
+
+    def build_ops(self, shard: AnswerShard):
+        return types.SimpleNamespace(
+            worker_sum=SegmentSum(shard.workers, self.n_workers),
+            task_sum=SegmentSum(shard.local_tasks, shard.n_local_tasks),
+            answer_counts=np.bincount(shard.workers,
+                                      minlength=self.n_workers),
+            task_counts=np.maximum(
+                np.bincount(shard.local_tasks,
+                            minlength=shard.n_local_tasks), 1),
+        )
+
+    def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
+        """Per-task mean of the observed answers."""
+        return ops.task_sum(shard.values) / ops.task_counts
+
+    def accumulate(self, shard: AnswerShard, ops,
+                   block: np.ndarray) -> SufficientStats:
+        residual = (shard.values - block[shard.local_tasks]) ** 2
+        return SufficientStats(
+            residual_sum=ops.worker_sum(residual),
+            answer_counts=ops.answer_counts,
+        )
+
+    def finalize(self, stats: SufficientStats) -> np.ndarray:
+        counts = np.maximum(stats["answer_counts"], 1)
+        return np.maximum(stats["residual_sum"] / counts,
+                          self.min_variance)
+
+    def e_block(self, shard: AnswerShard, ops,
+                variance: np.ndarray) -> np.ndarray:
+        """Precision-weighted truth per task."""
+        weights = 1.0 / variance[shard.workers]
+        numer = ops.task_sum(weights * shard.values)
+        denom = ops.task_sum(weights)
+        return numer / np.where(denom > 0, denom, 1.0)
+
+
 @register
 class LearningFromCrowdsNumeric(NumericMethod):
-    """Gaussian worker-variance model for numeric tasks (LFC_N)."""
+    """Gaussian worker-variance model for numeric tasks (LFC_N).
+
+    ``initial_quality`` is accepted but has never influenced the fit:
+    the pre-refactor code derived an initial variance from it that the
+    first M-step overwrote before any use, and this implementation
+    preserves that behaviour exactly (the flag stays on so the
+    qualification experiments keep treating LFC_N as they always have).
+    """
 
     name = "LFC_N"
     supports_initial_quality = True
     supports_golden = True
     supports_warm_start = True
+    supports_sharding = True
 
     def __init__(self, min_variance: float = 1e-6, **kwargs) -> None:
         super().__init__(**kwargs)
         self.min_variance = min_variance
+
+    def make_em_spec(self, n_tasks: int, n_workers: int,
+                     n_choices: int = 0) -> _LFCNumericSpec:
+        return _LFCNumericSpec(n_tasks=n_tasks, n_workers=n_workers,
+                               min_variance=self.min_variance)
 
     def _fit(
         self,
@@ -68,77 +141,44 @@ class LearningFromCrowdsNumeric(NumericMethod):
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
         warm_start: InferenceResult | None = None,
+        shard_runner=None,
     ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        values = answers.values
-        counts_w = np.maximum(answers.worker_answer_counts(), 1)
-        counts_t = np.maximum(answers.task_answer_counts(), 1)
-
-        def weighted_truths(variance: np.ndarray) -> np.ndarray:
-            """E-step: precision-weighted truth per task."""
-            weights = 1.0 / variance[workers]
-            numer = np.bincount(tasks, weights=weights * values,
-                                minlength=answers.n_tasks)
-            denom = np.bincount(tasks, weights=weights,
-                                minlength=answers.n_tasks)
-            return numer / np.where(denom > 0, denom, 1.0)
-
-        # Initial truth: per-task mean.  A warm start instead opens with
-        # an E-step from the previous per-worker variances (expanded
-        # with the global variance for unseen workers), so the resumed
-        # truths already weight every current answer by the learned
-        # precisions.
+        # Initial truth: per-task mean (the spec's init_block).  A warm
+        # start instead opens with an E-step from the previous
+        # per-worker variances (expanded with the global variance for
+        # unseen workers), so the resumed truths already weight every
+        # current answer by the learned precisions.
+        warm_params = None
         if warm_start is not None:
+            values = answers.values
             prev_var = warm_start.extras.get("worker_variance")
             global_var = max(np.var(values) if len(values) else 1.0,
                              self.min_variance)
             if prev_var is not None:
-                variance = expand_worker_vector(
+                warm_params = expand_worker_vector(
                     np.maximum(prev_var, self.min_variance),
                     answers.n_workers, global_var,
                 )
             else:
-                variance = np.full(answers.n_workers, global_var)
-            truths = weighted_truths(variance)
-        else:
-            truths = np.bincount(tasks, weights=values,
-                                 minlength=answers.n_tasks) / counts_t
-            if initial_quality is not None:
-                scale = np.var(values) if len(values) else 1.0
-                variance = np.maximum(
-                    (1.0 - np.clip(initial_quality, 0.0, 1.0)) * scale,
-                    self.min_variance,
-                )
-            else:
-                variance = np.full(answers.n_workers,
-                                   max(np.var(values), self.min_variance))
-        truths = clamp_golden_values(truths, golden)
+                warm_params = np.full(answers.n_workers, global_var)
 
-        tracker = ConvergenceTracker(tolerance=self.tolerance,
-                                     max_iter=self.max_iter)
-        # The warm priming E-step above is real work: count it so warm
-        # and cold iteration totals compare honestly.
-        done = warm_start is not None and tracker.update(truths)
-        while not done:
-            # M-step: per-worker variance against current truths.
-            residual = (values - truths[tasks]) ** 2
-            sums = np.bincount(workers, weights=residual,
-                               minlength=answers.n_workers)
-            variance = np.maximum(sums / counts_w, self.min_variance)
-
-            truths = clamp_golden_values(weighted_truths(variance), golden)
-            if tracker.update(truths):
-                break
-
+        with self._shard_runner(answers, shard_runner) as runner:
+            outcome = run_em_sharded(
+                runner,
+                tolerance=self.tolerance,
+                max_iter=self.max_iter,
+                golden=golden,
+                initial_parameters=warm_params,
+            )
+        variance = np.asarray(outcome.parameters, dtype=np.float64)
         quality = 1.0 / (1.0 + np.sqrt(variance))
         return InferenceResult(
             method=self.name,
-            truths=truths,
+            truths=outcome.posterior,
             worker_quality=quality,
             posterior=None,
-            n_iterations=tracker.iteration,
-            converged=tracker.converged,
+            n_iterations=outcome.n_iterations,
+            converged=outcome.converged,
             extras={"worker_variance": variance,
                     "warm_started": warm_start is not None},
         )

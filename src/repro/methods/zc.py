@@ -12,10 +12,17 @@ likelihood of the observed answers with the truths as latent variables
 For single-choice tasks with ``l`` choices the incorrect-answer mass is
 spread uniformly over the other ``l - 1`` choices, the standard
 extension the survey applies to run ZC on S_Rel/S_Adult.
+
+The M-step is expressed as mergeable sufficient statistics
+(:mod:`repro.inference.sharded`): per shard, the posterior mass on the
+answered labels summed per worker plus the per-worker answer counts;
+merged by addition and finalised into ``q_w`` — so the same code runs
+unsharded, sharded in-process, or fanned over worker processes.
 """
 
 from __future__ import annotations
 
+import types
 from typing import Mapping
 
 import numpy as np
@@ -25,8 +32,76 @@ from ..core.base import CategoricalMethod
 from ..core.framework import clip_probability, decode_posterior, log_normalize_rows
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.shards import AnswerShard
 from ..core.warmstart import expand_worker_vector, neutral_accuracy
-from ..inference.em import run_em
+from ..inference.segops import BasedScatterAdd, SegmentSum
+from ..inference.sharded import (
+    ShardedEMSpec,
+    SufficientStats,
+    majority_block,
+    run_em_sharded,
+)
+
+
+class _ZCSpec(ShardedEMSpec):
+    """Sharded statistics of the worker-probability EM."""
+
+    def __init__(self, n_tasks: int, n_workers: int, n_choices: int) -> None:
+        super().__init__()
+        self.n_tasks = n_tasks
+        self.n_workers = n_workers
+        self.n_choices = n_choices
+
+    def build_ops(self, shard: AnswerShard):
+        rows_tv = shard.local_tasks * self.n_choices + shard.values
+        return types.SimpleNamespace(
+            # M-step: answers read their (task, answered-label) cell of
+            # the posterior block directly.
+            matched_sum=SegmentSum(shard.workers, self.n_workers,
+                                   cols=rows_tv,
+                                   n_cols=shard.n_local_tasks
+                                   * self.n_choices),
+            # E-step: per-answer reads of tiny per-worker tables.
+            base_sum=SegmentSum(shard.local_tasks, shard.n_local_tasks,
+                                cols=shard.workers,
+                                n_cols=self.n_workers),
+            bonus_scatter=BasedScatterAdd(
+                rows_tv, shard.n_local_tasks * self.n_choices,
+                cols=shard.workers, n_cols=self.n_workers),
+            answer_counts=np.bincount(shard.workers,
+                                      minlength=self.n_workers),
+        )
+
+    def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
+        return majority_block(shard)
+
+    def accumulate(self, shard: AnswerShard, ops,
+                   block: np.ndarray) -> SufficientStats:
+        return SufficientStats(
+            matched_sum=ops.matched_sum(np.ravel(block)),
+            answer_counts=ops.answer_counts,
+        )
+
+    def finalize(self, stats: SufficientStats) -> np.ndarray:
+        counts = np.maximum(stats["answer_counts"], 1)
+        return stats["matched_sum"] / counts
+
+    def e_block(self, shard: AnswerShard, ops,
+                quality: np.ndarray) -> np.ndarray:
+        q = clip_probability(quality)
+        log_correct = np.log(q)
+        log_wrong = np.log((1.0 - q) / max(self.n_choices - 1, 1))
+        # Every answer contributes log_wrong to all labels of its task,
+        # plus (log_correct - log_wrong) to the answered label; both are
+        # per-worker tables read in place by the fused kernels.
+        base = ops.base_sum(log_wrong)
+        base_cells = np.broadcast_to(
+            base[:, None], (shard.n_local_tasks, self.n_choices)
+        ).reshape(-1)
+        log_post = ops.bonus_scatter(
+            base_cells, log_correct - log_wrong
+        ).reshape(shard.n_local_tasks, self.n_choices)
+        return log_normalize_rows(log_post)
 
 
 @register
@@ -37,6 +112,13 @@ class ZenCrowd(CategoricalMethod):
     supports_initial_quality = True
     supports_golden = True
     supports_warm_start = True
+    supports_sharding = True
+    supports_seed_posterior = True
+
+    def make_em_spec(self, n_tasks: int, n_workers: int,
+                     n_choices: int) -> _ZCSpec:
+        return _ZCSpec(n_tasks=n_tasks, n_workers=n_workers,
+                       n_choices=n_choices)
 
     def _fit(
         self,
@@ -45,58 +127,36 @@ class ZenCrowd(CategoricalMethod):
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
         warm_start: InferenceResult | None = None,
+        seed_posterior: np.ndarray | None = None,
+        shard_runner=None,
     ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        values = answers.values.astype(np.int64)
-        n_choices = answers.n_choices
+        with self._shard_runner(answers, shard_runner) as runner:
+            start = None
+            warm_params = None
+            if warm_start is not None:
+                # The worker probability *is* ZC's EM parameter: resume
+                # from the previous qualities; unseen workers start at
+                # the pool's neutral seed accuracy.
+                warm_params = expand_worker_vector(
+                    warm_start.worker_quality, answers.n_workers,
+                    neutral_accuracy(warm_start.worker_quality),
+                )
+            elif initial_quality is not None:
+                start = np.concatenate(
+                    runner.call("e_block", shared=(initial_quality,)),
+                    axis=0)
+            else:
+                start = seed_posterior
 
-        def e_step(quality: np.ndarray) -> np.ndarray:
-            q = clip_probability(quality)
-            log_correct = np.log(q)
-            log_wrong = np.log((1.0 - q) / max(n_choices - 1, 1))
-            # Every answer contributes log_wrong to all labels of its
-            # task, plus (log_correct - log_wrong) to the answered label.
-            log_post = np.zeros((answers.n_tasks, n_choices))
-            base = np.bincount(tasks, weights=log_wrong[workers],
-                               minlength=answers.n_tasks)
-            log_post += base[:, None]
-            bonus = (log_correct - log_wrong)[workers]
-            np.add.at(log_post, (tasks, values), bonus)
-            return log_normalize_rows(log_post)
-
-        def m_step(posterior: np.ndarray) -> np.ndarray:
-            matched = posterior[tasks, values]
-            sums = np.bincount(workers, weights=matched,
-                               minlength=answers.n_workers)
-            counts = np.maximum(answers.worker_answer_counts(), 1)
-            return sums / counts
-
-        start = None
-        warm_params = None
-        if warm_start is not None:
-            # The worker probability *is* ZC's EM parameter: resume from
-            # the previous qualities; unseen workers start at the pool's
-            # neutral seed accuracy.
-            warm_params = expand_worker_vector(
-                warm_start.worker_quality, answers.n_workers,
-                neutral_accuracy(warm_start.worker_quality),
+            outcome = run_em_sharded(
+                runner,
+                tolerance=self.tolerance,
+                max_iter=self.max_iter,
+                golden=golden,
+                initial_posterior=start,
+                initial_parameters=warm_params,
             )
-        elif initial_quality is not None:
-            start = e_step(initial_quality)
-        else:
-            start = self.majority_posterior(answers)
-
-        outcome = run_em(
-            initial_posterior=start,
-            m_step=m_step,
-            e_step=e_step,
-            tolerance=self.tolerance,
-            max_iter=self.max_iter,
-            golden=golden,
-            initial_parameters=warm_params,
-        )
-        quality = m_step(outcome.posterior)
+            quality = runner.m_step(outcome.posterior)
         return InferenceResult(
             method=self.name,
             truths=decode_posterior(outcome.posterior, rng),

@@ -97,7 +97,10 @@ class TestInferenceEngine:
         grown = engine.infer("D&S")
         assert grown.extras["warm_started"] is True
 
-    def test_label_space_growth_falls_back_to_cold(self):
+    def test_label_space_growth_warm_starts_with_padding(self):
+        # Label codes are append-only, so a new label no longer forces a
+        # cold refit: the cached posterior/confusion state is padded
+        # with seed mass for the new label and the iteration resumes.
         engine = InferenceEngine(TaskType.SINGLE_CHOICE, seed=0)
         engine.add_answers([("t1", "w1", "a"), ("t1", "w2", "b"),
                             ("t2", "w1", "b"), ("t2", "w2", "a"),
@@ -105,8 +108,12 @@ class TestInferenceEngine:
         engine.infer("D&S")
         engine.add_answers([("t3", "w2", "c")])  # third label appears
         result = engine.infer("D&S")
-        assert result.extras["warm_started"] is False
+        assert result.extras["warm_started"] is True
         assert result.posterior.shape[1] == 3
+        assert result.extras["confusion"].shape[1:] == (3, 3)
+        # The padded warm refit must agree with a cold fit on the truth.
+        cold = engine.infer("D&S", force_cold=True)
+        assert (cold.truths == result.truths).mean() == 1.0
 
     def test_current_truth_decodes_labels(self):
         engine = InferenceEngine(TaskType.DECISION_MAKING,

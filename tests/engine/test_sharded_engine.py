@@ -1,0 +1,183 @@
+"""Process-pool sharded engine, BatchRunner pools, and the MV seed cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.answers import AnswerSet
+from repro.core.registry import create
+from repro.core.tasktypes import TaskType
+from repro.datasets.schema import Dataset
+from repro.engine.batch import BatchJob, BatchRunner
+from repro.engine.sharded import ProcessShardRunner, ShardedInferenceEngine
+
+
+def build_answers(seed=0, n_tasks=80, n_workers=10, n_choices=2,
+                  n_answers=600):
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, n_choices, n_tasks)
+    acc = rng.uniform(0.5, 0.95, n_workers)
+    tasks = rng.integers(0, n_tasks, n_answers)
+    workers = rng.integers(0, n_workers, n_answers)
+    correct = rng.random(n_answers) < acc[workers]
+    values = np.where(correct, truth[tasks],
+                      rng.integers(0, n_choices, n_answers))
+    answers = AnswerSet(tasks, workers, values,
+                        TaskType.DECISION_MAKING if n_choices == 2
+                        else TaskType.SINGLE_CHOICE,
+                        n_choices=None if n_choices == 2 else n_choices,
+                        n_tasks=n_tasks, n_workers=n_workers)
+    return answers, truth
+
+
+def build_dataset(seed=0, **kwargs):
+    answers, truth = build_answers(seed=seed, **kwargs)
+    return Dataset(name=f"synthetic-{seed}", answers=answers, truth=truth)
+
+
+class TestProcessShardRunner:
+    def test_matches_in_process_sharded_fit_bitwise(self):
+        answers, _ = build_answers()
+        serial = create("D&S", seed=0, n_shards=3).fit(answers)
+        with ProcessShardRunner(answers, "D&S", n_shards=3,
+                                max_workers=2) as runner:
+            proc = create("D&S", seed=0).fit(answers, shard_runner=runner)
+        assert np.array_equal(serial.posterior, proc.posterior)
+        assert np.array_equal(serial.worker_quality, proc.worker_quality)
+
+    def test_glad_gradient_rounds_through_processes(self):
+        answers, _ = build_answers(seed=1)
+        serial = create("GLAD", seed=0, n_shards=2, max_iter=8).fit(answers)
+        with ProcessShardRunner(answers, "GLAD", {"max_iter": 8},
+                                n_shards=2, max_workers=2) as runner:
+            proc = create("GLAD", seed=0, max_iter=8).fit(
+                answers, shard_runner=runner)
+        assert np.array_equal(serial.posterior, proc.posterior)
+
+    def test_close_releases_shared_memory(self):
+        from multiprocessing import shared_memory
+
+        answers, _ = build_answers()
+        runner = ProcessShardRunner(answers, "ZC", n_shards=2,
+                                    max_workers=1)
+        names = [shm.name for shm in runner._shms]
+        create("ZC", seed=0).fit(answers, shard_runner=runner)
+        runner.close()
+        runner.close()  # idempotent
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_rejects_methods_without_sharding(self):
+        answers, _ = build_answers()
+        with pytest.raises(ValueError, match="sharded"):
+            ProcessShardRunner(answers, "MV", n_shards=2)
+
+
+class TestShardedInferenceEngine:
+    def test_tiers_agree_bitwise(self):
+        answers, _ = build_answers(seed=2)
+        results = {}
+        for mode in ("serial", "thread", "process"):
+            engine = ShardedInferenceEngine(
+                n_shards=4, executor=mode, max_workers=2)
+            results[mode] = engine.fit(answers, "D&S")
+            assert engine.last_mode == mode
+        assert np.array_equal(results["serial"].posterior,
+                              results["thread"].posterior)
+        assert np.array_equal(results["serial"].posterior,
+                              results["process"].posterior)
+
+    def test_auto_stays_in_process_below_threshold(self):
+        answers, _ = build_answers()
+        engine = ShardedInferenceEngine(n_shards=2, executor="auto",
+                                        process_threshold=10**9)
+        engine.fit(answers, "ZC")
+        assert engine.last_mode in ("serial", "thread")
+
+    def test_rejects_unsupported_method(self):
+        answers, _ = build_answers()
+        engine = ShardedInferenceEngine(n_shards=2, executor="serial")
+        with pytest.raises(ValueError, match="sharded"):
+            engine.fit(answers, "MV")
+
+    def test_invalid_executor_name(self):
+        with pytest.raises(ValueError, match="executor"):
+            ShardedInferenceEngine(executor="gpu")
+
+    def test_warm_start_passes_through(self):
+        answers, _ = build_answers(seed=4)
+        engine = ShardedInferenceEngine(n_shards=3, executor="serial")
+        first = engine.fit(answers, "D&S")
+        warm = engine.fit(answers, "D&S", warm_start=first)
+        assert warm.extras["warm_started"] is True
+
+
+class TestBatchRunnerPools:
+    def test_process_executor_matches_threads(self):
+        datasets = [build_dataset(seed=s, n_answers=300) for s in (0, 1)]
+        thread_runs = BatchRunner(max_workers=2).run_grid(
+            datasets, methods=["MV", "D&S"])
+        process_runs = BatchRunner(max_workers=2,
+                                   executor="process").run_grid(
+            datasets, methods=["MV", "D&S"])
+        assert [r.method for r in thread_runs] == \
+            [r.method for r in process_runs]
+        for a, b in zip(thread_runs, process_runs):
+            assert a.scores == b.scores
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            BatchRunner(executor="fiber")
+
+    def test_run_grid_with_sharding(self):
+        dataset = build_dataset(seed=3, n_answers=400)
+        runs = BatchRunner(max_workers=1).run_grid(
+            [dataset], methods=["MV", "D&S"], n_shards=4)
+        baseline = BatchRunner(max_workers=1).run_grid(
+            [dataset], methods=["MV", "D&S"])
+        for sharded, plain in zip(runs, baseline):
+            assert sharded.scores == pytest.approx(plain.scores)
+
+
+class TestSharedMVSeed:
+    def test_seed_filled_once_per_dataset(self):
+        dataset = build_dataset(seed=5)
+        jobs = [BatchJob(dataset=dataset, method=m)
+                for m in ("D&S", "ZC", "GLAD", "MV")]
+        runner = BatchRunner(max_workers=1)
+        runner._seed_posteriors(jobs)
+        seeded = [j for j in jobs if j.seed_posterior is not None]
+        # MV itself does not consume a seed posterior.
+        assert {j.method for j in seeded} == {"D&S", "ZC", "GLAD"}
+        # One shared array, not three copies.
+        assert seeded[0].seed_posterior is seeded[1].seed_posterior
+
+    def test_numeric_dataset_not_seeded(self):
+        rng = np.random.default_rng(0)
+        answers = AnswerSet(rng.integers(0, 20, 100),
+                            rng.integers(0, 5, 100),
+                            rng.normal(0, 1, 100), TaskType.NUMERIC)
+        dataset = Dataset(name="num", answers=answers,
+                          truth=np.zeros(answers.n_tasks))
+        jobs = [BatchJob(dataset=dataset, method="LFC_N")]
+        BatchRunner(max_workers=1)._seed_posteriors(jobs)
+        assert jobs[0].seed_posterior is None
+
+    def test_seeded_results_identical_to_unseeded(self):
+        # The seed is exactly the majority posterior every method would
+        # compute for itself, so results must not change at all.
+        dataset = build_dataset(seed=6)
+        seeded = BatchRunner(max_workers=1, share_mv_seed=True).run_grid(
+            [dataset], methods=["D&S", "ZC"])
+        plain = BatchRunner(max_workers=1, share_mv_seed=False).run_grid(
+            [dataset], methods=["D&S", "ZC"])
+        for a, b in zip(seeded, plain):
+            assert a.scores == b.scores
+            assert a.n_iterations == b.n_iterations
+
+    def test_run_many_serial_path_shares_seed(self):
+        from repro.experiments.runner import run_many
+
+        dataset = build_dataset(seed=7)
+        runs = run_many(dataset, ["MV", "D&S", "ZC"], seed=0)
+        assert [r.method for r in runs] == ["MV", "D&S", "ZC"]

@@ -130,6 +130,37 @@ class TestDuplicates:
         assert snap.n_answers == 2
         np.testing.assert_array_equal(snap.values, [0, 0])
 
+    def test_replace_after_snapshot_invalidates_cached_snapshot(self):
+        # Regression: a cached snapshot must never serve a value that an
+        # in-place replacement has since overwritten.
+        stream = StreamingAnswerSet(TaskType.DECISION_MAKING,
+                                    label_order=[0, 1],
+                                    on_duplicate="replace")
+        stream.add_answers([("t1", "w1", 1), ("t1", "w2", 0)])
+        before = stream.snapshot()
+        assert stream.snapshot() is before  # cached while unchanged
+        stream.add_answer("t1", "w1", 0)    # in-place replacement
+        after = stream.snapshot()
+        assert after is not before
+        np.testing.assert_array_equal(before.values, [1, 0])  # immutable
+        np.testing.assert_array_equal(after.values, [0, 0])
+
+    def test_replace_after_snapshot_forces_engine_cold_refit(self):
+        from repro.engine import InferenceEngine
+
+        engine = InferenceEngine(TaskType.DECISION_MAKING,
+                                 label_order=[0, 1],
+                                 on_duplicate="replace", seed=0)
+        engine.add_answers([("t1", "w1", 1), ("t1", "w2", 1),
+                            ("t2", "w1", 0), ("t2", "w2", 0)])
+        assert engine.current_truth("D&S")["t1"] == 1
+        # Contradict t1 in place: the replacement invalidates both the
+        # snapshot cache and the warm-start contract.
+        engine.add_answers([("t1", "w1", 0), ("t1", "w2", 0)])
+        truth = engine.current_truth("D&S")
+        assert truth["t1"] == 0
+        assert engine.last_fit_was_warm("D&S") is False
+
     def test_replace_bumps_version(self):
         stream = StreamingAnswerSet(TaskType.DECISION_MAKING,
                                     label_order=[0, 1], on_duplicate="replace")

@@ -98,6 +98,67 @@ class TestWarmColdParity:
         assert warm.n_iterations <= cold.n_iterations
 
 
+class TestLabelPadding:
+    """Dynamic-label warm starts: state expansion along the choice axis."""
+
+    def test_pad_posterior_adds_seed_mass_and_renormalises(self):
+        from repro.core.warmstart import pad_posterior_labels
+
+        posterior = np.array([[0.9, 0.1], [0.2, 0.8]])
+        padded = pad_posterior_labels(posterior, 3)
+        assert padded.shape == (2, 3)
+        np.testing.assert_allclose(padded.sum(axis=1), 1.0)
+        assert np.all(padded[:, 2] > 0)
+        assert padded[0, 0] > padded[0, 1] > padded[0, 2]
+
+    def test_pad_posterior_rejects_shrinking(self):
+        from repro.core.warmstart import pad_posterior_labels
+
+        with pytest.raises(ValueError, match="append-only"):
+            pad_posterior_labels(np.ones((2, 3)) / 3, 2)
+
+    def test_pad_confusion_rows_stay_stochastic(self):
+        from repro.core.warmstart import pad_confusion_labels
+
+        confusion = np.array([[[0.8, 0.2], [0.3, 0.7]]])
+        padded = pad_confusion_labels(confusion, 3)
+        assert padded.shape == (1, 3, 3)
+        np.testing.assert_allclose(padded.sum(axis=2), 1.0)
+        # Old beliefs dominate, new truth rows are uniform.
+        assert padded[0, 0, 0] > padded[0, 0, 2]
+        np.testing.assert_allclose(padded[0, 2], padded[0, 2, ::-1])
+
+    def test_pad_result_labels_produces_valid_warm_start(self):
+        from repro.core.warmstart import pad_result_labels
+
+        records = [("t1", "w1", "a"), ("t1", "w2", "a"), ("t2", "w1", "b"),
+                   ("t2", "w2", "b"), ("t3", "w1", "a")]
+        # Fit while only labels a/b exist, then the stream discovers "c".
+        small = AnswerSet.from_records(records, TaskType.SINGLE_CHOICE,
+                                       label_order=["a", "b"])
+        previous = create("D&S", seed=0).fit(small)
+        assert previous.posterior.shape[1] == 2
+        grown = AnswerSet.from_records(records + [("t3", "w2", "c")],
+                                       TaskType.SINGLE_CHOICE,
+                                       label_order=["a", "b", "c"])
+        padded = pad_result_labels(previous, 3)
+        assert padded.posterior.shape[1] == 3
+        warm = create("D&S", seed=0).fit(grown, warm_start=padded)
+        assert warm.extras["warm_started"] is True
+        assert warm.posterior.shape == (3, 3)
+        cold = create("D&S", seed=0).fit(grown)
+        assert (warm.truths == cold.truths).mean() == 1.0
+
+    def test_pad_result_without_posterior_rejected(self):
+        from repro.core.result import InferenceResult
+        from repro.core.warmstart import pad_result_labels
+
+        result = InferenceResult(method="x", truths=np.zeros(2),
+                                 worker_quality=np.ones(1), posterior=None)
+        with pytest.raises(ValueError, match="posterior"):
+            pad_result_labels(result, 3)
+
+
 class TestWarmStartValidation:
     def test_shrunken_stream_rejected(self):
         before, after = _grown_stream(seed=2)
