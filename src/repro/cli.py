@@ -7,9 +7,11 @@ Usage (after ``pip install -e .``)::
     python -m repro infer answers.csv --method "D&S"
     python -m repro stream answers.csv --method "D&S" --chunk-size 200
     python -m repro stream answers.csv --method "D&S" --shards 4 --workers 2
+    python -m repro stream answers.csv --shards 8 --executor process
     python -m repro run --dataset D_Product --method D&S --scale 0.2
     python -m repro batch --datasets D_Product D_PosSent --workers 4
     python -m repro batch --methods D&S GLAD --shards 8 --executor process
+    python -m repro batch --methods D&S ZC --shards 8 --shard-executor process
     python -m repro sweep --dataset D_PosSent --methods MV ZC D&S
     python -m repro plan-redundancy --dataset D_PosSent --method MV
 
@@ -20,7 +22,12 @@ replicas.  ``stream`` replays the same CSV through the
 refit from the previous one — the online-serving path.  ``batch`` fans a
 (dataset × method) grid across a thread or process pool.  Both accept
 ``--shards`` to run each EM fit as sharded map-reduce (see
-:mod:`repro.inference.sharded`).
+:mod:`repro.inference.sharded`) and a process option (``stream
+--executor process`` / ``batch --shard-executor process``) that leases
+the persistent shared-memory runtime (:mod:`repro.engine.runtime`)
+instead of spawning pools per fit.  Flag validation is shared across
+commands (:func:`_require_minimums`); ``--shards`` beyond the task
+count is clamped deterministically by the shard layer.
 """
 
 from __future__ import annotations
@@ -152,6 +159,26 @@ def _require_applicable(method: str, task_type: TaskType) -> str | None:
     return None
 
 
+def _require_minimums(*specs: tuple[str, int, int]) -> str | None:
+    """Shared flag validation: each spec is ``(flag, value, minimum)``.
+
+    Returns the first violation as an error message, so every command
+    rejects bad counts with identical wording (``stream`` and ``batch``
+    historically disagreed on ``--workers``).  ``--shards`` above the
+    task count is *not* an error: :func:`repro.core.shards.shard_by_tasks`
+    clamps it deterministically to the task count.
+    """
+    for flag, value, minimum in specs:
+        if value < minimum:
+            return f"{flag} must be >= {minimum}, got {value}"
+    return None
+
+
+def _complain(message: str) -> int:
+    print(message, file=sys.stderr)
+    return 1
+
+
 def _cmd_infer(args) -> int:
     records = _read_answer_csv_or_complain(args.answers)
     if records is None:
@@ -178,15 +205,13 @@ def _cmd_infer(args) -> int:
 def _cmd_stream(args) -> int:
     from .engine import InferenceEngine
 
+    error = _require_minimums(("--shards", args.shards, 1),
+                              ("--workers", args.workers, 1),
+                              ("--chunk-size", args.chunk_size, 1))
+    if error:
+        return _complain(error)
     records = _read_answer_csv_or_complain(args.answers)
     if records is None:
-        return 1
-    if args.shards < 1:
-        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
-        return 1
-    if args.workers < 0:
-        print(f"--workers must be >= 0, got {args.workers}",
-              file=sys.stderr)
         return 1
 
     # Pre-scan the label set to classify decision-making vs
@@ -198,24 +223,24 @@ def _cmd_stream(args) -> int:
     if error:
         print(error, file=sys.stderr)
         return 1
-    engine = InferenceEngine(task_type, label_order=labels, seed=args.seed,
-                             n_shards=args.shards,
-                             shard_workers=args.workers)
+    with InferenceEngine(task_type, label_order=labels, seed=args.seed,
+                         n_shards=args.shards,
+                         shard_workers=args.workers,
+                         shard_executor=args.executor) as engine:
+        chunk = args.chunk_size
+        print(f"# streaming {len(records)} answers in chunks of {chunk} "
+              f"(method={args.method})")
+        for start in range(0, len(records), chunk):
+            engine.add_answers(records[start:start + chunk])
+            result = engine.infer(args.method)
+            warm = "warm" if result.extras.get("warm_started") else "cold"
+            snapshot = engine.stream.snapshot()
+            print(f"# +{min(chunk, len(records) - start)} answers -> "
+                  f"{snapshot.n_tasks} tasks, {snapshot.n_workers} workers | "
+                  f"{warm} refit: {result.n_iterations} iterations, "
+                  f"{result.elapsed_seconds * 1000:.1f} ms")
 
-    chunk = max(1, args.chunk_size)
-    print(f"# streaming {len(records)} answers in chunks of {chunk} "
-          f"(method={args.method})")
-    for start in range(0, len(records), chunk):
-        engine.add_answers(records[start:start + chunk])
-        result = engine.infer(args.method)
-        warm = "warm" if result.extras.get("warm_started") else "cold"
-        snapshot = engine.stream.snapshot()
-        print(f"# +{min(chunk, len(records) - start)} answers -> "
-              f"{snapshot.n_tasks} tasks, {snapshot.n_workers} workers | "
-              f"{warm} refit: {result.n_iterations} iterations, "
-              f"{result.elapsed_seconds * 1000:.1f} ms")
-
-    truth = engine.current_truth(args.method)
+        truth = engine.current_truth(args.method)
     print("task,inferred_truth")
     for task_id, value in truth.items():
         print(f"{task_id},{value}")
@@ -225,25 +250,22 @@ def _cmd_stream(args) -> int:
 def _cmd_batch(args) -> int:
     from .experiments.runner import Timer, run_grid
 
-    if args.workers < 1:
-        print(f"--workers must be >= 1, got {args.workers}",
-              file=sys.stderr)
-        return 1
-    if args.shards < 1:
-        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
-        return 1
+    error = _require_minimums(("--shards", args.shards, 1),
+                              ("--workers", args.workers, 1))
+    if error:
+        return _complain(error)
     if args.methods:
         unknown = [m for m in args.methods if m not in available_methods()]
         if unknown:
-            print(f"unknown methods: {', '.join(unknown)} "
-                  f"(see `repro methods`)", file=sys.stderr)
-            return 1
+            return _complain(f"unknown methods: {', '.join(unknown)} "
+                             f"(see `repro methods`)")
     datasets = [load_paper_dataset(name, seed=args.seed, scale=args.scale)
                 for name in (args.datasets or PAPER_DATASET_NAMES)]
     with Timer() as timer:
         runs = run_grid(datasets, methods=args.methods or None,
                         seed=args.seed, max_workers=args.workers,
-                        n_shards=args.shards, executor=args.executor)
+                        n_shards=args.shards, executor=args.executor,
+                        shard_executor=args.shard_executor)
     if not runs:
         print("no (dataset, method) combinations are applicable; check "
               "the task types with `repro methods`", file=sys.stderr)
@@ -331,9 +353,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--chunk-size", type=int, default=500)
     p_stream.add_argument("--seed", type=int, default=0)
     p_stream.add_argument("--shards", type=int, default=1,
-                          help="task-range shards per refit (sharded EM)")
-    p_stream.add_argument("--workers", type=int, default=0,
-                          help="threads mapping the shards (0 = serial)")
+                          help="task-range shards per refit (sharded EM; "
+                               "clamped to the task count)")
+    p_stream.add_argument("--workers", type=int, default=1,
+                          help="parallel width for sharded refits: "
+                               "threads (1 = serial) or, with "
+                               "--executor process, pool slots")
+    p_stream.add_argument("--executor", choices=["thread", "process"],
+                          default="thread",
+                          help="where sharded refits run; 'process' "
+                               "keeps a persistent warm pool across "
+                               "refits and appends stream growth to "
+                               "its shared-memory segments")
 
     p_batch = sub.add_parser(
         "batch", help="fan a (dataset x method) grid across workers")
@@ -344,11 +375,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--workers", type=int, default=4)
     p_batch.add_argument("--shards", type=int, default=1,
                          help="task-range shards per fit for methods "
-                              "with sharded EM")
+                              "with sharded EM (clamped to each "
+                              "dataset's task count)")
     p_batch.add_argument("--executor", choices=["thread", "process"],
                          default=None,
                          help="pool type for the job fan-out "
                               "(default: threads)")
+    p_batch.add_argument("--shard-executor", choices=["thread", "process"],
+                         default=None,
+                         help="where sharded fits run; 'process' leases "
+                              "the persistent shared-memory runtime, "
+                              "spawning worker pools once per sweep")
 
     p_plan = sub.add_parser("plan-redundancy",
                             help="estimate the saturation redundancy")

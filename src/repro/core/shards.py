@@ -116,6 +116,12 @@ class ShardedAnswerSet:
     Shard task ranges are contiguous, disjoint, and cover ``[0,
     n_tasks)`` in order, so per-shard posterior blocks reassemble into
     the global posterior with a single concatenation.
+
+    A request for more shards than there are tasks is **clamped
+    deterministically** to the task count (every shard owns at least
+    one task; an answer set with fewer tasks than requested shards
+    simply gets fewer, never-empty ranges).  The requested value is
+    kept in :attr:`requested_shards`.
     """
 
     def __init__(self, answers: AnswerSet, n_shards: int) -> None:
@@ -124,7 +130,10 @@ class ShardedAnswerSet:
                 f"n_shards must be >= 1, got {n_shards}"
             )
         self.answers = answers
-        self.n_shards = int(n_shards)
+        #: The caller's shard count, before the task-count clamp.
+        self.requested_shards = int(n_shards)
+        n_shards = max(1, min(int(n_shards), answers.n_tasks))
+        self.n_shards = n_shards
 
         values = answers.values
         if answers.task_type.is_categorical:
@@ -212,6 +221,7 @@ def shard_by_tasks(answers: AnswerSet, n_shards: int) -> ShardedAnswerSet:
     """Partition an answer set into ``n_shards`` task-range shards.
 
     The functional spelling of :class:`ShardedAnswerSet` (also available
-    as :meth:`AnswerSet.shard_by_tasks`).
+    as :meth:`AnswerSet.shard_by_tasks`).  ``n_shards`` greater than the
+    task count is clamped deterministically to the task count.
     """
     return ShardedAnswerSet(answers, n_shards)

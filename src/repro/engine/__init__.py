@@ -52,15 +52,22 @@ bit-for-bit.  Execution tiers:
 
 * **serial / threads** — ``create(method, n_shards=..,
   shard_workers=..)``; cheap, in-process, identical numbers;
-* **processes** — :class:`~repro.engine.sharded.ProcessShardRunner`
-  puts the answer arrays in :mod:`multiprocessing.shared_memory` and
-  dispatches the phases to a ``ProcessPoolExecutor``; prefer it for
-  large inputs on multi-core hosts, where thread tiers stall on the
-  GIL-holding NumPy kernels.  GLAD trades one message round per
-  gradient step, so it needs bigger shards than the one-round-trip
-  statistics methods before processes win.
-  :class:`~repro.engine.sharded.ShardedInferenceEngine` applies exactly
-  that policy automatically.
+* **processes** — the answer arrays live in
+  :mod:`multiprocessing.shared_memory` and the phases are dispatched to
+  pinned single-worker pools; prefer it for large inputs on multi-core
+  hosts, where thread tiers stall on the GIL-holding NumPy kernels.
+  GLAD trades one message round per gradient step, so it needs bigger
+  shards than the one-round-trip statistics methods before processes
+  win.  :class:`~repro.engine.sharded.ShardedInferenceEngine` applies
+  exactly that policy automatically.
+
+Pools and segments are **persistent** (:mod:`repro.engine.runtime`):
+repeated fits lease a :class:`~repro.engine.runtime.ShardRuntime` from
+a shared :class:`~repro.engine.runtime.RuntimeRegistry` — a method
+sweep or a stream of refits spawns processes once, and a grown stream
+appends only its new tail to the placed segments.
+:class:`~repro.engine.sharded.ProcessShardRunner` remains the one-shot
+per-fit spelling.
 
 Example
 -------
@@ -82,6 +89,12 @@ True
 
 from .batch import BatchJob, BatchRunner
 from .engine import InferenceEngine
+from .runtime import (
+    RuntimeLease,
+    RuntimeRegistry,
+    ShardRuntime,
+    get_runtime_registry,
+)
 from .sharded import ProcessShardRunner, ShardedInferenceEngine
 from .stream import StreamingAnswerSet
 
@@ -90,6 +103,10 @@ __all__ = [
     "BatchRunner",
     "InferenceEngine",
     "ProcessShardRunner",
+    "RuntimeLease",
+    "RuntimeRegistry",
+    "ShardRuntime",
     "ShardedInferenceEngine",
     "StreamingAnswerSet",
+    "get_runtime_registry",
 ]

@@ -47,6 +47,10 @@ class BatchJob:
     #: Optional shared majority-vote posterior to seed a cold fit from;
     #: filled in by :meth:`BatchRunner.run` when left as ``None``.
     seed_posterior: np.ndarray | None = None
+    #: ``"process"`` runs a sharded fit (``n_shards`` in
+    #: ``method_kwargs``) on the shared persistent runtime; filled in
+    #: from :attr:`BatchRunner.shard_executor` when left as ``None``.
+    shard_executor: str | None = None
 
 
 class BatchRunner:
@@ -67,12 +71,22 @@ class BatchRunner:
     share_mv_seed:
         Compute the majority-vote posterior once per (categorical)
         dataset and seed every supporting method's cold fit from it.
+    shard_executor:
+        ``"process"`` routes each *sharded* fit through the shared
+        persistent :class:`~repro.engine.runtime.ShardRuntime`
+        registry: a sweep of methods over one dataset places the
+        answers in shared memory and spawns the worker pools once.
+        Concurrent thread jobs serialise on the runtime's lease lock
+        (each fit is internally parallel, so this is the intended
+        schedule).  Combining it with ``executor="process"`` nests
+        pools inside the job workers — legal, rarely useful.
     """
 
     def __init__(self, max_workers: int | None = None,
                  executor_factory=ThreadPoolExecutor,
                  executor: str | None = None,
-                 share_mv_seed: bool = True) -> None:
+                 share_mv_seed: bool = True,
+                 shard_executor: str | None = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if executor is not None:
@@ -82,9 +96,15 @@ class BatchRunner:
                     f"got {executor!r}"
                 )
             executor_factory = _EXECUTORS[executor]
+        if shard_executor not in (None, "thread", "process"):
+            raise ValueError(
+                f"shard_executor must be 'thread' or 'process', "
+                f"got {shard_executor!r}"
+            )
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.executor_factory = executor_factory
         self.share_mv_seed = share_mv_seed
+        self.shard_executor = shard_executor
 
     # ------------------------------------------------------------------
     def _seed_posteriors(self, jobs: Sequence[BatchJob]) -> None:
@@ -111,6 +131,9 @@ class BatchRunner:
         jobs = list(jobs)
         if not jobs:
             return []
+        for job in jobs:
+            if job.shard_executor is None:
+                job.shard_executor = self.shard_executor
         if self.share_mv_seed:
             self._seed_posteriors(jobs)
         if len(jobs) == 1 or self.max_workers == 1:
@@ -129,6 +152,7 @@ class BatchRunner:
             initial_quality=job.initial_quality,
             method_kwargs=job.method_kwargs,
             seed_posterior=job.seed_posterior,
+            shard_executor=job.shard_executor,
         )
 
     def run_grid(

@@ -22,6 +22,7 @@ warmth only changes the iteration count.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from typing import Iterable, Sequence
 
 from ..core.registry import create, method_class
@@ -29,6 +30,12 @@ from ..core.result import InferenceResult
 from ..core.tasktypes import TaskType
 from ..core.warmstart import pad_result_labels
 from .stream import StreamingAnswerSet
+
+
+# Process-unique stream identities for runtime stream keys.  id() is
+# unusable here: a dead engine's id can be reused by a new one while
+# the shared runtime still holds the dead stream's placed segments.
+_STREAM_TOKENS = itertools.count()
 
 
 @dataclasses.dataclass
@@ -61,6 +68,16 @@ class InferenceEngine:
         (``supports_sharding``): partition each fit into ``n_shards``
         task ranges, optionally mapped over ``shard_workers`` threads.
         Methods without sharding support ignore both.
+    shard_executor:
+        ``"thread"`` (default) runs sharded fits in-process;
+        ``"process"`` leases a persistent
+        :class:`~repro.engine.runtime.ShardRuntime` from ``registry``
+        (default: the process-wide one), so every refit reuses the warm
+        worker pools and a *grown* stream appends only its new answers
+        to the placed shared-memory segments.  Only meaningful with
+        ``n_shards > 1``; methods without sharding support fall back to
+        the plain fit either way.  The engine is a context manager —
+        ``close()`` releases the runtime.
 
     Example
     -------
@@ -80,7 +97,14 @@ class InferenceEngine:
         seed: int | None = 0,
         n_shards: int = 1,
         shard_workers: int = 0,
+        shard_executor: str = "thread",
+        registry=None,
     ) -> None:
+        if shard_executor not in ("thread", "process"):
+            raise ValueError(
+                f"shard_executor must be 'thread' or 'process', "
+                f"got {shard_executor!r}"
+            )
         self.stream = StreamingAnswerSet(
             task_type=task_type,
             n_choices=n_choices,
@@ -90,6 +114,10 @@ class InferenceEngine:
         self.seed = seed
         self.n_shards = n_shards
         self.shard_workers = shard_workers
+        self.shard_executor = shard_executor
+        self._registry = registry
+        self._runtime = None
+        self._stream_token = next(_STREAM_TOKENS)
         self._cache: dict[str, _CachedFit] = {}
 
     # ------------------------------------------------------------------
@@ -125,9 +153,11 @@ class InferenceEngine:
                 and cached.method_kwargs == method_kwargs):
             return cached.result
 
+        sharded = self.n_shards > 1 and getattr(
+            method_class(method), "supports_sharding", False)
+        use_runtime = sharded and self.shard_executor == "process"
         create_kwargs = dict(method_kwargs)
-        if self.n_shards > 1 and getattr(method_class(method),
-                                         "supports_sharding", False):
+        if sharded and not use_runtime:
             create_kwargs.setdefault("n_shards", self.n_shards)
             create_kwargs.setdefault("shard_workers", self.shard_workers)
         instance = create(method, seed=self.seed, **create_kwargs)
@@ -154,7 +184,20 @@ class InferenceEngine:
                 warm = pad_result_labels(warm, snapshot.n_choices)
             elif cached.n_choices < snapshot.n_choices:
                 warm = None  # no posterior to pad: refit cold
-        result = instance.fit(snapshot, warm_start=warm)
+        if use_runtime:
+            # Persistent process tier: the lease reuses warm pools, and
+            # because the stream key only changes on in-place
+            # replacements, a purely grown stream appends its new tail
+            # to the placed segments instead of rebuilding them.
+            stream_key = ("stream", self._stream_token,
+                          self.stream.replacements)
+            with self._lease_runtime(snapshot, method,
+                                     {"seed": self.seed, **method_kwargs},
+                                     stream_key) as runner:
+                result = instance.fit(snapshot, warm_start=warm,
+                                      shard_runner=runner)
+        else:
+            result = instance.fit(snapshot, warm_start=warm)
         self._cache[method] = _CachedFit(
             version=self.stream.version,
             replacements=self.stream.replacements,
@@ -194,6 +237,34 @@ class InferenceEngine:
                                                range(snapshot.n_workers)]
         return {worker_ids[w]: float(result.worker_quality[w])
                 for w in range(snapshot.n_workers)}
+
+    # ------------------------------------------------------------------
+    # Runtime control
+    # ------------------------------------------------------------------
+    def _lease_runtime(self, snapshot, method, runner_kwargs, stream_key):
+        """Lease from the registry (retrying past concurrent closes)
+        and remember the runtime for ``close()``/introspection."""
+        from .runtime import get_runtime_registry
+
+        registry = self._registry or get_runtime_registry()
+        self._runtime, lease = registry.lease(
+            self.n_shards, self.shard_workers or None, snapshot, method,
+            runner_kwargs, stream_key=stream_key)
+        return lease
+
+    def close(self) -> None:
+        """Release the engine's shard runtime (idempotent; a no-op for
+        the in-process tiers).  Shared runtimes respawn lazily on the
+        next process-tier fit, so closing is always safe."""
+        if self._runtime is not None:
+            self._runtime.close()
+            self._runtime = None
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Cache control

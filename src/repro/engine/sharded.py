@@ -2,20 +2,21 @@
 
 :mod:`repro.inference.sharded` runs the map-reduce EM phases serially or
 on a thread pool; NumPy holds the GIL through most of the kernels, so
-threads cap out quickly.  This module is the true multi-core path:
+threads cap out quickly.  This module is the true multi-core path,
+built on the persistent runtime of :mod:`repro.engine.runtime`:
 
-* :class:`ProcessShardRunner` — places the task-sorted answer arrays in
-  :mod:`multiprocessing.shared_memory` once, spawns a
-  :class:`~concurrent.futures.ProcessPoolExecutor`, and dispatches the
-  spec phases (``init_block`` / ``accumulate`` / ``e_block`` /
-  ``grad_step``) to worker processes that rebuild their shard views and
-  method spec from the shared arrays.  Only small things cross the
-  pipe: phase names, model parameters, posterior blocks and partial
-  statistics — never the answers.
+* :class:`ProcessShardRunner` — the one-shot spelling: builds a
+  *private* :class:`~repro.engine.runtime.ShardRuntime`, leases it for
+  exactly one answer set, and tears everything down on :meth:`close`.
+  Only small things cross the pipe: phase names, model parameters,
+  posterior blocks and partial statistics — never the answers.
 * :class:`ShardedInferenceEngine` — a facade that picks the execution
   tier per fit: **threads (or the serial path) for small inputs**,
   where process spin-up would dominate, and **processes for large
-  ones** when real cores are available.
+  ones** when real cores are available.  Its process tier leases from
+  the shared :class:`~repro.engine.runtime.RuntimeRegistry`, so
+  repeated fits (a method sweep, a refit loop) reuse warm pools and
+  placed segments instead of respawning per fit.
 
 When to prefer processes over threads
 -------------------------------------
@@ -32,8 +33,6 @@ the engine's ``auto`` mode stays in-process there.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from multiprocessing import shared_memory
 from typing import Mapping
 
 import numpy as np
@@ -41,179 +40,76 @@ import numpy as np
 from ..core.answers import AnswerSet
 from ..core.registry import create, method_class
 from ..core.result import InferenceResult
-from ..core.shards import AnswerShard, ShardedAnswerSet
-from ..inference.sharded import SerialShardRunner
+from .runtime import RuntimeRegistry, ShardRuntime, get_runtime_registry
 
 __all__ = ["ProcessShardRunner", "ShardedInferenceEngine"]
 
 
-# ----------------------------------------------------------------------
-# Worker-process side
-# ----------------------------------------------------------------------
-_WORKER_CTX: dict = {}
+class ProcessShardRunner:
+    """One-shot shard runner dispatching spec phases to a process pool.
 
-
-def _attach(name: str, dtype: str, length: int):
-    """Attach a shared-memory block as a numpy array.
-
-    Pool workers share the parent's resource tracker, where the block is
-    already registered (registration is a set, so the attach-side
-    duplicate is a no-op); the parent unlinks it exactly once in
-    :meth:`ProcessShardRunner.close`.
-    """
-    shm = shared_memory.SharedMemory(name=name)
-    arr = np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf)
-    return shm, arr
-
-
-def _worker_init(descriptor: dict) -> None:
-    shms = []
-    arrays = {}
-    for field in ("tasks", "workers", "values"):
-        name, dtype, length = descriptor[field]
-        shm, arr = _attach(name, dtype, length)
-        shms.append(shm)
-        arrays[field] = arr
-    shards = []
-    for k, ((lo, hi), (start, stop)) in enumerate(
-            zip(descriptor["answer_bounds"], descriptor["task_ranges"])):
-        shards.append(AnswerShard(
-            tasks=arrays["tasks"][lo:hi],
-            workers=arrays["workers"][lo:hi],
-            values=arrays["values"][lo:hi],
-            task_start=start,
-            task_stop=stop,
-            n_tasks=descriptor["n_tasks"],
-            n_workers=descriptor["n_workers"],
-            n_choices=descriptor["n_choices"],
-            index=k,
-        ))
-    method = create(descriptor["method"], **descriptor["method_kwargs"])
-    spec = method.make_em_spec(
-        n_tasks=descriptor["n_tasks"],
-        n_workers=descriptor["n_workers"],
-        n_choices=descriptor["n_choices"],
-    )
-    _WORKER_CTX["shms"] = shms  # keep the mappings alive
-    _WORKER_CTX["shards"] = shards
-    _WORKER_CTX["spec"] = spec
-
-
-def _worker_phase(k: int, phase: str, args: tuple):
-    spec = _WORKER_CTX["spec"]
-    shard = _WORKER_CTX["shards"][k]
-    return getattr(spec, phase)(shard, spec.shard_ops(shard), *args)
-
-
-# ----------------------------------------------------------------------
-# Master side
-# ----------------------------------------------------------------------
-class ProcessShardRunner(SerialShardRunner):
-    """Shard runner dispatching spec phases to a process pool.
+    A thin lease on a private :class:`~repro.engine.runtime.ShardRuntime`:
+    construction places the task-sorted answer arrays in shared memory
+    and pins shard ``k`` to single-worker pool ``k % max_workers``;
+    :meth:`close` (or the ``with`` block) shuts the pools down and
+    unlinks the segments.  For *repeated* fits prefer leasing from the
+    shared registry (what :class:`ShardedInferenceEngine` does) so the
+    spawn and placement amortise across fits.
 
     The master keeps its own spec instance (for ``finalize`` and M-step
-    orchestration) and the full :class:`ShardedAnswerSet`; workers hold
-    shard *views* over the shared-memory arrays plus their own spec
-    rebuilt from the method registry, with per-shard operators cached
-    across iterations.  Use as a context manager — or call
-    :meth:`close` — to shut the pool down and unlink the shared blocks.
+    orchestration); workers hold shard views over the shared-memory
+    arrays plus their own spec rebuilt from the method registry, with
+    per-shard operators cached across iterations.
     """
 
     def __init__(self, answers: AnswerSet, method: str,
                  method_kwargs: Mapping | None = None, n_shards: int = 4,
                  max_workers: int | None = None) -> None:
-        instance = create(method, **(method_kwargs or {}))
-        if not instance.supports_sharding:
-            raise ValueError(
-                f"{method} does not support sharded EM"
-            )
-        sharded = ShardedAnswerSet(answers, n_shards)
-        spec = instance.make_em_spec(
-            n_tasks=answers.n_tasks,
-            n_workers=answers.n_workers,
-            n_choices=answers.n_choices,
-        )
-        super().__init__(spec, sharded.shards)
-        self.sharded = sharded
-
-        flat = {
-            "tasks": sharded.flat_tasks,
-            "workers": sharded.flat_workers,
-            "values": sharded.flat_values,
-        }
-        self._shms: list[shared_memory.SharedMemory] = []
-        descriptor: dict = {
-            "n_tasks": answers.n_tasks,
-            "n_workers": answers.n_workers,
-            "n_choices": answers.n_choices,
-            "method": method,
-            "method_kwargs": dict(method_kwargs or {}),
-            "task_ranges": sharded.task_ranges,
-        }
-        bounds = []
-        offset = 0
-        for shard in sharded.shards:
-            bounds.append((offset, offset + shard.n_answers))
-            offset += shard.n_answers
-        descriptor["answer_bounds"] = bounds
+        self._runtime = ShardRuntime(n_shards=n_shards,
+                                     max_workers=max_workers)
         try:
-            for field, arr in flat.items():
-                shm = shared_memory.SharedMemory(
-                    create=True, size=max(arr.nbytes, 1))
-                self._shms.append(shm)
-                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
-                view[:] = arr
-                descriptor[field] = (shm.name, arr.dtype.str, len(arr))
-        except Exception:
-            # Don't leak already-created segments (e.g. /dev/shm full on
-            # the second block): __init__ never returns, so close()
-            # would be unreachable.
-            self._release_shms()
+            self._lease = self._runtime.lease(answers, method,
+                                              method_kwargs)
+        except BaseException:
+            self._runtime.close()
             raise
-
-        workers = max_workers or min(self.n_shards, os.cpu_count() or 1)
-        self.max_workers = max(1, min(workers, self.n_shards))
-        # One single-worker pool per slot, with shard k pinned to pool
-        # k % max_workers: specs keep *state* per shard (cached scatter
-        # operators, GLAD's per-M-step match cache), so every phase of a
-        # shard must land in the same process.  Anonymous pool workers
-        # would scatter that state — and rebuild the operators — all
-        # over the pool.
-        self._pools = [
-            ProcessPoolExecutor(max_workers=1, initializer=_worker_init,
-                                initargs=(descriptor,))
-            for _ in range(self.max_workers)
-        ]
         self._closed = False
 
-    def call(self, phase: str, per_shard=None, shared: tuple = ()) -> list:
-        futures = []
-        for k in range(self.n_shards):
-            args: tuple = ()
-            if per_shard is not None:
-                entry = per_shard[k]
-                args = entry if isinstance(entry, tuple) else (entry,)
-            futures.append(self._pools[k % self.max_workers].submit(
-                _worker_phase, k, phase, args + shared))
-        return [future.result() for future in futures]
+    # -- SerialShardRunner surface (delegated to the lease) ------------
+    @property
+    def spec(self):
+        return self._lease.spec
 
-    def _release_shms(self) -> None:
-        for shm in self._shms:
-            try:
-                shm.close()
-                shm.unlink()
-            except FileNotFoundError:  # already unlinked elsewhere
-                pass
-        self._shms = []
+    @property
+    def n_shards(self) -> int:
+        return self._lease.n_shards
+
+    @property
+    def max_workers(self) -> int:
+        return self._runtime.max_workers
+
+    @property
+    def task_ranges(self) -> list[tuple[int, int]]:
+        return self._lease.task_ranges
+
+    def m_step(self, state: np.ndarray, prev_params=None):
+        return self._lease.m_step(state, prev_params)
+
+    def call(self, phase: str, per_shard=None, shared: tuple = ()) -> list:
+        return self._lease.call(phase, per_shard=per_shard, shared=shared)
+
+    # -- lifecycle -----------------------------------------------------
+    def segment_names(self) -> list[str]:
+        """Live shared-memory segment names (for leak tests)."""
+        return self._runtime.segment_names()
 
     def close(self) -> None:
         """Shut down the pools and release the shared-memory blocks."""
         if self._closed:
             return
         self._closed = True
-        for pool in self._pools:
-            pool.shutdown(wait=True)
-        self._release_shms()
+        self._lease.close()
+        self._runtime.close()
 
     def __enter__(self) -> "ProcessShardRunner":
         return self
@@ -223,7 +119,7 @@ class ProcessShardRunner(SerialShardRunner):
 
 
 class ShardedInferenceEngine:
-    """One-shot sharded fits with automatic thread/process placement.
+    """Sharded fits with automatic thread/process placement.
 
     Parameters
     ----------
@@ -242,6 +138,19 @@ class ShardedInferenceEngine:
     seed:
         Seed forwarded to method construction, as in
         :class:`~repro.engine.engine.InferenceEngine`.
+    persistent:
+        When True (default) the process tier leases pools and segments
+        from ``registry`` and keeps them warm between fits; repeated
+        ``fit`` calls on the same answer set skip placement entirely.
+        ``False`` restores the per-fit :class:`ProcessShardRunner`
+        (spawn + place + teardown every fit) — only sensible for one
+        isolated large fit.
+    registry:
+        Runtime registry for the persistent tier; defaults to the
+        process-wide one (:func:`~repro.engine.runtime.get_runtime_registry`).
+
+    The engine is a context manager; ``close()`` releases its runtime
+    (safe even when shared — the registry respawns on next use).
 
     Example
     -------
@@ -254,7 +163,9 @@ class ShardedInferenceEngine:
     def __init__(self, n_shards: int | None = None,
                  max_workers: int | None = None, executor: str = "auto",
                  process_threshold: int = 200_000,
-                 seed: int | None = 0) -> None:
+                 seed: int | None = 0,
+                 persistent: bool = True,
+                 registry: RuntimeRegistry | None = None) -> None:
         if executor not in self._MODES:
             raise ValueError(
                 f"executor must be one of {self._MODES}, got {executor!r}"
@@ -267,6 +178,9 @@ class ShardedInferenceEngine:
         self.executor = executor
         self.process_threshold = process_threshold
         self.seed = seed
+        self.persistent = persistent
+        self._registry = registry
+        self._runtime: ShardRuntime | None = None
         #: Execution tier of the most recent fit ("process"/"thread"/
         #: "serial"), for introspection and tests.
         self.last_mode: str | None = None
@@ -283,6 +197,33 @@ class ShardedInferenceEngine:
         if (self.max_workers or 0) > 1 or cpus > 1:
             return "thread"
         return "serial"
+
+    def _lease_runtime(self, answers: AnswerSet, method: str,
+                       runner_kwargs: dict):
+        """Lease from the registry (retrying past concurrent closes)
+        and remember the runtime for ``close()``/introspection."""
+        registry = self._registry or get_runtime_registry()
+        self._runtime, lease = registry.lease(
+            self.n_shards, self.max_workers, answers, method,
+            runner_kwargs)
+        return lease
+
+    def close(self) -> None:
+        """Release the engine's runtime (idempotent).
+
+        The runtime may be shared through the registry; closing it here
+        is still safe — the next ``fit`` (from this engine or any other
+        registry user) lazily respawns it.
+        """
+        if self._runtime is not None:
+            self._runtime.close()
+            self._runtime = None
+
+    def __enter__(self) -> "ShardedInferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def fit(
         self,
@@ -319,6 +260,11 @@ class ShardedInferenceEngine:
             # state — seed included — cannot diverge between tiers.
             runner_kwargs = {"seed": self.seed, **method_kwargs}
             instance = create(method, **runner_kwargs)
+            if self.persistent:
+                with self._lease_runtime(answers, method,
+                                         runner_kwargs) as runner:
+                    return instance.fit(answers, shard_runner=runner,
+                                        **fit_kwargs)
             with ProcessShardRunner(
                     answers, method, runner_kwargs,
                     n_shards=self.n_shards,
@@ -337,4 +283,5 @@ class ShardedInferenceEngine:
 
     def __repr__(self) -> str:
         return (f"ShardedInferenceEngine(n_shards={self.n_shards}, "
-                f"executor={self.executor!r})")
+                f"executor={self.executor!r}, "
+                f"persistent={self.persistent})")

@@ -8,6 +8,7 @@ the per-figure modules only express *what varies*.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 from typing import Iterable, Mapping
@@ -40,6 +41,7 @@ def run_method(
     seed_posterior: np.ndarray | None = None,
     n_shards: int | None = None,
     shard_workers: int | None = None,
+    shard_executor: str | None = None,
 ) -> MethodRun:
     """Run one method on one dataset and score it.
 
@@ -48,18 +50,34 @@ def run_method(
     forwards a shared majority-vote posterior to methods that accept
     one; ``n_shards``/``shard_workers`` turn on sharded EM for methods
     that support it (ignored for the rest, so grids can set them
-    globally).
+    globally).  ``shard_executor="process"`` runs the sharded fit on a
+    persistent :class:`~repro.engine.runtime.ShardRuntime` leased from
+    the shared registry: repeated calls on the same ``dataset.answers``
+    (a method sweep) reuse the warm pools and placed segments.
     """
+    supports_sharding = getattr(
+        method_class(method_name), "supports_sharding", False)
     kwargs = dict(method_kwargs or {})
-    if n_shards and n_shards > 1 and getattr(
-            method_class(method_name), "supports_sharding", False):
+    if n_shards and n_shards > 1 and supports_sharding:
         kwargs.setdefault("n_shards", n_shards)
         if shard_workers:
             kwargs.setdefault("shard_workers", shard_workers)
+    effective_shards = kwargs.get("n_shards", 0)
     method = create(method_name, seed=seed, **kwargs)
-    result = method.fit(dataset.answers, golden=golden,
-                        initial_quality=initial_quality,
-                        seed_posterior=seed_posterior)
+    runner_cm = contextlib.nullcontext(None)
+    if (shard_executor == "process" and supports_sharding
+            and effective_shards > 1):
+        from ..engine.runtime import get_runtime_registry
+
+        _, runner_cm = get_runtime_registry().lease(
+            effective_shards,
+            kwargs.get("shard_workers") or shard_workers or None,
+            dataset.answers, method_name, {"seed": seed, **kwargs})
+    with runner_cm as shard_runner:
+        result = method.fit(dataset.answers, golden=golden,
+                            initial_quality=initial_quality,
+                            seed_posterior=seed_posterior,
+                            shard_runner=shard_runner)
     exclude = set(int(t) for t in golden) if golden else None
     scores = dataset.score(result, exclude=exclude)
     return MethodRun(
@@ -79,6 +97,7 @@ def run_many(
     max_workers: int | None = None,
     n_shards: int | None = None,
     executor: str | None = None,
+    shard_executor: str | None = None,
     **kwargs,
 ) -> list[MethodRun]:
     """Run several methods (default: all applicable) on one dataset.
@@ -87,7 +106,10 @@ def run_many(
     :class:`~repro.engine.batch.BatchRunner` pool (threads by default,
     ``executor="process"`` for a process pool) instead of running
     serially; results keep method order either way.  ``n_shards`` turns
-    on sharded EM for the methods that support it.
+    on sharded EM for the methods that support it, and
+    ``shard_executor="process"`` runs those fits on the shared
+    persistent runtime (one pool spawn + data placement for the whole
+    sweep).
     """
     if method_names is None:
         method_names = methods_for_task_type(dataset.task_type)
@@ -108,8 +130,8 @@ def run_many(
                      **kwargs)
             for name in method_names
         ]
-        return BatchRunner(max_workers=max_workers,
-                           executor=executor).run(jobs)
+        return BatchRunner(max_workers=max_workers, executor=executor,
+                           shard_executor=shard_executor).run(jobs)
     # Serial path: still share one majority-vote posterior per dataset
     # across every method that can start from it.
     seed_posterior = None
@@ -120,7 +142,8 @@ def run_many(
 
         seed_posterior = normalize_rows(dataset.answers.vote_counts())
     return [run_method(name, dataset, seed=seed, n_shards=n_shards,
-                       seed_posterior=seed_posterior, **kwargs)
+                       seed_posterior=seed_posterior,
+                       shard_executor=shard_executor, **kwargs)
             for name in method_names]
 
 
@@ -131,6 +154,7 @@ def run_grid(
     max_workers: int | None = None,
     n_shards: int | None = None,
     executor: str | None = None,
+    shard_executor: str | None = None,
 ) -> list[MethodRun]:
     """Cross datasets with applicable methods, optionally in parallel.
 
@@ -140,8 +164,8 @@ def run_grid(
     """
     from ..engine.batch import BatchRunner
 
-    return BatchRunner(max_workers=max_workers or 1,
-                       executor=executor).run_grid(
+    return BatchRunner(max_workers=max_workers or 1, executor=executor,
+                       shard_executor=shard_executor).run_grid(
         datasets, methods=methods, seed=seed, n_shards=n_shards
     )
 

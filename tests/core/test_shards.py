@@ -33,7 +33,9 @@ class TestPartitioner:
     def test_ranges_partition_task_space(self, n_shards):
         answers = build_answers()
         sharded = shard_by_tasks(answers, n_shards)
-        assert sharded.n_shards == n_shards
+        # Requests beyond the task count clamp deterministically.
+        assert sharded.n_shards == min(n_shards, answers.n_tasks)
+        assert sharded.requested_shards == n_shards
         assert sharded[0].task_start == 0
         assert sharded[-1].task_stop == answers.n_tasks
         for prev, nxt in zip(sharded, sharded.shards[1:]):
@@ -84,10 +86,11 @@ class TestPartitioner:
         assert max(sizes) <= answers.n_answers
         assert sum(1 for s in sizes if s > 0) >= 2
 
-    def test_more_shards_than_tasks_gives_empty_ranges(self):
+    def test_more_shards_than_tasks_clamps_to_task_count(self):
         answers = build_answers(n_tasks=3, n_answers=30)
         sharded = shard_by_tasks(answers, 8)
-        assert sharded.n_shards == 8
+        assert sharded.n_shards == 3
+        assert sharded.requested_shards == 8
         assert sum(s.n_answers for s in sharded) == 30
         assert sharded[-1].task_stop == 3
 

@@ -59,7 +59,7 @@ class TestProcessShardRunner:
         answers, _ = build_answers()
         runner = ProcessShardRunner(answers, "ZC", n_shards=2,
                                     max_workers=1)
-        names = [shm.name for shm in runner._shms]
+        names = runner.segment_names()
         create("ZC", seed=0).fit(answers, shard_runner=runner)
         runner.close()
         runner.close()  # idempotent

@@ -18,8 +18,12 @@ class TestParser:
             ["infer", "answers.csv", "--method", "ZC"],
             ["stream", "answers.csv", "--method", "ZC",
              "--chunk-size", "100"],
+            ["stream", "answers.csv", "--executor", "process",
+             "--shards", "4"],
             ["batch", "--datasets", "D_PosSent", "--methods", "MV",
              "--workers", "2"],
+            ["batch", "--methods", "D&S", "--shards", "4",
+             "--shard-executor", "process"],
             ["plan-redundancy", "--dataset", "D_PosSent"],
         ):
             args = parser.parse_args(argv)
@@ -129,6 +133,84 @@ class TestCommands:
         assert main(["batch", "--datasets", "D_PosSent", "--methods",
                      "MV", "--scale", "0.05", "--workers", "0"]) == 1
         assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_stream_invalid_workers_fails_like_batch(self, tmp_path,
+                                                     capsys):
+        # stream and batch historically disagreed: stream accepted
+        # --workers 0.  Validation is now shared and identical.
+        path = tmp_path / "answers.csv"
+        path.write_text("t1,w1,yes\nt1,w2,no\n")
+        assert main(["stream", str(path), "--method", "MV",
+                     "--workers", "0"]) == 1
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["stream", "answers.csv", "--shards", "0"],
+        ["batch", "--datasets", "D_PosSent", "--shards", "0",
+         "--scale", "0.05"],
+    ])
+    def test_invalid_shards_rejected_uniformly(self, argv, capsys):
+        assert main(argv) == 1
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_stream_invalid_chunk_size_rejected(self, tmp_path, capsys):
+        path = tmp_path / "answers.csv"
+        path.write_text("t1,w1,yes\nt1,w2,no\n")
+        assert main(["stream", str(path), "--chunk-size", "0"]) == 1
+        assert "--chunk-size must be >= 1" in capsys.readouterr().err
+
+    def test_stream_shards_beyond_task_count_clamped(self, tmp_path,
+                                                     capsys):
+        # More shards than tasks is not an error: shard_by_tasks clamps
+        # deterministically and the run succeeds.
+        path = tmp_path / "answers.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            for task in ("t1", "t2", "t3"):
+                for worker in ("w1", "w2", "w3"):
+                    writer.writerow([task, worker,
+                                     "yes" if task == "t1" else "no"])
+        assert main(["stream", str(path), "--method", "D&S",
+                     "--shards", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "t1,yes" in out
+        assert "t3,no" in out
+
+    def test_batch_shards_beyond_task_count_clamped(self, capsys):
+        code = main(["batch", "--datasets", "D_PosSent", "--methods",
+                     "D&S", "--scale", "0.05", "--workers", "1",
+                     "--shards", "100000"])
+        assert code == 0
+        assert "Batch grid: 1 jobs" in capsys.readouterr().out
+
+    def test_stream_process_executor_end_to_end(self, tmp_path, capsys):
+        path = tmp_path / "answers.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            for task in range(12):
+                for worker in ("w1", "w2", "w3"):
+                    writer.writerow([f"t{task}", worker,
+                                     "yes" if task % 2 else "no"])
+        code = main(["stream", str(path), "--method", "D&S",
+                     "--chunk-size", "12", "--shards", "2",
+                     "--workers", "1", "--executor", "process"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm refit" in out
+        assert "t0,no" in out and "t1,yes" in out
+
+    def test_batch_shard_executor_process_end_to_end(self, capsys):
+        from repro.engine.runtime import get_runtime_registry
+
+        try:
+            code = main(["batch", "--datasets", "D_PosSent", "--methods",
+                         "D&S", "ZC", "--scale", "0.05", "--workers", "1",
+                         "--shards", "2", "--shard-executor", "process"])
+        finally:
+            get_runtime_registry().close_all()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Batch grid: 2 jobs" in out
 
     def test_batch_empty_grid_fails_loudly(self, capsys):
         # LFC_N is numeric-only; every selected dataset is categorical.
