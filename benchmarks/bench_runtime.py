@@ -34,6 +34,7 @@ import time
 import numpy as np
 
 from repro.core.answers import AnswerSet
+from repro.core.policy import ExecutionPolicy, MethodSpec
 from repro.core.registry import create
 from repro.core.tasktypes import TaskType
 from repro.engine.runtime import ShardRuntime
@@ -80,19 +81,25 @@ def synthetic_stream(base_answers: int, seed: int = 0):
 def run_benchmark(base_answers: int, n_shards: int = N_SHARDS,
                   method: str = "D&S"):
     snapshots = synthetic_stream(base_answers)
-    kwargs = {"seed": 0, "max_iter": MAX_ITER}
+    # The policy-configured spelling: what to run is a MethodSpec, how
+    # to run is an ExecutionPolicy resolved to a concrete process plan
+    # (both paths below execute that same plan).
+    spec = MethodSpec(method, seed=0, max_iter=MAX_ITER)
+    plan = ExecutionPolicy(n_shards=n_shards,
+                           executor="process").resolve(snapshots[0])
     rows = []
     overhead_perfit, overhead_warm = [], []
     parity = []
-    with ShardRuntime(n_shards=n_shards) as runtime:
+    with ShardRuntime(n_shards=plan.n_shards,
+                      max_workers=plan.max_workers) as runtime:
         for step, answers in enumerate(snapshots):
             # Per-fit path: spawn + place + fit + teardown, every time.
             t0 = time.perf_counter()
-            runner = ProcessShardRunner(answers, method, kwargs,
-                                        n_shards=n_shards)
+            runner = ProcessShardRunner(answers, spec,
+                                        n_shards=plan.n_shards,
+                                        max_workers=plan.max_workers)
             t1 = time.perf_counter()
-            cold = create(method, **kwargs).fit(answers,
-                                                shard_runner=runner)
+            cold = create(spec).fit(answers, shard_runner=runner)
             t2 = time.perf_counter()
             runner.close()
             t3 = time.perf_counter()
@@ -101,11 +108,10 @@ def run_benchmark(base_answers: int, n_shards: int = N_SHARDS,
 
             # Warm path: lease the persistent runtime; growth appends.
             t0 = time.perf_counter()
-            lease = runtime.lease(answers, method, kwargs,
+            lease = runtime.lease(answers, spec,
                                   stream_key="bench-stream")
             t1 = time.perf_counter()
-            warm = create(method, **kwargs).fit(answers,
-                                                shard_runner=lease)
+            warm = create(spec).fit(answers, shard_runner=lease)
             t2 = time.perf_counter()
             lease.close()
             t3 = time.perf_counter()

@@ -31,6 +31,7 @@ import time
 import numpy as np
 
 from repro.core.answers import AnswerSet
+from repro.core.policy import ExecutionPolicy
 from repro.core.registry import create
 from repro.core.tasktypes import TaskType
 from repro.engine.sharded import ShardedInferenceEngine
@@ -93,11 +94,11 @@ def run_benchmark(n_answers: int, n_shards: int = N_SHARDS):
     # Processes only pay off at scale: per-fit pool spawn plus the
     # per-phase IPC dwarfs a smoke-sized fit, so the smoke gate (and any
     # single-core host) stays on the in-process tier.
-    engine = ShardedInferenceEngine(
+    engine = ShardedInferenceEngine(ExecutionPolicy(
         n_shards=n_shards,
         max_workers=min(n_shards, cpus),
         executor="process" if (cpus > 1 and full_scale) else "serial",
-    )
+    ))
     jobs = [
         ("D&S", MAX_ITER,
          lambda tol, it: reference_confusion_em(

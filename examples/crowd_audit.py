@@ -17,7 +17,7 @@ from repro.analysis import (
     profile_pool,
     task_entropy,
 )
-from repro.core import create
+from repro.core import MethodSpec, create
 from repro.core.answers import AnswerSet
 from repro.core.tasktypes import TaskType
 from repro.metrics import fleiss_kappa
@@ -67,7 +67,7 @@ def main() -> None:
     print(f"task triage: mean answer entropy {np.nanmean(entropy):.3f}; "
           f"{len(contested)} contested tasks flagged for extra redundancy")
 
-    result = create("D&S", seed=0).fit(answers)
+    result = create(MethodSpec("D&S", seed=0)).fit(answers)
     report = disagreement_report(answers, result)
     print(f"D&S audit: {report.summary()}")
 

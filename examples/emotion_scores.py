@@ -10,7 +10,7 @@ Run:  python examples/emotion_scores.py
 
 import numpy as np
 
-from repro import TaskType, create
+from repro import MethodSpec, TaskType, create
 from repro.datasets.schema import Dataset
 from repro.metrics import mae, rmse
 from repro.simulation import CrowdPlatform, NumericWorker
@@ -33,7 +33,7 @@ def report(title, dataset):
     print("-" * 26)
     best = None
     for name in METHODS:
-        result = create(name, seed=0).fit(dataset.answers)
+        result = create(MethodSpec(name, seed=0)).fit(dataset.answers)
         err_mae = mae(dataset.truth, result.truths)
         err_rmse = rmse(dataset.truth, result.truths)
         if best is None or err_mae < best[1]:

@@ -9,7 +9,7 @@ keep — the central finding of the paper's Table 6 on D_Product.
 Run:  python examples/entity_resolution.py
 """
 
-from repro import create, load_paper_dataset
+from repro import MethodSpec, create, load_paper_dataset
 from repro.metrics import accuracy, f1_score, precision_recall
 
 METHODS = ("MV", "ZC", "D&S", "LFC", "BCC", "PM", "KOS")
@@ -28,7 +28,7 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for name in METHODS:
-        result = create(name, seed=0).fit(dataset.answers)
+        result = create(MethodSpec(name, seed=0)).fit(dataset.answers)
         acc = accuracy(dataset.truth, result.truths)
         f1 = f1_score(dataset.truth, result.truths)
         precision, recall = precision_recall(dataset.truth, result.truths)

@@ -10,7 +10,7 @@ Run:  python examples/method_selection.py [scale]
 
 import sys
 
-from repro import all_paper_datasets, create, methods_for_task_type
+from repro import MethodSpec, all_paper_datasets, create, methods_for_task_type
 from repro.experiments.reporting import format_table
 
 PRIMARY_METRIC = {
@@ -25,8 +25,9 @@ PRIMARY_METRIC = {
 def leaderboard(dataset, metric):
     rows = []
     for name in methods_for_task_type(dataset.task_type):
-        kwargs = {"max_iter": 8} if name == "Minimax" else {}
-        result = create(name, seed=0, **kwargs).fit(dataset.answers)
+        spec = (MethodSpec(name, seed=0, max_iter=8)
+                if name == "Minimax" else MethodSpec(name, seed=0))
+        result = create(spec).fit(dataset.answers)
         scores = dataset.score(result)
         rows.append((name, scores[metric], result.elapsed_seconds))
     reverse = metric != "mae"  # errors sort ascending

@@ -6,6 +6,10 @@ the same budget of answers under four policies and prints the quality
 trajectory: uncertainty-aware assignment concentrates redundancy where
 it matters and reaches higher accuracy per answer.
 
+(The policies here are *assignment* policies — which worker answers
+which task next — not :class:`repro.ExecutionPolicy`, which configures
+how a fit executes; this example needs no execution configuration.)
+
 Run:  python examples/online_assignment.py
 """
 

@@ -7,7 +7,7 @@ MV gets wrong — the exact walk-through of the paper's Section 3.
 Run:  python examples/quickstart.py
 """
 
-from repro import AnswerSet, TaskType, create
+from repro import AnswerSet, MethodSpec, TaskType, create
 
 # Table 2 of the paper.  Label encoding: F -> 0, T -> 1.
 T, F = 1, 0
@@ -34,9 +34,12 @@ def main() -> None:
     print()
 
     label = {0: "F", 1: "T"}
-    for name in ("MV", "PM", "D&S"):
-        method = create(name, seed=7)
-        result = method.fit(answers)
+    # What to run is a MethodSpec: the paper name plus construction
+    # kwargs, one comparable object instead of a string + dict pair.
+    for spec in (MethodSpec("MV", seed=7), MethodSpec("PM", seed=7),
+                 MethodSpec("D&S", seed=7)):
+        name = spec.name
+        result = create(spec).fit(answers)
         decoded = [label[int(v)] for v in result.truths]
         n_correct = sum(int(v) == t
                         for v, t in zip(result.truths, GROUND_TRUTH))

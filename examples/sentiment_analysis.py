@@ -11,7 +11,7 @@ Run:  python examples/sentiment_analysis.py
 
 import numpy as np
 
-from repro import TaskType, create
+from repro import MethodSpec, TaskType, create
 from repro.datasets.schema import Dataset
 from repro.metrics import accuracy
 from repro.simulation import CrowdPlatform, reliable_worker, spammer
@@ -54,9 +54,10 @@ def main() -> None:
     print(f"{'method':>6}  {'no test':>8}  {'with test':>9}  {'delta':>7}")
     print("-" * 36)
     for name in METHODS:
-        plain = create(name, seed=0).fit(answers)
-        boosted = create(name, seed=0).fit(answers,
-                                           initial_quality=initial_quality)
+        spec = MethodSpec(name, seed=0)
+        plain = create(spec).fit(answers)
+        boosted = create(spec).fit(answers,
+                                   initial_quality=initial_quality)
         acc_plain = accuracy(truths, plain.truths)
         acc_boosted = accuracy(truths, boosted.truths)
         delta = acc_boosted - acc_plain

@@ -18,19 +18,38 @@ The package provides:
 
 Quickstart::
 
-    from repro import create, load_paper_dataset
+    from repro import ExecutionPolicy, MethodSpec, create, load_paper_dataset
 
     dataset = load_paper_dataset("D_Product", seed=0, scale=0.2)
-    result = create("D&S", seed=0).fit(dataset.answers)
+
+    # What to run: a MethodSpec (name + construction kwargs).
+    spec = MethodSpec("D&S", seed=0)
+    result = create(spec).fit(dataset.answers)
     print(dataset.score(result))
+
+    # How to run: an ExecutionPolicy — sharded map-reduce EM, with the
+    # executor tier (serial / threads / processes) resolved per input.
+    policy = ExecutionPolicy(n_shards=4)
+    result = create(spec, policy=policy).fit(dataset.answers, policy=policy)
+
+Capabilities (warm starts, sharding, golden tasks, ...) are queried
+through ``capabilities(name)`` instead of probing class attributes::
+
+    from repro import capabilities
+    capabilities("D&S").warm_start  # -> True
 """
 
 from .core import (
     AnswerSet,
+    Capabilities,
+    ExecutionPlan,
+    ExecutionPolicy,
     InferenceResult,
+    MethodSpec,
     TaskType,
     TruthInferenceMethod,
     available_methods,
+    capabilities,
     create,
     create_all,
     methods_for_task_type,
@@ -38,18 +57,23 @@ from .core import (
 from .datasets import Dataset, all_paper_datasets, load_paper_dataset
 from .exceptions import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnswerSet",
+    "Capabilities",
     "Dataset",
+    "ExecutionPlan",
+    "ExecutionPolicy",
     "InferenceResult",
+    "MethodSpec",
     "ReproError",
     "TaskType",
     "TruthInferenceMethod",
     "__version__",
     "all_paper_datasets",
     "available_methods",
+    "capabilities",
     "create",
     "create_all",
     "load_paper_dataset",

@@ -8,24 +8,30 @@ Usage (after ``pip install -e .``)::
     python -m repro stream answers.csv --method "D&S" --chunk-size 200
     python -m repro stream answers.csv --method "D&S" --shards 4 --workers 2
     python -m repro stream answers.csv --shards 8 --executor process
+    python -m repro stream --source stdin --task-type decision --method "D&S"
     python -m repro run --dataset D_Product --method D&S --scale 0.2
     python -m repro batch --datasets D_Product D_PosSent --workers 4
     python -m repro batch --methods D&S GLAD --shards 8 --executor process
-    python -m repro batch --methods D&S ZC --shards 8 --shard-executor process
     python -m repro sweep --dataset D_PosSent --methods MV ZC D&S
     python -m repro plan-redundancy --dataset D_PosSent --method MV
 
 ``infer`` reads a headerless/headered CSV of ``task,worker,answer``
 triples, so the CLI works on real exported crowd data, not only on the
-replicas.  ``stream`` replays the same CSV through the
-:class:`~repro.engine.InferenceEngine` in chunks, warm-starting each
-refit from the previous one — the online-serving path.  ``batch`` fans a
-(dataset × method) grid across a thread or process pool.  Both accept
-``--shards`` to run each EM fit as sharded map-reduce (see
-:mod:`repro.inference.sharded`) and a process option (``stream
---executor process`` / ``batch --shard-executor process``) that leases
-the persistent shared-memory runtime (:mod:`repro.engine.runtime`)
-instead of spawning pools per fit.  Flag validation is shared across
+replicas.  ``stream`` feeds an :class:`~repro.engine.sources.AnswerSource`
+through the :class:`~repro.engine.InferenceEngine` in chunks,
+warm-starting each refit from the previous one — the online-serving
+path.  ``--source stdin`` serves a *live* line-delimited stream; it
+requires ``--task-type`` (a declared
+:class:`~repro.engine.sources.TaskSchema`), which also lets a CSV run
+skip the pre-scan.  ``batch`` fans a (dataset × method) grid across a
+thread pool.
+
+How each fit executes is one :class:`~repro.core.policy.ExecutionPolicy`
+spelled identically on both commands: ``--shards``, ``--workers`` and
+``--executor {auto,serial,thread,process}`` (``process`` leases the
+persistent shared-memory runtime of :mod:`repro.engine.runtime`
+instead of spawning pools per fit; ``batch --shard-executor`` remains
+as a hidden deprecated alias).  Flag validation is shared across
 commands (:func:`_require_minimums`); ``--shards`` beyond the task
 count is clamped deterministically by the shard layer.
 """
@@ -33,27 +39,39 @@ count is clamped deterministically by the shard layer.
 from __future__ import annotations
 
 import argparse
-import csv
 import sys
+import warnings
 
 from .core.answers import AnswerSet
+from .core.policy import EXECUTORS, ExecutionPolicy
 from .core.registry import available_methods, create, methods_for_task_type
 from .core.tasktypes import TaskType
 from .datasets.paper import PAPER_DATASET_NAMES, all_paper_datasets, load_paper_dataset
+from .engine.sources import TASK_TYPE_ALIASES
 from .experiments.reporting import format_series, format_table
 from .experiments.redundancy import sweep_redundancy
 from .experiments.stats import table5
 
+#: CLI spellings of the executor tiers — one source of truth with the
+#: policy layer, so argparse and :class:`ExecutionPolicy` cannot drift.
+EXECUTOR_CHOICES = list(EXECUTORS)
+
+#: CLI spellings of the declarable task types (every alias the source
+#: layer parses).
+TASK_TYPE_CHOICES = sorted(TASK_TYPE_ALIASES)
+
 
 def _cmd_methods(_args) -> int:
+    from .core.registry import capabilities
+
     rows = []
     for name in available_methods():
-        method = create(name)
-        types = ", ".join(sorted(t.value for t in method.task_types))
+        caps = capabilities(name)
+        types = ", ".join(sorted(t.value for t in caps.task_types))
         rows.append([
             name, types,
-            "yes" if method.supports_initial_quality else "no",
-            "yes" if method.supports_golden else "no",
+            "yes" if caps.initial_quality else "no",
+            "yes" if caps.golden else "no",
         ])
     print(format_table(
         ["method", "task types", "qualification", "hidden test"], rows,
@@ -111,21 +129,15 @@ def _cmd_sweep(args) -> int:
 def _read_answer_csv(path: str) -> list[tuple[str, str, str]]:
     """Read ``task,worker,answer`` triples, skipping an optional header.
 
-    Raises :class:`ValueError` on rows with fewer than three columns.
+    One parser for the whole CLI: delegates to
+    :class:`~repro.engine.sources.CsvAnswerSource`, which raises
+    :class:`ValueError` (with the row location) on malformed rows.
     """
-    records = []
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        for number, row in enumerate(reader, start=1):
-            if not row or row[0].strip().lower() in ("task", "#task"):
-                continue
-            if len(row) < 3:
-                raise ValueError(
-                    f"{path}:{number}: malformed row {row!r} "
-                    f"(expected task,worker,answer)"
-                )
-            records.append((row[0].strip(), row[1].strip(), row[2].strip()))
-    return records
+    from .engine.sources import CsvAnswerSource
+
+    return [record
+            for batch in CsvAnswerSource(path).batches(4096)
+            for record in batch]
 
 
 def _read_answer_csv_or_complain(path: str):
@@ -139,14 +151,6 @@ def _read_answer_csv_or_complain(path: str):
         print("no answers found", file=sys.stderr)
         return None
     return records
-
-
-def _classify_answer_labels(records) -> tuple[list[str], TaskType]:
-    """The label set of a CSV and the task type it implies."""
-    labels = sorted({value for _, _, value in records})
-    task_type = (TaskType.DECISION_MAKING if len(labels) == 2
-                 else TaskType.SINGLE_CHOICE)
-    return labels, task_type
 
 
 def _require_applicable(method: str, task_type: TaskType) -> str | None:
@@ -179,17 +183,37 @@ def _complain(message: str) -> int:
     return 1
 
 
+def _deprecated_flag(old: str, new: str) -> None:
+    """Announce a hidden legacy alias (stderr + DeprecationWarning)."""
+    message = f"{old} is deprecated; use {new}"
+    print(f"warning: {message}", file=sys.stderr)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def _execution_policy(args) -> ExecutionPolicy:
+    """The one ExecutionPolicy a command's flags spell."""
+    return ExecutionPolicy(
+        n_shards=args.shards,
+        executor=args.executor,
+        max_workers=args.workers or None,
+    )
+
+
 def _cmd_infer(args) -> int:
+    from .engine.sources import infer_schema
+
     records = _read_answer_csv_or_complain(args.answers)
     if records is None:
         return 1
 
-    labels, task_type = _classify_answer_labels(records)
-    error = _require_applicable(args.method, task_type)
+    schema = infer_schema(records)
+    labels = list(schema.labels)
+    error = _require_applicable(args.method, schema.task_type)
     if error:
         print(error, file=sys.stderr)
         return 1
-    answers = AnswerSet.from_records(records, task_type, label_order=labels)
+    answers = AnswerSet.from_records(records, schema.task_type,
+                                     label_order=labels)
     result = create(args.method, seed=args.seed).fit(answers)
 
     print(f"# method={args.method} tasks={answers.n_tasks} "
@@ -202,6 +226,32 @@ def _cmd_infer(args) -> int:
     return 0
 
 
+def _open_stream_source(args):
+    """The :class:`AnswerSource` a ``stream`` invocation names, or an
+    error string.
+
+    A declared ``--task-type`` builds a :class:`TaskSchema` up front —
+    no pre-scan, which is what makes ``--source stdin`` (or any live
+    stream) possible.  A CSV with no declared type keeps the legacy
+    behaviour: the source infers its schema with one read-through.
+    """
+    from .engine.sources import CsvAnswerSource, LineAnswerSource, TaskSchema
+
+    schema = (TaskSchema.declare(args.task_type)
+              if args.task_type else None)
+    if args.source == "stdin":
+        if args.answers:
+            return None, (f"--source stdin conflicts with the answers "
+                          f"path {args.answers!r}; pass one input")
+        if schema is None:
+            return None, ("--source stdin requires --task-type: a live "
+                          "stream cannot be pre-scanned")
+        return LineAnswerSource(sys.stdin, schema, name="<stdin>"), None
+    if not args.answers:
+        return None, "an answers CSV path is required with --source csv"
+    return CsvAnswerSource(args.answers, schema), None
+
+
 def _cmd_stream(args) -> int:
     from .engine import InferenceEngine
 
@@ -210,36 +260,41 @@ def _cmd_stream(args) -> int:
                               ("--chunk-size", args.chunk_size, 1))
     if error:
         return _complain(error)
-    records = _read_answer_csv_or_complain(args.answers)
-    if records is None:
-        return 1
-
-    # Pre-scan the label set to classify decision-making vs
-    # single-choice.  Fixing label_order up front is no longer required
-    # for warmth — the engine pads cached state across label growth —
-    # but it keeps label codes deterministic for the printed output.
-    labels, task_type = _classify_answer_labels(records)
-    error = _require_applicable(args.method, task_type)
+    source, error = _open_stream_source(args)
     if error:
-        print(error, file=sys.stderr)
-        return 1
-    with InferenceEngine(task_type, label_order=labels, seed=args.seed,
-                         n_shards=args.shards,
-                         shard_workers=args.workers,
-                         shard_executor=args.executor) as engine:
-        chunk = args.chunk_size
-        print(f"# streaming {len(records)} answers in chunks of {chunk} "
-              f"(method={args.method})")
-        for start in range(0, len(records), chunk):
-            engine.add_answers(records[start:start + chunk])
-            result = engine.infer(args.method)
-            warm = "warm" if result.extras.get("warm_started") else "cold"
-            snapshot = engine.stream.snapshot()
-            print(f"# +{min(chunk, len(records) - start)} answers -> "
-                  f"{snapshot.n_tasks} tasks, {snapshot.n_workers} workers | "
-                  f"{warm} refit: {result.n_iterations} iterations, "
-                  f"{result.elapsed_seconds * 1000:.1f} ms")
+        return _complain(error)
+    try:
+        schema = source.schema  # may pre-scan an undeclared CSV
+    except ValueError as exc:
+        return _complain(str(exc))
+    error = _require_applicable(args.method, schema.task_type)
+    if error:
+        return _complain(error)
+    policy = _execution_policy(args)
+    with InferenceEngine(seed=args.seed, policy=policy,
+                         **schema.engine_kwargs()) as engine:
+        print(f"# streaming {args.source} answers in chunks of "
+              f"{args.chunk_size} (method={args.method}, "
+              f"task-type={schema.task_type.value})")
+        from .exceptions import ReproError
 
+        total = 0
+        try:
+            for batch in source.batches(args.chunk_size):
+                total += engine.add_answers(batch)
+                result = engine.infer(args.method)
+                warm = ("warm" if result.extras.get("warm_started")
+                        else "cold")
+                snapshot = engine.stream.snapshot()
+                print(f"# +{len(batch)} answers -> "
+                      f"{snapshot.n_tasks} tasks, "
+                      f"{snapshot.n_workers} workers | "
+                      f"{warm} refit: {result.n_iterations} iterations, "
+                      f"{result.elapsed_seconds * 1000:.1f} ms")
+        except (ValueError, ReproError) as exc:
+            return _complain(str(exc))
+        if total == 0:
+            return _complain("no answers found")
         truth = engine.current_truth(args.method)
     print("task,inferred_truth")
     for task_id, value in truth.items():
@@ -254,6 +309,24 @@ def _cmd_batch(args) -> int:
                               ("--workers", args.workers, 1))
     if error:
         return _complain(error)
+    if args.shard_executor is not None:
+        _deprecated_flag("--shard-executor", "--executor")
+        if args.executor != "auto":
+            # Refuse to guess which of two explicit executor choices
+            # wins; silently ignoring either would be worse.
+            return _complain(
+                "--shard-executor conflicts with --executor; pass only "
+                "--executor"
+            )
+        args.executor = args.shard_executor
+    if args.executor in ("thread", "process") and args.shards <= 1:
+        # Before the flag unification, batch --executor chose the *job
+        # pool*; it now chooses each fit's execution tier, which is a
+        # no-op without sharding.  Say so instead of silently differing.
+        print(f"note: --executor {args.executor} configures each fit's "
+              f"sharded-EM tier and has no effect with --shards 1; job "
+              f"fan-out always uses threads (--workers)",
+              file=sys.stderr)
     if args.methods:
         unknown = [m for m in args.methods if m not in available_methods()]
         if unknown:
@@ -261,11 +334,11 @@ def _cmd_batch(args) -> int:
                              f"(see `repro methods`)")
     datasets = [load_paper_dataset(name, seed=args.seed, scale=args.scale)
                 for name in (args.datasets or PAPER_DATASET_NAMES)]
+    policy = ExecutionPolicy(n_shards=args.shards, executor=args.executor)
     with Timer() as timer:
         runs = run_grid(datasets, methods=args.methods or None,
                         seed=args.seed, max_workers=args.workers,
-                        n_shards=args.shards, executor=args.executor,
-                        shard_executor=args.shard_executor)
+                        policy=policy)
     if not runs:
         print("no (dataset, method) combinations are applicable; check "
               "the task types with `repro methods`", file=sys.stderr)
@@ -313,6 +386,16 @@ def _cmd_plan_redundancy(args) -> int:
     return 0
 
 
+def _executor_flag(parser: argparse.ArgumentParser) -> None:
+    """The unified ``--executor`` spelling (same on every command)."""
+    parser.add_argument("--executor", choices=EXECUTOR_CHOICES,
+                        default="auto",
+                        help="execution tier for each fit's sharded EM: "
+                             "auto resolves per input; 'process' leases "
+                             "the persistent warm-pool shared-memory "
+                             "runtime across fits")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -347,24 +430,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_stream = sub.add_parser(
         "stream",
-        help="replay a CSV through the streaming engine in chunks")
-    p_stream.add_argument("answers", help="CSV of task,worker,answer rows")
+        help="feed an answer source through the streaming engine")
+    p_stream.add_argument("answers", nargs="?", default=None,
+                          help="CSV of task,worker,answer rows "
+                               "(omit with --source stdin)")
     p_stream.add_argument("--method", default="D&S")
     p_stream.add_argument("--chunk-size", type=int, default=500)
     p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument("--source", choices=["csv", "stdin"],
+                          default="csv",
+                          help="where answers come from; stdin reads "
+                               "live line-delimited task,worker,answer "
+                               "rows and needs --task-type")
+    p_stream.add_argument("--task-type", choices=TASK_TYPE_CHOICES,
+                          default=None,
+                          help="declare the stream's task type instead "
+                               "of pre-scanning the CSV (required for "
+                               "--source stdin)")
     p_stream.add_argument("--shards", type=int, default=1,
                           help="task-range shards per refit (sharded EM; "
                                "clamped to the task count)")
     p_stream.add_argument("--workers", type=int, default=1,
                           help="parallel width for sharded refits: "
-                               "threads (1 = serial) or, with "
-                               "--executor process, pool slots")
-    p_stream.add_argument("--executor", choices=["thread", "process"],
-                          default="thread",
-                          help="where sharded refits run; 'process' "
-                               "keeps a persistent warm pool across "
-                               "refits and appends stream growth to "
-                               "its shared-memory segments")
+                               "threads, or pool slots with "
+                               "--executor process")
+    _executor_flag(p_stream)
 
     p_batch = sub.add_parser(
         "batch", help="fan a (dataset x method) grid across workers")
@@ -372,20 +462,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--datasets", nargs="+", default=None,
                          choices=PAPER_DATASET_NAMES)
     p_batch.add_argument("--methods", nargs="+", default=None)
-    p_batch.add_argument("--workers", type=int, default=4)
+    p_batch.add_argument("--workers", type=int, default=4,
+                         help="job fan-out width (fits running at once)")
     p_batch.add_argument("--shards", type=int, default=1,
                          help="task-range shards per fit for methods "
                               "with sharded EM (clamped to each "
                               "dataset's task count)")
-    p_batch.add_argument("--executor", choices=["thread", "process"],
-                         default=None,
-                         help="pool type for the job fan-out "
-                              "(default: threads)")
+    _executor_flag(p_batch)
     p_batch.add_argument("--shard-executor", choices=["thread", "process"],
-                         default=None,
-                         help="where sharded fits run; 'process' leases "
-                              "the persistent shared-memory runtime, "
-                              "spawning worker pools once per sweep")
+                         default=None, help=argparse.SUPPRESS)
 
     p_plan = sub.add_parser("plan-redundancy",
                             help="estimate the saturation redundancy")

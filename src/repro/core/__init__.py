@@ -14,8 +14,11 @@ from .base import (
     TruthInferenceMethod,
 )
 from .framework import ConvergenceTracker
+from .policy import ExecutionPlan, ExecutionPolicy, MethodSpec
 from .registry import (
+    Capabilities,
     available_methods,
+    capabilities,
     create,
     create_all,
     method_class,
@@ -29,17 +32,22 @@ __all__ = [
     "AnswerSet",
     "AnswerShard",
     "BinaryMethod",
+    "Capabilities",
     "CategoricalMethod",
     "ConvergenceTracker",
+    "ExecutionPlan",
+    "ExecutionPolicy",
     "GeneralMethod",
     "InferenceResult",
     "LABEL_FALSE",
     "LABEL_TRUE",
+    "MethodSpec",
     "NumericMethod",
     "ShardedAnswerSet",
     "TaskType",
     "TruthInferenceMethod",
     "available_methods",
+    "capabilities",
     "create",
     "create_all",
     "method_class",

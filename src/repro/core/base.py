@@ -26,6 +26,7 @@ import numpy as np
 from ..exceptions import TaskTypeMismatchError
 from .answers import AnswerSet
 from .framework import DEFAULT_MAX_ITER, DEFAULT_TOLERANCE
+from .policy import ExecutionPlan, ExecutionPolicy, MethodSpec
 from .result import InferenceResult
 from .tasktypes import TaskType
 
@@ -74,6 +75,13 @@ class TruthInferenceMethod(abc.ABC):
     #: 17-method experiment harness unless explicitly requested).
     is_extension: ClassVar[bool] = False
 
+    #: Filled by :func:`repro.core.registry.create`: the
+    #: :class:`~repro.core.policy.MethodSpec` this instance was built
+    #: from (execution knobs stripped), so ``fit(policy=...)``'s
+    #: process tier can rebuild the method inside worker processes.
+    #: ``None`` for instances constructed directly from the class.
+    method_spec: MethodSpec | None = None
+
     def __init__(
         self,
         tolerance: float = DEFAULT_TOLERANCE,
@@ -108,6 +116,7 @@ class TruthInferenceMethod(abc.ABC):
         warm_start: InferenceResult | None = None,
         seed_posterior: np.ndarray | None = None,
         shard_runner=None,
+        policy: ExecutionPolicy | ExecutionPlan | None = None,
     ) -> InferenceResult:
         """Infer truths and worker qualities from an answer set.
 
@@ -147,6 +156,16 @@ class TruthInferenceMethod(abc.ABC):
             place of the serial runner they would build from
             ``n_shards``.  Ignored by methods without
             ``supports_sharding``.
+        policy:
+            Optional :class:`~repro.core.policy.ExecutionPolicy` (or
+            already-resolved plan) deciding *how this one fit* runs:
+            resolved against ``answers``, it overrides the instance's
+            constructor sharding knobs — serial/thread plans build the
+            matching in-process runner, process plans lease the
+            persistent shared-memory runtime (one-shot when the plan
+            says ``persistent=False``).  Ignored by methods without
+            ``supports_sharding`` and whenever ``shard_runner`` is
+            supplied explicitly.
         """
         if answers.task_type not in self.task_types:
             raise TaskTypeMismatchError(
@@ -180,20 +199,25 @@ class TruthInferenceMethod(abc.ABC):
                         f"got {seed_posterior.shape}"
                     )
             extra_kwargs["seed_posterior"] = seed_posterior
-        if self.supports_sharding:
-            extra_kwargs["shard_runner"] = shard_runner
+        runner_cm = contextlib.nullcontext(shard_runner)
+        if (self.supports_sharding and policy is not None
+                and shard_runner is None):
+            runner_cm = self._policy_runner(answers, policy)
 
         rng = np.random.default_rng(self.seed)
         started = time.perf_counter()
-        result = self._fit(
-            answers,
-            golden=golden if self.supports_golden else None,
-            initial_quality=(
-                initial_quality if self.supports_initial_quality else None
-            ),
-            rng=rng,
-            **extra_kwargs,
-        )
+        with runner_cm as runner:
+            if self.supports_sharding:
+                extra_kwargs["shard_runner"] = runner
+            result = self._fit(
+                answers,
+                golden=golden if self.supports_golden else None,
+                initial_quality=(
+                    initial_quality if self.supports_initial_quality else None
+                ),
+                rng=rng,
+                **extra_kwargs,
+            )
         result.elapsed_seconds = time.perf_counter() - started
         result.method = self.name
         return result
@@ -250,6 +274,58 @@ class TruthInferenceMethod(abc.ABC):
         raise NotImplementedError(
             f"{self.name} does not express its EM as sharded statistics"
         )
+
+    @contextlib.contextmanager
+    def _policy_runner(self, answers: AnswerSet,
+                       policy: ExecutionPolicy | ExecutionPlan):
+        """Yield the shard runner a resolved execution plan calls for.
+
+        Serial/thread plans build the in-process runner directly (the
+        plan overrides the instance's constructor knobs); process plans
+        lease the persistent shared-memory runtime — or a one-shot
+        process runner when the plan says ``persistent=False``.
+        """
+        plan = (policy.resolve(answers)
+                if isinstance(policy, ExecutionPolicy) else policy)
+        if plan.mode == "process":
+            spec = self.method_spec
+            if spec is None:
+                raise ValueError(
+                    f"fit(policy=...) with a process plan needs a "
+                    f"registry-created method so worker processes can "
+                    f"rebuild it; construct {self.name} via "
+                    f"create()/MethodSpec instead of the class"
+                )
+            if plan.persistent:
+                from ..engine.runtime import get_runtime_registry
+
+                _, lease = get_runtime_registry().lease(
+                    plan, answers, spec)
+                with lease as runner:
+                    yield runner
+            else:
+                from ..engine.sharded import ProcessShardRunner
+
+                with ProcessShardRunner(
+                        answers, spec, n_shards=plan.n_shards,
+                        max_workers=plan.max_workers) as runner:
+                    yield runner
+            return
+        from ..inference.sharded import make_runner
+
+        spec = self.make_em_spec(
+            n_tasks=answers.n_tasks,
+            n_workers=answers.n_workers,
+            n_choices=answers.n_choices,
+        )
+        if (plan.mode == "thread" and plan.n_shards > 1
+                and plan.max_workers > 1):
+            with ThreadPoolExecutor(
+                    max_workers=min(plan.max_workers, plan.n_shards)
+            ) as pool:
+                yield make_runner(answers, spec, plan.n_shards, pool=pool)
+        else:
+            yield make_runner(answers, spec, plan.n_shards)
 
     @contextlib.contextmanager
     def _shard_runner(self, answers: AnswerSet, shard_runner=None):

@@ -1,0 +1,327 @@
+"""One execution vocabulary: :class:`ExecutionPolicy` and :class:`MethodSpec`.
+
+Three PRs of scaling work grew five overlapping entry points, each
+spelling "how to run" with a different kwarg subset (``n_shards=``,
+``shard_workers=``, ``executor=``, ``shard_executor=``, ``persistent=``)
+while "what to run" travelled as ``(method_name, method_kwargs)`` dict
+pairs.  This module is the single configuration surface both collapse
+into:
+
+* :class:`ExecutionPolicy` — a frozen, declarative description of *how*
+  a fit should execute: shard count, executor tier, pool width,
+  persistence, and the auto-tiering thresholds.  ``resolve(answers)``
+  turns the declaration into a concrete :class:`ExecutionPlan` for one
+  answer set.  Every layer (``create``, ``fit``, the engines, the batch
+  runners, the CLI, the runtime registry) accepts ``policy=``.
+* :class:`MethodSpec` — a frozen ``(name, kwargs)`` description of
+  *what* to run, replacing the loose string + ``method_kwargs`` dict
+  pairs.  Specs are picklable, comparable (cache keys) and carry enough
+  to rebuild the method in a worker process.
+
+The policy is declarative: applying it to a method that cannot shard is
+a no-op (grids set one policy globally and only the sharded-EM methods
+act on it), exactly like the other per-method capability knobs.
+
+Legacy spellings remain available everywhere through deprecation shims
+that construct these objects and warn once per call —
+:func:`warn_legacy` is the shared shim vocabulary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from typing import Any, Mapping
+
+__all__ = [
+    "ExecutionPlan",
+    "ExecutionPolicy",
+    "MethodSpec",
+    "warn_legacy",
+]
+
+#: Executor tiers an :class:`ExecutionPolicy` may name.
+EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: ``auto`` reaches for processes at this answer count (the threshold
+#: previously hard-coded in ``repro.engine.sharded``).
+DEFAULT_PROCESS_THRESHOLD = 200_000
+
+#: ``n_shards=None`` resolves to ``max(2, min(AUTO_SHARD_CAP, cpus))``.
+AUTO_SHARD_CAP = 8
+
+
+def warn_legacy(surface: str, names, replacement: str,
+                stacklevel: int = 3) -> None:
+    """Emit the one :class:`DeprecationWarning` a legacy call gets.
+
+    All legacy kwargs present in a single call are folded into one
+    message, so a call site migrating to ``policy=`` / ``MethodSpec``
+    sees exactly one warning, not one per kwarg.
+    """
+    spelled = ", ".join(sorted(names))
+    warnings.warn(
+        f"{surface}: {spelled} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """A policy resolved against one answer set: no ``auto`` left.
+
+    Attributes
+    ----------
+    mode:
+        ``"serial"``, ``"thread"`` or ``"process"`` — the tier that will
+        actually execute.
+    n_shards:
+        Concrete shard count (>= 1; the shard layer still clamps to the
+        task count per dataset).
+    max_workers:
+        Pool width: thread count for the thread tier, process-pool
+        slots for the process tier, ``0`` for serial.
+    persistent:
+        Process tier only: lease pools/segments from the shared runtime
+        registry (True) or build a one-shot runner (False).
+    """
+
+    mode: str
+    n_shards: int
+    max_workers: int
+    persistent: bool = True
+
+    @property
+    def sharded(self) -> bool:
+        """Whether this plan involves more than one shard."""
+        return self.n_shards > 1
+
+    @property
+    def runtime_key(self) -> tuple[int, int]:
+        """``(n_shards, pool_slots)`` — the runtime-registry cache key
+        this plan leases under."""
+        return (self.n_shards,
+                resolve_process_workers(self.n_shards, self.max_workers
+                                        or None))
+
+
+def resolve_process_workers(n_shards: int,
+                            max_workers: int | None = None) -> int:
+    """Pool-slot count for a process-tier runtime.
+
+    The single source of truth shared by :class:`ExecutionPolicy`,
+    :class:`~repro.engine.runtime.ShardRuntime` and the registry cache
+    key (``max_workers=None`` and its resolved value must be the same
+    configuration).
+    """
+    workers = max_workers or min(int(n_shards), os.cpu_count() or 1)
+    return max(1, min(int(workers), int(n_shards)))
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPolicy:
+    """Declarative "how to run": shards, executor tier, width, warmth.
+
+    Parameters
+    ----------
+    n_shards:
+        Task-range shards per fit.  ``None`` means *auto*:
+        ``max(2, min(8, cpu_count))``, the default the sharded engine
+        always used.  ``1`` disables sharding.
+    executor:
+        ``"auto"`` (default) — processes when the input has at least
+        ``process_threshold`` answers and more than one core is
+        available, otherwise threads (serial on a single-core host
+        with no explicit width); ``"serial"`` / ``"thread"`` /
+        ``"process"`` force a tier.
+    max_workers:
+        Pool width; ``None`` picks a tier-appropriate default
+        (``min(n_shards, max(2, cpus))`` threads,
+        ``min(n_shards, cpus)`` process slots).
+    persistent:
+        Process tier: reuse warm pools and placed shared-memory
+        segments across fits via the runtime registry (default True).
+    process_threshold:
+        Answer count at which ``auto`` reaches for processes.
+
+    Examples
+    --------
+    >>> ExecutionPolicy()                     # auto everything
+    ExecutionPolicy(n_shards=None, executor='auto', max_workers=None, persistent=True, process_threshold=200000)
+    >>> ExecutionPolicy(n_shards=4, executor="serial").resolve(n_answers=100)
+    ExecutionPlan(mode='serial', n_shards=4, max_workers=0, persistent=True)
+    """
+
+    n_shards: int | None = None
+    executor: str = "auto"
+    max_workers: int | None = None
+    persistent: bool = True
+    process_threshold: int = DEFAULT_PROCESS_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ValueError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.process_threshold < 0:
+            raise ValueError(
+                f"process_threshold must be >= 0, "
+                f"got {self.process_threshold}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def resolved_shards(self) -> int:
+        """The concrete shard count this policy stands for."""
+        if self.n_shards is not None:
+            return self.n_shards
+        cpus = os.cpu_count() or 1
+        return max(2, min(AUTO_SHARD_CAP, cpus))
+
+    def resolve(self, answers=None, *,
+                n_answers: int | None = None) -> ExecutionPlan:
+        """Produce the concrete :class:`ExecutionPlan` for an input.
+
+        ``answers`` may be anything with an ``n_answers`` attribute (an
+        :class:`~repro.core.answers.AnswerSet`, a streaming set); pass
+        ``n_answers=`` directly when no answer object exists yet.
+        ``auto`` tiering matches the historical
+        ``ShardedInferenceEngine`` behaviour exactly: processes for
+        large inputs on multi-core hosts, threads otherwise, serial on
+        a single-core host with no explicit pool width.
+        """
+        cpus = os.cpu_count() or 1
+        if n_answers is None:
+            n_answers = (getattr(answers, "n_answers", 0)
+                         if answers is not None else 0)
+        n_shards = self.resolved_shards
+        mode = self.executor
+        if mode == "auto":
+            if n_answers >= self.process_threshold and cpus > 1:
+                mode = "process"
+            elif (self.max_workers or 0) > 1 or cpus > 1:
+                mode = "thread"
+            else:
+                mode = "serial"
+        if mode == "serial":
+            max_workers = 0
+        elif mode == "thread":
+            max_workers = self.max_workers or min(
+                n_shards, max(2, cpus))
+        else:
+            max_workers = resolve_process_workers(n_shards,
+                                                  self.max_workers)
+        return ExecutionPlan(mode=mode, n_shards=n_shards,
+                             max_workers=max_workers,
+                             persistent=self.persistent)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_legacy(cls, n_shards: int | None = None,
+                    shard_workers: int | None = None,
+                    shard_executor: str | None = None,
+                    persistent: bool = True) -> "ExecutionPolicy":
+        """The policy a legacy kwarg triple spelled.
+
+        ``shard_executor="process"`` maps to the process tier; a thread
+        width above 1 maps to the thread tier; everything else ran
+        in-process serially.  Shims call this so the legacy path is
+        *literally* the ``policy=`` path plus one warning.
+        """
+        if shard_executor == "process":
+            executor = "process"
+        elif shard_workers and shard_workers > 1:
+            executor = "thread"
+        else:
+            executor = "serial"
+        return cls(n_shards=n_shards if n_shards is not None else 1,
+                   executor=executor,
+                   max_workers=shard_workers or None,
+                   persistent=persistent)
+
+
+def _freeze_kwargs(kwargs: Mapping[str, Any]) -> tuple:
+    """Kwargs as a sorted items tuple (the spec's comparable form)."""
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclasses.dataclass(frozen=True, init=False)
+class MethodSpec:
+    """What to run: a method name plus its construction kwargs.
+
+    Replaces every ``(method_name, method_kwargs_dict)`` pair in the
+    public API.  Frozen and comparable, so engines can key caches on it
+    and worker processes can rebuild the exact same method from it.
+
+    Examples
+    --------
+    >>> spec = MethodSpec("D&S", max_iter=50)
+    >>> spec.name, dict(spec.kwargs)
+    ('D&S', {'max_iter': 50})
+    >>> spec.with_defaults(seed=0).kwargs["seed"]
+    0
+    """
+
+    name: str
+    _items: tuple = ()
+
+    def __init__(self, name: str, **kwargs) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError(
+                f"MethodSpec needs a method name string, got {name!r}"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_items", _freeze_kwargs(kwargs))
+
+    @property
+    def kwargs(self) -> dict:
+        """Construction kwargs (a fresh dict each call)."""
+        return dict(self._items)
+
+    def with_defaults(self, **defaults) -> "MethodSpec":
+        """A spec with ``defaults`` filled in where the spec is silent.
+
+        Existing kwargs win, so engines can inject their ``seed``
+        without overriding an explicit per-call choice.
+        """
+        merged = {**defaults, **self.kwargs}
+        return MethodSpec(self.name, **merged)
+
+    def create(self, policy: "ExecutionPolicy | ExecutionPlan | None"
+               = None):
+        """Instantiate via the registry (``create(spec, policy=...)``)."""
+        from .registry import create
+
+        return create(self, policy=policy)
+
+    def capabilities(self):
+        """The method's declared :class:`~repro.core.registry.Capabilities`."""
+        from .registry import capabilities
+
+        return capabilities(self.name)
+
+    @classmethod
+    def coerce(cls, method, kwargs: Mapping | None = None) -> "MethodSpec":
+        """Normalise a ``str | MethodSpec`` (+ optional kwargs dict).
+
+        A spec given together with extra kwargs gains them as defaults
+        (the spec's own kwargs win).
+        """
+        if isinstance(method, MethodSpec):
+            return method.with_defaults(**dict(kwargs or {}))
+        return cls(method, **dict(kwargs or {}))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return (f"MethodSpec({self.name!r}{', ' if parts else ''}{parts})")

@@ -1,20 +1,71 @@
-"""Method registry: look up algorithms by their paper names.
+"""Method registry: look up algorithms and their capabilities by name.
 
 The experiment harness and benchmarks refer to methods by the exact
 names used in the paper's tables (``MV``, ``ZC``, ``GLAD``, ``D&S``,
 ``Minimax``, ``BCC``, ``CBCC``, ``LFC``, ``CATD``, ``PM``, ``Multi``,
 ``KOS``, ``VI-BP``, ``VI-MF``, ``LFC_N``, ``Mean``, ``Median``).
+
+Besides instantiation (:func:`create`), the registry is the *only*
+sanctioned way to ask what a method can do: :func:`capabilities`
+returns a frozen :class:`Capabilities` struct built from the method
+class's declared ``supports_*`` flags, replacing the scattered
+``getattr(method_class(name), "supports_...", False)`` probes the
+engine and experiment layers used to carry.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Iterable
 
 from ..exceptions import UnknownMethodError
 from .base import TruthInferenceMethod
+from .policy import ExecutionPlan, ExecutionPolicy, MethodSpec, warn_legacy
 from .tasktypes import TaskType
 
 _REGISTRY: dict[str, Callable[..., TruthInferenceMethod]] = {}
+_CAPABILITIES: dict[str, "Capabilities"] = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class Capabilities:
+    """A method's declared abilities, as one frozen struct.
+
+    Mirrors the ``supports_*`` ClassVars on
+    :class:`~repro.core.base.TruthInferenceMethod` (see that docstring
+    for what each ability means), plus the task types (paper Table 4)
+    and the extension marker.
+    """
+
+    warm_start: bool
+    seed_posterior: bool
+    sharding: bool
+    golden: bool
+    initial_quality: bool
+    task_types: frozenset
+    is_extension: bool = False
+
+    @classmethod
+    def of(cls, factory) -> "Capabilities":
+        """The capabilities a method factory declares.
+
+        ``register()`` accepts any factory, not only
+        :class:`~repro.core.base.TruthInferenceMethod` subclasses, so
+        every flag defaults to absent rather than crashing the
+        registry-wide capability scans on an exotic factory.
+        """
+        return cls(
+            warm_start=bool(getattr(factory, "supports_warm_start", False)),
+            seed_posterior=bool(getattr(factory, "supports_seed_posterior",
+                                        False)),
+            sharding=bool(getattr(factory, "supports_sharding", False)),
+            golden=bool(getattr(factory, "supports_golden", False)),
+            initial_quality=bool(getattr(factory,
+                                         "supports_initial_quality", False)),
+            task_types=frozenset(getattr(factory, "task_types",
+                                         frozenset())),
+            is_extension=bool(getattr(factory, "is_extension", False)),
+        )
 
 
 def register(factory: Callable[..., TruthInferenceMethod]) -> Callable:
@@ -34,21 +85,81 @@ def available_methods() -> list[str]:
     return list(_REGISTRY)
 
 
-def create(name: str, **kwargs) -> TruthInferenceMethod:
-    """Instantiate a method by its paper name.
+def capabilities(name: str) -> Capabilities:
+    """The declared :class:`Capabilities` of a registered method.
+
+    The one sanctioned capability probe: engines, batch runners and
+    experiment harnesses ask here instead of ``getattr``-ing
+    ``supports_*`` flags off the class.
+    """
+    cached = _CAPABILITIES.get(name)
+    if cached is None:
+        cached = _CAPABILITIES[name] = Capabilities.of(method_class(name))
+    return cached
+
+
+def create(method: str | MethodSpec, *,
+           policy: ExecutionPolicy | ExecutionPlan | None = None,
+           **kwargs) -> TruthInferenceMethod:
+    """Instantiate a method by its paper name or :class:`MethodSpec`.
 
     Extra keyword arguments are forwarded to the method constructor
-    (e.g. ``seed=0``, ``max_iter=50``).
+    (e.g. ``seed=0``, ``max_iter=50``); with a spec, the spec's kwargs
+    win over same-named extras.
+
+    ``policy`` applies an :class:`~repro.core.policy.ExecutionPolicy`
+    (or an already-resolved plan) to the instance's *in-process*
+    execution: methods with sharded EM get ``n_shards`` and — for the
+    thread tier — ``shard_workers`` from it; other methods ignore it,
+    so one policy can configure a whole grid.  The process tier needs a
+    runner at fit time — pass the same policy to ``fit(policy=...)``
+    or use the engines, which do.
+
+    The legacy spellings ``create(name, n_shards=..., shard_workers=...)``
+    still work but are deprecated in favour of ``policy=``.
     """
-    return method_class(name)(**kwargs)
+    spec = MethodSpec.coerce(method, kwargs if isinstance(method, str)
+                             else None)
+    build_kwargs = spec.kwargs if isinstance(method, str) else {
+        **kwargs, **spec.kwargs}
+    if isinstance(method, str):
+        legacy = [k for k in ("n_shards", "shard_workers") if k in kwargs]
+        if legacy:
+            warn_legacy("create()", legacy,
+                        "policy=ExecutionPolicy(n_shards=..., ...)")
+    cls = method_class(spec.name)
+    if policy is not None and cls.supports_sharding:
+        if isinstance(policy, ExecutionPolicy):
+            # The serial/thread tiers resolve without an input (the
+            # thread width gets its proper default, not 0); auto and
+            # process need answers, so only the shard count applies
+            # here — fit(policy=) / the engines supply the rest.
+            if policy.executor in ("serial", "thread"):
+                policy = policy.resolve(n_answers=0)
+        if isinstance(policy, ExecutionPlan):
+            n_shards = policy.n_shards
+            workers = (policy.max_workers
+                       if policy.mode == "thread" else 0)
+        else:
+            n_shards = policy.resolved_shards
+            workers = 0
+        build_kwargs.setdefault("n_shards", n_shards)
+        if workers:
+            build_kwargs.setdefault("shard_workers", workers)
+    instance = cls(**build_kwargs)
+    # Record the spec (minus execution knobs) so fit(policy=...) can
+    # rebuild the method inside worker processes.
+    instance.method_spec = MethodSpec(
+        spec.name, **{k: v for k, v in build_kwargs.items()
+                      if k not in ("n_shards", "shard_workers")})
+    return instance
 
 
 def method_class(name: str) -> Callable[..., TruthInferenceMethod]:
     """The registered factory (class) for a method name, uninstantiated.
 
-    Lets callers inspect class-level capability flags
-    (``supports_sharding``, ``supports_seed_posterior``, ...) without
-    building an instance.
+    Prefer :func:`capabilities` for capability checks; this exists for
+    construction and for tests that need the raw class.
     """
     _ensure_loaded()
     try:
@@ -71,23 +182,25 @@ def methods_for_task_type(task_type: TaskType,
     _ensure_loaded()
     return [
         name
-        for name, factory in _REGISTRY.items()
-        if task_type in getattr(factory, "task_types", frozenset())
-        and (include_extensions or not getattr(factory, "is_extension",
-                                               False))
+        for name in _REGISTRY
+        if task_type in capabilities(name).task_types
+        and (include_extensions or not capabilities(name).is_extension)
     ]
 
 
 def create_all(task_type: TaskType, names: Iterable[str] | None = None,
+               policy: ExecutionPolicy | None = None,
                **kwargs) -> dict[str, TruthInferenceMethod]:
     """Instantiate every method applicable to ``task_type``.
 
-    ``names`` optionally restricts (and orders) the selection.
+    ``names`` optionally restricts (and orders) the selection; a
+    ``policy`` is applied to every instance (methods that cannot shard
+    ignore it).
     """
     selected = list(names) if names is not None else methods_for_task_type(task_type)
     instances = {}
     for name in selected:
-        method = create(name, **kwargs)
+        method = create(name, policy=policy, **kwargs)
         if task_type in method.task_types:
             instances[name] = method
     return instances

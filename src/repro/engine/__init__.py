@@ -50,16 +50,26 @@ posterior depends only on that task's answers), M-steps run
 totals into global parameters.  One shard *is* the plain fit,
 bit-for-bit.  Execution tiers:
 
-* **serial / threads** — ``create(method, n_shards=..,
-  shard_workers=..)``; cheap, in-process, identical numbers;
+* **serial / threads** — ``create(method,
+  policy=ExecutionPolicy(n_shards=.., executor="thread",
+  max_workers=..))``; cheap, in-process, identical numbers;
 * **processes** — the answer arrays live in
   :mod:`multiprocessing.shared_memory` and the phases are dispatched to
   pinned single-worker pools; prefer it for large inputs on multi-core
   hosts, where thread tiers stall on the GIL-holding NumPy kernels.
   GLAD trades one message round per gradient step, so it needs bigger
   shards than the one-round-trip statistics methods before processes
-  win.  :class:`~repro.engine.sharded.ShardedInferenceEngine` applies
-  exactly that policy automatically.
+  win.  ``ExecutionPolicy(executor="auto")`` — the default — applies
+  exactly that tiering automatically, and
+  :class:`~repro.engine.sharded.ShardedInferenceEngine` is its facade.
+
+How to run and what to run are first-class objects
+(:class:`~repro.core.policy.ExecutionPolicy` /
+:class:`~repro.core.policy.MethodSpec`), accepted as ``policy=`` /
+method arguments by ``create``, ``fit``, the engines, the batch
+runners and the CLI; answer input is a declared-schema
+:class:`~repro.engine.sources.AnswerSource` (CSV, in-memory records,
+or a live line-delimited stream such as stdin or a socket).
 
 Pools and segments are **persistent** (:mod:`repro.engine.runtime`):
 repeated fits lease a :class:`~repro.engine.runtime.ShardRuntime` from
@@ -87,6 +97,7 @@ Example
 True
 """
 
+from ..core.policy import ExecutionPlan, ExecutionPolicy, MethodSpec
 from .batch import BatchJob, BatchRunner
 from .engine import InferenceEngine
 from .runtime import (
@@ -96,17 +107,32 @@ from .runtime import (
     get_runtime_registry,
 )
 from .sharded import ProcessShardRunner, ShardedInferenceEngine
+from .sources import (
+    AnswerSource,
+    CsvAnswerSource,
+    IterableAnswerSource,
+    LineAnswerSource,
+    TaskSchema,
+)
 from .stream import StreamingAnswerSet
 
 __all__ = [
+    "AnswerSource",
     "BatchJob",
     "BatchRunner",
+    "CsvAnswerSource",
+    "ExecutionPlan",
+    "ExecutionPolicy",
     "InferenceEngine",
+    "IterableAnswerSource",
+    "LineAnswerSource",
+    "MethodSpec",
     "ProcessShardRunner",
     "RuntimeLease",
     "RuntimeRegistry",
     "ShardRuntime",
     "ShardedInferenceEngine",
     "StreamingAnswerSet",
+    "TaskSchema",
     "get_runtime_registry",
 ]

@@ -4,16 +4,26 @@ The comparison experiments (Table 6 and the sweeps) run many independent
 ``method × dataset`` fits; :class:`BatchRunner` fans them across a
 :mod:`concurrent.futures` executor.  NumPy releases the GIL inside the
 heavy array kernels, so the default thread pool already overlaps most of
-the work without any pickling cost; ``executor="process"`` switches to a
-:class:`~concurrent.futures.ProcessPoolExecutor` for grids dominated by
-GIL-holding kernels (the GLAD-heavy ones).  Results come back in job
-order and the first worker exception propagates to the caller.
+the work without any pickling cost; an
+:class:`~concurrent.futures.ProcessPoolExecutor` ``executor_factory``
+switches to process job workers for grids dominated by GIL-holding
+kernels (the GLAD-heavy ones).  Results come back in job order and the
+first worker exception propagates to the caller.
+
+Each job's *fit* runs under an
+:class:`~repro.core.policy.ExecutionPolicy` (job-level ``policy``
+wins, else the runner's): sharded-EM methods shard accordingly, and a
+process-tier policy leases the shared persistent
+:class:`~repro.engine.runtime.ShardRuntime` registry, so a sweep of
+methods over one dataset places the answers in shared memory and spawns
+the worker pools once.  Methods without sharded EM ignore the policy.
 
 Cold fits of every categorical EM method start from the majority-vote
 posterior.  The runner computes that posterior **once per dataset** and
-seeds every method that accepts it (``supports_seed_posterior``) instead
-of letting each fit recompute identical vote counts — a pure dedup: the
-seeded values are exactly what the methods would have derived.
+seeds every method that accepts it (``Capabilities.seed_posterior``)
+instead of letting each fit recompute identical vote counts — a pure
+dedup: the seeded values are exactly what the methods would have
+derived.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..core.policy import ExecutionPolicy, MethodSpec, warn_legacy
 from ..datasets.schema import Dataset
 from ..experiments.runner import MethodRun, run_method
 
@@ -33,24 +44,57 @@ _EXECUTORS = {
     "process": ProcessPoolExecutor,
 }
 
+_UNSET = object()
+
 
 @dataclasses.dataclass
 class BatchJob:
-    """One unit of work: fit ``method`` on ``dataset`` and score it."""
+    """One unit of work: fit ``method`` on ``dataset`` and score it.
+
+    ``method`` is a registry name or a
+    :class:`~repro.core.policy.MethodSpec`; ``policy`` optionally
+    overrides the runner's execution policy for this one job.  The
+    legacy ``method_kwargs=`` / ``shard_executor=`` fields still work
+    (folded into the spec / policy with one warning).
+    """
 
     dataset: Dataset
-    method: str
+    method: str | MethodSpec
     seed: int = 0
     golden: Mapping[int, float] | None = None
     initial_quality: object = None
-    method_kwargs: dict | None = None
+    policy: ExecutionPolicy | None = None
     #: Optional shared majority-vote posterior to seed a cold fit from;
     #: filled in by :meth:`BatchRunner.run` when left as ``None``.
     seed_posterior: np.ndarray | None = None
-    #: ``"process"`` runs a sharded fit (``n_shards`` in
-    #: ``method_kwargs``) on the shared persistent runtime; filled in
-    #: from :attr:`BatchRunner.shard_executor` when left as ``None``.
+    #: Deprecated: construction kwargs for a string ``method``; use a
+    #: :class:`MethodSpec` instead.
+    method_kwargs: dict | None = None
+    #: Deprecated: ``"process"``/``"thread"`` shard tier; use ``policy``.
     shard_executor: str | None = None
+
+    def __post_init__(self) -> None:
+        legacy = {}
+        if self.method_kwargs is not None:
+            legacy["method_kwargs"] = self.method_kwargs
+        if self.shard_executor is not None:
+            legacy["shard_executor"] = self.shard_executor
+        if not legacy:
+            return
+        warn_legacy("BatchJob", legacy, "MethodSpec / policy=")
+        if self.method_kwargs is not None:
+            self.method = MethodSpec.coerce(self.method, self.method_kwargs)
+            self.method_kwargs = None
+        if self.shard_executor is not None:
+            base = self.policy or ExecutionPolicy(n_shards=1)
+            self.policy = dataclasses.replace(base,
+                                              executor=self.shard_executor)
+            self.shard_executor = None
+
+    @property
+    def spec(self) -> MethodSpec:
+        """The job's method as a :class:`MethodSpec`."""
+        return MethodSpec.coerce(self.method)
 
 
 class BatchRunner:
@@ -59,58 +103,79 @@ class BatchRunner:
     Parameters
     ----------
     max_workers:
-        Executor pool size; defaults to ``min(8, cpu_count)``.
+        Job-pool size (how many fits overlap); defaults to
+        ``min(8, cpu_count)``.
     executor_factory:
         Callable returning a :class:`concurrent.futures.Executor` when
         invoked with ``max_workers=...``.  Defaults to
-        :class:`ThreadPoolExecutor`.
-    executor:
-        Convenience selector overriding ``executor_factory``:
-        ``"thread"`` or ``"process"``.  Process pools pay pickling of
+        :class:`ThreadPoolExecutor`; process job pools pay pickling of
         datasets/results but overlap GIL-bound kernels on real cores.
+    policy:
+        Default :class:`~repro.core.policy.ExecutionPolicy` for every
+        job's *fit* (jobs with their own ``policy`` win).  A
+        process-tier policy routes each sharded fit through the shared
+        persistent runtime registry: a sweep of methods over one
+        dataset places the answers in shared memory and spawns the
+        worker pools once.  Concurrent thread jobs serialise on the
+        runtime's lease lock (each fit is internally parallel, so this
+        is the intended schedule).
     share_mv_seed:
         Compute the majority-vote posterior once per (categorical)
         dataset and seed every supporting method's cold fit from it.
-    shard_executor:
-        ``"process"`` routes each *sharded* fit through the shared
-        persistent :class:`~repro.engine.runtime.ShardRuntime`
-        registry: a sweep of methods over one dataset places the
-        answers in shared memory and spawns the worker pools once.
-        Concurrent thread jobs serialise on the runtime's lease lock
-        (each fit is internally parallel, so this is the intended
-        schedule).  Combining it with ``executor="process"`` nests
-        pools inside the job workers — legal, rarely useful.
+
+    The legacy ``executor=`` (job-pool type) and ``shard_executor=``
+    spellings still work and warn once.
     """
 
     def __init__(self, max_workers: int | None = None,
                  executor_factory=ThreadPoolExecutor,
-                 executor: str | None = None,
+                 policy: ExecutionPolicy | None = None,
                  share_mv_seed: bool = True,
-                 shard_executor: str | None = None) -> None:
+                 executor=_UNSET,
+                 shard_executor=_UNSET) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        if executor is not None:
+        legacy = {}
+        if executor is not _UNSET and executor is not None:
             if executor not in _EXECUTORS:
                 raise ValueError(
                     f"executor must be one of {sorted(_EXECUTORS)}, "
                     f"got {executor!r}"
                 )
-            executor_factory = _EXECUTORS[executor]
-        if shard_executor not in (None, "thread", "process"):
-            raise ValueError(
-                f"shard_executor must be 'thread' or 'process', "
-                f"got {shard_executor!r}"
-            )
+            legacy["executor"] = executor
+        if shard_executor is not _UNSET and shard_executor is not None:
+            if shard_executor not in ("thread", "process"):
+                raise ValueError(
+                    f"shard_executor must be 'thread' or 'process', "
+                    f"got {shard_executor!r}"
+                )
+            legacy["shard_executor"] = shard_executor
+        if legacy:
+            warn_legacy("BatchRunner", legacy,
+                        "executor_factory= / policy=ExecutionPolicy(...)")
+            if "executor" in legacy:
+                executor_factory = _EXECUTORS[legacy["executor"]]
+            if "shard_executor" in legacy:
+                if policy is not None:
+                    raise ValueError(
+                        "pass either policy= or shard_executor=, not both"
+                    )
+                # n_shards=1, not auto: the legacy runner-level flag
+                # only changed *where* sharded fits ran — the shard
+                # count still came from each job's method kwargs (see
+                # run_method's per-spec override).
+                policy = ExecutionPolicy(
+                    n_shards=1, executor=legacy["shard_executor"])
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self.executor_factory = executor_factory
+        self.policy = policy
         self.share_mv_seed = share_mv_seed
-        self.shard_executor = shard_executor
 
     # ------------------------------------------------------------------
     def _seed_posteriors(self, jobs: Sequence[BatchJob]) -> None:
         """Fill ``job.seed_posterior`` from a per-dataset MV cache."""
         from ..core.framework import normalize_rows
-        from ..core.registry import method_class
+        from ..core.registry import capabilities
 
         cache: dict[int, np.ndarray] = {}
         for job in jobs:
@@ -118,8 +183,7 @@ class BatchRunner:
                 continue
             if not job.dataset.task_type.is_categorical:
                 continue
-            if not getattr(method_class(job.method),
-                           "supports_seed_posterior", False):
+            if not capabilities(job.spec.name).seed_posterior:
                 continue
             key = id(job.dataset)
             if key not in cache:
@@ -131,9 +195,10 @@ class BatchRunner:
         jobs = list(jobs)
         if not jobs:
             return []
-        for job in jobs:
-            if job.shard_executor is None:
-                job.shard_executor = self.shard_executor
+        if self.policy is not None:
+            for job in jobs:
+                if job.policy is None:
+                    job.policy = self.policy
         if self.share_mv_seed:
             self._seed_posteriors(jobs)
         if len(jobs) == 1 or self.max_workers == 1:
@@ -145,14 +210,13 @@ class BatchRunner:
     @staticmethod
     def _run_one(job: BatchJob) -> MethodRun:
         return run_method(
-            job.method,
+            job.spec,
             job.dataset,
             seed=job.seed,
             golden=job.golden,
             initial_quality=job.initial_quality,
-            method_kwargs=job.method_kwargs,
             seed_posterior=job.seed_posterior,
-            shard_executor=job.shard_executor,
+            policy=job.policy,
         )
 
     def run_grid(
@@ -160,17 +224,26 @@ class BatchRunner:
         datasets: Iterable[Dataset],
         methods: Iterable[str] | None = None,
         seed: int = 0,
-        n_shards: int | None = None,
+        policy: ExecutionPolicy | None = None,
+        n_shards=_UNSET,
     ) -> list[MethodRun]:
         """Cross every dataset with every applicable method and run all.
 
         Methods inapplicable to a dataset's task type are skipped, like
         the '×' cells of the paper's Table 6.  With ``methods=None`` each
-        dataset gets every registered method for its task type.
-        ``n_shards`` turns on sharded EM for the methods that support it.
+        dataset gets every registered method for its task type.  A
+        ``policy`` turns on sharded EM for the methods that support it
+        (others ignore it); the legacy ``n_shards=`` spelling still
+        works and warns once.
         """
         from ..core.registry import methods_for_task_type
 
+        if n_shards is not _UNSET and n_shards is not None:
+            warn_legacy("run_grid", ["n_shards"],
+                        "policy=ExecutionPolicy(n_shards=...)")
+            if policy is None and n_shards > 1:
+                policy = ExecutionPolicy(n_shards=n_shards,
+                                         executor="serial")
         jobs = []
         for dataset in datasets:
             applicable = methods_for_task_type(dataset.task_type)
@@ -178,18 +251,7 @@ class BatchRunner:
                         else [m for m in methods if m in applicable])
             jobs.extend(
                 BatchJob(dataset=dataset, method=name, seed=seed,
-                         method_kwargs=_sharding_kwargs(name, n_shards))
+                         policy=policy)
                 for name in selected
             )
         return self.run(jobs)
-
-
-def _sharding_kwargs(method: str, n_shards: int | None) -> dict | None:
-    """``{"n_shards": n}`` when the method supports sharded EM."""
-    from ..core.registry import method_class
-
-    if not n_shards or n_shards <= 1:
-        return None
-    if not getattr(method_class(method), "supports_sharding", False):
-        return None
-    return {"n_shards": n_shards}

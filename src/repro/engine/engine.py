@@ -25,11 +25,14 @@ import dataclasses
 import itertools
 from typing import Iterable, Sequence
 
-from ..core.registry import create, method_class
+from ..core.policy import ExecutionPolicy, MethodSpec, warn_legacy
+from ..core.registry import capabilities, create
 from ..core.result import InferenceResult
 from ..core.tasktypes import TaskType
 from ..core.warmstart import pad_result_labels
 from .stream import StreamingAnswerSet
+
+_UNSET = object()
 
 
 # Process-unique stream identities for runtime stream keys.  id() is
@@ -63,21 +66,21 @@ class InferenceEngine:
     seed:
         Seed forwarded to every method instantiation, so repeated fits
         are reproducible.
-    n_shards, shard_workers:
-        Sharded-EM knobs forwarded to methods that support them
-        (``supports_sharding``): partition each fit into ``n_shards``
-        task ranges, optionally mapped over ``shard_workers`` threads.
-        Methods without sharding support ignore both.
-    shard_executor:
-        ``"thread"`` (default) runs sharded fits in-process;
-        ``"process"`` leases a persistent
+    policy:
+        The :class:`~repro.core.policy.ExecutionPolicy` every refit
+        runs under (default: unsharded in-process fits).  Resolved
+        against each snapshot: the serial/thread tiers shard in
+        process; the process tier leases a persistent
         :class:`~repro.engine.runtime.ShardRuntime` from ``registry``
-        (default: the process-wide one), so every refit reuses the warm
-        worker pools and a *grown* stream appends only its new answers
-        to the placed shared-memory segments.  Only meaningful with
-        ``n_shards > 1``; methods without sharding support fall back to
-        the plain fit either way.  The engine is a context manager —
-        ``close()`` releases the runtime.
+        (default: the process-wide one), so every refit reuses the
+        warm worker pools and a *grown* stream appends only its new
+        answers to the placed shared-memory segments.  Methods without
+        sharding support fall back to the plain fit either way.  The
+        engine is a context manager — ``close()`` releases the runtime.
+
+    The legacy spellings (``n_shards=``, ``shard_workers=``,
+    ``shard_executor=``) still work — they assemble the equivalent
+    policy and warn once.
 
     Example
     -------
@@ -95,15 +98,36 @@ class InferenceEngine:
         label_order: Sequence | None = None,
         on_duplicate: str = "keep",
         seed: int | None = 0,
-        n_shards: int = 1,
-        shard_workers: int = 0,
-        shard_executor: str = "thread",
+        policy: ExecutionPolicy | None = None,
         registry=None,
+        n_shards=_UNSET,
+        shard_workers=_UNSET,
+        shard_executor=_UNSET,
     ) -> None:
-        if shard_executor not in ("thread", "process"):
-            raise ValueError(
-                f"shard_executor must be 'thread' or 'process', "
-                f"got {shard_executor!r}"
+        legacy = {
+            name: value
+            for name, value in (("n_shards", n_shards),
+                                ("shard_workers", shard_workers),
+                                ("shard_executor", shard_executor))
+            if value is not _UNSET
+        }
+        if legacy:
+            if policy is not None:
+                raise ValueError(
+                    "pass either policy= or the legacy kwargs, not both"
+                )
+            executor = legacy.get("shard_executor", "thread")
+            if executor not in ("thread", "process"):
+                raise ValueError(
+                    f"shard_executor must be 'thread' or 'process', "
+                    f"got {executor!r}"
+                )
+            warn_legacy("InferenceEngine", legacy,
+                        "policy=ExecutionPolicy(...)")
+            policy = ExecutionPolicy.from_legacy(
+                n_shards=legacy.get("n_shards", 1),
+                shard_workers=legacy.get("shard_workers", 0),
+                shard_executor=executor,
             )
         self.stream = StreamingAnswerSet(
             task_type=task_type,
@@ -112,9 +136,10 @@ class InferenceEngine:
             on_duplicate=on_duplicate,
         )
         self.seed = seed
-        self.n_shards = n_shards
-        self.shard_workers = shard_workers
-        self.shard_executor = shard_executor
+        #: Default: plain unsharded fits, exactly what a bare engine
+        #: always did.
+        self.policy = (policy if policy is not None
+                       else ExecutionPolicy(n_shards=1, executor="serial"))
         self._registry = registry
         self._runtime = None
         self._stream_token = next(_STREAM_TOKENS)
@@ -134,17 +159,22 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def infer(self, method: str = "MV", force_cold: bool = False,
+    def infer(self, method: str | MethodSpec = "MV",
+              force_cold: bool = False,
               **method_kwargs) -> InferenceResult:
         """Fit ``method`` on the current snapshot, reusing cached state.
 
+        ``method`` is a registry name (extra keyword arguments become
+        construction kwargs) or a :class:`~repro.core.policy.MethodSpec`.
         Returns the cached result outright when nothing changed since
-        the last fit with identical ``method_kwargs``; otherwise refits
-        — warm when possible, cold when not (first fit, changed kwargs,
-        or a grown label space).  ``force_cold=True`` always performs a
+        the last fit with an identical spec; otherwise refits — warm
+        when possible, cold when not (first fit, changed kwargs, or a
+        grown label space).  ``force_cold=True`` always performs a
         fresh cold fit, even on an unchanged stream, so callers can
         compare warm and cold results.
         """
+        spec = MethodSpec.coerce(method, method_kwargs)
+        method, method_kwargs = spec.name, spec.kwargs
         snapshot = self.stream.snapshot()
         cached = self._cache.get(method)
         if (not force_cold
@@ -153,14 +183,13 @@ class InferenceEngine:
                 and cached.method_kwargs == method_kwargs):
             return cached.result
 
-        sharded = self.n_shards > 1 and getattr(
-            method_class(method), "supports_sharding", False)
-        use_runtime = sharded and self.shard_executor == "process"
-        create_kwargs = dict(method_kwargs)
-        if sharded and not use_runtime:
-            create_kwargs.setdefault("n_shards", self.n_shards)
-            create_kwargs.setdefault("shard_workers", self.shard_workers)
-        instance = create(method, seed=self.seed, **create_kwargs)
+        plan = (self.policy.resolve(snapshot)
+                if capabilities(method).sharding else None)
+        sharded = plan is not None and plan.sharded
+        use_runtime = sharded and plan.mode == "process"
+        spec = spec.with_defaults(seed=self.seed)
+        instance = create(
+            spec, policy=plan if sharded and not use_runtime else None)
         warm = None
         if (not force_cold
                 and cached is not None
@@ -191,8 +220,7 @@ class InferenceEngine:
             # to the placed segments instead of rebuilding them.
             stream_key = ("stream", self._stream_token,
                           self.stream.replacements)
-            with self._lease_runtime(snapshot, method,
-                                     {"seed": self.seed, **method_kwargs},
+            with self._lease_runtime(plan, snapshot, spec,
                                      stream_key) as runner:
                 result = instance.fit(snapshot, warm_start=warm,
                                       shard_runner=runner)
@@ -241,15 +269,14 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     # Runtime control
     # ------------------------------------------------------------------
-    def _lease_runtime(self, snapshot, method, runner_kwargs, stream_key):
+    def _lease_runtime(self, plan, snapshot, spec: MethodSpec, stream_key):
         """Lease from the registry (retrying past concurrent closes)
         and remember the runtime for ``close()``/introspection."""
         from .runtime import get_runtime_registry
 
         registry = self._registry or get_runtime_registry()
         self._runtime, lease = registry.lease(
-            self.n_shards, self.shard_workers or None, snapshot, method,
-            runner_kwargs, stream_key=stream_key)
+            plan, snapshot, spec, stream_key=stream_key)
         return lease
 
     def close(self) -> None:

@@ -78,7 +78,13 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.answers import AnswerSet
-from ..core.registry import create
+from ..core.policy import (
+    ExecutionPlan,
+    ExecutionPolicy,
+    MethodSpec,
+    resolve_process_workers,
+)
+from ..core.registry import method_class
 from ..core.shards import AnswerShard, ShardedAnswerSet
 from ..inference.sharded import SerialShardRunner
 
@@ -200,7 +206,7 @@ def _apply_extend(epoch: tuple, sizes: dict, last_stop: int) -> None:
 def _apply_configure(method: str, method_kwargs: dict, sizes: dict) -> None:
     """Per-fit spec reset: rebuild the method spec (and thereby its
     per-shard operator caches) without touching pools or segments."""
-    spec = create(method, **method_kwargs).make_em_spec(**sizes)
+    spec = method_class(method)(**method_kwargs).make_em_spec(**sizes)
     _WORKER_CTX["spec"] = spec
     # Sizes may have grown since the shards were last materialised.
     _WORKER_CTX["shards"] = {}
@@ -385,11 +391,10 @@ class ShardRuntime:
     def resolve_max_workers(n_shards: int,
                             max_workers: int | None = None) -> int:
         """The pool-slot count a runtime built with these arguments
-        uses (shared with the registry, whose cache keys must treat
-        ``max_workers=None`` and its resolved value as the same
-        configuration)."""
-        workers = max_workers or min(int(n_shards), os.cpu_count() or 1)
-        return max(1, min(int(workers), int(n_shards)))
+        uses (delegates to the policy layer's single formula, which the
+        registry cache key also uses, so ``max_workers=None`` and its
+        resolved value are the same configuration)."""
+        return resolve_process_workers(n_shards, max_workers)
 
     def __init__(self, n_shards: int = 4,
                  max_workers: int | None = None) -> None:
@@ -473,7 +478,7 @@ class ShardRuntime:
                 f"closed={self._closed})")
 
     # -- leasing -------------------------------------------------------
-    def lease(self, answers: AnswerSet, method: str,
+    def lease(self, answers: AnswerSet, method: str | MethodSpec,
               method_kwargs: Mapping | None = None, *,
               stream_key=None) -> RuntimeLease:
         """Acquire exclusive use of the runtime for one fit.
@@ -488,11 +493,11 @@ class ShardRuntime:
             module docstring); otherwise the data is placed afresh
             (reusing segment capacity when possible).
         method, method_kwargs:
-            Registry name and construction kwargs — sent to the workers
-            as the per-fit spec reset, and used for the master-side
-            spec.  Pass the *same* kwargs you construct the fitting
-            method with (seed included) so master and worker specs
-            cannot diverge.
+            A :class:`~repro.core.policy.MethodSpec` — or a registry
+            name plus construction kwargs — sent to the workers as the
+            per-fit spec reset, and used for the master-side spec.
+            Describe the *same* construction you fit with (seed
+            included) so master and worker specs cannot diverge.
         stream_key:
             Hashable identity of the *stream* behind ``answers``.
             Passing the same key again asserts the new answers extend
@@ -500,7 +505,9 @@ class ShardRuntime:
             growth).  Callers must change the key when that stops being
             true (e.g. bump it with the stream's replacement counter).
         """
-        instance = create(method, **dict(method_kwargs or {}))
+        spec = MethodSpec.coerce(method, method_kwargs)
+        method, method_kwargs = spec.name, spec.kwargs
+        instance = method_class(method)(**method_kwargs)
         if not instance.supports_sharding:
             raise ValueError(f"{method} does not support sharded EM")
         self._lock.acquire()
@@ -747,11 +754,13 @@ class ShardRuntime:
 class RuntimeRegistry:
     """Process-wide pool of :class:`ShardRuntime`\\ s with idle eviction.
 
-    Keyed by ``(n_shards, max_workers)``.  :meth:`acquire` returns the
-    existing runtime (respawning a closed one) and lazily evicts other
-    runtimes idle longer than ``idle_ttl`` seconds; eviction never
-    touches a runtime whose lease lock is held.  ``close_all`` runs at
-    interpreter exit for the default registry.
+    Keyed by the execution-plan runtime key ``(n_shards, pool_slots)``
+    — an :class:`~repro.core.policy.ExecutionPolicy` / resolved plan is
+    accepted anywhere a ``(n_shards, max_workers)`` pair is.
+    :meth:`acquire` returns the existing runtime (respawning a closed
+    one) and lazily evicts other runtimes idle longer than ``idle_ttl``
+    seconds; eviction never touches a runtime whose lease lock is held.
+    ``close_all`` runs at interpreter exit for the default registry.
     """
 
     def __init__(self, idle_ttl: float = DEFAULT_IDLE_TTL) -> None:
@@ -759,14 +768,29 @@ class RuntimeRegistry:
         self._runtimes: dict[tuple, ShardRuntime] = {}
         self._lock = threading.Lock()
 
-    def acquire(self, n_shards: int,
-                max_workers: int | None = None) -> ShardRuntime:
-        """Get (or create) the runtime for ``(n_shards, max_workers)``.
+    @staticmethod
+    def _key_args(policy, max_workers=None) -> tuple[int, int | None]:
+        """``(n_shards, max_workers)`` for a policy, plan or raw pair."""
+        if isinstance(policy, ExecutionPolicy):
+            return policy.resolved_shards, policy.max_workers
+        if isinstance(policy, ExecutionPlan):
+            # The plan's runtime_key already carries the normalised
+            # slot count (idempotent under the resolve below), so plan
+            # and raw-pair spellings cannot key differently.
+            return policy.runtime_key
+        return int(policy), max_workers
 
-        ``max_workers`` is normalised to the pool-slot count a runtime
-        would actually use, so ``None`` and its resolved value share
-        one runtime instead of duplicating pools and segments.
+    def acquire(self, policy, max_workers: int | None = None) -> ShardRuntime:
+        """Get (or create) the runtime a policy (or raw pair) keys to.
+
+        ``policy`` may be an :class:`ExecutionPolicy`, a resolved
+        :class:`ExecutionPlan`, or a plain shard count with
+        ``max_workers``.  The width is normalised to the pool-slot
+        count a runtime would actually use, so ``None`` and its
+        resolved value share one runtime instead of duplicating pools
+        and segments.
         """
+        n_shards, max_workers = self._key_args(policy, max_workers)
         key = (int(n_shards),
                ShardRuntime.resolve_max_workers(n_shards, max_workers))
         with self._lock:
@@ -779,11 +803,14 @@ class RuntimeRegistry:
             runtime.last_used = time.monotonic()
             return runtime
 
-    def lease(self, n_shards: int, max_workers: int | None,
-              answers: AnswerSet, method: str,
-              method_kwargs: Mapping | None = None, *,
-              stream_key=None) -> tuple[ShardRuntime, RuntimeLease]:
+    def lease(self, policy, *args, stream_key=None,
+              ) -> tuple[ShardRuntime, RuntimeLease]:
         """Acquire a runtime and lease it in one step.
+
+        Preferred form: ``lease(plan_or_policy, answers, spec)`` with a
+        :class:`~repro.core.policy.MethodSpec`.  The legacy positional
+        form ``lease(n_shards, max_workers, answers, method,
+        method_kwargs)`` is still accepted for low-level callers.
 
         Retries when another holder's ``close()`` lands between the
         acquire and the lease (any holder may close a shared runtime at
@@ -791,11 +818,19 @@ class RuntimeRegistry:
         respawns).  Returns ``(runtime, lease)`` so callers can keep
         the runtime for introspection or an explicit ``close()``.
         """
+        if isinstance(policy, (ExecutionPolicy, ExecutionPlan)):
+            answers, method = args[0], args[1]
+            method_kwargs = args[2] if len(args) > 2 else None
+            acquire_args = (policy,)
+        else:
+            max_workers, answers, method = args[0], args[1], args[2]
+            method_kwargs = args[3] if len(args) > 3 else None
+            acquire_args = (policy, max_workers)
+        spec = MethodSpec.coerce(method, method_kwargs)
         while True:
-            runtime = self.acquire(n_shards, max_workers)
+            runtime = self.acquire(*acquire_args)
             try:
-                return runtime, runtime.lease(answers, method,
-                                              method_kwargs,
+                return runtime, runtime.lease(answers, spec,
                                               stream_key=stream_key)
             except RuntimeError:
                 if not runtime.closed:

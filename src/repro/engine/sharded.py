@@ -10,13 +10,15 @@ built on the persistent runtime of :mod:`repro.engine.runtime`:
   exactly one answer set, and tears everything down on :meth:`close`.
   Only small things cross the pipe: phase names, model parameters,
   posterior blocks and partial statistics — never the answers.
-* :class:`ShardedInferenceEngine` — a facade that picks the execution
-  tier per fit: **threads (or the serial path) for small inputs**,
-  where process spin-up would dominate, and **processes for large
-  ones** when real cores are available.  Its process tier leases from
-  the shared :class:`~repro.engine.runtime.RuntimeRegistry`, so
-  repeated fits (a method sweep, a refit loop) reuse warm pools and
-  placed segments instead of respawning per fit.
+* :class:`ShardedInferenceEngine` — a facade executing each fit under
+  an :class:`~repro.core.policy.ExecutionPolicy`: the policy's
+  ``resolve(answers)`` picks the tier per fit — **threads (or the
+  serial path) for small inputs**, where process spin-up would
+  dominate, and **processes for large ones** when real cores are
+  available.  Its process tier leases from the shared
+  :class:`~repro.engine.runtime.RuntimeRegistry`, so repeated fits (a
+  method sweep, a refit loop) reuse warm pools and placed segments
+  instead of respawning per fit.
 
 When to prefer processes over threads
 -------------------------------------
@@ -27,22 +29,24 @@ per-shard work is one heavy kernel per phase (D&S/LFC/ZC/LFC_N: one
 exchanges gradients every ascent step (``gradient_steps`` round-trips
 per iteration), so it needs larger shards before processes beat the
 in-process path.  On a single-core host processes only add overhead —
-the engine's ``auto`` mode stays in-process there.
+the policy's ``auto`` mode stays in-process there.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Mapping
 
 import numpy as np
 
 from ..core.answers import AnswerSet
-from ..core.registry import create, method_class
+from ..core.policy import ExecutionPolicy, MethodSpec, warn_legacy
+from ..core.registry import capabilities, create
 from ..core.result import InferenceResult
 from .runtime import RuntimeRegistry, ShardRuntime, get_runtime_registry
 
 __all__ = ["ProcessShardRunner", "ShardedInferenceEngine"]
+
+_UNSET = object()
 
 
 class ProcessShardRunner:
@@ -56,20 +60,22 @@ class ProcessShardRunner:
     shared registry (what :class:`ShardedInferenceEngine` does) so the
     spawn and placement amortise across fits.
 
-    The master keeps its own spec instance (for ``finalize`` and M-step
-    orchestration); workers hold shard views over the shared-memory
-    arrays plus their own spec rebuilt from the method registry, with
-    per-shard operators cached across iterations.
+    ``method`` may be a registry name (with ``method_kwargs``) or a
+    :class:`~repro.core.policy.MethodSpec`.  The master keeps its own
+    spec instance (for ``finalize`` and M-step orchestration); workers
+    hold shard views over the shared-memory arrays plus their own spec
+    rebuilt from the method registry, with per-shard operators cached
+    across iterations.
     """
 
-    def __init__(self, answers: AnswerSet, method: str,
+    def __init__(self, answers: AnswerSet, method: str | MethodSpec,
                  method_kwargs: Mapping | None = None, n_shards: int = 4,
                  max_workers: int | None = None) -> None:
         self._runtime = ShardRuntime(n_shards=n_shards,
-                                     max_workers=max_workers)
+                                     max_workers=max_workers or None)
         try:
-            self._lease = self._runtime.lease(answers, method,
-                                              method_kwargs)
+            self._lease = self._runtime.lease(
+                answers, MethodSpec.coerce(method, method_kwargs))
         except BaseException:
             self._runtime.close()
             raise
@@ -119,93 +125,99 @@ class ProcessShardRunner:
 
 
 class ShardedInferenceEngine:
-    """Sharded fits with automatic thread/process placement.
+    """Sharded fits with policy-driven thread/process placement.
 
     Parameters
     ----------
-    n_shards:
-        Task-range shards per fit (default: the larger of 2 and the
-        core count, capped at 8).
-    max_workers:
-        Pool width; defaults to ``min(n_shards, cpu_count)``.
-    executor:
-        ``"auto"`` (default) — processes when the input is at least
-        ``process_threshold`` answers *and* more than one core is
-        available, otherwise the in-process sharded path;
-        ``"process"`` / ``"thread"`` / ``"serial"`` force a tier.
-    process_threshold:
-        Answer count above which ``auto`` reaches for processes.
+    policy:
+        The :class:`~repro.core.policy.ExecutionPolicy` every fit runs
+        under; defaults to ``ExecutionPolicy()`` (auto shards, auto
+        tier).  The policy is resolved against each fit's answers, so
+        one engine serves small and large inputs with the right tier.
     seed:
         Seed forwarded to method construction, as in
         :class:`~repro.engine.engine.InferenceEngine`.
-    persistent:
-        When True (default) the process tier leases pools and segments
-        from ``registry`` and keeps them warm between fits; repeated
-        ``fit`` calls on the same answer set skip placement entirely.
-        ``False`` restores the per-fit :class:`ProcessShardRunner`
-        (spawn + place + teardown every fit) — only sensible for one
-        isolated large fit.
     registry:
-        Runtime registry for the persistent tier; defaults to the
-        process-wide one (:func:`~repro.engine.runtime.get_runtime_registry`).
+        Runtime registry for the persistent process tier; defaults to
+        the process-wide one
+        (:func:`~repro.engine.runtime.get_runtime_registry`).
+
+    The legacy constructor spellings (``n_shards=``, ``max_workers=``,
+    ``executor=``, ``process_threshold=``, ``persistent=``) still work
+    — they assemble the equivalent policy and warn once.
 
     The engine is a context manager; ``close()`` releases its runtime
     (safe even when shared — the registry respawns on next use).
 
     Example
     -------
-    >>> engine = ShardedInferenceEngine(n_shards=4, executor="serial")
+    >>> from repro.core.policy import ExecutionPolicy
+    >>> engine = ShardedInferenceEngine(
+    ...     ExecutionPolicy(n_shards=4, executor="serial"))
     >>> # result = engine.fit(answers, "D&S")
     """
 
-    _MODES = ("auto", "process", "thread", "serial")
-
-    def __init__(self, n_shards: int | None = None,
-                 max_workers: int | None = None, executor: str = "auto",
-                 process_threshold: int = 200_000,
+    def __init__(self, policy: ExecutionPolicy | None = None,
                  seed: int | None = 0,
-                 persistent: bool = True,
-                 registry: RuntimeRegistry | None = None) -> None:
-        if executor not in self._MODES:
-            raise ValueError(
-                f"executor must be one of {self._MODES}, got {executor!r}"
+                 registry: RuntimeRegistry | None = None,
+                 n_shards=_UNSET, max_workers=_UNSET, executor=_UNSET,
+                 process_threshold=_UNSET, persistent=_UNSET) -> None:
+        legacy = {
+            name: value
+            for name, value in (("n_shards", n_shards),
+                                ("max_workers", max_workers),
+                                ("executor", executor),
+                                ("process_threshold", process_threshold),
+                                ("persistent", persistent))
+            if value is not _UNSET
+        }
+        if legacy:
+            if policy is not None:
+                raise ValueError(
+                    "pass either policy= or the legacy kwargs, not both"
+                )
+            warn_legacy("ShardedInferenceEngine", legacy,
+                        "policy=ExecutionPolicy(...)")
+            policy = ExecutionPolicy(
+                n_shards=legacy.get("n_shards"),
+                executor=legacy.get("executor", "auto"),
+                max_workers=legacy.get("max_workers"),
+                persistent=legacy.get("persistent", True),
+                process_threshold=legacy.get(
+                    "process_threshold",
+                    ExecutionPolicy().process_threshold),
             )
-        if n_shards is not None and n_shards < 1:
-            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-        cpus = os.cpu_count() or 1
-        self.n_shards = n_shards or max(2, min(8, cpus))
-        self.max_workers = max_workers
-        self.executor = executor
-        self.process_threshold = process_threshold
+        self.policy = policy if policy is not None else ExecutionPolicy()
         self.seed = seed
-        self.persistent = persistent
         self._registry = registry
         self._runtime: ShardRuntime | None = None
         #: Execution tier of the most recent fit ("process"/"thread"/
         #: "serial"), for introspection and tests.
         self.last_mode: str | None = None
 
-    # ------------------------------------------------------------------
-    def _resolve_mode(self, answers: AnswerSet) -> str:
-        if self.executor != "auto":
-            return self.executor
-        cpus = os.cpu_count() or 1
-        if answers.n_answers >= self.process_threshold and cpus > 1:
-            return "process"
-        # Small inputs default to threads whenever there is anything to
-        # overlap on; a single-core host falls back to the serial path.
-        if (self.max_workers or 0) > 1 or cpus > 1:
-            return "thread"
-        return "serial"
+    # -- policy-derived views (kept for introspection and tests) -------
+    @property
+    def n_shards(self) -> int:
+        return self.policy.resolved_shards
 
-    def _lease_runtime(self, answers: AnswerSet, method: str,
-                       runner_kwargs: dict):
+    @property
+    def max_workers(self) -> int | None:
+        return self.policy.max_workers
+
+    @property
+    def executor(self) -> str:
+        return self.policy.executor
+
+    @property
+    def persistent(self) -> bool:
+        return self.policy.persistent
+
+    # ------------------------------------------------------------------
+    def _lease_runtime(self, plan, answers: AnswerSet, spec: MethodSpec):
         """Lease from the registry (retrying past concurrent closes)
         and remember the runtime for ``close()``/introspection."""
         registry = self._registry or get_runtime_registry()
-        self._runtime, lease = registry.lease(
-            self.n_shards, self.max_workers, answers, method,
-            runner_kwargs)
+        self._runtime, lease = registry.lease(plan, answers, spec)
         return lease
 
     def close(self) -> None:
@@ -228,60 +240,51 @@ class ShardedInferenceEngine:
     def fit(
         self,
         answers: AnswerSet,
-        method: str = "D&S",
+        method: str | MethodSpec = "D&S",
         golden: Mapping[int, float] | None = None,
         initial_quality: np.ndarray | None = None,
         warm_start: InferenceResult | None = None,
         seed_posterior: np.ndarray | None = None,
         **method_kwargs,
     ) -> InferenceResult:
-        """Fit ``method`` on ``answers`` with sharded EM.
+        """Fit ``method`` on ``answers`` under the engine's policy.
 
         The result is identical (to within float merge order; bit-equal
         between tiers at equal ``n_shards``) whichever tier executes it.
         """
-        if not method_class(method).supports_sharding:
+        spec = MethodSpec.coerce(method, method_kwargs)
+        if not capabilities(spec.name).sharding:
             raise ValueError(
-                f"{method} does not support sharded EM; use the plain "
+                f"{spec.name} does not support sharded EM; use the plain "
                 f"fit path instead"
             )
-        mode = self._resolve_mode(answers)
-        self.last_mode = mode
+        plan = self.policy.resolve(answers)
+        self.last_mode = plan.mode
         fit_kwargs = dict(
             golden=golden,
             initial_quality=initial_quality,
             warm_start=warm_start,
             seed_posterior=seed_posterior,
         )
-        if mode == "process":
-            # One kwargs dict for every construction site (the fitting
-            # instance here, the runner's master spec, the worker-side
-            # rebuilds), so a spec that ever depends on constructor
-            # state — seed included — cannot diverge between tiers.
-            runner_kwargs = {"seed": self.seed, **method_kwargs}
-            instance = create(method, **runner_kwargs)
-            if self.persistent:
-                with self._lease_runtime(answers, method,
-                                         runner_kwargs) as runner:
+        # One spec for every construction site (the fitting instance
+        # here, the runner's master spec, the worker-side rebuilds), so
+        # a spec that ever depends on constructor state — seed included
+        # — cannot diverge between tiers.
+        spec = spec.with_defaults(seed=self.seed)
+        if plan.mode == "process":
+            instance = create(spec)
+            if plan.persistent:
+                with self._lease_runtime(plan, answers, spec) as runner:
                     return instance.fit(answers, shard_runner=runner,
                                         **fit_kwargs)
             with ProcessShardRunner(
-                    answers, method, runner_kwargs,
-                    n_shards=self.n_shards,
-                    max_workers=self.max_workers) as runner:
+                    answers, spec,
+                    n_shards=plan.n_shards,
+                    max_workers=plan.max_workers) as runner:
                 return instance.fit(answers, shard_runner=runner,
                                     **fit_kwargs)
-        shard_workers = 0
-        if mode == "thread":
-            # A forced thread tier must actually thread, even when the
-            # pool width was left to default.
-            shard_workers = self.max_workers or min(
-                self.n_shards, max(2, os.cpu_count() or 1))
-        instance = create(method, seed=self.seed, n_shards=self.n_shards,
-                          shard_workers=shard_workers, **method_kwargs)
+        instance = create(spec, policy=plan)
         return instance.fit(answers, **fit_kwargs)
 
     def __repr__(self) -> str:
-        return (f"ShardedInferenceEngine(n_shards={self.n_shards}, "
-                f"executor={self.executor!r}, "
-                f"persistent={self.persistent})")
+        return f"ShardedInferenceEngine(policy={self.policy!r})"

@@ -1,0 +1,272 @@
+"""Declared-schema answer sources feeding the streaming engine.
+
+``repro stream`` historically had to *pre-scan* its CSV to classify the
+task type (two distinct labels → decision-making, more →
+single-choice) before a single answer reached the engine — workable
+for a file, impossible for a socket.  This module turns the input side
+into a first-class protocol:
+
+* :class:`TaskSchema` — the declaration that replaces the pre-scan: a
+  task type plus (optionally) a fixed label order.  Since label growth
+  warm-starts (PR 2), declaring only the task type is enough — labels
+  may be discovered as they arrive.
+* :class:`AnswerSource` — anything with a ``schema`` and a
+  ``batches(chunk_size)`` iterator of ``(task, worker, value)``
+  triples.  Three implementations cover the serving spectrum:
+  :class:`CsvAnswerSource` (files; infers a schema by pre-scan *only*
+  when none was declared), :class:`IterableAnswerSource` (in-memory
+  records), and :class:`LineAnswerSource` (line-delimited CSV from a
+  live file object — stdin, a socket's ``makefile()`` — which is
+  consumed strictly incrementally and therefore *requires* a declared
+  schema).
+
+Every source feeds a
+:class:`~repro.engine.stream.StreamingAnswerSet`-backed
+:class:`~repro.engine.engine.InferenceEngine` the same way; the CLI's
+``repro stream --source {csv,stdin} --task-type {decision,single,numeric}``
+is a thin wrapper over this module.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
+
+from ..core.tasktypes import TaskType
+
+__all__ = [
+    "AnswerSource",
+    "CsvAnswerSource",
+    "IterableAnswerSource",
+    "LineAnswerSource",
+    "TaskSchema",
+    "infer_schema",
+    "parse_task_type",
+]
+
+#: CLI spellings for the task types a stream can declare.
+TASK_TYPE_ALIASES = {
+    "decision": TaskType.DECISION_MAKING,
+    "decision-making": TaskType.DECISION_MAKING,
+    "single": TaskType.SINGLE_CHOICE,
+    "single-choice": TaskType.SINGLE_CHOICE,
+    "numeric": TaskType.NUMERIC,
+}
+
+
+def parse_task_type(name: str | TaskType) -> TaskType:
+    """A :class:`TaskType` from its CLI spelling (or itself)."""
+    if isinstance(name, TaskType):
+        return name
+    try:
+        return TASK_TYPE_ALIASES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown task type {name!r}; expected one of "
+            f"{sorted(set(TASK_TYPE_ALIASES))}"
+        ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskSchema:
+    """The declared shape of an answer stream.
+
+    Parameters
+    ----------
+    task_type:
+        The stream's task type (accepts CLI spellings like
+        ``"decision"`` via :meth:`declare`).
+    labels:
+        Optional fixed label order for categorical streams.  When
+        omitted, labels are indexed in order of first appearance —
+        valid because label growth warm-starts.
+    """
+
+    task_type: TaskType
+    labels: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.labels is not None:
+            object.__setattr__(self, "labels", tuple(self.labels))
+            if not self.task_type.is_categorical:
+                raise ValueError(
+                    "labels only apply to categorical task types"
+                )
+
+    @classmethod
+    def declare(cls, task_type: str | TaskType,
+                labels: Sequence | None = None) -> "TaskSchema":
+        """Build a schema from a CLI-style task-type spelling."""
+        return cls(task_type=parse_task_type(task_type),
+                   labels=tuple(labels) if labels is not None else None)
+
+    def engine_kwargs(self) -> dict:
+        """Constructor kwargs for an :class:`~repro.engine.InferenceEngine`."""
+        return {
+            "task_type": self.task_type,
+            "label_order": list(self.labels) if self.labels else None,
+        }
+
+
+def infer_schema(records: Sequence[tuple]) -> TaskSchema:
+    """The schema a fully materialised record list implies.
+
+    The historical pre-scan, now explicit and opt-in: two distinct
+    labels mean decision-making, more mean single-choice; the sorted
+    label set becomes the fixed label order (which keeps label codes —
+    and therefore printed output — deterministic).
+    """
+    labels = sorted({str(value) for _, _, value in records})
+    task_type = (TaskType.DECISION_MAKING if len(labels) == 2
+                 else TaskType.SINGLE_CHOICE)
+    return TaskSchema(task_type=task_type, labels=tuple(labels))
+
+
+@runtime_checkable
+class AnswerSource(Protocol):
+    """Anything that can feed a streaming engine.
+
+    ``schema`` declares what the records mean; ``batches(chunk_size)``
+    yields lists of ``(task, worker, value)`` triples, each ready for
+    :meth:`~repro.engine.engine.InferenceEngine.add_answers`.
+    """
+
+    @property
+    def schema(self) -> TaskSchema: ...
+
+    def batches(self, chunk_size: int) -> Iterator[list[tuple]]: ...
+
+
+def _batched(records: Iterable[tuple],
+             chunk_size: int) -> Iterator[list[tuple]]:
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    batch: list[tuple] = []
+    for record in records:
+        batch.append(record)
+        if len(batch) >= chunk_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def _parse_row(row: list, where: str) -> tuple:
+    if len(row) < 3:
+        raise ValueError(
+            f"{where}: malformed row {row!r} (expected task,worker,answer)"
+        )
+    return (row[0].strip(), row[1].strip(), row[2].strip())
+
+
+def _is_header(row: list) -> bool:
+    return not row or row[0].strip().lower() in ("task", "#task")
+
+
+class IterableAnswerSource:
+    """In-memory ``(task, worker, value)`` records as a source.
+
+    With no declared schema the records are classified by
+    :func:`infer_schema` (they are already materialised, so the scan is
+    free of the streaming concern the other sources have).
+    """
+
+    def __init__(self, records: Iterable[tuple],
+                 schema: TaskSchema | None = None) -> None:
+        self._records = list(records)
+        self._schema = schema
+
+    @property
+    def schema(self) -> TaskSchema:
+        if self._schema is None:
+            self._schema = infer_schema(self._records)
+        return self._schema
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def batches(self, chunk_size: int) -> Iterator[list[tuple]]:
+        return _batched(self._records, chunk_size)
+
+
+class CsvAnswerSource:
+    """A ``task,worker,answer`` CSV file as a source.
+
+    With a declared ``schema`` the file is read strictly in
+    ``chunk_size`` batches — no pre-scan, no second pass.  Without one,
+    asking for :attr:`schema` reads the file once and infers it (the
+    legacy CLI behaviour, kept for undeclared streams).
+    """
+
+    def __init__(self, path: str,
+                 schema: TaskSchema | None = None) -> None:
+        self.path = path
+        self._schema = schema
+        self._scanned: list[tuple] | None = None
+
+    @property
+    def declared(self) -> bool:
+        """Whether the schema was declared (no pre-scan will happen)."""
+        return self._schema is not None
+
+    @property
+    def schema(self) -> TaskSchema:
+        if self._schema is None:
+            # Pre-scan once and keep the records: batches() then serves
+            # from memory instead of parsing the file a second time
+            # (which would also race any concurrent appends).
+            self._scanned = self._read_all()
+            self._schema = infer_schema(self._scanned)
+        return self._schema
+
+    def _read_all(self) -> list[tuple]:
+        return [record for batch in self.batches(4096) for record in batch]
+
+    def batches(self, chunk_size: int) -> Iterator[list[tuple]]:
+        if self._scanned is not None:
+            yield from _batched(self._scanned, chunk_size)
+            return
+        with open(self.path, newline="") as handle:
+            yield from _batched(
+                (_parse_row(row, f"{self.path}:{number}")
+                 for number, row in enumerate(csv.reader(handle), start=1)
+                 if not _is_header(row)),
+                chunk_size,
+            )
+
+
+class LineAnswerSource:
+    """Line-delimited ``task,worker,answer`` CSV from a live stream.
+
+    Wraps any text file object — ``sys.stdin``, a pipe, a socket's
+    ``makefile("r")`` — and parses it strictly incrementally: a batch
+    is emitted as soon as ``chunk_size`` rows arrived (or the stream
+    ends), so inference starts while the producer is still writing.
+    Because the input cannot be rewound, the schema **must** be
+    declared up front.
+    """
+
+    def __init__(self, stream, schema: TaskSchema,
+                 name: str = "<stream>") -> None:
+        if schema is None:
+            raise ValueError(
+                "a live stream cannot be pre-scanned; declare a "
+                "TaskSchema (e.g. --task-type on the CLI)"
+            )
+        self._stream = stream
+        self._schema = schema
+        self.name = name
+
+    @property
+    def schema(self) -> TaskSchema:
+        return self._schema
+
+    def _records(self) -> Iterator[tuple]:
+        for number, row in enumerate(csv.reader(self._stream), start=1):
+            if _is_header(row):
+                continue
+            yield _parse_row(row, f"{self.name}:{number}")
+
+    def batches(self, chunk_size: int) -> Iterator[list[tuple]]:
+        return _batched(self._records(), chunk_size)

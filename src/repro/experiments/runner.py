@@ -8,15 +8,17 @@ the per-figure modules only express *what varies*.
 
 from __future__ import annotations
 
-import contextlib
 import dataclasses
 import time
 from typing import Iterable, Mapping
 
 import numpy as np
 
-from ..core.registry import create, method_class, methods_for_task_type
+from ..core.policy import ExecutionPolicy, MethodSpec, warn_legacy
+from ..core.registry import capabilities, create, methods_for_task_type
 from ..datasets.schema import Dataset
+
+_UNSET = object()
 
 
 @dataclasses.dataclass
@@ -31,57 +33,108 @@ class MethodRun:
     converged: bool
 
 
+def _coerce_legacy_executor(surface: str, executor):
+    """Map the legacy job-pool ``executor=`` kwarg to a pool factory
+    (warning once); None when the kwarg was not passed."""
+    if executor is _UNSET or executor is None:
+        return None
+    from ..engine.batch import _EXECUTORS
+
+    if executor not in _EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {sorted(_EXECUTORS)}, "
+            f"got {executor!r}"
+        )
+    warn_legacy(surface, ["executor"],
+                "BatchRunner(executor_factory=...)")
+    return _EXECUTORS[executor]
+
+
+def _coerce_legacy_policy(surface: str, policy: ExecutionPolicy | None,
+                          n_shards, shard_workers, shard_executor,
+                          ) -> ExecutionPolicy | None:
+    """Fold the legacy sharding kwargs into a policy, warning once."""
+    legacy = {
+        name: value
+        for name, value in (("n_shards", n_shards),
+                            ("shard_workers", shard_workers),
+                            ("shard_executor", shard_executor))
+        if value is not _UNSET and value is not None
+    }
+    if not legacy:
+        return policy
+    warn_legacy(surface, legacy, "policy=ExecutionPolicy(...)")
+    if policy is not None:
+        raise ValueError(
+            "pass either policy= or the legacy sharding kwargs, not both"
+        )
+    return ExecutionPolicy.from_legacy(
+        n_shards=legacy.get("n_shards"),
+        shard_workers=legacy.get("shard_workers"),
+        shard_executor=legacy.get("shard_executor"),
+    )
+
+
 def run_method(
-    method_name: str,
+    method: str | MethodSpec,
     dataset: Dataset,
     seed: int = 0,
     golden: Mapping[int, float] | None = None,
     initial_quality: np.ndarray | None = None,
-    method_kwargs: dict | None = None,
     seed_posterior: np.ndarray | None = None,
-    n_shards: int | None = None,
-    shard_workers: int | None = None,
-    shard_executor: str | None = None,
+    policy: ExecutionPolicy | None = None,
+    method_kwargs=_UNSET,
+    n_shards=_UNSET,
+    shard_workers=_UNSET,
+    shard_executor=_UNSET,
 ) -> MethodRun:
     """Run one method on one dataset and score it.
 
-    With ``golden`` supplied, scoring excludes the golden tasks
-    (hidden-test protocol: evaluate on ``T − T'``).  ``seed_posterior``
-    forwards a shared majority-vote posterior to methods that accept
-    one; ``n_shards``/``shard_workers`` turn on sharded EM for methods
-    that support it (ignored for the rest, so grids can set them
-    globally).  ``shard_executor="process"`` runs the sharded fit on a
-    persistent :class:`~repro.engine.runtime.ShardRuntime` leased from
-    the shared registry: repeated calls on the same ``dataset.answers``
+    ``method`` is a registry name or a
+    :class:`~repro.core.policy.MethodSpec` carrying construction
+    kwargs.  With ``golden`` supplied, scoring excludes the golden
+    tasks (hidden-test protocol: evaluate on ``T − T'``).
+    ``seed_posterior`` forwards a shared majority-vote posterior to
+    methods that accept one.  ``policy`` decides how the fit executes:
+    sharded EM for methods that support it (ignored for the rest, so
+    grids can set one globally), and its process tier leases a
+    persistent :class:`~repro.engine.runtime.ShardRuntime` from the
+    shared registry — repeated calls on the same ``dataset.answers``
     (a method sweep) reuse the warm pools and placed segments.
-    """
-    supports_sharding = getattr(
-        method_class(method_name), "supports_sharding", False)
-    kwargs = dict(method_kwargs or {})
-    if n_shards and n_shards > 1 and supports_sharding:
-        kwargs.setdefault("n_shards", n_shards)
-        if shard_workers:
-            kwargs.setdefault("shard_workers", shard_workers)
-    effective_shards = kwargs.get("n_shards", 0)
-    method = create(method_name, seed=seed, **kwargs)
-    runner_cm = contextlib.nullcontext(None)
-    if (shard_executor == "process" and supports_sharding
-            and effective_shards > 1):
-        from ..engine.runtime import get_runtime_registry
 
-        _, runner_cm = get_runtime_registry().lease(
-            effective_shards,
-            kwargs.get("shard_workers") or shard_workers or None,
-            dataset.answers, method_name, {"seed": seed, **kwargs})
-    with runner_cm as shard_runner:
-        result = method.fit(dataset.answers, golden=golden,
-                            initial_quality=initial_quality,
-                            seed_posterior=seed_posterior,
-                            shard_runner=shard_runner)
+    The legacy ``method_kwargs=`` / ``n_shards=`` / ``shard_workers=``
+    / ``shard_executor=`` spellings still work and warn once.
+    """
+    if method_kwargs is not _UNSET and method_kwargs is not None:
+        warn_legacy("run_method", ["method_kwargs"],
+                    "MethodSpec(name, **kwargs)")
+        method = MethodSpec.coerce(method, method_kwargs)
+    policy = _coerce_legacy_policy("run_method", policy, n_shards,
+                                   shard_workers, shard_executor)
+    spec = MethodSpec.coerce(method).with_defaults(seed=seed)
+    caps = capabilities(spec.name)
+    plan = None
+    if policy is not None and caps.sharding:
+        # A shard count spelled in the spec's own kwargs wins over the
+        # grid-level policy, matching the historical method_kwargs
+        # precedence (and what lets a runner-level executor choice
+        # combine with per-job shard counts).
+        spec_shards = spec.kwargs.get("n_shards")
+        if spec_shards is not None:
+            policy = dataclasses.replace(policy, n_shards=spec_shards)
+        plan = policy.resolve(dataset.answers)
+    instance = create(spec)
+    # fit(policy=...) owns the tier dispatch (in-process runners,
+    # persistent-runtime leases); an unsharded plan means the plain fit.
+    result = instance.fit(dataset.answers, golden=golden,
+                          initial_quality=initial_quality,
+                          seed_posterior=seed_posterior,
+                          policy=plan if plan is not None
+                          and plan.sharded else None)
     exclude = set(int(t) for t in golden) if golden else None
     scores = dataset.score(result, exclude=exclude)
     return MethodRun(
-        method=method_name,
+        method=spec.name,
         dataset=dataset.name,
         scores=scores,
         elapsed_seconds=result.elapsed_seconds,
@@ -92,59 +145,68 @@ def run_method(
 
 def run_many(
     dataset: Dataset,
-    method_names: Iterable[str] | None = None,
+    methods: Iterable[str | MethodSpec] | None = None,
     seed: int = 0,
     max_workers: int | None = None,
-    n_shards: int | None = None,
-    executor: str | None = None,
-    shard_executor: str | None = None,
+    policy: ExecutionPolicy | None = None,
+    n_shards=_UNSET,
+    executor=_UNSET,
+    shard_executor=_UNSET,
+    method_names=_UNSET,
     **kwargs,
 ) -> list[MethodRun]:
     """Run several methods (default: all applicable) on one dataset.
 
     With ``max_workers`` set, the fits fan out across the engine's
-    :class:`~repro.engine.batch.BatchRunner` pool (threads by default,
-    ``executor="process"`` for a process pool) instead of running
-    serially; results keep method order either way.  ``n_shards`` turns
-    on sharded EM for the methods that support it, and
-    ``shard_executor="process"`` runs those fits on the shared
-    persistent runtime (one pool spawn + data placement for the whole
-    sweep).
+    :class:`~repro.engine.batch.BatchRunner` pool instead of running
+    serially; results keep method order either way.  ``policy`` decides
+    how each fit executes — sharded EM for the methods that support it,
+    and its process tier runs those fits on the shared persistent
+    runtime (one pool spawn + data placement for the whole sweep).
+
+    The legacy ``n_shards=`` / ``executor=`` (job-pool type) /
+    ``shard_executor=`` spellings still work and warn once.
     """
-    if method_names is None:
-        method_names = methods_for_task_type(dataset.task_type)
+    executor_factory = _coerce_legacy_executor("run_many", executor)
+    policy = _coerce_legacy_policy("run_many", policy, n_shards,
+                                   _UNSET, shard_executor)
+    if method_names is not _UNSET:
+        warn_legacy("run_many", ["method_names"], "methods=")
+        if methods is None:
+            methods = method_names
+    if methods is None:
+        methods = methods_for_task_type(dataset.task_type)
+    method_kwargs = kwargs.pop("method_kwargs", None)
+    if method_kwargs:
+        warn_legacy("run_many", ["method_kwargs"],
+                    "MethodSpec(name, **kwargs)")
     # Materialise up front: the capability scans below iterate the
     # names before the run loop does, which would drain a generator.
-    method_names = list(method_names)
+    specs = [MethodSpec.coerce(m, method_kwargs) for m in methods]
     if max_workers is not None:
-        from ..engine.batch import BatchJob, BatchRunner, _sharding_kwargs
+        from ..engine.batch import BatchJob, BatchRunner
+        from concurrent.futures import ThreadPoolExecutor
 
-        method_kwargs = kwargs.pop("method_kwargs", None) or {}
-        # Caller-supplied method_kwargs win over the grid-level default,
-        # matching run_method's setdefault on the serial path.
         jobs = [
-            BatchJob(dataset=dataset, method=name, seed=seed,
-                     method_kwargs={**(_sharding_kwargs(name, n_shards)
-                                       or {}),
-                                    **method_kwargs},
-                     **kwargs)
-            for name in method_names
+            BatchJob(dataset=dataset, method=spec, seed=seed,
+                     policy=policy, **kwargs)
+            for spec in specs
         ]
-        return BatchRunner(max_workers=max_workers, executor=executor,
-                           shard_executor=shard_executor).run(jobs)
+        return BatchRunner(
+            max_workers=max_workers,
+            executor_factory=executor_factory or ThreadPoolExecutor,
+        ).run(jobs)
     # Serial path: still share one majority-vote posterior per dataset
     # across every method that can start from it.
     seed_posterior = None
     if dataset.task_type.is_categorical and any(
-            getattr(method_class(name), "supports_seed_posterior", False)
-            for name in method_names):
+            capabilities(spec.name).seed_posterior for spec in specs):
         from ..core.framework import normalize_rows
 
         seed_posterior = normalize_rows(dataset.answers.vote_counts())
-    return [run_method(name, dataset, seed=seed, n_shards=n_shards,
-                       seed_posterior=seed_posterior,
-                       shard_executor=shard_executor, **kwargs)
-            for name in method_names]
+    return [run_method(spec, dataset, seed=seed, policy=policy,
+                       seed_posterior=seed_posterior, **kwargs)
+            for spec in specs]
 
 
 def run_grid(
@@ -152,22 +214,31 @@ def run_grid(
     methods: Iterable[str] | None = None,
     seed: int = 0,
     max_workers: int | None = None,
-    n_shards: int | None = None,
-    executor: str | None = None,
-    shard_executor: str | None = None,
+    policy: ExecutionPolicy | None = None,
+    n_shards=_UNSET,
+    executor=_UNSET,
+    shard_executor=_UNSET,
 ) -> list[MethodRun]:
     """Cross datasets with applicable methods, optionally in parallel.
 
     Thin wrapper over :meth:`repro.engine.batch.BatchRunner.run_grid`
     so the comparison experiments can fan out without importing the
-    engine package directly.
+    engine package directly.  ``policy`` configures each fit's
+    execution; the legacy ``n_shards=`` / ``executor=`` /
+    ``shard_executor=`` spellings still work and warn once.
     """
+    from concurrent.futures import ThreadPoolExecutor
+
     from ..engine.batch import BatchRunner
 
-    return BatchRunner(max_workers=max_workers or 1, executor=executor,
-                       shard_executor=shard_executor).run_grid(
-        datasets, methods=methods, seed=seed, n_shards=n_shards
-    )
+    executor_factory = _coerce_legacy_executor("run_grid", executor)
+    policy = _coerce_legacy_policy("run_grid", policy, n_shards,
+                                   _UNSET, shard_executor)
+    return BatchRunner(
+        max_workers=max_workers or 1,
+        executor_factory=executor_factory or ThreadPoolExecutor,
+        policy=policy,
+    ).run_grid(datasets, methods=methods, seed=seed)
 
 
 def average_scores(runs: list[MethodRun]) -> dict[str, float]:

@@ -39,6 +39,15 @@ class LearningFromCrowds(_ConfusionMatrixEM):
     """D&S with Dirichlet MAP smoothing (categorical tasks)."""
 
     name = "LFC"
+    # LFC shares D&S's EM wholesale, capabilities included.  Declared
+    # explicitly (not just inherited) so the registry-wide capability
+    # audit reads the truth off this class; a refactor of the shared
+    # base can no longer silently drop a capability from LFC alone.
+    supports_initial_quality = True
+    supports_golden = True
+    supports_warm_start = True
+    supports_sharding = True
+    supports_seed_posterior = True
     #: Symmetric pseudo-count on every cell plus a diagonal bonus:
     #: equivalent to Beta/Dirichlet priors favouring correct answers.
     #: Kept weak by default — strong diagonal priors visibly distort the

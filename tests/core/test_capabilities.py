@@ -1,0 +1,119 @@
+"""Registry-wide capability audit (satellite of the API redesign).
+
+Every method's declared :class:`~repro.core.registry.Capabilities` is
+pinned against an expected table, so a new method (or a refactor of a
+shared base class) can no longer silently drop — or accidentally gain —
+a capability.  A second audit cross-checks the declarations against the
+``_fit`` signatures: a flag is only honest if the implementation
+actually accepts the corresponding keyword.
+"""
+
+import inspect
+
+import pytest
+
+from repro.core.registry import (
+    Capabilities,
+    available_methods,
+    capabilities,
+    method_class,
+)
+from repro.core.tasktypes import TaskType
+
+D = TaskType.DECISION_MAKING
+S = TaskType.SINGLE_CHOICE
+N = TaskType.NUMERIC
+
+
+def caps(warm=False, seed=False, shard=False, golden=False, quality=False,
+         types=(), ext=False) -> Capabilities:
+    return Capabilities(
+        warm_start=warm, seed_posterior=seed, sharding=shard,
+        golden=golden, initial_quality=quality,
+        task_types=frozenset(types), is_extension=ext,
+    )
+
+
+#: The authoritative table: paper Table 4 task types, Table 7
+#: qualification support, Section 6.3.3 golden support, plus the
+#: streaming/sharding capabilities grown in PRs 1-3.  LFC mirrors D&S
+#: exactly — it shares the same EM (the audit this table came from
+#: found its ``seed_posterior`` reliance on base-class inheritance).
+EXPECTED = {
+    "MV": caps(types=(D, S)),
+    "Mean": caps(types=(N,)),
+    "Median": caps(types=(N,)),
+    "D&S": caps(warm=True, seed=True, shard=True, golden=True,
+                quality=True, types=(D, S)),
+    "LFC": caps(warm=True, seed=True, shard=True, golden=True,
+                quality=True, types=(D, S)),
+    "ZC": caps(warm=True, seed=True, shard=True, golden=True,
+               quality=True, types=(D, S)),
+    "GLAD": caps(warm=True, seed=True, shard=True, golden=True,
+                 quality=True, types=(D, S)),
+    "LFC_N": caps(warm=True, shard=True, golden=True, quality=True,
+                  types=(N,)),
+    "BCC": caps(golden=True, types=(D, S)),
+    "CBCC": caps(types=(D, S)),
+    "CATD": caps(golden=True, quality=True, types=(D, S, N)),
+    "PM": caps(golden=True, quality=True, types=(D, S, N)),
+    "Minimax": caps(golden=True, types=(D, S)),
+    "Minimax-Ord": caps(golden=True, types=(D, S), ext=True),
+    "KOS": caps(types=(D,)),
+    "VI-BP": caps(golden=True, quality=True, types=(D,)),
+    "VI-MF": caps(golden=True, quality=True, types=(D,)),
+    "Multi": caps(types=(D,)),
+}
+
+
+def test_expected_table_covers_the_whole_registry():
+    assert set(EXPECTED) == set(available_methods())
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_declared_capabilities_match_table(name):
+    assert capabilities(name) == EXPECTED[name]
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_flags_match_fit_signatures(name):
+    """A capability flag must be backed by the ``_fit`` signature.
+
+    The base class forwards ``warm_start`` / ``seed_posterior`` /
+    ``shard_runner`` keywords exactly when the flag is set, so a flag
+    without the parameter breaks every fit, and a parameter without the
+    flag is a capability silently dropped (the LFC-style mismatch this
+    audit exists to catch).
+    """
+    cls = method_class(name)
+    params = inspect.signature(cls._fit).parameters
+    accepts_kwargs = any(p.kind is inspect.Parameter.VAR_KEYWORD
+                         for p in params.values())
+    for flag, parameter in (
+        ("warm_start", "warm_start"),
+        ("seed_posterior", "seed_posterior"),
+        ("sharding", "shard_runner"),
+    ):
+        declared = getattr(capabilities(name), flag)
+        implemented = parameter in params or accepts_kwargs
+        assert declared == implemented, (
+            f"{name}: capabilities().{flag} is {declared} but _fit "
+            f"{'accepts' if implemented else 'lacks'} {parameter!r}"
+        )
+
+
+def test_lfc_declares_its_capabilities_explicitly():
+    """The audit's concrete fix: LFC's capabilities live on the LFC
+    class itself, not only on the base it shares with D&S."""
+    cls = method_class("LFC")
+    for flag in ("supports_warm_start", "supports_seed_posterior",
+                 "supports_sharding", "supports_golden",
+                 "supports_initial_quality"):
+        assert flag in vars(cls), f"LFC must declare {flag} explicitly"
+
+
+def test_capabilities_cached_and_frozen():
+    first = capabilities("D&S")
+    assert capabilities("D&S") is first
+    with pytest.raises(Exception):
+        first.sharding = False

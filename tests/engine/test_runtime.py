@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 
 from repro.core.answers import AnswerSet
+from repro.core.policy import ExecutionPolicy
 from repro.core.registry import create
 from repro.core.tasktypes import TaskType
 from repro.engine.engine import InferenceEngine
@@ -302,9 +303,10 @@ class TestExceptionLeaks:
         def boom(self, stats):
             raise RuntimeError("m-step exploded")
 
-        engine = ShardedInferenceEngine(n_shards=2, max_workers=1,
-                                        executor="process",
-                                        registry=RuntimeRegistry())
+        engine = ShardedInferenceEngine(
+            ExecutionPolicy(n_shards=2, max_workers=1,
+                            executor="process"),
+            registry=RuntimeRegistry())
         # First a clean fit, so the runtime is warm and placed.
         engine.fit(answers, "D&S")
         names = engine._runtime.segment_names()
@@ -378,8 +380,10 @@ class TestEngineIntegration:
             return [(f"t{rng.integers(0, 50)}", f"w{rng.integers(0, 6)}",
                      int(rng.integers(0, 2))) for _ in range(n)]
 
-        with InferenceEngine(TaskType.DECISION_MAKING, seed=0, n_shards=3,
-                             shard_workers=2, shard_executor="process",
+        with InferenceEngine(TaskType.DECISION_MAKING, seed=0,
+                             policy=ExecutionPolicy(n_shards=3,
+                                                    max_workers=2,
+                                                    executor="process"),
                              registry=RuntimeRegistry()) as engine:
             reference = InferenceEngine(TaskType.DECISION_MAKING, seed=0)
             first, second = batch(300), batch(80)
@@ -406,8 +410,9 @@ class TestEngineIntegration:
 
         def run_engine(n):
             engine = InferenceEngine(TaskType.DECISION_MAKING, seed=0,
-                                     n_shards=2, shard_workers=1,
-                                     shard_executor="process",
+                                     policy=ExecutionPolicy(
+                                         n_shards=2, max_workers=1,
+                                         executor="process"),
                                      registry=registry)
             rng = np.random.default_rng(n)
             engine.add_answers([
@@ -426,16 +431,18 @@ class TestEngineIntegration:
     def test_sharded_engine_persistent_reuses_runtime(self):
         answers = build_answers(seed=11)
         registry = RuntimeRegistry()
-        with ShardedInferenceEngine(n_shards=2, max_workers=1,
-                                    executor="process",
-                                    registry=registry) as engine:
+        with ShardedInferenceEngine(
+                ExecutionPolicy(n_shards=2, max_workers=1,
+                                executor="process"),
+                registry=registry) as engine:
             a = engine.fit(answers, "D&S")
             b = engine.fit(answers, "ZC")
             runtime = engine._runtime
             assert runtime.pool_spawns == 1
             assert runtime.reuses >= 1
         assert runtime.closed
-        serial = ShardedInferenceEngine(n_shards=2, executor="serial")
+        serial = ShardedInferenceEngine(
+            ExecutionPolicy(n_shards=2, executor="serial"))
         assert np.array_equal(a.posterior,
                               serial.fit(answers, "D&S").posterior)
         assert np.array_equal(b.posterior,
@@ -449,15 +456,18 @@ class TestEngineIntegration:
         truth = np.zeros(answers.n_tasks, dtype=np.int64)
         dataset = Dataset(name="synthetic", answers=answers, truth=truth)
         try:
-            sharded = run_many(dataset, ["MV", "D&S", "ZC"], seed=0,
-                               n_shards=2, shard_executor="process")
+            sharded = run_many(
+                dataset, ["MV", "D&S", "ZC"], seed=0,
+                policy=ExecutionPolicy(n_shards=2, executor="process"))
         finally:
             # run_method leases from the process-wide registry; close it
             # so no warm pools outlive this test.
             from repro.engine.runtime import get_runtime_registry
 
             get_runtime_registry().close_all()
-        plain = run_many(dataset, ["MV", "D&S", "ZC"], seed=0, n_shards=2)
+        plain = run_many(dataset, ["MV", "D&S", "ZC"], seed=0,
+                         policy=ExecutionPolicy(n_shards=2,
+                                                executor="serial"))
         for a, b in zip(sharded, plain):
             assert a.method == b.method
             assert a.scores == pytest.approx(b.scores)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.answers import AnswerSet
+from repro.core.policy import ExecutionPolicy, MethodSpec
 from repro.core.registry import create
 from repro.core.tasktypes import TaskType
 from repro.datasets.schema import Dataset
@@ -37,7 +38,10 @@ def build_dataset(seed=0, **kwargs):
 class TestProcessShardRunner:
     def test_matches_in_process_sharded_fit_bitwise(self):
         answers, _ = build_answers()
-        serial = create("D&S", seed=0, n_shards=3).fit(answers)
+        serial = create("D&S", seed=0,
+                        policy=ExecutionPolicy(n_shards=3,
+                                               executor="serial")
+                        ).fit(answers)
         with ProcessShardRunner(answers, "D&S", n_shards=3,
                                 max_workers=2) as runner:
             proc = create("D&S", seed=0).fit(answers, shard_runner=runner)
@@ -46,7 +50,10 @@ class TestProcessShardRunner:
 
     def test_glad_gradient_rounds_through_processes(self):
         answers, _ = build_answers(seed=1)
-        serial = create("GLAD", seed=0, n_shards=2, max_iter=8).fit(answers)
+        serial = create(
+            MethodSpec("GLAD", seed=0, max_iter=8),
+            policy=ExecutionPolicy(n_shards=2, executor="serial"),
+        ).fit(answers)
         with ProcessShardRunner(answers, "GLAD", {"max_iter": 8},
                                 n_shards=2, max_workers=2) as runner:
             proc = create("GLAD", seed=0, max_iter=8).fit(
@@ -79,7 +86,7 @@ class TestShardedInferenceEngine:
         results = {}
         for mode in ("serial", "thread", "process"):
             engine = ShardedInferenceEngine(
-                n_shards=4, executor=mode, max_workers=2)
+                ExecutionPolicy(n_shards=4, executor=mode, max_workers=2))
             results[mode] = engine.fit(answers, "D&S")
             assert engine.last_mode == mode
         assert np.array_equal(results["serial"].posterior,
@@ -89,24 +96,27 @@ class TestShardedInferenceEngine:
 
     def test_auto_stays_in_process_below_threshold(self):
         answers, _ = build_answers()
-        engine = ShardedInferenceEngine(n_shards=2, executor="auto",
-                                        process_threshold=10**9)
+        engine = ShardedInferenceEngine(
+            ExecutionPolicy(n_shards=2, executor="auto",
+                            process_threshold=10**9))
         engine.fit(answers, "ZC")
         assert engine.last_mode in ("serial", "thread")
 
     def test_rejects_unsupported_method(self):
         answers, _ = build_answers()
-        engine = ShardedInferenceEngine(n_shards=2, executor="serial")
+        engine = ShardedInferenceEngine(
+            ExecutionPolicy(n_shards=2, executor="serial"))
         with pytest.raises(ValueError, match="sharded"):
             engine.fit(answers, "MV")
 
     def test_invalid_executor_name(self):
         with pytest.raises(ValueError, match="executor"):
-            ShardedInferenceEngine(executor="gpu")
+            ShardedInferenceEngine(ExecutionPolicy(executor="gpu"))
 
     def test_warm_start_passes_through(self):
         answers, _ = build_answers(seed=4)
-        engine = ShardedInferenceEngine(n_shards=3, executor="serial")
+        engine = ShardedInferenceEngine(
+            ExecutionPolicy(n_shards=3, executor="serial"))
         first = engine.fit(answers, "D&S")
         warm = engine.fit(answers, "D&S", warm_start=first)
         assert warm.extras["warm_started"] is True
@@ -117,8 +127,11 @@ class TestBatchRunnerPools:
         datasets = [build_dataset(seed=s, n_answers=300) for s in (0, 1)]
         thread_runs = BatchRunner(max_workers=2).run_grid(
             datasets, methods=["MV", "D&S"])
-        process_runs = BatchRunner(max_workers=2,
-                                   executor="process").run_grid(
+        from concurrent.futures import ProcessPoolExecutor
+
+        process_runs = BatchRunner(
+            max_workers=2,
+            executor_factory=ProcessPoolExecutor).run_grid(
             datasets, methods=["MV", "D&S"])
         assert [r.method for r in thread_runs] == \
             [r.method for r in process_runs]
@@ -128,11 +141,15 @@ class TestBatchRunnerPools:
     def test_invalid_executor_rejected(self):
         with pytest.raises(ValueError, match="executor"):
             BatchRunner(executor="fiber")
+        with pytest.raises(ValueError, match="executor"):
+            BatchRunner(shard_executor="fiber")
 
     def test_run_grid_with_sharding(self):
         dataset = build_dataset(seed=3, n_answers=400)
-        runs = BatchRunner(max_workers=1).run_grid(
-            [dataset], methods=["MV", "D&S"], n_shards=4)
+        runs = BatchRunner(
+            max_workers=1,
+            policy=ExecutionPolicy(n_shards=4, executor="serial"),
+        ).run_grid([dataset], methods=["MV", "D&S"])
         baseline = BatchRunner(max_workers=1).run_grid(
             [dataset], methods=["MV", "D&S"])
         for sharded, plain in zip(runs, baseline):

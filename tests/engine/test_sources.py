@@ -1,0 +1,160 @@
+"""Declared-schema answer sources (CSV, in-memory, live line streams)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core.tasktypes import TaskType
+from repro.engine import InferenceEngine
+from repro.engine.sources import (
+    CsvAnswerSource,
+    IterableAnswerSource,
+    LineAnswerSource,
+    TaskSchema,
+    infer_schema,
+    parse_task_type,
+)
+
+RECORDS = [
+    ("t1", "w1", "yes"), ("t1", "w2", "yes"), ("t1", "w3", "no"),
+    ("t2", "w1", "no"), ("t2", "w2", "no"), ("t2", "w3", "no"),
+]
+
+
+def write_csv(path, records, header=True):
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if header:
+            writer.writerow(["task", "worker", "answer"])
+        writer.writerows(records)
+
+
+class TestTaskSchema:
+    def test_declare_from_cli_spelling(self):
+        schema = TaskSchema.declare("decision", labels=["no", "yes"])
+        assert schema.task_type is TaskType.DECISION_MAKING
+        assert schema.labels == ("no", "yes")
+
+    @pytest.mark.parametrize("alias,expected", [
+        ("decision", TaskType.DECISION_MAKING),
+        ("single", TaskType.SINGLE_CHOICE),
+        ("numeric", TaskType.NUMERIC),
+    ])
+    def test_aliases(self, alias, expected):
+        assert parse_task_type(alias) is expected
+
+    def test_unknown_alias_rejected(self):
+        with pytest.raises(ValueError, match="task type"):
+            parse_task_type("regression")
+
+    def test_numeric_schema_rejects_labels(self):
+        with pytest.raises(ValueError, match="labels"):
+            TaskSchema(TaskType.NUMERIC, labels=("a", "b"))
+
+    def test_engine_kwargs_round_trip(self):
+        schema = TaskSchema.declare("decision", labels=["no", "yes"])
+        engine = InferenceEngine(**schema.engine_kwargs())
+        engine.add_answers(RECORDS)
+        assert engine.current_truth("MV") == {"t1": "yes", "t2": "no"}
+
+    def test_infer_schema_matches_legacy_classification(self):
+        assert infer_schema(RECORDS).task_type is TaskType.DECISION_MAKING
+        three = RECORDS + [("t3", "w1", "maybe")]
+        assert infer_schema(three).task_type is TaskType.SINGLE_CHOICE
+        assert infer_schema(three).labels == ("maybe", "no", "yes")
+
+
+class TestIterableSource:
+    def test_batches_and_schema(self):
+        source = IterableAnswerSource(RECORDS)
+        assert source.schema.task_type is TaskType.DECISION_MAKING
+        batches = list(source.batches(4))
+        assert [len(b) for b in batches] == [4, 2]
+        assert [r for b in batches for r in b] == RECORDS
+
+    def test_declared_schema_wins(self):
+        schema = TaskSchema(TaskType.SINGLE_CHOICE,
+                            labels=("no", "yes", "maybe"))
+        assert IterableAnswerSource(RECORDS, schema).schema is schema
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(IterableAnswerSource(RECORDS).batches(0))
+
+
+class TestCsvSource:
+    def test_undeclared_schema_pre_scans(self, tmp_path):
+        path = tmp_path / "answers.csv"
+        write_csv(path, RECORDS)
+        source = CsvAnswerSource(str(path))
+        assert not source.declared
+        assert source.schema.labels == ("no", "yes")
+        assert sum(len(b) for b in source.batches(4)) == len(RECORDS)
+
+    def test_declared_schema_streams_without_pre_scan(self, tmp_path,
+                                                      monkeypatch):
+        import repro.engine.sources as sources
+
+        path = tmp_path / "answers.csv"
+        write_csv(path, RECORDS)
+        monkeypatch.setattr(
+            sources, "infer_schema",
+            lambda records: pytest.fail("declared schema must not scan"))
+        source = CsvAnswerSource(str(path),
+                                 TaskSchema.declare("decision"))
+        assert source.declared
+        assert [r for b in source.batches(3) for r in b] == RECORDS
+
+    def test_malformed_row_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("t1,w1,yes\nt2,w2\n")
+        with pytest.raises(ValueError, match="malformed row"):
+            list(CsvAnswerSource(str(path)).batches(10))
+
+
+class TestLineSource:
+    def test_requires_declared_schema(self):
+        with pytest.raises(ValueError, match="pre-scan"):
+            LineAnswerSource(io.StringIO(""), None)
+
+    def test_streams_incrementally(self):
+        """A batch is served before the producer finished writing —
+        the property that makes a live socket source possible."""
+        produced = []
+
+        def lines():
+            for task in range(6):
+                row = f"t{task},w1,{task % 2}\n"
+                produced.append(row)
+                yield row
+
+        class LazyStream:
+            def __init__(self):
+                self._lines = lines()
+
+            def __iter__(self):
+                return self._lines
+
+        source = LineAnswerSource(LazyStream(),
+                                  TaskSchema.declare("decision"))
+        batches = source.batches(2)
+        first = next(batches)
+        assert len(first) == 2
+        # Only the rows needed for the first chunk were consumed.
+        assert len(produced) == 2
+        assert sum(len(b) for b in batches) == 4
+
+    def test_numeric_stdin_style_stream(self):
+        stream = io.StringIO("t1,w1,2.0\nt1,w2,4.0\nt2,w1,1.0\n")
+        source = LineAnswerSource(stream, TaskSchema.declare("numeric"))
+        engine = InferenceEngine(**source.schema.engine_kwargs())
+        for batch in source.batches(2):
+            engine.add_answers(batch)
+        truth = engine.current_truth("Mean")
+        assert truth["t1"] == pytest.approx(3.0)
+
+    def test_header_rows_skipped(self):
+        stream = io.StringIO("task,worker,answer\nt1,w1,yes\nt1,w2,yes\n")
+        source = LineAnswerSource(stream, TaskSchema.declare("decision"))
+        assert sum(len(b) for b in source.batches(10)) == 2

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.policy import MethodSpec
 from repro.experiments.runner import (
     MethodRun,
     average_scores,
@@ -25,9 +26,15 @@ class TestRunMethod:
         run = run_method("ZC", small_product, seed=0, golden=golden)
         assert np.isfinite(run.scores["accuracy"])
 
-    def test_method_kwargs_forwarded(self, small_product):
-        run = run_method("BCC", small_product, seed=0,
-                         method_kwargs={"n_samples": 5, "burn_in": 2})
+    def test_method_spec_kwargs_forwarded(self, small_product):
+        run = run_method(MethodSpec("BCC", n_samples=5, burn_in=2),
+                         small_product, seed=0)
+        assert run.n_iterations == 7
+
+    def test_legacy_method_kwargs_still_work(self, small_product):
+        with pytest.warns(DeprecationWarning, match="method_kwargs"):
+            run = run_method("BCC", small_product, seed=0,
+                             method_kwargs={"n_samples": 5, "burn_in": 2})
         assert run.n_iterations == 7
 
 
@@ -38,8 +45,13 @@ class TestRunMany:
             {"Mean", "Median", "CATD", "PM", "LFC_N"}
 
     def test_explicit_subset(self, small_product):
-        runs = run_many(small_product, method_names=["MV", "D&S"], seed=0)
+        runs = run_many(small_product, ["MV", "D&S"], seed=0)
         assert [r.method for r in runs] == ["MV", "D&S"]
+
+    def test_legacy_method_names_keyword(self, small_product):
+        with pytest.warns(DeprecationWarning, match="method_names"):
+            runs = run_many(small_product, method_names=["MV"], seed=0)
+        assert [r.method for r in runs] == ["MV"]
 
 
 class TestAveraging:

@@ -25,6 +25,7 @@ from benchmarks.reference_em import (
     reference_zc,
 )
 from repro.core.answers import AnswerSet
+from repro.core.policy import ExecutionPolicy
 from repro.core.registry import create
 from repro.core.tasktypes import TaskType
 
@@ -144,7 +145,7 @@ def test_sharded_matches_unsharded_categorical(method_name, n_shards):
     for max_iter in (1, 4, 9):
         base = create(method_name, seed=0, max_iter=max_iter).fit(answers)
         sharded = create(method_name, seed=0, max_iter=max_iter,
-                         n_shards=n_shards).fit(answers)
+                     policy=ExecutionPolicy(n_shards=n_shards, executor="serial")).fit(answers)
         assert sharded.n_iterations == base.n_iterations
         diff = np.max(np.abs(sharded.posterior - base.posterior))
         if n_shards == 1:
@@ -162,7 +163,7 @@ def test_sharded_matches_unsharded_numeric(n_shards):
     for max_iter in (1, 4, 9):
         base = create("LFC_N", seed=0, max_iter=max_iter).fit(answers)
         sharded = create("LFC_N", seed=0, max_iter=max_iter,
-                         n_shards=n_shards).fit(answers)
+                     policy=ExecutionPolicy(n_shards=n_shards, executor="serial")).fit(answers)
         diff = np.max(np.abs(sharded.truths - base.truths))
         if n_shards == 1:
             assert diff == 0.0
@@ -176,13 +177,13 @@ def test_sharded_with_golden_and_warm(method_name):
     answers = random_categorical(5)
     golden = {0: 1, 3: 2}
     base = create(method_name, seed=0).fit(answers, golden=golden)
-    sharded = create(method_name, seed=0, n_shards=4).fit(answers,
+    sharded = create(method_name, seed=0, policy=ExecutionPolicy(n_shards=4, executor="serial")).fit(answers,
                                                           golden=golden)
     assert int(sharded.truths[0]) == 1 and int(sharded.truths[3]) == 2
     assert np.max(np.abs(sharded.posterior - base.posterior)) <= 1e-10
 
     warm_base = create(method_name, seed=0).fit(answers, warm_start=base)
-    warm_sharded = create(method_name, seed=0, n_shards=4).fit(
+    warm_sharded = create(method_name, seed=0, policy=ExecutionPolicy(n_shards=4, executor="serial")).fit(
         answers, warm_start=base)
     assert warm_sharded.extras["warm_started"]
     assert warm_sharded.n_iterations == warm_base.n_iterations
@@ -193,8 +194,8 @@ def test_sharded_with_golden_and_warm(method_name):
 def test_sharded_thread_pool_matches_serial():
     """shard_workers only changes where shards run, never the numbers."""
     answers = random_categorical(9)
-    serial = create("D&S", seed=0, n_shards=4).fit(answers)
-    threaded = create("D&S", seed=0, n_shards=4, shard_workers=3).fit(answers)
+    serial = create("D&S", seed=0, policy=ExecutionPolicy(n_shards=4, executor="serial")).fit(answers)
+    threaded = create("D&S", seed=0, policy=ExecutionPolicy(n_shards=4, executor="thread", max_workers=3)).fit(answers)
     assert np.array_equal(serial.posterior, threaded.posterior)
     assert np.array_equal(serial.worker_quality, threaded.worker_quality)
 
@@ -203,5 +204,5 @@ def test_sharded_handles_empty_and_tiny_shards():
     """More shards than tasks: trailing shards own empty task ranges."""
     answers = random_categorical(13, n_tasks=5, n_workers=4, n_answers=30)
     base = create("D&S", seed=0).fit(answers)
-    sharded = create("D&S", seed=0, n_shards=8).fit(answers)
+    sharded = create("D&S", seed=0, policy=ExecutionPolicy(n_shards=8, executor="serial")).fit(answers)
     assert np.max(np.abs(sharded.posterior - base.posterior)) <= 1e-10

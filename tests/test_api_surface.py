@@ -1,0 +1,372 @@
+"""Public API surface: export snapshots and deprecation-shim parity.
+
+Two contracts of the ExecutionPolicy/MethodSpec redesign:
+
+1. The ``__all__`` exports of :mod:`repro` and :mod:`repro.engine` are
+   pinned, so a refactor cannot silently drop (or leak) a public name.
+2. Every legacy kwarg spelling (``n_shards=``, ``executor=``,
+   ``shard_executor=``, ``shard_workers=``, ``method_kwargs=``) still
+   works, emits **exactly one** :class:`DeprecationWarning` per call,
+   and produces bit-identical results to the ``policy=`` /
+   ``MethodSpec`` spelling.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+import repro.engine
+from repro.core.answers import AnswerSet
+from repro.core.policy import ExecutionPolicy, MethodSpec
+from repro.core.registry import create
+from repro.core.tasktypes import TaskType
+from repro.datasets.schema import Dataset
+from repro.engine import BatchJob, BatchRunner, InferenceEngine
+from repro.experiments.runner import run_grid, run_many, run_method
+
+REPRO_ALL = [
+    "AnswerSet",
+    "Capabilities",
+    "Dataset",
+    "ExecutionPlan",
+    "ExecutionPolicy",
+    "InferenceResult",
+    "MethodSpec",
+    "ReproError",
+    "TaskType",
+    "TruthInferenceMethod",
+    "__version__",
+    "all_paper_datasets",
+    "available_methods",
+    "capabilities",
+    "create",
+    "create_all",
+    "load_paper_dataset",
+    "methods_for_task_type",
+]
+
+ENGINE_ALL = [
+    "AnswerSource",
+    "BatchJob",
+    "BatchRunner",
+    "CsvAnswerSource",
+    "ExecutionPlan",
+    "ExecutionPolicy",
+    "InferenceEngine",
+    "IterableAnswerSource",
+    "LineAnswerSource",
+    "MethodSpec",
+    "ProcessShardRunner",
+    "RuntimeLease",
+    "RuntimeRegistry",
+    "ShardRuntime",
+    "ShardedInferenceEngine",
+    "StreamingAnswerSet",
+    "TaskSchema",
+    "get_runtime_registry",
+]
+
+
+class TestExports:
+    def test_repro_all_snapshot(self):
+        assert repro.__all__ == REPRO_ALL
+
+    def test_engine_all_snapshot(self):
+        assert repro.engine.__all__ == ENGINE_ALL
+
+    @pytest.mark.parametrize("module,names", [
+        (repro, REPRO_ALL), (repro.engine, ENGINE_ALL)])
+    def test_every_export_resolves(self, module, names):
+        for name in names:
+            assert getattr(module, name) is not None
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims: one warning, bit-identical results
+# ----------------------------------------------------------------------
+def build_answers(seed=0, n_tasks=40, n_workers=6, n_answers=320):
+    rng = np.random.default_rng(seed)
+    truth = rng.integers(0, 2, n_tasks)
+    acc = rng.uniform(0.55, 0.95, n_workers)
+    tasks = rng.integers(0, n_tasks, n_answers)
+    workers = rng.integers(0, n_workers, n_answers)
+    correct = rng.random(n_answers) < acc[workers]
+    values = np.where(correct, truth[tasks], 1 - truth[tasks])
+    return AnswerSet(tasks, workers, values, TaskType.DECISION_MAKING,
+                     n_tasks=n_tasks, n_workers=n_workers), truth
+
+
+@pytest.fixture()
+def answers():
+    return build_answers()[0]
+
+
+@pytest.fixture()
+def dataset():
+    answers, truth = build_answers(seed=2)
+    return Dataset(name="synthetic", answers=answers, truth=truth)
+
+
+def one_warning(calling):
+    """Run ``calling()`` asserting exactly one DeprecationWarning."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = calling()
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, (
+        f"expected exactly one DeprecationWarning, got "
+        f"{[str(w.message) for w in deprecations]}"
+    )
+    return result
+
+
+def assert_identical(a, b):
+    assert a.n_iterations == b.n_iterations
+    if a.posterior is not None:
+        np.testing.assert_array_equal(a.posterior, b.posterior)
+    np.testing.assert_array_equal(a.truths, b.truths)
+    np.testing.assert_array_equal(a.worker_quality, b.worker_quality)
+
+
+class TestCreateShims:
+    def test_n_shards_kwarg(self, answers):
+        legacy = one_warning(lambda: create("D&S", seed=0, n_shards=3))
+        modern = create("D&S", seed=0,
+                        policy=ExecutionPolicy(n_shards=3,
+                                               executor="serial"))
+        assert_identical(legacy.fit(answers), modern.fit(answers))
+
+    def test_shard_workers_kwarg(self, answers):
+        legacy = one_warning(
+            lambda: create("D&S", seed=0, n_shards=3, shard_workers=2))
+        modern = create("D&S", seed=0,
+                        policy=ExecutionPolicy(n_shards=3,
+                                               executor="thread",
+                                               max_workers=2))
+        assert_identical(legacy.fit(answers), modern.fit(answers))
+
+
+class TestEngineShims:
+    def _records(self):
+        answers = build_answers(seed=4)[0]
+        return [(f"t{t}", f"w{w}", int(v)) for t, w, v in
+                zip(answers.tasks, answers.workers, answers.values)]
+
+    def _truths(self, engine):
+        engine.add_answers(self._records())
+        return engine.infer("D&S")
+
+    def test_inference_engine_legacy_kwargs(self):
+        legacy_engine = one_warning(lambda: InferenceEngine(
+            TaskType.DECISION_MAKING, seed=0, n_shards=3, shard_workers=2))
+        modern_engine = InferenceEngine(
+            TaskType.DECISION_MAKING, seed=0,
+            policy=ExecutionPolicy(n_shards=3, executor="thread",
+                                   max_workers=2))
+        assert_identical(self._truths(legacy_engine),
+                         self._truths(modern_engine))
+
+    def test_sharded_engine_legacy_kwargs(self, answers):
+        legacy_engine = one_warning(lambda: repro.engine.ShardedInferenceEngine(
+            n_shards=3, executor="serial"))
+        modern_engine = repro.engine.ShardedInferenceEngine(
+            ExecutionPolicy(n_shards=3, executor="serial"))
+        assert_identical(legacy_engine.fit(answers, "D&S"),
+                         modern_engine.fit(answers, "D&S"))
+
+    def test_mixing_legacy_and_policy_rejected(self):
+        with pytest.raises(ValueError, match="not both"), \
+                warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            InferenceEngine(TaskType.DECISION_MAKING,
+                            policy=ExecutionPolicy(), n_shards=2)
+
+
+class TestRunnerShims:
+    def test_run_method_method_kwargs(self, dataset):
+        legacy = one_warning(lambda: run_method(
+            "D&S", dataset, seed=0, method_kwargs={"max_iter": 7}))
+        modern = run_method(MethodSpec("D&S", max_iter=7), dataset, seed=0)
+        assert legacy.scores == modern.scores
+        assert legacy.n_iterations == modern.n_iterations
+
+    def test_run_method_n_shards(self, dataset):
+        legacy = one_warning(lambda: run_method(
+            "D&S", dataset, seed=0, n_shards=3))
+        modern = run_method("D&S", dataset, seed=0,
+                            policy=ExecutionPolicy(n_shards=3,
+                                                   executor="serial"))
+        assert legacy.scores == modern.scores
+        assert legacy.n_iterations == modern.n_iterations
+
+    def test_run_method_shard_workers(self, dataset):
+        legacy = one_warning(lambda: run_method(
+            "D&S", dataset, seed=0, n_shards=3, shard_workers=2))
+        modern = run_method("D&S", dataset, seed=0,
+                            policy=ExecutionPolicy(n_shards=3,
+                                                   executor="thread",
+                                                   max_workers=2))
+        assert legacy.scores == modern.scores
+
+    def test_run_method_shard_executor_process(self, dataset):
+        from repro.engine.runtime import get_runtime_registry
+
+        try:
+            legacy = one_warning(lambda: run_method(
+                "D&S", dataset, seed=0, n_shards=2,
+                shard_executor="process"))
+            modern = run_method(
+                "D&S", dataset, seed=0,
+                policy=ExecutionPolicy(n_shards=2, executor="process"))
+        finally:
+            get_runtime_registry().close_all()
+        assert legacy.scores == modern.scores
+        assert legacy.n_iterations == modern.n_iterations
+
+    def test_run_many_executor(self, dataset):
+        legacy = one_warning(lambda: run_many(
+            dataset, ["MV", "D&S"], seed=0, max_workers=2,
+            executor="thread"))
+        modern = run_many(dataset, ["MV", "D&S"], seed=0, max_workers=2)
+        for a, b in zip(legacy, modern):
+            assert a.scores == b.scores
+
+    def test_run_grid_n_shards(self, dataset):
+        legacy = one_warning(lambda: run_grid(
+            [dataset], methods=["MV", "D&S"], seed=0, n_shards=3))
+        modern = run_grid([dataset], methods=["MV", "D&S"], seed=0,
+                          policy=ExecutionPolicy(n_shards=3,
+                                                 executor="serial"))
+        for a, b in zip(legacy, modern):
+            assert a.scores == b.scores
+            assert a.n_iterations == b.n_iterations
+
+
+class TestBatchShims:
+    def test_batch_runner_executor(self, dataset):
+        legacy_runner = one_warning(
+            lambda: BatchRunner(max_workers=2, executor="thread"))
+        modern_runner = BatchRunner(max_workers=2)
+        jobs = [BatchJob(dataset=dataset, method="D&S", seed=0)]
+        legacy = legacy_runner.run(list(jobs))
+        modern = modern_runner.run(
+            [BatchJob(dataset=dataset, method="D&S", seed=0)])
+        assert legacy[0].scores == modern[0].scores
+
+    def test_batch_runner_shard_executor(self, dataset):
+        legacy_runner = one_warning(
+            lambda: BatchRunner(max_workers=1, shard_executor="thread"))
+        # n_shards stays 1: the runner-level flag never invented a
+        # shard count — that always came from each job's method kwargs.
+        assert legacy_runner.policy == ExecutionPolicy(n_shards=1,
+                                                       executor="thread")
+
+    def test_batch_runner_shard_executor_keeps_unsharded_jobs_plain(
+            self, dataset):
+        """Jobs with no shard count must not be silently auto-sharded
+        (and must not spawn the process runtime) just because the
+        runner carries a legacy shard_executor."""
+        from repro.engine.runtime import RuntimeRegistry
+
+        registry = RuntimeRegistry()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            runner = BatchRunner(max_workers=1,
+                                 shard_executor="process")
+        legacy = runner.run([BatchJob(dataset=dataset, method="D&S",
+                                      seed=0)])
+        plain = run_method("D&S", dataset, seed=0)
+        assert len(registry) == 0
+        assert legacy[0].scores == plain.scores
+        assert legacy[0].n_iterations == plain.n_iterations
+
+    def test_batch_job_method_kwargs_shards_reach_the_runtime(
+            self, dataset):
+        """The historical coupling: shard counts spelled in
+        method_kwargs combine with a process shard_executor — the fit
+        must actually run on the leased runtime at that shard count."""
+        from repro.engine.runtime import get_runtime_registry
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            job = BatchJob(dataset=dataset, method="D&S",
+                           method_kwargs={"n_shards": 2},
+                           shard_executor="process")
+        registry = get_runtime_registry()
+        try:
+            legacy = BatchRunner(max_workers=1).run([job])
+            runtime = registry.acquire(2, None)
+            assert runtime.placements >= 1  # the lease really happened
+        finally:
+            registry.close_all()
+        modern = run_method("D&S", dataset, seed=0,
+                            policy=ExecutionPolicy(n_shards=2,
+                                                   executor="serial"))
+        assert legacy[0].scores == modern.scores
+        assert legacy[0].n_iterations == modern.n_iterations
+
+    def test_batch_job_method_kwargs(self, dataset):
+        job = one_warning(lambda: BatchJob(
+            dataset=dataset, method="D&S",
+            method_kwargs={"max_iter": 7}))
+        assert job.method == MethodSpec("D&S", max_iter=7)
+        assert job.method_kwargs is None
+
+    def test_batch_job_shard_executor(self, dataset):
+        job = one_warning(lambda: BatchJob(
+            dataset=dataset, method="D&S", shard_executor="process"))
+        assert job.policy.executor == "process"
+        assert job.shard_executor is None
+
+
+class TestCliAliases:
+    def test_batch_shard_executor_flag_warns(self, capsys):
+        from repro.cli import main
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            code = main(["batch", "--datasets", "D_PosSent", "--methods",
+                         "MV", "--scale", "0.05", "--workers", "1",
+                         "--shard-executor", "thread"])
+        assert code == 0
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert "--shard-executor is deprecated" in capsys.readouterr().err
+
+    def test_batch_conflicting_executor_flags_rejected(self, capsys):
+        """Two explicit executor choices must error, not silently pick
+        one (the pre-unification combination of job pool + shard tier
+        no longer exists)."""
+        from repro.cli import main
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            code = main(["batch", "--datasets", "D_PosSent", "--methods",
+                         "MV", "--scale", "0.05", "--executor", "thread",
+                         "--shard-executor", "process"])
+        assert code == 1
+        assert "conflicts with --executor" in capsys.readouterr().err
+
+    def test_batch_executor_without_shards_notes_new_meaning(self,
+                                                             capsys):
+        """batch --executor used to pick the job pool; the unified flag
+        configures the fit tier, which is a no-op at --shards 1 — the
+        CLI says so instead of silently differing."""
+        from repro.cli import main
+
+        code = main(["batch", "--datasets", "D_PosSent", "--methods",
+                     "MV", "--scale", "0.05", "--workers", "1",
+                     "--executor", "process"])
+        assert code == 0
+        assert "no effect with --shards 1" in capsys.readouterr().err
+
+    def test_cli_choices_track_the_policy_and_source_layers(self):
+        from repro.cli import EXECUTOR_CHOICES, TASK_TYPE_CHOICES
+        from repro.core.policy import EXECUTORS
+        from repro.engine.sources import TASK_TYPE_ALIASES
+
+        assert EXECUTOR_CHOICES == list(EXECUTORS)
+        assert TASK_TYPE_CHOICES == sorted(TASK_TYPE_ALIASES)

@@ -232,6 +232,75 @@ class TestCommands:
                      "Bogus", "--scale", "0.05"]) == 1
         assert "unknown methods: Bogus" in capsys.readouterr().err
 
+    def test_stream_from_stdin_without_pre_scan(self, monkeypatch, capsys):
+        """A declared-schema stdin stream is never pre-scanned: the
+        classifier is poisoned and the run must still succeed."""
+        import io
+
+        import repro.engine.sources as sources
+
+        monkeypatch.setattr(
+            sources, "infer_schema",
+            lambda records: pytest.fail("stdin stream must not pre-scan"))
+        rows = "".join(f"t{task},w{worker},{'yes' if task % 2 else 'no'}\n"
+                       for task in range(10) for worker in range(3))
+        monkeypatch.setattr("sys.stdin", io.StringIO(rows))
+        code = main(["stream", "--source", "stdin", "--task-type",
+                     "decision", "--method", "D&S", "--chunk-size", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold refit" in out
+        assert "warm refit" in out
+        assert "t0,no" in out
+        assert "t1,yes" in out
+
+    def test_stream_stdin_requires_task_type(self, capsys):
+        assert main(["stream", "--source", "stdin"]) == 1
+        assert "--task-type" in capsys.readouterr().err
+
+    def test_stream_numeric_task_type(self, monkeypatch, capsys):
+        import io
+
+        rows = "t1,w1,2.0\nt1,w2,4.0\nt2,w1,1.5\nt2,w2,2.5\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(rows))
+        code = main(["stream", "--source", "stdin", "--task-type",
+                     "numeric", "--method", "Mean", "--chunk-size", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t1,3.0" in out
+        assert "t2,2.0" in out
+
+    def test_stream_declared_task_type_skips_csv_pre_scan(
+            self, tmp_path, monkeypatch, capsys):
+        import repro.engine.sources as sources
+
+        monkeypatch.setattr(
+            sources, "infer_schema",
+            lambda records: pytest.fail("declared schema must not scan"))
+        path = tmp_path / "answers.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            for task in range(8):
+                for worker in ("w1", "w2", "w3"):
+                    writer.writerow([f"t{task}", worker,
+                                     "yes" if task % 2 else "no"])
+        code = main(["stream", str(path), "--task-type", "decision",
+                     "--method", "D&S", "--chunk-size", "12"])
+        assert code == 0
+        assert "t0,no" in capsys.readouterr().out
+
+    def test_stream_csv_without_path_fails_loudly(self, capsys):
+        assert main(["stream"]) == 1
+        assert "CSV path is required" in capsys.readouterr().err
+
+    def test_stream_unified_executor_choices(self, tmp_path, capsys):
+        path = tmp_path / "answers.csv"
+        path.write_text("t1,w1,yes\nt1,w2,yes\nt2,w1,no\nt2,w2,no\n")
+        for executor in ("auto", "serial", "thread"):
+            assert main(["stream", str(path), "--method", "MV",
+                         "--executor", executor]) == 0
+            assert "t1,yes" in capsys.readouterr().out
+
     def test_plan_redundancy(self, capsys):
         code = main(["plan-redundancy", "--dataset", "D_PosSent",
                      "--scale", "0.05", "--method", "MV",
