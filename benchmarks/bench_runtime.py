@@ -41,7 +41,7 @@ from repro.engine.runtime import ShardRuntime
 from repro.engine.sharded import ProcessShardRunner
 from repro.experiments.reporting import format_table
 
-from .conftest import save_report
+from .conftest import save_json, save_report
 
 FULL_BASE_ANSWERS = 400_000
 SMOKE_BASE_ANSWERS = 30_000
@@ -157,7 +157,16 @@ def run_benchmark(base_answers: int, n_shards: int = N_SHARDS,
         "spawns": spawns,
         "extends": extends,
     }
-    return report, checks
+    payload = {
+        "base_answers": base_answers,
+        "n_shards": n_shards,
+        "method": method,
+        "growth_fraction": GROWTH_FRACTION,
+        "mean_overhead_perfit_s": mean_perfit,
+        "mean_overhead_warm_s": mean_warm,
+        **checks,
+    }
+    return report, checks, payload
 
 
 def enforce(checks: dict) -> None:
@@ -180,9 +189,10 @@ def enforce(checks: dict) -> None:
 
 def test_runtime_overhead(benchmark):
     """CI entry point: smoke-sized stream through the report fixture."""
-    report, checks = benchmark.pedantic(
+    report, checks, payload = benchmark.pedantic(
         lambda: run_benchmark(SMOKE_BASE_ANSWERS), rounds=1, iterations=1)
     save_report("runtime_overhead", report)
+    save_json("runtime", payload)
     enforce(checks)
 
 
@@ -195,11 +205,17 @@ def main(argv=None) -> int:
                         help=f"base answer count "
                              f"(default {FULL_BASE_ANSWERS:,})")
     parser.add_argument("--shards", type=int, default=N_SHARDS)
+    parser.add_argument("--json", dest="json_path", default=None,
+                        metavar="PATH",
+                        help="write BENCH_runtime.json to PATH (a "
+                             "directory or exact file; default "
+                             "benchmarks/results/)")
     args = parser.parse_args(argv)
     base = args.answers or (SMOKE_BASE_ANSWERS if args.smoke
                             else FULL_BASE_ANSWERS)
-    report, checks = run_benchmark(base, n_shards=args.shards)
+    report, checks, payload = run_benchmark(base, n_shards=args.shards)
     save_report("runtime_overhead", report)
+    save_json("runtime", payload, args.json_path)
     enforce(checks)
     print("all persistent-runtime checks passed")
     return 0

@@ -37,7 +37,7 @@ from repro.core.tasktypes import TaskType
 from repro.engine.sharded import ShardedInferenceEngine
 from repro.experiments.reporting import format_table
 
-from .conftest import save_report
+from .conftest import save_json, save_report
 from .reference_em import reference_confusion_em, reference_glad
 
 FULL_ANSWERS = 1_000_000
@@ -135,7 +135,17 @@ def run_benchmark(n_answers: int, n_shards: int = N_SHARDS):
          f"sharded({n_shards})", "speedup", "truth agreement",
          "1-shard bitwise"],
         rows, title=title)
-    return report, checks
+    payload = {
+        "n_answers": answers.n_answers,
+        "n_shards": n_shards,
+        "executor": engine.last_mode or engine.executor,
+        "methods": [
+            {"method": name, "bitwise": bool(bitwise),
+             "agreement": agreement, "speedup": speedup, "target": target}
+            for name, bitwise, agreement, speedup, target in checks
+        ],
+    }
+    return report, checks, payload
 
 
 def enforce(checks) -> None:
@@ -153,9 +163,10 @@ def enforce(checks) -> None:
 
 def test_sharded_speedup(benchmark):
     """CI entry point: smoke-sized load through the report fixture."""
-    (report, checks) = benchmark.pedantic(
+    (report, checks, payload) = benchmark.pedantic(
         lambda: run_benchmark(SMOKE_ANSWERS), rounds=1, iterations=1)
     save_report("sharded_em", report)
+    save_json("sharded", payload)
     enforce(checks)
 
 
@@ -167,11 +178,17 @@ def main(argv=None) -> int:
     parser.add_argument("--answers", type=int, default=None,
                         help=f"answer count (default {FULL_ANSWERS:,})")
     parser.add_argument("--shards", type=int, default=N_SHARDS)
+    parser.add_argument("--json", dest="json_path", default=None,
+                        metavar="PATH",
+                        help="write BENCH_sharded.json to PATH (a "
+                             "directory or exact file; default "
+                             "benchmarks/results/)")
     args = parser.parse_args(argv)
     n_answers = args.answers or (SMOKE_ANSWERS if args.smoke
                                  else FULL_ANSWERS)
-    report, checks = run_benchmark(n_answers, n_shards=args.shards)
+    report, checks, payload = run_benchmark(n_answers, n_shards=args.shards)
     save_report("sharded_em", report)
+    save_json("sharded", payload, args.json_path)
     enforce(checks)
     print("all sharded-EM checks passed")
     return 0

@@ -16,6 +16,8 @@ report header.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
@@ -40,6 +42,37 @@ def save_report(name: str, text: str) -> pathlib.Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def save_json(name: str, payload: dict,
+              json_path: str | None = None) -> pathlib.Path:
+    """Write a machine-readable ``BENCH_<name>.json`` next to the text
+    report (the perf-trajectory emitter shared by the perf benchmarks).
+
+    ``json_path`` may name a directory (the file keeps its canonical
+    ``BENCH_<name>.json`` name inside it — anything without a ``.json``
+    suffix is treated as a directory, existing or not) or an exact
+    ``.json`` file path; the default is ``benchmarks/results/``, which
+    CI uploads as an artifact.  A ``machine`` block (cpu count) is
+    stamped so trajectory points from different runners are comparable.
+    """
+    payload = dict(payload)
+    payload.setdefault("bench", name)
+    payload.setdefault("machine", {"cpus": os.cpu_count() or 1})
+    if json_path is None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+    else:
+        path = pathlib.Path(json_path)
+        if path.suffix != ".json":
+            path.mkdir(parents=True, exist_ok=True)
+            path = path / f"BENCH_{name}.json"
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               default=float) + "\n")
+    print(f"[json metrics saved to {path}]")
     return path
 
 

@@ -44,6 +44,7 @@ from .core import (
     Capabilities,
     ExecutionPlan,
     ExecutionPolicy,
+    FitStats,
     InferenceResult,
     MethodSpec,
     TaskType,
@@ -65,6 +66,7 @@ __all__ = [
     "Dataset",
     "ExecutionPlan",
     "ExecutionPolicy",
+    "FitStats",
     "InferenceResult",
     "MethodSpec",
     "ReproError",

@@ -8,7 +8,9 @@ Usage (after ``pip install -e .``)::
     python -m repro stream answers.csv --method "D&S" --chunk-size 200
     python -m repro stream answers.csv --method "D&S" --shards 4 --workers 2
     python -m repro stream answers.csv --shards 8 --executor process
+    python -m repro stream answers.csv --shards 8 --refit delta -v
     python -m repro stream --source stdin --task-type decision --method "D&S"
+    python -m repro stream --source tcp:feed.example:9000 --task-type decision
     python -m repro run --dataset D_Product --method D&S --scale 0.2
     python -m repro batch --datasets D_Product D_PosSent --workers 4
     python -m repro batch --methods D&S GLAD --shards 8 --executor process
@@ -192,10 +194,18 @@ def _deprecated_flag(old: str, new: str) -> None:
 
 def _execution_policy(args) -> ExecutionPolicy:
     """The one ExecutionPolicy a command's flags spell."""
+    extra = {}
+    if getattr(args, "refit", None) is not None:
+        extra["refit"] = args.refit
+    if getattr(args, "freeze_tol", None) is not None:
+        extra["freeze_tol"] = args.freeze_tol
+    if getattr(args, "verify_every", None) is not None:
+        extra["verify_every"] = args.verify_every
     return ExecutionPolicy(
         n_shards=args.shards,
         executor=args.executor,
         max_workers=args.workers or None,
+        **extra,
     )
 
 
@@ -231,22 +241,41 @@ def _open_stream_source(args):
     error string.
 
     A declared ``--task-type`` builds a :class:`TaskSchema` up front —
-    no pre-scan, which is what makes ``--source stdin`` (or any live
-    stream) possible.  A CSV with no declared type keeps the legacy
-    behaviour: the source infers its schema with one read-through.
+    no pre-scan, which is what makes ``--source stdin`` (or the TCP
+    socket source, ``--source tcp:HOST:PORT``) possible.  A CSV with no
+    declared type keeps the legacy behaviour: the source infers its
+    schema with one read-through.
     """
     from .engine.sources import CsvAnswerSource, LineAnswerSource, TaskSchema
 
     schema = (TaskSchema.declare(args.task_type)
               if args.task_type else None)
-    if args.source == "stdin":
+    if args.source == "stdin" or args.source.startswith("tcp:"):
         if args.answers:
-            return None, (f"--source stdin conflicts with the answers "
-                          f"path {args.answers!r}; pass one input")
+            return None, (f"--source {args.source} conflicts with the "
+                          f"answers path {args.answers!r}; pass one input")
         if schema is None:
-            return None, ("--source stdin requires --task-type: a live "
-                          "stream cannot be pre-scanned")
-        return LineAnswerSource(sys.stdin, schema, name="<stdin>"), None
+            return None, (f"--source {args.source} requires --task-type: "
+                          f"a live stream cannot be pre-scanned")
+        if args.source == "stdin":
+            return LineAnswerSource(sys.stdin, schema, name="<stdin>"), None
+        # The ROADMAP's ~10-line TCP wrapper: connect and wrap the
+        # socket's file object in the line source.
+        import socket
+
+        host, _, port = args.source[len("tcp:"):].rpartition(":")
+        if not host or not port.isdigit():
+            return None, (f"--source {args.source!r} must look like "
+                          f"tcp:HOST:PORT")
+        try:
+            sock = socket.create_connection((host, int(port)))
+        except OSError as exc:
+            return None, f"cannot connect to {args.source}: {exc}"
+        return LineAnswerSource(sock.makefile("r"), schema,
+                                name=args.source), None
+    if args.source != "csv":
+        return None, (f"unknown --source {args.source!r}; expected csv, "
+                      f"stdin or tcp:HOST:PORT")
     if not args.answers:
         return None, "an answers CSV path is required with --source csv"
     return CsvAnswerSource(args.answers, schema), None
@@ -291,6 +320,8 @@ def _cmd_stream(args) -> int:
                       f"{snapshot.n_workers} workers | "
                       f"{warm} refit: {result.n_iterations} iterations, "
                       f"{result.elapsed_seconds * 1000:.1f} ms")
+                if args.verbose and result.fit_stats is not None:
+                    print(f"#   fit: {result.fit_stats.summary()}")
         except (ValueError, ReproError) as exc:
             return _complain(str(exc))
         if total == 0:
@@ -437,16 +468,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--method", default="D&S")
     p_stream.add_argument("--chunk-size", type=int, default=500)
     p_stream.add_argument("--seed", type=int, default=0)
-    p_stream.add_argument("--source", choices=["csv", "stdin"],
-                          default="csv",
-                          help="where answers come from; stdin reads "
-                               "live line-delimited task,worker,answer "
-                               "rows and needs --task-type")
+    p_stream.add_argument("--source", default="csv", metavar="SOURCE",
+                          help="where answers come from: csv (default), "
+                               "stdin, or tcp:HOST:PORT; the live "
+                               "sources read line-delimited "
+                               "task,worker,answer rows and need "
+                               "--task-type")
     p_stream.add_argument("--task-type", choices=TASK_TYPE_CHOICES,
                           default=None,
                           help="declare the stream's task type instead "
                                "of pre-scanning the CSV (required for "
-                               "--source stdin)")
+                               "--source stdin / tcp:...)")
     p_stream.add_argument("--shards", type=int, default=1,
                           help="task-range shards per refit (sharded EM; "
                                "clamped to the task count)")
@@ -454,6 +486,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="parallel width for sharded refits: "
                                "threads, or pool slots with "
                                "--executor process")
+    p_stream.add_argument("--refit", choices=["full", "delta"],
+                          default=None,
+                          help="warm-refit mode: 'delta' primes only "
+                               "dirty shards and freezes converged ones "
+                               "(see ExecutionPolicy); default full")
+    p_stream.add_argument("--freeze-tol", type=float, default=None,
+                          help="delta refits: shard freeze/thaw "
+                               "tolerance (default: the EM tolerance)")
+    p_stream.add_argument("--verify-every", type=int, default=None,
+                          help="delta refits: full-verify cadence in EM "
+                               "iterations")
+    p_stream.add_argument("-v", "--verbose", action="store_true",
+                          help="print per-refit fit telemetry "
+                               "(iterations, active/frozen shards, "
+                               "EM-vs-overhead wall time)")
     _executor_flag(p_stream)
 
     p_batch = sub.add_parser(

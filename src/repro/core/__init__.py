@@ -24,7 +24,7 @@ from .registry import (
     method_class,
     methods_for_task_type,
 )
-from .result import InferenceResult
+from .result import FitStats, InferenceResult
 from .shards import AnswerShard, ShardedAnswerSet, shard_by_tasks
 from .tasktypes import LABEL_FALSE, LABEL_TRUE, TaskType
 
@@ -38,6 +38,7 @@ __all__ = [
     "ExecutionPlan",
     "ExecutionPolicy",
     "GeneralMethod",
+    "FitStats",
     "InferenceResult",
     "LABEL_FALSE",
     "LABEL_TRUE",

@@ -117,6 +117,7 @@ class TruthInferenceMethod(abc.ABC):
         seed_posterior: np.ndarray | None = None,
         shard_runner=None,
         policy: ExecutionPolicy | ExecutionPlan | None = None,
+        delta=None,
     ) -> InferenceResult:
         """Infer truths and worker qualities from an answer set.
 
@@ -166,6 +167,17 @@ class TruthInferenceMethod(abc.ABC):
             says ``persistent=False``).  Ignored by methods without
             ``supports_sharding`` and whenever ``shard_runner`` is
             supplied explicitly.
+        delta:
+            Optional :class:`~repro.inference.sharded.DeltaPlan` opting
+            this fit into the incremental (delta-refit) EM path: with a
+            cached ``prev`` state the fit primes only dirty shards and
+            freezes converged ones (``warm_start`` required); with
+            ``prev=None`` the fit runs full but collects the
+            :class:`~repro.inference.sharded.ShardState` the next delta
+            refit resumes from (returned as ``result.shard_state``).
+            Driven by the engines when the policy says
+            ``refit="delta"``; ignored by methods without
+            ``supports_sharding``.
         """
         if answers.task_type not in self.task_types:
             raise TaskTypeMismatchError(
@@ -209,6 +221,7 @@ class TruthInferenceMethod(abc.ABC):
         with runner_cm as runner:
             if self.supports_sharding:
                 extra_kwargs["shard_runner"] = runner
+                extra_kwargs["delta"] = delta
             result = self._fit(
                 answers,
                 golden=golden if self.supports_golden else None,
@@ -220,6 +233,14 @@ class TruthInferenceMethod(abc.ABC):
             )
         result.elapsed_seconds = time.perf_counter() - started
         result.method = self.name
+        if result.fit_stats is not None:
+            result.fit_stats.total_seconds = result.elapsed_seconds
+        if result.shard_state is not None:
+            # Stamp the dirtiness boundary (and, for a freshly placed
+            # layout, the rebalance base) for the next delta refit.
+            result.shard_state.n_answers = answers.n_answers
+            if not result.shard_state.base_answers:
+                result.shard_state.base_answers = answers.n_answers
         return result
 
     def _validate_warm_start(self, warm_start: InferenceResult,
@@ -328,31 +349,40 @@ class TruthInferenceMethod(abc.ABC):
             yield make_runner(answers, spec, plan.n_shards)
 
     @contextlib.contextmanager
-    def _shard_runner(self, answers: AnswerSet, shard_runner=None):
+    def _shard_runner(self, answers: AnswerSet, shard_runner=None,
+                      delta=None):
         """Yield the shard runner a sharded ``_fit`` should use.
 
         An externally supplied runner (e.g. the process-pool runner from
         :mod:`repro.engine.sharded`) wins; otherwise the answers are
         partitioned into ``self.n_shards`` task ranges and run serially,
-        or on a transient thread pool when ``shard_workers > 1``.
+        or on a transient thread pool when ``shard_workers > 1``.  A
+        delta refit (``delta.prev`` set) pins the cuts the cached state
+        was fitted with, so its per-shard blocks stay aligned.
         """
         if shard_runner is not None:
             yield shard_runner
             return
-        from ..inference.sharded import make_runner
+        from ..core.shards import ShardedAnswerSet
+        from ..inference.sharded import SerialShardRunner
 
+        task_cuts = None
+        if delta is not None and getattr(delta, "prev", None) is not None:
+            task_cuts = delta.prev.extended_cuts(answers.n_tasks)
         spec = self.make_em_spec(
             n_tasks=answers.n_tasks,
             n_workers=answers.n_workers,
             n_choices=answers.n_choices,
         )
-        if self.n_shards > 1 and self.shard_workers > 1:
+        sharded = ShardedAnswerSet(answers, self.n_shards,
+                                   task_cuts=task_cuts)
+        if sharded.n_shards > 1 and self.shard_workers > 1:
             with ThreadPoolExecutor(
-                    max_workers=min(self.shard_workers, self.n_shards)
+                    max_workers=min(self.shard_workers, sharded.n_shards)
             ) as pool:
-                yield make_runner(answers, spec, self.n_shards, pool=pool)
+                yield SerialShardRunner(spec, sharded.shards, pool=pool)
         else:
-            yield make_runner(answers, spec, self.n_shards)
+            yield SerialShardRunner(spec, sharded.shards)
 
     @abc.abstractmethod
     def _fit(

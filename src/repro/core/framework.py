@@ -149,11 +149,14 @@ def decode_posterior(posterior: np.ndarray, rng: np.random.Generator | None = No
     posterior = np.asarray(posterior, dtype=np.float64)
     if rng is None:
         return posterior.argmax(axis=1)
-    n_tasks, n_choices = posterior.shape
     best = posterior.max(axis=1, keepdims=True)
     is_best = np.isclose(posterior, best)
-    labels = np.empty(n_tasks, dtype=np.int64)
-    for i in range(n_tasks):
-        candidates = np.nonzero(is_best[i])[0]
-        labels[i] = candidates[0] if len(candidates) == 1 else rng.choice(candidates)
+    # argmax of a boolean row is its first True — identical to the
+    # single candidate on untied rows, so only tied rows draw from the
+    # generator (in row order, exactly as the historical per-task loop
+    # did, which keeps the consumed random sequence — and therefore
+    # every tie-break — bit-identical).
+    labels = is_best.argmax(axis=1).astype(np.int64)
+    for i in np.nonzero(is_best.sum(axis=1) > 1)[0]:
+        labels[i] = rng.choice(np.nonzero(is_best[i])[0])
     return labels

@@ -51,6 +51,18 @@ DEFAULT_PROCESS_THRESHOLD = 200_000
 #: ``n_shards=None`` resolves to ``max(2, min(AUTO_SHARD_CAP, cpus))``.
 AUTO_SHARD_CAP = 8
 
+#: Refit modes an :class:`ExecutionPolicy` may name.  ``"full"`` keeps
+#: every warm refit a complete E/M sweep over all shards (bit-identical
+#: to the historical behaviour); ``"delta"`` enables dirty-shard
+#: incremental EM with converged-shard freezing
+#: (:mod:`repro.inference.sharded`).
+REFIT_MODES = ("full", "delta")
+
+#: Default full-verify cadence for delta refits: every this many EM
+#: iterations (and once before declaring convergence) frozen shards get
+#: a fresh E-step to check for drift above the freeze tolerance.
+DEFAULT_VERIFY_EVERY = 5
+
 
 def warn_legacy(surface: str, names, replacement: str,
                 stacklevel: int = 3) -> None:
@@ -145,11 +157,31 @@ class ExecutionPolicy:
         segments across fits via the runtime registry (default True).
     process_threshold:
         Answer count at which ``auto`` reaches for processes.
+    refit:
+        How warm refits on a grown stream re-run EM.  ``"full"``
+        (default) keeps every refit a complete E/M sweep over all
+        shards — bit-identical to the historical behaviour.
+        ``"delta"`` enables dirty-shard incremental EM: only shards
+        whose task range received new answers are re-primed (clean
+        shards reuse their cached posterior blocks and sufficient
+        statistics), and converged shards freeze out of later
+        iterations until a periodic full-verify E-step shows drift.
+        Only engines with a refit cache act on this; one-shot fits
+        ignore it.
+    freeze_tol:
+        Delta refits only: a shard freezes when its E-step changed no
+        posterior entry by at least this much, and a frozen shard thaws
+        when a verify E-step shows at least this much drift.  ``None``
+        (default) uses the fit's convergence tolerance.
+    verify_every:
+        Delta refits only: frozen shards get a full verify E-step every
+        this many EM iterations (and always once before convergence is
+        declared).
 
     Examples
     --------
-    >>> ExecutionPolicy()                     # auto everything
-    ExecutionPolicy(n_shards=None, executor='auto', max_workers=None, persistent=True, process_threshold=200000)
+    >>> ExecutionPolicy().executor
+    'auto'
     >>> ExecutionPolicy(n_shards=4, executor="serial").resolve(n_answers=100)
     ExecutionPlan(mode='serial', n_shards=4, max_workers=0, persistent=True)
     """
@@ -159,6 +191,9 @@ class ExecutionPolicy:
     max_workers: int | None = None
     persistent: bool = True
     process_threshold: int = DEFAULT_PROCESS_THRESHOLD
+    refit: str = "full"
+    freeze_tol: float | None = None
+    verify_every: int = DEFAULT_VERIFY_EVERY
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -178,6 +213,18 @@ class ExecutionPolicy:
             raise ValueError(
                 f"process_threshold must be >= 0, "
                 f"got {self.process_threshold}"
+            )
+        if self.refit not in REFIT_MODES:
+            raise ValueError(
+                f"refit must be one of {REFIT_MODES}, got {self.refit!r}"
+            )
+        if self.freeze_tol is not None and not self.freeze_tol > 0:
+            raise ValueError(
+                f"freeze_tol must be positive, got {self.freeze_tol}"
+            )
+        if self.verify_every < 1:
+            raise ValueError(
+                f"verify_every must be >= 1, got {self.verify_every}"
             )
 
     # ------------------------------------------------------------------

@@ -16,6 +16,75 @@ import numpy as np
 
 
 @dataclasses.dataclass
+class FitStats:
+    """Telemetry of one EM fit: what the iteration actually did.
+
+    Produced by :func:`repro.inference.sharded.run_em_sharded` for every
+    sharded-EM fit (``mode="full"``) and filled in detail by delta
+    refits (``mode="delta"``), where the per-iteration active/frozen
+    shard counts show how much work the freeze protocol skipped.
+    Wall-time is split into the EM loop proper (``em_seconds``) and
+    everything around it (``overhead_seconds`` — runner construction,
+    warm-start assembly, result packaging), which is what the runtime
+    and delta-refit benchmarks report.
+    """
+
+    mode: str = "full"
+    n_shards: int = 1
+    iterations: int = 0
+    #: Dirty shards at priming (delta refits; ``None`` for full fits).
+    dirty_shards: int | None = None
+    #: Active (non-frozen) shard count entering each EM iteration.
+    active_shards: list[int] = dataclasses.field(default_factory=list)
+    #: Frozen shard count entering each EM iteration.
+    frozen_shards: list[int] = dataclasses.field(default_factory=list)
+    #: Per-shard E-step evaluations, verify passes included.
+    e_block_calls: int = 0
+    #: Per-shard M-step statistic evaluations actually computed
+    #: (cached :class:`~repro.inference.sharded.SufficientStats` reuse
+    #: does not count).
+    accumulate_calls: int = 0
+    #: Full-verify E-steps over the frozen set (delta refits).
+    verify_passes: int = 0
+    #: Shards thawed by a verify pass showing drift (delta refits).
+    thaws: int = 0
+    #: Wall-clock seconds inside the EM loop.
+    em_seconds: float = 0.0
+    #: Wall-clock seconds of the whole ``fit()`` call (stamped by the
+    #: method base class alongside ``elapsed_seconds``).
+    total_seconds: float = 0.0
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Fit wall-time spent outside the EM loop."""
+        return max(self.total_seconds - self.em_seconds, 0.0)
+
+    def summary(self) -> str:
+        """One-line human-readable description (``repro stream -v``)."""
+        parts = [f"{self.mode} refit", f"{self.iterations} iterations",
+                 f"{self.n_shards} shards"]
+        if self.mode == "delta":
+            parts.append(f"{self.dirty_shards} dirty at prime")
+            if self.active_shards:
+                parts.append(
+                    "active/iter "
+                    + ",".join(str(a) for a in self.active_shards))
+            parts.append(f"{self.verify_passes} verifies"
+                         + (f" ({self.thaws} thaws)" if self.thaws else ""))
+        parts.append(f"{self.e_block_calls} E-blocks")
+        parts.append(f"{self.accumulate_calls} stat-blocks")
+        parts.append(f"em {self.em_seconds * 1000:.1f}ms"
+                     f" + overhead {self.overhead_seconds * 1000:.1f}ms")
+        return ", ".join(parts)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the benchmarks' ``--json`` emitters)."""
+        data = dataclasses.asdict(self)
+        data["overhead_seconds"] = self.overhead_seconds
+        return data
+
+
+@dataclasses.dataclass
 class InferenceResult:
     """Output of a truth-inference run.
 
@@ -44,6 +113,14 @@ class InferenceResult:
     extras:
         Method-specific parameters, e.g. ``confusion`` matrices for D&S,
         ``task_difficulty`` for GLAD, ``bias``/``variance`` for Multi.
+    fit_stats:
+        Optional :class:`FitStats` telemetry of the EM loop (sharded-EM
+        methods fill it; direct methods leave it ``None``).
+    shard_state:
+        Optional per-shard posterior/statistics cache emitted by a fit
+        that was asked to collect one (the seed of the next *delta*
+        refit — see :mod:`repro.inference.sharded`).  Internal to the
+        engines; carries large arrays, excluded from ``repr``.
     """
 
     method: str
@@ -54,6 +131,8 @@ class InferenceResult:
     converged: bool = True
     elapsed_seconds: float = 0.0
     extras: dict[str, Any] = dataclasses.field(default_factory=dict)
+    fit_stats: FitStats | None = dataclasses.field(default=None, repr=False)
+    shard_state: Any = dataclasses.field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.truths = np.asarray(self.truths)

@@ -122,9 +122,16 @@ class ShardedAnswerSet:
     one task; an answer set with fewer tasks than requested shards
     simply gets fewer, never-empty ranges).  The requested value is
     kept in :attr:`requested_shards`.
+
+    ``task_cuts`` pins the shard boundaries instead of computing
+    answer-balanced ones — what a *delta* refit needs so its cached
+    per-shard state stays aligned across fits (the cuts must start at
+    0, be non-decreasing, and end at ``n_tasks``; the clamp does not
+    apply).
     """
 
-    def __init__(self, answers: AnswerSet, n_shards: int) -> None:
+    def __init__(self, answers: AnswerSet, n_shards: int,
+                 task_cuts: list[int] | None = None) -> None:
         if n_shards < 1:
             raise InvalidAnswerSetError(
                 f"n_shards must be >= 1, got {n_shards}"
@@ -132,7 +139,18 @@ class ShardedAnswerSet:
         self.answers = answers
         #: The caller's shard count, before the task-count clamp.
         self.requested_shards = int(n_shards)
-        n_shards = max(1, min(int(n_shards), answers.n_tasks))
+        if task_cuts is not None:
+            task_cuts = [int(c) for c in task_cuts]
+            if (len(task_cuts) < 2 or task_cuts[0] != 0
+                    or task_cuts[-1] != answers.n_tasks
+                    or any(a > b for a, b in zip(task_cuts, task_cuts[1:]))):
+                raise InvalidAnswerSetError(
+                    f"pinned task_cuts must run 0..{answers.n_tasks} "
+                    f"non-decreasingly, got {task_cuts}"
+                )
+            n_shards = len(task_cuts) - 1
+        else:
+            n_shards = max(1, min(int(n_shards), answers.n_tasks))
         self.n_shards = n_shards
 
         values = answers.values
@@ -140,6 +158,8 @@ class ShardedAnswerSet:
             values = values.astype(np.int64, copy=False)
 
         if n_shards == 1:
+            # Pinned or not, one shard is the original arrays untouched
+            # (the plain-path invariant — bit-for-bit the unsharded EM).
             self.order = None
             tasks, workers = answers.tasks, answers.workers
             bounds = [0, answers.n_answers]
@@ -149,7 +169,9 @@ class ShardedAnswerSet:
             tasks = answers.tasks[self.order]
             workers = answers.workers[self.order]
             values = values[self.order]
-            task_cuts = self._task_cuts(tasks, answers.n_tasks, n_shards)
+            if task_cuts is None:
+                task_cuts = self._task_cuts(tasks, answers.n_tasks,
+                                            n_shards)
             bounds = list(np.searchsorted(tasks, task_cuts, side="left"))
 
         # The flat (task-sorted) arrays every shard is a slice of; the

@@ -103,6 +103,7 @@ from .engine import InferenceEngine
 from .runtime import (
     RuntimeLease,
     RuntimeRegistry,
+    SerialShardSession,
     ShardRuntime,
     get_runtime_registry,
 )
@@ -130,6 +131,7 @@ __all__ = [
     "ProcessShardRunner",
     "RuntimeLease",
     "RuntimeRegistry",
+    "SerialShardSession",
     "ShardRuntime",
     "ShardedInferenceEngine",
     "StreamingAnswerSet",

@@ -53,6 +53,11 @@ class _CachedFit:
     method_kwargs: dict
     result: InferenceResult
 
+    @property
+    def shard_state(self):
+        """Per-shard delta-refit cache the fit collected (or ``None``)."""
+        return self.result.shard_state
+
 
 class InferenceEngine:
     """Streaming truth inference with warm-started refits.
@@ -144,6 +149,11 @@ class InferenceEngine:
         self._runtime = None
         self._stream_token = next(_STREAM_TOKENS)
         self._cache: dict[str, _CachedFit] = {}
+        #: Warm in-process shard sessions for delta refits, keyed by
+        #: shard count (the serial/thread analogue of the persistent
+        #: process runtime).
+        self._sessions: dict = {}
+        self._thread_pool = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -213,6 +223,9 @@ class InferenceEngine:
                 warm = pad_result_labels(warm, snapshot.n_choices)
             elif cached.n_choices < snapshot.n_choices:
                 warm = None  # no posterior to pad: refit cold
+        delta = None
+        if plan is not None and self.policy.refit == "delta":
+            delta = self._delta_plan(plan, snapshot, cached, warm)
         if use_runtime:
             # Persistent process tier: the lease reuses warm pools, and
             # because the stream key only changes on in-place
@@ -222,10 +235,29 @@ class InferenceEngine:
                           self.stream.replacements)
             with self._lease_runtime(plan, snapshot, spec,
                                      stream_key) as runner:
+                if delta is not None and delta.prev is not None \
+                        and not self._lease_matches(runner, delta.prev):
+                    # The runtime re-placed (rebalance, eviction, …):
+                    # the cached per-shard state no longer aligns with
+                    # the placed cuts.  Refit full and re-collect.
+                    delta = delta.collect_only()
                 result = instance.fit(snapshot, warm_start=warm,
-                                      shard_runner=runner)
+                                      shard_runner=runner, delta=delta)
         else:
-            result = instance.fit(snapshot, warm_start=warm)
+            runner = None
+            if delta is not None and instance.supports_sharding:
+                # In-process delta refits run over the warm session:
+                # the task-sorted shard arrays and the spec's frozen
+                # operators persist across refits, extended (and
+                # selectively invalidated) by just the new tail.
+                runner = self._session_runner(plan, snapshot, instance)
+                if (delta.prev is not None
+                        and not self._lease_matches(runner, delta.prev)):
+                    # The session re-placed (rebalance): cached state
+                    # no longer aligns.  Refit full and re-collect.
+                    delta = delta.collect_only()
+            result = instance.fit(snapshot, warm_start=warm,
+                                  shard_runner=runner, delta=delta)
         self._cache[method] = _CachedFit(
             version=self.stream.version,
             replacements=self.stream.replacements,
@@ -267,6 +299,77 @@ class InferenceEngine:
                 for w in range(snapshot.n_workers)}
 
     # ------------------------------------------------------------------
+    # Delta refits
+    # ------------------------------------------------------------------
+    def _delta_plan(self, plan, snapshot, cached: _CachedFit | None, warm):
+        """The :class:`~repro.inference.sharded.DeltaPlan` this refit
+        runs under (policy ``refit="delta"``).
+
+        A true delta refit needs a warm start *and* a cached
+        :class:`~repro.inference.sharded.ShardState` that still aligns
+        with the stream: same shard count, no label growth, and a
+        stream that has not doubled since the cuts were placed (past
+        that, a full refit re-places the cuts, mirroring the runtime's
+        rebalance rule).  Anything else demotes to a collecting full
+        fit, so the *next* refit has a state to resume from.
+        """
+        from ..inference.sharded import DeltaPlan, dirty_shards
+
+        plan_kwargs = dict(freeze_tol=self.policy.freeze_tol,
+                           verify_every=self.policy.verify_every)
+        state = cached.shard_state if cached is not None else None
+        if (warm is None or state is None
+                or cached.n_choices != snapshot.n_choices
+                or state.task_cuts[-1] > snapshot.n_tasks
+                or snapshot.n_answers < state.n_answers
+                or snapshot.n_answers > 2 * max(state.base_answers, 1)):
+            return DeltaPlan(**plan_kwargs)
+        dirty = dirty_shards(state.task_cuts,
+                             snapshot.tasks[state.n_answers:],
+                             snapshot.n_tasks)
+        return DeltaPlan(prev=state, dirty=dirty, **plan_kwargs)
+
+    def _session_runner(self, plan, snapshot, instance):
+        """A warm in-process shard runner for this refit (serial and
+        thread tiers), from the per-shard-count session."""
+        from .runtime import SerialShardSession
+
+        session = self._sessions.get(plan.n_shards)
+        if session is None:
+            session = SerialShardSession(plan.n_shards)
+            self._sessions[plan.n_shards] = session
+        pool = None
+        if plan.mode == "thread" and plan.max_workers > 1:
+            pool = self._ensure_thread_pool(plan.max_workers)
+        stream_key = ("stream", self._stream_token,
+                      self.stream.replacements)
+        return session.runner(snapshot, instance, stream_key=stream_key,
+                              pool=pool)
+
+    def _ensure_thread_pool(self, width: int):
+        from concurrent.futures import ThreadPoolExecutor
+
+        if self._thread_pool is not None and self._thread_pool[0] != width:
+            self._thread_pool[1].shutdown(wait=True)
+            self._thread_pool = None
+        if self._thread_pool is None:
+            self._thread_pool = (width, ThreadPoolExecutor(
+                max_workers=width))
+        return self._thread_pool[1]
+
+    @staticmethod
+    def _lease_matches(runner, state) -> bool:
+        """Whether a lease's placed shard cuts still align with a
+        cached :class:`~repro.inference.sharded.ShardState`."""
+        ranges = runner.task_ranges
+        if len(ranges) != state.n_shards:
+            return False
+        return all(start == state.task_cuts[k]
+                   for k, (start, _) in enumerate(ranges)) \
+            and all(stop == state.task_cuts[k + 1]
+                    for k, (_, stop) in enumerate(ranges[:-1]))
+
+    # ------------------------------------------------------------------
     # Runtime control
     # ------------------------------------------------------------------
     def _lease_runtime(self, plan, snapshot, spec: MethodSpec, stream_key):
@@ -280,12 +383,16 @@ class InferenceEngine:
         return lease
 
     def close(self) -> None:
-        """Release the engine's shard runtime (idempotent; a no-op for
-        the in-process tiers).  Shared runtimes respawn lazily on the
-        next process-tier fit, so closing is always safe."""
+        """Release the engine's shard runtime, warm sessions and thread
+        pool (idempotent).  Shared runtimes respawn lazily on the next
+        process-tier fit, so closing is always safe."""
         if self._runtime is not None:
             self._runtime.close()
             self._runtime = None
+        self._sessions.clear()
+        if self._thread_pool is not None:
+            self._thread_pool[1].shutdown(wait=True)
+            self._thread_pool = None
 
     def __enter__(self) -> "InferenceEngine":
         return self

@@ -89,6 +89,7 @@ from ..core.shards import AnswerShard, ShardedAnswerSet
 from ..inference.sharded import SerialShardRunner
 
 __all__ = [
+    "SerialShardSession",
     "ShardRuntime",
     "RuntimeLease",
     "RuntimeRegistry",
@@ -123,6 +124,7 @@ def _worker_detach() -> None:
     exported buffers during interpreter teardown.
     """
     _WORKER_CTX.pop("spec", None)
+    _WORKER_CTX.pop("spec_key", None)
     _WORKER_CTX.pop("shards", None)
     _WORKER_CTX.pop("arrays", None)
     _WORKER_CTX.pop("built_epochs", None)
@@ -165,6 +167,13 @@ def _apply_attach(seg_desc: dict) -> None:
     _WORKER_CTX["arrays"] = {}
     _WORKER_CTX["built_epochs"] = {}
     _WORKER_CTX["shards"] = {}
+    _drop_spec()
+
+
+def _drop_spec() -> None:
+    """Forget the retained spec (the placed arrays changed under it)."""
+    _WORKER_CTX.pop("spec", None)
+    _WORKER_CTX.pop("spec_key", None)
 
 
 def _apply_layout(layout: dict) -> None:
@@ -173,6 +182,7 @@ def _apply_layout(layout: dict) -> None:
     _WORKER_CTX["arrays"] = {}
     _WORKER_CTX["built_epochs"] = {}
     _WORKER_CTX["shards"] = {}
+    _drop_spec()
 
 
 def _apply_extend(epoch: tuple, sizes: dict, last_stop: int) -> None:
@@ -181,7 +191,9 @@ def _apply_extend(epoch: tuple, sizes: dict, last_stop: int) -> None:
     Materialised shard arrays grow incrementally (concatenate the
     shard's slice of the new epoch); shard *objects* are invalidated so
     they pick up the new global sizes and the last shard's extended
-    task range.
+    task range.  A retained spec keeps the frozen operators of shards
+    the epoch did not touch — their arrays are unchanged — and drops
+    only the extended shards' (see :func:`_apply_configure`).
     """
     layout = _WORKER_CTX["layout"]
     layout["epochs"].append(epoch)
@@ -191,7 +203,11 @@ def _apply_extend(epoch: tuple, sizes: dict, last_stop: int) -> None:
     views = _WORKER_CTX["views"]
     arrays = _WORKER_CTX["arrays"]
     built = _WORKER_CTX["built_epochs"]
+    spec = _WORKER_CTX.get("spec")
     _, _, bounds = epoch
+    for k, (lo, hi) in enumerate(bounds):
+        if hi > lo and spec is not None:
+            spec.invalidate_shard(k)
     for k, cached in arrays.items():
         lo, hi = bounds[k]
         if hi > lo:
@@ -205,9 +221,30 @@ def _apply_extend(epoch: tuple, sizes: dict, last_stop: int) -> None:
 
 def _apply_configure(method: str, method_kwargs: dict, sizes: dict) -> None:
     """Per-fit spec reset: rebuild the method spec (and thereby its
-    per-shard operator caches) without touching pools or segments."""
+    per-shard operator caches) without touching pools or segments.
+
+    When the fit describes the *same* method construction over the
+    *same* global sizes as the spec this worker already holds, the spec
+    is **retained**: its per-shard frozen operators (and any per-shard
+    caches a spec keeps) survive the fit boundary — what makes repeated
+    delta refits on a fixed task/worker universe cheap.  An appended
+    epoch has already dropped the operators of the shards it extended
+    (:func:`_apply_extend`); a re-placement or re-attachment drops the
+    spec outright (:func:`_apply_layout` / :func:`_apply_attach`), so a
+    retained spec can never read stale arrays.
+    """
+    key = (method, sorted(method_kwargs.items()))
+    spec = _WORKER_CTX.get("spec")
+    if (spec is not None and _WORKER_CTX.get("spec_key") == key
+            and spec.resize(sizes["n_tasks"], sizes["n_workers"],
+                            sizes.get("n_choices", 0))):
+        _WORKER_CTX["spec_reuses"] = _WORKER_CTX.get("spec_reuses", 0) + 1
+        # Shard objects still carry the old global sizes.
+        _WORKER_CTX["shards"] = {}
+        return
     spec = method_class(method)(**method_kwargs).make_em_spec(**sizes)
     _WORKER_CTX["spec"] = spec
+    _WORKER_CTX["spec_key"] = key
     # Sizes may have grown since the shards were last materialised.
     _WORKER_CTX["shards"] = {}
 
@@ -276,6 +313,200 @@ def _rt_phase(k: int, phase: str, args: tuple):
     return getattr(spec, phase)(shard, spec.shard_ops(shard), *args)
 
 
+def _rt_probe() -> dict:
+    """Worker-side introspection for tests: what survived the last
+    configure (submit via a runtime's pools)."""
+    spec = _WORKER_CTX.get("spec")
+    return {
+        "pid": os.getpid(),
+        "spec_reuses": _WORKER_CTX.get("spec_reuses", 0),
+        "cached_ops": sorted(spec._ops) if spec is not None else [],
+    }
+
+
+# ----------------------------------------------------------------------
+# In-process tier: the serial/thread analogue of worker retention
+# ----------------------------------------------------------------------
+class SerialShardSession:
+    """Warm in-process shard layout + spec caches for delta refits.
+
+    What :class:`ShardRuntime` keeps warm in worker processes, this
+    keeps warm in the calling process for the serial/thread tiers: the
+    task-sorted per-shard answer arrays and each method's
+    :class:`~repro.inference.sharded.ShardedEMSpec` (with its per-shard
+    frozen operators).  A refit on a grown stream sorts and slices only
+    the new answer tail, concatenates it onto the shards it touches,
+    and drops exactly those shards' cached operators — so a delta
+    refit's per-fit setup cost scales with the delta, like its EM.
+
+    Shard cuts are **pinned** between placements (the alignment delta
+    refits require); the session re-places — recomputing balanced cuts
+    and invalidating every cached spec — once the stream has doubled
+    or accumulated :data:`MAX_EPOCHS` extensions, mirroring
+    :class:`ShardRuntime`'s rebalance rule.  The per-shard arrays an
+    extension produces are element-for-element the arrays a fresh
+    stable task-sort would produce (prefix instances of a task precede
+    tail instances in both), so session-backed fits match fresh-runner
+    fits bit-for-bit at equal cuts.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self._arrays: list[tuple] | None = None
+        self._cuts: list[int] | None = None
+        self._sizes: tuple[int, int, int] | None = None
+        self._length = 0
+        self._base_length = 0
+        self._epochs = 0
+        self._answers_ref: weakref.ref | None = None
+        self._stream_key = None
+        self._prefix_mark: tuple[int, int, int] = (0, -1, -1)
+        #: (method-spec, sizes) -> retained EM spec, per method name.
+        self._specs: dict[str, tuple] = {}
+        # Instrumentation mirroring ShardRuntime's counters.
+        self.placements = 0
+        self.extends = 0
+        self.reuses = 0
+        self.spec_reuses = 0
+        self.last_placement: str | None = None
+
+    # -- data placement ------------------------------------------------
+    def _sizes_of(self, answers: AnswerSet) -> tuple[int, int, int]:
+        return (answers.n_tasks, answers.n_workers, answers.n_choices)
+
+    def _remember_prefix(self, answers: AnswerSet) -> None:
+        n = answers.n_answers
+        self._prefix_mark = ((n, int(answers.tasks[0]),
+                              int(answers.tasks[n - 1])) if n
+                             else (0, -1, -1))
+
+    def _place(self, answers: AnswerSet) -> None:
+        sharded = ShardedAnswerSet(answers, self.n_shards)
+        self._arrays = [(s.tasks, s.workers, s.values)
+                        for s in sharded.shards]
+        self._cuts = [sharded.shards[0].task_start] + [
+            s.task_stop for s in sharded.shards]
+        self._sizes = self._sizes_of(answers)
+        self._length = answers.n_answers
+        self._base_length = answers.n_answers
+        self._epochs = 0
+        self._specs.clear()
+        self._remember_prefix(answers)
+        self.placements += 1
+        self.last_placement = "place"
+
+    def _extend(self, answers: AnswerSet) -> None:
+        old, new = self._length, answers.n_answers
+        mark_len, first_task, last_task = self._prefix_mark
+        if mark_len and (int(answers.tasks[0]) != first_task
+                         or int(answers.tasks[mark_len - 1]) != last_task):
+            raise RuntimeError(
+                "stream_key reused but the previously placed answers "
+                "changed; extension requires append-only growth"
+            )
+        tail_tasks = answers.tasks[old:]
+        tail_workers = answers.workers[old:]
+        tail_values = answers.values[old:]
+        if answers.task_type.is_categorical:
+            tail_values = tail_values.astype(np.int64, copy=False)
+        cuts = self._cuts
+        cuts[-1] = answers.n_tasks
+        if len(cuts) > 2:
+            order = np.argsort(tail_tasks, kind="stable")
+            tail_tasks = tail_tasks[order]
+            tail_workers = tail_workers[order]
+            tail_values = tail_values[order]
+            pos = np.searchsorted(tail_tasks, cuts, side="left")
+        else:
+            pos = np.array([0, len(tail_tasks)])
+        for k in range(len(cuts) - 1):
+            lo, hi = int(pos[k]), int(pos[k + 1])
+            if hi <= lo:
+                continue
+            t, w, v = self._arrays[k]
+            self._arrays[k] = (
+                np.concatenate([t, tail_tasks[lo:hi]]),
+                np.concatenate([w, tail_workers[lo:hi]]),
+                np.concatenate([v, tail_values[lo:hi]]),
+            )
+            for _, spec in self._specs.values():
+                spec.invalidate_shard(k)
+        self._sizes = self._sizes_of(answers)
+        self._length = new
+        self._epochs += 1
+        self._remember_prefix(answers)
+        self.extends += 1
+        self.last_placement = "extend"
+
+    def _refresh(self, answers: AnswerSet, stream_key) -> None:
+        """Place / extend / reuse, mirroring :meth:`ShardRuntime._place`."""
+        placed = self._answers_ref() if self._answers_ref else None
+        if self._arrays is not None and answers is placed:
+            self.reuses += 1
+            self.last_placement = "reuse"
+            return
+        if (self._arrays is not None
+                and stream_key is not None
+                and stream_key == self._stream_key
+                and answers.n_answers >= self._length
+                and self._sizes is not None
+                and all(now >= then for now, then in
+                        zip(self._sizes_of(answers), self._sizes))
+                and self._epochs < MAX_EPOCHS
+                and answers.n_answers <= 2 * max(self._base_length, 1)):
+            if answers.n_answers == self._length:
+                self._answers_ref = weakref.ref(answers)
+                self.reuses += 1
+                self.last_placement = "reuse"
+                return
+            self._extend(answers)
+        else:
+            self._place(answers)
+        self._stream_key = stream_key
+        self._answers_ref = weakref.ref(answers)
+
+    # -- runners ---------------------------------------------------------
+    def _spec_for(self, instance, answers: AnswerSet):
+        """The method's EM spec, retained across fits while the method
+        construction is unchanged and the spec accepts the (possibly
+        grown) global sizes via :meth:`ShardedEMSpec.resize` — per-shard
+        operators survive; extensions invalidated the touched shards'."""
+        method_spec = instance.method_spec
+        entry = self._specs.get(instance.name)
+        if (entry is not None and method_spec is not None
+                and entry[0] == method_spec
+                and entry[1].resize(answers.n_tasks, answers.n_workers,
+                                    answers.n_choices)):
+            self.spec_reuses += 1
+            return entry[1]
+        spec = instance.make_em_spec(
+            n_tasks=answers.n_tasks, n_workers=answers.n_workers,
+            n_choices=answers.n_choices)
+        if method_spec is not None:
+            self._specs[instance.name] = (method_spec, spec)
+        return spec
+
+    def runner(self, answers: AnswerSet, instance, *, stream_key=None,
+               pool=None) -> SerialShardRunner:
+        """A :class:`~repro.inference.sharded.SerialShardRunner` over
+        the warm layout (placed, extended or reused for ``answers``)."""
+        self._refresh(answers, stream_key)
+        cuts = self._cuts
+        shards = []
+        for k in range(len(cuts) - 1):
+            t, w, v = self._arrays[k]
+            shards.append(AnswerShard(
+                tasks=t, workers=w, values=v,
+                task_start=cuts[k], task_stop=cuts[k + 1],
+                n_tasks=answers.n_tasks, n_workers=answers.n_workers,
+                n_choices=answers.n_choices, index=k,
+            ))
+        return SerialShardRunner(self._spec_for(instance, answers),
+                                 shards, pool=pool)
+
+
 # ----------------------------------------------------------------------
 # Master side
 # ----------------------------------------------------------------------
@@ -338,12 +569,13 @@ class RuntimeLease(SerialShardRunner):
     def task_ranges(self) -> list[tuple[int, int]]:  # type: ignore[override]
         return list(self._ranges)
 
-    def call(self, phase: str, per_shard=None, shared: tuple = ()) -> list:
+    def call(self, phase: str, per_shard=None, shared: tuple = (),
+             only=None) -> list:
         if self._released:
             raise RuntimeError("lease already closed")
         self._dispatched = True
         return self._runtime._dispatch(self.n_shards, phase, per_shard,
-                                       shared)
+                                       shared, only)
 
     def close(self) -> None:
         """Release the runtime for the next lease (idempotent)."""
@@ -551,12 +783,16 @@ class ShardRuntime:
         return [future.result() for future in futures]
 
     def _dispatch(self, n_shards: int, phase: str, per_shard,
-                  shared: tuple) -> list:
+                  shared: tuple, only=None) -> list:
+        """Submit one phase per shard; with ``only``, the listed shards
+        get the only messages sent — a skipped (clean or frozen) shard
+        costs no payload and no worker wake-up at all."""
+        indices = (list(only) if only is not None else range(n_shards))
         futures = []
-        for k in range(n_shards):
+        for pos, k in enumerate(indices):
             args: tuple = ()
             if per_shard is not None:
-                entry = per_shard[k]
+                entry = per_shard[pos]
                 args = entry if isinstance(entry, tuple) else (entry,)
             futures.append(self._pools[k % self.max_workers].submit(
                 _rt_phase, k, phase, args + shared))

@@ -101,8 +101,10 @@ class ProcessShardRunner:
     def m_step(self, state: np.ndarray, prev_params=None):
         return self._lease.m_step(state, prev_params)
 
-    def call(self, phase: str, per_shard=None, shared: tuple = ()) -> list:
-        return self._lease.call(phase, per_shard=per_shard, shared=shared)
+    def call(self, phase: str, per_shard=None, shared: tuple = (),
+             only=None) -> list:
+        return self._lease.call(phase, per_shard=per_shard, shared=shared,
+                                only=only)
 
     # -- lifecycle -----------------------------------------------------
     def segment_names(self) -> list[str]:
@@ -245,12 +247,23 @@ class ShardedInferenceEngine:
         initial_quality: np.ndarray | None = None,
         warm_start: InferenceResult | None = None,
         seed_posterior: np.ndarray | None = None,
+        delta=None,
         **method_kwargs,
     ) -> InferenceResult:
         """Fit ``method`` on ``answers`` under the engine's policy.
 
         The result is identical (to within float merge order; bit-equal
         between tiers at equal ``n_shards``) whichever tier executes it.
+
+        ``delta`` opts one fit into the incremental path: pass a
+        :class:`~repro.inference.sharded.DeltaPlan` built from the
+        previous fit's ``result.shard_state`` (plus ``warm_start``) to
+        run a dirty-shard delta refit, or ``DeltaPlan()`` to collect
+        that state on a full fit.  Unlike
+        :class:`~repro.engine.engine.InferenceEngine` — which manages
+        the cached state, the dirtiness flags and the fallbacks
+        automatically under ``ExecutionPolicy(refit="delta")`` — this
+        engine is per-fit, so the caller owns the cache.
         """
         spec = MethodSpec.coerce(method, method_kwargs)
         if not capabilities(spec.name).sharding:
@@ -265,6 +278,7 @@ class ShardedInferenceEngine:
             initial_quality=initial_quality,
             warm_start=warm_start,
             seed_posterior=seed_posterior,
+            delta=delta,
         )
         # One spec for every construction site (the fitting instance
         # here, the runner's master spec, the worker-side rebuilds), so

@@ -41,12 +41,20 @@ from ..core.framework import (
 
 @dataclasses.dataclass
 class EMOutcome:
-    """Result of :func:`run_em`: the final posterior plus diagnostics."""
+    """Result of :func:`run_em`: the final posterior plus diagnostics.
+
+    ``fit_stats`` and ``shard_state`` are filled by the sharded loop
+    (:func:`repro.inference.sharded.run_em_sharded`): EM telemetry for
+    every fit, and — when a delta plan asked for it — the per-shard
+    posterior/statistics cache seeding the next delta refit.
+    """
 
     posterior: np.ndarray
     parameters: object
     n_iterations: int
     converged: bool
+    fit_stats: object | None = None
+    shard_state: object | None = None
 
 
 def run_em(

@@ -26,12 +26,49 @@ Execution is pluggable: :class:`SerialShardRunner` runs shards in the
 calling thread or fans them over a thread pool;
 :class:`repro.engine.sharded.ProcessShardRunner` runs the same phases in
 worker processes over shared-memory answer arrays.
+
+Delta refits
+------------
+A *delta refit* is the incremental-EM mode (in the spirit of Neal &
+Hinton's partial E-steps) a warm refit on a grown answer stream can run
+instead of full E/M sweeps.  Two mechanisms make its cost scale with
+what changed rather than with total history:
+
+* **Dirty-shard priming** — the caller (usually
+  :class:`~repro.engine.engine.InferenceEngine`) passes a
+  :class:`DeltaPlan` naming the shards whose task range received new
+  answers since the cached :class:`ShardState` was collected.  Only
+  those shards run the priming E-step; clean shards reuse their cached
+  posterior blocks (exact: their answers did not change) and their
+  cached per-shard :class:`SufficientStats` (exact when the global
+  sizes are unchanged, recomputed lazily otherwise).
+* **Converged-shard freezing** — after each E-step, shards whose
+  maximum posterior change fell below ``freeze_tol`` freeze: later
+  M-steps merge their cached statistics without recomputation and later
+  E-steps skip them entirely.  Every ``verify_every`` iterations — and
+  always once before convergence is declared — a full-verify E-step
+  recomputes the frozen shards' blocks and *thaws* any shard whose
+  drift reached ``freeze_tol``, so a frozen shard can never silently
+  diverge.  The final verify adopts the fresh blocks, so the returned
+  posterior is a genuine E-step output at the final parameters, exactly
+  like the full path's.
+
+The delta refit is approximate by design: frozen shards lag the global
+parameters by at most ``freeze_tol`` between verifies.  The default
+``freeze_tol`` (the EM tolerance) keeps that lag inside the convergence
+threshold; both paths stop only when a full E-step pass moves no
+posterior entry by the tolerance, so their final states agree to well
+below it in practice.  ``refit="full"`` (the default policy) never
+enters this code path and stays bit-identical to the historical
+behaviour.
 """
 
 from __future__ import annotations
 
 import abc
+import dataclasses
 import functools
+import time
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -42,6 +79,9 @@ from ..core.framework import (
     ConvergenceTracker,
     clamp_golden_posterior,
 )
+from ..core.policy import DEFAULT_VERIFY_EVERY
+from ..exceptions import ConvergenceError
+from ..core.result import FitStats
 from ..core.shards import AnswerShard, ShardedAnswerSet
 from .em import EMOutcome
 
@@ -49,6 +89,10 @@ __all__ = [
     "SufficientStats",
     "ShardedEMSpec",
     "SerialShardRunner",
+    "ShardState",
+    "DeltaPlan",
+    "dirty_shards",
+    "pad_rows",
     "majority_block",
     "make_runner",
     "run_em_sharded",
@@ -107,6 +151,13 @@ class ShardedEMSpec(abc.ABC):
     #: methods override with :func:`clamp_golden_values`.
     golden_clamp = staticmethod(clamp_golden_posterior)
 
+    #: Whether the default map-reduce M-step over
+    #: ``accumulate``/``merge``/``finalize`` is in use.  Delta refits
+    #: manage a per-shard statistics cache through that path; specs that
+    #: override :meth:`m_step` with their own iterated protocol (GLAD)
+    #: set this False and implement :meth:`m_step_delta` instead.
+    statistics_m_step = True
+
     def __init__(self) -> None:
         self._ops: dict[int, object] = {}
 
@@ -117,6 +168,33 @@ class ShardedEMSpec(abc.ABC):
         if ops is None:
             ops = self._ops[shard.index] = self.build_ops(shard)
         return ops
+
+    def invalidate_shard(self, index: int) -> None:
+        """Drop cached per-shard state for one shard (its answers
+        changed — e.g. an appended stream epoch extended it).  Specs
+        with extra per-shard caches extend this."""
+        self._ops.pop(index, None)
+
+    def resize(self, n_tasks: int, n_workers: int, n_choices: int) -> bool:
+        """Adopt grown global sizes, keeping cached per-shard operators
+        valid; returns whether the spec survived.
+
+        The retention contract for a *clean* shard (unchanged answers):
+        its answers reference only the previously known workers and
+        tasks, so operators built at the old sizes remain usable when
+        the hooks pad their worker-dimension outputs to the new global
+        width (zeros for the new workers — exact, they have no answers
+        there) and slice parameter tables down to the operator's baked
+        width.  Specs that support this override ``resize`` to update
+        their size fields and return True; the default declines any
+        change, which makes the caller rebuild the spec (and thereby
+        every operator) — always correct, never stale.
+        """
+        return (n_tasks, n_workers, n_choices) == (
+            getattr(self, "n_tasks", n_tasks),
+            getattr(self, "n_workers", n_workers),
+            getattr(self, "n_choices", n_choices),
+        )
 
     @abc.abstractmethod
     def build_ops(self, shard: AnswerShard):
@@ -156,6 +234,22 @@ class ShardedEMSpec(abc.ABC):
         return self.finalize(functools.reduce(
             lambda a, b: a.merge(b), stats))
 
+    def m_step_delta(self, runner: "SerialShardRunner",
+                     blocks: Sequence[np.ndarray], prev_params,
+                     frozen: set, stats_cache: list,
+                     fit_stats: FitStats | None = None):
+        """Frozen-aware M-step for delta refits.
+
+        Only specs with ``statistics_m_step = False`` need this (the
+        statistics path is handled generically by the delta loop, which
+        recomputes ``accumulate`` for shards whose cache entry is
+        ``None`` and merges the cache); iterated M-steps (GLAD) override
+        it to fold frozen shards' cached partials into every round.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} overrides m_step but not m_step_delta"
+        )
+
 
 class SerialShardRunner:
     """Executes spec phases over in-memory shards, serially or on a
@@ -193,30 +287,48 @@ class SerialShardRunner:
             state, self.task_ranges), prev_params)
 
     def call(self, phase: str, per_shard: Sequence | None = None,
-             shared: tuple = ()) -> list:
+             shared: tuple = (), only: Sequence[int] | None = None) -> list:
         """Run ``spec.<phase>(shard, ops, *per_shard[i], *shared)`` for
         every shard, returning results in shard order.
 
         ``per_shard`` entries may be a tuple of positional arguments or
-        a single array (wrapped automatically).
+        a single array (wrapped automatically).  With ``only`` (a
+        sequence of shard indices) the phase runs on exactly those
+        shards — the others get no call at all (in the process runner,
+        not even a message) — with ``per_shard`` and the result list
+        aligned to ``only``.  This is how delta refits skip clean and
+        frozen shards.
         """
         fn = getattr(self.spec, phase)
+        indices = (list(only) if only is not None
+                   else list(range(self.n_shards)))
 
-        def one(i: int):
-            shard = self.shards[i]
+        def one(pos: int):
+            shard = self.shards[indices[pos]]
             args = ()
             if per_shard is not None:
-                entry = per_shard[i]
+                entry = per_shard[pos]
                 args = entry if isinstance(entry, tuple) else (entry,)
             return fn(shard, self.spec.shard_ops(shard), *args, *shared)
 
-        indices = range(self.n_shards)
-        if self.pool is not None and self.n_shards > 1:
-            return list(self.pool.map(one, indices))
-        return [one(i) for i in indices]
+        positions = range(len(indices))
+        if self.pool is not None and len(indices) > 1:
+            return list(self.pool.map(one, positions))
+        return [one(pos) for pos in positions]
 
     def close(self) -> None:
         """Release executor resources (no-op for the serial runner)."""
+
+
+def pad_rows(array: np.ndarray, n_rows: int) -> np.ndarray:
+    """Zero-pad axis 0 of ``array`` up to ``n_rows`` (no-op if wide
+    enough) — the worker-dimension padding behind
+    :meth:`ShardedEMSpec.resize`."""
+    if array.shape[0] >= n_rows:
+        return array
+    pad = np.zeros((n_rows - array.shape[0],) + array.shape[1:],
+                   dtype=array.dtype)
+    return np.concatenate([array, pad])
 
 
 def _split_blocks_ranges(state: np.ndarray,
@@ -242,6 +354,398 @@ def majority_block(shard: AnswerShard) -> np.ndarray:
     return normalize_rows(votes)
 
 
+# ----------------------------------------------------------------------
+# Delta refits: dirty-shard priming + converged-shard freezing
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ShardState:
+    """Per-shard cache a fit leaves behind for the next *delta* refit.
+
+    ``blocks`` are copies of the final per-shard posterior blocks;
+    ``stats`` holds each shard's cacheable M-step contribution — the
+    :class:`SufficientStats` of ``accumulate`` at that block for
+    statistics specs, a spec-defined partial (GLAD's per-worker
+    ability-gradient sum) otherwise, or ``None`` when nothing valid was
+    captured (the next delta refit recomputes lazily).  A stats entry
+    may lag its block by less than the freeze tolerance when the final
+    verify polished the block; the lag is inside the error budget the
+    freeze protocol already grants.
+
+    ``task_cuts`` pin the shard layout: a delta refit is only valid
+    over the *same* cuts (the last cut may grow with new tasks).
+    ``n_answers`` records the answers the state was fitted on (the
+    dirtiness boundary); ``base_answers`` the answers when the cuts
+    were computed (engines re-place and refit full once the stream has
+    doubled, mirroring the runtime's rebalance rule).
+    """
+
+    task_cuts: tuple[int, ...]
+    sizes: tuple[int, int, int]
+    blocks: list[np.ndarray]
+    stats: list
+    n_answers: int = 0
+    base_answers: int = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.task_cuts) - 1
+
+    def extended_cuts(self, n_tasks: int) -> list[int]:
+        """The pinned cuts with the last range grown to ``n_tasks``
+        (new tasks are always appended, so they extend the last
+        shard)."""
+        if n_tasks < self.task_cuts[-1]:
+            raise ValueError(
+                f"cached shard state covers {self.task_cuts[-1]} tasks "
+                f"but the answer set has {n_tasks}; delta refits require "
+                f"an append-only stream"
+            )
+        return list(self.task_cuts[:-1]) + [int(n_tasks)]
+
+
+@dataclasses.dataclass
+class DeltaPlan:
+    """What :func:`run_em_sharded` needs to run one delta refit.
+
+    ``prev=None`` asks for a *collecting full fit*: the normal full
+    E/M sweep, plus a :class:`ShardState` on the way out (the seed of
+    the first real delta refit).  With ``prev`` set, ``dirty`` must
+    flag every shard whose task range received new answers since
+    ``prev`` was collected — see :func:`dirty_shards`.
+    """
+
+    prev: ShardState | None = None
+    dirty: Sequence[bool] | None = None
+    freeze_tol: float | None = None
+    verify_every: int = DEFAULT_VERIFY_EVERY
+
+    def collect_only(self) -> "DeltaPlan":
+        """This plan demoted to a collecting full fit (methods fall
+        back to it when the warm parameters a delta refit needs are
+        missing)."""
+        return DeltaPlan(prev=None, freeze_tol=self.freeze_tol,
+                         verify_every=self.verify_every)
+
+
+def dirty_shards(task_cuts: Sequence[int], new_tasks: np.ndarray,
+                 n_tasks: int | None = None) -> np.ndarray:
+    """Boolean dirty flag per shard for a batch of new answers.
+
+    A shard is dirty when any new answer's task index falls in its
+    ``[cut_k, cut_{k+1})`` range; task indices at or beyond the cached
+    last cut (newly appended tasks) dirty the last shard, as does any
+    growth of ``n_tasks`` itself (a new task always arrives with at
+    least one answer, but the flag must hold even for adversarial
+    inputs where it does not).
+    """
+    cuts = np.asarray(task_cuts, dtype=np.int64)
+    n_shards = len(cuts) - 1
+    dirty = np.zeros(n_shards, dtype=bool)
+    new_tasks = np.asarray(new_tasks, dtype=np.int64)
+    if new_tasks.size:
+        owners = np.searchsorted(cuts, new_tasks, side="right") - 1
+        dirty[np.clip(owners, 0, n_shards - 1)] = True
+    if n_tasks is not None and n_tasks > int(cuts[-1]):
+        dirty[-1] = True
+    return dirty
+
+
+def _block_delta(a: np.ndarray, b: np.ndarray) -> float:
+    """Max absolute difference between two blocks (0 for empty ones)."""
+    return float(np.max(np.abs(a - b))) if a.size else 0.0
+
+
+def _m_step_cached(runner: SerialShardRunner, state: np.ndarray,
+                   prev_params, frozen: set, stats_cache: list,
+                   fit_stats: FitStats):
+    """One M-step reusing cached per-shard statistics where valid.
+
+    Statistics specs: ``accumulate`` runs only for shards whose cache
+    entry is ``None`` (active shards after an E-step, plus frozen
+    shards whose cached stats were dropped); the merge covers all
+    shards in shard order.  Other specs delegate to
+    :meth:`ShardedEMSpec.m_step_delta`.
+    """
+    spec = runner.spec
+    ranges = runner.task_ranges
+    blocks = _split_blocks_ranges(state, ranges)
+    if not spec.statistics_m_step:
+        return spec.m_step_delta(runner, blocks, prev_params, frozen,
+                                 stats_cache, fit_stats)
+    need = [k for k in range(len(blocks)) if stats_cache[k] is None]
+    if need:
+        computed = runner.call("accumulate",
+                               per_shard=[blocks[k] for k in need],
+                               only=need)
+        for k, stats in zip(need, computed):
+            stats_cache[k] = stats
+        fit_stats.accumulate_calls += len(need)
+    return spec.finalize(functools.reduce(
+        lambda a, b: a.merge(b), stats_cache))
+
+
+def _collect_state(runner: SerialShardRunner, state: np.ndarray,
+                   stats_cache: list | None, fit_stats: FitStats,
+                   base_answers: int = 0) -> ShardState:
+    """Capture the per-shard cache a finished fit leaves behind.
+
+    For statistics specs, shards with no valid cached stats get one
+    ``accumulate`` at their final block so the next delta refit's first
+    M-step is pure cache reuse; other specs keep whatever partials the
+    loop cached (missing ones are recomputed lazily next time).
+    """
+    spec = runner.spec
+    ranges = runner.task_ranges
+    blocks = [np.array(state[start:stop]) for start, stop in ranges]
+    if stats_cache is None or not spec.statistics_m_step:
+        # Non-statistics specs (GLAD) hold their cacheable M-step state
+        # worker-side, which does not outlive the fit's runner: the
+        # next delta refit re-seeds it lazily.
+        stats_cache = [None] * len(ranges)
+    if spec.statistics_m_step:
+        need = [k for k in range(len(ranges)) if stats_cache[k] is None]
+        if need:
+            computed = runner.call("accumulate",
+                                   per_shard=[blocks[k] for k in need],
+                                   only=need)
+            for k, stats in zip(need, computed):
+                stats_cache[k] = stats
+            fit_stats.accumulate_calls += len(need)
+    cuts = [ranges[0][0]] + [stop for _, stop in ranges]
+    return ShardState(
+        task_cuts=tuple(int(c) for c in cuts),
+        sizes=(getattr(spec, "n_tasks", 0), getattr(spec, "n_workers", 0),
+               getattr(spec, "n_choices", 0)),
+        blocks=blocks,
+        stats=list(stats_cache),
+        base_answers=base_answers,
+    )
+
+
+def _verify_frozen(runner: SerialShardRunner, state: np.ndarray,
+                   parameters, frozen: set, stats_cache: list,
+                   golden, freeze_tol: float, thaw_tol: float,
+                   adopt_all: bool,
+                   fit_stats: FitStats) -> tuple[bool, float]:
+    """Full-verify E-step over the frozen set.
+
+    Recomputes every frozen shard's block at the current parameters and
+    grades the drift since the shard was last updated:
+
+    * ``drift >= thaw_tol`` — the shard *thaws*: the fresh block is
+      adopted, its cached stats dropped, and it rejoins the active set.
+    * ``freeze_tol <= drift < thaw_tol`` — the shard is *refreshed in
+      place*: the fresh block is adopted and its stats recomputed at
+      the next M-step, but it stays frozen (a Neal–Hinton partial
+      E-step — the drift accumulated over ``verify_every`` iterations,
+      so its per-iteration rate is still below the freeze threshold
+      and batched verify updates lose nothing).
+    * ``drift < freeze_tol`` — nothing to do; the cached block and
+      stats stay exactly consistent (``adopt_all``, the verify before
+      declaring convergence, adopts even these so the returned
+      posterior is an E-step output at the final parameters
+      everywhere).
+
+    Returns ``(drifted, adopted)``: whether any drift reached
+    ``freeze_tol`` (the signal that convergence must not be declared
+    yet) and the largest adopted state change (which the next
+    convergence check must account for).
+    """
+    spec = runner.spec
+    ranges = runner.task_ranges
+    idx = sorted(frozen)
+    if not idx:
+        return False, 0.0
+    fresh = runner.call("e_block", shared=(parameters,), only=idx)
+    fit_stats.e_block_calls += len(idx)
+    fit_stats.verify_passes += 1
+    if golden:
+        # Golden rows are clamped constants: compare post-clamp so a
+        # clamped row's raw E-step output never reads as drift.
+        scratch = state.copy()
+        for k, block in zip(idx, fresh):
+            start, stop = ranges[k]
+            scratch[start:stop] = block
+        scratch = spec.golden_clamp(scratch, golden)
+        fresh = [scratch[ranges[k][0]:ranges[k][1]] for k in idx]
+    drifted = False
+    adopted = 0.0
+    for k, block in zip(idx, fresh):
+        start, stop = ranges[k]
+        block = np.asarray(block, dtype=np.float64)
+        if not np.all(np.isfinite(block)):
+            raise ConvergenceError(
+                f"non-finite posterior in verify E-step of shard {k}"
+            )
+        drift = _block_delta(block, state[start:stop])
+        if drift >= freeze_tol:
+            state[start:stop] = block
+            stats_cache[k] = None
+            drifted = True
+            adopted = max(adopted, drift)
+            if drift >= thaw_tol:
+                frozen.discard(k)
+                fit_stats.thaws += 1
+        elif adopt_all:
+            state[start:stop] = block
+            adopted = max(adopted, drift)
+    return drifted, adopted
+
+
+def _run_em_delta(runner: SerialShardRunner, plan: DeltaPlan, *,
+                  tolerance: float, max_iter: int, golden,
+                  initial_parameters, fit_stats: FitStats) -> EMOutcome:
+    """The delta-refit loop (see the module docstring)."""
+    spec = runner.spec
+    ranges = runner.task_ranges
+    n_shards = len(ranges)
+    prev = plan.prev
+    freeze_tol = (plan.freeze_tol if plan.freeze_tol is not None
+                  else tolerance)
+    verify_every = max(1, int(plan.verify_every))
+    dirty = np.asarray(plan.dirty, dtype=bool)
+    if prev.n_shards != n_shards or len(dirty) != n_shards:
+        raise ValueError(
+            f"delta refit over {n_shards} shards got a cached state for "
+            f"{prev.n_shards} (dirty flags: {len(dirty)}); the shard "
+            f"layout must be pinned across delta refits"
+        )
+    for k, (start, stop) in enumerate(ranges):
+        if start != prev.task_cuts[k] or (k < n_shards - 1
+                                          and stop != prev.task_cuts[k + 1]):
+            raise ValueError(
+                "delta refit shard cuts diverged from the cached state; "
+                "refit full to re-place"
+            )
+        if not dirty[k] and len(prev.blocks[k]) != stop - start:
+            raise ValueError(
+                f"shard {k} is flagged clean but its task range changed "
+                f"({len(prev.blocks[k])} cached rows vs {stop - start})"
+            )
+
+    # --- prime: E-step over dirty shards only; clean blocks are exact.
+    dirty_idx = [k for k in range(n_shards) if dirty[k]]
+    clean_idx = [k for k in range(n_shards) if not dirty[k]]
+    fit_stats.dirty_shards = len(dirty_idx)
+    primed = runner.call("e_block", shared=(initial_parameters,),
+                         only=dirty_idx) if dirty_idx else []
+    fit_stats.e_block_calls += len(dirty_idx)
+    primed_blocks = dict(zip(dirty_idx, primed))
+    state = np.concatenate(
+        [np.asarray(primed_blocks.get(k, prev.blocks[k]), dtype=np.float64)
+         for k in range(n_shards)], axis=0)
+    state = spec.golden_clamp(state, golden)
+
+    stats_cache: list = [None] * n_shards
+    sizes = (getattr(spec, "n_tasks", 0), getattr(spec, "n_workers", 0),
+             getattr(spec, "n_choices", 0))
+    if prev.stats is not None and tuple(prev.sizes) == sizes:
+        for k in clean_idx:
+            stats_cache[k] = prev.stats[k]
+    frozen = set(clean_idx)
+
+    # Convergence accounting mirrors ConvergenceTracker on the global
+    # state, but assembled from the per-shard deltas the loop measures
+    # anyway: frozen shards contribute zero between verifies, active
+    # shards their E-step movement, verify refreshes the drift they
+    # adopted — so no full-state copy/compare per iteration.
+    parameters = initial_parameters
+    iteration = 1  # the priming E-step, counted as in the full warm path
+    converged = False
+    pending = 0.0  # state change adopted by verifies since the last check
+    # Per-iteration movement scale of the active frontier, feeding the
+    # thaw threshold: a frozen shard rejoins the active set only when
+    # its accumulated verify drift outpaces what the active shards
+    # moved over the same window — anything slower is delivered more
+    # cheaply as batched verify refreshes (Neal–Hinton scheduling).
+    active_scale = float("inf")
+
+    def thaw_threshold() -> float:
+        return verify_every * max(freeze_tol, active_scale)
+
+    while True:
+        if converged:
+            if not frozen:
+                break
+            # Never declare convergence over unverified frozen shards:
+            # one full verify; any drift at or above the freeze
+            # tolerance means the iteration must continue.  Drifted
+            # shards are refreshed in place (an incremental partial
+            # E-step), not thawed: the continuation loop alternates
+            # cheap cached M-steps with these verify refreshes — full
+            # EM restricted to what still moves — until a verify pass
+            # finds everything settled.
+            drifted, adopted = _verify_frozen(
+                runner, state, parameters, frozen, stats_cache, golden,
+                freeze_tol, float("inf"), adopt_all=True,
+                fit_stats=fit_stats)
+            if not drifted:
+                break
+            pending = max(pending, adopted)
+            converged = False
+        elif iteration >= max_iter:
+            if frozen:
+                # Iteration cap: adopt fresh frozen blocks for an
+                # honest (if unconverged) final state, then stop.
+                _verify_frozen(runner, state, parameters, frozen,
+                               stats_cache, golden, freeze_tol,
+                               float("inf"), adopt_all=True,
+                               fit_stats=fit_stats)
+            break
+        active = [k for k in range(n_shards) if k not in frozen]
+        fit_stats.active_shards.append(len(active))
+        fit_stats.frozen_shards.append(n_shards - len(active))
+        parameters = _m_step_cached(runner, state, parameters, frozen,
+                                    stats_cache, fit_stats)
+        previous = {k: state[ranges[k][0]:ranges[k][1]].copy()
+                    for k in active}
+        if active:
+            fresh = runner.call("e_block", shared=(parameters,),
+                                only=active)
+            fit_stats.e_block_calls += len(active)
+            for k, block in zip(active, fresh):
+                start, stop = ranges[k]
+                block = np.asarray(block, dtype=np.float64)
+                if not np.all(np.isfinite(block)):
+                    raise ConvergenceError(
+                        f"non-finite posterior in E-step of shard {k} "
+                        f"at iteration {iteration}"
+                    )
+                state[start:stop] = block
+                stats_cache[k] = None
+        state = spec.golden_clamp(state, golden)
+        active_scale = 0.0
+        for k in active:
+            start, stop = ranges[k]
+            moved = _block_delta(state[start:stop], previous[k])
+            active_scale = max(active_scale, moved)
+            if moved < freeze_tol:
+                frozen.add(k)
+        iteration += 1
+        converged = max(active_scale, pending) < tolerance
+        pending = 0.0
+        if not converged and iteration < max_iter and frozen \
+                and iteration % verify_every == 0:
+            _, adopted = _verify_frozen(
+                runner, state, parameters, frozen, stats_cache, golden,
+                freeze_tol, thaw_threshold(), adopt_all=False,
+                fit_stats=fit_stats)
+            pending = max(pending, adopted)
+
+    shard_state = _collect_state(runner, state, stats_cache, fit_stats,
+                                 base_answers=prev.base_answers)
+    fit_stats.iterations = iteration
+    return EMOutcome(
+        posterior=state,
+        parameters=parameters,
+        n_iterations=iteration,
+        converged=converged,
+        fit_stats=fit_stats,
+        shard_state=shard_state,
+    )
+
+
 def run_em_sharded(
     runner: SerialShardRunner,
     *,
@@ -250,6 +754,7 @@ def run_em_sharded(
     golden: Mapping[int, float] | None = None,
     initial_posterior: np.ndarray | None = None,
     initial_parameters: object | None = None,
+    delta: DeltaPlan | None = None,
 ) -> EMOutcome:
     """Sharded analogue of :func:`repro.inference.em.run_em`.
 
@@ -261,8 +766,33 @@ def run_em_sharded(
     ``initial_parameters`` the loop opens with a priming E-step that is
     counted as an iteration; ``initial_posterior`` starts the loop
     without counting.  ``initial_parameters`` wins when both are given.
+
+    ``delta`` opts into the incremental path (module docstring):
+    ``DeltaPlan(prev=None)`` runs the normal full sweep but collects a
+    :class:`ShardState` for the next refit; a plan with a cached
+    ``prev`` runs the dirty-shard/freezing loop and **requires**
+    ``initial_parameters`` (delta refits are warm by definition).
+    Without ``delta`` the computation is untouched — bit-identical to
+    the historical full path — and only the :class:`FitStats` counters
+    are recorded.
     """
     spec = runner.spec
+    started = time.perf_counter()
+    fit_stats = FitStats(mode="full", n_shards=runner.n_shards)
+
+    if delta is not None and delta.prev is not None:
+        if initial_parameters is None:
+            raise ValueError(
+                "a delta refit resumes a previous fit; pass "
+                "initial_parameters (warm start)"
+            )
+        fit_stats.mode = "delta"
+        outcome = _run_em_delta(runner, delta, tolerance=tolerance,
+                                max_iter=max_iter, golden=golden,
+                                initial_parameters=initial_parameters,
+                                fit_stats=fit_stats)
+        fit_stats.em_seconds = time.perf_counter() - started
+        return outcome
 
     def assemble(blocks: list[np.ndarray]) -> np.ndarray:
         state = np.concatenate(blocks, axis=0)
@@ -270,6 +800,7 @@ def run_em_sharded(
 
     if initial_parameters is not None:
         state = assemble(runner.call("e_block", shared=(initial_parameters,)))
+        fit_stats.e_block_calls += runner.n_shards
     elif initial_posterior is not None:
         state = spec.golden_clamp(
             np.array(initial_posterior, dtype=np.float64), golden)
@@ -282,15 +813,27 @@ def run_em_sharded(
     done = initial_parameters is not None and tracker.update(state)
     parameters = initial_parameters
     while not done:
+        fit_stats.active_shards.append(runner.n_shards)
+        fit_stats.frozen_shards.append(0)
         parameters = runner.m_step(state, parameters)
+        if spec.statistics_m_step:
+            fit_stats.accumulate_calls += runner.n_shards
         state = assemble(runner.call("e_block", shared=(parameters,)))
+        fit_stats.e_block_calls += runner.n_shards
         if tracker.update(state):
             break
+    shard_state = None
+    if delta is not None:
+        shard_state = _collect_state(runner, state, None, fit_stats)
+    fit_stats.iterations = tracker.iteration
+    fit_stats.em_seconds = time.perf_counter() - started
     return EMOutcome(
         posterior=state,
         parameters=parameters,
         n_iterations=tracker.iteration,
         converged=tracker.converged,
+        fit_stats=fit_stats,
+        shard_state=shard_state,
     )
 
 

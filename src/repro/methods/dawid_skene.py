@@ -48,6 +48,7 @@ from ..inference.sharded import (
     ShardedEMSpec,
     SufficientStats,
     majority_block,
+    pad_rows,
     run_em_sharded,
 )
 
@@ -117,7 +118,20 @@ class _ConfusionSpec(ShardedEMSpec):
                                       shard.n_local_tasks,
                                       cols=rows_wv,
                                       n_cols=self.n_workers * n_choices),
+            # Worker width the operators were built at: a retained
+            # operator from before a worker-space growth pads its
+            # outputs up to (and reads tables sliced down to) this.
+            n_workers=self.n_workers,
         )
+
+    def resize(self, n_tasks: int, n_workers: int, n_choices: int) -> bool:
+        # The interleaved (worker, label) row layout bakes n_choices
+        # into every operator; worker/task growth is pad-compatible.
+        if (n_choices != self.n_choices or n_workers < self.n_workers
+                or n_tasks < self.n_tasks):
+            return False
+        self.n_tasks, self.n_workers = n_tasks, n_workers
+        return True
 
     def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
         return majority_block(shard)
@@ -125,9 +139,9 @@ class _ConfusionSpec(ShardedEMSpec):
     def accumulate(self, shard: AnswerShard, ops,
                    block: np.ndarray) -> SufficientStats:
         counts = ops.count_sum(block).reshape(
-            self.n_workers, self.n_choices, self.n_choices)
+            ops.n_workers, self.n_choices, self.n_choices)
         return SufficientStats(
-            counts=counts,
+            counts=pad_rows(counts, self.n_workers),
             posterior_sum=block.sum(axis=0),
             n_tasks=float(block.shape[0]),
         )
@@ -145,12 +159,16 @@ class _ConfusionSpec(ShardedEMSpec):
 
     def e_block(self, shard: AnswerShard, ops,
                 params: _DSParameters) -> np.ndarray:
-        log_conf = np.log(np.clip(params.confusion, 1e-12, None))
+        # A retained operator predates any newly arrived workers; this
+        # shard's answers reference none of them, so slicing their rows
+        # off the table is exact.
+        confusion = params.confusion[:ops.n_workers]
+        log_conf = np.log(np.clip(confusion, 1e-12, None))
         # lc[w*l + k, j]: per-truth-class log-likelihood of worker w
         # answering k — a small table the kernel reads per answer, on
         # top of the log-prior base.
         lc = np.ascontiguousarray(log_conf.transpose(0, 2, 1)).reshape(
-            self.n_workers * self.n_choices, self.n_choices)
+            ops.n_workers * self.n_choices, self.n_choices)
         log_prior = np.log(np.clip(params.prior, 1e-12, None))
         return log_normalize_rows(ops.e_scatter(log_prior, lc))
 
@@ -194,11 +212,12 @@ class _ConfusionMatrixEM(CategoricalMethod):
         warm_start: InferenceResult | None = None,
         seed_posterior: np.ndarray | None = None,
         shard_runner=None,
+        delta=None,
     ) -> InferenceResult:
         n_choices = answers.n_choices
         n_workers = answers.n_workers
         diag = np.arange(n_choices)
-        with self._shard_runner(answers, shard_runner) as runner:
+        with self._shard_runner(answers, shard_runner, delta) as runner:
             start = None
             warm_params = None
             if warm_start is not None:
@@ -237,6 +256,10 @@ class _ConfusionMatrixEM(CategoricalMethod):
                 # majority-vote initialisation.
                 start = seed_posterior
 
+            if delta is not None and warm_params is None:
+                # A delta refit resumes from warm parameters; without
+                # them, run full but still collect the next fit's state.
+                delta = delta.collect_only()
             outcome = run_em_sharded(
                 runner,
                 tolerance=self.tolerance,
@@ -244,6 +267,7 @@ class _ConfusionMatrixEM(CategoricalMethod):
                 golden=golden,
                 initial_posterior=start,
                 initial_parameters=warm_params,
+                delta=delta,
             )
         params: _DSParameters = outcome.parameters
         quality = params.confusion[:, diag, diag].mean(axis=1)
@@ -259,6 +283,8 @@ class _ConfusionMatrixEM(CategoricalMethod):
                 "class_prior": params.prior,
                 "warm_started": warm_start is not None,
             },
+            fit_stats=outcome.fit_stats,
+            shard_state=outcome.shard_state,
         )
 
 

@@ -47,7 +47,12 @@ from ..core.result import InferenceResult
 from ..core.shards import AnswerShard
 from ..core.warmstart import expand_task_vector, expand_worker_vector
 from ..inference.segops import BasedScatterAdd, SegmentSum
-from ..inference.sharded import ShardedEMSpec, majority_block, run_em_sharded
+from ..inference.sharded import (
+    ShardedEMSpec,
+    majority_block,
+    pad_rows,
+    run_em_sharded,
+)
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -85,6 +90,10 @@ class _GladSpec(ShardedEMSpec):
         # (worker-side state: lives in the process that runs the shard).
         self._match: dict[int, np.ndarray] = {}
 
+    #: GLAD's M-step is an iterated gradient map-reduce, not mergeable
+    #: statistics; delta refits go through :meth:`m_step_delta`.
+    statistics_m_step = False
+
     def build_ops(self, shard: AnswerShard):
         rows_tv = shard.local_tasks * self.n_choices + shard.values
         return types.SimpleNamespace(
@@ -92,7 +101,19 @@ class _GladSpec(ShardedEMSpec):
             task_sum=SegmentSum(shard.local_tasks, shard.n_local_tasks),
             bonus_scatter=BasedScatterAdd(
                 rows_tv, shard.n_local_tasks * self.n_choices),
+            n_workers=self.n_workers,
         )
+
+    def resize(self, n_tasks: int, n_workers: int, n_choices: int) -> bool:
+        if (n_choices != self.n_choices or n_workers < self.n_workers
+                or n_tasks < self.n_tasks):
+            return False
+        self.n_tasks, self.n_workers = n_tasks, n_workers
+        return True
+
+    def invalidate_shard(self, index: int) -> None:
+        super().invalidate_shard(index)
+        self._match.pop(index, None)
 
     def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
         return majority_block(shard)
@@ -130,6 +151,70 @@ class _GladSpec(ShardedEMSpec):
             alpha = np.clip(alpha, -10.0, 10.0)
         return (alpha, log_beta)
 
+    #: Marker recorded in a delta refit's stats cache for a frozen
+    #: shard whose posterior-match is held worker-side (valid until the
+    #: shard's block changes).  Never carried across fits.
+    MATCH_CACHED = "glad-match-cached"
+
+    def m_step_delta(self, runner, blocks, prev_params, frozen,
+                     stats_cache, fit_stats=None):
+        """Frozen-aware gradient M-step for delta refits.
+
+        GLAD freezes the *posterior match* of a frozen shard, not its
+        gradient: a cached per-worker gradient partial destabilises the
+        ascent (the data gradient depends strongly on the current
+        ``alpha``/``beta``, so replaying a stale partial for twelve
+        rounds sends the ascent off), whereas gradients computed fresh
+        against a frozen posterior are exactly the incremental-EM
+        M-step given the frozen E-state — stable by construction.  The
+        saving for a frozen shard is its skipped E-steps plus the
+        ``begin_m_step`` payload: its match stays cached worker-side
+        across M-steps (and, in the process tier, across fit messages),
+        so no posterior block is shipped for it.
+        """
+        if prev_params is not None:
+            alpha, log_beta = prev_params
+        else:
+            assert self.initial_state is not None, \
+                "cold GLAD m_step needs spec.initial_state"
+            alpha, log_beta = self.initial_state
+        alpha = np.array(alpha, dtype=np.float64)
+        log_beta = np.array(log_beta, dtype=np.float64)
+        ranges = runner.task_ranges
+        need_begin = [k for k in range(runner.n_shards)
+                      if k not in frozen
+                      or stats_cache[k] is not self.MATCH_CACHED]
+        if need_begin:
+            runner.call("begin_m_step",
+                        per_shard=[blocks[k] for k in need_begin],
+                        only=need_begin)
+        for k in frozen:
+            stats_cache[k] = self.MATCH_CACHED
+        # The gradient rounds mirror m_step exactly (same dispatch,
+        # same summation order); only the begin payloads were skipped.
+        for _ in range(self.gradient_steps):
+            partials = runner.call(
+                "grad_step",
+                per_shard=[log_beta[start:stop]
+                           for start, stop in ranges],
+                shared=(alpha,),
+            )
+            data_alpha = partials[0][0]
+            for part, _unused in partials[1:]:
+                data_alpha = data_alpha + part
+            grad_alpha = data_alpha - self.prior_strength * (alpha - 1.0)
+            data_beta = (partials[0][1] if len(partials) == 1 else
+                         np.concatenate([p[1] for p in partials]))
+            grad_logbeta = data_beta - self.prior_strength * log_beta
+            alpha = alpha + self.learning_rate * grad_alpha
+            log_beta = log_beta + self.learning_rate * grad_logbeta
+            log_beta = np.clip(log_beta, -5.0, 5.0)
+            alpha = np.clip(alpha, -10.0, 10.0)
+        if fit_stats is not None:
+            fit_stats.accumulate_calls += (runner.n_shards
+                                           * self.gradient_steps)
+        return (alpha, log_beta)
+
     def begin_m_step(self, shard: AnswerShard, ops,
                      block: np.ndarray) -> None:
         """Cache this shard's posterior mass on the answered labels for
@@ -145,7 +230,8 @@ class _GladSpec(ShardedEMSpec):
         alpha_w = alpha[shard.workers]
         p = _sigmoid(alpha_w * beta_t)
         residual = self._match[shard.index] - p
-        return (ops.worker_sum(residual * beta_t),
+        return (pad_rows(ops.worker_sum(residual * beta_t),
+                         self.n_workers),
                 ops.task_sum((residual * alpha_w) * beta_t))
 
     # The statistics hooks are unused — m_step above replaces them.
@@ -214,6 +300,7 @@ class Glad(CategoricalMethod):
         warm_start: InferenceResult | None = None,
         seed_posterior: np.ndarray | None = None,
         shard_runner=None,
+        delta=None,
     ) -> InferenceResult:
         start = None
         warm_params = None
@@ -245,8 +332,10 @@ class Glad(CategoricalMethod):
                           np.zeros(answers.n_tasks))
             start = seed_posterior
 
-        with self._shard_runner(answers, shard_runner) as runner:
+        with self._shard_runner(answers, shard_runner, delta) as runner:
             runner.spec.initial_state = cold_state
+            if delta is not None and warm_params is None:
+                delta = delta.collect_only()
             outcome = run_em_sharded(
                 runner,
                 tolerance=self.tolerance,
@@ -254,6 +343,7 @@ class Glad(CategoricalMethod):
                 golden=golden,
                 initial_posterior=start,
                 initial_parameters=warm_params,
+                delta=delta,
             )
         alpha, log_beta = outcome.parameters
         return InferenceResult(
@@ -265,4 +355,6 @@ class Glad(CategoricalMethod):
             converged=outcome.converged,
             extras={"task_easiness": np.exp(log_beta),
                     "warm_started": warm_start is not None},
+            fit_stats=outcome.fit_stats,
+            shard_state=outcome.shard_state,
         )

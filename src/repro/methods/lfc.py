@@ -30,7 +30,12 @@ from ..core.result import InferenceResult
 from ..core.shards import AnswerShard
 from ..core.warmstart import expand_worker_vector
 from ..inference.segops import SegmentSum
-from ..inference.sharded import ShardedEMSpec, SufficientStats, run_em_sharded
+from ..inference.sharded import (
+    ShardedEMSpec,
+    SufficientStats,
+    pad_rows,
+    run_em_sharded,
+)
 from .dawid_skene import _ConfusionMatrixEM
 
 
@@ -89,7 +94,14 @@ class _LFCNumericSpec(ShardedEMSpec):
             task_counts=np.maximum(
                 np.bincount(shard.local_tasks,
                             minlength=shard.n_local_tasks), 1),
+            n_workers=self.n_workers,
         )
+
+    def resize(self, n_tasks: int, n_workers: int, n_choices: int) -> bool:
+        if n_workers < self.n_workers or n_tasks < self.n_tasks:
+            return False
+        self.n_tasks, self.n_workers = n_tasks, n_workers
+        return True
 
     def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
         """Per-task mean of the observed answers."""
@@ -99,8 +111,9 @@ class _LFCNumericSpec(ShardedEMSpec):
                    block: np.ndarray) -> SufficientStats:
         residual = (shard.values - block[shard.local_tasks]) ** 2
         return SufficientStats(
-            residual_sum=ops.worker_sum(residual),
-            answer_counts=ops.answer_counts,
+            residual_sum=pad_rows(ops.worker_sum(residual),
+                                  self.n_workers),
+            answer_counts=pad_rows(ops.answer_counts, self.n_workers),
         )
 
     def finalize(self, stats: SufficientStats) -> np.ndarray:
@@ -151,6 +164,7 @@ class LearningFromCrowdsNumeric(NumericMethod):
         rng: np.random.Generator,
         warm_start: InferenceResult | None = None,
         shard_runner=None,
+        delta=None,
     ) -> InferenceResult:
         # Initial truth: per-task mean (the spec's init_block).  A warm
         # start instead opens with an E-step from the previous
@@ -171,13 +185,16 @@ class LearningFromCrowdsNumeric(NumericMethod):
             else:
                 warm_params = np.full(answers.n_workers, global_var)
 
-        with self._shard_runner(answers, shard_runner) as runner:
+        with self._shard_runner(answers, shard_runner, delta) as runner:
+            if delta is not None and warm_params is None:
+                delta = delta.collect_only()
             outcome = run_em_sharded(
                 runner,
                 tolerance=self.tolerance,
                 max_iter=self.max_iter,
                 golden=golden,
                 initial_parameters=warm_params,
+                delta=delta,
             )
         variance = np.asarray(outcome.parameters, dtype=np.float64)
         quality = 1.0 / (1.0 + np.sqrt(variance))
@@ -190,4 +207,6 @@ class LearningFromCrowdsNumeric(NumericMethod):
             converged=outcome.converged,
             extras={"worker_variance": variance,
                     "warm_started": warm_start is not None},
+            fit_stats=outcome.fit_stats,
+            shard_state=outcome.shard_state,
         )

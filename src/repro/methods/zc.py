@@ -22,6 +22,7 @@ unsharded, sharded in-process, or fanned over worker processes.
 
 from __future__ import annotations
 
+import functools
 import types
 from typing import Mapping
 
@@ -39,6 +40,7 @@ from ..inference.sharded import (
     ShardedEMSpec,
     SufficientStats,
     majority_block,
+    pad_rows,
     run_em_sharded,
 )
 
@@ -70,7 +72,17 @@ class _ZCSpec(ShardedEMSpec):
                 cols=shard.workers, n_cols=self.n_workers),
             answer_counts=np.bincount(shard.workers,
                                       minlength=self.n_workers),
+            # Worker width the operators were built at (see
+            # ShardedEMSpec.resize).
+            n_workers=self.n_workers,
         )
+
+    def resize(self, n_tasks: int, n_workers: int, n_choices: int) -> bool:
+        if (n_choices != self.n_choices or n_workers < self.n_workers
+                or n_tasks < self.n_tasks):
+            return False
+        self.n_tasks, self.n_workers = n_tasks, n_workers
+        return True
 
     def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
         return majority_block(shard)
@@ -78,8 +90,9 @@ class _ZCSpec(ShardedEMSpec):
     def accumulate(self, shard: AnswerShard, ops,
                    block: np.ndarray) -> SufficientStats:
         return SufficientStats(
-            matched_sum=ops.matched_sum(np.ravel(block)),
-            answer_counts=ops.answer_counts,
+            matched_sum=pad_rows(ops.matched_sum(np.ravel(block)),
+                                 self.n_workers),
+            answer_counts=pad_rows(ops.answer_counts, self.n_workers),
         )
 
     def finalize(self, stats: SufficientStats) -> np.ndarray:
@@ -88,7 +101,9 @@ class _ZCSpec(ShardedEMSpec):
 
     def e_block(self, shard: AnswerShard, ops,
                 quality: np.ndarray) -> np.ndarray:
-        q = clip_probability(quality)
+        # A retained operator predates any newly arrived workers, none
+        # of which answered in this shard: slice their entries off.
+        q = clip_probability(quality[:ops.n_workers])
         log_correct = np.log(q)
         log_wrong = np.log((1.0 - q) / max(self.n_choices - 1, 1))
         # Every answer contributes log_wrong to all labels of its task,
@@ -129,8 +144,9 @@ class ZenCrowd(CategoricalMethod):
         warm_start: InferenceResult | None = None,
         seed_posterior: np.ndarray | None = None,
         shard_runner=None,
+        delta=None,
     ) -> InferenceResult:
-        with self._shard_runner(answers, shard_runner) as runner:
+        with self._shard_runner(answers, shard_runner, delta) as runner:
             start = None
             warm_params = None
             if warm_start is not None:
@@ -148,6 +164,8 @@ class ZenCrowd(CategoricalMethod):
             else:
                 start = seed_posterior
 
+            if delta is not None and warm_params is None:
+                delta = delta.collect_only()
             outcome = run_em_sharded(
                 runner,
                 tolerance=self.tolerance,
@@ -155,8 +173,18 @@ class ZenCrowd(CategoricalMethod):
                 golden=golden,
                 initial_posterior=start,
                 initial_parameters=warm_params,
+                delta=delta,
             )
-            quality = runner.m_step(outcome.posterior)
+            if (outcome.shard_state is not None
+                    and all(s is not None
+                            for s in outcome.shard_state.stats)):
+                # The collected state already holds every shard's
+                # statistics at the final posterior — finalizing their
+                # merge IS the m_step below, minus the recomputation.
+                quality = runner.spec.finalize(functools.reduce(
+                    lambda a, b: a.merge(b), outcome.shard_state.stats))
+            else:
+                quality = runner.m_step(outcome.posterior)
         return InferenceResult(
             method=self.name,
             truths=decode_posterior(outcome.posterior, rng),
@@ -165,4 +193,6 @@ class ZenCrowd(CategoricalMethod):
             n_iterations=outcome.n_iterations,
             converged=outcome.converged,
             extras={"warm_started": warm_start is not None},
+            fit_stats=outcome.fit_stats,
+            shard_state=outcome.shard_state,
         )

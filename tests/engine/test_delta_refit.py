@@ -1,0 +1,308 @@
+"""Engine-level delta refits: parity, bit-identity, sessions, runtime.
+
+The contract under test:
+
+* ``refit="delta"`` matches ``refit="full"`` — final posteriors within
+  1e-6, labels agreeing — for **all five** sharded EM methods, on both
+  the in-process and the persistent-process tiers;
+* ``refit="full"`` (the default) takes literally the pre-delta code
+  path and stays **bit-identical** to it;
+* the in-process :class:`~repro.engine.runtime.SerialShardSession` and
+  the worker-side spec retention extend warm state across refits
+  instead of rebuilding it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import ExecutionPolicy
+from repro.core.registry import create
+from repro.core.tasktypes import TaskType
+from repro.engine import InferenceEngine
+from repro.engine.runtime import SerialShardSession
+
+N_SHARDS = 4
+
+
+def make_batches(task_type=TaskType.DECISION_MAKING, n_tasks=150,
+                 n_workers=12, base=1600, steps=3, growth=200, seed=0):
+    """A base batch (task-creation order) plus growth batches skewed
+    toward one task range, as ``(task, worker, value)`` records."""
+    rng = np.random.default_rng(seed)
+    categorical = task_type is not TaskType.NUMERIC
+    truth = (rng.integers(0, 2, n_tasks) if categorical
+             else rng.normal(0.0, 2.0, n_tasks))
+    acc = rng.beta(6, 2, n_workers)
+    batches = []
+    tasks = np.sort(rng.integers(0, n_tasks, base), kind="stable")
+    for step in range(steps + 1):
+        if step:
+            tasks = rng.integers(0, n_tasks // 3, growth)
+        workers = rng.integers(0, n_workers, len(tasks))
+        if categorical:
+            correct = rng.random(len(tasks)) < acc[workers]
+            values = np.where(correct, truth[tasks], 1 - truth[tasks])
+        else:
+            values = truth[tasks] + rng.normal(
+                0.0, 0.3 + (1 - acc[workers]), len(tasks))
+        batches.append(list(zip(tasks.tolist(), workers.tolist(),
+                                values.tolist())))
+    return batches
+
+
+def stream_through(batches, task_type, method, refit, executor="serial",
+                   tolerance=1e-7, **policy_kwargs):
+    # Parity between the full and delta trajectories scales with the
+    # convergence tolerance (both stop within it of the same fixed
+    # point), so the parity tests run tight.
+    policy = ExecutionPolicy(n_shards=N_SHARDS, executor=executor,
+                             refit=refit, **policy_kwargs)
+    with InferenceEngine(task_type, policy=policy, seed=0) as engine:
+        results = []
+        for batch in batches:
+            engine.add_answers(batch)
+            results.append(engine.infer(method, tolerance=tolerance,
+                                        max_iter=500))
+    return results
+
+
+CATEGORICAL_METHODS = ["D&S", "LFC", "ZC", "GLAD"]
+
+
+class TestDeltaParity:
+    @pytest.mark.parametrize("method", CATEGORICAL_METHODS)
+    def test_categorical_parity(self, method):
+        batches = make_batches()
+        full = stream_through(batches, TaskType.DECISION_MAKING, method,
+                              "full")
+        delta = stream_through(batches, TaskType.DECISION_MAKING, method,
+                               "delta")
+        assert delta[-1].fit_stats.mode == "delta"
+        assert np.abs(full[-1].posterior
+                      - delta[-1].posterior).max() <= 1e-6
+        agree = (full[-1].truths == delta[-1].truths).mean()
+        assert agree >= 0.999
+        quality_diff = np.abs(full[-1].worker_quality
+                              - delta[-1].worker_quality).max()
+        assert quality_diff < 1e-3
+
+    def test_numeric_parity(self):
+        batches = make_batches(task_type=TaskType.NUMERIC)
+        full = stream_through(batches, TaskType.NUMERIC, "LFC_N", "full")
+        delta = stream_through(batches, TaskType.NUMERIC, "LFC_N", "delta")
+        assert delta[-1].fit_stats.mode == "delta"
+        assert np.abs(full[-1].truths - delta[-1].truths).max() <= 1e-6
+
+    def test_delta_primes_only_dirty_shards(self):
+        batches = make_batches()
+        delta = stream_through(batches, TaskType.DECISION_MAKING, "D&S",
+                               "delta")
+        stats = delta[-1].fit_stats
+        # Growth is confined to the low task range: not every shard is
+        # dirty, and the clean ones started frozen.
+        assert 0 < stats.dirty_shards < stats.n_shards
+        assert stats.frozen_shards[0] == stats.n_shards - stats.dirty_shards
+
+    def test_process_tier_matches_serial_delta(self):
+        batches = make_batches()
+        serial = stream_through(batches, TaskType.DECISION_MAKING, "D&S",
+                                "delta")
+        process = stream_through(batches, TaskType.DECISION_MAKING, "D&S",
+                                 "delta", executor="process",
+                                 max_workers=2)
+        assert process[-1].fit_stats.mode == "delta"
+        assert np.abs(serial[-1].posterior
+                      - process[-1].posterior).max() <= 1e-8
+
+    def test_thread_tier_runs_delta(self):
+        batches = make_batches()
+        threaded = stream_through(batches, TaskType.DECISION_MAKING, "D&S",
+                                  "delta", executor="thread",
+                                  max_workers=2)
+        assert threaded[-1].fit_stats.mode == "delta"
+
+
+class TestFullBitIdentity:
+    def test_refit_full_is_bit_identical_to_default_policy(self):
+        batches = make_batches()
+        policy_default = ExecutionPolicy(n_shards=N_SHARDS,
+                                         executor="serial")
+        explicit = stream_through(batches, TaskType.DECISION_MAKING,
+                                  "D&S", "full")
+        with InferenceEngine(TaskType.DECISION_MAKING,
+                             policy=policy_default, seed=0) as engine:
+            for batch in batches:
+                engine.add_answers(batch)
+                default = engine.infer("D&S", tolerance=1e-7,
+                                       max_iter=500)
+        assert np.array_equal(explicit[-1].posterior, default.posterior)
+        assert np.array_equal(explicit[-1].truths, default.truths)
+        # The default mode never builds delta state.
+        assert default.shard_state is None
+
+    def test_refit_full_matches_hand_driven_warm_refits(self):
+        batches = make_batches()
+        full = stream_through(batches, TaskType.DECISION_MAKING, "D&S",
+                              "full")
+        # The pre-delta spelling: explicit warm_start chaining.
+        policy = ExecutionPolicy(n_shards=N_SHARDS, executor="serial")
+        with InferenceEngine(TaskType.DECISION_MAKING, policy=policy,
+                             seed=0) as engine:
+            previous = None
+            for batch in batches:
+                engine.add_answers(batch)
+                snapshot = engine.stream.snapshot()
+                instance = create("D&S", seed=0, tolerance=1e-7,
+                                  max_iter=500, policy=policy)
+                previous = instance.fit(snapshot, warm_start=previous)
+        assert np.array_equal(full[-1].posterior, previous.posterior)
+        assert np.array_equal(full[-1].truths, previous.truths)
+
+
+class TestDeltaFallbacks:
+    def test_replacement_falls_back_to_collecting_full(self):
+        # Unique (task, worker) pairs so only the deliberate overwrite
+        # replaces in place.
+        rng = np.random.default_rng(0)
+        n_tasks, n_workers = 40, 30
+        pairs = [(t, w) for t in range(n_tasks) for w in range(n_workers)]
+        rng.shuffle(pairs)
+        records = [(t, w, int(rng.integers(0, 2))) for t, w in pairs]
+        policy = ExecutionPolicy(n_shards=N_SHARDS, executor="serial",
+                                 refit="delta")
+        with InferenceEngine(TaskType.DECISION_MAKING, policy=policy,
+                             seed=0, on_duplicate="replace") as engine:
+            engine.add_answers(records[:800])
+            engine.infer("D&S")
+            # Replace an existing answer in place: the warm contract is
+            # broken, so the next refit must be cold+full (and still
+            # collect state for the following one).
+            task, worker, value = records[0]
+            engine.add_answer(task, worker, 1 - value)
+            result = engine.infer("D&S")
+            assert result.fit_stats.mode == "full"
+            assert result.shard_state is not None
+            engine.add_answers(records[800:900])
+            assert engine.infer("D&S").fit_stats.mode == "delta"
+
+    def test_doubled_stream_replaces_and_refits_full(self):
+        batches = make_batches(base=400, growth=600, steps=2)
+        results = stream_through(batches, TaskType.DECISION_MAKING, "D&S",
+                                 "delta")
+        # By the time the stream has more than doubled past the placed
+        # base, the engine re-places (full refit) instead of extending.
+        modes = [r.fit_stats.mode for r in results]
+        assert modes[0] == "full"
+        assert "full" in modes[1:]
+
+    def test_label_growth_falls_back_to_full(self):
+        rng = np.random.default_rng(0)
+        base = [(f"t{rng.integers(20)}", f"w{rng.integers(5)}",
+                 str(rng.integers(2))) for _ in range(300)]
+        policy = ExecutionPolicy(n_shards=2, executor="serial",
+                                 refit="delta")
+        with InferenceEngine(TaskType.SINGLE_CHOICE, policy=policy,
+                             seed=0) as engine:
+            engine.add_answers(base)
+            engine.infer("D&S")
+            engine.add_answers([("t1", "w9", "2")])  # a brand-new label
+            result = engine.infer("D&S")
+            assert result.fit_stats.mode == "full"
+
+
+class TestSerialShardSession:
+    def _answers(self, n, seed=0, n_tasks=60, n_workers=8):
+        rng = np.random.default_rng(seed)
+        from repro.core.answers import AnswerSet
+
+        tasks = np.sort(rng.integers(0, n_tasks, n), kind="stable")
+        workers = rng.integers(0, n_workers, n)
+        values = rng.integers(0, 2, n)
+        return tasks, workers, values, n_tasks, n_workers
+
+    def _answer_set(self, n_total, prefix=None):
+        from repro.core.answers import AnswerSet
+
+        tasks, workers, values, n_tasks, n_workers = self._answers(n_total)
+        n = prefix or n_total
+        return AnswerSet(tasks[:n], workers[:n], values[:n],
+                         TaskType.DECISION_MAKING, n_tasks=n_tasks,
+                         n_workers=n_workers)
+
+    def test_extend_reuses_layout_and_specs(self):
+        base = self._answer_set(800, prefix=600)
+        grown = self._answer_set(800)
+        session = SerialShardSession(3)
+        instance = create("D&S", seed=0)
+        r1 = session.runner(base, instance, stream_key="s")
+        assert session.last_placement == "place"
+        r2 = session.runner(grown, instance, stream_key="s")
+        assert session.last_placement == "extend"
+        assert session.spec_reuses == 1
+        assert r2.spec is r1.spec
+        # Same cuts, larger shards.
+        assert r2.task_ranges == r1.task_ranges
+        assert sum(len(s.tasks) for s in r2.shards) == 800
+
+    def test_extended_shards_match_a_fresh_sort(self):
+        from repro.core.shards import ShardedAnswerSet
+
+        base = self._answer_set(800, prefix=600)
+        grown = self._answer_set(800)
+        session = SerialShardSession(3)
+        instance = create("D&S", seed=0)
+        session.runner(base, instance, stream_key="s")
+        runner = session.runner(grown, instance, stream_key="s")
+        fresh = ShardedAnswerSet(grown, 3,
+                                 task_cuts=[r[0] for r in
+                                            runner.task_ranges]
+                                 + [grown.n_tasks])
+        for warm_shard, fresh_shard in zip(runner.shards, fresh.shards):
+            assert np.array_equal(warm_shard.tasks, fresh_shard.tasks)
+            assert np.array_equal(warm_shard.workers, fresh_shard.workers)
+            assert np.array_equal(warm_shard.values, fresh_shard.values)
+
+    def test_key_change_replaces(self):
+        base = self._answer_set(800, prefix=600)
+        grown = self._answer_set(800)
+        session = SerialShardSession(3)
+        instance = create("D&S", seed=0)
+        session.runner(base, instance, stream_key="a")
+        session.runner(grown, instance, stream_key="b")
+        assert session.last_placement == "place"
+
+    def test_append_only_tripwire(self):
+        session = SerialShardSession(2)
+        instance = create("D&S", seed=0)
+        base = self._answer_set(800, prefix=600)
+        session.runner(base, instance, stream_key="s")
+        from repro.core.answers import AnswerSet
+
+        rng = np.random.default_rng(9)
+        other = AnswerSet(
+            np.sort(rng.integers(0, 60, 800)), rng.integers(0, 8, 800),
+            rng.integers(0, 2, 800), TaskType.DECISION_MAKING,
+            n_tasks=60, n_workers=8)
+        with pytest.raises(RuntimeError, match="append-only"):
+            session.runner(other, instance, stream_key="s")
+
+
+class TestWorkerSpecRetention:
+    def test_process_workers_retain_specs_across_refits(self):
+        from repro.engine.runtime import ShardRuntime, _rt_probe
+
+        batches = make_batches(steps=2)
+        policy = ExecutionPolicy(n_shards=2, executor="process",
+                                 refit="delta", max_workers=1)
+        with InferenceEngine(TaskType.DECISION_MAKING, policy=policy,
+                             seed=0) as engine:
+            for batch in batches:
+                engine.add_answers(batch)
+                engine.infer("D&S")
+            runtime = engine._runtime
+            probes = [pool.submit(_rt_probe).result()
+                      for pool in runtime._pools]
+        # Three fits of the same method over a fixed universe: at least
+        # one refit reused the worker-side spec (the first extension
+        # may reallocate segments, which re-attaches and rebuilds).
+        assert sum(p["spec_reuses"] for p in probes) >= 1

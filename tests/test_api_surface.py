@@ -32,6 +32,7 @@ REPRO_ALL = [
     "Dataset",
     "ExecutionPlan",
     "ExecutionPolicy",
+    "FitStats",
     "InferenceResult",
     "MethodSpec",
     "ReproError",
@@ -61,6 +62,7 @@ ENGINE_ALL = [
     "ProcessShardRunner",
     "RuntimeLease",
     "RuntimeRegistry",
+    "SerialShardSession",
     "ShardRuntime",
     "ShardedInferenceEngine",
     "StreamingAnswerSet",

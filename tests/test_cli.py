@@ -308,3 +308,80 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "saturation redundancy" in out
+
+
+class TestTcpSource:
+    """``repro stream --source tcp:HOST:PORT`` — the loopback-socket
+    spelling of the live line-delimited stream."""
+
+    def _serve(self, rows):
+        """A one-connection loopback server feeding ``rows`` as CSV."""
+        import socket
+        import threading
+
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+
+        def feed():
+            conn, _ = server.accept()
+            with conn:
+                conn.sendall(("\n".join(rows) + "\n").encode())
+            server.close()
+
+        thread = threading.Thread(target=feed, daemon=True)
+        thread.start()
+        return port, thread
+
+    def test_stream_from_tcp_socket(self, capsys):
+        rows = [f"t{i % 7},w{j},{(i + j) % 2}"
+                for i in range(21) for j in range(3)]
+        port, thread = self._serve(rows)
+        code = main(["stream", "--source", f"tcp:127.0.0.1:{port}",
+                     "--task-type", "decision", "--method", "MV",
+                     "--chunk-size", "16"])
+        thread.join(timeout=5)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "task,inferred_truth" in out
+        assert "t0," in out
+
+    def test_tcp_requires_task_type(self, capsys):
+        code = main(["stream", "--source", "tcp:127.0.0.1:1",
+                     "--method", "MV"])
+        assert code == 1
+        assert "--task-type" in capsys.readouterr().err
+
+    def test_malformed_tcp_spec_fails_loudly(self, capsys):
+        code = main(["stream", "--source", "tcp:nowhere",
+                     "--task-type", "decision"])
+        assert code == 1
+        assert "tcp:HOST:PORT" in capsys.readouterr().err
+
+    def test_unknown_source_fails_loudly(self, capsys):
+        code = main(["stream", "--source", "carrier-pigeon",
+                     "--task-type", "decision"])
+        assert code == 1
+        assert "carrier-pigeon" in capsys.readouterr().err
+
+    def test_unreachable_tcp_fails_loudly(self, capsys):
+        code = main(["stream", "--source", "tcp:127.0.0.1:1",
+                     "--task-type", "decision"])
+        assert code == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+
+class TestStreamDeltaFlags:
+    def test_stream_delta_refit_verbose(self, tmp_path, capsys):
+        path = tmp_path / "answers.csv"
+        rows = [f"t{i % 9},w{i % 4},{(i * 3) % 2}" for i in range(120)]
+        path.write_text("\n".join(rows) + "\n")
+        code = main(["stream", str(path), "--method", "D&S",
+                     "--chunk-size", "40", "--shards", "3",
+                     "--refit", "delta", "--freeze-tol", "1e-5",
+                     "--verify-every", "3", "-v",
+                     "--task-type", "decision"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# streaming" in out
+        assert "fit:" in out          # -v telemetry lines
+        assert "refit" in out
