@@ -1,0 +1,399 @@
+"""Durable answer store: write-through overhead + crash recovery gates.
+
+The measured claims (PR 6 acceptance), on the PR 5 cohort-arrival
+delta-refit scenario (400k-answer converged base corpus + a new task
+cohort streaming in, 8 shards, serial tier):
+
+* **Write-through is nearly free** — running the whole scenario with a
+  :class:`~repro.core.policy.StorePolicy` attached (every batch logged
+  durably, snapshots on cadence) costs **< 10% extra wall time** over
+  the identical store-less run, and the final posteriors are
+  bit-identical (the store must observe, never perturb).
+* **Nothing acknowledged is lost** — a writer subprocess streams the
+  scenario through a durable engine, printing ``ACK <version>`` after
+  every committed batch; the parent ``SIGKILL``\\ s it mid-stream and
+  recovers the store.  The recovered version covers every acknowledged
+  answer and lands exactly on a batch boundary (batch atomicity).
+* **Recovery resumes warm** — the first post-recovery refit is a delta
+  refit seeded from the newest snapshot (replay tail only) and beats a
+  forced cold fit of the same recovered stream by **>= 3x**, while the
+  recovered posterior matches a cadence-matched uninterrupted run to
+  **<= 1e-6** with exact truth-label agreement on the gated run.
+
+Run ``python -m benchmarks.bench_store`` for the full-size run,
+``--smoke`` for the CI-sized gate, ``--json PATH`` for the
+machine-readable ``BENCH_store.json`` point.  (``--writer`` is the
+internal child-process mode used by the kill cycle.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.policy import ExecutionPolicy, StorePolicy
+from repro.core.tasktypes import TaskType
+from repro.engine import InferenceEngine
+from repro.experiments.reporting import format_table
+
+from .bench_delta_refit import (FREEZE_TOL, MAX_ITER, N_SHARDS, TOLERANCE,
+                                VERIFY_EVERY, cohort_stream)
+from .conftest import save_json, save_report
+
+SMOKE_BASE_ANSWERS = 400_000
+FULL_BASE_ANSWERS = 1_000_000
+OVERHEAD_LIMIT_PCT = 10.0
+WARM_SPEEDUP_TARGET = 3.0
+RECOVERY_PARITY = 1e-6
+#: Base corpus is ingested in this many logged batches.
+BASE_CHUNKS = 8
+#: Writer-mode stream: enough growth batches that the parent always
+#: kills the child long before the stream runs dry.
+WRITER_STEPS = 200
+WRITER_GROWTH = 0.6
+#: The writer refits every FIT_EVERY-th growth batch.
+FIT_EVERY = 5
+
+
+def _policy(store: StorePolicy | None = None) -> ExecutionPolicy:
+    kwargs = dict(n_shards=N_SHARDS, executor="serial", refit="delta",
+                  freeze_tol=FREEZE_TOL, verify_every=VERIFY_EVERY)
+    if store is not None:
+        kwargs["store"] = store
+    return ExecutionPolicy(**kwargs)
+
+
+def _engine(policy: ExecutionPolicy) -> InferenceEngine:
+    return InferenceEngine(TaskType.DECISION_MAKING, label_order=[0, 1],
+                           seed=0, policy=policy)
+
+
+def _chunked(batch: list, n_chunks: int) -> list[list]:
+    size = (len(batch) + n_chunks - 1) // n_chunks
+    return [batch[i:i + size] for i in range(0, len(batch), size)]
+
+
+# ----------------------------------------------------------------------
+# Write-through overhead
+# ----------------------------------------------------------------------
+
+def _run_scenario(batches, store: StorePolicy | None):
+    """One pass of the cohort scenario; per-phase wall times."""
+    base_chunks = _chunked(batches[0], BASE_CHUNKS)
+    t_add = t_fit = 0.0
+    started = time.perf_counter()
+    with _engine(_policy(store)) as engine:
+        for chunk in base_chunks:
+            t = time.perf_counter()
+            engine.add_answers(chunk)
+            t_add += time.perf_counter() - t
+        t = time.perf_counter()
+        result = engine.infer("D&S", tolerance=TOLERANCE, max_iter=MAX_ITER)
+        t_fit += time.perf_counter() - t
+        for batch in batches[1:]:
+            t = time.perf_counter()
+            engine.add_answers(batch)
+            t_add += time.perf_counter() - t
+            t = time.perf_counter()
+            result = engine.infer("D&S", tolerance=TOLERANCE,
+                                  max_iter=MAX_ITER)
+            t_fit += time.perf_counter() - t
+        total = time.perf_counter() - started
+        return {"total": total, "add": t_add, "fit": t_fit,
+                "posterior": result.posterior.copy()}
+
+
+def run_overhead(base_answers: int, workdir: str, rounds: int = 2):
+    """Store-attached vs store-less scenario runs (best of ``rounds``
+    per arm, interleaved so drift hits both arms alike)."""
+    batches = cohort_stream(base_answers)
+    plain_runs, store_runs = [], []
+    for i in range(rounds):
+        plain_runs.append(_run_scenario(batches, None))
+        path = os.path.join(workdir, f"overhead-{i}")
+        store_runs.append(_run_scenario(batches, StorePolicy(path=path)))
+    plain = min(plain_runs, key=lambda r: r["total"])
+    store = min(store_runs, key=lambda r: r["total"])
+    overhead = 100.0 * (store["total"] - plain["total"]) / plain["total"]
+    parity = float(np.abs(store["posterior"]
+                          - plain["posterior"]).max())
+    rows = [
+        [arm, f"{r['total']:.2f}s", f"{r['add']:.2f}s", f"{r['fit']:.2f}s"]
+        for arm, r in (("store-less", plain), ("write-through", store))
+    ]
+    checks = {"overhead_pct": overhead, "overhead_parity": parity}
+    payload = {
+        "plain_seconds": plain["total"], "store_seconds": store["total"],
+        "plain_ingest_seconds": plain["add"],
+        "store_ingest_seconds": store["add"],
+        **checks,
+    }
+    return rows, checks, payload
+
+
+# ----------------------------------------------------------------------
+# Kill-and-recover cycle
+# ----------------------------------------------------------------------
+
+def _writer_stream(base_answers: int) -> list[list[tuple]]:
+    """The writer's deterministic stream: the cohort base plus many
+    small growth batches (parent re-derives the identical records)."""
+    return cohort_stream(base_answers, steps=WRITER_STEPS,
+                         growth=WRITER_GROWTH)
+
+
+def writer_main(path: str, base_answers: int) -> int:
+    """Child-process mode: stream batches through a durable engine,
+    printing ``ACK <version>`` per committed batch and ``FIT <version>``
+    per refit, until the parent kills us."""
+    batches = _writer_stream(base_answers)
+    # Snapshot at every refit: recovery then resumes from the exact
+    # last fitted state, so the recovered posterior is path-identical
+    # to the uninterrupted run (delta refits are history-dependent on
+    # weakly-covered tasks; an aged snapshot would diverge there).
+    store = StorePolicy(path=path, snapshot_every=1)
+    with _engine(_policy(store)) as engine:
+        for chunk in _chunked(batches[0], BASE_CHUNKS):
+            engine.add_answers(chunk)
+            print(f"ACK {engine.stream.version}", flush=True)
+        engine.infer("D&S", tolerance=TOLERANCE, max_iter=MAX_ITER)
+        print(f"FIT {engine.stream.version}", flush=True)
+        for i, batch in enumerate(batches[1:]):
+            engine.add_answers(batch)
+            print(f"ACK {engine.stream.version}", flush=True)
+            if i % FIT_EVERY == FIT_EVERY - 1:
+                engine.infer("D&S", tolerance=TOLERANCE, max_iter=MAX_ITER)
+                print(f"FIT {engine.stream.version}", flush=True)
+    print("DONE", flush=True)
+    return 0
+
+
+def _spawn_writer(path: str, base_answers: int) -> subprocess.Popen:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    src = os.path.join(repo_root, "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    return subprocess.Popen(
+        [sys.executable, "-m", "benchmarks.bench_store",
+         "--writer", path, "--answers", str(base_answers)],
+        stdout=subprocess.PIPE, text=True, cwd=repo_root, env=env)
+
+
+def _batch_boundaries(batches) -> list[int]:
+    """Stream versions at which the writer acknowledges a batch."""
+    sizes = [len(c) for c in _chunked(batches[0], BASE_CHUNKS)]
+    sizes += [len(b) for b in batches[1:]]
+    return list(np.cumsum(sizes))
+
+
+def run_kill_cycle(base_answers: int, workdir: str):
+    """SIGKILL the writer mid-stream; recover; gate loss/warmth/parity."""
+    path = os.path.join(workdir, "killed-store")
+    proc = _spawn_writer(path, base_answers)
+    acked = fits = 0
+    try:
+        # Kill only after the second refit has committed a snapshot-aged
+        # fit AND at least one more batch was acknowledged past it, so
+        # recovery must replay a real log tail, not just load a snapshot.
+        while not (fits >= 2 and acked > 0):
+            line = proc.stdout.readline()
+            if not line or line.startswith("DONE"):
+                raise RuntimeError(
+                    f"writer finished before the kill point: {line!r}")
+            kind, version = line.split()
+            if kind == "FIT":
+                fits += 1
+                acked = 0
+            elif fits >= 2:
+                acked = int(version)
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=120)
+        proc.stdout.close()
+    if proc.returncode != -signal.SIGKILL:
+        raise RuntimeError(f"writer exited {proc.returncode}, not killed")
+
+    t = time.perf_counter()
+    recovered = InferenceEngine.recover(
+        path, policy=_policy(StorePolicy(path=path, snapshot_every=1)))
+    recover_seconds = time.perf_counter() - t
+    with recovered:
+        version = recovered.stream.version
+        boundaries = _batch_boundaries(_writer_stream(base_answers))
+        on_boundary = version in boundaries
+        lost = max(0, acked - version)
+
+        t = time.perf_counter()
+        warm = recovered.infer("D&S", tolerance=TOLERANCE,
+                               max_iter=MAX_ITER)
+        warm_seconds = time.perf_counter() - t
+        warm_mode = warm.fit_stats.mode
+        was_warm = recovered.last_fit_was_warm("D&S")
+        t = time.perf_counter()
+        recovered.infer("D&S", force_cold=True, tolerance=TOLERANCE,
+                        max_iter=MAX_ITER)
+        cold_seconds = time.perf_counter() - t
+
+        if on_boundary:
+            # The cadence-matched uninterrupted run: same records, same
+            # refit schedule as the writer managed before dying.
+            n_batches = boundaries.index(version) + 1
+            with _reference_run(base_answers, n_batches) as reference:
+                ref = reference.infer("D&S", tolerance=TOLERANCE,
+                                      max_iter=MAX_ITER)
+                parity = float(np.abs(warm.posterior - ref.posterior).max())
+                agreement = float((warm.truths == ref.truths).mean())
+        else:  # enforce() reports the broken atomicity
+            parity, agreement = float("inf"), 0.0
+
+    speedup = cold_seconds / warm_seconds
+    rows = [
+        ["acknowledged version at kill", f"{acked:,}"],
+        ["recovered version", f"{version:,}"],
+        ["lost acknowledged answers", f"{lost}"],
+        ["on a batch boundary", "yes" if on_boundary else "NO"],
+        ["recover() wall time", f"{recover_seconds:.2f}s"],
+        ["first refit", f"{warm_mode} ({'warm' if was_warm else 'COLD'})"],
+        ["warm refit", f"{warm_seconds * 1e3:.0f}ms"],
+        ["forced cold refit", f"{cold_seconds * 1e3:.0f}ms"],
+        ["warm speedup", f"{speedup:.2f}x"],
+        ["posterior parity vs uninterrupted", f"{parity:.1e}"],
+        ["truth agreement", f"{agreement:.4f}"],
+    ]
+    checks = {
+        "lost_acknowledged": lost,
+        "on_batch_boundary": on_boundary,
+        "warm_mode": warm_mode,
+        "warm_was_warm": was_warm,
+        "warm_speedup": speedup,
+        "recovery_parity": parity,
+        "truth_agreement": agreement,
+    }
+    payload = {
+        "acked_version": acked, "recovered_version": version,
+        "recover_seconds": recover_seconds,
+        "warm_seconds": warm_seconds, "cold_seconds": cold_seconds,
+        **checks,
+    }
+    return rows, checks, payload
+
+
+def _reference_run(base_answers: int, n_batches: int) -> InferenceEngine:
+    """Replay the writer's exact batches and refit cadence, store-less."""
+    batches = _writer_stream(base_answers)
+    all_batches = _chunked(batches[0], BASE_CHUNKS) + batches[1:]
+    engine = _engine(_policy())
+    for i, batch in enumerate(all_batches[:n_batches]):
+        engine.add_answers(batch)
+        if i == BASE_CHUNKS - 1:
+            engine.infer("D&S", tolerance=TOLERANCE, max_iter=MAX_ITER)
+        elif i >= BASE_CHUNKS and (i - BASE_CHUNKS) % FIT_EVERY == FIT_EVERY - 1:
+            engine.infer("D&S", tolerance=TOLERANCE, max_iter=MAX_ITER)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Gates / entry points
+# ----------------------------------------------------------------------
+
+def enforce(checks: dict) -> None:
+    assert checks["overhead_parity"] == 0.0, (
+        f"write-through perturbed the posterior by "
+        f"{checks['overhead_parity']:.2e}; the store must only observe"
+    )
+    assert checks["overhead_pct"] <= OVERHEAD_LIMIT_PCT, (
+        f"write-through overhead {checks['overhead_pct']:.2f}% > "
+        f"{OVERHEAD_LIMIT_PCT}%"
+    )
+    assert checks["lost_acknowledged"] == 0, (
+        f"recovery lost {checks['lost_acknowledged']} acknowledged answers"
+    )
+    assert checks["on_batch_boundary"], (
+        "recovered version is not a batch boundary; batch atomicity broke"
+    )
+    assert checks["warm_was_warm"] and checks["warm_mode"] == "delta", (
+        f"first post-recovery refit was "
+        f"{checks['warm_mode']!r} (warm={checks['warm_was_warm']}); "
+        f"expected a warm delta refit seeded from the snapshot"
+    )
+    assert checks["warm_speedup"] >= WARM_SPEEDUP_TARGET, (
+        f"warm recovery only {checks['warm_speedup']:.2f}x faster than a "
+        f"cold refit; target is {WARM_SPEEDUP_TARGET}x"
+    )
+    assert checks["recovery_parity"] <= RECOVERY_PARITY, (
+        f"recovered posterior differs from the uninterrupted run by "
+        f"{checks['recovery_parity']:.2e} > {RECOVERY_PARITY}"
+    )
+    assert checks["truth_agreement"] == 1.0, (
+        f"recovered truth labels disagree with the uninterrupted run "
+        f"({checks['truth_agreement']:.4f})"
+    )
+
+
+def run_benchmark(base_answers: int, json_path: str | None = None) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as workdir:
+        ov_rows, ov_checks, ov_payload = run_overhead(base_answers, workdir)
+        kc_rows, kc_checks, kc_payload = run_kill_cycle(base_answers,
+                                                        workdir)
+    checks = {**ov_checks, **kc_checks}
+    report = format_table(
+        ["arm", "total", "ingest", "fit"], ov_rows,
+        title=(f"Write-through overhead — cohort-arrival scenario, D&S, "
+               f"{N_SHARDS} shards, serial tier, {base_answers:,} base "
+               f"answers | overhead {checks['overhead_pct']:+.2f}% "
+               f"(limit {OVERHEAD_LIMIT_PCT:.0f}%), posterior parity "
+               f"{checks['overhead_parity']:.1e}"))
+    report += "\n\n" + format_table(
+        ["metric", "value"], kc_rows,
+        title=(f"SIGKILL mid-stream + recovery | zero acknowledged loss, "
+               f"warm refit >= {WARM_SPEEDUP_TARGET:.0f}x cold, parity "
+               f"<= {RECOVERY_PARITY:.0e}"))
+    save_report("store", report)
+    save_json("store", {"base_answers": base_answers, **ov_payload,
+                        **kc_payload}, json_path)
+    return checks
+
+
+def test_store(benchmark):
+    """CI entry point: smoke-sized gate through the report fixture."""
+    checks = benchmark.pedantic(
+        lambda: run_benchmark(SMOKE_BASE_ANSWERS),
+        rounds=1, iterations=1)
+    enforce(checks)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"CI-sized gate ({SMOKE_BASE_ANSWERS:,} base "
+                             f"answers)")
+    parser.add_argument("--answers", type=int, default=None,
+                        help=f"base answer count "
+                             f"(default {FULL_BASE_ANSWERS:,})")
+    parser.add_argument("--json", dest="json_path", default=None,
+                        metavar="PATH",
+                        help="write BENCH_store.json to PATH (a directory "
+                             "or exact file; default benchmarks/results/)")
+    parser.add_argument("--writer", default=None, metavar="STORE_PATH",
+                        help=argparse.SUPPRESS)  # internal child mode
+    args = parser.parse_args(argv)
+    base = args.answers or (SMOKE_BASE_ANSWERS if args.smoke
+                            else FULL_BASE_ANSWERS)
+    if args.writer:
+        return writer_main(args.writer, base)
+    checks = run_benchmark(base, args.json_path)
+    enforce(checks)
+    print("all store checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,7 @@ from .core import (
     FitStats,
     InferenceResult,
     MethodSpec,
+    StorePolicy,
     TaskType,
     TruthInferenceMethod,
     available_methods,
@@ -70,6 +71,7 @@ __all__ = [
     "InferenceResult",
     "MethodSpec",
     "ReproError",
+    "StorePolicy",
     "TaskType",
     "TruthInferenceMethod",
     "__version__",

@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro stream answers.csv --shards 8 --refit delta -v
     python -m repro stream --source stdin --task-type decision --method "D&S"
     python -m repro stream --source tcp:feed.example:9000 --task-type decision
+    python -m repro stream answers.csv --store runs/store1
+    python -m repro recover runs/store1 --method "D&S"
     python -m repro run --dataset D_Product --method D&S --scale 0.2
     python -m repro batch --datasets D_Product D_PosSent --workers 4
     python -m repro batch --methods D&S GLAD --shards 8 --executor process
@@ -25,8 +27,11 @@ warm-starting each refit from the previous one — the online-serving
 path.  ``--source stdin`` serves a *live* line-delimited stream; it
 requires ``--task-type`` (a declared
 :class:`~repro.engine.sources.TaskSchema`), which also lets a CSV run
-skip the pre-scan.  ``batch`` fans a (dataset × method) grid across a
-thread pool.
+skip the pre-scan.  ``--store PATH`` makes the stream *durable*: every
+acknowledged batch writes through to a WAL-mode answer log and fits
+snapshot periodically, so ``recover PATH`` resumes a killed stream warm
+(replay the tail, delta-refit) with zero lost acknowledged answers.
+``batch`` fans a (dataset × method) grid across a thread pool.
 
 How each fit executes is one :class:`~repro.core.policy.ExecutionPolicy`
 spelled identically on both commands: ``--shards``, ``--workers`` and
@@ -45,7 +50,12 @@ import sys
 import warnings
 
 from .core.answers import AnswerSet
-from .core.policy import EXECUTORS, ExecutionPolicy
+from .core.policy import (
+    DEFAULT_SNAPSHOT_EVERY,
+    EXECUTORS,
+    ExecutionPolicy,
+    StorePolicy,
+)
 from .core.registry import available_methods, create, methods_for_task_type
 from .core.tasktypes import TaskType
 from .datasets.paper import PAPER_DATASET_NAMES, all_paper_datasets, load_paper_dataset
@@ -201,6 +211,11 @@ def _execution_policy(args) -> ExecutionPolicy:
         extra["freeze_tol"] = args.freeze_tol
     if getattr(args, "verify_every", None) is not None:
         extra["verify_every"] = args.verify_every
+    if getattr(args, "store", None) is not None:
+        store_kwargs = {}
+        if getattr(args, "snapshot_every", None) is not None:
+            store_kwargs["snapshot_every"] = args.snapshot_every
+        extra["store"] = StorePolicy(path=args.store, **store_kwargs)
     return ExecutionPolicy(
         n_shards=args.shards,
         executor=args.executor,
@@ -250,6 +265,9 @@ def _open_stream_source(args):
 
     schema = (TaskSchema.declare(args.task_type)
               if args.task_type else None)
+    line_kwargs = {}
+    if getattr(args, "max_bad_lines", None) is not None:
+        line_kwargs["max_bad_lines"] = args.max_bad_lines
     if args.source == "stdin" or args.source.startswith("tcp:"):
         if args.answers:
             return None, (f"--source {args.source} conflicts with the "
@@ -258,7 +276,8 @@ def _open_stream_source(args):
             return None, (f"--source {args.source} requires --task-type: "
                           f"a live stream cannot be pre-scanned")
         if args.source == "stdin":
-            return LineAnswerSource(sys.stdin, schema, name="<stdin>"), None
+            return LineAnswerSource(sys.stdin, schema, name="<stdin>",
+                                    **line_kwargs), None
         # The ROADMAP's ~10-line TCP wrapper: connect and wrap the
         # socket's file object in the line source.
         import socket
@@ -272,7 +291,7 @@ def _open_stream_source(args):
         except OSError as exc:
             return None, f"cannot connect to {args.source}: {exc}"
         return LineAnswerSource(sock.makefile("r"), schema,
-                                name=args.source), None
+                                name=args.source, **line_kwargs), None
     if args.source != "csv":
         return None, (f"unknown --source {args.source!r}; expected csv, "
                       f"stdin or tcp:HOST:PORT")
@@ -284,11 +303,18 @@ def _open_stream_source(args):
 def _cmd_stream(args) -> int:
     from .engine import InferenceEngine
 
-    error = _require_minimums(("--shards", args.shards, 1),
-                              ("--workers", args.workers, 1),
-                              ("--chunk-size", args.chunk_size, 1))
+    specs = [("--shards", args.shards, 1),
+             ("--workers", args.workers, 1),
+             ("--chunk-size", args.chunk_size, 1)]
+    if args.snapshot_every is not None:
+        specs.append(("--snapshot-every", args.snapshot_every, 1))
+    if args.max_bad_lines is not None:
+        specs.append(("--max-bad-lines", args.max_bad_lines, 0))
+    error = _require_minimums(*specs)
     if error:
         return _complain(error)
+    if args.snapshot_every is not None and args.store is None:
+        return _complain("--snapshot-every requires --store")
     source, error = _open_stream_source(args)
     if error:
         return _complain(error)
@@ -299,14 +325,22 @@ def _cmd_stream(args) -> int:
     error = _require_applicable(args.method, schema.task_type)
     if error:
         return _complain(error)
+    from .exceptions import ReproError
+
     policy = _execution_policy(args)
-    with InferenceEngine(seed=args.seed, policy=policy,
-                         **schema.engine_kwargs()) as engine:
+    try:
+        engine = InferenceEngine(seed=args.seed, policy=policy,
+                                 **schema.engine_kwargs())
+    except (ValueError, ReproError) as exc:
+        return _complain(str(exc))
+    with engine:
         print(f"# streaming {args.source} answers in chunks of "
               f"{args.chunk_size} (method={args.method}, "
               f"task-type={schema.task_type.value})")
-        from .exceptions import ReproError
-
+        if args.store:
+            print(f"# durable store: {args.store} "
+                  f"(snapshot every "
+                  f"{policy.store.snapshot_every} answers)")
         total = 0
         try:
             for batch in source.batches(args.chunk_size):
@@ -326,6 +360,57 @@ def _cmd_stream(args) -> int:
             return _complain(str(exc))
         if total == 0:
             return _complain("no answers found")
+        truth = engine.current_truth(args.method)
+    print("task,inferred_truth")
+    for task_id, value in truth.items():
+        print(f"{task_id},{value}")
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    """Resume a killed ``stream --store`` run from its durable store.
+
+    Replays the committed answer log (nothing acknowledged is lost),
+    seeds the fit cache from the newest snapshot, refits — warm when
+    the snapshot's shard layout still matches — and prints the same
+    ``task,inferred_truth`` table ``stream`` ends with.  The resumed
+    engine keeps writing through to the same store, so a recovered run
+    can itself be recovered.
+    """
+    from .engine import InferenceEngine
+    from .exceptions import ReproError
+
+    specs = [("--shards", args.shards, 1),
+             ("--workers", args.workers, 1)]
+    if args.snapshot_every is not None:
+        specs.append(("--snapshot-every", args.snapshot_every, 1))
+    error = _require_minimums(*specs)
+    if error:
+        return _complain(error)
+    args.store = args.path  # _execution_policy spells StorePolicy from it
+    policy = _execution_policy(args)
+    try:
+        engine = InferenceEngine.recover(args.path, policy=policy)
+    except (ValueError, ReproError) as exc:
+        return _complain(str(exc))
+    with engine:
+        error = _require_applicable(args.method, engine.stream.task_type)
+        if error:
+            return _complain(error)
+        snapshot = engine.stream.snapshot()
+        print(f"# recovered {snapshot.n_answers} answers "
+              f"({snapshot.n_tasks} tasks, {snapshot.n_workers} "
+              f"workers) from {args.path}", file=sys.stderr)
+        try:
+            result = engine.infer(args.method)
+        except (ValueError, ReproError) as exc:
+            return _complain(str(exc))
+        warm = "warm" if result.extras.get("warm_started") else "cold"
+        print(f"# {warm} refit: {result.n_iterations} iterations, "
+              f"{result.elapsed_seconds * 1000:.1f} ms", file=sys.stderr)
+        if args.verbose and result.fit_stats is not None:
+            print(f"#   fit: {result.fit_stats.summary()}",
+                  file=sys.stderr)
         truth = engine.current_truth(args.method)
     print("task,inferred_truth")
     for task_id, value in truth.items():
@@ -497,11 +582,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--verify-every", type=int, default=None,
                           help="delta refits: full-verify cadence in EM "
                                "iterations")
+    p_stream.add_argument("--store", default=None, metavar="PATH",
+                          help="durable store directory: write every "
+                               "acknowledged batch through to a "
+                               "WAL-mode answer log and snapshot fits "
+                               "periodically; resume a killed run with "
+                               "`repro recover PATH`")
+    p_stream.add_argument("--snapshot-every", type=int, default=None,
+                          help="with --store: snapshot fitted state "
+                               "every N logged answers (default "
+                               f"{DEFAULT_SNAPSHOT_EVERY})")
+    p_stream.add_argument("--max-bad-lines", type=int, default=None,
+                          help="live line sources: skip and count up "
+                               "to N malformed lines before failing "
+                               "with the offending line number; 0 "
+                               "fails on the first (default 100)")
     p_stream.add_argument("-v", "--verbose", action="store_true",
                           help="print per-refit fit telemetry "
                                "(iterations, active/frozen shards, "
                                "EM-vs-overhead wall time)")
     _executor_flag(p_stream)
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="resume a killed `stream --store` run from its store")
+    p_recover.add_argument("path",
+                           help="store directory a previous "
+                                "`repro stream --store PATH` wrote")
+    p_recover.add_argument("--method", default="D&S")
+    p_recover.add_argument("--shards", type=int, default=1,
+                           help="task-range shards per refit (match "
+                                "the killed run's --shards to resume "
+                                "its snapshot layout warm)")
+    p_recover.add_argument("--workers", type=int, default=1,
+                           help="parallel width for sharded refits")
+    p_recover.add_argument("--refit", choices=["full", "delta"],
+                           default=None,
+                           help="warm-refit mode (match the killed "
+                                "run's --refit delta for a warm "
+                                "tail-only resume)")
+    p_recover.add_argument("--freeze-tol", type=float, default=None,
+                           help="delta refits: shard freeze/thaw "
+                                "tolerance")
+    p_recover.add_argument("--verify-every", type=int, default=None,
+                           help="delta refits: full-verify cadence in "
+                                "EM iterations")
+    p_recover.add_argument("--snapshot-every", type=int, default=None,
+                           help="snapshot cadence for the resumed "
+                                "engine (default "
+                                f"{DEFAULT_SNAPSHOT_EVERY})")
+    p_recover.add_argument("-v", "--verbose", action="store_true",
+                           help="print the recovery refit's telemetry")
+    _executor_flag(p_recover)
 
     p_batch = sub.add_parser(
         "batch", help="fan a (dataset x method) grid across workers")
@@ -542,6 +674,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "infer": _cmd_infer,
     "stream": _cmd_stream,
+    "recover": _cmd_recover,
     "batch": _cmd_batch,
     "plan-redundancy": _cmd_plan_redundancy,
 }

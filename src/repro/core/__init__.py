@@ -14,7 +14,7 @@ from .base import (
     TruthInferenceMethod,
 )
 from .framework import ConvergenceTracker
-from .policy import ExecutionPlan, ExecutionPolicy, MethodSpec
+from .policy import ExecutionPlan, ExecutionPolicy, MethodSpec, StorePolicy
 from .registry import (
     Capabilities,
     available_methods,
@@ -45,6 +45,7 @@ __all__ = [
     "MethodSpec",
     "NumericMethod",
     "ShardedAnswerSet",
+    "StorePolicy",
     "TaskType",
     "TruthInferenceMethod",
     "available_methods",

@@ -38,6 +38,7 @@ __all__ = [
     "ExecutionPlan",
     "ExecutionPolicy",
     "MethodSpec",
+    "StorePolicy",
     "warn_legacy",
 ]
 
@@ -132,6 +133,70 @@ def resolve_process_workers(n_shards: int,
     return max(1, min(int(workers), int(n_shards)))
 
 
+#: SQLite synchronous modes a :class:`StorePolicy` may name.
+STORE_SYNC_MODES = ("off", "normal", "full")
+
+#: Default log-sequence distance between fit snapshots.
+DEFAULT_SNAPSHOT_EVERY = 50_000
+
+
+@dataclasses.dataclass(frozen=True)
+class StorePolicy:
+    """Declarative durability: where and how a stream persists.
+
+    Parameters
+    ----------
+    path:
+        Store directory.  Created on first use; holds the WAL-mode
+        SQLite answer log (``answers.sqlite``) and the cold-shard
+        spill files (``spill/``).
+    snapshot_every:
+        Log-sequence distance between fit snapshots: after a fresh
+        fit, a snapshot is taken when at least this many log records
+        landed since the method's previous snapshot (the first fit
+        always snapshots).  Smaller means shorter replay tails on
+        recovery, at more write amplification.
+    snapshot_keep:
+        Snapshots retained per method (older ones are pruned).
+    spill_ttl:
+        Seconds a warm in-process shard may sit untouched before its
+        task-sorted arrays spill to memory-mapped files (paged back in
+        on demand).  ``None`` (default) disables spilling.
+    sync:
+        SQLite ``synchronous`` pragma: ``"normal"`` (default; survives
+        process kill, may lose the last transactions on OS/power
+        failure), ``"full"`` (survives power failure), or ``"off"``
+        (fastest; tests only).
+    """
+
+    path: str
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY
+    snapshot_keep: int = 2
+    spill_ttl: float | None = None
+    sync: str = "normal"
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("StorePolicy needs a store path")
+        if self.snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+        if self.snapshot_keep < 1:
+            raise ValueError(
+                f"snapshot_keep must be >= 1, got {self.snapshot_keep}"
+            )
+        if self.spill_ttl is not None and not self.spill_ttl >= 0:
+            raise ValueError(
+                f"spill_ttl must be >= 0, got {self.spill_ttl}"
+            )
+        if self.sync not in STORE_SYNC_MODES:
+            raise ValueError(
+                f"sync must be one of {STORE_SYNC_MODES}, "
+                f"got {self.sync!r}"
+            )
+
+
 @dataclasses.dataclass(frozen=True)
 class ExecutionPolicy:
     """Declarative "how to run": shards, executor tier, width, warmth.
@@ -177,6 +242,13 @@ class ExecutionPolicy:
         Delta refits only: frozen shards get a full verify E-step every
         this many EM iterations (and always once before convergence is
         declared).
+    store:
+        Optional :class:`StorePolicy` — when set, engines built on
+        this policy write every ingested batch through to the durable
+        answer log at ``store.path``, snapshot fit state periodically,
+        and (if ``store.spill_ttl`` is set) spill cold shards to
+        memory-mapped files.  ``None`` (default) keeps everything
+        in RAM, exactly as before.
 
     Examples
     --------
@@ -194,6 +266,7 @@ class ExecutionPolicy:
     refit: str = "full"
     freeze_tol: float | None = None
     verify_every: int = DEFAULT_VERIFY_EVERY
+    store: StorePolicy | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -225,6 +298,11 @@ class ExecutionPolicy:
         if self.verify_every < 1:
             raise ValueError(
                 f"verify_every must be >= 1, got {self.verify_every}"
+            )
+        if self.store is not None and not isinstance(self.store,
+                                                     StorePolicy):
+            raise ValueError(
+                f"store must be a StorePolicy or None, got {self.store!r}"
             )
 
     # ------------------------------------------------------------------

@@ -97,7 +97,12 @@ Example
 True
 """
 
-from ..core.policy import ExecutionPlan, ExecutionPolicy, MethodSpec
+from ..core.policy import (
+    ExecutionPlan,
+    ExecutionPolicy,
+    MethodSpec,
+    StorePolicy,
+)
 from .batch import BatchJob, BatchRunner
 from .engine import InferenceEngine
 from .runtime import (
@@ -134,6 +139,7 @@ __all__ = [
     "SerialShardSession",
     "ShardRuntime",
     "ShardedInferenceEngine",
+    "StorePolicy",
     "StreamingAnswerSet",
     "TaskSchema",
     "get_runtime_registry",

@@ -25,11 +25,17 @@ import dataclasses
 import itertools
 from typing import Iterable, Sequence
 
-from ..core.policy import ExecutionPolicy, MethodSpec, warn_legacy
+from ..core.policy import (
+    ExecutionPolicy,
+    MethodSpec,
+    StorePolicy,
+    warn_legacy,
+)
 from ..core.registry import capabilities, create
 from ..core.result import InferenceResult
 from ..core.tasktypes import TaskType
 from ..core.warmstart import pad_result_labels
+from ..exceptions import RecoveryError, StoreError
 from .stream import StreamingAnswerSet
 
 _UNSET = object()
@@ -154,6 +160,18 @@ class InferenceEngine:
         #: process runtime).
         self._sessions: dict = {}
         self._thread_pool = None
+        # Durability (ExecutionPolicy.store): the constructor kwargs
+        # are remembered verbatim — they are what the store's meta
+        # must reproduce for recovery to rebuild this exact engine.
+        self._init_n_choices = n_choices
+        self._init_label_order = (list(label_order)
+                                  if label_order is not None else None)
+        self._store = None
+        self._store_policy: StorePolicy | None = None
+        self._spill = None
+        self._snapshot_seqs: dict[str, int] = {}
+        if self.policy.store is not None:
+            self._open_store(self.policy.store)
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -163,8 +181,236 @@ class InferenceEngine:
         self.stream.add_answer(task, worker, value)
 
     def add_answers(self, records: Iterable[tuple]) -> int:
-        """Absorb a batch of triples; returns the number ingested."""
+        """Absorb a batch of triples; returns the number ingested.
+
+        With a durable store attached (``policy.store``), the batch is
+        acknowledged — this method returns — only after it is committed
+        to the write-ahead answer log; a crash after that point loses
+        nothing this method reported ingested.
+        """
         return self.stream.add_answers(records)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def store(self):
+        """The attached :class:`~repro.store.store.AnswerStore` (or None)."""
+        return self._store
+
+    def _open_store(self, store_policy: StorePolicy) -> None:
+        """Open a *fresh* write-through store (constructor path).
+
+        Writing through an existing non-empty log would interleave two
+        histories, so that is refused — resuming one is
+        :meth:`recover`'s job.
+        """
+        from ..store import AnswerStore
+
+        store = AnswerStore(store_policy.path, sync=store_policy.sync)
+        existing = len(store.log)
+        if existing:
+            store.close()
+            raise StoreError(
+                f"store at {store_policy.path} already holds {existing} "
+                f"answers; resume it with InferenceEngine.recover() "
+                f"instead of writing a new stream through it"
+            )
+        store.log.write_meta(self._store_meta())
+        self._bind_store(store, store_policy)
+
+    def _store_meta(self) -> dict:
+        from ..store.log import FORMAT_VERSION, encode_field
+
+        label_order = self._init_label_order
+        return {
+            "format": FORMAT_VERSION,
+            "task_type": self.stream.task_type.value,
+            "n_choices": self._init_n_choices,
+            "label_order": ([encode_field(label) for label in label_order]
+                            if label_order is not None else None),
+            "on_duplicate": self.stream.on_duplicate,
+            "seed": self.seed,
+        }
+
+    def _bind_store(self, store, store_policy: StorePolicy) -> None:
+        self._store = store
+        self._store_policy = store_policy
+        if store_policy.spill_ttl is not None:
+            from ..store import ShardSpill
+
+            self._spill = ShardSpill(store.spill_dir,
+                                     ttl=store_policy.spill_ttl)
+        self.stream.attach_log(store.log)
+
+    def _maybe_snapshot(self, method: str) -> None:
+        """Snapshot a fresh fit when it is due (see ``snapshot_every``)."""
+        cached = self._cache[method]
+        last = self._snapshot_seqs.get(method)
+        if last is None:
+            last = self._store.snapshots.latest_seq(method)
+        if last and cached.version - last < self._store_policy.snapshot_every:
+            return
+        self._store.snapshots.save(
+            method,
+            seq=cached.version,
+            replacements=cached.replacements,
+            payload={
+                "result": cached.result,
+                "method_kwargs": cached.method_kwargs,
+                "n_tasks": cached.n_tasks,
+                "n_workers": cached.n_workers,
+                "n_choices": cached.n_choices,
+            },
+            keep=self._store_policy.snapshot_keep,
+        )
+        self._snapshot_seqs[method] = cached.version
+
+    def spill_idle(self) -> int:
+        """Spill cold shards now (see ``StorePolicy.spill_ttl``);
+        returns how many spilled.  Also runs automatically after each
+        refit when spilling is enabled."""
+        return sum(session.spill_idle()
+                   for session in self._sessions.values())
+
+    @classmethod
+    def recover(cls, path: str, *, policy: ExecutionPolicy | None = None,
+                registry=None, replay_chunk: int = 65536
+                ) -> "InferenceEngine":
+        """Resume a persisted stream from the store at ``path`` — warm.
+
+        Rebuilds the engine from the store's meta (task type, label
+        order, duplicate policy, seed), replays every *committed* log
+        record into a fresh stream (a batch interrupted mid-commit by
+        a crash was never acknowledged and is invisible here), verifies
+        the replay bit-faithfully against the log's version and
+        replacement counters, then seeds the fit cache — and, for
+        delta-capable policies, the warm shard layout — from the newest
+        snapshots.  The first :meth:`infer` after recovery therefore
+        resumes from the last snapshot and refits only the replayed
+        tail (a delta refit when the shard cuts align), instead of
+        fitting the whole history cold.
+
+        ``policy`` defaults to plain serial fits; its ``store`` field,
+        if set, must point at ``path`` (it configures snapshot cadence
+        and spill for the resumed engine).
+        """
+        from ..store import AnswerStore
+        from ..store.log import decode_field
+
+        if policy is not None and policy.store is not None:
+            store_policy = policy.store
+            if store_policy.path != path:
+                raise ValueError(
+                    f"policy.store.path {store_policy.path!r} does not "
+                    f"match the recovery path {path!r}"
+                )
+        else:
+            store_policy = StorePolicy(path=path)
+        store = AnswerStore(path, sync=store_policy.sync)
+        try:
+            meta = store.log.read_meta()
+            if not meta:
+                raise RecoveryError(
+                    f"no answer store found at {path} (empty database)"
+                )
+            label_order = meta.get("label_order")
+            if label_order is not None:
+                label_order = [decode_field(label)
+                               for label in label_order]
+            base_policy = (policy if policy is not None
+                           else ExecutionPolicy(n_shards=1,
+                                                executor="serial"))
+            engine = cls(
+                task_type=TaskType(meta["task_type"]),
+                n_choices=meta.get("n_choices"),
+                label_order=label_order,
+                on_duplicate=meta.get("on_duplicate", "keep"),
+                seed=meta.get("seed", 0),
+                policy=dataclasses.replace(base_policy, store=None),
+                registry=registry,
+            )
+            # Replay with the log detached: replayed records must not
+            # be appended to the log again.
+            for chunk in store.log.replay(replay_chunk):
+                engine.stream.add_answers(chunk)
+            if engine.stream.version != store.log.last_seq:
+                raise RecoveryError(
+                    f"replay of {path} produced stream version "
+                    f"{engine.stream.version} but the log ends at seq "
+                    f"{store.log.last_seq}; the log is corrupt or was "
+                    f"written under a different stream configuration"
+                )
+            if engine.stream.replacements != store.log.replace_count:
+                raise RecoveryError(
+                    f"replay of {path} produced "
+                    f"{engine.stream.replacements} replacements but the "
+                    f"log recorded {store.log.replace_count}; duplicate "
+                    f"policy outcomes diverged — refusing to serve a "
+                    f"non-bit-faithful recovery"
+                )
+        except BaseException:
+            store.close()
+            raise
+        engine.policy = dataclasses.replace(base_policy,
+                                            store=store_policy)
+        engine._bind_store(store, store_policy)
+        engine._seed_from_snapshots()
+        return engine
+
+    def _seed_from_snapshots(self) -> None:
+        """Warm the fit cache (and shard sessions) from stored snapshots."""
+        snapshot = (self.stream.snapshot() if self.stream.n_answers
+                    else None)
+        for method in self._store.snapshots.methods():
+            row = self._store.snapshots.load_latest(
+                method, max_seq=self.stream.version)
+            if row is None:
+                continue
+            seq, replacements, payload = row
+            if replacements > self.stream.replacements:
+                continue  # ahead of the replayed stream: unusable
+            result = payload["result"]
+            self._cache[method] = _CachedFit(
+                version=seq,
+                replacements=replacements,
+                n_tasks=payload["n_tasks"],
+                n_workers=payload["n_workers"],
+                n_choices=payload["n_choices"],
+                method_kwargs=dict(payload["method_kwargs"]),
+                result=result,
+            )
+            self._snapshot_seqs[method] = seq
+            if (snapshot is not None
+                    and result.shard_state is not None
+                    and self.policy.refit == "delta"
+                    # Replacements in the replayed tail contradict the
+                    # snapshot; the warm gate will reject it anyway.
+                    and replacements == self.stream.replacements):
+                self._adopt_session(result.shard_state, snapshot)
+
+    def _adopt_session(self, state, snapshot) -> None:
+        """Seed the in-process shard session with a recovered
+        :class:`~repro.inference.sharded.ShardState`'s pinned cuts, so
+        the first post-recovery refit is a true delta refit."""
+        from .runtime import SerialShardSession
+
+        plan = self.policy.resolve(snapshot)
+        if (not plan.sharded or plan.mode == "process"
+                # The same demotions _delta_plan/_refresh would apply:
+                # adopt only a layout the next refit can actually use.
+                or plan.n_shards != state.n_shards
+                or state.task_cuts[-1] > snapshot.n_tasks
+                or snapshot.n_answers < state.n_answers
+                or snapshot.n_answers > 2 * max(state.base_answers, 1)):
+            return
+        session = self._sessions.get(plan.n_shards)
+        if session is None:
+            session = SerialShardSession(plan.n_shards, spill=self._spill)
+            self._sessions[plan.n_shards] = session
+        stream_key = ("stream", self._stream_token,
+                      self.stream.replacements)
+        session.adopt(snapshot, state, stream_key=stream_key)
 
     # ------------------------------------------------------------------
     # Inference
@@ -267,6 +513,10 @@ class InferenceEngine:
             method_kwargs=dict(method_kwargs),
             result=result,
         )
+        if self._store is not None:
+            self._maybe_snapshot(method)
+        if self._spill is not None:
+            self.spill_idle()
         return result
 
     def current_truth(self, method: str = "MV",
@@ -336,7 +586,7 @@ class InferenceEngine:
 
         session = self._sessions.get(plan.n_shards)
         if session is None:
-            session = SerialShardSession(plan.n_shards)
+            session = SerialShardSession(plan.n_shards, spill=self._spill)
             self._sessions[plan.n_shards] = session
         pool = None
         if plan.mode == "thread" and plan.max_workers > 1:
@@ -383,9 +633,10 @@ class InferenceEngine:
         return lease
 
     def close(self) -> None:
-        """Release the engine's shard runtime, warm sessions and thread
-        pool (idempotent).  Shared runtimes respawn lazily on the next
-        process-tier fit, so closing is always safe."""
+        """Release the engine's shard runtime, warm sessions, thread
+        pool and durable store (idempotent).  Shared runtimes respawn
+        lazily on the next process-tier fit, so closing is always
+        safe; the store reopens via :meth:`recover`."""
         if self._runtime is not None:
             self._runtime.close()
             self._runtime = None
@@ -393,6 +644,10 @@ class InferenceEngine:
         if self._thread_pool is not None:
             self._thread_pool[1].shutdown(wait=True)
             self._thread_pool = None
+        if self._store is not None:
+            self.stream.attach_log(None)
+            self._store.close()
+            self._store = None
 
     def __enter__(self) -> "InferenceEngine":
         return self

@@ -348,9 +348,14 @@ class SerialShardSession:
     stable task-sort would produce (prefix instances of a task precede
     tail instances in both), so session-backed fits match fresh-runner
     fits bit-for-bit at equal cuts.
+
+    With a :class:`~repro.store.spill.ShardSpill` attached, shards
+    that sat untouched past the spill TTL swap their resident arrays
+    for memory-mapped copies (:meth:`spill_idle`) and page back in on
+    demand; an extension re-materialises the shards it touches.
     """
 
-    def __init__(self, n_shards: int) -> None:
+    def __init__(self, n_shards: int, *, spill=None) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = int(n_shards)
@@ -365,6 +370,10 @@ class SerialShardSession:
         self._prefix_mark: tuple[int, int, int] = (0, -1, -1)
         #: (method-spec, sizes) -> retained EM spec, per method name.
         self._specs: dict[str, tuple] = {}
+        self._spill = spill
+        self._spill_tag = f"s{self.n_shards}"
+        self._spilled: set[int] = set()
+        self._touched: list[float] = []
         # Instrumentation mirroring ShardRuntime's counters.
         self.placements = 0
         self.extends = 0
@@ -382,20 +391,56 @@ class SerialShardSession:
                               int(answers.tasks[n - 1])) if n
                              else (0, -1, -1))
 
-    def _place(self, answers: AnswerSet) -> None:
-        sharded = ShardedAnswerSet(answers, self.n_shards)
+    def _adopt_arrays(self, sharded: ShardedAnswerSet,
+                      answers: AnswerSet) -> None:
         self._arrays = [(s.tasks, s.workers, s.values)
                         for s in sharded.shards]
         self._cuts = [sharded.shards[0].task_start] + [
             s.task_stop for s in sharded.shards]
         self._sizes = self._sizes_of(answers)
         self._length = answers.n_answers
-        self._base_length = answers.n_answers
-        self._epochs = 0
         self._specs.clear()
         self._remember_prefix(answers)
+        self._unspill_all()
+        self._touched = [time.monotonic()] * len(self._arrays)
+
+    def _place(self, answers: AnswerSet) -> None:
+        self._adopt_arrays(ShardedAnswerSet(answers, self.n_shards),
+                           answers)
+        self._base_length = answers.n_answers
+        self._epochs = 0
         self.placements += 1
         self.last_placement = "place"
+
+    def adopt(self, answers: AnswerSet, state, *,
+              stream_key=None) -> None:
+        """Seed the warm layout from a persisted
+        :class:`~repro.inference.sharded.ShardState` (recovery path).
+
+        Re-sorts the full replayed arrays once under the state's
+        *pinned* cuts — a stable task-sort of arrival order is unique,
+        so the resulting per-shard arrays are element-for-element what
+        the uninterrupted session held — and carries the state's
+        ``base_answers`` forward so the doubling/rebalance rule keeps
+        counting from the original placement.  After adopting, the
+        first refit over a matching cached fit is a true *delta* refit
+        (the cuts align), not a cold or full one.
+        """
+        cuts = state.extended_cuts(answers.n_tasks)
+        if len(cuts) - 1 != self.n_shards:
+            raise ValueError(
+                f"cannot adopt a {len(cuts) - 1}-shard state into a "
+                f"{self.n_shards}-shard session"
+            )
+        self._adopt_arrays(
+            ShardedAnswerSet(answers, self.n_shards, task_cuts=cuts),
+            answers)
+        self._base_length = max(int(state.base_answers), 1)
+        self._epochs = 1
+        self._stream_key = stream_key
+        self._answers_ref = weakref.ref(answers)
+        self.placements += 1
+        self.last_placement = "adopt"
 
     def _extend(self, answers: AnswerSet) -> None:
         old, new = self._length, answers.n_answers
@@ -433,6 +478,11 @@ class SerialShardSession:
             )
             for _, spec in self._specs.values():
                 spec.invalidate_shard(k)
+            # A shard receiving answers is hot again: the concatenation
+            # above already re-materialised it in RAM, so drop its
+            # spill files and refresh its touch time.
+            self._unspill(k)
+            self._touched[k] = time.monotonic()
         self._sizes = self._sizes_of(answers)
         self._length = new
         self._epochs += 1
@@ -505,6 +555,46 @@ class SerialShardSession:
             ))
         return SerialShardRunner(self._spec_for(instance, answers),
                                  shards, pool=pool)
+
+    # -- cold-shard spill ----------------------------------------------
+    @property
+    def spilled(self) -> set[int]:
+        """Indices of shards currently backed by spill files."""
+        return set(self._spilled)
+
+    def _unspill(self, k: int) -> None:
+        if k in self._spilled:
+            self._spilled.discard(k)
+            if self._spill is not None:
+                self._spill.discard(self._spill_tag, k)
+
+    def _unspill_all(self) -> None:
+        for k in list(self._spilled):
+            self._unspill(k)
+
+    def spill_idle(self, *, now: float | None = None,
+                   ttl: float | None = None) -> int:
+        """Spill shards untouched for ``ttl`` seconds; returns how many.
+
+        A spilled shard's arrays become read-only memory-maps of the
+        same bytes — every existing :class:`AnswerShard` view and the
+        next :meth:`runner` read them transparently, paged in on
+        demand.  No-op without an attached
+        :class:`~repro.store.spill.ShardSpill`.
+        """
+        if self._spill is None or self._arrays is None:
+            return 0
+        now = time.monotonic() if now is None else now
+        ttl = self._spill.ttl if ttl is None else ttl
+        count = 0
+        for k, arrays in enumerate(self._arrays):
+            if k in self._spilled or now - self._touched[k] < ttl:
+                continue
+            self._arrays[k] = self._spill.spill(self._spill_tag, k,
+                                                arrays)
+            self._spilled.add(k)
+            count += 1
+        return count
 
 
 # ----------------------------------------------------------------------
@@ -685,6 +775,30 @@ class ShardRuntime:
         path), so it must not re-acquire it.
         """
         self._teardown()
+
+    def close_at_exit(self) -> None:
+        """Best-effort close for interpreter shutdown.
+
+        A lease held when the interpreter exits will never be released
+        — the lease holder *is* the exiting main thread — so blocking
+        on the lease lock the way :meth:`close` does would deadlock the
+        shutdown.  Steal the teardown instead: non-daemon threads are
+        already joined and ``concurrent.futures``' own exit hook (which
+        runs *before* atexit hooks, via ``threading._register_atexit``)
+        has already wound down executor plumbing, so no phase can be
+        in flight on this runtime.  Tearing down here — pools first,
+        segments after — keeps the worker-side SharedMemory finalizers
+        ahead of the master-side unlink, exactly like a normal close,
+        so a shutdown-while-leased exits warning-free.
+        """
+        locked = self._lock.acquire(blocking=False)
+        try:
+            if not self._closed:
+                self._teardown()
+                self._closed = True
+        finally:
+            if locked:
+                self._lock.release()
 
     def _teardown(self) -> None:
         for pool in self._pools:
@@ -1098,10 +1212,22 @@ class RuntimeRegistry:
             return before - len(self._runtimes)
 
     def close_all(self) -> None:
-        """Close every runtime (used by tests and the atexit hook)."""
+        """Close every runtime (used by tests and explicit shutdown)."""
         with self._lock:
             for runtime in self._runtimes.values():
                 runtime.close()
+            self._runtimes.clear()
+
+    def _close_all_at_exit(self) -> None:
+        """The atexit variant of :meth:`close_all`.
+
+        Must not block on lease locks: a lease still held at
+        interpreter exit belongs to the exiting main thread and will
+        never be released (see :meth:`ShardRuntime.close_at_exit`).
+        """
+        with self._lock:
+            for runtime in self._runtimes.values():
+                runtime.close_at_exit()
             self._runtimes.clear()
 
     def __len__(self) -> int:
@@ -1118,5 +1244,5 @@ def get_runtime_registry() -> RuntimeRegistry:
     with _default_registry_lock:
         if _default_registry is None:
             _default_registry = RuntimeRegistry()
-            atexit.register(_default_registry.close_all)
+            atexit.register(_default_registry._close_all_at_exit)
         return _default_registry

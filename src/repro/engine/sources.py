@@ -34,6 +34,7 @@ import dataclasses
 from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from ..core.tasktypes import TaskType
+from ..exceptions import AnswerSourceError
 
 __all__ = [
     "AnswerSource",
@@ -116,7 +117,18 @@ def infer_schema(records: Sequence[tuple]) -> TaskSchema:
     labels mean decision-making, more mean single-choice; the sorted
     label set becomes the fixed label order (which keeps label codes —
     and therefore printed output — deterministic).
+
+    Zero records imply nothing: raises
+    :class:`~repro.exceptions.AnswerSourceError` instead of minting a
+    degenerate zero-label schema that only fails later, far from the
+    empty input that caused it.
     """
+    if not records:
+        raise AnswerSourceError(
+            "cannot infer a schema from zero answer records; the input "
+            "is empty (or header-only) — declare a schema instead "
+            "(e.g. --task-type on the CLI)"
+        )
     labels = sorted({str(value) for _, _, value in records})
     task_type = (TaskType.DECISION_MAKING if len(labels) == 2
                  else TaskType.SINGLE_CHOICE)
@@ -154,7 +166,7 @@ def _batched(records: Iterable[tuple],
 
 def _parse_row(row: list, where: str) -> tuple:
     if len(row) < 3:
-        raise ValueError(
+        raise AnswerSourceError(
             f"{where}: malformed row {row!r} (expected task,worker,answer)"
         )
     return (row[0].strip(), row[1].strip(), row[2].strip())
@@ -217,6 +229,12 @@ class CsvAnswerSource:
             # from memory instead of parsing the file a second time
             # (which would also race any concurrent appends).
             self._scanned = self._read_all()
+            if not self._scanned:
+                raise AnswerSourceError(
+                    f"{self.path}: no answer rows found (empty or "
+                    f"header-only CSV); cannot infer a schema — declare "
+                    f"one (e.g. --task-type) or supply data"
+                )
             self._schema = infer_schema(self._scanned)
         return self._schema
 
@@ -227,7 +245,13 @@ class CsvAnswerSource:
         if self._scanned is not None:
             yield from _batched(self._scanned, chunk_size)
             return
-        with open(self.path, newline="") as handle:
+        try:
+            handle = open(self.path, newline="")
+        except OSError as exc:
+            raise AnswerSourceError(
+                f"cannot read answers from {self.path}: {exc}"
+            ) from exc
+        with handle:
             yield from _batched(
                 (_parse_row(row, f"{self.path}:{number}")
                  for number, row in enumerate(csv.reader(handle), start=1)
@@ -245,18 +269,39 @@ class LineAnswerSource:
     ends), so inference starts while the producer is still writing.
     Because the input cannot be rewound, the schema **must** be
     declared up front.
+
+    A malformed line from a live peer must not kill the whole stream
+    (one garbled TCP write would take down every task already being
+    inferred), so bad lines are *skipped and counted*: each one bumps
+    :attr:`bad_lines`, and only when the count exceeds
+    ``max_bad_lines`` does the source raise
+    :class:`~repro.exceptions.AnswerSourceError` — with the line
+    number and content of the offending row.  ``max_bad_lines=0``
+    restores the strict historical behaviour (first bad line is
+    fatal); blank lines are ignored outright, as before.
     """
 
+    #: Default malformed-line budget before the stream is abandoned.
+    DEFAULT_MAX_BAD_LINES = 100
+
     def __init__(self, stream, schema: TaskSchema,
-                 name: str = "<stream>") -> None:
+                 name: str = "<stream>",
+                 max_bad_lines: int = DEFAULT_MAX_BAD_LINES) -> None:
         if schema is None:
             raise ValueError(
                 "a live stream cannot be pre-scanned; declare a "
                 "TaskSchema (e.g. --task-type on the CLI)"
             )
+        if max_bad_lines < 0:
+            raise ValueError(
+                f"max_bad_lines must be >= 0, got {max_bad_lines}"
+            )
         self._stream = stream
         self._schema = schema
         self.name = name
+        self.max_bad_lines = int(max_bad_lines)
+        #: Malformed lines skipped so far (for post-stream reporting).
+        self.bad_lines = 0
 
     @property
     def schema(self) -> TaskSchema:
@@ -266,7 +311,16 @@ class LineAnswerSource:
         for number, row in enumerate(csv.reader(self._stream), start=1):
             if _is_header(row):
                 continue
-            yield _parse_row(row, f"{self.name}:{number}")
+            try:
+                yield _parse_row(row, f"{self.name}:{number}")
+            except AnswerSourceError as exc:
+                self.bad_lines += 1
+                if self.bad_lines > self.max_bad_lines:
+                    raise AnswerSourceError(
+                        f"{self.name}: {self.bad_lines} malformed lines "
+                        f"exceed max_bad_lines={self.max_bad_lines}; "
+                        f"last offender at line {number}: {exc}"
+                    ) from exc
 
     def batches(self, chunk_size: int) -> Iterator[list[tuple]]:
         return _batched(self._records(), chunk_size)

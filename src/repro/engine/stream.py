@@ -112,6 +112,7 @@ class StreamingAnswerSet:
         self._version = 0
         self._replacements = 0
         self._snapshot_cache: tuple[int, AnswerSet] | None = None
+        self._log = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -125,6 +126,19 @@ class StreamingAnswerSet:
         """
         self.add_answers([(task, worker, value)])
 
+    def attach_log(self, log) -> None:
+        """Write every *subsequent* batch through to a durable log.
+
+        ``log`` is an :class:`~repro.store.log.AnswerLog` (anything
+        with its ``append_batch`` signature works).  Acknowledgement
+        becomes transactional across memory and log: a batch whose log
+        commit fails is rolled back in memory too, so callers never see
+        a batch that is applied in one place but not the other.
+        ``attach_log(None)`` detaches (recovery replays with the log
+        detached so replayed records are not re-appended).
+        """
+        self._log = log
+
     def add_answers(self, records: Iterable[tuple]) -> int:
         """Absorb a batch of triples atomically; returns the count.
 
@@ -132,21 +146,39 @@ class StreamingAnswerSet:
         duplicate under ``on_duplicate="error"``, non-finite numeric)
         the stream is rolled back to its state before the call and the
         error re-raised, so callers never observe a half-applied batch.
+        With a log attached (:meth:`attach_log`), the batch is also
+        written through — and durably committed — before this method
+        returns; a failed commit rolls the in-memory batch back and
+        re-raises, keeping memory and log in lockstep.
         """
         mark = (len(self._tasks), self._version, self._replacements,
                 len(self._task_index), len(self._worker_index),
                 len(self._label_index))
         overwritten: list[tuple[int, object]] = []
+        log = self._log
+        applied: list[tuple] | None = [] if log is not None else None
+        outcomes: list[int] | None = [] if log is not None else None
         count = 0
         try:
             for task, worker, value in records:
                 replaced = self._ingest(task, worker, value)
                 if replaced is not None:
                     overwritten.append(replaced)
+                if applied is not None:
+                    applied.append((task, worker, value))
+                    outcomes.append(1 if replaced is not None else 0)
                 count += 1
         except Exception:
             self._rollback(mark, overwritten)
             raise
+        if log is not None and count:
+            try:
+                log.append_batch(applied, outcomes,
+                                 version=self._version,
+                                 replacements=self._replacements)
+            except Exception:
+                self._rollback(mark, overwritten)
+                raise
         return count
 
     def _ingest(self, task, worker, value) -> tuple[int, object] | None:

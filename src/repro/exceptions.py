@@ -30,5 +30,30 @@ class DatasetError(ReproError):
     """Raised when a dataset cannot be built, loaded, or validated."""
 
 
+class AnswerSourceError(ReproError, ValueError):
+    """Raised when an answer source cannot produce records.
+
+    Covers unreadable/empty/header-only inputs and streams whose
+    malformed-line budget is exhausted.  Messages name the file (or
+    stream) and, where applicable, the offending row.  Also a
+    :class:`ValueError` so call sites that predate the dedicated type
+    keep catching it.
+    """
+
+
+class StoreError(ReproError):
+    """Raised when the durable answer store cannot be opened or written."""
+
+
+class RecoveryError(StoreError):
+    """Raised when a store cannot be replayed into a consistent engine.
+
+    Recovery is *verified*: after replay the stream's version and
+    replacement counters must match the log's record of them, so a
+    corrupted or policy-mismatched log fails loudly instead of serving
+    silently divergent truth.
+    """
+
+
 class UnknownMethodError(ReproError, KeyError):
     """Raised when the registry is asked for a method name it doesn't know."""

@@ -1,0 +1,32 @@
+"""Durability tier under the streaming engine.
+
+Three cooperating pieces, one store directory:
+
+* :class:`~repro.store.log.AnswerLog` — an append-only WAL-mode SQLite
+  log every acknowledged ``add_answers`` batch writes through to, with
+  per-record duplicate-policy outcomes so replay is verifiably
+  bit-faithful;
+* :class:`~repro.store.snapshots.SnapshotStore` — periodic fit-state
+  snapshots keyed by log sequence number, so recovery resumes *warm*
+  (replay the tail, then a delta refit) instead of refitting cold;
+* :class:`~repro.store.spill.ShardSpill` — cold-shard arrays spilled
+  to memory-mapped files past an idle TTL, paged back in on demand.
+
+Engines opt in through
+:class:`~repro.core.policy.StorePolicy` (``ExecutionPolicy(store=...)``)
+and resume with :meth:`~repro.engine.engine.InferenceEngine.recover`.
+"""
+
+from .log import AnswerLog, decode_field, encode_field
+from .snapshots import SnapshotStore
+from .spill import ShardSpill
+from .store import AnswerStore
+
+__all__ = [
+    "AnswerLog",
+    "AnswerStore",
+    "ShardSpill",
+    "SnapshotStore",
+    "decode_field",
+    "encode_field",
+]

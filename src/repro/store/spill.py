@@ -1,0 +1,66 @@
+"""Cold-shard spill: idle task-sorted arrays as memory-mapped files.
+
+The warm in-process shard layout
+(:class:`~repro.engine.runtime.SerialShardSession`) keeps every shard's
+task-sorted ``(tasks, workers, values)`` arrays resident — a second
+copy of the whole stream.  With a :class:`ShardSpill` attached, shards
+that sat untouched past a TTL write those arrays to ``.npy`` files and
+swap the resident copies for ``numpy`` memory-maps of the same data:
+byte-for-byte the same arrays, but backed by the page cache instead of
+anonymous memory, so the OS reclaims them under pressure and pages them
+back in on demand.  Everything downstream — the
+:class:`~repro.core.shards.AnswerShard` views, the per-shard EM
+operators — reads the mapped arrays transparently; a spilled shard
+that later receives new answers is concatenated back into a resident
+array (it is hot again) and its spill files dropped.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["ShardSpill"]
+
+#: Default idle TTL (seconds) when a policy enables spilling without
+#: choosing one.
+DEFAULT_SPILL_TTL = 300.0
+
+_FIELDS = ("tasks", "workers", "values")
+
+
+class ShardSpill:
+    """Writes shard arrays under ``directory`` and maps them back."""
+
+    def __init__(self, directory: str,
+                 ttl: float = DEFAULT_SPILL_TTL) -> None:
+        self.directory = directory
+        self.ttl = float(ttl)
+        #: Spill/restore counters (tests and benchmarks).
+        self.spills = 0
+        self.restores = 0
+
+    def _path(self, tag: str, index: int, field: str) -> str:
+        return os.path.join(self.directory,
+                            f"{tag}-shard{index:04d}-{field}.npy")
+
+    def spill(self, tag: str, index: int, arrays: tuple) -> tuple:
+        """Persist one shard's arrays; returns read-only mmap views."""
+        os.makedirs(self.directory, exist_ok=True)
+        views = []
+        for field, array in zip(_FIELDS, arrays):
+            path = self._path(tag, index, field)
+            np.save(path, np.ascontiguousarray(array))
+            views.append(np.load(path, mmap_mode="r"))
+        self.spills += 1
+        return tuple(views)
+
+    def discard(self, tag: str, index: int) -> None:
+        """Drop one shard's spill files (it went hot again)."""
+        for field in _FIELDS:
+            try:
+                os.unlink(self._path(tag, index, field))
+            except OSError:
+                pass
+        self.restores += 1

@@ -1,0 +1,89 @@
+"""The durable answer store: one directory, one SQLite database.
+
+:class:`AnswerStore` owns the store directory and the WAL-mode SQLite
+connection shared by the :class:`~repro.store.log.AnswerLog` (answer
+records + meta) and the :class:`~repro.store.snapshots.SnapshotStore`
+(fit state).  The layout is::
+
+    <path>/
+        answers.sqlite      # log + meta + snapshots (WAL mode)
+        answers.sqlite-wal  # SQLite write-ahead log
+        spill/              # cold-shard .npy spill files
+
+The pragmas follow the standard durable-ingest recipe:
+``journal_mode=WAL`` (readers never block the writer, committed
+transactions survive ``kill -9``), ``synchronous`` per the store
+policy, and a generous ``busy_timeout`` so a recovering reader and a
+draining writer can briefly overlap.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+from ..exceptions import StoreError
+from .log import FORMAT_VERSION, AnswerLog
+from .snapshots import SnapshotStore
+
+__all__ = ["AnswerStore"]
+
+DB_FILENAME = "answers.sqlite"
+SPILL_DIRNAME = "spill"
+
+_SYNC_PRAGMAS = {"off": "OFF", "normal": "NORMAL", "full": "FULL"}
+
+
+class AnswerStore:
+    """Open (creating if needed) the store at ``path``."""
+
+    def __init__(self, path: str, *, sync: str = "normal") -> None:
+        if sync not in _SYNC_PRAGMAS:
+            raise StoreError(
+                f"sync must be one of {sorted(_SYNC_PRAGMAS)}, "
+                f"got {sync!r}"
+            )
+        self.path = path
+        self.db_path = os.path.join(path, DB_FILENAME)
+        self.spill_dir = os.path.join(path, SPILL_DIRNAME)
+        try:
+            os.makedirs(path, exist_ok=True)
+            # check_same_thread=False: batches may be acknowledged from
+            # a feeding thread while snapshots land from the fitting
+            # one; the engine serialises actual use.
+            self._conn = sqlite3.connect(self.db_path,
+                                         check_same_thread=False)
+        except (OSError, sqlite3.Error) as exc:
+            raise StoreError(
+                f"cannot open answer store at {path}: {exc}"
+            ) from exc
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(f"PRAGMA synchronous={_SYNC_PRAGMAS[sync]}")
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self.log = AnswerLog(self._conn)
+        self.snapshots = SnapshotStore(self._conn)
+        stored = self.log.read_meta().get("format")
+        if stored is not None and stored != FORMAT_VERSION:
+            raise StoreError(
+                f"{self.db_path} has store format {stored}, "
+                f"this build reads format {FORMAT_VERSION}"
+            )
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        return self._conn
+
+    def close(self) -> None:
+        """Close the database connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "AnswerStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"AnswerStore({self.path!r})"

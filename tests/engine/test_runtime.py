@@ -355,6 +355,25 @@ with ProcessShardRunner(answers, "D&S", {"seed": 0}, n_shards=2,
 print("OK")
 """
 
+_LEASED_EXIT_SCRIPT = """
+import numpy as np
+from repro.core.answers import AnswerSet
+from repro.core.tasktypes import TaskType
+from repro.engine.runtime import get_runtime_registry
+
+rng = np.random.default_rng(0)
+answers = AnswerSet(rng.integers(0, 30, 200), rng.integers(0, 6, 200),
+                    rng.integers(0, 2, 200), TaskType.DECISION_MAKING,
+                    n_tasks=30, n_workers=6)
+registry = get_runtime_registry()
+runtime, lease = registry.lease(2, None, answers, "D&S", {"seed": 0})
+lease.call("init_block")
+print("OK")
+# Exit WITHOUT closing the lease: the process-wide atexit hook must
+# tear the runtime down even though the lease lock is still held by
+# this (the exiting) thread.
+"""
+
 
 class TestWorkerShutdown:
     def test_shutdown_is_warning_free(self):
@@ -365,6 +384,22 @@ class TestWorkerShutdown:
             [sys.executable, "-W", "error::UserWarning", "-c",
              _SHUTDOWN_SCRIPT],
             capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+        assert "leaked" not in proc.stderr
+        assert "Traceback" not in proc.stderr
+        assert "Exception ignored" not in proc.stderr
+
+    def test_exit_while_leased_is_warning_free(self):
+        """Regression: exiting with a live lease used to deadlock the
+        registry's atexit hook — ``close_all`` blocked forever on the
+        lease lock the exiting main thread itself held.  The atexit
+        path now steals teardown (workers are already done by then:
+        concurrent.futures joins them before atexit hooks run)."""
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::UserWarning", "-c",
+             _LEASED_EXIT_SCRIPT],
+            capture_output=True, text=True, timeout=120)
         assert proc.returncode == 0, proc.stderr
         assert "OK" in proc.stdout
         assert "leaked" not in proc.stderr

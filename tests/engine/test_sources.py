@@ -158,3 +158,118 @@ class TestLineSource:
         stream = io.StringIO("task,worker,answer\nt1,w1,yes\nt1,w2,yes\n")
         source = LineAnswerSource(stream, TaskSchema.declare("decision"))
         assert sum(len(b) for b in source.batches(10)) == 2
+
+
+class TestBadLineTolerance:
+    """Live-stream malformed lines are skipped and counted, not fatal."""
+
+    def test_skips_and_counts_bad_lines(self):
+        stream = io.StringIO("t1,w1,1\nt2,w2\nGARBAGE\nt2,w1,0\n")
+        source = LineAnswerSource(stream, TaskSchema.declare("decision"))
+        records = [r for batch in source.batches(2) for r in batch]
+        assert [r[0] for r in records] == ["t1", "t2"]
+        assert source.bad_lines == 2
+
+    def test_budget_zero_restores_strict_behaviour(self):
+        stream = io.StringIO("t1,w1,1\nt2,w2\nt2,w1,0\n")
+        source = LineAnswerSource(stream, TaskSchema.declare("decision"),
+                                  name="<test>", max_bad_lines=0)
+        with pytest.raises(ValueError, match="<test>.*line 2"):
+            list(source.batches(10))
+
+    def test_exceeding_budget_names_last_offender(self):
+        rows = "t1,w1,1\n" + "broken\n" * 3
+        source = LineAnswerSource(io.StringIO(rows),
+                                  TaskSchema.declare("decision"),
+                                  name="tcp:feed:9000", max_bad_lines=2)
+        with pytest.raises(ValueError) as excinfo:
+            list(source.batches(10))
+        message = str(excinfo.value)
+        assert "tcp:feed:9000" in message
+        assert "max_bad_lines=2" in message
+        assert "line 4" in message
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_bad_lines"):
+            LineAnswerSource(io.StringIO(""),
+                             TaskSchema.declare("decision"),
+                             max_bad_lines=-1)
+
+    def test_socket_peer_with_garbled_line(self):
+        """Regression: one garbled write from a live socket peer used to
+        kill the whole stream mid-batch.  The source must keep serving
+        the well-formed tail and report the skip count."""
+        import socket
+        import threading
+
+        server, client = socket.socketpair()
+        payload = b"t1,w1,1\nt2,w2\nGARBAGE\nt2,w1,0\nt3,w2,1\n"
+
+        def produce():
+            client.sendall(payload)
+            client.close()
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        reader = server.makefile("r")
+        try:
+            source = LineAnswerSource(reader,
+                                      TaskSchema.declare("decision"),
+                                      name="tcp:peer")
+            batches = list(source.batches(2))
+        finally:
+            thread.join()
+            reader.close()
+            server.close()
+        records = [r for batch in batches for r in batch]
+        assert [r[0] for r in records] == ["t1", "t2", "t3"]
+        assert source.bad_lines == 2
+        engine = InferenceEngine(**source.schema.engine_kwargs())
+        engine.add_answers(records)
+        assert set(engine.current_truth("MV")) == {"t1", "t2", "t3"}
+
+
+class TestSourceErrorPaths:
+    """Empty/missing inputs fail as repro errors naming the file."""
+
+    def test_infer_schema_rejects_zero_records(self):
+        from repro.exceptions import AnswerSourceError
+
+        with pytest.raises(AnswerSourceError, match="zero answer"):
+            infer_schema([])
+
+    def test_empty_csv_schema_names_path(self, tmp_path):
+        from repro.exceptions import AnswerSourceError
+
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(AnswerSourceError) as excinfo:
+            CsvAnswerSource(str(path)).schema
+        assert str(path) in str(excinfo.value)
+        assert "header-only" in str(excinfo.value)
+
+    def test_header_only_csv_schema_names_path(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("task,worker,answer\n")
+        # Legacy callers catch ValueError; the new error must stay one.
+        with pytest.raises(ValueError, match="cannot infer a schema"):
+            CsvAnswerSource(str(path)).schema
+
+    def test_missing_file_names_path(self, tmp_path):
+        from repro.exceptions import AnswerSourceError
+
+        path = tmp_path / "nope.csv"
+        with pytest.raises(AnswerSourceError,
+                           match="cannot read answers"):
+            list(CsvAnswerSource(str(path)).batches(10))
+
+    def test_malformed_row_error_is_a_repro_error(self, tmp_path):
+        from repro.exceptions import AnswerSourceError, ReproError
+
+        path = tmp_path / "bad.csv"
+        path.write_text("t1,w1,yes\nt2,w2\n")
+        with pytest.raises(AnswerSourceError) as excinfo:
+            list(CsvAnswerSource(str(path)).batches(10))
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value, ValueError)
+        assert f"{path}:2" in str(excinfo.value)

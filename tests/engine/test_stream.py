@@ -232,6 +232,100 @@ class TestDuplicates:
         stream.add_answer("t3", "w2", 1)  # plain append: no bump
         assert stream.replacements == 1
 
+    def test_batch_rollback_pins_replacement_counter(self):
+        """A failed batch that overwrote in place before dying must
+        restore ``replacements`` to its pre-batch value exactly.
+
+        The engine's warm gate and the durable log's replay check both
+        key on this counter; a drifted counter after rollback would
+        poison every later warm fit (or fail recovery verification)."""
+        stream = StreamingAnswerSet(TaskType.SINGLE_CHOICE,
+                                    label_order=["a", "b"],
+                                    on_duplicate="replace")
+        stream.add_answers([("t1", "w1", "a"), ("t2", "w1", "b")])
+        stream.add_answer("t1", "w1", "b")  # acknowledged overwrite
+        assert stream.replacements == 1
+        before = stream.snapshot()
+        version = stream.version
+        with pytest.raises(InvalidAnswerSetError):
+            # Two more overwrites land mid-batch, then an unknown label
+            # aborts: neither landed overwrite may tick the counter.
+            stream.add_answers([("t1", "w1", "a"), ("t2", "w1", "a"),
+                                ("t3", "w9", "NOPE")])
+        assert stream.replacements == 1
+        assert stream.version == version
+        _assert_same_answer_set(stream.snapshot(), before)
+
+
+class _RecordingLog:
+    """An ``append_batch`` duck type that remembers every commit."""
+
+    def __init__(self, fail: bool = False):
+        self.batches: list[dict] = []
+        self.fail = fail
+
+    def append_batch(self, records, outcomes, *, version,
+                     replacements=None):
+        if self.fail:
+            raise OSError("disk full")
+        self.batches.append({
+            "records": list(records), "outcomes": list(outcomes),
+            "version": version, "replacements": replacements,
+        })
+
+
+class TestWriteThrough:
+    def test_each_batch_commits_once_with_outcomes(self):
+        stream = StreamingAnswerSet(TaskType.DECISION_MAKING,
+                                    label_order=[0, 1],
+                                    on_duplicate="replace")
+        log = _RecordingLog()
+        stream.attach_log(log)
+        stream.add_answers([("t1", "w1", 1), ("t2", "w1", 0)])
+        stream.add_answers([("t1", "w1", 0), ("t3", "w2", 1)])
+        assert len(log.batches) == 2
+        first, second = log.batches
+        assert first["records"] == [("t1", "w1", 1), ("t2", "w1", 0)]
+        assert first["outcomes"] == [0, 0]
+        assert first["version"] == 2
+        assert second["outcomes"] == [1, 0]  # the in-place replacement
+        assert second["version"] == stream.version
+        assert second["replacements"] == 1
+
+    def test_failed_commit_rolls_back_memory(self):
+        """A batch whose log write fails is invisible in memory too —
+        acknowledgement is transactional across both."""
+        stream = StreamingAnswerSet(TaskType.DECISION_MAKING,
+                                    label_order=[0, 1])
+        stream.add_answers([("t1", "w1", 1)])
+        before = stream.snapshot()
+        version = stream.version
+        stream.attach_log(_RecordingLog(fail=True))
+        with pytest.raises(OSError, match="disk full"):
+            stream.add_answers([("t2", "w2", 0), ("t3", "w1", 1)])
+        assert stream.version == version
+        assert stream.n_answers == 1
+        _assert_same_answer_set(stream.snapshot(), before)
+
+    def test_detach_stops_writing(self):
+        stream = StreamingAnswerSet(TaskType.DECISION_MAKING,
+                                    label_order=[0, 1])
+        log = _RecordingLog()
+        stream.attach_log(log)
+        stream.add_answers([("t1", "w1", 1)])
+        stream.attach_log(None)
+        stream.add_answers([("t2", "w1", 0)])
+        assert len(log.batches) == 1
+
+    def test_rejected_batch_never_reaches_the_log(self):
+        stream = StreamingAnswerSet(TaskType.SINGLE_CHOICE,
+                                    label_order=["a", "b"])
+        log = _RecordingLog()
+        stream.attach_log(log)
+        with pytest.raises(InvalidAnswerSetError):
+            stream.add_answers([("t1", "w1", "a"), ("t2", "w1", "BAD")])
+        assert log.batches == []
+
 
 class TestEdgeCases:
     def test_empty_snapshot(self):

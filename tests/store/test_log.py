@@ -1,0 +1,134 @@
+"""AnswerLog: type-tagged field codec + append/replay round trips."""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store import AnswerLog, decode_field, encode_field
+
+
+@pytest.fixture
+def log():
+    return AnswerLog(sqlite3.connect(":memory:"))
+
+
+class TestFieldCodec:
+    @pytest.mark.parametrize("value", [
+        "t1", "", "with,comma", "né", 0, 7, -3, 2**40, 0.5, -1e-9,
+        float("inf"), True, False, None, [1, "a"], {"k": 2},
+    ])
+    def test_round_trip_identity(self, value):
+        decoded = decode_field(encode_field(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_float_round_trips_exactly(self):
+        # repr-based encoding: bit-exact, not just approximately equal.
+        value = 0.1 + 0.2
+        assert decode_field(encode_field(value)) == value
+
+    def test_numpy_scalars_unwrap(self):
+        assert decode_field(encode_field(np.int64(3))) == 3
+        assert type(decode_field(encode_field(np.int64(3)))) is int
+        assert decode_field(encode_field(np.float64(0.25))) == 0.25
+
+    def test_string_that_looks_like_an_int_stays_a_string(self):
+        # "1" and 1 are distinct stream index keys; the tag keeps them so.
+        assert decode_field(encode_field("1")) == "1"
+        assert decode_field(encode_field(1)) == 1
+
+    def test_bool_does_not_collapse_to_int(self):
+        assert decode_field(encode_field(True)) is True
+        assert decode_field(encode_field(1)) == 1
+        assert decode_field(encode_field(1)) is not True
+
+    def test_unserialisable_value_raises_store_error(self):
+        with pytest.raises(StoreError, match="not JSON-serialisable"):
+            encode_field(object())
+
+    def test_unknown_tag_raises_store_error(self):
+        with pytest.raises(StoreError, match="unknown type tag"):
+            decode_field("x?!")
+
+
+class TestAppendReplay:
+    def test_append_assigns_consecutive_seqs_ending_at_version(self, log):
+        log.append_batch([("t1", "w1", 1), ("t2", "w1", 0)],
+                         [0, 0], version=2)
+        log.append_batch([("t3", "w2", 1)], [0], version=3)
+        assert log.last_seq == 3
+        assert len(log) == 3
+        replayed = [r for chunk in log.replay() for r in chunk]
+        assert replayed == [("t1", "w1", 1), ("t2", "w1", 0),
+                            ("t3", "w2", 1)]
+
+    def test_replace_outcomes_counted(self, log):
+        log.append_batch([("t1", "w1", 1)], [0], version=1)
+        log.append_batch([("t1", "w1", 0)], [1], version=2)
+        assert log.replace_count == 1
+        assert len(log) == 2
+
+    def test_replay_chunking_preserves_order(self, log):
+        records = [(f"t{i}", f"w{i % 3}", i % 2) for i in range(10)]
+        log.append_batch(records, [0] * 10, version=10)
+        chunks = list(log.replay(chunk_size=3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert [r for c in chunks for r in c] == records
+
+    def test_empty_batch_is_a_no_op(self, log):
+        log.append_batch([], [], version=0)
+        assert len(log) == 0
+        assert log.last_seq == 0
+
+    def test_mismatched_outcomes_rejected(self, log):
+        with pytest.raises(StoreError, match="2 records but 1 outcomes"):
+            log.append_batch([("t1", "w1", 1), ("t2", "w1", 0)],
+                             [0], version=2)
+
+    def test_duplicate_seq_raises_store_error(self, log):
+        log.append_batch([("t1", "w1", 1)], [0], version=1)
+        with pytest.raises(StoreError, match="failed to commit"):
+            log.append_batch([("t1", "w1", 0)], [0], version=1)
+
+    def test_mixed_key_types_round_trip(self, log):
+        records = [(1, "w1", 0.5), ("1", 2, True), ("t", "w", None)]
+        log.append_batch(records, [0, 0, 0], version=3)
+        replayed = [r for chunk in log.replay() for r in chunk]
+        assert replayed == records
+        assert type(replayed[0][0]) is int
+        assert type(replayed[1][0]) is str
+
+    def test_unpicklable_field_rejected_before_commit(self, log):
+        with pytest.raises(StoreError, match="cannot log a batch"):
+            log.append_batch([("t1", "w1", lambda: None)], [0], version=1)
+        assert len(log) == 0
+
+    def test_corrupt_payload_raises_store_error(self, log):
+        log.append_batch([("t1", "w1", 1)], [0], version=1)
+        log._conn.execute("UPDATE log SET payload = ?", (b"garbage",))
+        with pytest.raises(StoreError, match="corrupt log batch"):
+            list(log.replay())
+
+    def test_truncated_batch_detected(self, log):
+        log.append_batch([("t1", "w1", 1), ("t2", "w1", 0)],
+                         [0, 0], version=2)
+        log._conn.execute("UPDATE log SET last_seq = 3")
+        with pytest.raises(StoreError, match="seq range"):
+            list(log.replay())
+
+
+class TestMeta:
+    def test_meta_round_trip(self, log):
+        assert log.read_meta() == {}
+        log.write_meta({"format": 1, "task_type": "decision_making",
+                        "label_order": None})
+        assert log.read_meta() == {"format": 1,
+                                   "task_type": "decision_making",
+                                   "label_order": None}
+
+    def test_meta_upsert_overwrites(self, log):
+        log.write_meta({"seed": 0})
+        log.write_meta({"seed": 7})
+        assert log.read_meta()["seed"] == 7

@@ -1,0 +1,80 @@
+"""SnapshotStore: save/load/prune keyed by log sequence number."""
+
+import sqlite3
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store import SnapshotStore
+
+
+@pytest.fixture
+def snapshots():
+    return SnapshotStore(sqlite3.connect(":memory:"))
+
+
+def payload(tag):
+    return {"result": tag, "method_kwargs": {}, "n_tasks": 3,
+            "n_workers": 2, "n_choices": 2}
+
+
+class TestSaveLoad:
+    def test_load_latest_returns_newest(self, snapshots):
+        snapshots.save("D&S", seq=10, replacements=0, payload=payload("a"))
+        snapshots.save("D&S", seq=20, replacements=1, payload=payload("b"))
+        seq, replacements, loaded = snapshots.load_latest("D&S")
+        assert (seq, replacements) == (20, 1)
+        assert loaded["result"] == "b"
+
+    def test_max_seq_bounds_the_search(self, snapshots):
+        snapshots.save("D&S", seq=10, replacements=0, payload=payload("a"))
+        snapshots.save("D&S", seq=20, replacements=0, payload=payload("b"))
+        seq, _, loaded = snapshots.load_latest("D&S", max_seq=15)
+        assert seq == 10
+        assert loaded["result"] == "a"
+        assert snapshots.load_latest("D&S", max_seq=5) is None
+
+    def test_unknown_method_is_none(self, snapshots):
+        assert snapshots.load_latest("GLAD") is None
+        assert snapshots.latest_seq("GLAD") == 0
+
+    def test_methods_and_latest_seq(self, snapshots):
+        snapshots.save("MV", seq=5, replacements=0, payload=payload("m"))
+        snapshots.save("D&S", seq=8, replacements=0, payload=payload("d"))
+        assert snapshots.methods() == ["D&S", "MV"]
+        assert snapshots.latest_seq("D&S") == 8
+        assert len(snapshots) == 2
+
+    def test_same_seq_resave_overwrites(self, snapshots):
+        snapshots.save("MV", seq=5, replacements=0, payload=payload("old"))
+        snapshots.save("MV", seq=5, replacements=0, payload=payload("new"))
+        assert len(snapshots) == 1
+        assert snapshots.load_latest("MV")[2]["result"] == "new"
+
+
+class TestPrune:
+    def test_keep_prunes_oldest_per_method(self, snapshots):
+        for seq in (10, 20, 30, 40):
+            snapshots.save("D&S", seq=seq, replacements=0,
+                           payload=payload(seq), keep=2)
+        assert len(snapshots) == 2
+        assert snapshots.load_latest("D&S")[0] == 40
+        assert snapshots.load_latest("D&S", max_seq=39)[0] == 30
+        assert snapshots.load_latest("D&S", max_seq=29) is None
+
+    def test_prune_is_per_method(self, snapshots):
+        snapshots.save("MV", seq=10, replacements=0, payload=payload("m"))
+        for seq in (10, 20, 30):
+            snapshots.save("D&S", seq=seq, replacements=0,
+                           payload=payload(seq), keep=2)
+        assert snapshots.latest_seq("MV") == 10  # untouched
+
+
+class TestCorruption:
+    def test_corrupt_payload_raises_store_error(self, snapshots):
+        snapshots.save("D&S", seq=10, replacements=0, payload=payload("a"))
+        snapshots._conn.execute(
+            "UPDATE snapshots SET payload = ?", (b"garbage",))
+        snapshots._conn.commit()
+        with pytest.raises(StoreError, match="corrupt snapshot"):
+            snapshots.load_latest("D&S")

@@ -1,0 +1,51 @@
+"""ShardSpill: byte-faithful mmap round trips for cold shard arrays."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import ShardSpill
+
+
+@pytest.fixture
+def arrays():
+    rng = np.random.default_rng(0)
+    return (rng.integers(0, 50, 200), rng.integers(0, 6, 200),
+            rng.integers(0, 2, 200))
+
+
+class TestSpill:
+    def test_views_are_byte_faithful_mmaps(self, tmp_path, arrays):
+        spill = ShardSpill(str(tmp_path))
+        views = spill.spill("s4", 2, arrays)
+        assert len(views) == 3
+        for view, original in zip(views, arrays):
+            assert isinstance(view, np.memmap)
+            np.testing.assert_array_equal(view, original)
+            assert view.dtype == original.dtype
+        assert spill.spills == 1
+
+    def test_files_named_by_tag_and_shard(self, tmp_path, arrays):
+        spill = ShardSpill(str(tmp_path))
+        spill.spill("s4", 2, arrays)
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["s4-shard0002-tasks.npy",
+                         "s4-shard0002-values.npy",
+                         "s4-shard0002-workers.npy"]
+
+    def test_discard_removes_files_and_counts(self, tmp_path, arrays):
+        spill = ShardSpill(str(tmp_path))
+        spill.spill("s4", 0, arrays)
+        spill.discard("s4", 0)
+        assert os.listdir(tmp_path) == []
+        assert spill.restores == 1
+        spill.discard("s4", 0)  # idempotent: missing files are fine
+        assert spill.restores == 2
+
+    def test_respill_overwrites(self, tmp_path, arrays):
+        spill = ShardSpill(str(tmp_path))
+        spill.spill("s4", 0, arrays)
+        grown = tuple(np.concatenate([a, a]) for a in arrays)
+        views = spill.spill("s4", 0, grown)
+        assert views[0].shape[0] == 400

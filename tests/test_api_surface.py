@@ -36,6 +36,7 @@ REPRO_ALL = [
     "InferenceResult",
     "MethodSpec",
     "ReproError",
+    "StorePolicy",
     "TaskType",
     "TruthInferenceMethod",
     "__version__",
@@ -65,6 +66,7 @@ ENGINE_ALL = [
     "SerialShardSession",
     "ShardRuntime",
     "ShardedInferenceEngine",
+    "StorePolicy",
     "StreamingAnswerSet",
     "TaskSchema",
     "get_runtime_registry",

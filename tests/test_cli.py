@@ -385,3 +385,101 @@ class TestStreamDeltaFlags:
         assert "# streaming" in out
         assert "fit:" in out          # -v telemetry lines
         assert "refit" in out
+
+
+class TestDurableStoreFlags:
+    def _write_answers(self, tmp_path, n_tasks=20):
+        path = tmp_path / "answers.csv"
+        rows = [f"t{i % n_tasks},w{i % 5},{(i * 3) % 2}"
+                for i in range(160)]
+        path.write_text("\n".join(rows) + "\n")
+        return path
+
+    def test_stream_store_then_recover_round_trip(self, tmp_path, capsys):
+        path = self._write_answers(tmp_path)
+        store = tmp_path / "store"
+        code = main(["stream", str(path), "--method", "D&S",
+                     "--chunk-size", "50", "--store", str(store),
+                     "--snapshot-every", "60"])
+        assert code == 0
+        stream_out = capsys.readouterr().out
+        assert f"# durable store: {store}" in stream_out
+        assert (store / "answers.sqlite").is_file()
+
+        assert main(["recover", str(store), "--method", "D&S"]) == 0
+        captured = capsys.readouterr()
+        assert "recovered 160 answers" in captured.err
+        stream_truth = stream_out[stream_out.index("task,inferred_truth"):]
+        recover_truth = captured.out[
+            captured.out.index("task,inferred_truth"):]
+        assert recover_truth.strip() == stream_truth.strip()
+
+    def test_stream_into_used_store_fails_loudly(self, tmp_path, capsys):
+        path = self._write_answers(tmp_path)
+        store = tmp_path / "store"
+        assert main(["stream", str(path), "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["stream", str(path), "--store", str(store)]) == 1
+        assert "recover" in capsys.readouterr().err
+
+    def test_recover_missing_store_fails_loudly(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "nope")]) == 1
+        assert "no answer store" in capsys.readouterr().err
+
+    def test_snapshot_every_requires_store(self, tmp_path, capsys):
+        path = self._write_answers(tmp_path)
+        assert main(["stream", str(path), "--snapshot-every", "5"]) == 1
+        assert "--snapshot-every requires --store" in capsys.readouterr().err
+
+    def test_recover_sharded_delta(self, tmp_path, capsys):
+        path = self._write_answers(tmp_path, n_tasks=40)
+        store = tmp_path / "store"
+        flags = ["--method", "D&S", "--shards", "4", "--refit", "delta"]
+        assert main(["stream", str(path), "--chunk-size", "40",
+                     "--store", str(store), "--snapshot-every", "60",
+                     *flags]) == 0
+        capsys.readouterr()
+        assert main(["recover", str(store), "-v", *flags]) == 0
+        captured = capsys.readouterr()
+        assert "refit" in captured.err
+        assert "task,inferred_truth" in captured.out
+
+    def test_stream_missing_csv_fails_loudly(self, tmp_path, capsys):
+        assert main(["stream", str(tmp_path / "nope.csv")]) == 1
+        assert "cannot read answers" in capsys.readouterr().err
+
+
+class TestMaxBadLinesFlag:
+    def test_stdin_stream_skips_bad_lines(self, tmp_path, capsys,
+                                          monkeypatch):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin",
+            io.StringIO("t1,w1,1\nGARBLED\nt1,w2,1\nt2,w1,0\n"))
+        code = main(["stream", "--source", "stdin", "--task-type",
+                     "decision", "--method", "MV",
+                     "--max-bad-lines", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t1,1" in out
+        assert "t2,0" in out
+
+    def test_strict_budget_fails_loudly(self, tmp_path, capsys,
+                                        monkeypatch):
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(
+            _sys, "stdin", io.StringIO("t1,w1,1\nGARBLED\nt2,w1,0\n"))
+        code = main(["stream", "--source", "stdin", "--task-type",
+                     "decision", "--max-bad-lines", "0"])
+        assert code == 1
+        assert "line 2" in capsys.readouterr().err
+
+    def test_negative_budget_rejected(self, tmp_path, capsys):
+        code = main(["stream", "--source", "stdin", "--task-type",
+                     "decision", "--max-bad-lines", "-1"])
+        assert code == 1
+        assert "--max-bad-lines must be >= 0" in capsys.readouterr().err
