@@ -8,6 +8,7 @@ minority-class rows.
 
 import numpy as np
 
+from repro.core.policy import MethodSpec
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import run_method
 
@@ -24,10 +25,11 @@ def test_ablation_prior_strength(benchmark, sweep_dataset):
     def run():
         rows = []
         for strength in PRIOR_GRID:
-            kwargs = {"prior_strength": max(strength, 1e-6),
-                      "diagonal_bonus": strength}
-            full = run_method("LFC", dataset, seed=0, method_kwargs=kwargs)
-            low = run_method("LFC", sparse, seed=0, method_kwargs=kwargs)
+            spec = MethodSpec("LFC",
+                              prior_strength=max(strength, 1e-6),
+                              diagonal_bonus=strength)
+            full = run_method(spec, dataset, seed=0)
+            low = run_method(spec, sparse, seed=0)
             rows.append([strength,
                          round(full.scores["f1"], 4),
                          round(low.scores["f1"], 4)])

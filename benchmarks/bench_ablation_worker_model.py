@@ -9,6 +9,7 @@ degenerate LFC configured so heavily toward the diagonal that it
 behaves like a scalar model again.
 """
 
+from repro.core.policy import MethodSpec
 from repro.experiments.runner import run_method
 
 from .conftest import save_report
@@ -20,14 +21,14 @@ def test_ablation_worker_model(benchmark, sweep_dataset):
 
     def run():
         rows = []
-        for label, name, kwargs in (
-            ("scalar probability (ZC)", "ZC", {}),
-            ("confusion matrix (D&S)", "D&S", {}),
-            ("matrix, crushed to scalar (LFC diag prior 10k)", "LFC",
-             {"prior_strength": 0.1, "diagonal_bonus": 10_000.0}),
+        for label, spec in (
+            ("scalar probability (ZC)", MethodSpec("ZC")),
+            ("confusion matrix (D&S)", MethodSpec("D&S")),
+            ("matrix, crushed to scalar (LFC diag prior 10k)",
+             MethodSpec("LFC", prior_strength=0.1,
+                        diagonal_bonus=10_000.0)),
         ):
-            run_result = run_method(name, dataset, seed=0,
-                                    method_kwargs=kwargs)
+            run_result = run_method(spec, dataset, seed=0)
             rows.append([label,
                          round(run_result.scores["accuracy"], 4),
                          round(run_result.scores["f1"], 4)])

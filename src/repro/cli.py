@@ -91,6 +91,30 @@ def _cmd_methods(_args) -> int:
     return 0
 
 
+def _cmd_capabilities(_args) -> int:
+    from .core.registry import capabilities
+
+    def yn(flag: bool) -> str:
+        return "yes" if flag else "no"
+
+    rows = []
+    for name in available_methods():
+        caps = capabilities(name)
+        rows.append([
+            name,
+            yn(caps.sharding),
+            yn(caps.warm_start),
+            # Delta refits ride the sharded refit cache and resume from
+            # the previous state, so they need both capabilities.
+            yn(caps.sharding and caps.warm_start),
+            yn(caps.seed_posterior),
+        ])
+    print(format_table(
+        ["method", "sharded", "warm-start", "delta", "seed-posterior"],
+        rows, title="Execution capabilities by method"))
+    return 0
+
+
 def _cmd_datasets(args) -> int:
     datasets = all_paper_datasets(seed=args.seed, scale=args.scale)
     rows = [[r["dataset"], r["n_tasks"], r["n_truth"], r["n_answers"],
@@ -521,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("methods", help="list registered methods")
 
+    sub.add_parser("capabilities",
+                   help="execution capabilities per method "
+                        "(sharded, warm-start, delta, seed-posterior)")
+
     p_datasets = sub.add_parser("datasets", help="Table 5 of the replicas")
     _common(p_datasets)
 
@@ -669,6 +697,7 @@ def _common(parser: argparse.ArgumentParser) -> None:
 
 _COMMANDS = {
     "methods": _cmd_methods,
+    "capabilities": _cmd_capabilities,
     "datasets": _cmd_datasets,
     "run": _cmd_run,
     "sweep": _cmd_sweep,

@@ -19,6 +19,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from ..exceptions import InvalidAnswerSetError
+from .framework import radix_argsort
 from .tasktypes import TaskType, validate_n_choices
 
 
@@ -225,12 +226,12 @@ class AnswerSet:
     def _build_adjacency(self) -> None:
         if self._by_task is not None:
             return
-        order = np.argsort(self.tasks, kind="stable")
+        order = radix_argsort(self.tasks)
         boundaries = np.searchsorted(self.tasks[order], np.arange(self.n_tasks + 1))
         self._by_task = [
             order[boundaries[i]:boundaries[i + 1]] for i in range(self.n_tasks)
         ]
-        worder = np.argsort(self.workers, kind="stable")
+        worder = radix_argsort(self.workers)
         wbound = np.searchsorted(self.workers[worder], np.arange(self.n_workers + 1))
         self._by_worker = [
             worder[wbound[w]:wbound[w + 1]] for w in range(self.n_workers)

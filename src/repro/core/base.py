@@ -18,6 +18,7 @@ from __future__ import annotations
 import abc
 import contextlib
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import ClassVar, Mapping
 
@@ -215,6 +216,8 @@ class TruthInferenceMethod(abc.ABC):
         if (self.supports_sharding and policy is not None
                 and shard_runner is None):
             runner_cm = self._policy_runner(answers, policy)
+        elif policy is not None and not self.supports_sharding:
+            self._warn_ignored_policy(policy)
 
         rng = np.random.default_rng(self.seed)
         started = time.perf_counter()
@@ -295,6 +298,33 @@ class TruthInferenceMethod(abc.ABC):
         raise NotImplementedError(
             f"{self.name} does not express its EM as sharded statistics"
         )
+
+    def _warn_ignored_policy(
+            self, policy: ExecutionPolicy | ExecutionPlan) -> None:
+        """Warn once per fit when a non-sharding method is handed a
+        policy naming explicit parallelism it cannot honour.
+
+        Grids legitimately set one policy for a whole method zoo, so a
+        *default* policy (auto tiering, unset shard count) stays
+        silent; only fields that asked for something — ``n_shards > 1``
+        or a forced thread/process tier — are reported.  Driven off the
+        same ``supports_sharding`` capability the registry's
+        :class:`~repro.core.registry.Capabilities` table mirrors.
+        """
+        ignored = []
+        n_shards = getattr(policy, "n_shards", None)
+        if n_shards is not None and n_shards > 1:
+            ignored.append(f"n_shards={n_shards}")
+        if isinstance(policy, ExecutionPlan):
+            if policy.mode in ("thread", "process"):
+                ignored.append(f"mode={policy.mode!r}")
+        elif getattr(policy, "executor", "auto") in ("thread", "process"):
+            ignored.append(f"executor={policy.executor!r}")
+        if ignored:
+            warnings.warn(
+                f"{self.name} does not support sharding; ExecutionPolicy "
+                f"fields ignored: {', '.join(ignored)}",
+                UserWarning, stacklevel=3)
 
     @contextlib.contextmanager
     def _policy_runner(self, answers: AnswerSet,

@@ -116,11 +116,23 @@ def clamp_golden_values(values: np.ndarray,
 def normalize_rows(matrix: np.ndarray) -> np.ndarray:
     """Normalise each row to sum to one; uniform rows where the sum is 0."""
     matrix = np.asarray(matrix, dtype=np.float64)
-    sums = matrix.sum(axis=1, keepdims=True)
     n_cols = matrix.shape[1]
+    if matrix.ndim != 2 or n_cols == 0:
+        sums = matrix.sum(axis=1, keepdims=True)
+        safe = np.where(sums > 0, sums, 1.0)
+        out = matrix / safe
+        out[np.squeeze(sums, axis=1) <= 0] = 1.0 / max(n_cols, 1)
+        return out
+    # Column-accumulated row sums: an axis-1 reduce pays per-row ufunc
+    # overhead on the short label axis, while n_cols strided adds
+    # stream through the matrix once — same left-to-right pairing, so
+    # the sums (and the normalised rows) are bit-identical.
+    sums = matrix[:, 0].copy()
+    for j in range(1, n_cols):
+        sums += matrix[:, j]
     safe = np.where(sums > 0, sums, 1.0)
-    out = matrix / safe
-    out[np.squeeze(sums, axis=1) <= 0] = 1.0 / n_cols
+    out = matrix / safe[:, None]
+    out[sums <= 0] = 1.0 / n_cols
     return out
 
 
@@ -137,6 +149,53 @@ def clip_probability(p: np.ndarray | float) -> np.ndarray:
     return np.clip(p, PROBABILITY_FLOOR, 1.0 - PROBABILITY_FLOOR)
 
 
+def argmax_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise argmax of finite values, column-at-a-time.
+
+    Bit-identical to ``matrix.argmax(axis=1)`` — the strict ``>``
+    keeps the *first* maximum, exactly like argmax — but streams the
+    matrix column-wise, avoiding the per-row ufunc overhead an axis-1
+    reduce pays on a short label axis.  Callers must not pass NaN
+    (argmax treats NaN as maximal; ``>`` never matches it).
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        return matrix.argmax(axis=1)
+    best = matrix[:, 0].copy()
+    labels = np.zeros(matrix.shape[0], dtype=np.int64)
+    for j in range(1, matrix.shape[1]):
+        col = matrix[:, j]
+        labels[col > best] = j
+        np.maximum(best, col, out=best)
+    return labels
+
+
+def radix_argsort(keys: np.ndarray) -> np.ndarray:
+    """Stable argsort of non-negative integer keys, radix-accelerated.
+
+    NumPy's ``kind="stable"`` dispatches to an O(n) radix sort only for
+    integer dtypes of at most 16 bits; wider keys fall back to a
+    comparison sort.  The grouping keys sorted throughout this library
+    (task ids, worker ids, (task, label) cells) easily exceed 16 bits
+    but are never negative, so an LSD pass over 16-bit digit slices
+    reproduces the *exact* stable permutation severalfold faster.
+    Anything but non-negative integers falls back to ``np.argsort``.
+    """
+    keys = np.asarray(keys)
+    if keys.dtype.kind not in "iu" or keys.ndim != 1 or (
+            keys.dtype.kind == "i" and keys.size
+            and int(keys.min()) < 0):
+        return np.argsort(keys, kind="stable")
+    order = np.argsort((keys & 0xFFFF).astype(np.uint16), kind="stable")
+    kmax = int(keys.max(initial=0))
+    shift = 16
+    while kmax >> shift:
+        digit = ((keys >> shift) & 0xFFFF).astype(np.uint16)
+        order = order[np.argsort(digit[order], kind="stable")]
+        shift += 16
+    return order
+
+
 def decode_posterior(posterior: np.ndarray, rng: np.random.Generator | None = None
                      ) -> np.ndarray:
     """Turn a truth posterior into hard labels, breaking ties randomly.
@@ -149,14 +208,48 @@ def decode_posterior(posterior: np.ndarray, rng: np.random.Generator | None = No
     posterior = np.asarray(posterior, dtype=np.float64)
     if rng is None:
         return posterior.argmax(axis=1)
-    best = posterior.max(axis=1, keepdims=True)
-    is_best = np.isclose(posterior, best)
-    # argmax of a boolean row is its first True — identical to the
-    # single candidate on untied rows, so only tied rows draw from the
-    # generator (in row order, exactly as the historical per-task loop
-    # did, which keeps the consumed random sequence — and therefore
-    # every tie-break — bit-identical).
-    labels = is_best.argmax(axis=1).astype(np.int64)
-    for i in np.nonzero(is_best.sum(axis=1) > 1)[0]:
-        labels[i] = rng.choice(np.nonzero(is_best[i])[0])
+    n_rows, n_cols = posterior.shape
+    # Column-at-a-time passes: axis-1 reductions pay per-row ufunc
+    # overhead on the short label axis, so the row max, the closeness
+    # test, and the tie counts all stream column-wise instead.  The
+    # pairing order matches the axis-1 reduce, keeping ``best`` (and
+    # every downstream comparison) bit-identical.
+    best = posterior[:, 0].copy()
+    for j in range(1, n_cols):
+        np.maximum(best, posterior[:, j], out=best)
+    if np.isinf(best).any():
+        # ``isclose`` calls infinities of equal sign "close"; the
+        # plain tolerance test below would not.  Posteriors are finite
+        # in practice, so keep the slow exact path for this edge only.
+        is_best = np.isclose(posterior, best[:, None])
+    else:
+        # ``isclose(a, b)`` on finite input is exactly
+        # ``|a - b| <= atol + rtol * |b|`` (numpy's within_tol).
+        tol = 1e-08 + 1e-05 * np.abs(best)
+        is_best = np.empty(posterior.shape, dtype=bool)
+        for j in range(n_cols):
+            np.less_equal(np.abs(posterior[:, j] - best), tol,
+                          out=is_best[:, j])
+    counts = np.zeros(n_rows, dtype=np.int64)
+    labels = np.zeros(n_rows, dtype=np.int64)
+    for j in range(n_cols):
+        counts += is_best[:, j]
+        labels += j * is_best[:, j]
+    # Untied rows have exactly one candidate, so the weighted column
+    # sum above IS its index (matching ``is_best.argmax(axis=1)``);
+    # tied rows are overwritten below, and all-False rows (possible
+    # only for NaN input) fall to label 0 just like argmax would.
+    tied = np.nonzero(counts > 1)[0]
+    if tied.size:
+        # ``Generator.choice(candidates)`` draws ``integers(0, len)``
+        # under the hood, and a vectorised ``integers`` call with an
+        # array of bounds consumes the stream element-by-element in
+        # order — so this block spends the generator exactly as the
+        # historical per-task ``rng.choice`` loop did, keeping every
+        # tie-break bit-identical.
+        draws = rng.integers(0, counts[tied])
+        rows, cols = np.nonzero(is_best[tied])
+        starts = np.concatenate(([0], np.cumsum(counts[tied])[:-1]))
+        rank = np.arange(rows.size) - starts[rows]
+        labels[tied] = cols[rank == draws[rows]]
     return labels

@@ -20,7 +20,10 @@ into:
 
 The policy is declarative: applying it to a method that cannot shard is
 a no-op (grids set one policy globally and only the sharded-EM methods
-act on it), exactly like the other per-method capability knobs.
+act on it), exactly like the other per-method capability knobs — but a
+policy that *names* explicit parallelism (``n_shards > 1`` or a forced
+thread/process tier) makes ``fit`` emit one :class:`UserWarning` per
+call saying which fields the method ignored.
 
 Legacy spellings remain available everywhere through deprecation shims
 that construct these objects and warn once per call —

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..exceptions import InvalidAnswerSetError
 from .answers import AnswerSet
+from .framework import radix_argsort
 
 
 class AnswerShard:
@@ -165,7 +166,7 @@ class ShardedAnswerSet:
             bounds = [0, answers.n_answers]
             task_cuts = [0, answers.n_tasks]
         else:
-            self.order = np.argsort(answers.tasks, kind="stable")
+            self.order = radix_argsort(answers.tasks)
             tasks = answers.tasks[self.order]
             workers = answers.workers[self.order]
             values = values[self.order]

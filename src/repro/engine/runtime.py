@@ -78,6 +78,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.answers import AnswerSet
+from ..core.framework import radix_argsort
 from ..core.policy import (
     ExecutionPlan,
     ExecutionPolicy,
@@ -459,7 +460,7 @@ class SerialShardSession:
         cuts = self._cuts
         cuts[-1] = answers.n_tasks
         if len(cuts) > 2:
-            order = np.argsort(tail_tasks, kind="stable")
+            order = radix_argsort(tail_tasks)
             tail_tasks = tail_tasks[order]
             tail_workers = tail_workers[order]
             tail_values = tail_values[order]
@@ -1036,7 +1037,7 @@ class ShardRuntime:
             # Multi-shard layouts need the epoch task-sorted so each
             # shard's piece is one contiguous slice; the single-shard
             # layout keeps arrival order (the plain-path invariant).
-            order = np.argsort(delta_tasks, kind="stable")
+            order = radix_argsort(delta_tasks)
             delta_tasks = delta_tasks[order]
             delta_workers = delta_workers[order]
             delta_values = delta_values[order]

@@ -44,6 +44,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.framework import radix_argsort
+
 try:  # SciPy is optional: the numpy fallbacks below are bit-identical.
     import scipy.sparse as sp
 except ImportError:  # pragma: no cover - exercised only without scipy
@@ -66,7 +68,7 @@ def _csr_rowgroups(rows: np.ndarray, indices: np.ndarray, n_rows: int,
     """
     if sp is None:
         return None
-    order = np.argsort(rows, kind="stable")
+    order = radix_argsort(rows)
     indptr = np.zeros(n_rows + 1, dtype=np.int64)
     np.cumsum(np.bincount(rows, minlength=n_rows), out=indptr[1:])
     matrix = sp.csr_matrix(

@@ -88,14 +88,18 @@ from .em import EMOutcome
 __all__ = [
     "SufficientStats",
     "ShardedEMSpec",
+    "AlternatingSpec",
     "SerialShardRunner",
     "ShardState",
     "DeltaPlan",
+    "GibbsOutcome",
     "dirty_shards",
     "pad_rows",
     "majority_block",
     "make_runner",
     "run_em_sharded",
+    "run_alternating_sharded",
+    "run_gibbs_sharded",
 ]
 
 
@@ -248,6 +252,46 @@ class ShardedEMSpec(abc.ABC):
         """
         raise NotImplementedError(
             f"{type(self).__name__} overrides m_step but not m_step_delta"
+        )
+
+
+class AlternatingSpec(ShardedEMSpec):
+    """Spec base for truth/weight *alternating* estimators (CATD, PM).
+
+    These methods iterate E-then-M — a truth step from the current
+    source weights, then a weight step from the per-worker losses — and
+    track convergence on the **weights**, the reverse of the EM loop's
+    M-then-E with convergence on the posterior.  They run under
+    :func:`run_alternating_sharded` instead of :func:`run_em_sharded`;
+    the statistics contract is unchanged (``accumulate`` maps over
+    shards, ``merge`` reduces, ``finalize`` turns merged losses into
+    weights), so the same spec also drives the generic delta-refit
+    machinery (:class:`DeltaPlan`) and the process runtime.
+    """
+
+    #: Extra positional arguments appended to every ``accumulate`` call
+    #: (master-computed constants such as a numeric distance scale);
+    #: must pickle for the process tier.
+    accumulate_shared: tuple = ()
+
+    def prepare_accumulate(self, state: np.ndarray,
+                           ranges: Sequence[tuple[int, int]],
+                           rng, only: Sequence[int] | None = None) -> list:
+        """Master-side hook: the assembled truth state -> per-shard
+        ``accumulate`` inputs (aligned to ``only`` when given).
+
+        The default passes each shard its state slice; specs whose
+        M-step consumes *decoded* labels with random tie-breaks (PM)
+        override this so all randomness stays on the master generator —
+        shard phases themselves must remain deterministic.
+        """
+        indices = range(len(ranges)) if only is None else only
+        return [state[ranges[k][0]:ranges[k][1]] for k in indices]
+
+    def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
+        raise NotImplementedError(
+            f"{type(self).__name__} always starts from initial weights; "
+            f"it has no cold-start state block"
         )
 
 
@@ -835,6 +879,350 @@ def run_em_sharded(
         fit_stats=fit_stats,
         shard_state=shard_state,
     )
+
+
+# ----------------------------------------------------------------------
+# Alternating truth/weight estimation (CATD, PM)
+# ----------------------------------------------------------------------
+
+def _accumulate_alternating(runner: SerialShardRunner, state: np.ndarray,
+                            stats_cache: list, rng,
+                            fit_stats: FitStats) -> None:
+    """Fill every ``None`` entry of ``stats_cache`` with a fresh
+    ``accumulate`` at the current state (the alternating analogue of the
+    recompute half of :func:`_m_step_cached`)."""
+    spec = runner.spec
+    ranges = runner.task_ranges
+    need = [k for k in range(len(ranges)) if stats_cache[k] is None]
+    if need:
+        per_shard = spec.prepare_accumulate(state, ranges, rng, only=need)
+        computed = runner.call("accumulate", per_shard=per_shard,
+                               shared=tuple(spec.accumulate_shared),
+                               only=need)
+        for k, stats in zip(need, computed):
+            stats_cache[k] = stats
+        fit_stats.accumulate_calls += len(need)
+
+
+def _collect_alternating_state(runner: SerialShardRunner, state: np.ndarray,
+                               stats_cache: list, rng, fit_stats: FitStats,
+                               base_answers: int = 0) -> ShardState:
+    """Alternating analogue of :func:`_collect_state` (the accumulate
+    inputs go through ``prepare_accumulate``, so the generic collector
+    cannot recompute them)."""
+    spec = runner.spec
+    ranges = runner.task_ranges
+    blocks = [np.array(state[start:stop]) for start, stop in ranges]
+    _accumulate_alternating(runner, state, stats_cache, rng, fit_stats)
+    cuts = [ranges[0][0]] + [stop for _, stop in ranges]
+    return ShardState(
+        task_cuts=tuple(int(c) for c in cuts),
+        sizes=(getattr(spec, "n_tasks", 0), getattr(spec, "n_workers", 0),
+               getattr(spec, "n_choices", 0)),
+        blocks=blocks,
+        stats=list(stats_cache),
+        base_answers=base_answers,
+    )
+
+
+def _run_alternating_delta(runner: SerialShardRunner, plan: DeltaPlan, *,
+                           tolerance: float, max_iter: int, golden,
+                           initial_parameters, rng,
+                           fit_stats: FitStats) -> EMOutcome:
+    """Dirty-shard/freezing loop for alternating specs.
+
+    Convergence is tracked on the (small) weight vector with a plain
+    :class:`~repro.core.framework.ConvergenceTracker` — no per-shard
+    delta bookkeeping needed for it — while freezing and verification
+    still grade per-shard *truth-block* movement exactly as
+    :func:`_run_em_delta` does (:func:`_verify_frozen` is shared: it
+    only needs ``e_block`` and the golden clamp).
+    """
+    spec = runner.spec
+    ranges = runner.task_ranges
+    n_shards = len(ranges)
+    prev = plan.prev
+    freeze_tol = (plan.freeze_tol if plan.freeze_tol is not None
+                  else tolerance)
+    verify_every = max(1, int(plan.verify_every))
+    dirty = np.asarray(plan.dirty, dtype=bool)
+    if prev.n_shards != n_shards or len(dirty) != n_shards:
+        raise ValueError(
+            f"delta refit over {n_shards} shards got a cached state for "
+            f"{prev.n_shards} (dirty flags: {len(dirty)}); the shard "
+            f"layout must be pinned across delta refits"
+        )
+    for k, (start, stop) in enumerate(ranges):
+        if start != prev.task_cuts[k] or (k < n_shards - 1
+                                          and stop != prev.task_cuts[k + 1]):
+            raise ValueError(
+                "delta refit shard cuts diverged from the cached state; "
+                "refit full to re-place"
+            )
+        if not dirty[k] and len(prev.blocks[k]) != stop - start:
+            raise ValueError(
+                f"shard {k} is flagged clean but its task range changed "
+                f"({len(prev.blocks[k])} cached rows vs {stop - start})"
+            )
+
+    # --- prime: truth step over dirty shards only at the warm weights.
+    dirty_idx = [k for k in range(n_shards) if dirty[k]]
+    clean_idx = [k for k in range(n_shards) if not dirty[k]]
+    fit_stats.dirty_shards = len(dirty_idx)
+    parameters = initial_parameters
+    primed = runner.call("e_block", shared=(parameters,),
+                         only=dirty_idx) if dirty_idx else []
+    fit_stats.e_block_calls += len(dirty_idx)
+    primed_blocks = dict(zip(dirty_idx, primed))
+    state = np.concatenate(
+        [np.asarray(primed_blocks.get(k, prev.blocks[k]), dtype=np.float64)
+         for k in range(n_shards)], axis=0)
+    state = spec.golden_clamp(state, golden)
+
+    stats_cache: list = [None] * n_shards
+    sizes = (getattr(spec, "n_tasks", 0), getattr(spec, "n_workers", 0),
+             getattr(spec, "n_choices", 0))
+    if prev.stats is not None and tuple(prev.sizes) == sizes:
+        for k in clean_idx:
+            stats_cache[k] = prev.stats[k]
+    frozen = set(clean_idx)
+
+    tracker = ConvergenceTracker(tolerance=tolerance, max_iter=max_iter)
+    # The warm weights prime the tracker (counted, as in the full warm
+    # path): the refit may then converge after a single weight step.
+    tracker.update(parameters)
+    converged = False
+    active_scale = float("inf")
+
+    def thaw_threshold() -> float:
+        return verify_every * max(freeze_tol, active_scale)
+
+    while True:
+        active = [k for k in range(n_shards) if k not in frozen]
+        fit_stats.active_shards.append(len(active))
+        fit_stats.frozen_shards.append(n_shards - len(active))
+        _accumulate_alternating(runner, state, stats_cache, rng, fit_stats)
+        parameters = spec.finalize(functools.reduce(
+            lambda a, b: a.merge(b), stats_cache))
+        done = tracker.update(parameters)
+        if done and tracker.converged:
+            if not frozen:
+                converged = True
+                break
+            # Never declare convergence over unverified frozen shards
+            # (see _run_em_delta): drifted blocks are refreshed in
+            # place, their stats dropped, and the weight step re-runs.
+            drifted, _ = _verify_frozen(
+                runner, state, parameters, frozen, stats_cache, golden,
+                freeze_tol, float("inf"), adopt_all=True,
+                fit_stats=fit_stats)
+            if not drifted:
+                converged = True
+                break
+            continue
+        if done:
+            if frozen:
+                _verify_frozen(runner, state, parameters, frozen,
+                               stats_cache, golden, freeze_tol,
+                               float("inf"), adopt_all=True,
+                               fit_stats=fit_stats)
+            break
+        previous = {k: state[ranges[k][0]:ranges[k][1]].copy()
+                    for k in active}
+        if active:
+            fresh = runner.call("e_block", shared=(parameters,),
+                                only=active)
+            fit_stats.e_block_calls += len(active)
+            for k, block in zip(active, fresh):
+                start, stop = ranges[k]
+                block = np.asarray(block, dtype=np.float64)
+                if not np.all(np.isfinite(block)):
+                    raise ConvergenceError(
+                        f"non-finite truth state in shard {k} at "
+                        f"iteration {tracker.iteration}"
+                    )
+                state[start:stop] = block
+                stats_cache[k] = None
+        state = spec.golden_clamp(state, golden)
+        active_scale = 0.0
+        for k in active:
+            start, stop = ranges[k]
+            moved = _block_delta(state[start:stop], previous[k])
+            active_scale = max(active_scale, moved)
+            if moved < freeze_tol:
+                frozen.add(k)
+        if frozen and tracker.iteration % verify_every == 0:
+            _verify_frozen(runner, state, parameters, frozen, stats_cache,
+                           golden, freeze_tol, thaw_threshold(),
+                           adopt_all=False, fit_stats=fit_stats)
+
+    shard_state = _collect_alternating_state(
+        runner, state, stats_cache, rng, fit_stats,
+        base_answers=prev.base_answers)
+    fit_stats.iterations = tracker.iteration
+    return EMOutcome(
+        posterior=state,
+        parameters=parameters,
+        n_iterations=tracker.iteration,
+        converged=converged,
+        fit_stats=fit_stats,
+        shard_state=shard_state,
+    )
+
+
+def run_alternating_sharded(
+    runner: SerialShardRunner,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iter: int = DEFAULT_MAX_ITER,
+    golden: Mapping[int, float] | None = None,
+    initial_parameters: np.ndarray | None = None,
+    rng=None,
+    count_prime: bool = False,
+    delta: DeltaPlan | None = None,
+) -> EMOutcome:
+    """Sharded driver for alternating truth/weight estimators.
+
+    Per iteration: a mapped truth step (``e_block`` at the current
+    weights, reassembled and golden-clamped), then a weight step (map
+    ``accumulate`` over the ``prepare_accumulate`` inputs, merge,
+    ``finalize``), then a convergence check **on the weights** — exactly
+    the unsharded CATD/PM loop shape, bit-identical at one shard.
+
+    ``initial_parameters`` (the starting weights) is required; with
+    ``count_prime=True`` it also primes the convergence tracker (a warm
+    refit may then stop after one weight step, mirroring
+    :func:`run_em_sharded`'s counted warm prime).  ``rng`` feeds only
+    master-side ``prepare_accumulate`` (random tie-breaking); ``delta``
+    has :func:`run_em_sharded`'s semantics.
+    """
+    if initial_parameters is None:
+        raise ValueError("alternating estimation starts from weights; "
+                         "pass initial_parameters")
+    spec = runner.spec
+    started = time.perf_counter()
+    fit_stats = FitStats(mode="full", n_shards=runner.n_shards)
+
+    if delta is not None and delta.prev is not None:
+        fit_stats.mode = "delta"
+        outcome = _run_alternating_delta(
+            runner, delta, tolerance=tolerance, max_iter=max_iter,
+            golden=golden, initial_parameters=initial_parameters,
+            rng=rng, fit_stats=fit_stats)
+        fit_stats.em_seconds = time.perf_counter() - started
+        return outcome
+
+    ranges = runner.task_ranges
+    shared = tuple(spec.accumulate_shared)
+    tracker = ConvergenceTracker(tolerance=tolerance, max_iter=max_iter)
+    if count_prime:
+        tracker.update(initial_parameters)
+    parameters = initial_parameters
+    state = None
+    stats = None
+    while True:
+        fit_stats.active_shards.append(runner.n_shards)
+        fit_stats.frozen_shards.append(0)
+        state = spec.golden_clamp(np.concatenate(
+            runner.call("e_block", shared=(parameters,)), axis=0), golden)
+        fit_stats.e_block_calls += runner.n_shards
+        stats = runner.call(
+            "accumulate",
+            per_shard=spec.prepare_accumulate(state, ranges, rng),
+            shared=shared)
+        fit_stats.accumulate_calls += runner.n_shards
+        parameters = spec.finalize(functools.reduce(
+            lambda a, b: a.merge(b), stats))
+        if tracker.update(parameters):
+            break
+    shard_state = None
+    if delta is not None:
+        # The loop broke right after a weight step, so ``stats`` is the
+        # full per-shard statistics list at the final truth state.
+        shard_state = _collect_alternating_state(
+            runner, state, list(stats), rng, fit_stats)
+    fit_stats.iterations = tracker.iteration
+    fit_stats.em_seconds = time.perf_counter() - started
+    return EMOutcome(
+        posterior=state,
+        parameters=parameters,
+        n_iterations=tracker.iteration,
+        converged=tracker.converged,
+        fit_stats=fit_stats,
+        shard_state=shard_state,
+    )
+
+
+# ----------------------------------------------------------------------
+# Gibbs sweeps (BCC, CBCC): a third phase kind
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class GibbsOutcome:
+    """Result of :func:`run_gibbs_sharded`: the retained-sweep tally
+    plus the last sweep's state and the usual telemetry."""
+
+    tally: np.ndarray
+    retained: int
+    state: np.ndarray
+    fit_stats: FitStats
+
+
+def run_gibbs_sharded(
+    runner: SerialShardRunner,
+    *,
+    n_sweeps: int,
+    burn_in: int,
+    sample: Callable[[SufficientStats, int], object],
+    golden: Mapping[int, float] | None = None,
+    initial_state: np.ndarray,
+) -> GibbsOutcome:
+    """Sharded collapsed-Gibbs driver (BCC/CBCC's phase kind).
+
+    Per sweep: map ``accumulate`` over the current per-shard assignment
+    blocks and merge (the conditional's sufficient statistics), hand the
+    merged totals to the **master-side** ``sample(merged, sweep)``
+    closure — which holds the method's generator and draws the global
+    parameters (confusion matrices, class prior, community memberships)
+    — then map ``e_block`` at the sampled parameters to resample every
+    shard's task-assignment block, reassemble and golden-clamp.  Sweeps
+    past ``burn_in`` are tallied.
+
+    Keeping every random draw on the master generator makes a run
+    **bit-identical to the legacy sampler at one shard** and exactly
+    reproducible at any fixed shard count (the shard phases are
+    deterministic).  Across *different* shard counts only the float
+    merge order of the statistics changes; the last-ulp differences
+    steer the rejection samplers onto different (equally valid) draws,
+    so multi-shard runs are statistically, not numerically, equivalent
+    — the same caveat Gibbs has under any summation-order change.
+    """
+    spec = runner.spec
+    started = time.perf_counter()
+    fit_stats = FitStats(mode="gibbs", n_shards=runner.n_shards)
+    ranges = runner.task_ranges
+    state = spec.golden_clamp(
+        np.array(initial_state, dtype=np.float64), golden)
+    tally = np.zeros_like(state)
+    retained = 0
+    for sweep in range(n_sweeps):
+        fit_stats.active_shards.append(runner.n_shards)
+        fit_stats.frozen_shards.append(0)
+        stats = runner.call("accumulate",
+                            per_shard=_split_blocks_ranges(state, ranges))
+        fit_stats.accumulate_calls += runner.n_shards
+        parameters = sample(functools.reduce(
+            lambda a, b: a.merge(b), stats), sweep)
+        state = spec.golden_clamp(np.concatenate(
+            runner.call("e_block", shared=(parameters,)), axis=0), golden)
+        fit_stats.e_block_calls += runner.n_shards
+        if sweep >= burn_in:
+            tally += state
+            retained += 1
+    fit_stats.iterations = n_sweeps
+    fit_stats.em_seconds = time.perf_counter() - started
+    return GibbsOutcome(tally=tally, retained=retained, state=state,
+                        fit_stats=fit_stats)
 
 
 def make_runner(answers_or_sharded, spec: ShardedEMSpec, n_shards: int = 1,

@@ -21,10 +21,22 @@ label draw) and sample only the parameters:
 This preserves BCC's Bayesian treatment of worker parameters — the part
 that differentiates it from D&S's point estimates — while matching the
 survey's observation that BCC and D&S land very close together.
+
+The sweeps run through :func:`repro.inference.sharded.run_gibbs_sharded`:
+per sweep the shards accumulate the soft confusion counts (step 1 as a
+map-reduce), the Dirichlet draws stay on the master generator (steps
+2–3 in the ``sample`` closure), and the posterior recomputation (step
+4) maps back over the shards.  One shard is bit-identical to the
+historical sampler; multiple shards reorder the statistics merge, which
+steers the rejection samplers onto different — statistically
+equivalent — draws, so the determinism contract is per (seed, shard
+count).  Delta refits are not defined for the sampler (a passed plan is
+ignored).
 """
 
 from __future__ import annotations
 
+import types
 from typing import Mapping
 
 import numpy as np
@@ -35,11 +47,62 @@ from ..core.framework import (
     clamp_golden_posterior,
     decode_posterior,
     log_normalize_rows,
-    normalize_rows,
 )
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.shards import AnswerShard
 from ..inference.distributions import sample_dirichlet_rows
+from ..inference.sharded import (
+    ShardedEMSpec,
+    SufficientStats,
+    majority_block,
+    run_gibbs_sharded,
+)
+
+
+class _ConfusionCountSpec(ShardedEMSpec):
+    """Gibbs shard kernels shared by BCC and CBCC.
+
+    ``accumulate`` builds the sweep conditional's sufficient statistics
+    — soft per-worker confusion counts plus the class mass; ``e_block``
+    recomputes the truth posterior from a per-worker log-confusion
+    table and log class prior.  All randomness lives in the master-side
+    ``sample`` closure, so these phases are deterministic.
+    """
+
+    def __init__(self, n_tasks: int, n_workers: int,
+                 n_choices: int) -> None:
+        super().__init__()
+        self.n_tasks = n_tasks
+        self.n_workers = n_workers
+        self.n_choices = n_choices
+
+    def build_ops(self, shard: AnswerShard):
+        return types.SimpleNamespace()
+
+    def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
+        return majority_block(shard)
+
+    def accumulate(self, shard: AnswerShard, ops,
+                   block: np.ndarray) -> SufficientStats:
+        # counts[w, k, j]: posterior mass of truth j where worker w
+        # answered k (the consumer transposes to (w, j, k)).
+        counts = np.zeros((self.n_workers, self.n_choices, self.n_choices))
+        np.add.at(counts, (shard.workers, shard.values),
+                  block[shard.local_tasks])
+        return SufficientStats(confusion_counts=counts,
+                               class_sums=block.sum(axis=0))
+
+    def finalize(self, stats: SufficientStats):
+        raise NotImplementedError(
+            "Gibbs parameters are drawn by the sample closure")
+
+    def e_block(self, shard: AnswerShard, ops, params) -> np.ndarray:
+        worker_log_conf, log_prior = params
+        log_post = np.tile(log_prior, (shard.n_local_tasks, 1))
+        np.add.at(log_post, shard.local_tasks,
+                  worker_log_conf[shard.workers, :, shard.values])
+        return log_normalize_rows(log_post)
 
 
 @register
@@ -48,6 +111,7 @@ class BCC(CategoricalMethod):
 
     name = "BCC"
     supports_golden = True
+    supports_sharding = True
 
     def __init__(self, n_samples: int = 50, burn_in: int = 20,
                  alpha_diagonal: float = 2.0, alpha_off_diagonal: float = 1.0,
@@ -63,6 +127,10 @@ class BCC(CategoricalMethod):
         self.alpha_off_diagonal = alpha_off_diagonal
         self.beta_prior = beta_prior
 
+    def make_em_spec(self, n_tasks: int, n_workers: int, n_choices: int):
+        return _ConfusionCountSpec(n_tasks=n_tasks, n_workers=n_workers,
+                                   n_choices=n_choices)
+
     def _confusion_prior(self, n_choices: int) -> np.ndarray:
         alpha = np.full((n_choices, n_choices), self.alpha_off_diagonal)
         np.fill_diagonal(alpha, self.alpha_diagonal)
@@ -74,49 +142,40 @@ class BCC(CategoricalMethod):
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        shard_runner=None,
+        delta=None,
     ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        values = answers.values.astype(np.int64)
         n_choices = answers.n_choices
         n_workers = answers.n_workers
-        n_tasks = answers.n_tasks
         alpha = self._confusion_prior(n_choices)
-
-        posterior = clamp_golden_posterior(
-            normalize_rows(answers.vote_counts()), golden)
-        tally = np.zeros((n_tasks, n_choices))
         confusion_sum = np.zeros((n_workers, n_choices, n_choices))
-        retained = 0
+        retained_conf = 0
 
-        total_sweeps = self.burn_in + self.n_samples
-        for sweep in range(total_sweeps):
-            # Expected confusion counts under the current posterior:
-            # counts[w, k, j] accumulates posterior mass of truth j for
-            # answers where worker w chose k; transpose to (w, j, k).
-            counts = np.zeros((n_workers, n_choices, n_choices))
-            np.add.at(counts, (workers, values), posterior[tasks])
+        def sample(merged: SufficientStats, sweep: int):
+            nonlocal confusion_sum, retained_conf
             confusion = sample_dirichlet_rows(
-                counts.transpose(0, 2, 1) + alpha, rng)
-
+                merged["confusion_counts"].transpose(0, 2, 1) + alpha, rng)
             prior = sample_dirichlet_rows(
-                posterior.sum(axis=0) + self.beta_prior, rng)
-
-            log_conf = np.log(np.clip(confusion, 1e-12, None))
-            log_post = np.tile(np.log(np.clip(prior, 1e-12, None)),
-                               (n_tasks, 1))
-            np.add.at(log_post, tasks, log_conf[workers, :, values])
-            posterior = clamp_golden_posterior(
-                log_normalize_rows(log_post), golden)
-
+                merged["class_sums"] + self.beta_prior, rng)
             if sweep >= self.burn_in:
-                tally += posterior
                 confusion_sum += confusion
-                retained += 1
+                retained_conf += 1
+            return (np.log(np.clip(confusion, 1e-12, None)),
+                    np.log(np.clip(prior, 1e-12, None)))
 
-        final = tally / max(retained, 1)
+        with self._shard_runner(answers, shard_runner, None) as runner:
+            outcome = run_gibbs_sharded(
+                runner,
+                n_sweeps=self.burn_in + self.n_samples,
+                burn_in=self.burn_in,
+                sample=sample,
+                golden=golden,
+                initial_state=self.majority_posterior(answers),
+            )
+
+        final = outcome.tally / max(outcome.retained, 1)
         final = clamp_golden_posterior(final, golden)
-        mean_confusion = confusion_sum / max(retained, 1)
+        mean_confusion = confusion_sum / max(retained_conf, 1)
         diag = np.arange(n_choices)
         quality = mean_confusion[:, diag, diag].mean(axis=1)
         return InferenceResult(
@@ -124,7 +183,8 @@ class BCC(CategoricalMethod):
             truths=decode_posterior(final, rng),
             worker_quality=quality,
             posterior=final,
-            n_iterations=total_sweeps,
+            n_iterations=self.burn_in + self.n_samples,
             converged=True,
             extras={"confusion": mean_confusion},
+            fit_stats=outcome.fit_stats,
         )

@@ -20,6 +20,13 @@ as a soft posterior and samples the remaining latent structure:
 We follow the survey's simplified reading where a worker's matrix *is*
 its community matrix; the per-worker perturbation of the original model
 matters mostly for very large pools.
+
+Sharding mirrors BCC (shared :class:`~repro.methods.bcc` shard
+kernels): the per-worker soft counts map-reduce over the shards, and
+every draw — community matrices, memberships, class prior — happens in
+the master-side ``sample`` closure, which also owns the membership
+vector across sweeps.  One shard is bit-identical to the historical
+sampler; shard counts define the determinism contract as in BCC.
 """
 
 from __future__ import annotations
@@ -30,14 +37,12 @@ import numpy as np
 
 from ..core.answers import AnswerSet
 from ..core.base import CategoricalMethod
-from ..core.framework import (
-    decode_posterior,
-    log_normalize_rows,
-    normalize_rows,
-)
+from ..core.framework import decode_posterior, log_normalize_rows
 from ..core.registry import register
 from ..core.result import InferenceResult
 from ..inference.distributions import sample_categorical_rows, sample_dirichlet_rows
+from ..inference.sharded import SufficientStats, run_gibbs_sharded
+from .bcc import _ConfusionCountSpec
 
 
 @register
@@ -46,6 +51,7 @@ class CBCC(CategoricalMethod):
 
     name = "CBCC"
     supports_golden = False  # the survey does not extend CBCC with golden tasks
+    supports_sharding = True
 
     def __init__(self, n_communities: int = 3, n_samples: int = 50,
                  burn_in: int = 20, alpha_diagonal: float = 4.0,
@@ -64,19 +70,21 @@ class CBCC(CategoricalMethod):
         self.beta_prior = beta_prior
         self.community_prior = community_prior
 
+    def make_em_spec(self, n_tasks: int, n_workers: int, n_choices: int):
+        return _ConfusionCountSpec(n_tasks=n_tasks, n_workers=n_workers,
+                                   n_choices=n_choices)
+
     def _fit(
         self,
         answers: AnswerSet,
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        shard_runner=None,
+        delta=None,
     ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        values = answers.values.astype(np.int64)
         n_choices = answers.n_choices
         n_workers = answers.n_workers
-        n_tasks = answers.n_tasks
         n_comm = self.n_communities
         diag = np.arange(n_choices)
 
@@ -88,18 +96,14 @@ class CBCC(CategoricalMethod):
             strength = self.alpha_diagonal * (m + 1) / n_comm
             alpha[m, diag, diag] = max(strength, self.alpha_off_diagonal)
 
-        posterior = normalize_rows(answers.vote_counts())
         membership = rng.integers(0, n_comm, size=n_workers)
-        tally = np.zeros((n_tasks, n_choices))
         quality_sum = np.zeros(n_workers)
         retained = 0
 
-        total_sweeps = self.burn_in + self.n_samples
-        for sweep in range(total_sweeps):
+        def sample(merged: SufficientStats, sweep: int):
+            nonlocal membership, quality_sum, retained
             # 1. Community confusion matrices from member soft counts.
-            worker_counts = np.zeros((n_workers, n_choices, n_choices))
-            np.add.at(worker_counts, (workers, values), posterior[tasks])
-            worker_counts = worker_counts.transpose(0, 2, 1)  # (w, j, k)
+            worker_counts = merged["confusion_counts"].transpose(0, 2, 1)
             comm_counts = np.zeros((n_comm, n_choices, n_choices))
             np.add.at(comm_counts, membership, worker_counts)
             confusion = sample_dirichlet_rows(comm_counts + alpha, rng)
@@ -113,28 +117,36 @@ class CBCC(CategoricalMethod):
             membership = sample_categorical_rows(
                 log_normalize_rows(worker_ll + log_size_prior), rng)
 
-            # 3. Class prior and truth posterior.
+            # 3. Class prior; the truth update happens in e_block.
             prior = sample_dirichlet_rows(
-                posterior.sum(axis=0) + self.beta_prior, rng)
-            log_post = np.tile(np.log(np.clip(prior, 1e-12, None)),
-                               (n_tasks, 1))
-            np.add.at(log_post, tasks,
-                      log_conf[membership[workers], :, values])
-            posterior = log_normalize_rows(log_post)
+                merged["class_sums"] + self.beta_prior, rng)
 
             if sweep >= self.burn_in:
-                tally += posterior
-                quality_sum += confusion[membership][:, diag, diag].mean(axis=1)
+                quality_sum += confusion[membership][:, diag,
+                                                     diag].mean(axis=1)
                 retained += 1
+            return (log_conf[membership],
+                    np.log(np.clip(prior, 1e-12, None)))
 
-        final = tally / max(retained, 1)
+        with self._shard_runner(answers, shard_runner, None) as runner:
+            outcome = run_gibbs_sharded(
+                runner,
+                n_sweeps=self.burn_in + self.n_samples,
+                burn_in=self.burn_in,
+                sample=sample,
+                golden=None,
+                initial_state=self.majority_posterior(answers),
+            )
+
+        final = outcome.tally / max(outcome.retained, 1)
         quality = quality_sum / max(retained, 1)
         return InferenceResult(
             method=self.name,
             truths=decode_posterior(final, rng),
             worker_quality=quality,
             posterior=final,
-            n_iterations=total_sweeps,
+            n_iterations=self.burn_in + self.n_samples,
             converged=True,
             extras={"community": membership},
+            fit_stats=outcome.fit_stats,
         )

@@ -11,19 +11,123 @@ after random Gaussian initialisation of the ``y`` messages.  The final
 estimate is ``v*_i = sign( Σ_{w∈W_i} A_{iw} y_{w→i} )``.  The algorithm
 is the BP/low-rank specialisation of ZC's model; the survey runs it for
 a fixed small number of rounds, as the original paper prescribes.
+
+Sharding: every task's edges live in exactly one task-range shard, so
+the task half of each round is shard-local; the worker half merges
+per-shard worker totals between the two message updates, and the
+normaliser merges per-shard squared sums.  The per-edge ``y``/``x``
+messages stay resident shard-side across rounds (in the cached shard
+operators, so the process tier never reships them).  The Gaussian
+``y`` seed is drawn on the master in original answer order and
+scattered to the shards through the same stable task-sort layout
+:class:`repro.core.shards.ShardedAnswerSet` uses, which keeps every
+shard count on the same per-edge draws: one shard is bit-identical to
+the historical loop, multiple shards differ only by merge order.
+Runtime shards grown by epoch appends interleave edges differently and
+give a statistically equivalent (not identical) message history.
 """
 
 from __future__ import annotations
 
+import functools
+import types
 from typing import Mapping
 
 import numpy as np
 
 from ..core.answers import AnswerSet
 from ..core.base import BinaryMethod
+from ..core.framework import radix_argsort
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.shards import AnswerShard
 from ..core.tasktypes import LABEL_TRUE
+from ..inference.sharded import ShardedEMSpec
+
+
+class _KOSSpec(ShardedEMSpec):
+    """Round phases of the KOS message passing.
+
+    Not an EM method: the phases below are driven directly by
+    :meth:`KOS._fit` rather than ``run_em_sharded``, so the EM hooks
+    are stubs.  ``ops`` doubles as the shard's message store — built
+    once per shard and pinned to its worker process, it carries the
+    per-edge ``y``/``x`` vectors from round to round.
+    """
+
+    def __init__(self, n_tasks: int, n_workers: int,
+                 n_choices: int = 2) -> None:
+        super().__init__()
+        self.n_tasks = n_tasks
+        self.n_workers = n_workers
+        self.n_choices = 2
+
+    def build_ops(self, shard: AnswerShard):
+        # Spin encoding: T (label 1) -> +1, F (label 0) -> -1.
+        spins = np.where(shard.values.astype(np.int64) == LABEL_TRUE,
+                         1.0, -1.0)
+        return types.SimpleNamespace(spins=spins, y=None, x=None)
+
+    def resize(self, n_tasks: int, n_workers: int, n_choices: int) -> bool:
+        if (n_choices != 2 or n_workers < self.n_workers
+                or n_tasks < self.n_tasks):
+            return False
+        self.n_tasks, self.n_workers = n_tasks, n_workers
+        return True
+
+    # -- round phases --------------------------------------------------
+    def seed_y(self, shard: AnswerShard, ops, y_block: np.ndarray) -> None:
+        if len(y_block) != len(ops.spins):
+            raise ValueError(
+                f"KOS seed block has {len(y_block)} edges, shard holds "
+                f"{len(ops.spins)}"
+            )
+        ops.y = np.array(y_block, dtype=np.float64)
+
+    def task_round(self, shard: AnswerShard, ops) -> np.ndarray:
+        """x-update (shard-local) + this shard's worker-total partial."""
+        spins = ops.spins
+        task_totals = np.bincount(shard.local_tasks, weights=spins * ops.y,
+                                  minlength=shard.n_local_tasks)
+        ops.x = task_totals[shard.local_tasks] - spins * ops.y
+        return np.bincount(shard.workers, weights=spins * ops.x,
+                           minlength=self.n_workers)
+
+    def worker_round(self, shard: AnswerShard, ops,
+                     worker_totals: np.ndarray) -> float:
+        """y-update against the merged worker totals; returns the
+        shard's squared-sum contribution to the normaliser."""
+        spins = ops.spins
+        ops.y = worker_totals[shard.workers] - spins * ops.x
+        return float(np.sum(ops.y * ops.y))
+
+    def scale_y(self, shard: AnswerShard, ops, norm: float) -> None:
+        ops.y = ops.y / norm
+
+    def score_block(self, shard: AnswerShard, ops
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Final task scores (shard-local) and the shard's partial of
+        the per-worker alignment sums."""
+        spins = ops.spins
+        scores = np.bincount(shard.local_tasks, weights=spins * ops.y,
+                             minlength=shard.n_local_tasks)
+        alignment = spins * np.sign(scores)[shard.local_tasks]
+        sums = np.bincount(shard.workers, weights=alignment,
+                           minlength=self.n_workers)
+        return scores, sums
+
+    # -- unused EM hooks -----------------------------------------------
+    def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
+        raise NotImplementedError("KOS is not an EM method")
+
+    def accumulate(self, shard: AnswerShard, ops, block) -> None:
+        raise NotImplementedError("KOS is not an EM method")
+
+    def finalize(self, stats) -> None:
+        raise NotImplementedError("KOS is not an EM method")
+
+    def e_block(self, shard: AnswerShard, ops, params) -> np.ndarray:
+        raise NotImplementedError("KOS is not an EM method")
 
 
 @register
@@ -31,6 +135,7 @@ class KOS(BinaryMethod):
     """Karger–Oh–Shah message passing on the assignment graph."""
 
     name = "KOS"
+    supports_sharding = True
 
     def __init__(self, n_rounds: int = 10, **kwargs) -> None:
         super().__init__(**kwargs)
@@ -38,38 +143,55 @@ class KOS(BinaryMethod):
             raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
         self.n_rounds = n_rounds
 
+    def make_em_spec(self, n_tasks: int, n_workers: int, n_choices: int):
+        return _KOSSpec(n_tasks=n_tasks, n_workers=n_workers)
+
+    @staticmethod
+    def _seed_blocks(answers: AnswerSet, runner,
+                     y: np.ndarray) -> list[np.ndarray]:
+        """Scatter the master-drawn seed onto the shards' edge layout."""
+        if runner.n_shards == 1:
+            return [y]
+        order = radix_argsort(answers.tasks)
+        sorted_tasks = answers.tasks[order]
+        y_sorted = y[order]
+        blocks = []
+        for start, stop in runner.task_ranges:
+            lo = np.searchsorted(sorted_tasks, start, side="left")
+            hi = np.searchsorted(sorted_tasks, stop, side="left")
+            blocks.append(y_sorted[lo:hi])
+        return blocks
+
     def _fit(
         self,
         answers: AnswerSet,
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        shard_runner=None,
+        delta=None,
     ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        # Spin encoding: T (label 1) -> +1, F (label 0) -> -1.
-        spins = np.where(answers.values.astype(np.int64) == LABEL_TRUE, 1.0, -1.0)
+        with self._shard_runner(answers, shard_runner, delta) as runner:
+            # One message per edge (= per answer); the draw happens in
+            # original answer order so every shard count sees the same
+            # per-edge values.
+            y = rng.normal(loc=1.0, scale=1.0, size=answers.n_answers)
+            runner.call("seed_y",
+                        per_shard=self._seed_blocks(answers, runner, y))
 
-        # One message per edge (= per answer).
-        y = rng.normal(loc=1.0, scale=1.0, size=answers.n_answers)
-        x = np.zeros_like(y)
+            for _ in range(self.n_rounds):
+                partials = runner.call("task_round")
+                worker_totals = functools.reduce(np.add, partials)
+                squares = runner.call("worker_round",
+                                      shared=(worker_totals,))
+                norm = np.sqrt(sum(squares) / answers.n_answers)
+                if norm > 0:
+                    runner.call("scale_y", shared=(float(norm),))
 
-        for _ in range(self.n_rounds):
-            # x_{i->w}: task total minus the receiving edge's own term.
-            task_totals = np.bincount(tasks, weights=spins * y,
-                                      minlength=answers.n_tasks)
-            x = task_totals[tasks] - spins * y
-            # y_{w->i}: worker total minus the receiving edge's own term.
-            worker_totals = np.bincount(workers, weights=spins * x,
-                                        minlength=answers.n_workers)
-            y = worker_totals[workers] - spins * x
-            # Normalise to keep magnitudes bounded across rounds.
-            norm = np.sqrt(np.mean(y**2))
-            if norm > 0:
-                y = y / norm
+            results = runner.call("score_block")
+            scores = np.concatenate([block for block, _ in results])
+            sums = functools.reduce(np.add, [part for _, part in results])
 
-        scores = np.bincount(tasks, weights=spins * y,
-                             minlength=answers.n_tasks)
         truths = np.where(scores > 0, LABEL_TRUE, 1 - LABEL_TRUE)
         ties = scores == 0
         if ties.any():
@@ -77,9 +199,6 @@ class KOS(BinaryMethod):
 
         # Worker reliability summary: average alignment of the worker's
         # spin with the final task score sign.
-        alignment = spins * np.sign(scores)[tasks]
-        sums = np.bincount(workers, weights=alignment,
-                           minlength=answers.n_workers)
         counts = np.maximum(answers.worker_answer_counts(), 1)
         quality = (sums / counts + 1.0) / 2.0
 

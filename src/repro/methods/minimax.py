@@ -30,24 +30,164 @@ mirroring the regularised variant of Zhou et al.'s follow-up work):
 
 The survey finds Minimax slow (an optimisation problem per iteration)
 and notably weaker than the pack on D_Product; both reproduce here.
+
+Sharding: the M-step is itself iterative (``statistics_m_step = False``
+like GLAD), so the spec drives the inner gradient rounds through the
+runner — each round maps a shard-local residual kernel (``τ`` gradients
+never leave their shard; ``σ`` gradient partials merge per round) and
+the parameter updates run on the master.  The per-edge posterior and
+observed tensors are fixed across one M-step's rounds and cached
+shard-side by ``begin_m_step``.  One shard reproduces the historical
+loop bit-for-bit.
 """
 
 from __future__ import annotations
 
+import functools
+import types
 from typing import Mapping
 
 import numpy as np
 
 from ..core.answers import AnswerSet
 from ..core.base import CategoricalMethod
-from ..core.framework import (
-    ConvergenceTracker,
-    clamp_golden_posterior,
-    decode_posterior,
-    log_normalize_rows,
-)
+from ..core.framework import decode_posterior, log_normalize_rows
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.shards import AnswerShard
+from ..inference.sharded import (
+    ShardedEMSpec,
+    majority_block,
+    run_em_sharded,
+)
+
+
+class _MinimaxSpec(ShardedEMSpec):
+    """Shard kernels of the minimax-entropy gradient rounds.
+
+    ``count_t``/``count_w`` (the gradient normalisers) are stamped by
+    ``_fit`` — master-side only, like CATD's chi-square coefficient:
+    the M-step always runs on the master.
+    """
+
+    statistics_m_step = False
+
+    def __init__(self, n_tasks: int, n_workers: int, n_choices: int,
+                 learning_rate: float, gradient_steps: int, l2_tau: float,
+                 l2_sigma: float, prior_temper: float) -> None:
+        super().__init__()
+        self.n_tasks = n_tasks
+        self.n_workers = n_workers
+        self.n_choices = n_choices
+        self.learning_rate = learning_rate
+        self.gradient_steps = gradient_steps
+        self.l2_tau = l2_tau
+        self.l2_sigma = l2_sigma
+        self.prior_temper = prior_temper
+
+    def build_ops(self, shard: AnswerShard):
+        return types.SimpleNamespace(
+            edge_index=np.arange(len(shard.values)),
+            post_edge=None,
+            observed=None,
+        )
+
+    def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
+        return majority_block(shard)
+
+    # -- parameter-step phases -----------------------------------------
+    def confusion_counts(self, shard: AnswerShard, ops,
+                         block: np.ndarray) -> np.ndarray:
+        """Soft confusion partial driving the sigma warm start."""
+        counts = np.zeros((self.n_workers, self.n_choices, self.n_choices))
+        np.add.at(counts, (shard.workers, shard.values),
+                  block[shard.local_tasks])
+        return counts
+
+    def begin_m_step(self, shard: AnswerShard, ops,
+                     block: np.ndarray) -> None:
+        """Cache the per-edge tensors fixed across one M-step's rounds."""
+        post_edge = block[shard.local_tasks]  # (n_edges, j)
+        observed = np.zeros(
+            (len(shard.values), self.n_choices, self.n_choices))
+        observed[ops.edge_index, :, shard.values] = post_edge
+        ops.post_edge = post_edge
+        ops.observed = observed
+
+    def _edge_log_probs(self, shard: AnswerShard, tau_block: np.ndarray,
+                        sigma: np.ndarray) -> np.ndarray:
+        """Per-edge log π^w_i(k | j): shape (n_edges, j, k)."""
+        scores = (tau_block[shard.local_tasks][:, None, :]
+                  + sigma[shard.workers])
+        scores = scores - scores.max(axis=2, keepdims=True)
+        log_z = np.log(np.exp(scores).sum(axis=2, keepdims=True))
+        return scores - log_z
+
+    def grad_step(self, shard: AnswerShard, ops, tau_block: np.ndarray,
+                  sigma: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One gradient round's shard partials: the local tau gradient
+        block and the worker-wide sigma gradient partial."""
+        pi = np.exp(self._edge_log_probs(shard, tau_block, sigma))
+        expected = ops.post_edge[:, :, None] * pi
+        residual = ops.observed - expected
+
+        grad_tau = np.zeros((shard.n_local_tasks, self.n_choices))
+        np.add.at(grad_tau, shard.local_tasks, residual.sum(axis=1))
+        grad_sigma = np.zeros(
+            (self.n_workers, self.n_choices, self.n_choices))
+        np.add.at(grad_sigma, shard.workers, residual)
+        return grad_tau, grad_sigma
+
+    # -- master-side M-step --------------------------------------------
+    def _init_sigma(self, runner, blocks) -> np.ndarray:
+        counts = functools.reduce(
+            np.add, runner.call("confusion_counts", per_shard=blocks))
+        confusion = counts.transpose(0, 2, 1) + 1.0
+        confusion /= confusion.sum(axis=2, keepdims=True)
+        return np.log(confusion)
+
+    def m_step(self, runner, blocks, prev_params):
+        if prev_params is None:
+            tau = np.zeros((self.n_tasks, self.n_choices))
+            sigma = self._init_sigma(runner, blocks)
+        else:
+            tau, sigma = prev_params[0], prev_params[1]
+        runner.call("begin_m_step", per_shard=blocks)
+        ranges = runner.task_ranges
+        for _ in range(self.gradient_steps):
+            results = runner.call(
+                "grad_step",
+                per_shard=[(tau[start:stop],) for start, stop in ranges],
+                shared=(sigma,))
+            grad_tau = np.concatenate([g for g, _ in results])
+            grad_sigma = functools.reduce(np.add,
+                                          [p for _, p in results])
+            tau += self.learning_rate * (grad_tau / self.count_t
+                                         - self.l2_tau * tau)
+            sigma += self.learning_rate * (grad_sigma / self.count_w
+                                           - self.l2_sigma * sigma)
+        class_prior = np.clip(
+            np.concatenate(blocks).mean(axis=0), 1e-6, None)
+        class_prior = class_prior / class_prior.sum()
+        return tau, sigma, class_prior
+
+    # -- truth step ----------------------------------------------------
+    def e_block(self, shard: AnswerShard, ops, params) -> np.ndarray:
+        tau, sigma, class_prior = params[0], params[1], params[2]
+        tau_block = tau[shard.task_start:shard.task_stop]
+        log_pi = self._edge_log_probs(shard, tau_block, sigma)
+        edge_ll = log_pi[ops.edge_index, :, shard.values]
+        log_post = np.tile(self.prior_temper * np.log(class_prior),
+                           (shard.n_local_tasks, 1))
+        np.add.at(log_post, shard.local_tasks, edge_ll)
+        return log_normalize_rows(log_post)
+
+    # -- unused statistics hooks ---------------------------------------
+    def accumulate(self, shard: AnswerShard, ops, block) -> None:
+        raise NotImplementedError("Minimax's M-step is iterative")
+
+    def finalize(self, stats) -> None:
+        raise NotImplementedError("Minimax's M-step is iterative")
 
 
 @register
@@ -56,6 +196,7 @@ class MinimaxEntropy(CategoricalMethod):
 
     name = "Minimax"
     supports_golden = True
+    supports_sharding = True
 
     def __init__(self, learning_rate: float = 0.5, gradient_steps: int = 20,
                  l2_tau: float = 3.0, l2_sigma: float = 0.01,
@@ -72,90 +213,55 @@ class MinimaxEntropy(CategoricalMethod):
         self.l2_sigma = l2_sigma
         self.prior_temper = prior_temper
 
+    def make_em_spec(self, n_tasks: int, n_workers: int, n_choices: int):
+        return _MinimaxSpec(
+            n_tasks=n_tasks, n_workers=n_workers, n_choices=n_choices,
+            learning_rate=self.learning_rate,
+            gradient_steps=self.gradient_steps,
+            l2_tau=self.l2_tau, l2_sigma=self.l2_sigma,
+            prior_temper=self.prior_temper)
+
     def _fit(
         self,
         answers: AnswerSet,
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        shard_runner=None,
+        delta=None,
     ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        values = answers.values.astype(np.int64)
-        n_tasks, n_workers = answers.n_tasks, answers.n_workers
-        n_choices = answers.n_choices
-        count_t = np.maximum(answers.task_answer_counts(), 1)[:, None]
-        count_w = np.maximum(answers.worker_answer_counts(), 1)[:, None, None]
+        with self._shard_runner(answers, shard_runner, delta) as runner:
+            spec = runner.spec
+            spec.count_t = np.maximum(answers.task_answer_counts(),
+                                      1)[:, None]
+            spec.count_w = np.maximum(answers.worker_answer_counts(),
+                                      1)[:, None, None]
+            if delta is not None:
+                delta = delta.collect_only()
+            outcome = run_em_sharded(
+                runner,
+                tolerance=self.tolerance,
+                max_iter=self.max_iter,
+                golden=golden,
+                delta=delta,
+            )
 
-        posterior = clamp_golden_posterior(self.majority_posterior(answers),
-                                           golden)
-
-        # Warm start: sigma = log of the Laplace-smoothed confusion
-        # estimate under the majority posterior.
-        counts = np.zeros((n_workers, n_choices, n_choices))
-        np.add.at(counts, (workers, values), posterior[tasks])
-        confusion = counts.transpose(0, 2, 1) + 1.0
-        confusion /= confusion.sum(axis=2, keepdims=True)
-        sigma = np.log(confusion)
-        tau = np.zeros((n_tasks, n_choices))
-
-        def model_log_probs(tau: np.ndarray, sigma: np.ndarray) -> np.ndarray:
-            """Per-edge log π^w_i(k | j): shape (n_answers, j, k)."""
-            scores = tau[tasks][:, None, :] + sigma[workers]
-            scores = scores - scores.max(axis=2, keepdims=True)
-            log_z = np.log(np.exp(scores).sum(axis=2, keepdims=True))
-            return scores - log_z
-
-        edge_index = np.arange(len(values))
-        tracker = ConvergenceTracker(tolerance=self.tolerance,
-                                     max_iter=self.max_iter)
-        while True:
-            # --- Parameter step: normalised gradient ascent. ---
-            for _ in range(self.gradient_steps):
-                log_pi = model_log_probs(tau, sigma)
-                pi = np.exp(log_pi)
-                post_edge = posterior[tasks]  # (n_answers, j)
-                expected = post_edge[:, :, None] * pi
-                observed = np.zeros_like(expected)
-                observed[edge_index, :, values] = post_edge
-                residual = observed - expected
-
-                grad_tau = np.zeros_like(tau)
-                np.add.at(grad_tau, tasks, residual.sum(axis=1))
-                grad_sigma = np.zeros_like(sigma)
-                np.add.at(grad_sigma, workers, residual)
-
-                tau += self.learning_rate * (grad_tau / count_t
-                                             - self.l2_tau * tau)
-                sigma += self.learning_rate * (grad_sigma / count_w
-                                               - self.l2_sigma * sigma)
-
-            # --- Truth step: tempered-prior posterior. ---
-            class_prior = np.clip(posterior.mean(axis=0), 1e-6, None)
-            class_prior = class_prior / class_prior.sum()
-            log_pi = model_log_probs(tau, sigma)
-            edge_ll = log_pi[edge_index, :, values]
-            log_post = np.tile(self.prior_temper * np.log(class_prior),
-                               (n_tasks, 1))
-            np.add.at(log_post, tasks, edge_ll)
-            posterior = clamp_golden_posterior(log_normalize_rows(log_post),
-                                               golden)
-            if tracker.update(posterior):
-                break
-
+        tau, sigma = outcome.parameters[0], outcome.parameters[1]
         # Worker quality: probability mass the worker's model puts on
         # answering correctly, averaged over truth classes.
         softmax_sigma = np.exp(sigma - sigma.max(axis=2, keepdims=True))
         softmax_sigma /= softmax_sigma.sum(axis=2, keepdims=True)
-        diag = np.arange(n_choices)
+        diag = np.arange(answers.n_choices)
         quality = softmax_sigma[:, diag, diag].mean(axis=1)
 
         return InferenceResult(
             method=self.name,
-            truths=decode_posterior(posterior, rng),
+            truths=decode_posterior(outcome.posterior, rng),
             worker_quality=quality,
-            posterior=posterior,
-            n_iterations=tracker.iteration,
-            converged=tracker.converged,
+            posterior=outcome.posterior,
+            n_iterations=outcome.n_iterations,
+            converged=outcome.converged,
             extras={"tau": tau, "sigma": sigma},
+            fit_stats=outcome.fit_stats,
+            shard_state=outcome.shard_state,
         )

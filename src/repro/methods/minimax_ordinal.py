@@ -15,7 +15,10 @@ This reduces per-worker parameters from ``l²`` to ``4(l−1)`` and forces
 confusions to respect the label ordering — confusing 'relevant' with
 'highly relevant' is cheap, confusing it with 'broken link' is not.
 Everything else (per-task ``τ``, alternating optimisation, warm start,
-tempered class prior) follows :mod:`repro.methods.minimax`.
+tempered class prior) follows :mod:`repro.methods.minimax`, including
+the sharded gradient rounds: the shard kernels are inherited unchanged
+(the residuals don't know about splits) and only the master-side
+parameter updates chain-rule the merged ``σ`` gradient into ``ω``.
 
 Registered as ``"Minimax-Ord"`` with ``is_extension = True``: it never
 enters the paper-faithful method lists unless explicitly requested.
@@ -23,20 +26,111 @@ enters the paper-faithful method lists unless explicitly requested.
 
 from __future__ import annotations
 
+import functools
 from typing import Mapping
 
 import numpy as np
 
 from ..core.answers import AnswerSet
 from ..core.base import CategoricalMethod
-from ..core.framework import (
-    ConvergenceTracker,
-    clamp_golden_posterior,
-    decode_posterior,
-    log_normalize_rows,
-)
+from ..core.framework import decode_posterior
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.shards import AnswerShard
+from ..inference.sharded import run_em_sharded
+from .minimax import _MinimaxSpec
+
+
+class _MinimaxOrdinalSpec(_MinimaxSpec):
+    """Minimax shard kernels with split-parameterised workers.
+
+    ``grad_step``/``begin_m_step``/``e_block`` come from the parent —
+    the shards see only ``τ`` and the expanded ``σ``; the ``ω``
+    bookkeeping is entirely master-side.
+    """
+
+    def __init__(self, n_tasks: int, n_workers: int, n_choices: int,
+                 learning_rate: float, gradient_steps: int, l2_tau: float,
+                 l2_omega: float, prior_temper: float) -> None:
+        super().__init__(
+            n_tasks=n_tasks, n_workers=n_workers, n_choices=n_choices,
+            learning_rate=learning_rate, gradient_steps=gradient_steps,
+            l2_tau=l2_tau, l2_sigma=l2_omega, prior_temper=prior_temper)
+        self.l2_omega = l2_omega
+        self.n_splits = max(n_choices - 1, 1)
+        # side[s, j] = 1 when label j lies at or above split s.
+        splits = np.arange(1, self.n_splits + 1)
+        labels = np.arange(n_choices)
+        self.side = (labels[None, :] >= splits[:, None]).astype(np.int64)
+
+    # -- phases --------------------------------------------------------
+    def split_counts(self, shard: AnswerShard, ops,
+                     block: np.ndarray) -> np.ndarray:
+        """Per-split 2x2 confusion partial driving the omega warm
+        start (integral counts, so the merge is exact)."""
+        counts2 = np.zeros((self.n_workers, self.n_splits, 2, 2))
+        truth_hat = block.argmax(axis=1)
+        for s in range(self.n_splits):
+            truth_side = self.side[s][truth_hat[shard.local_tasks]]
+            answer_side = self.side[s][shard.values]
+            np.add.at(counts2, (shard.workers, s, truth_side, answer_side),
+                      1.0)
+        return counts2
+
+    # -- master-side M-step --------------------------------------------
+    def _init_omega(self, runner, blocks) -> np.ndarray:
+        counts2 = functools.reduce(
+            np.add, runner.call("split_counts", per_shard=blocks))
+        counts2 += 1.0  # Laplace
+        return np.log(counts2 / counts2.sum(axis=3, keepdims=True))
+
+    def _sigma_from_omega(self, omega: np.ndarray) -> np.ndarray:
+        """Expand split parameters into the (w, j, k) multipliers."""
+        sigma = np.zeros((self.n_workers, self.n_choices, self.n_choices))
+        for s in range(self.n_splits):
+            sigma += omega[:, s][:, self.side[s][:, None],
+                                 self.side[s][None, :]]
+        return sigma
+
+    def m_step(self, runner, blocks, prev_params):
+        if prev_params is None:
+            tau = np.zeros((self.n_tasks, self.n_choices))
+            omega = self._init_omega(runner, blocks)
+        else:
+            tau, omega = prev_params[0], prev_params[3]
+        runner.call("begin_m_step", per_shard=blocks)
+        ranges = runner.task_ranges
+        for _ in range(self.gradient_steps):
+            sigma = self._sigma_from_omega(omega)
+            results = runner.call(
+                "grad_step",
+                per_shard=[(tau[start:stop],) for start, stop in ranges],
+                shared=(sigma,))
+            grad_tau = np.concatenate([g for g, _ in results])
+            grad_sigma = functools.reduce(np.add,
+                                          [p for _, p in results])
+
+            # Chain rule into the split parameters: each (j, k) cell
+            # feeds the (1[j>=s], 1[k>=s]) cell of every split s.
+            grad_omega = np.zeros_like(omega)
+            for s in range(self.n_splits):
+                for a in (0, 1):
+                    for b in (0, 1):
+                        mask = ((self.side[s][:, None] == a)
+                                & (self.side[s][None, :] == b))
+                        grad_omega[:, s, a, b] = grad_sigma[:, mask].sum(
+                            axis=1)
+
+            tau += self.learning_rate * (grad_tau / self.count_t
+                                         - self.l2_tau * tau)
+            omega += self.learning_rate * (grad_omega / self.count_w
+                                           - self.l2_omega * omega)
+
+        sigma = self._sigma_from_omega(omega)
+        class_prior = np.clip(
+            np.concatenate(blocks).mean(axis=0), 1e-6, None)
+        class_prior = class_prior / class_prior.sum()
+        return tau, sigma, class_prior, omega
 
 
 @register
@@ -46,6 +140,7 @@ class MinimaxOrdinal(CategoricalMethod):
     name = "Minimax-Ord"
     is_extension = True
     supports_golden = True
+    supports_sharding = True
 
     def __init__(self, learning_rate: float = 0.5, gradient_steps: int = 20,
                  l2_tau: float = 3.0, l2_omega: float = 0.01,
@@ -58,117 +153,54 @@ class MinimaxOrdinal(CategoricalMethod):
         self.l2_omega = l2_omega
         self.prior_temper = prior_temper
 
+    def make_em_spec(self, n_tasks: int, n_workers: int, n_choices: int):
+        return _MinimaxOrdinalSpec(
+            n_tasks=n_tasks, n_workers=n_workers, n_choices=n_choices,
+            learning_rate=self.learning_rate,
+            gradient_steps=self.gradient_steps,
+            l2_tau=self.l2_tau, l2_omega=self.l2_omega,
+            prior_temper=self.prior_temper)
+
     def _fit(
         self,
         answers: AnswerSet,
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        shard_runner=None,
+        delta=None,
     ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        values = answers.values.astype(np.int64)
-        n_tasks, n_workers = answers.n_tasks, answers.n_workers
-        n_choices = answers.n_choices
-        n_splits = max(n_choices - 1, 1)
-        count_t = np.maximum(answers.task_answer_counts(), 1)[:, None]
-        count_w = np.maximum(answers.worker_answer_counts(),
-                             1)[:, None, None, None]
+        with self._shard_runner(answers, shard_runner, delta) as runner:
+            spec = runner.spec
+            spec.count_t = np.maximum(answers.task_answer_counts(),
+                                      1)[:, None]
+            spec.count_w = np.maximum(answers.worker_answer_counts(),
+                                      1)[:, None, None, None]
+            if delta is not None:
+                delta = delta.collect_only()
+            outcome = run_em_sharded(
+                runner,
+                tolerance=self.tolerance,
+                max_iter=self.max_iter,
+                golden=golden,
+                delta=delta,
+            )
 
-        # side[s, j] = 1 when label j lies at or above split s.
-        splits = np.arange(1, n_splits + 1)
-        labels = np.arange(n_choices)
-        side = (labels[None, :] >= splits[:, None]).astype(np.int64)
-
-        posterior = clamp_golden_posterior(self.majority_posterior(answers),
-                                           golden)
-
-        # Warm start omega from the majority-vote split statistics: for
-        # each split, a 2x2 log-confusion over the dichotomised labels.
-        omega = np.zeros((n_workers, n_splits, 2, 2))
-        counts2 = np.zeros((n_workers, n_splits, 2, 2))
-        truth_hat = posterior.argmax(axis=1)
-        for s in range(n_splits):
-            truth_side = side[s][truth_hat[tasks]]
-            answer_side = side[s][values]
-            np.add.at(counts2, (workers, s, truth_side, answer_side), 1.0)
-        counts2 += 1.0  # Laplace
-        omega = np.log(counts2 / counts2.sum(axis=3, keepdims=True))
-
-        def sigma_from_omega(omega: np.ndarray) -> np.ndarray:
-            """Expand split parameters into the (w, j, k) multipliers."""
-            sigma = np.zeros((n_workers, n_choices, n_choices))
-            for s in range(n_splits):
-                sigma += omega[:, s][:, side[s][:, None], side[s][None, :]]
-            return sigma
-
-        def model_log_probs(tau, sigma):
-            scores = tau[tasks][:, None, :] + sigma[workers]
-            scores = scores - scores.max(axis=2, keepdims=True)
-            log_z = np.log(np.exp(scores).sum(axis=2, keepdims=True))
-            return scores - log_z
-
-        tau = np.zeros((n_tasks, n_choices))
-        edge_index = np.arange(len(values))
-        tracker = ConvergenceTracker(tolerance=self.tolerance,
-                                     max_iter=self.max_iter)
-        while True:
-            for _ in range(self.gradient_steps):
-                sigma = sigma_from_omega(omega)
-                log_pi = model_log_probs(tau, sigma)
-                pi = np.exp(log_pi)
-                post_edge = posterior[tasks]
-                expected = post_edge[:, :, None] * pi
-                observed = np.zeros_like(expected)
-                observed[edge_index, :, values] = post_edge
-                residual = observed - expected  # (n_answers, j, k)
-
-                grad_tau = np.zeros_like(tau)
-                np.add.at(grad_tau, tasks, residual.sum(axis=1))
-
-                # Chain rule into the split parameters: each (j, k) cell
-                # feeds the (1[j>=s], 1[k>=s]) cell of every split s.
-                grad_sigma = np.zeros((n_workers, n_choices, n_choices))
-                np.add.at(grad_sigma, workers, residual)
-                grad_omega = np.zeros_like(omega)
-                for s in range(n_splits):
-                    for a in (0, 1):
-                        for b in (0, 1):
-                            mask = ((side[s][:, None] == a)
-                                    & (side[s][None, :] == b))
-                            grad_omega[:, s, a, b] = grad_sigma[:, mask].sum(
-                                axis=1)
-
-                tau += self.learning_rate * (grad_tau / count_t
-                                             - self.l2_tau * tau)
-                omega += self.learning_rate * (grad_omega / count_w
-                                               - self.l2_omega * omega)
-
-            sigma = sigma_from_omega(omega)
-            class_prior = np.clip(posterior.mean(axis=0), 1e-6, None)
-            class_prior = class_prior / class_prior.sum()
-            log_pi = model_log_probs(tau, sigma)
-            edge_ll = log_pi[edge_index, :, values]
-            log_post = np.tile(self.prior_temper * np.log(class_prior),
-                               (n_tasks, 1))
-            np.add.at(log_post, tasks, edge_ll)
-            posterior = clamp_golden_posterior(log_normalize_rows(log_post),
-                                               golden)
-            if tracker.update(posterior):
-                break
-
-        sigma = sigma_from_omega(omega)
+        tau, sigma, omega = (outcome.parameters[0], outcome.parameters[1],
+                             outcome.parameters[3])
         softmax_sigma = np.exp(sigma - sigma.max(axis=2, keepdims=True))
         softmax_sigma /= softmax_sigma.sum(axis=2, keepdims=True)
-        diag = np.arange(n_choices)
+        diag = np.arange(answers.n_choices)
         quality = softmax_sigma[:, diag, diag].mean(axis=1)
 
         return InferenceResult(
             method=self.name,
-            truths=decode_posterior(posterior, rng),
+            truths=decode_posterior(outcome.posterior, rng),
             worker_quality=quality,
-            posterior=posterior,
-            n_iterations=tracker.iteration,
-            converged=tracker.converged,
+            posterior=outcome.posterior,
+            n_iterations=outcome.n_iterations,
+            converged=outcome.converged,
             extras={"tau": tau, "omega": omega, "sigma": sigma},
+            fit_stats=outcome.fit_stats,
+            shard_state=outcome.shard_state,
         )

@@ -13,6 +13,14 @@ An optimisation method minimising
   computation, which ``tests/methods/test_pm.py`` replays).
 
 A small regulariser inside the log keeps perfect workers finite.
+
+Like CATD, PM runs as an alternating sharded estimation over the
+weighted-vote/weighted-mean shard kernels (see
+:mod:`repro.methods.catd`); only the quality step differs.  The random
+truth tie-breaks stay on the master generator
+(``prepare_accumulate``), so shard phases are deterministic and one
+shard reproduces the historical loop — including every tie-break —
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -23,15 +31,41 @@ import numpy as np
 
 from ..core.answers import AnswerSet
 from ..core.base import GeneralMethod
-from ..core.framework import (
-    ConvergenceTracker,
-    clamp_golden_posterior,
-    clamp_golden_values,
-    decode_posterior,
-    normalize_rows,
-)
+from ..core.framework import decode_posterior
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.shards import AnswerShard
+from ..core.warmstart import expand_worker_vector
+from ..inference.sharded import SufficientStats, run_alternating_sharded
+from .catd import _WeightedMeanSpec, _WeightedVoteSpec
+
+
+class _PMVoteSpec(_WeightedVoteSpec):
+    """Categorical PM: decoded-label losses, −log-normalised weights."""
+
+    def prepare_accumulate(self, state, ranges, rng, only=None):
+        # Ties are broken randomly (the paper's Section 3 walk-through
+        # relies on this) — decode once over the full state on the
+        # master generator, exactly as the unsharded loop did, then
+        # hand each shard its label slice.
+        indices = range(len(ranges)) if only is None else only
+        truths = decode_posterior(state, rng)
+        return [truths[ranges[k][0]:ranges[k][1]] for k in indices]
+
+    def accumulate(self, shard: AnswerShard, ops,
+                   truths: np.ndarray) -> SufficientStats:
+        return self._loss_stats(shard, ops, truths)
+
+    def finalize(self, stats: SufficientStats) -> np.ndarray:
+        sums = stats["losses"] + self.regularization
+        worst = sums.max()
+        return -np.log(sums / worst) + self.regularization
+
+
+class _PMMeanSpec(_WeightedMeanSpec):
+    """Numeric PM: scaled squared-residual losses, same weight formula."""
+
+    finalize = _PMVoteSpec.finalize
 
 
 @register
@@ -41,6 +75,8 @@ class PM(GeneralMethod):
     name = "PM"
     supports_initial_quality = True
     supports_golden = True
+    supports_warm_start = True
+    supports_sharding = True
 
     def __init__(self, regularization: float = 0.01, **kwargs) -> None:
         super().__init__(**kwargs)
@@ -48,17 +84,13 @@ class PM(GeneralMethod):
             raise ValueError("regularization must be positive")
         self.regularization = regularization
 
-    # ------------------------------------------------------------------
-    def _fit(
-        self,
-        answers: AnswerSet,
-        golden: Mapping[int, float] | None,
-        initial_quality: np.ndarray | None,
-        rng: np.random.Generator,
-    ) -> InferenceResult:
-        if answers.task_type.is_categorical:
-            return self._fit_categorical(answers, golden, initial_quality, rng)
-        return self._fit_numeric(answers, golden, initial_quality, rng)
+    def make_em_spec(self, n_tasks: int, n_workers: int, n_choices: int):
+        if n_choices == 0:
+            return _PMMeanSpec(n_tasks=n_tasks, n_workers=n_workers,
+                               regularization=self.regularization)
+        return _PMVoteSpec(n_tasks=n_tasks, n_workers=n_workers,
+                           n_choices=n_choices,
+                           regularization=self.regularization)
 
     def _initial_weights(self, answers: AnswerSet,
                          initial_quality: np.ndarray | None) -> np.ndarray:
@@ -70,82 +102,53 @@ class PM(GeneralMethod):
                        self.regularization, 1.0)
         return np.maximum(-np.log(miss), self.regularization)
 
-    def _quality_step(self, answers: AnswerSet, distances: np.ndarray
-                      ) -> np.ndarray:
-        """The −log-normalised loss update shared by both task types."""
-        sums = np.bincount(answers.workers, weights=distances,
-                           minlength=answers.n_workers)
-        sums = sums + self.regularization
-        worst = sums.max()
-        return -np.log(sums / worst) + self.regularization
+    def _fit(
+        self,
+        answers: AnswerSet,
+        golden: Mapping[int, float] | None,
+        initial_quality: np.ndarray | None,
+        rng: np.random.Generator,
+        warm_start: InferenceResult | None = None,
+        shard_runner=None,
+        delta=None,
+    ) -> InferenceResult:
+        categorical = answers.task_type.is_categorical
+        with self._shard_runner(answers, shard_runner, delta) as runner:
+            if not categorical:
+                values = answers.values
+                scale = np.std(values) if np.std(values) > 0 else 1.0
+                runner.spec.accumulate_shared = (float(scale),)
 
-    # ------------------------------------------------------------------
-    def _fit_categorical(self, answers, golden, initial_quality, rng
-                         ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        values = answers.values.astype(np.int64)
-        weights = self._initial_weights(answers, initial_quality)
+            warm = warm_start is not None
+            if warm:
+                weights = expand_worker_vector(
+                    warm_start.worker_quality, answers.n_workers, 1.0)
+            else:
+                weights = self._initial_weights(answers, initial_quality)
 
-        tracker = ConvergenceTracker(tolerance=self.tolerance,
-                                     max_iter=self.max_iter)
-        scores = np.zeros((answers.n_tasks, answers.n_choices))
-        while True:
-            # Truth step: weighted vote, ties broken randomly — the
-            # paper's Section 3 walk-through relies on this ("it
-            # randomly infers v*_1 to break the tie"), and the broken
-            # tie can decide which fixed point the iteration reaches.
-            scores.fill(0.0)
-            np.add.at(scores, (tasks, values), weights[workers])
-            posterior = clamp_golden_posterior(normalize_rows(scores), golden)
-            truths = decode_posterior(posterior, rng)
+            if delta is not None and not warm:
+                delta = delta.collect_only()
+            outcome = run_alternating_sharded(
+                runner,
+                tolerance=self.tolerance,
+                max_iter=self.max_iter,
+                golden=golden,
+                initial_parameters=weights,
+                rng=rng,
+                count_prime=warm,
+                delta=delta,
+            )
 
-            # Quality step: 0/1 distance to the current truth.
-            distances = (values != truths[tasks]).astype(np.float64)
-            weights = self._quality_step(answers, distances)
-            if tracker.update(weights):
-                break
-
+        posterior = outcome.posterior if categorical else None
         return InferenceResult(
             method=self.name,
-            truths=decode_posterior(posterior, rng),
-            worker_quality=weights,
+            truths=(decode_posterior(posterior, rng) if categorical
+                    else outcome.posterior),
+            worker_quality=outcome.parameters,
             posterior=posterior,
-            n_iterations=tracker.iteration,
-            converged=tracker.converged,
-        )
-
-    # ------------------------------------------------------------------
-    def _fit_numeric(self, answers, golden, initial_quality, rng
-                     ) -> InferenceResult:
-        tasks = answers.tasks
-        workers = answers.workers
-        values = answers.values
-        weights = self._initial_weights(answers, initial_quality)
-        # Distances are normalised by the global answer spread so the
-        # -log update is scale-free (the CRH trick).
-        scale = np.std(values) if np.std(values) > 0 else 1.0
-
-        tracker = ConvergenceTracker(tolerance=self.tolerance,
-                                     max_iter=self.max_iter)
-        while True:
-            w = weights[workers]
-            numer = np.bincount(tasks, weights=w * values,
-                                minlength=answers.n_tasks)
-            denom = np.bincount(tasks, weights=w, minlength=answers.n_tasks)
-            denom = np.where(denom > 0, denom, 1.0)
-            truths = clamp_golden_values(numer / denom, golden)
-
-            distances = ((values - truths[tasks]) / scale) ** 2
-            weights = self._quality_step(answers, distances)
-            if tracker.update(weights):
-                break
-
-        return InferenceResult(
-            method=self.name,
-            truths=truths,
-            worker_quality=weights,
-            posterior=None,
-            n_iterations=tracker.iteration,
-            converged=tracker.converged,
+            n_iterations=outcome.n_iterations,
+            converged=outcome.converged,
+            extras={"warm_started": warm},
+            fit_stats=outcome.fit_stats,
+            shard_state=outcome.shard_state,
         )

@@ -13,25 +13,36 @@ with Beta priors — using variational inference:
   *other* tasks' beliefs.  We use the standard first-moment
   approximation of those messages, which keeps the update O(|V|).
 
+Both variants iterate on the 1-D belief vector ``mu[i] = Pr(z_i = T)``
+and run as sharded estimations through
+:func:`repro.inference.sharded.run_em_sharded`: the soft worker counts
+are per-shard bincounts merged field-wise (VI-MF's Beta/digamma
+epilogue runs on the merged totals), and the task update maps over
+task-range blocks.  VI-BP's cavity messages need each edge's own belief
+alongside the global counts, so its M-step packs the full ``mu``
+next to the merged statistics.  One shard reproduces the historical
+loops bit-for-bit.
+
 Decision-making tasks only, as in the survey's Table 4.
 """
 
 from __future__ import annotations
 
+import functools
+import types
 from typing import Mapping
 
 import numpy as np
 
 from ..core.answers import AnswerSet
 from ..core.base import BinaryMethod
-from ..core.framework import (
-    ConvergenceTracker,
-    decode_posterior,
-    log_normalize_rows,
-)
+from ..core.framework import decode_posterior, log_normalize_rows
 from ..core.registry import register
 from ..core.result import InferenceResult
+from ..core.shards import AnswerShard
 from ..core.tasktypes import LABEL_FALSE, LABEL_TRUE
+from ..inference.em import EMOutcome
+from ..inference.sharded import ShardedEMSpec, SufficientStats, run_em_sharded
 from ..inference.variational import (
     BetaPrior,
     expected_log_beta_counts,
@@ -39,33 +50,160 @@ from ..inference.variational import (
 )
 
 
-class _TwoCoinCounts:
-    """Soft per-worker correct/incorrect counts for both truth classes.
+def _clamp_mu(mu: np.ndarray, golden: Mapping[int, float] | None
+              ) -> np.ndarray:
+    """Pin golden tasks' beliefs to their labels (state is 1-D here)."""
+    if not golden:
+        return mu
+    for task, label in golden.items():
+        mu[task] = 1.0 if int(label) == LABEL_TRUE else 0.0
+    return mu
 
-    Given task beliefs ``mu[i] = Pr(z_i = T)``, accumulates for every
-    worker the expected number of correct and incorrect answers
-    separately for tasks whose truth is T (driving the sensitivity
-    posterior) and F (driving the specificity posterior).
+
+class _TwoCoinSpec(ShardedEMSpec):
+    """Shared shard kernels of the two-coin variational methods.
+
+    ``accumulate`` produces the soft per-worker correct/incorrect
+    counts for both truth classes (plus the belief mass the class
+    prevalence factor needs); every field is a sum over answers or
+    tasks, so the shard partials merge exactly up to float order.
     """
 
-    def __init__(self, answers: AnswerSet) -> None:
-        self.answers = answers
-        self.said_true = answers.values.astype(np.int64) == LABEL_TRUE
+    golden_clamp = staticmethod(_clamp_mu)
 
-    def accumulate(self, mu: np.ndarray) -> tuple[np.ndarray, ...]:
-        a = self.answers
-        mu_edge = mu[a.tasks]
-        said_true = self.said_true
+    def __init__(self, n_tasks: int, n_workers: int,
+                 prior: BetaPrior) -> None:
+        super().__init__()
+        self.n_tasks = n_tasks
+        self.n_workers = n_workers
+        self.n_choices = 2
+        self.prior = prior
 
-        correct_t = np.bincount(a.workers, weights=mu_edge * said_true,
-                                minlength=a.n_workers)
-        incorrect_t = np.bincount(a.workers, weights=mu_edge * ~said_true,
-                                  minlength=a.n_workers)
-        correct_f = np.bincount(a.workers, weights=(1 - mu_edge) * ~said_true,
-                                minlength=a.n_workers)
-        incorrect_f = np.bincount(a.workers, weights=(1 - mu_edge) * said_true,
-                                  minlength=a.n_workers)
-        return correct_t, incorrect_t, correct_f, incorrect_f
+    def build_ops(self, shard: AnswerShard):
+        return types.SimpleNamespace(
+            said_true=shard.values.astype(np.int64) == LABEL_TRUE,
+        )
+
+    def resize(self, n_tasks: int, n_workers: int, n_choices: int) -> bool:
+        if (n_choices != 2 or n_workers < self.n_workers
+                or n_tasks < self.n_tasks):
+            return False
+        self.n_tasks, self.n_workers = n_tasks, n_workers
+        return True
+
+    def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
+        trues = np.bincount(shard.local_tasks,
+                            weights=ops.said_true.astype(np.float64),
+                            minlength=shard.n_local_tasks)
+        totals = np.bincount(shard.local_tasks,
+                             minlength=shard.n_local_tasks
+                             ).astype(np.float64)
+        totals = np.where(totals > 0, totals, 1.0)
+        return trues / totals
+
+    def accumulate(self, shard: AnswerShard, ops,
+                   block: np.ndarray) -> SufficientStats:
+        mu_edge = block[shard.local_tasks]
+        said_true = ops.said_true
+        n = self.n_workers
+        return SufficientStats(
+            correct_t=np.bincount(shard.workers,
+                                  weights=mu_edge * said_true, minlength=n),
+            incorrect_t=np.bincount(shard.workers,
+                                    weights=mu_edge * ~said_true,
+                                    minlength=n),
+            correct_f=np.bincount(shard.workers,
+                                  weights=(1 - mu_edge) * ~said_true,
+                                  minlength=n),
+            incorrect_f=np.bincount(shard.workers,
+                                    weights=(1 - mu_edge) * said_true,
+                                    minlength=n),
+            mu_sum=block.sum(),
+            count=float(len(block)),
+        )
+
+
+class _MeanFieldSpec(_TwoCoinSpec):
+    """VI-MF: digamma expectations on the merged counts, local task
+    updates against the shared worker tables."""
+
+    def finalize(self, stats: SufficientStats):
+        els_t, elf_t = expected_log_beta_counts(
+            stats["correct_t"], stats["incorrect_t"], self.prior)
+        els_f, elf_f = expected_log_beta_counts(
+            stats["correct_f"], stats["incorrect_f"], self.prior)
+        # Variational class-prevalence factor: Beta(1 + soft counts).
+        from scipy.special import digamma
+
+        prev_t = 1.0 + float(stats["mu_sum"])
+        prev_f = 1.0 + float(stats["count"] - stats["mu_sum"])
+        total = digamma(prev_t + prev_f)
+        return (els_t, elf_t, els_f, elf_f,
+                float(digamma(prev_t) - total),
+                float(digamma(prev_f) - total))
+
+    def e_block(self, shard: AnswerShard, ops, params) -> np.ndarray:
+        els_t, elf_t, els_f, elf_f, log_prev_t, log_prev_f = params
+        said_true = ops.said_true
+        w = shard.workers
+        # Per-edge log-likelihood contributions for z=T and z=F.
+        log_t = np.where(said_true, els_t[w], elf_t[w])
+        log_f = np.where(said_true, elf_f[w], els_f[w])
+        n_local = shard.n_local_tasks
+        log_post = np.zeros((n_local, 2))
+        log_post[:, LABEL_TRUE] = log_prev_t + np.bincount(
+            shard.local_tasks, weights=log_t, minlength=n_local)
+        log_post[:, LABEL_FALSE] = log_prev_f + np.bincount(
+            shard.local_tasks, weights=log_f, minlength=n_local)
+        posterior = log_normalize_rows(log_post)
+        return posterior[:, LABEL_TRUE].copy()
+
+
+class _BeliefPropagationSpec(_TwoCoinSpec):
+    """VI-BP: cavity messages subtract each edge's own contribution
+    from the merged worker counts, so the E-step needs the full belief
+    vector next to the statistics — the M-step packs both."""
+
+    statistics_m_step = False
+
+    def finalize(self, stats: SufficientStats):
+        raise NotImplementedError(
+            "VI-BP's M-step packs the merged statistics directly")
+
+    def m_step(self, runner, blocks, prev_params):
+        stats = runner.call("accumulate", per_shard=blocks)
+        merged = functools.reduce(lambda a, b: a.merge(b), stats)
+        return merged, np.concatenate(blocks, axis=0)
+
+    def e_block(self, shard: AnswerShard, ops, params) -> np.ndarray:
+        merged, mu = params
+        mu_edge = mu[shard.task_start:shard.task_stop][shard.local_tasks]
+        said_true = ops.said_true
+        w = shard.workers
+        # Cavity counts: worker totals minus this edge's contribution.
+        cav_ct = merged["correct_t"][w] - mu_edge * said_true
+        cav_it = merged["incorrect_t"][w] - mu_edge * ~said_true
+        cav_cf = merged["correct_f"][w] - (1 - mu_edge) * ~said_true
+        cav_if = merged["incorrect_f"][w] - (1 - mu_edge) * said_true
+        cav = [np.maximum(c, 0.0) for c in (cav_ct, cav_it, cav_cf, cav_if)]
+
+        mean_s = np.clip(
+            posterior_mean_accuracy(cav[0], cav[1], self.prior),
+            1e-10, 1 - 1e-10)
+        mean_t = np.clip(
+            posterior_mean_accuracy(cav[2], cav[3], self.prior),
+            1e-10, 1 - 1e-10)
+        log_msg_t = np.where(said_true, np.log(mean_s), np.log1p(-mean_s))
+        log_msg_f = np.where(said_true, np.log1p(-mean_t), np.log(mean_t))
+
+        n_local = shard.n_local_tasks
+        log_post = np.zeros((n_local, 2))
+        log_post[:, LABEL_TRUE] = np.bincount(
+            shard.local_tasks, weights=log_msg_t, minlength=n_local)
+        log_post[:, LABEL_FALSE] = np.bincount(
+            shard.local_tasks, weights=log_msg_f, minlength=n_local)
+        posterior = log_normalize_rows(log_post)
+        return posterior[:, LABEL_TRUE].copy()
 
 
 class _VariationalTwoCoin(BinaryMethod):
@@ -73,12 +211,18 @@ class _VariationalTwoCoin(BinaryMethod):
 
     supports_initial_quality = True
     supports_golden = True
+    supports_sharding = True
+    _spec_cls: type[_TwoCoinSpec]
 
     def __init__(self, prior_a: float = 2.0, prior_b: float = 1.0,
                  **kwargs) -> None:
         super().__init__(**kwargs)
         self.prior = BetaPrior(a=prior_a, b=prior_b)
         self.prior.validate()
+
+    def make_em_spec(self, n_tasks: int, n_workers: int, n_choices: int):
+        return self._spec_cls(n_tasks=n_tasks, n_workers=n_workers,
+                              prior=self.prior)
 
     def _initial_mu(self, answers: AnswerSet,
                     initial_quality: np.ndarray | None) -> np.ndarray:
@@ -99,31 +243,68 @@ class _VariationalTwoCoin(BinaryMethod):
         total = np.where(total > 0, total, 1.0)
         return score_t / total
 
-    def _result(self, answers: AnswerSet, mu: np.ndarray,
-                counts: tuple[np.ndarray, ...], tracker: ConvergenceTracker,
+    def _fit(
+        self,
+        answers: AnswerSet,
+        golden: Mapping[int, float] | None,
+        initial_quality: np.ndarray | None,
+        rng: np.random.Generator,
+        shard_runner=None,
+        delta=None,
+    ) -> InferenceResult:
+        with self._shard_runner(answers, shard_runner, delta) as runner:
+            if delta is not None:
+                # No warm start yet, so a refit can only collect the
+                # statistics cache a future delta path would resume.
+                delta = delta.collect_only()
+            outcome = run_em_sharded(
+                runner,
+                tolerance=self.tolerance,
+                max_iter=self.max_iter,
+                golden=golden,
+                initial_posterior=self._initial_mu(answers, initial_quality),
+                delta=delta,
+            )
+            counts = self._final_counts(runner, outcome)
+        return self._result(answers, outcome, counts, rng)
+
+    @staticmethod
+    def _final_counts(runner, outcome: EMOutcome) -> tuple[np.ndarray, ...]:
+        """Merged worker counts at the final beliefs (drives the
+        sensitivity/specificity posteriors)."""
+        state = outcome.shard_state
+        if (state is not None and state.stats
+                and all(s is not None for s in state.stats)):
+            stats = state.stats
+        else:
+            blocks = [outcome.posterior[start:stop]
+                      for start, stop in runner.task_ranges]
+            stats = runner.call("accumulate", per_shard=blocks)
+        merged = functools.reduce(lambda a, b: a.merge(b), stats)
+        return (merged["correct_t"], merged["incorrect_t"],
+                merged["correct_f"], merged["incorrect_f"])
+
+    def _result(self, answers: AnswerSet, outcome: EMOutcome,
+                counts: tuple[np.ndarray, ...],
                 rng: np.random.Generator) -> InferenceResult:
         correct_t, incorrect_t, correct_f, incorrect_f = counts
-        sensitivity = posterior_mean_accuracy(correct_t, incorrect_t, self.prior)
-        specificity = posterior_mean_accuracy(correct_f, incorrect_f, self.prior)
+        sensitivity = posterior_mean_accuracy(correct_t, incorrect_t,
+                                              self.prior)
+        specificity = posterior_mean_accuracy(correct_f, incorrect_f,
+                                              self.prior)
+        mu = outcome.posterior
         posterior = np.column_stack([1.0 - mu, mu])  # columns: [F, T]
         return InferenceResult(
             method=self.name,
             truths=decode_posterior(posterior, rng),
             worker_quality=(sensitivity + specificity) / 2.0,
             posterior=posterior,
-            n_iterations=tracker.iteration,
-            converged=tracker.converged,
+            n_iterations=outcome.n_iterations,
+            converged=outcome.converged,
             extras={"sensitivity": sensitivity, "specificity": specificity},
+            fit_stats=outcome.fit_stats,
+            shard_state=outcome.shard_state,
         )
-
-    @staticmethod
-    def _clamp_mu(mu: np.ndarray, golden: Mapping[int, float] | None
-                  ) -> np.ndarray:
-        if not golden:
-            return mu
-        for task, label in golden.items():
-            mu[task] = 1.0 if int(label) == LABEL_TRUE else 0.0
-        return mu
 
 
 @register
@@ -139,51 +320,7 @@ class VIMeanField(_VariationalTwoCoin):
     """
 
     name = "VI-MF"
-
-    def _fit(
-        self,
-        answers: AnswerSet,
-        golden: Mapping[int, float] | None,
-        initial_quality: np.ndarray | None,
-        rng: np.random.Generator,
-    ) -> InferenceResult:
-        accumulator = _TwoCoinCounts(answers)
-        mu = self._clamp_mu(self._initial_mu(answers, initial_quality), golden)
-        said_true = accumulator.said_true
-        tracker = ConvergenceTracker(tolerance=self.tolerance,
-                                     max_iter=self.max_iter)
-        counts = accumulator.accumulate(mu)
-        while True:
-            correct_t, incorrect_t, correct_f, incorrect_f = counts
-            els_t, elf_t = expected_log_beta_counts(correct_t, incorrect_t,
-                                                    self.prior)
-            els_f, elf_f = expected_log_beta_counts(correct_f, incorrect_f,
-                                                    self.prior)
-            # Variational class-prevalence factor: Beta(1 + soft counts).
-            from scipy.special import digamma
-
-            prev_t = 1.0 + float(mu.sum())
-            prev_f = 1.0 + float(len(mu) - mu.sum())
-            total = digamma(prev_t + prev_f)
-            log_prev_t = np.array([digamma(prev_t) - total])
-            log_prev_f = np.array([digamma(prev_f) - total])
-            # Per-edge log-likelihood contributions for z=T and z=F.
-            log_t = np.where(said_true, els_t[answers.workers],
-                             elf_t[answers.workers])
-            log_f = np.where(said_true, elf_f[answers.workers],
-                             els_f[answers.workers])
-            log_post = np.zeros((answers.n_tasks, 2))
-            log_post[:, LABEL_TRUE] = float(log_prev_t[0]) + np.bincount(
-                answers.tasks, weights=log_t, minlength=answers.n_tasks)
-            log_post[:, LABEL_FALSE] = float(log_prev_f[0]) + np.bincount(
-                answers.tasks, weights=log_f, minlength=answers.n_tasks)
-            posterior = log_normalize_rows(log_post)
-            mu = self._clamp_mu(posterior[:, LABEL_TRUE].copy(), golden)
-            counts = accumulator.accumulate(mu)
-            if tracker.update(mu):
-                break
-
-        return self._result(answers, mu, counts, tracker, rng)
+    _spec_cls = _MeanFieldSpec
 
 
 @register
@@ -197,49 +334,4 @@ class VIBeliefPropagation(_VariationalTwoCoin):
     """
 
     name = "VI-BP"
-
-    def _fit(
-        self,
-        answers: AnswerSet,
-        golden: Mapping[int, float] | None,
-        initial_quality: np.ndarray | None,
-        rng: np.random.Generator,
-    ) -> InferenceResult:
-        a = answers
-        accumulator = _TwoCoinCounts(a)
-        said_true = accumulator.said_true
-        mu = self._clamp_mu(self._initial_mu(a, initial_quality), golden)
-        tracker = ConvergenceTracker(tolerance=self.tolerance,
-                                     max_iter=self.max_iter)
-        counts = accumulator.accumulate(mu)
-        while True:
-            correct_t, incorrect_t, correct_f, incorrect_f = counts
-            mu_edge = mu[a.tasks]
-            # Cavity counts: worker totals minus this edge's contribution.
-            cav_ct = correct_t[a.workers] - mu_edge * said_true
-            cav_it = incorrect_t[a.workers] - mu_edge * ~said_true
-            cav_cf = correct_f[a.workers] - (1 - mu_edge) * ~said_true
-            cav_if = incorrect_f[a.workers] - (1 - mu_edge) * said_true
-            cav = [np.maximum(c, 0.0) for c in (cav_ct, cav_it, cav_cf, cav_if)]
-
-            mean_s = np.clip(
-                posterior_mean_accuracy(cav[0], cav[1], self.prior),
-                1e-10, 1 - 1e-10)
-            mean_t = np.clip(
-                posterior_mean_accuracy(cav[2], cav[3], self.prior),
-                1e-10, 1 - 1e-10)
-            log_msg_t = np.where(said_true, np.log(mean_s), np.log1p(-mean_s))
-            log_msg_f = np.where(said_true, np.log1p(-mean_t), np.log(mean_t))
-
-            log_post = np.zeros((a.n_tasks, 2))
-            log_post[:, LABEL_TRUE] = np.bincount(a.tasks, weights=log_msg_t,
-                                                  minlength=a.n_tasks)
-            log_post[:, LABEL_FALSE] = np.bincount(a.tasks, weights=log_msg_f,
-                                                   minlength=a.n_tasks)
-            posterior = log_normalize_rows(log_post)
-            mu = self._clamp_mu(posterior[:, LABEL_TRUE].copy(), golden)
-            counts = accumulator.accumulate(mu)
-            if tracker.update(mu):
-                break
-
-        return self._result(a, mu, counts, tracker, rng)
+    _spec_cls = _BeliefPropagationSpec

@@ -36,7 +36,8 @@ def caps(warm=False, seed=False, shard=False, golden=False, quality=False,
 
 #: The authoritative table: paper Table 4 task types, Table 7
 #: qualification support, Section 6.3.3 golden support, plus the
-#: streaming/sharding capabilities grown in PRs 1-3.  LFC mirrors D&S
+#: streaming/sharding capabilities grown in PRs 1-3 and the method-zoo
+#: sharding pass (CATD/PM/KOS/Minimax/BCC/CBCC/VI).  LFC mirrors D&S
 #: exactly — it shares the same EM (the audit this table came from
 #: found its ``seed_posterior`` reliance on base-class inheritance).
 EXPECTED = {
@@ -53,15 +54,17 @@ EXPECTED = {
                  quality=True, types=(D, S)),
     "LFC_N": caps(warm=True, shard=True, golden=True, quality=True,
                   types=(N,)),
-    "BCC": caps(golden=True, types=(D, S)),
-    "CBCC": caps(types=(D, S)),
-    "CATD": caps(golden=True, quality=True, types=(D, S, N)),
-    "PM": caps(golden=True, quality=True, types=(D, S, N)),
-    "Minimax": caps(golden=True, types=(D, S)),
-    "Minimax-Ord": caps(golden=True, types=(D, S), ext=True),
-    "KOS": caps(types=(D,)),
-    "VI-BP": caps(golden=True, quality=True, types=(D,)),
-    "VI-MF": caps(golden=True, quality=True, types=(D,)),
+    "BCC": caps(shard=True, golden=True, types=(D, S)),
+    "CBCC": caps(shard=True, types=(D, S)),
+    "CATD": caps(warm=True, shard=True, golden=True, quality=True,
+                 types=(D, S, N)),
+    "PM": caps(warm=True, shard=True, golden=True, quality=True,
+               types=(D, S, N)),
+    "Minimax": caps(shard=True, golden=True, types=(D, S)),
+    "Minimax-Ord": caps(shard=True, golden=True, types=(D, S), ext=True),
+    "KOS": caps(shard=True, types=(D,)),
+    "VI-BP": caps(shard=True, golden=True, quality=True, types=(D,)),
+    "VI-MF": caps(shard=True, golden=True, quality=True, types=(D,)),
     "Multi": caps(types=(D,)),
 }
 

@@ -197,3 +197,69 @@ class TestFitPolicy:
         with pytest.raises(ValueError, match="registry-created"):
             direct.fit(answers, policy=ExecutionPolicy(
                 n_shards=2, executor="process"))
+
+
+class TestIgnoredPolicyWarning:
+    """A non-sharding method handed explicit parallelism says so."""
+
+    def _answers(self):
+        import numpy as np
+
+        from repro.core.answers import AnswerSet
+        from repro.core.tasktypes import TaskType
+
+        rng = np.random.default_rng(0)
+        return AnswerSet(rng.integers(0, 30, 300), rng.integers(0, 6, 300),
+                         rng.integers(0, 2, 300), TaskType.DECISION_MAKING,
+                         n_tasks=30, n_workers=6)
+
+    def test_warns_once_naming_method_and_fields(self):
+        from repro.core.registry import create
+
+        answers = self._answers()
+        policy = ExecutionPolicy(n_shards=4, executor="process")
+        with pytest.warns(UserWarning) as caught:
+            create("MV", seed=0).fit(answers, policy=policy)
+        messages = [str(w.message) for w in caught
+                    if w.category is UserWarning]
+        assert len(messages) == 1
+        assert "MV" in messages[0]
+        assert "n_shards=4" in messages[0]
+        assert "executor='process'" in messages[0]
+
+    def test_resolved_plan_warns_with_mode(self):
+        from repro.core.registry import create
+
+        answers = self._answers()
+        plan = ExecutionPolicy(n_shards=4, executor="thread").resolve(
+            answers)
+        with pytest.warns(UserWarning, match="mode='thread'"):
+            create("MV", seed=0).fit(answers, policy=plan)
+
+    def test_default_policy_stays_silent(self):
+        import warnings as _warnings
+
+        from repro.core.registry import create
+
+        answers = self._answers()
+        # Auto tiering with no explicit shard count — how grids apply
+        # one policy across the zoo — must not warn on MV.
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", UserWarning)
+            create("MV", seed=0).fit(answers,
+                                     policy=ExecutionPolicy())
+            create("MV", seed=0).fit(
+                answers, policy=ExecutionPolicy(n_shards=1,
+                                                executor="serial"))
+
+    def test_sharded_method_does_not_warn(self):
+        import warnings as _warnings
+
+        from repro.core.registry import create
+
+        answers = self._answers()
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", UserWarning)
+            create("D&S", seed=0).fit(
+                answers, policy=ExecutionPolicy(n_shards=3,
+                                                executor="serial"))

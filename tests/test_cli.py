@@ -12,6 +12,7 @@ class TestParser:
         parser = build_parser()
         for argv in (
             ["methods"],
+            ["capabilities"],
             ["datasets", "--scale", "0.1"],
             ["run", "--dataset", "D_Product", "--methods", "MV"],
             ["sweep", "--dataset", "D_PosSent", "--methods", "MV"],
@@ -41,6 +42,21 @@ class TestCommands:
         out = capsys.readouterr().out
         for name in ("MV", "D&S", "GLAD", "Minimax", "LFC_N", "Median"):
             assert name in out
+
+    def test_capabilities_prints_registry_table(self, capsys):
+        assert main(["capabilities"]) == 0
+        out = capsys.readouterr().out
+        for column in ("method", "sharded", "warm-start", "delta",
+                       "seed-posterior"):
+            assert column in out
+        lines = {line.split()[0]: line.split()[1:]
+                 for line in out.splitlines()
+                 if line and line.split()[0] in ("MV", "CATD", "KOS")}
+        # MV cannot shard; CATD shards with warm-start (hence delta);
+        # KOS shards but has no warm state to delta-refit from.
+        assert lines["MV"] == ["no", "no", "no", "no"]
+        assert lines["CATD"] == ["yes", "yes", "yes", "no"]
+        assert lines["KOS"] == ["yes", "no", "no", "no"]
 
     def test_datasets_prints_table5(self, capsys):
         assert main(["datasets", "--scale", "0.05"]) == 0
