@@ -444,8 +444,30 @@ def reference_vi_bp(answers, tolerance, max_iter, seed=None, golden=None,
     return _vi_result(a, mu, counts, tracker, rng, prior)
 
 
+def _kos_edge_seed(tasks, workers, entropy):
+    """Frozen copy of the library's layout-independent per-edge seed
+    (splitmix64 over the (task, worker, entropy) key -> N(1, 1))."""
+    from scipy.special import ndtri
+
+    gamma = np.uint64(0x9E3779B97F4A7C15)
+    mix1 = np.uint64(0xBF58476D1CE4E5B9)
+    mix2 = np.uint64(0x94D049BB133111EB)
+    key = (tasks.astype(np.uint64) << np.uint64(32)) ^ workers.astype(
+        np.uint64)
+    with np.errstate(over="ignore"):
+        h = key + gamma * (np.uint64(entropy) + np.uint64(1))
+        h ^= h >> np.uint64(30)
+        h *= mix1
+        h ^= h >> np.uint64(27)
+        h *= mix2
+        h ^= h >> np.uint64(31)
+    u = ((h >> np.uint64(11)).astype(np.float64) + 0.5) / float(1 << 53)
+    return 1.0 + ndtri(u)
+
+
 def reference_kos(answers, n_rounds, seed=None):
-    """Pre-refactor KOS; returns ``(truths, quality, posterior, scores)``."""
+    """Pre-refactor KOS loop shape with the layout-independent per-edge
+    seeding; returns ``(truths, quality, posterior, scores)``."""
     from repro.core.tasktypes import LABEL_TRUE
 
     rng = np.random.default_rng(seed)
@@ -453,7 +475,8 @@ def reference_kos(answers, n_rounds, seed=None):
     workers = answers.workers
     spins = np.where(answers.values.astype(np.int64) == LABEL_TRUE, 1.0, -1.0)
 
-    y = rng.normal(loc=1.0, scale=1.0, size=answers.n_answers)
+    entropy = int(rng.integers(0, 2 ** 63))
+    y = _kos_edge_seed(tasks, workers, entropy)
     x = np.zeros_like(y)
 
     for _ in range(n_rounds):

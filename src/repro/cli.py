@@ -104,9 +104,7 @@ def _cmd_capabilities(_args) -> int:
             name,
             yn(caps.sharding),
             yn(caps.warm_start),
-            # Delta refits ride the sharded refit cache and resume from
-            # the previous state, so they need both capabilities.
-            yn(caps.sharding and caps.warm_start),
+            yn(caps.delta),
             yn(caps.seed_posterior),
         ])
     print(format_table(

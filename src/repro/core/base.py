@@ -63,6 +63,14 @@ class TruthInferenceMethod(abc.ABC):
         posterior (``fit(..., seed_posterior=...)``) in place of the
         majority-vote posterior it would otherwise compute — lets batch
         runs compute majority voting once per dataset and share it.
+    supports_delta:
+        Whether the method honours an incremental
+        :class:`~repro.inference.sharded.DeltaPlan` with a cached
+        ``prev`` state — its own per-family contract (dirty-shard
+        statistics EM, message warm restarts, gradient restarts, Gibbs
+        chain continuation).  Methods without it demote a passed plan
+        to a collecting full fit; ``ExecutionPolicy(refit="delta")``
+        warns when handed to such a method.
     """
 
     name: ClassVar[str] = "abstract"
@@ -72,6 +80,7 @@ class TruthInferenceMethod(abc.ABC):
     supports_warm_start: ClassVar[bool] = False
     supports_sharding: ClassVar[bool] = False
     supports_seed_posterior: ClassVar[bool] = False
+    supports_delta: ClassVar[bool] = False
     #: True for post-paper extension methods (kept out of the faithful
     #: 17-method experiment harness unless explicitly requested).
     is_extension: ClassVar[bool] = False
@@ -218,6 +227,13 @@ class TruthInferenceMethod(abc.ABC):
             runner_cm = self._policy_runner(answers, policy)
         elif policy is not None and not self.supports_sharding:
             self._warn_ignored_policy(policy)
+        if (policy is not None and not self.supports_delta
+                and getattr(policy, "refit", "full") == "delta"):
+            warnings.warn(
+                f"{self.name} can only refit full; ExecutionPolicy "
+                f'refit="delta" is ignored (no per-family delta '
+                f"contract — see Capabilities.delta)",
+                UserWarning, stacklevel=2)
 
         rng = np.random.default_rng(self.seed)
         started = time.perf_counter()

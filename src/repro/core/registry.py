@@ -44,6 +44,7 @@ class Capabilities:
     initial_quality: bool
     task_types: frozenset
     is_extension: bool = False
+    delta: bool = False
 
     @classmethod
     def of(cls, factory) -> "Capabilities":
@@ -65,6 +66,7 @@ class Capabilities:
             task_types=frozenset(getattr(factory, "task_types",
                                          frozenset())),
             is_extension=bool(getattr(factory, "is_extension", False)),
+            delta=bool(getattr(factory, "supports_delta", False)),
         )
 
 

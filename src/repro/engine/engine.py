@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import warnings
 from typing import Iterable, Sequence
 
 from ..core.policy import (
@@ -446,6 +447,16 @@ class InferenceEngine:
         spec = spec.with_defaults(seed=self.seed)
         instance = create(
             spec, policy=plan if sharded and not use_runtime else None)
+        if (getattr(self.policy, "refit", "full") == "delta"
+                and not instance.supports_delta):
+            # The method-level warning only fires when the policy is
+            # handed to fit(); full-only methods never receive it here,
+            # so surface the ignored refit mode at the engine too.
+            warnings.warn(
+                f"{method} can only refit full; ExecutionPolicy "
+                f'refit="delta" is ignored (no per-family delta '
+                f"contract — see Capabilities.delta)",
+                UserWarning, stacklevel=2)
         warm = None
         if (not force_cold
                 and cached is not None

@@ -112,6 +112,12 @@ class StreamingAnswerSet:
         self._version = 0
         self._replacements = 0
         self._snapshot_cache: tuple[int, AnswerSet] | None = None
+        # Materialised mirror of the answer lists (tasks/workers/values
+        # buffers + how many entries are in sync): snapshots convert
+        # only the tail appended since the previous snapshot instead of
+        # re-converting the whole history.
+        self._mat: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._mat_len = 0
         self._log = None
 
     # ------------------------------------------------------------------
@@ -208,6 +214,8 @@ class StreamingAnswerSet:
                     )
                 old = self._values[slot]
                 self._values[slot] = coded
+                if self._mat is not None and slot < self._mat_len:
+                    self._mat[2][slot] = coded
                 self._version += 1
                 self._replacements += 1
                 # The cached snapshot predates this in-place mutation;
@@ -226,8 +234,11 @@ class StreamingAnswerSet:
     def _rollback(self, mark: tuple, overwritten: list) -> None:
         """Undo a partially applied batch (see :meth:`add_answers`)."""
         n_answers, version, replacements, n_tasks, n_workers, n_labels = mark
+        self._mat_len = min(self._mat_len, n_answers)
         for slot, old in reversed(overwritten):
             self._values[slot] = old
+            if self._mat is not None and slot < self._mat_len:
+                self._mat[2][slot] = old
         for pair in [p for p, s in self._pair_slot.items() if s >= n_answers]:
             del self._pair_slot[pair]
         del self._tasks[n_answers:]
@@ -335,22 +346,39 @@ class StreamingAnswerSet:
         """Materialise the current state as an immutable answer set.
 
         The task/worker/label index tables accumulated so far are reused
-        directly; only the flat answer arrays are copied.  The result is
-        cached until the next append.
+        directly, and the flat answer arrays are materialised
+        *incrementally*: only the tail appended since the previous
+        snapshot is converted from the ingestion lists, then the mirror
+        buffers are copied out (a memcpy, so no snapshot can alias a
+        later in-place replacement).  The result is cached until the
+        next append.
         """
         if (self._snapshot_cache is not None
                 and self._snapshot_cache[0] == self._version):
             return self._snapshot_cache[1]
-        if self.task_type.is_categorical:
-            values = np.asarray(self._values, dtype=np.int64)
-            n_choices = self.n_choices
-        else:
-            values = np.asarray(self._values, dtype=np.float64)
-            n_choices = None
+        n = self.n_answers
+        n_choices = self.n_choices if self.task_type.is_categorical else None
+        if self._mat is None or len(self._mat[0]) < n:
+            cap = max(n, 2 * (len(self._mat[0]) if self._mat else 0), 1024)
+            vdtype = (np.int64 if self.task_type.is_categorical
+                      else np.float64)
+            grown = (np.empty(cap, dtype=np.int64),
+                     np.empty(cap, dtype=np.int64),
+                     np.empty(cap, dtype=vdtype))
+            if self._mat is not None and self._mat_len:
+                for new, old in zip(grown, self._mat):
+                    new[:self._mat_len] = old[:self._mat_len]
+            self._mat = grown
+        m = self._mat_len
+        if m < n:
+            self._mat[0][m:n] = self._tasks[m:n]
+            self._mat[1][m:n] = self._workers[m:n]
+            self._mat[2][m:n] = self._values[m:n]
+            self._mat_len = n
         snap = AnswerSet(
-            task_indices=np.asarray(self._tasks, dtype=np.int64),
-            worker_indices=np.asarray(self._workers, dtype=np.int64),
-            values=values,
+            task_indices=self._mat[0][:n].copy(),
+            worker_indices=self._mat[1][:n].copy(),
+            values=self._mat[2][:n].copy(),
             task_type=self.task_type,
             n_choices=n_choices,
             n_tasks=self.n_tasks,

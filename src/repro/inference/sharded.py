@@ -69,7 +69,7 @@ import abc
 import dataclasses
 import functools
 import time
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -93,6 +93,7 @@ __all__ = [
     "ShardState",
     "DeltaPlan",
     "GibbsOutcome",
+    "check_delta_layout",
     "dirty_shards",
     "pad_rows",
     "majority_block",
@@ -422,6 +423,14 @@ class ShardState:
     dirtiness boundary); ``base_answers`` the answers when the cuts
     were computed (engines re-place and refit full once the stream has
     doubled, mirroring the runtime's rebalance rule).
+
+    ``session`` is an opaque per-family payload for methods whose
+    incremental contract carries more than posterior blocks and
+    statistics: KOS caches its per-shard message state, the Gibbs
+    samplers their chain state (tally, generator state, closure
+    payload).  It must pickle (it rides the engine's fit snapshots
+    through :class:`~repro.store.snapshots.SnapshotStore`) and is
+    interpreted only by the method that wrote it.
     """
 
     task_cuts: tuple[int, ...]
@@ -430,6 +439,7 @@ class ShardState:
     stats: list
     n_answers: int = 0
     base_answers: int = 0
+    session: Any = None
 
     @property
     def n_shards(self) -> int:
@@ -493,6 +503,34 @@ def dirty_shards(task_cuts: Sequence[int], new_tasks: np.ndarray,
     if n_tasks is not None and n_tasks > int(cuts[-1]):
         dirty[-1] = True
     return dirty
+
+
+def check_delta_layout(ranges: Sequence[tuple[int, int]], prev: ShardState,
+                       dirty: np.ndarray) -> None:
+    """Validate a delta refit's pinned shard layout against the cached
+    state: same shard count, same cuts (the last range may grow), and
+    every clean shard's cached block still covering its task range.
+    Raises ``ValueError`` on any mismatch — the caller must refit full
+    to re-place."""
+    n_shards = len(ranges)
+    if prev.n_shards != n_shards or len(dirty) != n_shards:
+        raise ValueError(
+            f"delta refit over {n_shards} shards got a cached state for "
+            f"{prev.n_shards} (dirty flags: {len(dirty)}); the shard "
+            f"layout must be pinned across delta refits"
+        )
+    for k, (start, stop) in enumerate(ranges):
+        if start != prev.task_cuts[k] or (k < n_shards - 1
+                                          and stop != prev.task_cuts[k + 1]):
+            raise ValueError(
+                "delta refit shard cuts diverged from the cached state; "
+                "refit full to re-place"
+            )
+        if not dirty[k] and len(prev.blocks[k]) != stop - start:
+            raise ValueError(
+                f"shard {k} is flagged clean but its task range changed "
+                f"({len(prev.blocks[k])} cached rows vs {stop - start})"
+            )
 
 
 def _block_delta(a: np.ndarray, b: np.ndarray) -> float:
@@ -649,24 +687,7 @@ def _run_em_delta(runner: SerialShardRunner, plan: DeltaPlan, *,
                   else tolerance)
     verify_every = max(1, int(plan.verify_every))
     dirty = np.asarray(plan.dirty, dtype=bool)
-    if prev.n_shards != n_shards or len(dirty) != n_shards:
-        raise ValueError(
-            f"delta refit over {n_shards} shards got a cached state for "
-            f"{prev.n_shards} (dirty flags: {len(dirty)}); the shard "
-            f"layout must be pinned across delta refits"
-        )
-    for k, (start, stop) in enumerate(ranges):
-        if start != prev.task_cuts[k] or (k < n_shards - 1
-                                          and stop != prev.task_cuts[k + 1]):
-            raise ValueError(
-                "delta refit shard cuts diverged from the cached state; "
-                "refit full to re-place"
-            )
-        if not dirty[k] and len(prev.blocks[k]) != stop - start:
-            raise ValueError(
-                f"shard {k} is flagged clean but its task range changed "
-                f"({len(prev.blocks[k])} cached rows vs {stop - start})"
-            )
+    check_delta_layout(ranges, prev, dirty)
 
     # --- prime: E-step over dirty shards only; clean blocks are exact.
     dirty_idx = [k for k in range(n_shards) if dirty[k]]
@@ -946,24 +967,7 @@ def _run_alternating_delta(runner: SerialShardRunner, plan: DeltaPlan, *,
                   else tolerance)
     verify_every = max(1, int(plan.verify_every))
     dirty = np.asarray(plan.dirty, dtype=bool)
-    if prev.n_shards != n_shards or len(dirty) != n_shards:
-        raise ValueError(
-            f"delta refit over {n_shards} shards got a cached state for "
-            f"{prev.n_shards} (dirty flags: {len(dirty)}); the shard "
-            f"layout must be pinned across delta refits"
-        )
-    for k, (start, stop) in enumerate(ranges):
-        if start != prev.task_cuts[k] or (k < n_shards - 1
-                                          and stop != prev.task_cuts[k + 1]):
-            raise ValueError(
-                "delta refit shard cuts diverged from the cached state; "
-                "refit full to re-place"
-            )
-        if not dirty[k] and len(prev.blocks[k]) != stop - start:
-            raise ValueError(
-                f"shard {k} is flagged clean but its task range changed "
-                f"({len(prev.blocks[k])} cached rows vs {stop - start})"
-            )
+    check_delta_layout(ranges, prev, dirty)
 
     # --- prime: truth step over dirty shards only at the warm weights.
     dirty_idx = [k for k in range(n_shards) if dirty[k]]
@@ -1176,6 +1180,10 @@ def run_gibbs_sharded(
     sample: Callable[[SufficientStats, int], object],
     golden: Mapping[int, float] | None = None,
     initial_state: np.ndarray,
+    tally: np.ndarray | None = None,
+    retained: int = 0,
+    mode: str = "gibbs",
+    dirty: int = 0,
 ) -> GibbsOutcome:
     """Sharded collapsed-Gibbs driver (BCC/CBCC's phase kind).
 
@@ -1196,15 +1204,25 @@ def run_gibbs_sharded(
     steer the rejection samplers onto different (equally valid) draws,
     so multi-shard runs are statistically, not numerically, equivalent
     — the same caveat Gibbs has under any summation-order change.
+
+    *Chain continuation* (the Gibbs delta contract): a delta refit
+    passes the cached chain's lifetime ``tally``/``retained`` (grown to
+    the current task count by the caller), the restored assignment
+    state as ``initial_state``, ``burn_in=0`` (the chain is already
+    mixed) and ``mode="delta"``; the continued sweeps keep accumulating
+    into the same tally, so the posterior is the running average over
+    the whole chain history rather than a fresh window.
     """
     spec = runner.spec
     started = time.perf_counter()
-    fit_stats = FitStats(mode="gibbs", n_shards=runner.n_shards)
+    fit_stats = FitStats(mode=mode, n_shards=runner.n_shards,
+                         dirty_shards=dirty)
     ranges = runner.task_ranges
     state = spec.golden_clamp(
         np.array(initial_state, dtype=np.float64), golden)
-    tally = np.zeros_like(state)
-    retained = 0
+    tally = (np.zeros_like(state) if tally is None
+             else np.array(tally, dtype=np.float64))
+    retained = int(retained)
     for sweep in range(n_sweeps):
         fit_stats.active_shards.append(runner.n_shards)
         fit_stats.frozen_shards.append(0)

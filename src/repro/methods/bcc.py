@@ -30,8 +30,19 @@ map-reduce), the Dirichlet draws stay on the master generator (steps
 historical sampler; multiple shards reorder the statistics merge, which
 steers the rejection samplers onto different — statistically
 equivalent — draws, so the determinism contract is per (seed, shard
-count).  Delta refits are not defined for the sampler (a passed plan is
-ignored).
+count).
+
+Delta contract — *chain continuation*.  A fit under a delta plan caches
+the chain on :attr:`~repro.inference.sharded.ShardState.session`: the
+lifetime posterior tally, the master generator's bit state, and the
+closure's accumulators, with the final per-shard assignment blocks on
+the usual ``blocks``.  The next (warm) refit restores the generator and
+continues the *same* chain with no new burn-in and a shorter sweep
+budget: clean shards resume their cached assignment blocks, dirty or
+grown shards are re-primed from the majority estimate, and newly
+appended tasks enter the lifetime average seeded at their majority row.
+The continued draws extend the original stream, so a grown chain is
+deterministic per (seed, shard count, batch history).
 """
 
 from __future__ import annotations
@@ -54,10 +65,57 @@ from ..core.shards import AnswerShard
 from ..inference.distributions import sample_dirichlet_rows
 from ..inference.sharded import (
     ShardedEMSpec,
+    ShardState,
     SufficientStats,
+    check_delta_layout,
     majority_block,
+    pad_rows,
     run_gibbs_sharded,
 )
+
+
+def chain_restart(session, prev: ShardState, ranges, dirty: np.ndarray,
+                  init: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """``(initial_state, tally, retained)`` of a continued Gibbs chain.
+
+    Clean shards resume their cached assignment blocks; dirty shards
+    (and any block whose task range changed) are re-primed from the
+    majority estimate ``init``.  The lifetime tally is extended for
+    newly appended tasks with their majority row times the retained
+    count, so ``tally / retained`` stays a per-row convex average.
+    """
+    check_delta_layout(ranges, prev, dirty)
+    n_tasks = len(init)
+    state = np.empty_like(init)
+    for k, (start, stop) in enumerate(ranges):
+        block = np.asarray(prev.blocks[k], dtype=np.float64)
+        if dirty[k] or len(block) != stop - start:
+            state[start:stop] = init[start:stop]
+        else:
+            state[start:stop] = block
+    retained = int(session["retained"])
+    tally = np.array(session["tally"], dtype=np.float64)
+    if len(tally) < n_tasks:
+        tally = np.concatenate([tally, init[len(tally):] * retained])
+    return state, tally, retained
+
+
+def chain_state(runner, outcome, delta, session) -> ShardState:
+    """The :class:`ShardState` a finished Gibbs fit leaves behind: the
+    final assignment blocks plus the opaque chain payload."""
+    ranges = runner.task_ranges
+    spec = runner.spec
+    cuts = [ranges[0][0]] + [stop for _, stop in ranges]
+    return ShardState(
+        task_cuts=tuple(int(c) for c in cuts),
+        sizes=(spec.n_tasks, spec.n_workers, spec.n_choices),
+        blocks=[np.array(outcome.state[start:stop])
+                for start, stop in ranges],
+        stats=[None] * len(ranges),
+        base_answers=(delta.prev.base_answers
+                      if delta.prev is not None else 0),
+        session=session,
+    )
 
 
 class _ConfusionCountSpec(ShardedEMSpec):
@@ -104,6 +162,13 @@ class _ConfusionCountSpec(ShardedEMSpec):
                   worker_log_conf[shard.workers, :, shard.values])
         return log_normalize_rows(log_post)
 
+    def resize(self, n_tasks: int, n_workers: int, n_choices: int) -> bool:
+        if (n_choices != self.n_choices or n_workers < self.n_workers
+                or n_tasks < self.n_tasks):
+            return False
+        self.n_tasks, self.n_workers = n_tasks, n_workers
+        return True
+
 
 @register
 class BCC(CategoricalMethod):
@@ -112,6 +177,8 @@ class BCC(CategoricalMethod):
     name = "BCC"
     supports_golden = True
     supports_sharding = True
+    supports_warm_start = True
+    supports_delta = True
 
     def __init__(self, n_samples: int = 50, burn_in: int = 20,
                  alpha_diagonal: float = 2.0, alpha_off_diagonal: float = 1.0,
@@ -136,20 +203,61 @@ class BCC(CategoricalMethod):
         np.fill_diagonal(alpha, self.alpha_diagonal)
         return alpha
 
+    def _continuation_sweeps(self) -> int:
+        """Sweep budget of a continued chain: the chain is mixed, so
+        roughly half a fresh retained window keeps the lifetime average
+        moving without re-paying burn-in."""
+        return max(self.n_samples // 2, 8)
+
+    def _session_ok(self, session, answers: AnswerSet) -> bool:
+        """Whether a cached chain payload can continue on ``answers``."""
+        if not isinstance(session, dict) or session.get("family") != "bcc":
+            return False
+        tally = np.asarray(session.get("tally", ()))
+        conf = np.asarray(session.get("confusion_sum", ()))
+        return (tally.ndim == 2 and tally.shape[1] == answers.n_choices
+                and tally.shape[0] <= answers.n_tasks
+                and conf.ndim == 3 and conf.shape[0] <= answers.n_workers
+                and conf.shape[1:] == (answers.n_choices,
+                                       answers.n_choices))
+
     def _fit(
         self,
         answers: AnswerSet,
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        warm_start: InferenceResult | None = None,
         shard_runner=None,
         delta=None,
     ) -> InferenceResult:
         n_choices = answers.n_choices
         n_workers = answers.n_workers
         alpha = self._confusion_prior(n_choices)
+
+        session = (delta.prev.session
+                   if delta is not None and delta.prev is not None
+                   and delta.dirty is not None else None)
+        warm = warm_start is not None and self._session_ok(session, answers)
+        if delta is not None and not warm:
+            delta = delta.collect_only()
+
         confusion_sum = np.zeros((n_workers, n_choices, n_choices))
         retained_conf = 0
+        burn_in = self.burn_in
+        n_sweeps = self.burn_in + self.n_samples
+        prior_sweeps = 0
+        if warm:
+            # Continue the cached chain: restore the generator and the
+            # closure accumulators, skip burn-in (the chain is mixed).
+            rng.bit_generator.state = session["rng_state"]
+            confusion_sum = pad_rows(
+                np.array(session["confusion_sum"], dtype=np.float64),
+                n_workers)
+            retained_conf = int(session["retained_conf"])
+            prior_sweeps = int(session["sweeps"])
+            burn_in = 0
+            n_sweeps = self._continuation_sweeps()
 
         def sample(merged: SufficientStats, sweep: int):
             nonlocal confusion_sum, retained_conf
@@ -157,21 +265,45 @@ class BCC(CategoricalMethod):
                 merged["confusion_counts"].transpose(0, 2, 1) + alpha, rng)
             prior = sample_dirichlet_rows(
                 merged["class_sums"] + self.beta_prior, rng)
-            if sweep >= self.burn_in:
+            if sweep >= burn_in:
                 confusion_sum += confusion
                 retained_conf += 1
             return (np.log(np.clip(confusion, 1e-12, None)),
                     np.log(np.clip(prior, 1e-12, None)))
 
-        with self._shard_runner(answers, shard_runner, None) as runner:
+        with self._shard_runner(answers, shard_runner, delta) as runner:
+            init = self.majority_posterior(answers)
+            tally = None
+            retained = 0
+            dirty_count = 0
+            if warm:
+                dirty = np.asarray(delta.dirty, dtype=bool)
+                dirty_count = int(dirty.sum())
+                init, tally, retained = chain_restart(
+                    session, delta.prev, runner.task_ranges, dirty, init)
             outcome = run_gibbs_sharded(
                 runner,
-                n_sweeps=self.burn_in + self.n_samples,
-                burn_in=self.burn_in,
+                n_sweeps=n_sweeps,
+                burn_in=burn_in,
                 sample=sample,
                 golden=golden,
-                initial_state=self.majority_posterior(answers),
+                initial_state=init,
+                tally=tally,
+                retained=retained,
+                mode="delta" if warm else "gibbs",
+                dirty=dirty_count,
             )
+            shard_state = None
+            if delta is not None:
+                shard_state = chain_state(runner, outcome, delta, {
+                    "family": "bcc",
+                    "tally": outcome.tally,
+                    "retained": outcome.retained,
+                    "sweeps": prior_sweeps + n_sweeps,
+                    "rng_state": rng.bit_generator.state,
+                    "confusion_sum": confusion_sum,
+                    "retained_conf": retained_conf,
+                })
 
         final = outcome.tally / max(outcome.retained, 1)
         final = clamp_golden_posterior(final, golden)
@@ -183,8 +315,9 @@ class BCC(CategoricalMethod):
             truths=decode_posterior(final, rng),
             worker_quality=quality,
             posterior=final,
-            n_iterations=self.burn_in + self.n_samples,
+            n_iterations=prior_sweeps + n_sweeps,
             converged=True,
-            extras={"confusion": mean_confusion},
+            extras={"confusion": mean_confusion, "warm_started": warm},
             fit_stats=outcome.fit_stats,
+            shard_state=shard_state,
         )

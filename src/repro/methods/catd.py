@@ -201,6 +201,7 @@ class CATD(GeneralMethod):
     supports_initial_quality = True
     supports_golden = True
     supports_warm_start = True
+    supports_delta = True
     supports_sharding = True
 
     def __init__(self, confidence: float = 0.975, regularization: float = 0.01,

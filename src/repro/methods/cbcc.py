@@ -26,7 +26,11 @@ kernels): the per-worker soft counts map-reduce over the shards, and
 every draw — community matrices, memberships, class prior — happens in
 the master-side ``sample`` closure, which also owns the membership
 vector across sweeps.  One shard is bit-identical to the historical
-sampler; shard counts define the determinism contract as in BCC.
+sampler; shard counts define the determinism contract as in BCC.  So
+does the delta contract (chain continuation, see
+:mod:`repro.methods.bcc`): the cached payload additionally carries the
+membership vector and the per-worker quality accumulator, and new
+workers draw their initial community from the restored stream.
 """
 
 from __future__ import annotations
@@ -41,8 +45,8 @@ from ..core.framework import decode_posterior, log_normalize_rows
 from ..core.registry import register
 from ..core.result import InferenceResult
 from ..inference.distributions import sample_categorical_rows, sample_dirichlet_rows
-from ..inference.sharded import SufficientStats, run_gibbs_sharded
-from .bcc import _ConfusionCountSpec
+from ..inference.sharded import SufficientStats, pad_rows, run_gibbs_sharded
+from .bcc import _ConfusionCountSpec, chain_restart, chain_state
 
 
 @register
@@ -52,6 +56,8 @@ class CBCC(CategoricalMethod):
     name = "CBCC"
     supports_golden = False  # the survey does not extend CBCC with golden tasks
     supports_sharding = True
+    supports_warm_start = True
+    supports_delta = True
 
     def __init__(self, n_communities: int = 3, n_samples: int = 50,
                  burn_in: int = 20, alpha_diagonal: float = 4.0,
@@ -74,12 +80,26 @@ class CBCC(CategoricalMethod):
         return _ConfusionCountSpec(n_tasks=n_tasks, n_workers=n_workers,
                                    n_choices=n_choices)
 
+    def _session_ok(self, session, answers: AnswerSet) -> bool:
+        """Whether a cached chain payload can continue on ``answers``."""
+        if not isinstance(session, dict) or session.get("family") != "cbcc":
+            return False
+        if session.get("communities") != self.n_communities:
+            return False
+        tally = np.asarray(session.get("tally", ()))
+        membership = np.asarray(session.get("membership", ()))
+        return (tally.ndim == 2 and tally.shape[1] == answers.n_choices
+                and tally.shape[0] <= answers.n_tasks
+                and membership.ndim == 1
+                and len(membership) <= answers.n_workers)
+
     def _fit(
         self,
         answers: AnswerSet,
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        warm_start: InferenceResult | None = None,
         shard_runner=None,
         delta=None,
     ) -> InferenceResult:
@@ -96,9 +116,38 @@ class CBCC(CategoricalMethod):
             strength = self.alpha_diagonal * (m + 1) / n_comm
             alpha[m, diag, diag] = max(strength, self.alpha_off_diagonal)
 
-        membership = rng.integers(0, n_comm, size=n_workers)
-        quality_sum = np.zeros(n_workers)
-        retained = 0
+        session = (delta.prev.session
+                   if delta is not None and delta.prev is not None
+                   and delta.dirty is not None else None)
+        warm = warm_start is not None and self._session_ok(session, answers)
+        if delta is not None and not warm:
+            delta = delta.collect_only()
+
+        burn_in = self.burn_in
+        n_sweeps = self.burn_in + self.n_samples
+        prior_sweeps = 0
+        if warm:
+            # Continue the cached chain: restore the generator, resume
+            # the membership vector (new workers draw their community
+            # from the restored stream), skip burn-in.
+            rng.bit_generator.state = session["rng_state"]
+            membership = np.array(session["membership"], dtype=np.int64)
+            if len(membership) < n_workers:
+                membership = np.concatenate([
+                    membership,
+                    rng.integers(0, n_comm,
+                                 size=n_workers - len(membership))])
+            quality_sum = pad_rows(
+                np.array(session["quality_sum"], dtype=np.float64),
+                n_workers)
+            retained = int(session["retained_quality"])
+            prior_sweeps = int(session["sweeps"])
+            burn_in = 0
+            n_sweeps = max(self.n_samples // 2, 8)
+        else:
+            membership = rng.integers(0, n_comm, size=n_workers)
+            quality_sum = np.zeros(n_workers)
+            retained = 0
 
         def sample(merged: SufficientStats, sweep: int):
             nonlocal membership, quality_sum, retained
@@ -121,22 +170,48 @@ class CBCC(CategoricalMethod):
             prior = sample_dirichlet_rows(
                 merged["class_sums"] + self.beta_prior, rng)
 
-            if sweep >= self.burn_in:
+            if sweep >= burn_in:
                 quality_sum += confusion[membership][:, diag,
                                                      diag].mean(axis=1)
                 retained += 1
             return (log_conf[membership],
                     np.log(np.clip(prior, 1e-12, None)))
 
-        with self._shard_runner(answers, shard_runner, None) as runner:
+        with self._shard_runner(answers, shard_runner, delta) as runner:
+            init = self.majority_posterior(answers)
+            tally = None
+            chain_retained = 0
+            dirty_count = 0
+            if warm:
+                dirty = np.asarray(delta.dirty, dtype=bool)
+                dirty_count = int(dirty.sum())
+                init, tally, chain_retained = chain_restart(
+                    session, delta.prev, runner.task_ranges, dirty, init)
             outcome = run_gibbs_sharded(
                 runner,
-                n_sweeps=self.burn_in + self.n_samples,
-                burn_in=self.burn_in,
+                n_sweeps=n_sweeps,
+                burn_in=burn_in,
                 sample=sample,
                 golden=None,
-                initial_state=self.majority_posterior(answers),
+                initial_state=init,
+                tally=tally,
+                retained=chain_retained,
+                mode="delta" if warm else "gibbs",
+                dirty=dirty_count,
             )
+            shard_state = None
+            if delta is not None:
+                shard_state = chain_state(runner, outcome, delta, {
+                    "family": "cbcc",
+                    "communities": n_comm,
+                    "tally": outcome.tally,
+                    "retained": outcome.retained,
+                    "sweeps": prior_sweeps + n_sweeps,
+                    "rng_state": rng.bit_generator.state,
+                    "membership": membership,
+                    "quality_sum": quality_sum,
+                    "retained_quality": retained,
+                })
 
         final = outcome.tally / max(outcome.retained, 1)
         quality = quality_sum / max(retained, 1)
@@ -145,8 +220,9 @@ class CBCC(CategoricalMethod):
             truths=decode_posterior(final, rng),
             worker_quality=quality,
             posterior=final,
-            n_iterations=self.burn_in + self.n_samples,
+            n_iterations=prior_sweeps + n_sweeps,
             converged=True,
-            extras={"community": membership},
+            extras={"community": membership, "warm_started": warm},
             fit_stats=outcome.fit_stats,
+            shard_state=shard_state,
         )

@@ -268,6 +268,7 @@ class Glad(CategoricalMethod):
     supports_initial_quality = True
     supports_golden = True
     supports_warm_start = True
+    supports_delta = True
     supports_sharding = True
     supports_seed_posterior = True
 

@@ -51,6 +51,7 @@ class LearningFromCrowds(_ConfusionMatrixEM):
     supports_initial_quality = True
     supports_golden = True
     supports_warm_start = True
+    supports_delta = True
     supports_sharding = True
     supports_seed_posterior = True
     #: Symmetric pseudo-count on every cell plus a diagonal bonus:
@@ -145,6 +146,7 @@ class LearningFromCrowdsNumeric(NumericMethod):
     supports_initial_quality = True
     supports_golden = True
     supports_warm_start = True
+    supports_delta = True
     supports_sharding = True
 
     def __init__(self, min_variance: float = 1e-6, **kwargs) -> None:

@@ -58,6 +58,7 @@ from ..core.shards import AnswerShard
 from ..inference.sharded import (
     ShardedEMSpec,
     majority_block,
+    pad_rows,
     run_em_sharded,
 )
 
@@ -71,6 +72,11 @@ class _MinimaxSpec(ShardedEMSpec):
     """
 
     statistics_m_step = False
+
+    #: Cadence of full exact gradient rounds inside a delta M-step:
+    #: straddling workers and frozen ``τ`` rows advance only on these,
+    #: so the cadence trades outer iterations against per-round cost.
+    FULL_ROUND_EVERY = 4
 
     def __init__(self, n_tasks: int, n_workers: int, n_choices: int,
                  learning_rate: float, gradient_steps: int, l2_tau: float,
@@ -91,6 +97,17 @@ class _MinimaxSpec(ShardedEMSpec):
             post_edge=None,
             observed=None,
         )
+
+    def resize(self, n_tasks: int, n_workers: int, n_choices: int) -> bool:
+        # Clean shards' cached ops reference only their own (unchanged)
+        # edges; the gradient kernels allocate worker-wide outputs at
+        # the spec's current width, so grown sizes just update the
+        # fields (a changed label space rebuilds everything).
+        if (n_choices != self.n_choices or n_workers < self.n_workers
+                or n_tasks < self.n_tasks):
+            return False
+        self.n_tasks, self.n_workers = n_tasks, n_workers
+        return True
 
     def init_block(self, shard: AnswerShard, ops) -> np.ndarray:
         return majority_block(shard)
@@ -146,6 +163,79 @@ class _MinimaxSpec(ShardedEMSpec):
         confusion /= confusion.sum(axis=2, keepdims=True)
         return np.log(confusion)
 
+    def _gradient_rounds(self, runner, tau: np.ndarray, sigma: np.ndarray,
+                         frozen=frozenset()) -> tuple[np.ndarray, np.ndarray]:
+        """The master-driven ascent rounds (shared by the full and
+        delta M-steps — same dispatch, same summation order).
+
+        ``frozen`` (delta refits only) names shards whose posterior is
+        pinned for this whole M-step.  Every ``FULL_ROUND_EVERY``-th
+        round is then a full exact pass — every shard's kernel, every
+        parameter stepped, so frozen ``τ`` rows and every worker's
+        ``σ`` keep tracking the regulariser's slow manifold exactly as
+        the full path does.  The rounds between run kernels only over
+        the active shards and step only the parameters whose gradient
+        those kernels determine completely: active ``τ`` rows and the
+        ``σ`` rows of workers with no answers inside any frozen shard.
+        A straddling worker therefore advances on exact steps at a
+        reduced cadence instead of taking stale-gradient steps (which
+        limit-cycle against the pinned posteriors and never converge).
+        No stale gradient is ever applied; drift the active rounds
+        can't see is caught by the delta loop's verify passes.  An
+        empty ``frozen`` (every full fit) is the historical loop, bit
+        for bit."""
+        ranges = runner.task_ranges
+        active = [k for k in range(runner.n_shards) if k not in frozen]
+        local = None
+        for step in range(self.gradient_steps):
+            if not frozen or step % self.FULL_ROUND_EVERY == 0:
+                results = runner.call(
+                    "grad_step",
+                    per_shard=[(tau[start:stop],)
+                               for start, stop in ranges],
+                    shared=(sigma,))
+                grad_tau = np.concatenate([g for g, _ in results])
+                grad_sigma = functools.reduce(np.add,
+                                              [p for _, p in results])
+                tau += self.learning_rate * (grad_tau / self.count_t
+                                             - self.l2_tau * tau)
+                sigma += self.learning_rate * (grad_sigma / self.count_w
+                                               - self.l2_sigma * sigma)
+                if frozen:
+                    # σ rows the active kernels determine completely:
+                    # support of a worker's gradient is their answer
+                    # support, fixed across rounds.
+                    in_frozen = np.zeros(self.n_workers, dtype=bool)
+                    for k in frozen:
+                        in_frozen |= np.any(results[k][1] != 0.0,
+                                            axis=(1, 2))
+                    local = ~in_frozen
+                continue
+            fresh = runner.call(
+                "grad_step",
+                per_shard=[(tau[ranges[k][0]:ranges[k][1]],)
+                           for k in active],
+                shared=(sigma,), only=active)
+            grad_sigma = functools.reduce(
+                np.add, [p for _, p in fresh],
+                np.zeros((self.n_workers, self.n_choices,
+                          self.n_choices)))
+            sigma[local] += self.learning_rate * (
+                grad_sigma[local] / self.count_w[local]
+                - self.l2_sigma * sigma[local])
+            for k, (g, _) in zip(active, fresh):
+                start, stop = ranges[k]
+                tau[start:stop] += self.learning_rate * (
+                    g / self.count_t[start:stop]
+                    - self.l2_tau * tau[start:stop])
+        return tau, sigma
+
+    @staticmethod
+    def _class_prior(blocks) -> np.ndarray:
+        class_prior = np.clip(
+            np.concatenate(blocks).mean(axis=0), 1e-6, None)
+        return class_prior / class_prior.sum()
+
     def m_step(self, runner, blocks, prev_params):
         if prev_params is None:
             tau = np.zeros((self.n_tasks, self.n_choices))
@@ -153,23 +243,51 @@ class _MinimaxSpec(ShardedEMSpec):
         else:
             tau, sigma = prev_params[0], prev_params[1]
         runner.call("begin_m_step", per_shard=blocks)
-        ranges = runner.task_ranges
-        for _ in range(self.gradient_steps):
-            results = runner.call(
-                "grad_step",
-                per_shard=[(tau[start:stop],) for start, stop in ranges],
-                shared=(sigma,))
-            grad_tau = np.concatenate([g for g, _ in results])
-            grad_sigma = functools.reduce(np.add,
-                                          [p for _, p in results])
-            tau += self.learning_rate * (grad_tau / self.count_t
-                                         - self.l2_tau * tau)
-            sigma += self.learning_rate * (grad_sigma / self.count_w
-                                           - self.l2_sigma * sigma)
-        class_prior = np.clip(
-            np.concatenate(blocks).mean(axis=0), 1e-6, None)
-        class_prior = class_prior / class_prior.sum()
-        return tau, sigma, class_prior
+        tau, sigma = self._gradient_rounds(runner, tau, sigma)
+        return tau, sigma, self._class_prior(blocks)
+
+    #: Marker recorded in a delta refit's stats cache for a frozen
+    #: shard whose begin_m_step payload is held worker-side (valid
+    #: until the shard's block changes).  Never carried across fits.
+    MATCH_CACHED = "minimax-begin-cached"
+
+    def _delta_begin(self, runner, blocks, frozen, stats_cache) -> None:
+        """Ship begin_m_step payloads only where the worker-side cache
+        is stale (active shards, or frozen ones whose cached payload
+        was dropped) — the GLAD pattern: frozen shards keep their
+        per-edge tensors resident, so no posterior block is reshipped
+        for them."""
+        need = [k for k in range(runner.n_shards)
+                if k not in frozen
+                or stats_cache[k] is not self.MATCH_CACHED]
+        if need:
+            runner.call("begin_m_step",
+                        per_shard=[blocks[k] for k in need],
+                        only=need)
+        for k in frozen:
+            stats_cache[k] = self.MATCH_CACHED
+
+    def m_step_delta(self, runner, blocks, prev_params, frozen,
+                     stats_cache, fit_stats=None):
+        """Frozen-aware gradient M-step: restart the ascent from the
+        cached ``τ/σ`` with only non-cached shards shipping their
+        begin payloads, and frozen shards' gradient partials computed
+        once per M-step instead of once per round — the active shards
+        alone pay the per-round kernels."""
+        if prev_params is None:
+            return self.m_step(runner, blocks, prev_params)
+        tau, sigma = prev_params[0], prev_params[1]
+        self._delta_begin(runner, blocks, frozen, stats_cache)
+        tau, sigma = self._gradient_rounds(runner, tau, sigma,
+                                           frozen=frozen)
+        if fit_stats is not None:
+            active = runner.n_shards - len(frozen)
+            full_rounds = (-(-self.gradient_steps // self.FULL_ROUND_EVERY)
+                           if frozen else self.gradient_steps)
+            fit_stats.accumulate_calls += (
+                full_rounds * runner.n_shards
+                + (self.gradient_steps - full_rounds) * active)
+        return tau, sigma, self._class_prior(blocks)
 
     # -- truth step ----------------------------------------------------
     def e_block(self, shard: AnswerShard, ops, params) -> np.ndarray:
@@ -197,6 +315,8 @@ class MinimaxEntropy(CategoricalMethod):
     name = "Minimax"
     supports_golden = True
     supports_sharding = True
+    supports_warm_start = True
+    supports_delta = True
 
     def __init__(self, learning_rate: float = 0.5, gradient_steps: int = 20,
                  l2_tau: float = 3.0, l2_sigma: float = 0.01,
@@ -221,12 +341,59 @@ class MinimaxEntropy(CategoricalMethod):
             l2_tau=self.l2_tau, l2_sigma=self.l2_sigma,
             prior_temper=self.prior_temper)
 
+    def _warm_parameters(self, warm_start: InferenceResult,
+                         answers: AnswerSet):
+        """The cached ``τ/σ`` (padded to the grown sizes) and a class
+        prior recomputed from the warm posterior — the restart point of
+        a delta refit's gradient rounds.  Returns ``None`` when the
+        warm extras are missing or shaped for a different label
+        space."""
+        tau = warm_start.extras.get("tau")
+        sigma = warm_start.extras.get("sigma")
+        if (tau is None or sigma is None
+                or tau.shape[1] != answers.n_choices
+                or sigma.shape[1:] != (answers.n_choices,
+                                       answers.n_choices)):
+            return None
+        # Copies: the gradient rounds update tau/sigma in place, and
+        # the cached result's extras must stay untouched.
+        n_prev = len(sigma)
+        tau = pad_rows(np.array(tau, dtype=np.float64), answers.n_tasks)
+        sigma = pad_rows(np.array(sigma, dtype=np.float64),
+                         answers.n_workers)
+        if answers.n_workers > n_prev:
+            # Unseen workers get the cold path's init — the log
+            # majority-vote confusion — not zero rows: a zero σ row
+            # makes a new worker's answers initially uninformative and
+            # the coupled ascent spends dozens of iterations
+            # bootstrapping them, slower than a cold start.
+            n_choices = answers.n_choices
+            post = np.zeros((answers.n_tasks, n_choices))
+            np.add.at(post, (answers.tasks, answers.values), 1.0)
+            post /= np.maximum(post.sum(axis=1, keepdims=True), 1.0)
+            n_known = len(warm_start.posterior)
+            post[:n_known] = warm_start.posterior
+            counts = np.zeros((answers.n_workers - n_prev,
+                               n_choices, n_choices))
+            fresh = answers.workers >= n_prev
+            np.add.at(counts,
+                      (answers.workers[fresh] - n_prev,
+                       answers.values[fresh]),
+                      post[answers.tasks[fresh]])
+            confusion = counts.transpose(0, 2, 1) + 1.0
+            confusion /= confusion.sum(axis=2, keepdims=True)
+            sigma[n_prev:] = np.log(confusion)
+        class_prior = np.clip(
+            warm_start.posterior.mean(axis=0), 1e-6, None)
+        return tau, sigma, class_prior / class_prior.sum()
+
     def _fit(
         self,
         answers: AnswerSet,
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        warm_start: InferenceResult | None = None,
         shard_runner=None,
         delta=None,
     ) -> InferenceResult:
@@ -236,13 +403,23 @@ class MinimaxEntropy(CategoricalMethod):
                                       1)[:, None]
             spec.count_w = np.maximum(answers.worker_answer_counts(),
                                       1)[:, None, None]
-            if delta is not None:
+            # Warm gradient restarts run only under a true delta plan:
+            # without one the fit is cold, exactly the historical
+            # behaviour (so refit="full" streams stay bit-identical).
+            initial_parameters = None
+            if (warm_start is not None and delta is not None
+                    and delta.prev is not None):
+                initial_parameters = self._warm_parameters(warm_start,
+                                                           answers)
+            warm = initial_parameters is not None
+            if delta is not None and not warm:
                 delta = delta.collect_only()
             outcome = run_em_sharded(
                 runner,
                 tolerance=self.tolerance,
                 max_iter=self.max_iter,
                 golden=golden,
+                initial_parameters=initial_parameters,
                 delta=delta,
             )
 
@@ -261,7 +438,7 @@ class MinimaxEntropy(CategoricalMethod):
             posterior=outcome.posterior,
             n_iterations=outcome.n_iterations,
             converged=outcome.converged,
-            extras={"tau": tau, "sigma": sigma},
+            extras={"tau": tau, "sigma": sigma, "warm_started": warm},
             fit_stats=outcome.fit_stats,
             shard_state=outcome.shard_state,
         )

@@ -37,7 +37,7 @@ from ..core.framework import decode_posterior
 from ..core.registry import register
 from ..core.result import InferenceResult
 from ..core.shards import AnswerShard
-from ..inference.sharded import run_em_sharded
+from ..inference.sharded import pad_rows, run_em_sharded
 from .minimax import _MinimaxSpec
 
 
@@ -92,13 +92,9 @@ class _MinimaxOrdinalSpec(_MinimaxSpec):
                                  self.side[s][None, :]]
         return sigma
 
-    def m_step(self, runner, blocks, prev_params):
-        if prev_params is None:
-            tau = np.zeros((self.n_tasks, self.n_choices))
-            omega = self._init_omega(runner, blocks)
-        else:
-            tau, omega = prev_params[0], prev_params[3]
-        runner.call("begin_m_step", per_shard=blocks)
+    def _omega_rounds(self, runner, tau, omega):
+        """The master-driven gradient rounds over ``τ`` and ``ω`` —
+        shared verbatim by the cold M-step and the delta restart."""
         ranges = runner.task_ranges
         for _ in range(self.gradient_steps):
             sigma = self._sigma_from_omega(omega)
@@ -125,12 +121,35 @@ class _MinimaxOrdinalSpec(_MinimaxSpec):
                                          - self.l2_tau * tau)
             omega += self.learning_rate * (grad_omega / self.count_w
                                            - self.l2_omega * omega)
+        return tau, omega
 
-        sigma = self._sigma_from_omega(omega)
-        class_prior = np.clip(
-            np.concatenate(blocks).mean(axis=0), 1e-6, None)
-        class_prior = class_prior / class_prior.sum()
-        return tau, sigma, class_prior, omega
+    def m_step(self, runner, blocks, prev_params):
+        if prev_params is None:
+            tau = np.zeros((self.n_tasks, self.n_choices))
+            omega = self._init_omega(runner, blocks)
+        else:
+            tau, omega = prev_params[0], prev_params[3]
+        runner.call("begin_m_step", per_shard=blocks)
+        tau, omega = self._omega_rounds(runner, tau, omega)
+        return (tau, self._sigma_from_omega(omega),
+                self._class_prior(blocks), omega)
+
+    def m_step_delta(self, runner, blocks, prev_params, frozen,
+                     stats_cache, fit_stats=None):
+        """Delta M-step: converged shards keep their cached residual
+        tables (``begin_m_step`` skipped); the gradient rounds still
+        span every shard, which is exact because frozen shards'
+        posterior blocks are pinned."""
+        if prev_params is None:
+            return self.m_step(runner, blocks, prev_params)
+        tau, omega = prev_params[0], prev_params[3]
+        self._delta_begin(runner, blocks, frozen, stats_cache)
+        tau, omega = self._omega_rounds(runner, tau, omega)
+        if fit_stats is not None:
+            fit_stats.accumulate_calls += (runner.n_shards
+                                           * self.gradient_steps)
+        return (tau, self._sigma_from_omega(omega),
+                self._class_prior(blocks), omega)
 
 
 @register
@@ -141,6 +160,8 @@ class MinimaxOrdinal(CategoricalMethod):
     is_extension = True
     supports_golden = True
     supports_sharding = True
+    supports_warm_start = True
+    supports_delta = True
 
     def __init__(self, learning_rate: float = 0.5, gradient_steps: int = 20,
                  l2_tau: float = 3.0, l2_omega: float = 0.01,
@@ -161,12 +182,33 @@ class MinimaxOrdinal(CategoricalMethod):
             l2_tau=self.l2_tau, l2_omega=self.l2_omega,
             prior_temper=self.prior_temper)
 
+    def _warm_parameters(self, warm_start: InferenceResult,
+                         answers: AnswerSet, spec):
+        """Cached ``τ/ω`` padded to the grown sizes, with ``σ``
+        re-expanded from ``ω`` and the class prior recomputed from the
+        warm posterior.  ``None`` when the warm extras don't match the
+        current label space."""
+        tau = warm_start.extras.get("tau")
+        omega = warm_start.extras.get("omega")
+        if (tau is None or omega is None
+                or tau.shape[1] != answers.n_choices
+                or omega.shape[1:] != (spec.n_splits, 2, 2)):
+            return None
+        tau = pad_rows(np.array(tau, dtype=np.float64), answers.n_tasks)
+        omega = pad_rows(np.array(omega, dtype=np.float64),
+                         answers.n_workers)
+        class_prior = np.clip(
+            warm_start.posterior.mean(axis=0), 1e-6, None)
+        return (tau, spec._sigma_from_omega(omega),
+                class_prior / class_prior.sum(), omega)
+
     def _fit(
         self,
         answers: AnswerSet,
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        warm_start: InferenceResult | None = None,
         shard_runner=None,
         delta=None,
     ) -> InferenceResult:
@@ -176,13 +218,20 @@ class MinimaxOrdinal(CategoricalMethod):
                                       1)[:, None]
             spec.count_w = np.maximum(answers.worker_answer_counts(),
                                       1)[:, None, None, None]
-            if delta is not None:
+            initial_parameters = None
+            if (warm_start is not None and delta is not None
+                    and delta.prev is not None):
+                initial_parameters = self._warm_parameters(
+                    warm_start, answers, spec)
+            warm = initial_parameters is not None
+            if delta is not None and not warm:
                 delta = delta.collect_only()
             outcome = run_em_sharded(
                 runner,
                 tolerance=self.tolerance,
                 max_iter=self.max_iter,
                 golden=golden,
+                initial_parameters=initial_parameters,
                 delta=delta,
             )
 
@@ -200,7 +249,8 @@ class MinimaxOrdinal(CategoricalMethod):
             posterior=outcome.posterior,
             n_iterations=outcome.n_iterations,
             converged=outcome.converged,
-            extras={"tau": tau, "omega": omega, "sigma": sigma},
+            extras={"tau": tau, "omega": omega, "sigma": sigma,
+                    "warm_started": warm},
             fit_stats=outcome.fit_stats,
             shard_state=outcome.shard_state,
         )

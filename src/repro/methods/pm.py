@@ -76,6 +76,7 @@ class PM(GeneralMethod):
     supports_initial_quality = True
     supports_golden = True
     supports_warm_start = True
+    supports_delta = True
     supports_sharding = True
 
     def __init__(self, regularization: float = 0.01, **kwargs) -> None:

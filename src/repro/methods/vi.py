@@ -42,7 +42,12 @@ from ..core.result import InferenceResult
 from ..core.shards import AnswerShard
 from ..core.tasktypes import LABEL_FALSE, LABEL_TRUE
 from ..inference.em import EMOutcome
-from ..inference.sharded import ShardedEMSpec, SufficientStats, run_em_sharded
+from ..inference.sharded import (
+    ShardedEMSpec,
+    SufficientStats,
+    pad_rows,
+    run_em_sharded,
+)
 from ..inference.variational import (
     BetaPrior,
     expected_log_beta_counts,
@@ -158,6 +163,12 @@ class _MeanFieldSpec(_TwoCoinSpec):
         posterior = log_normalize_rows(log_post)
         return posterior[:, LABEL_TRUE].copy()
 
+    def warm_parameters(self, stats: SufficientStats, mu: np.ndarray):
+        """A delta refit resumes from the digamma expectations of the
+        cached worker counts — the same parameters the previous fit
+        converged to."""
+        return self.finalize(stats)
+
 
 class _BeliefPropagationSpec(_TwoCoinSpec):
     """VI-BP: cavity messages subtract each edge's own contribution
@@ -174,6 +185,28 @@ class _BeliefPropagationSpec(_TwoCoinSpec):
         stats = runner.call("accumulate", per_shard=blocks)
         merged = functools.reduce(lambda a, b: a.merge(b), stats)
         return merged, np.concatenate(blocks, axis=0)
+
+    def m_step_delta(self, runner, blocks, prev_params, frozen,
+                     stats_cache, fit_stats=None):
+        """Delta M-step: a frozen shard's belief block is pinned, so
+        its count partial is too — ``accumulate`` runs only for shards
+        whose cache entry was invalidated by an E-step."""
+        need = [k for k in range(len(blocks)) if stats_cache[k] is None]
+        if need:
+            computed = runner.call("accumulate",
+                                   per_shard=[blocks[k] for k in need],
+                                   only=need)
+            for k, stats in zip(need, computed):
+                stats_cache[k] = stats
+            if fit_stats is not None:
+                fit_stats.accumulate_calls += len(need)
+        merged = functools.reduce(lambda a, b: a.merge(b), stats_cache)
+        return merged, np.concatenate(blocks, axis=0)
+
+    def warm_parameters(self, stats: SufficientStats, mu: np.ndarray):
+        """A delta refit resumes from the cached worker counts and the
+        cached belief vector — exactly the M-step packing."""
+        return stats, mu
 
     def e_block(self, shard: AnswerShard, ops, params) -> np.ndarray:
         merged, mu = params
@@ -212,6 +245,8 @@ class _VariationalTwoCoin(BinaryMethod):
     supports_initial_quality = True
     supports_golden = True
     supports_sharding = True
+    supports_warm_start = True
+    supports_delta = True
     _spec_cls: type[_TwoCoinSpec]
 
     def __init__(self, prior_a: float = 2.0, prior_b: float = 1.0,
@@ -243,30 +278,62 @@ class _VariationalTwoCoin(BinaryMethod):
         total = np.where(total > 0, total, 1.0)
         return score_t / total
 
+    def _warm_parameters(self, warm_start: InferenceResult,
+                         answers: AnswerSet, mu0: np.ndarray, spec):
+        """Variational restart point of a delta refit: the cached
+        worker counts (zero-padded for new workers) and the cached
+        beliefs, extended with the majority estimate ``mu0`` for new
+        tasks.  ``None`` when the warm extras carry no counts."""
+        counts = warm_start.extras.get("counts")
+        if counts is None or len(counts) != 4:
+            return None
+        mu_prev = np.asarray(warm_start.posterior[:, LABEL_TRUE],
+                             dtype=np.float64)
+        if len(mu_prev) > answers.n_tasks:
+            return None
+        mu = np.concatenate([mu_prev, mu0[len(mu_prev):]])
+        padded = [pad_rows(np.asarray(c, dtype=np.float64),
+                           answers.n_workers) for c in counts]
+        stats = SufficientStats(
+            correct_t=padded[0], incorrect_t=padded[1],
+            correct_f=padded[2], incorrect_f=padded[3],
+            mu_sum=float(mu.sum()), count=float(len(mu)))
+        return spec.warm_parameters(stats, mu)
+
     def _fit(
         self,
         answers: AnswerSet,
         golden: Mapping[int, float] | None,
         initial_quality: np.ndarray | None,
         rng: np.random.Generator,
+        warm_start: InferenceResult | None = None,
         shard_runner=None,
         delta=None,
     ) -> InferenceResult:
         with self._shard_runner(answers, shard_runner, delta) as runner:
-            if delta is not None:
-                # No warm start yet, so a refit can only collect the
-                # statistics cache a future delta path would resume.
+            mu0 = self._initial_mu(answers, initial_quality)
+            # Variational blocks are reused only under a true delta
+            # plan; without one the fit is cold, exactly the historical
+            # behaviour (refit="full" streams stay bit-identical).
+            initial_parameters = None
+            if (warm_start is not None and delta is not None
+                    and delta.prev is not None):
+                initial_parameters = self._warm_parameters(
+                    warm_start, answers, mu0, runner.spec)
+            warm = initial_parameters is not None
+            if delta is not None and not warm:
                 delta = delta.collect_only()
             outcome = run_em_sharded(
                 runner,
                 tolerance=self.tolerance,
                 max_iter=self.max_iter,
                 golden=golden,
-                initial_posterior=self._initial_mu(answers, initial_quality),
+                initial_posterior=mu0,
+                initial_parameters=initial_parameters,
                 delta=delta,
             )
             counts = self._final_counts(runner, outcome)
-        return self._result(answers, outcome, counts, rng)
+        return self._result(answers, outcome, counts, rng, warm)
 
     @staticmethod
     def _final_counts(runner, outcome: EMOutcome) -> tuple[np.ndarray, ...]:
@@ -286,7 +353,8 @@ class _VariationalTwoCoin(BinaryMethod):
 
     def _result(self, answers: AnswerSet, outcome: EMOutcome,
                 counts: tuple[np.ndarray, ...],
-                rng: np.random.Generator) -> InferenceResult:
+                rng: np.random.Generator,
+                warm: bool = False) -> InferenceResult:
         correct_t, incorrect_t, correct_f, incorrect_f = counts
         sensitivity = posterior_mean_accuracy(correct_t, incorrect_t,
                                               self.prior)
@@ -301,7 +369,11 @@ class _VariationalTwoCoin(BinaryMethod):
             posterior=posterior,
             n_iterations=outcome.n_iterations,
             converged=outcome.converged,
-            extras={"sensitivity": sensitivity, "specificity": specificity},
+            extras={"sensitivity": sensitivity, "specificity": specificity,
+                    # The final-belief worker counts: the restart point
+                    # the next delta refit's warm parameters come from.
+                    "counts": np.stack(counts),
+                    "warm_started": warm},
             fit_stats=outcome.fit_stats,
             shard_state=outcome.shard_state,
         )

@@ -26,18 +26,19 @@ N = TaskType.NUMERIC
 
 
 def caps(warm=False, seed=False, shard=False, golden=False, quality=False,
-         types=(), ext=False) -> Capabilities:
+         types=(), ext=False, delta=False) -> Capabilities:
     return Capabilities(
         warm_start=warm, seed_posterior=seed, sharding=shard,
         golden=golden, initial_quality=quality,
-        task_types=frozenset(types), is_extension=ext,
+        task_types=frozenset(types), is_extension=ext, delta=delta,
     )
 
 
 #: The authoritative table: paper Table 4 task types, Table 7
 #: qualification support, Section 6.3.3 golden support, plus the
-#: streaming/sharding capabilities grown in PRs 1-3 and the method-zoo
-#: sharding pass (CATD/PM/KOS/Minimax/BCC/CBCC/VI).  LFC mirrors D&S
+#: streaming/sharding capabilities grown in PRs 1-3, the method-zoo
+#: sharding pass (CATD/PM/KOS/Minimax/BCC/CBCC/VI) and the per-family
+#: delta-refit contracts (every sharded method).  LFC mirrors D&S
 #: exactly — it shares the same EM (the audit this table came from
 #: found its ``seed_posterior`` reliance on base-class inheritance).
 EXPECTED = {
@@ -45,26 +46,31 @@ EXPECTED = {
     "Mean": caps(types=(N,)),
     "Median": caps(types=(N,)),
     "D&S": caps(warm=True, seed=True, shard=True, golden=True,
-                quality=True, types=(D, S)),
+                quality=True, types=(D, S), delta=True),
     "LFC": caps(warm=True, seed=True, shard=True, golden=True,
-                quality=True, types=(D, S)),
+                quality=True, types=(D, S), delta=True),
     "ZC": caps(warm=True, seed=True, shard=True, golden=True,
-               quality=True, types=(D, S)),
+               quality=True, types=(D, S), delta=True),
     "GLAD": caps(warm=True, seed=True, shard=True, golden=True,
-                 quality=True, types=(D, S)),
+                 quality=True, types=(D, S), delta=True),
     "LFC_N": caps(warm=True, shard=True, golden=True, quality=True,
-                  types=(N,)),
-    "BCC": caps(shard=True, golden=True, types=(D, S)),
-    "CBCC": caps(shard=True, types=(D, S)),
+                  types=(N,), delta=True),
+    "BCC": caps(warm=True, shard=True, golden=True, types=(D, S),
+                delta=True),
+    "CBCC": caps(warm=True, shard=True, types=(D, S), delta=True),
     "CATD": caps(warm=True, shard=True, golden=True, quality=True,
-                 types=(D, S, N)),
+                 types=(D, S, N), delta=True),
     "PM": caps(warm=True, shard=True, golden=True, quality=True,
-               types=(D, S, N)),
-    "Minimax": caps(shard=True, golden=True, types=(D, S)),
-    "Minimax-Ord": caps(shard=True, golden=True, types=(D, S), ext=True),
-    "KOS": caps(shard=True, types=(D,)),
-    "VI-BP": caps(shard=True, golden=True, quality=True, types=(D,)),
-    "VI-MF": caps(shard=True, golden=True, quality=True, types=(D,)),
+               types=(D, S, N), delta=True),
+    "Minimax": caps(warm=True, shard=True, golden=True, types=(D, S),
+                    delta=True),
+    "Minimax-Ord": caps(warm=True, shard=True, golden=True, types=(D, S),
+                        ext=True, delta=True),
+    "KOS": caps(warm=True, shard=True, types=(D,), delta=True),
+    "VI-BP": caps(warm=True, shard=True, golden=True, quality=True,
+                  types=(D,), delta=True),
+    "VI-MF": caps(warm=True, shard=True, golden=True, quality=True,
+                  types=(D,), delta=True),
     "Multi": caps(types=(D,)),
 }
 

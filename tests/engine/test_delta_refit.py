@@ -68,6 +68,11 @@ def stream_through(batches, task_type, method, refit, executor="serial",
 
 CATEGORICAL_METHODS = ["D&S", "LFC", "ZC", "GLAD"]
 
+#: The non-EM families grown into the delta contract: master-driven
+#: gradient rounds (minimax), variational blocks (VI) — all with exact
+#: warm restarts — plus the message-passing and Gibbs families below.
+ZOO_GRADIENT_METHODS = ["Minimax", "Minimax-Ord", "VI-MF", "VI-BP"]
+
 
 class TestDeltaParity:
     @pytest.mark.parametrize("method", CATEGORICAL_METHODS)
@@ -122,6 +127,131 @@ class TestDeltaParity:
         assert threaded[-1].fit_stats.mode == "delta"
 
 
+class TestDeltaZooParity:
+    """Per-family parity gates for the non-EM delta contracts."""
+
+    @pytest.mark.parametrize("method", ZOO_GRADIENT_METHODS)
+    def test_gradient_and_variational_parity(self, method):
+        batches = make_batches()
+        full = stream_through(batches, TaskType.DECISION_MAKING, method,
+                              "full")
+        delta = stream_through(batches, TaskType.DECISION_MAKING, method,
+                               "delta")
+        assert delta[-1].fit_stats.mode == "delta"
+        assert delta[-1].extras["warm_started"]
+        assert not full[-1].extras["warm_started"]
+        assert np.abs(full[-1].posterior
+                      - delta[-1].posterior).max() <= 1e-6
+        assert (full[-1].truths == delta[-1].truths).mean() >= 0.999
+
+    def test_kos_message_restart_parity(self):
+        # A well-separated fixture: KOS posteriors are sign decisions
+        # (one-hot), so parity is meaningful only where no task sits on
+        # a knife edge.
+        batches = make_batches(seed=3, n_tasks=120, n_workers=20,
+                               base=2400, growth=150)
+        full = stream_through(batches, TaskType.DECISION_MAKING, "KOS",
+                              "full")
+        delta = stream_through(batches, TaskType.DECISION_MAKING, "KOS",
+                               "delta")
+        assert delta[-1].fit_stats.mode == "delta"
+        assert delta[-1].extras["warm_started"]
+        assert np.abs(full[-1].posterior
+                      - delta[-1].posterior).max() <= 1e-6
+        np.testing.assert_array_equal(full[-1].truths, delta[-1].truths)
+        # Frozen message blocks skipped task rounds.
+        assert (delta[-1].fit_stats.e_block_calls
+                < full[-1].fit_stats.e_block_calls)
+
+    @pytest.mark.parametrize("method", ["BCC", "CBCC"])
+    def test_gibbs_chain_continuation(self, method):
+        batches = make_batches()
+        full = stream_through(batches, TaskType.DECISION_MAKING, method,
+                              "full")
+        delta = stream_through(batches, TaskType.DECISION_MAKING, method,
+                               "delta")
+        again = stream_through(batches, TaskType.DECISION_MAKING, method,
+                               "delta")
+        last = delta[-1]
+        assert last.fit_stats.mode == "delta"
+        assert last.extras["warm_started"]
+        # The continued chain is the lifetime average: more retained
+        # sweeps than any single full fit, at a fraction of the cost.
+        assert last.n_iterations > full[-1].n_iterations
+        assert last.fit_stats.iterations < full[-1].fit_stats.iterations
+        # A sampler's delta gate is agreement + determinism, not float
+        # parity: the continued trajectory is a different (equally
+        # valid) draw from the same posterior.
+        assert (full[-1].truths == last.truths).mean() >= 0.98
+        for first, second in zip(delta, again):
+            np.testing.assert_array_equal(first.posterior,
+                                          second.posterior)
+            np.testing.assert_array_equal(first.truths, second.truths)
+
+    def test_process_tier_matches_serial_zoo_delta(self):
+        batches = make_batches()
+        serial = stream_through(batches, TaskType.DECISION_MAKING,
+                                "Minimax", "delta")
+        process = stream_through(batches, TaskType.DECISION_MAKING,
+                                 "Minimax", "delta", executor="process",
+                                 max_workers=2)
+        assert process[-1].fit_stats.mode == "delta"
+        assert np.abs(serial[-1].posterior
+                      - process[-1].posterior).max() <= 1e-8
+
+
+class TestDeltaCapabilityWarning:
+    def _answers(self):
+        from repro.core.answers import AnswerSet
+
+        rng = np.random.default_rng(0)
+        return AnswerSet(np.sort(rng.integers(0, 20, 200)),
+                         rng.integers(0, 6, 200),
+                         rng.integers(0, 2, 200),
+                         TaskType.DECISION_MAKING)
+
+    def test_full_only_method_warns_under_delta_policy(self):
+        import warnings
+
+        from repro.core.registry import capabilities
+
+        assert not capabilities("MV").delta
+        method = create("MV", seed=0)
+        with pytest.warns(UserWarning, match="can only refit full"):
+            method.fit(self._answers(),
+                       policy=ExecutionPolicy(refit="delta"))
+
+    def test_delta_capable_method_does_not_warn(self):
+        import warnings
+
+        from repro.core.registry import capabilities
+
+        assert capabilities("KOS").delta
+        method = create("KOS", seed=0,
+                        policy=ExecutionPolicy(n_shards=2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UserWarning)
+            method.fit(self._answers(),
+                       policy=ExecutionPolicy(refit="delta"))
+
+    def test_engine_infer_warns_for_full_only_method(self):
+        import warnings
+
+        answers = self._answers()
+        records = list(zip(answers.tasks.tolist(),
+                           answers.workers.tolist(),
+                           answers.values.tolist()))
+        with InferenceEngine(TaskType.DECISION_MAKING,
+                             policy=ExecutionPolicy(refit="delta"),
+                             seed=0) as engine:
+            engine.add_answers(records)
+            with pytest.warns(UserWarning, match="can only refit full"):
+                engine.infer("MV")
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", UserWarning)
+                engine.infer("D&S", tolerance=1e-6)
+
+
 class TestFullBitIdentity:
     def test_refit_full_is_bit_identical_to_default_policy(self):
         batches = make_batches()
@@ -138,6 +268,29 @@ class TestFullBitIdentity:
         assert np.array_equal(explicit[-1].posterior, default.posterior)
         assert np.array_equal(explicit[-1].truths, default.truths)
         # The default mode never builds delta state.
+        assert default.shard_state is None
+
+    @pytest.mark.parametrize("method",
+                             ["KOS", "Minimax", "VI-MF", "VI-BP", "BCC",
+                              "CBCC"])
+    def test_zoo_refit_full_is_bit_identical_to_default_policy(self,
+                                                               method):
+        """The new families ignore warm state without a true delta
+        plan, so refit="full" streams take the historical cold path
+        bit-for-bit."""
+        batches = make_batches()
+        policy_default = ExecutionPolicy(n_shards=N_SHARDS,
+                                         executor="serial")
+        explicit = stream_through(batches, TaskType.DECISION_MAKING,
+                                  method, "full")
+        with InferenceEngine(TaskType.DECISION_MAKING,
+                             policy=policy_default, seed=0) as engine:
+            for batch in batches:
+                engine.add_answers(batch)
+                default = engine.infer(method, tolerance=1e-7,
+                                       max_iter=500)
+        assert np.array_equal(explicit[-1].posterior, default.posterior)
+        assert np.array_equal(explicit[-1].truths, default.truths)
         assert default.shard_state is None
 
     def test_refit_full_matches_hand_driven_warm_refits(self):

@@ -1,0 +1,108 @@
+"""Delta-refit safety properties for the whole method zoo.
+
+The load-bearing invariant of every per-family delta contract: a shard
+that received new answers (*dirty*) is always re-primed — its cached
+block is discarded and recomputed — no matter how adversarial the
+freeze tolerance, verify cadence or batch schedule.  Freezing and
+verify scheduling are allowed to trade accuracy for work only on
+*clean* shards; a tolerance can never argue a dirty shard back to its
+stale state.
+
+A second property pins the KOS layout-independent seeding: the initial
+``y`` message of an answer edge depends only on ``(task, worker)`` and
+the master entropy draw — never on the edge's position in shard order.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import ExecutionPolicy
+from repro.core.tasktypes import TaskType
+from repro.engine import InferenceEngine
+from repro.inference.sharded import dirty_shards
+from repro.methods.kos import edge_seed_messages
+
+N_TASKS = 30
+N_WORKERS = 20
+N_SHARDS = 4
+
+
+def _stream(seed):
+    """Unique (task, worker) pairs: a base covering every task (in task
+    order, so external ids equal internal indices), then a shuffled
+    tail the growth batches draw from."""
+    rng = np.random.default_rng(seed)
+    pairs = [(t, w) for t in range(N_TASKS) for w in range(N_WORKERS)]
+    order = rng.permutation(len(pairs))
+    base = sorted(pairs[i] for i in order[:240])
+    tail = [pairs[i] for i in order[240:]]
+    values = rng.integers(0, 2, len(pairs))
+    return ([(t, w, int(values[t * N_WORKERS + w])) for t, w in base],
+            [(t, w, int(values[t * N_WORKERS + w])) for t, w in tail])
+
+
+@given(
+    seed=st.integers(0, 2**10),
+    method=st.sampled_from(["D&S", "KOS"]),
+    freeze_exp=st.integers(2, 12),
+    verify_every=st.integers(1, 7),
+    batch_sizes=st.lists(st.integers(5, 60), min_size=1, max_size=3),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_no_schedule_lets_a_dirty_shard_skip_repriming(
+        seed, method, freeze_exp, verify_every, batch_sizes):
+    base, tail = _stream(seed)
+    policy = ExecutionPolicy(n_shards=N_SHARDS, executor="serial",
+                             refit="delta",
+                             freeze_tol=10.0 ** -freeze_exp,
+                             verify_every=verify_every)
+    with InferenceEngine(TaskType.DECISION_MAKING, policy=policy,
+                         seed=0) as engine:
+        engine.add_answers(base)
+        previous = engine.infer(method, tolerance=1e-5, max_iter=60)
+        offset = 0
+        for size in batch_sizes:
+            batch = tail[offset:offset + size]
+            offset += size
+            if not batch:
+                break
+            engine.add_answers(batch)
+            result = engine.infer(method, tolerance=1e-5, max_iter=60)
+            if result.fit_stats.mode == "delta":
+                # The dirty set is a pure function of the batch and the
+                # pinned cuts — tolerances cannot shrink it — and every
+                # dirty shard was re-primed by at least one fresh
+                # E-step/task-round.
+                expected = dirty_shards(
+                    previous.shard_state.task_cuts,
+                    np.array([t for t, _, _ in batch]))
+                assert result.fit_stats.dirty_shards == int(expected.sum())
+                assert expected.sum() >= 1
+                assert (result.fit_stats.e_block_calls
+                        >= result.fit_stats.dirty_shards)
+            previous = result
+
+
+@given(seed=st.integers(0, 2**16), n_edges=st.integers(1, 300))
+@settings(max_examples=40, deadline=None)
+def test_kos_edge_seeds_are_layout_independent(seed, n_edges):
+    rng = np.random.default_rng(seed)
+    tasks = rng.integers(0, 1000, n_edges)
+    workers = rng.integers(0, 1000, n_edges)
+    entropy = int(rng.integers(0, 2**63))
+    y = edge_seed_messages(tasks, workers, entropy)
+    # Any permutation — any shard layout, any epoch interleaving —
+    # seeds the same message on the same (task, worker) edge.
+    perm = rng.permutation(n_edges)
+    np.testing.assert_array_equal(
+        edge_seed_messages(tasks[perm], workers[perm], entropy), y[perm])
+    # And the seeds are value-, not position-, keyed: duplicating an
+    # edge duplicates its message.
+    doubled = edge_seed_messages(np.concatenate([tasks, tasks]),
+                                 np.concatenate([workers, workers]),
+                                 entropy)
+    np.testing.assert_array_equal(doubled[:n_edges], doubled[n_edges:])
+    # Messages are N(1, 1)-distributed draws, never degenerate.
+    assert np.all(np.isfinite(y))

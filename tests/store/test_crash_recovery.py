@@ -160,6 +160,76 @@ def _regenerate_batches(n_batches):
     return batches
 
 
+_DELTA_WRITER_SCRIPT = """
+import sys
+import numpy as np
+from repro.core.policy import ExecutionPolicy, StorePolicy
+from repro.core.tasktypes import TaskType
+from repro.engine import InferenceEngine
+
+path = sys.argv[1]
+rng = np.random.default_rng(11)
+pairs = [(t, w) for t in range(60) for w in range(30)]
+order = rng.permutation(len(pairs))
+values = rng.integers(0, 2, len(pairs))
+policy = ExecutionPolicy(
+    n_shards=3, executor="serial", refit="delta",
+    store=StorePolicy(path=path, snapshot_every=40))
+engine = InferenceEngine(TaskType.DECISION_MAKING, label_order=[0, 1],
+                         seed=0, policy=policy)
+offset = 0
+for size in [400] + [20] * 60:
+    batch = [(f"t{pairs[order[i]][0]}", f"w{pairs[order[i]][1]}",
+              int(values[order[i]])) for i in range(offset, offset + size)]
+    offset += size
+    engine.add_answers(batch)
+    engine.infer("BCC", n_samples=10, burn_in=5)
+    print(f"ACK {engine.stream.version}", flush=True)
+"""
+
+
+def test_sigkill_recovery_resumes_gibbs_chain_warm(tmp_path):
+    """Session payloads (the Gibbs chain state) ride fit snapshots:
+    after a SIGKILL the recovered engine's next refit must *continue*
+    the cached chain — a warm delta refit, not a cold resample."""
+    path = str(tmp_path / "store")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _DELTA_WRITER_SCRIPT, path],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        version = 0
+        for _ in range(6):
+            line = proc.stdout.readline()
+            assert line.startswith("ACK ")
+            version = int(line.split()[1])
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=60)
+        proc.stdout.close()
+    assert proc.returncode == -signal.SIGKILL
+
+    policy = ExecutionPolicy(n_shards=3, executor="serial", refit="delta",
+                             store=StorePolicy(path=path))
+    with InferenceEngine.recover(path, policy=policy) as recovered:
+        assert recovered.stream.version >= version
+        # The writer's record sequence, re-derived, so the post-crash
+        # batch continues the unique-pair stream.
+        rng = np.random.default_rng(11)
+        pairs = [(t, w) for t in range(60) for w in range(30)]
+        order = rng.permutation(len(pairs))
+        values = rng.integers(0, 2, len(pairs))
+        start = recovered.stream.version
+        recovered.add_answers(
+            [(f"t{pairs[order[i]][0]}", f"w{pairs[order[i]][1]}",
+              int(values[order[i]])) for i in range(start, start + 20)])
+        result = recovered.infer("BCC", n_samples=10, burn_in=5)
+        assert result.fit_stats.mode == "delta"
+        assert result.extras["warm_started"]
+        # Lifetime sweep count proves the chain picked up where the
+        # snapshot left it (a cold fit would report 15).
+        assert result.n_iterations > 15
+
+
 def test_sigkill_mid_stream_loses_nothing_acknowledged(tmp_path):
     path = str(tmp_path / "store")
     proc = subprocess.Popen(

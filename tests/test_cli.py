@@ -52,11 +52,11 @@ class TestCommands:
         lines = {line.split()[0]: line.split()[1:]
                  for line in out.splitlines()
                  if line and line.split()[0] in ("MV", "CATD", "KOS")}
-        # MV cannot shard; CATD shards with warm-start (hence delta);
-        # KOS shards but has no warm state to delta-refit from.
+        # MV cannot shard; CATD shards with warm-start and a delta
+        # contract; KOS delta-refits from its cached message state.
         assert lines["MV"] == ["no", "no", "no", "no"]
         assert lines["CATD"] == ["yes", "yes", "yes", "no"]
-        assert lines["KOS"] == ["yes", "no", "no", "no"]
+        assert lines["KOS"] == ["yes", "yes", "yes", "no"]
 
     def test_datasets_prints_table5(self, capsys):
         assert main(["datasets", "--scale", "0.05"]) == 0
