@@ -1,0 +1,23 @@
+"""The unit of static-analysis output shared by every check layer."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is relative to the linted root (``engine/runtime.py``),
+    so findings are stable across checkouts; contract findings use the
+    pseudo-path ``<registry>`` since they concern classes, not lines.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"

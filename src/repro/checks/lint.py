@@ -1,0 +1,151 @@
+"""AST-walking rule engine behind ``repro check``.
+
+The engine parses every ``*.py`` file under a root, hands each to the
+registered rules (:data:`repro.checks.rules.ALL_RULES`) and filters the
+raw findings through the pragma escape hatch::
+
+    risky_call()  # checks: allow-broad-except(worker teardown is best-effort)
+
+A pragma suppresses matching findings on its own line or the line
+directly below it (so it can sit above a multi-line statement).  The
+reason string is mandatory under ``--strict``: a reasonless pragma
+still suppresses, but is reported separately so CI can reject it.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+
+#: ``# checks: allow-<slug>(reason)`` — the only suppression syntax.
+PRAGMA_RE = re.compile(r"#\s*checks:\s*allow-([a-z0-9-]+)\(([^()]*)\)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    slug: str
+    reason: str
+    line: int
+
+    @property
+    def has_reason(self) -> bool:
+        return bool(self.reason.strip())
+
+
+@dataclasses.dataclass
+class SourceFile:
+    """A parsed source file as the rules see it.
+
+    ``rel`` is the path relative to the linted root with ``/``
+    separators — the path-scoped rules (crash paths, capability
+    probes) key off it.
+    """
+
+    path: Path
+    rel: str
+    text: str
+    tree: ast.Module
+    pragmas: list[Pragma]
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> "SourceFile":
+        text = path.read_text()
+        pragmas = [
+            Pragma(slug=m.group(1), reason=m.group(2), line=lineno)
+            for lineno, line in enumerate(text.splitlines(), start=1)
+            for m in PRAGMA_RE.finditer(line)
+        ]
+        return cls(path=path, rel=rel, text=text,
+                   tree=ast.parse(text, filename=str(path)),
+                   pragmas=pragmas)
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent links for ancestry-sensitive rules."""
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        return parents
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Everything ``repro check`` needs to render and gate on."""
+
+    findings: list[Finding]
+    suppressed: list[tuple[Finding, Pragma]]
+    reasonless: list[tuple[str, Pragma]]
+
+    def ok(self, strict: bool = False) -> bool:
+        if self.findings:
+            return False
+        return not (strict and self.reasonless)
+
+
+def iter_source_files(root: Path) -> list[SourceFile]:
+    """All parseable ``*.py`` files under ``root``, sorted by path."""
+    files = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        files.append(SourceFile.load(path, rel))
+    return files
+
+
+def lint_file(src: SourceFile, rules: Sequence) -> list[Finding]:
+    """Raw findings for one file, before pragma filtering."""
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(src))
+    return sorted(findings, key=lambda f: (f.line, f.rule))
+
+
+def _apply_pragmas(
+    src: SourceFile, findings: Iterable[Finding],
+) -> tuple[list[Finding], list[tuple[Finding, Pragma]]]:
+    by_slot = {}
+    for pragma in src.pragmas:
+        # A pragma covers its own line and the line below it.
+        by_slot.setdefault((pragma.slug, pragma.line), pragma)
+        by_slot.setdefault((pragma.slug, pragma.line + 1), pragma)
+    from .rules import slug_of
+
+    kept, suppressed = [], []
+    for finding in findings:
+        pragma = by_slot.get((slug_of(finding.rule), finding.line))
+        if pragma is not None:
+            suppressed.append((finding, pragma))
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def run_lint(root: Path, rules: Sequence | None = None) -> LintReport:
+    """Lint every source file under ``root`` with ``rules``.
+
+    ``root`` is the package directory (``src/repro``); findings carry
+    paths relative to it.
+    """
+    if rules is None:
+        from .rules import ALL_RULES
+
+        rules = ALL_RULES
+    findings: list[Finding] = []
+    suppressed: list[tuple[Finding, Pragma]] = []
+    reasonless: list[tuple[str, Pragma]] = []
+    for src in iter_source_files(Path(root)):
+        kept, quiet = _apply_pragmas(src, lint_file(src, rules))
+        findings.extend(kept)
+        suppressed.extend(quiet)
+        reasonless.extend(
+            (src.rel, pragma)
+            for pragma in src.pragmas if not pragma.has_reason
+        )
+    return LintReport(findings=findings, suppressed=suppressed,
+                      reasonless=reasonless)

@@ -1,0 +1,66 @@
+"""R005 — no silently-swallowing broad excepts.
+
+``except Exception: pass`` hides worker crashes, torn-down pools and
+corrupted WAL replays behind a green run.  A broad handler is allowed
+only when it re-raises, logs/warns, or carries an explicit
+``# checks: allow-broad-except(reason)`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..lint import SourceFile
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Call names that count as surfacing the failure.
+_LOGGISH = frozenset({
+    "warn", "warning", "error", "exception", "critical", "log", "print",
+})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    nodes = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    return any(isinstance(n, ast.Name) and n.id in _BROAD for n in nodes)
+
+
+def _surfaces(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            if name in _LOGGISH:
+                return True
+    return False
+
+
+class BroadExceptRule:
+    id = "R005"
+    slug = "broad-except"
+    description = ("broad 'except Exception' / bare except must "
+                   "re-raise or log, or carry "
+                   "# checks: allow-broad-except(reason)")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and not _surfaces(node):
+                caught = ("bare except" if node.type is None
+                          else "except Exception")
+                yield Finding(
+                    rule=self.id, path=src.rel, line=node.lineno,
+                    message=(f"{caught} swallows the failure; "
+                             f"re-raise, log it, or add "
+                             f"# checks: allow-broad-except(reason)"),
+                )

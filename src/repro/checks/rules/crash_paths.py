@@ -1,0 +1,61 @@
+"""R002 — crash paths in the engine/store/inference layers raise typed
+``repro.exceptions``.
+
+Callers at API boundaries catch :class:`~repro.exceptions.ReproError`;
+a bare ``ValueError``/``RuntimeError`` escapes that contract.  The
+typed hierarchy keeps ``ValueError``/``RuntimeError`` inheritance
+(:class:`~repro.exceptions.EngineError`,
+:class:`~repro.exceptions.InferenceError`,
+:class:`~repro.exceptions.ProtocolError`), so switching a raise site
+never breaks an existing ``except``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..lint import SourceFile
+
+#: Directories (path prefixes relative to the package root) plus
+#: single files where every raise must be typed.
+SCOPED_PREFIXES = ("engine/", "store/", "inference/")
+SCOPED_FILES = ("cli.py",)
+
+#: Builtins that have a typed, inheritance-compatible replacement.
+BARE = frozenset({"ValueError", "RuntimeError"})
+
+
+def in_scope(rel: str) -> bool:
+    return rel.startswith(SCOPED_PREFIXES) or rel in SCOPED_FILES
+
+
+class TypedCrashPathRule:
+    id = "R002"
+    slug = "untyped-raise"
+    description = ("engine/store/inference/cli crash paths must raise "
+                   "typed repro.exceptions, not bare "
+                   "ValueError/RuntimeError")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if not in_scope(src.rel):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in BARE:
+                yield Finding(
+                    rule=self.id, path=src.rel, line=node.lineno,
+                    message=(f"raise {name} on a crash path; use a "
+                             f"typed repro.exceptions subclass "
+                             f"(EngineError/InferenceError/"
+                             f"ProtocolError/StoreError keep "
+                             f"{name} inheritance)"),
+                )

@@ -1,0 +1,62 @@
+"""R006 — no deprecated legacy kwarg spellings in internal code.
+
+The PR-4 API redesign funnels execution configuration through
+``policy=ExecutionPolicy(...)``; the legacy per-engine kwargs survive
+only as deprecation shims (``repro.core.policy.warn_legacy``).
+Internal code reaching for a shim keeps it load-bearing forever — the
+CI deprecation gate catches this at runtime, this rule catches it
+before the code runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..lint import SourceFile
+
+#: Constructor -> kwarg names that only the deprecation shim accepts.
+LEGACY_KWARGS = {
+    "BatchRunner": frozenset({"executor", "shard_executor"}),
+    "InferenceEngine": frozenset({
+        "n_shards", "shard_workers", "shard_executor",
+    }),
+    "ShardedInferenceEngine": frozenset({
+        "n_shards", "max_workers", "executor", "process_threshold",
+        "persistent",
+    }),
+}
+
+
+def _callee_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class LegacyKwargRule:
+    id = "R006"
+    slug = "legacy-kwarg"
+    description = ("internal code must not pass deprecated legacy "
+                   "kwargs; use policy=ExecutionPolicy(...)")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            legacy = LEGACY_KWARGS.get(_callee_name(node.func) or "")
+            if not legacy:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg in legacy:
+                    yield Finding(
+                        rule=self.id, path=src.rel, line=node.lineno,
+                        message=(f"legacy kwarg "
+                                 f"{keyword.arg}= on "
+                                 f"{_callee_name(node.func)}(...); "
+                                 f"pass policy=ExecutionPolicy(...) "
+                                 f"instead"),
+                    )

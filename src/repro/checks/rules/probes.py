@@ -1,0 +1,44 @@
+"""R003 — no ``supports_*`` capability probes outside ``core/``.
+
+The PR-4 contract: :func:`repro.core.registry.capabilities` is the one
+place that reads the ``supports_*`` ClassVars.  A stray
+``getattr(cls, "supports_x", False)`` elsewhere silently defaults a
+typo'd flag to ``False`` and resurrects the scattered-probe style the
+registry replaced.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..lint import SourceFile
+
+
+class CapabilityProbeRule:
+    id = "R003"
+    slug = "capability-probe"
+    description = ("getattr/hasattr 'supports_*' probes outside core/ "
+                   "must go through repro.core.registry.capabilities()")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if src.rel.startswith("core/"):
+            return
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("getattr", "hasattr")
+                    and len(node.args) >= 2):
+                continue
+            probe = node.args[1]
+            if (isinstance(probe, ast.Constant)
+                    and isinstance(probe.value, str)
+                    and probe.value.startswith("supports_")):
+                yield Finding(
+                    rule=self.id, path=src.rel, line=node.lineno,
+                    message=(f"{node.func.id}(..., {probe.value!r}) "
+                             f"probes a capability flag; use "
+                             f"capabilities(name).{probe.value[9:]} "
+                             f"from repro.core.registry"),
+                )

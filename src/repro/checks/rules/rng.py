@@ -1,0 +1,67 @@
+"""R001 — no global-state ``np.random.*`` calls.
+
+Reproducibility runs through explicit generators
+(``np.random.default_rng(seed)`` threaded from method constructors);
+one ``np.random.seed()`` or legacy module-level draw anywhere would
+couple fits through hidden global state and break the bit-identity
+contracts (delta vs full refits, shard-count invariance).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..lint import SourceFile
+
+#: Constructors of *explicit* state, allowed everywhere.
+ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+_NUMPY_NAMES = frozenset({"np", "numpy"})
+
+
+def _np_random_member(node: ast.AST) -> str | None:
+    """``"x"`` when ``node`` is ``np.random.x`` / ``numpy.random.x``."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    value = node.value
+    if (isinstance(value, ast.Attribute) and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in _NUMPY_NAMES):
+        return node.attr
+    return None
+
+
+class GlobalRngRule:
+    id = "R001"
+    slug = "global-rng"
+    description = ("np.random.* global-state calls are banned; use "
+                   "np.random.default_rng / Generator / SeedSequence")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            member = None
+            if isinstance(node, ast.Call):
+                member = _np_random_member(node.func)
+            if member is not None and member not in ALLOWED:
+                yield Finding(
+                    rule=self.id, path=src.rel, line=node.lineno,
+                    message=(f"np.random.{member}() uses the global "
+                             f"RNG; thread an explicit "
+                             f"np.random.default_rng(seed) instead"),
+                )
+            if (isinstance(node, ast.ImportFrom)
+                    and node.module == "numpy.random"):
+                for alias in node.names:
+                    if alias.name not in ALLOWED:
+                        yield Finding(
+                            rule=self.id, path=src.rel, line=node.lineno,
+                            message=(f"importing {alias.name!r} from "
+                                     f"numpy.random exposes the global "
+                                     f"RNG; import an explicit "
+                                     f"generator constructor instead"),
+                        )

@@ -524,6 +524,43 @@ def _cmd_plan_redundancy(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    """Run the repo-native static-analysis pass (see repro.checks)."""
+    from pathlib import Path
+
+    from .checks.contracts import check_contracts
+    from .checks.lint import run_lint
+
+    if args.root is not None:
+        root = Path(args.root)
+    else:
+        root = Path(__file__).resolve().parent
+    if not root.is_dir():
+        return _complain(f"check root {root} is not a directory")
+
+    report = run_lint(root)
+    findings = list(report.findings)
+    if not args.no_contracts:
+        findings.extend(check_contracts())
+    for finding in findings:
+        print(finding.render())
+
+    failed = bool(findings)
+    if args.strict:
+        for rel, pragma in report.reasonless:
+            print(f"{rel}:{pragma.line}: strict: pragma "
+                  f"allow-{pragma.slug}(...) has no reason string")
+            failed = True
+    if report.suppressed and args.verbose:
+        for finding, pragma in report.suppressed:
+            print(f"{finding.path}:{finding.line}: suppressed "
+                  f"{finding.rule} ({pragma.reason.strip()})")
+    print(f"repro check: {len(findings)} finding(s), "
+          f"{len(report.suppressed)} suppressed, "
+          f"{len(report.reasonless)} reasonless pragma(s)")
+    return 1 if failed else 0
+
+
 def _executor_flag(parser: argparse.ArgumentParser) -> None:
     """The unified ``--executor`` spelling (same on every command)."""
     parser.add_argument("--executor", choices=EXECUTOR_CHOICES,
@@ -685,6 +722,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--method", default="MV")
     p_plan.add_argument("--repeats", type=int, default=3)
 
+    p_check = sub.add_parser(
+        "check",
+        help="static-analysis pass: invariant linter (R001-R006) plus "
+             "the capability contract checker")
+    p_check.add_argument("--root", default=None, metavar="DIR",
+                         help="package directory to lint (default: the "
+                              "installed repro package)")
+    p_check.add_argument("--strict", action="store_true",
+                         help="additionally fail on suppression pragmas "
+                              "that carry no reason string")
+    p_check.add_argument("--no-contracts", action="store_true",
+                         help="skip the capability contract checker "
+                              "(lint only; useful on partial trees)")
+    p_check.add_argument("-v", "--verbose", action="store_true",
+                         help="list suppressed findings with their "
+                              "pragma reasons")
+
     return parser
 
 
@@ -704,6 +758,7 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "batch": _cmd_batch,
     "plan-redundancy": _cmd_plan_redundancy,
+    "check": _cmd_check,
 }
 
 

@@ -94,10 +94,12 @@ class AnswerSet:
         inferred_tasks = int(tasks.max()) + 1 if len(tasks) else 0
         inferred_workers = int(workers.max()) + 1 if len(workers) else 0
         self.n_tasks = int(n_tasks) if n_tasks is not None else inferred_tasks
-        self.n_workers = int(n_workers) if n_workers is not None else inferred_workers
+        self.n_workers = (int(n_workers) if n_workers is not None
+                          else inferred_workers)
         if self.n_tasks < inferred_tasks:
             raise InvalidAnswerSetError(
-                f"n_tasks={self.n_tasks} smaller than max task index {inferred_tasks - 1}"
+                f"n_tasks={self.n_tasks} smaller than max task "
+                f"index {inferred_tasks - 1}"
             )
         if self.n_workers < inferred_workers:
             raise InvalidAnswerSetError(
@@ -157,7 +159,8 @@ class AnswerSet:
             missing = set(raw_values) - set(label_index)
             if missing:
                 raise InvalidAnswerSetError(
-                    f"answers contain labels not in label_order: {sorted(missing, key=repr)}"
+                    f"answers contain labels not in label_order: "
+                    f"{sorted(missing, key=repr)}"
                 )
             values: list = [label_index[v] for v in raw_values]
             if n_choices is None and task_type is TaskType.SINGLE_CHOICE:

@@ -68,7 +68,7 @@ REFIT_MODES = ("full", "delta")
 DEFAULT_VERIFY_EVERY = 5
 
 
-def warn_legacy(surface: str, names, replacement: str,
+def warn_legacy(surface: str, names: Mapping, replacement: str,
                 stacklevel: int = 3) -> None:
     """Emit the one :class:`DeprecationWarning` a legacy call gets.
 
@@ -317,7 +317,7 @@ class ExecutionPolicy:
         cpus = os.cpu_count() or 1
         return max(2, min(AUTO_SHARD_CAP, cpus))
 
-    def resolve(self, answers=None, *,
+    def resolve(self, answers: Any = None, *,
                 n_answers: int | None = None) -> ExecutionPlan:
         """Produce the concrete :class:`ExecutionPlan` for an input.
 
@@ -404,7 +404,7 @@ class MethodSpec:
     name: str
     _items: tuple = ()
 
-    def __init__(self, name: str, **kwargs) -> None:
+    def __init__(self, name: str, **kwargs: Any) -> None:
         if not isinstance(name, str) or not name:
             raise ValueError(
                 f"MethodSpec needs a method name string, got {name!r}"
@@ -417,7 +417,7 @@ class MethodSpec:
         """Construction kwargs (a fresh dict each call)."""
         return dict(self._items)
 
-    def with_defaults(self, **defaults) -> "MethodSpec":
+    def with_defaults(self, **defaults: Any) -> "MethodSpec":
         """A spec with ``defaults`` filled in where the spec is silent.
 
         Existing kwargs win, so engines can inject their ``seed``
@@ -427,20 +427,21 @@ class MethodSpec:
         return MethodSpec(self.name, **merged)
 
     def create(self, policy: "ExecutionPolicy | ExecutionPlan | None"
-               = None):
+               = None) -> Any:
         """Instantiate via the registry (``create(spec, policy=...)``)."""
         from .registry import create
 
         return create(self, policy=policy)
 
-    def capabilities(self):
+    def capabilities(self) -> Any:
         """The method's declared :class:`~repro.core.registry.Capabilities`."""
         from .registry import capabilities
 
         return capabilities(self.name)
 
     @classmethod
-    def coerce(cls, method, kwargs: Mapping | None = None) -> "MethodSpec":
+    def coerce(cls, method: "str | MethodSpec",
+               kwargs: Mapping | None = None) -> "MethodSpec":
         """Normalise a ``str | MethodSpec`` (+ optional kwargs dict).
 
         A spec given together with extra kwargs gains them as defaults

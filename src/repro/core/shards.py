@@ -25,6 +25,8 @@ per-task accumulation order exactly (see :mod:`repro.inference.segops`).
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from ..exceptions import InvalidAnswerSetError
@@ -226,7 +228,7 @@ class ShardedAnswerSet:
     def __len__(self) -> int:
         return self.n_shards
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[AnswerShard]:
         return iter(self.shards)
 
     def __getitem__(self, k: int) -> AnswerShard:

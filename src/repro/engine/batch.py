@@ -37,6 +37,7 @@ import numpy as np
 
 from ..core.policy import ExecutionPolicy, MethodSpec, warn_legacy
 from ..datasets.schema import Dataset
+from ..exceptions import EngineError
 from ..experiments.runner import MethodRun, run_method
 
 _EXECUTORS = {
@@ -134,18 +135,18 @@ class BatchRunner:
                  executor=_UNSET,
                  shard_executor=_UNSET) -> None:
         if max_workers is not None and max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+            raise EngineError(f"max_workers must be >= 1, got {max_workers}")
         legacy = {}
         if executor is not _UNSET and executor is not None:
             if executor not in _EXECUTORS:
-                raise ValueError(
+                raise EngineError(
                     f"executor must be one of {sorted(_EXECUTORS)}, "
                     f"got {executor!r}"
                 )
             legacy["executor"] = executor
         if shard_executor is not _UNSET and shard_executor is not None:
             if shard_executor not in ("thread", "process"):
-                raise ValueError(
+                raise EngineError(
                     f"shard_executor must be 'thread' or 'process', "
                     f"got {shard_executor!r}"
                 )
@@ -157,7 +158,7 @@ class BatchRunner:
                 executor_factory = _EXECUTORS[legacy["executor"]]
             if "shard_executor" in legacy:
                 if policy is not None:
-                    raise ValueError(
+                    raise EngineError(
                         "pass either policy= or shard_executor=, not both"
                     )
                 # n_shards=1, not auto: the legacy runner-level flag

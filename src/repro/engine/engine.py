@@ -36,7 +36,7 @@ from ..core.registry import capabilities, create
 from ..core.result import InferenceResult
 from ..core.tasktypes import TaskType
 from ..core.warmstart import pad_result_labels
-from ..exceptions import RecoveryError, StoreError
+from ..exceptions import EngineError, RecoveryError, StoreError
 from .stream import StreamingAnswerSet
 
 _UNSET = object()
@@ -125,12 +125,12 @@ class InferenceEngine:
         }
         if legacy:
             if policy is not None:
-                raise ValueError(
+                raise EngineError(
                     "pass either policy= or the legacy kwargs, not both"
                 )
             executor = legacy.get("shard_executor", "thread")
             if executor not in ("thread", "process"):
-                raise ValueError(
+                raise EngineError(
                     f"shard_executor must be 'thread' or 'process', "
                     f"got {executor!r}"
                 )
@@ -302,7 +302,7 @@ class InferenceEngine:
         if policy is not None and policy.store is not None:
             store_policy = policy.store
             if store_policy.path != path:
-                raise ValueError(
+                raise EngineError(
                     f"policy.store.path {store_policy.path!r} does not "
                     f"match the recovery path {path!r}"
                 )

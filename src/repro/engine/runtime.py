@@ -77,8 +77,10 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..checks.protocol import get_verifier as _get_protocol_verifier
 from ..core.answers import AnswerSet
 from ..core.framework import radix_argsort
+from ..exceptions import EngineError, ProtocolError
 from ..core.policy import (
     ExecutionPlan,
     ExecutionPolicy,
@@ -104,6 +106,12 @@ MAX_EPOCHS = 16
 
 #: Default idle TTL (seconds) for registry eviction.
 DEFAULT_IDLE_TTL = 300.0
+
+#: Lease-protocol verifier (None unless ``REPRO_CHECKS=1``): the
+#: master-side hooks below report segment/pool/lease lifecycle events
+#: to :mod:`repro.checks.protocol`.  Disabled cost is one ``is None``
+#: test per event.
+_VERIFIER = _get_protocol_verifier()
 
 
 # ----------------------------------------------------------------------
@@ -358,7 +366,7 @@ class SerialShardSession:
 
     def __init__(self, n_shards: int, *, spill=None) -> None:
         if n_shards < 1:
-            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+            raise EngineError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = int(n_shards)
         self._arrays: list[tuple] | None = None
         self._cuts: list[int] | None = None
@@ -429,7 +437,7 @@ class SerialShardSession:
         """
         cuts = state.extended_cuts(answers.n_tasks)
         if len(cuts) - 1 != self.n_shards:
-            raise ValueError(
+            raise EngineError(
                 f"cannot adopt a {len(cuts) - 1}-shard state into a "
                 f"{self.n_shards}-shard session"
             )
@@ -448,7 +456,7 @@ class SerialShardSession:
         mark_len, first_task, last_task = self._prefix_mark
         if mark_len and (int(answers.tasks[0]) != first_task
                          or int(answers.tasks[mark_len - 1]) != last_task):
-            raise RuntimeError(
+            raise ProtocolError(
                 "stream_key reused but the previously placed answers "
                 "changed; extension requires append-only growth"
             )
@@ -616,12 +624,16 @@ class _Segment:
         self.dtype = dtype
         self.capacity = capacity
         self.view = np.ndarray((capacity,), dtype=dtype, buffer=self.shm.buf)
+        if _VERIFIER is not None:
+            _VERIFIER.segment_created(self.shm.name)
 
     @property
     def name(self) -> str:
         return self.shm.name
 
     def release(self) -> None:
+        if _VERIFIER is not None:
+            _VERIFIER.segment_released(self.shm.name)
         self.view = None
         try:
             self.shm.close()
@@ -663,7 +675,9 @@ class RuntimeLease(SerialShardRunner):
     def call(self, phase: str, per_shard=None, shared: tuple = (),
              only=None) -> list:
         if self._released:
-            raise RuntimeError("lease already closed")
+            raise ProtocolError("lease already closed")
+        if _VERIFIER is not None:
+            _VERIFIER.lease_dispatch(id(self._runtime), id(self))
         self._dispatched = True
         return self._runtime._dispatch(self.n_shards, phase, per_shard,
                                        shared, only)
@@ -722,7 +736,7 @@ class ShardRuntime:
     def __init__(self, n_shards: int = 4,
                  max_workers: int | None = None) -> None:
         if n_shards < 1:
-            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+            raise EngineError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = int(n_shards)
         self.max_workers = self.resolve_max_workers(n_shards, max_workers)
         self._lock = threading.Lock()
@@ -804,6 +818,8 @@ class ShardRuntime:
     def _teardown(self) -> None:
         for pool in self._pools:
             pool.shutdown(wait=True, cancel_futures=True)
+            if _VERIFIER is not None:
+                _VERIFIER.pool_shutdown(id(pool))
         self._pools = []
         for seg in self._segments.values():
             seg.release()
@@ -856,14 +872,16 @@ class ShardRuntime:
         method, method_kwargs = spec.name, spec.kwargs
         instance = method_class(method)(**method_kwargs)
         if not instance.supports_sharding:
-            raise ValueError(f"{method} does not support sharded EM")
+            raise EngineError(f"{method} does not support sharded EM")
         self._lock.acquire()
+        if _VERIFIER is not None:
+            _VERIFIER.lock_acquired("runtime", id(self))
         try:
             # Checked under the lock: a close() racing ahead of this
             # lease must not be followed by a silent pool respawn on a
             # runtime nothing will ever tear down again.
             if self._closed:
-                raise RuntimeError("runtime is closed")
+                raise ProtocolError("runtime is closed")
             self._ensure_pools()
             ops = self._place(answers, stream_key)
             layout = self._layout
@@ -875,13 +893,21 @@ class ShardRuntime:
             cuts = layout["task_cuts"]
             ranges = list(zip(cuts[:-1], cuts[1:]))
             self.last_used = time.monotonic()
-            return RuntimeLease(self, spec, ranges)
+            lease = RuntimeLease(self, spec, ranges)
+            if _VERIFIER is not None:
+                _VERIFIER.lease_acquired(id(self), id(lease))
+            return lease
         except BaseException:
             self._teardown()
+            if _VERIFIER is not None:
+                _VERIFIER.lock_released("runtime", id(self))
             self._lock.release()
             raise
 
     def _release_lease(self) -> None:
+        if _VERIFIER is not None:
+            _VERIFIER.lease_released(id(self))
+            _VERIFIER.lock_released("runtime", id(self))
         self.last_used = time.monotonic()
         self._lock.release()
 
@@ -891,6 +917,9 @@ class ShardRuntime:
             self._pools = [ProcessPoolExecutor(max_workers=1)
                            for _ in range(self.max_workers)]
             self.pool_spawns += 1
+            if _VERIFIER is not None:
+                for pool in self._pools:
+                    _VERIFIER.pool_spawned(id(pool))
 
     def _sync(self, ops: list) -> list:
         """Broadcast sync operations to every pool and wait."""
@@ -1048,7 +1077,7 @@ class ShardRuntime:
         mark_len, first_task, last_task = self._prefix_mark
         if mark_len and (int(answers.tasks[0]) != first_task
                          or int(answers.tasks[mark_len - 1]) != last_task):
-            raise RuntimeError(
+            raise ProtocolError(
                 "stream_key reused but the previously placed answers "
                 "changed; extension requires append-only growth"
             )
@@ -1144,6 +1173,8 @@ class RuntimeRegistry:
         n_shards, max_workers = self._key_args(policy, max_workers)
         key = (int(n_shards),
                ShardRuntime.resolve_max_workers(n_shards, max_workers))
+        if _VERIFIER is not None:
+            _VERIFIER.registry_checkpoint()
         with self._lock:
             self._evict_idle_locked(time.monotonic())
             runtime = self._runtimes.get(key)

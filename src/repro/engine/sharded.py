@@ -42,6 +42,7 @@ from ..core.answers import AnswerSet
 from ..core.policy import ExecutionPolicy, MethodSpec, warn_legacy
 from ..core.registry import capabilities, create
 from ..core.result import InferenceResult
+from ..exceptions import EngineError
 from .runtime import RuntimeRegistry, ShardRuntime, get_runtime_registry
 
 __all__ = ["ProcessShardRunner", "ShardedInferenceEngine"]
@@ -175,7 +176,7 @@ class ShardedInferenceEngine:
         }
         if legacy:
             if policy is not None:
-                raise ValueError(
+                raise EngineError(
                     "pass either policy= or the legacy kwargs, not both"
                 )
             warn_legacy("ShardedInferenceEngine", legacy,
@@ -267,7 +268,7 @@ class ShardedInferenceEngine:
         """
         spec = MethodSpec.coerce(method, method_kwargs)
         if not capabilities(spec.name).sharding:
-            raise ValueError(
+            raise EngineError(
                 f"{spec.name} does not support sharded EM; use the plain "
                 f"fit path instead"
             )

@@ -34,7 +34,7 @@ import dataclasses
 from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from ..core.tasktypes import TaskType
-from ..exceptions import AnswerSourceError
+from ..exceptions import AnswerSourceError, EngineError
 
 __all__ = [
     "AnswerSource",
@@ -63,7 +63,7 @@ def parse_task_type(name: str | TaskType) -> TaskType:
     try:
         return TASK_TYPE_ALIASES[name]
     except KeyError:
-        raise ValueError(
+        raise EngineError(
             f"unknown task type {name!r}; expected one of "
             f"{sorted(set(TASK_TYPE_ALIASES))}"
         ) from None
@@ -91,7 +91,7 @@ class TaskSchema:
         if self.labels is not None:
             object.__setattr__(self, "labels", tuple(self.labels))
             if not self.task_type.is_categorical:
-                raise ValueError(
+                raise EngineError(
                     "labels only apply to categorical task types"
                 )
 
@@ -153,7 +153,7 @@ class AnswerSource(Protocol):
 def _batched(records: Iterable[tuple],
              chunk_size: int) -> Iterator[list[tuple]]:
     if chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        raise EngineError(f"chunk_size must be >= 1, got {chunk_size}")
     batch: list[tuple] = []
     for record in records:
         batch.append(record)
@@ -288,12 +288,12 @@ class LineAnswerSource:
                  name: str = "<stream>",
                  max_bad_lines: int = DEFAULT_MAX_BAD_LINES) -> None:
         if schema is None:
-            raise ValueError(
+            raise EngineError(
                 "a live stream cannot be pre-scanned; declare a "
                 "TaskSchema (e.g. --task-type on the CLI)"
             )
         if max_bad_lines < 0:
-            raise ValueError(
+            raise EngineError(
                 f"max_bad_lines must be >= 0, got {max_bad_lines}"
             )
         self._stream = stream

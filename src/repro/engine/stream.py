@@ -30,7 +30,7 @@ import numpy as np
 
 from ..core.answers import AnswerSet
 from ..core.tasktypes import TaskType, validate_n_choices
-from ..exceptions import InvalidAnswerSetError
+from ..exceptions import EngineError, InvalidAnswerSetError
 
 _DUPLICATE_POLICIES = ("keep", "replace", "error")
 
@@ -64,7 +64,7 @@ class StreamingAnswerSet:
         on_duplicate: str = "keep",
     ) -> None:
         if on_duplicate not in _DUPLICATE_POLICIES:
-            raise ValueError(
+            raise EngineError(
                 f"on_duplicate must be one of {_DUPLICATE_POLICIES}, "
                 f"got {on_duplicate!r}"
             )

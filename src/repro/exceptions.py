@@ -41,6 +41,39 @@ class AnswerSourceError(ReproError, ValueError):
     """
 
 
+class EngineError(ReproError, ValueError):
+    """Raised when an engine-layer component is misconfigured or misused.
+
+    Covers the streaming/batch/sharded engines and the persistent shard
+    runtime: bad construction arguments, conflicting legacy kwargs, and
+    fits requested on methods that cannot honour them.  Also a
+    :class:`ValueError` so call sites that predate the dedicated type
+    keep catching it.
+    """
+
+
+class InferenceError(ReproError, ValueError):
+    """Raised when the inference layer is handed inconsistent state.
+
+    Covers the sharded-EM drivers and kernels: mismatched sufficient
+    statistics, delta-refit layouts diverging from their cached state,
+    missing warm-start parameters, and malformed operator indices.
+    Also a :class:`ValueError` for pre-existing call sites.
+    """
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """Raised when the runtime lease protocol is violated.
+
+    The persistent shard runtime hands out exclusive leases
+    (acquire -> dispatch* -> release); dispatching without a live
+    lease, releasing twice, leasing a closed runtime, or extending a
+    stream that broke the append-only contract are all protocol
+    violations, not recoverable input errors.  Also a
+    :class:`RuntimeError` for pre-existing call sites.
+    """
+
+
 class StoreError(ReproError):
     """Raised when the durable answer store cannot be opened or written."""
 

@@ -37,6 +37,7 @@ from ..core.framework import (
     ConvergenceTracker,
     clamp_golden_posterior,
 )
+from ..exceptions import InferenceError
 
 
 @dataclasses.dataclass
@@ -98,7 +99,7 @@ def run_em(
             np.array(initial_posterior, dtype=np.float64), golden
         )
     else:
-        raise ValueError(
+        raise InferenceError(
             "run_em needs initial_posterior or initial_parameters"
         )
     tracker = ConvergenceTracker(tolerance=tolerance, max_iter=max_iter)

@@ -13,6 +13,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..exceptions import InferenceError
+
 
 @dataclasses.dataclass
 class GibbsResult:
@@ -51,11 +53,11 @@ def run_gibbs(
     ``n_samples * thinning`` sweeps.
     """
     if n_samples < 1:
-        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        raise InferenceError(f"n_samples must be >= 1, got {n_samples}")
     if burn_in < 0:
-        raise ValueError(f"burn_in must be >= 0, got {burn_in}")
+        raise InferenceError(f"burn_in must be >= 0, got {burn_in}")
     if thinning < 1:
-        raise ValueError(f"thinning must be >= 1, got {thinning}")
+        raise InferenceError(f"thinning must be >= 1, got {thinning}")
 
     labels = np.asarray(initial_labels, dtype=np.int64).copy()
     counts = np.zeros((len(labels), n_choices), dtype=np.float64)

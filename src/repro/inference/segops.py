@@ -45,6 +45,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.framework import radix_argsort
+from ..exceptions import InferenceError
 
 try:  # SciPy is optional: the numpy fallbacks below are bit-identical.
     import scipy.sparse as sp
@@ -82,9 +83,9 @@ def _csr_rowgroups(rows: np.ndarray, indices: np.ndarray, n_rows: int,
 def _validate_rows(rows: np.ndarray, n_rows: int) -> np.ndarray:
     rows = np.asarray(rows, dtype=np.int64)
     if rows.ndim != 1:
-        raise ValueError("rows must be a 1-D index array")
+        raise InferenceError("rows must be a 1-D index array")
     if len(rows) and (rows.min() < 0 or rows.max() >= n_rows):
-        raise ValueError(f"row indices must lie in [0, {n_rows})")
+        raise InferenceError(f"row indices must lie in [0, {n_rows})")
     return rows
 
 
@@ -95,11 +96,11 @@ def _validate_cols(cols: np.ndarray, rows: np.ndarray,
     out-of-bounds memory instead of raising."""
     cols = np.asarray(cols, dtype=np.int64)
     if cols.shape != rows.shape:
-        raise ValueError("cols must parallel rows")
+        raise InferenceError("cols must parallel rows")
     if n_cols is None:
-        raise ValueError("n_cols is required with cols")
+        raise InferenceError("n_cols is required with cols")
     if len(cols) and (cols.min() < 0 or cols.max() >= n_cols):
-        raise ValueError(f"col indices must lie in [0, {n_cols})")
+        raise InferenceError(f"col indices must lie in [0, {n_cols})")
     return cols, int(n_cols)
 
 

@@ -80,7 +80,7 @@ from ..core.framework import (
     clamp_golden_posterior,
 )
 from ..core.policy import DEFAULT_VERIFY_EVERY
-from ..exceptions import ConvergenceError
+from ..exceptions import ConvergenceError, InferenceError
 from ..core.result import FitStats
 from ..core.shards import AnswerShard, ShardedAnswerSet
 from .em import EMOutcome
@@ -124,7 +124,7 @@ class SufficientStats:
     def merge(self, other: "SufficientStats") -> "SufficientStats":
         """Field-wise sum of two stats bundles (the reduce step)."""
         if set(self.fields) != set(other.fields):
-            raise ValueError(
+            raise InferenceError(
                 f"cannot merge stats with fields {sorted(self.fields)} "
                 f"and {sorted(other.fields)}"
             )
@@ -450,7 +450,7 @@ class ShardState:
         (new tasks are always appended, so they extend the last
         shard)."""
         if n_tasks < self.task_cuts[-1]:
-            raise ValueError(
+            raise InferenceError(
                 f"cached shard state covers {self.task_cuts[-1]} tasks "
                 f"but the answer set has {n_tasks}; delta refits require "
                 f"an append-only stream"
@@ -514,7 +514,7 @@ def check_delta_layout(ranges: Sequence[tuple[int, int]], prev: ShardState,
     to re-place."""
     n_shards = len(ranges)
     if prev.n_shards != n_shards or len(dirty) != n_shards:
-        raise ValueError(
+        raise InferenceError(
             f"delta refit over {n_shards} shards got a cached state for "
             f"{prev.n_shards} (dirty flags: {len(dirty)}); the shard "
             f"layout must be pinned across delta refits"
@@ -522,12 +522,12 @@ def check_delta_layout(ranges: Sequence[tuple[int, int]], prev: ShardState,
     for k, (start, stop) in enumerate(ranges):
         if start != prev.task_cuts[k] or (k < n_shards - 1
                                           and stop != prev.task_cuts[k + 1]):
-            raise ValueError(
+            raise InferenceError(
                 "delta refit shard cuts diverged from the cached state; "
                 "refit full to re-place"
             )
         if not dirty[k] and len(prev.blocks[k]) != stop - start:
-            raise ValueError(
+            raise InferenceError(
                 f"shard {k} is flagged clean but its task range changed "
                 f"({len(prev.blocks[k])} cached rows vs {stop - start})"
             )
@@ -847,7 +847,7 @@ def run_em_sharded(
 
     if delta is not None and delta.prev is not None:
         if initial_parameters is None:
-            raise ValueError(
+            raise InferenceError(
                 "a delta refit resumes a previous fit; pass "
                 "initial_parameters (warm start)"
             )
@@ -1101,7 +1101,7 @@ def run_alternating_sharded(
     has :func:`run_em_sharded`'s semantics.
     """
     if initial_parameters is None:
-        raise ValueError("alternating estimation starts from weights; "
+        raise InferenceError("alternating estimation starts from weights; "
                          "pass initial_parameters")
     spec = runner.spec
     started = time.perf_counter()

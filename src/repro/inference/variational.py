@@ -15,6 +15,8 @@ import dataclasses
 import numpy as np
 from scipy import special
 
+from ..exceptions import InferenceError
+
 
 @dataclasses.dataclass
 class BetaPrior:
@@ -25,7 +27,8 @@ class BetaPrior:
 
     def validate(self) -> None:
         if self.a <= 0 or self.b <= 0:
-            raise ValueError(f"Beta parameters must be positive: a={self.a}, b={self.b}")
+            raise InferenceError(
+                f"Beta parameters must be positive: a={self.a}, b={self.b}")
 
 
 def expected_log_beta_counts(correct: np.ndarray, incorrect: np.ndarray,

@@ -30,7 +30,8 @@ class CategoricalWorker:
 
     def __post_init__(self) -> None:
         self.confusion = np.asarray(self.confusion, dtype=np.float64)
-        if self.confusion.ndim != 2 or self.confusion.shape[0] != self.confusion.shape[1]:
+        if (self.confusion.ndim != 2
+                or self.confusion.shape[0] != self.confusion.shape[1]):
             raise DatasetError(
                 f"confusion matrix must be square, got {self.confusion.shape}"
             )

@@ -1,0 +1,12 @@
+"""R001 fixture: exactly one global-state RNG call."""
+
+import numpy as np
+
+
+def seeded_draw(n):
+    generator = np.random.default_rng(0)  # allowed: explicit generator
+    return generator.random(n)
+
+
+def global_draw(n):
+    return np.random.rand(n)  # VIOLATION R001

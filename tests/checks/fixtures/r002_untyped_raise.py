@@ -1,0 +1,17 @@
+"""R002 fixture: one bare ValueError on an (engine-scoped) crash path.
+
+The rule is path-scoped; the tests load this file under the relative
+path ``engine/r002_untyped_raise.py``.
+"""
+
+
+class TypedError(ValueError):
+    """Stands in for a repro.exceptions subclass."""
+
+
+def validate(n_shards):
+    if n_shards is None:
+        raise TypedError("typed raises are fine")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")  # VIOLATION R002
+    return n_shards

@@ -1,0 +1,11 @@
+"""R003 fixture: one ``supports_*`` capability probe outside core/."""
+
+
+def run_sharded(method_cls):
+    if getattr(method_cls, "supports_sharding", False):  # VIOLATION R003
+        return "sharded"
+    return "plain"
+
+
+def unrelated_probe(obj):
+    return getattr(obj, "name", None)  # fine: not a capability flag

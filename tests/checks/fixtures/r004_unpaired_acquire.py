@@ -1,0 +1,17 @@
+"""R004 fixture: one SharedMemory acquisition with no paired release."""
+
+from multiprocessing import shared_memory
+
+
+def paired(size):
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return segment.name
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def leak(size):
+    segment = shared_memory.SharedMemory(create=True, size=size)  # VIOLATION R004
+    return segment.name

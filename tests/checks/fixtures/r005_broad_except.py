@@ -1,0 +1,15 @@
+"""R005 fixture: one silently-swallowing broad except."""
+
+
+def surfaced(fn):
+    try:
+        return fn()
+    except Exception:
+        raise  # fine: re-raises
+
+
+def swallowed(fn):
+    try:
+        return fn()
+    except Exception:  # VIOLATION R005
+        return None

@@ -1,0 +1,12 @@
+"""R006 fixture: one deprecated legacy kwarg spelling."""
+
+from repro.core.policy import ExecutionPolicy
+from repro.engine import InferenceEngine
+
+
+def modern():
+    return InferenceEngine(policy=ExecutionPolicy(n_shards=4))
+
+
+def legacy():
+    return InferenceEngine(n_shards=4)  # VIOLATION R006

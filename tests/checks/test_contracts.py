@@ -1,0 +1,87 @@
+"""The capability contract checker: the registry table is derived,
+and a drifted declaration is caught."""
+
+import pytest
+
+from repro.checks.contracts import (
+    KNOWN_EXEMPTIONS,
+    check_contracts,
+    derive_capabilities,
+    derived_table,
+)
+from repro.core.registry import available_methods, capabilities, method_class
+
+
+def test_registry_contracts_are_clean():
+    assert check_contracts() == []
+
+
+def test_derived_table_covers_the_registry():
+    table = derived_table()
+    assert set(table) == set(available_methods())
+
+
+@pytest.mark.parametrize("name", sorted(available_methods()))
+def test_derived_capabilities_match_declared(name):
+    """The hand-pinned table in tests/core/test_capabilities.py is now
+    a derived artifact: declaration == derivation, method by method."""
+    assert derive_capabilities(name) == capabilities(name)
+
+
+def test_flipped_declaration_is_detected(monkeypatch):
+    """The seeded-mismatch acceptance check: flip one declared
+    capability and the checker must flag exactly that method/field."""
+    cls = method_class("D&S")
+    assert cls.supports_golden is True
+    monkeypatch.setattr(cls, "supports_golden", False)
+    findings = check_contracts(["D&S"])
+    assert len(findings) == 1
+    assert "Capabilities.golden=False" in findings[0].message
+    assert "implies True" in findings[0].message
+
+
+def test_flipped_declaration_fails_repro_check(monkeypatch, capsys):
+    """End to end: the CLI gate exits non-zero on the same seeded
+    mismatch."""
+    from repro.cli import main
+
+    cls = method_class("KOS")
+    assert cls.supports_sharding is True
+    monkeypatch.setattr(cls, "supports_sharding", False)
+    assert main(["check"]) == 1
+    out = capsys.readouterr().out
+    assert "KOS" in out and "sharding" in out
+
+
+def test_gained_capability_is_detected(monkeypatch):
+    """Drift in the other direction: declaring a capability the
+    implementation lacks is flagged too."""
+    cls = method_class("MV")
+    assert cls.supports_sharding is False
+    monkeypatch.setattr(cls, "supports_sharding", True)
+    findings = check_contracts(["MV"])
+    assert any("Capabilities.sharding=True" in f.message
+               and "implies False" in f.message for f in findings)
+
+
+def test_exemptions_are_real_and_reasoned():
+    """Every exemption names a registered method, a real capability
+    field, and a non-empty reason — and stays load-bearing (the
+    derivation would disagree without it)."""
+    assert KNOWN_EXEMPTIONS, "drop this test if the ledger empties"
+    for (name, field), reason in KNOWN_EXEMPTIONS.items():
+        assert name in available_methods()
+        assert hasattr(capabilities(name), field)
+        assert reason.strip()
+
+
+def test_lfc_n_exemption_is_load_bearing():
+    """LFC_N declares initial_quality but the numeric fit never reads
+    it (documented in lfc.py); the exemption is what keeps the
+    contract green."""
+    from repro.checks.contracts import _body_reads
+
+    cls = method_class("LFC_N")
+    assert cls.supports_initial_quality is True
+    assert not _body_reads(cls, "initial_quality")
+    assert ("LFC_N", "initial_quality") in KNOWN_EXEMPTIONS

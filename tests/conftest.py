@@ -15,6 +15,23 @@ def rng():
     return np.random.default_rng(1234)
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _lease_protocol_gate():
+    """Under ``REPRO_CHECKS=1``, fail the session on leaked runtime
+    resources: after closing the global registry, every verifier
+    ledger (segments, pools, leases, locks) must be empty."""
+    yield
+    from repro.checks.protocol import get_verifier
+
+    verifier = get_verifier()
+    if verifier is None:
+        return
+    from repro.engine.runtime import get_runtime_registry
+
+    get_runtime_registry().close_all()
+    verifier.assert_clean()
+
+
 @pytest.fixture
 def paper_example() -> AnswerSet:
     """The paper's Table 2: 3 workers, 6 entity-resolution tasks.

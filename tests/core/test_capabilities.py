@@ -111,6 +111,18 @@ def test_flags_match_fit_signatures(name):
         )
 
 
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_expected_table_is_a_derived_artifact(name):
+    """The table above is no longer a parallel truth: the static
+    contract checker (``repro check``) derives the same capabilities
+    from each implementation's ``_fit`` signature, body reads, and
+    sharded-spec hook.  A drift in either direction fails here *and*
+    in CI's ``repro check`` gate."""
+    from repro.checks.contracts import derive_capabilities
+
+    assert derive_capabilities(name) == EXPECTED[name]
+
+
 def test_lfc_declares_its_capabilities_explicitly():
     """The audit's concrete fix: LFC's capabilities live on the LFC
     class itself, not only on the base it shares with D&S."""
