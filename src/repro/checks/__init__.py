@@ -3,7 +3,7 @@
 Three layers, one CLI gate:
 
 - :mod:`repro.checks.lint` — an AST-walking rule engine enforcing the
-  repo-specific invariants (rules R001-R006 in
+  repo-specific invariants (rules R001-R007 in
   :mod:`repro.checks.rules`) over the source tree, with a per-line
   pragma escape hatch (``# checks: allow-<slug>(reason)``).
 - :mod:`repro.checks.contracts` — cross-checks every registry method's

@@ -76,6 +76,11 @@ class LeaseProtocolVerifier:
         #: Completed holds, for hold-time assertions in tests/benchmarks.
         self.lock_holds: list[LockHold] = []
         self._thread_held = _ThreadHeldLocks()
+        #: Fault-recovery event counters (respawn/retry/degrade), for
+        #: chaos-test assertions.
+        self.respawn_count = 0
+        self.retry_count = 0
+        self.degrade_count = 0
 
     # -- segments ------------------------------------------------------
     def segment_created(self, name: str) -> None:
@@ -104,6 +109,19 @@ class LeaseProtocolVerifier:
                     f"pool {key} shut down twice (or never spawned)")
             del self.pools[key]
 
+    def pool_respawned(self, old_key: int, new_key: int) -> None:
+        """A dead/hung pool was replaced: cross the old one off the
+        ledger and record its replacement atomically (respawn is a
+        single recovery event, not an unmatched shutdown + spawn)."""
+        with self._mutex:
+            if old_key not in self.pools:
+                raise ProtocolError(
+                    f"pool {old_key} respawned but was never spawned "
+                    f"(or already shut down)")
+            del self.pools[old_key]
+            self.pools[new_key] = time.monotonic()
+            self.respawn_count += 1
+
     # -- leases --------------------------------------------------------
     def lease_acquired(self, runtime_key: int, lease_key: int) -> None:
         with self._mutex:
@@ -130,6 +148,38 @@ class LeaseProtocolVerifier:
                     f"phase dispatched on runtime {runtime_key} by a "
                     f"stale lease (not the current holder)")
             live["dispatches"] += 1
+
+    def _live_lease(self, runtime_key: int, lease_key: int,
+                    event: str) -> dict:
+        """The live lease entry, or a :class:`ProtocolError` — recovery
+        events are only legal while the recovering fit holds the lease."""
+        live = self.leases.get(runtime_key)
+        if live is None:
+            raise ProtocolError(
+                f"{event} on runtime {runtime_key} with no live lease")
+        if live["lease"] != lease_key:
+            raise ProtocolError(
+                f"{event} on runtime {runtime_key} by a stale lease "
+                f"(not the current holder)")
+        return live
+
+    def phase_retry(self, runtime_key: int, lease_key: int) -> None:
+        """A failed phase dispatch is being re-tried under a respawned
+        pool (legal only under the live lease)."""
+        with self._mutex:
+            live = self._live_lease(runtime_key, lease_key, "phase retry")
+            live["retries"] = live.get("retries", 0) + 1
+            self.retry_count += 1
+
+    def phase_degraded(self, runtime_key: int, lease_key: int,
+                       shard: int) -> None:
+        """A shard's phase degraded to the master's serial path after
+        the retry budget (legal only under the live lease)."""
+        with self._mutex:
+            live = self._live_lease(runtime_key, lease_key,
+                                    f"degraded shard {shard} phase")
+            live["degraded"] = live.get("degraded", 0) + 1
+            self.degrade_count += 1
 
     def lease_released(self, runtime_key: int) -> None:
         with self._mutex:

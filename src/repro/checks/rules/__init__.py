@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (R001-R006).
+"""The repo-specific lint rules (R001-R007).
 
 Each rule is a small object with an ``id`` (``"R001"``), a pragma
 ``slug`` (``"global-rng"`` — suppressed via
@@ -13,6 +13,7 @@ from .probes import CapabilityProbeRule
 from .lifecycle import PairedLifecycleRule
 from .broad_except import BroadExceptRule
 from .legacy_kwargs import LegacyKwargRule
+from .retry import AdhocRetryRule
 
 #: Registry order == report order.
 ALL_RULES = (
@@ -22,6 +23,7 @@ ALL_RULES = (
     PairedLifecycleRule(),
     BroadExceptRule(),
     LegacyKwargRule(),
+    AdhocRetryRule(),
 )
 
 _SLUGS = {rule.id: rule.slug for rule in ALL_RULES}
@@ -41,4 +43,5 @@ __all__ = [
     "PairedLifecycleRule",
     "BroadExceptRule",
     "LegacyKwargRule",
+    "AdhocRetryRule",
 ]

@@ -1,0 +1,80 @@
+"""R007 — no ad-hoc ``time.sleep`` retry loops.
+
+Every retry/backoff sleep in the tree routes through
+:class:`repro.faults.Backoff`: capped exponential delays with seeded
+jitter, one implementation, one place to tune.  A bare ``time.sleep``
+inside a loop is an ad-hoc retry — unjittered (thundering-herd under
+contention), unbounded or arbitrarily bounded, and invisible to the
+fault-injection plane.  ``repro/faults.py`` itself is exempt: it is
+where the sanctioned sleep lives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..lint import SourceFile
+
+#: The one file allowed to call ``time.sleep`` in a loop.
+EXEMPT_FILES = frozenset({"faults.py"})
+
+_LOOPS = (ast.While, ast.For, ast.AsyncFor)
+
+
+def _is_sleep_call(node: ast.Call) -> bool:
+    """``time.sleep(...)`` or a bare ``sleep(...)`` from ``time``."""
+    func = node.func
+    if (isinstance(func, ast.Attribute) and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"):
+        return True
+    return isinstance(func, ast.Name) and func.id == "sleep"
+
+
+def _imports_time_sleep(tree: ast.Module) -> bool:
+    """Whether ``from time import sleep`` aliases the bare name."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            if any(alias.name == "sleep" for alias in node.names):
+                return True
+    return False
+
+
+class AdhocRetryRule:
+    id = "R007"
+    slug = "adhoc-retry"
+    description = ("time.sleep inside a loop is an ad-hoc retry; "
+                   "route backoff through repro.faults.Backoff")
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if src.rel in EXEMPT_FILES:
+            return
+        bare_sleep = _imports_time_sleep(src.tree)
+        parents = None
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call) or not _is_sleep_call(node):
+                continue
+            if (isinstance(node.func, ast.Name)
+                    and not bare_sleep):
+                continue  # some other local sleep(), not time's
+            if parents is None:
+                parents = src.parent_map()
+            ancestor = parents.get(node)
+            in_loop = False
+            while ancestor is not None:
+                if isinstance(ancestor, _LOOPS):
+                    in_loop = True
+                    break
+                if isinstance(ancestor, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    break  # a loop outside the def is not this sleep's
+                ancestor = parents.get(ancestor)
+            if in_loop:
+                yield Finding(
+                    rule=self.id, path=src.rel, line=node.lineno,
+                    message=("time.sleep in a loop is an ad-hoc retry; "
+                             "use repro.faults.Backoff.sleep(attempt) "
+                             "for capped, jittered, seeded backoff"),
+                )

@@ -283,7 +283,8 @@ def _open_stream_source(args):
     declared type keeps the legacy behaviour: the source infers its
     schema with one read-through.
     """
-    from .engine.sources import CsvAnswerSource, LineAnswerSource, TaskSchema
+    from .engine.sources import (CsvAnswerSource, LineAnswerSource,
+                                 TaskSchema, TcpAnswerSource)
 
     schema = (TaskSchema.declare(args.task_type)
               if args.task_type else None)
@@ -300,20 +301,19 @@ def _open_stream_source(args):
         if args.source == "stdin":
             return LineAnswerSource(sys.stdin, schema, name="<stdin>",
                                     **line_kwargs), None
-        # The ROADMAP's ~10-line TCP wrapper: connect and wrap the
-        # socket's file object in the line source.
-        import socket
-
         host, _, port = args.source[len("tcp:"):].rpartition(":")
         if not host or not port.isdigit():
             return None, (f"--source {args.source!r} must look like "
                           f"tcp:HOST:PORT")
+        from .exceptions import AnswerSourceError
+
         try:
-            sock = socket.create_connection((host, int(port)))
-        except OSError as exc:
-            return None, f"cannot connect to {args.source}: {exc}"
-        return LineAnswerSource(sock.makefile("r"), schema,
-                                name=args.source, **line_kwargs), None
+            return TcpAnswerSource(
+                host, int(port), schema, name=args.source,
+                reconnect=getattr(args, "reconnect", 0) or 0,
+                **line_kwargs), None
+        except AnswerSourceError as exc:
+            return None, str(exc)
     if args.source != "csv":
         return None, (f"unknown --source {args.source!r}; expected csv, "
                       f"stdin or tcp:HOST:PORT")
@@ -382,6 +382,14 @@ def _cmd_stream(args) -> int:
             return _complain(str(exc))
         if total == 0:
             return _complain("no answers found")
+        if args.verbose:
+            totals = getattr(engine, "fault_totals", None)
+            if totals and any(totals.values()):
+                print("# faults survived: " + ", ".join(
+                    f"{count} {kind}" for kind, count in totals.items()))
+            if getattr(source, "reconnects", 0):
+                print(f"# transport: {source.reconnects} reconnects, "
+                      f"{source.bad_lines} bad lines")
         truth = engine.current_truth(args.method)
     print("task,inferred_truth")
     for task_id, value in truth.items():
@@ -660,6 +668,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "to N malformed lines before failing "
                                "with the offending line number; 0 "
                                "fails on the first (default 100)")
+    p_stream.add_argument("--reconnect", type=int, default=0,
+                          metavar="N",
+                          help="--source tcp: survive up to N "
+                               "transport drops, redialling with "
+                               "capped backoff and resuming the "
+                               "stream in place (default 0 = fail "
+                               "fast)")
     p_stream.add_argument("-v", "--verbose", action="store_true",
                           help="print per-refit fit telemetry "
                                "(iterations, active/frozen shards, "
@@ -724,7 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser(
         "check",
-        help="static-analysis pass: invariant linter (R001-R006) plus "
+        help="static-analysis pass: invariant linter (R001-R007) plus "
              "the capability contract checker")
     p_check.add_argument("--root", default=None, metavar="DIR",
                          help="package directory to lint (default: the "

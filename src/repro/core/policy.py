@@ -40,6 +40,7 @@ from typing import Any, Mapping
 __all__ = [
     "ExecutionPlan",
     "ExecutionPolicy",
+    "FaultPolicy",
     "MethodSpec",
     "StorePolicy",
     "warn_legacy",
@@ -84,6 +85,59 @@ def warn_legacy(surface: str, names: Mapping, replacement: str,
     )
 
 
+#: Default per-phase deadline (seconds) for process-tier future waits.
+#: Generous — it exists to bound hangs, not to race healthy phases.
+DEFAULT_PHASE_DEADLINE = 120.0
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPolicy:
+    """Declarative recovery: how the process tier survives failure.
+
+    Parameters
+    ----------
+    deadline:
+        Per-phase deadline in seconds for every process-tier future
+        wait (phase dispatches *and* sync messages).  A phase past its
+        deadline is treated like a worker crash: the worker is killed,
+        the pool respawned, the phase re-dispatched.  ``None`` waits
+        unboundedly (the pre-fault-tolerance behaviour).
+    retries:
+        Crash/timeout recovery attempts per dispatch before giving up
+        on the process tier for the failing shards.
+    backoff_base / backoff_cap:
+        Parameters of the shared :class:`repro.faults.Backoff` delay
+        between recovery attempts (capped exponential, seeded jitter).
+    degrade:
+        After the retry budget: execute the orphaned shards' phase
+        in-process on the master via the serial spec path and keep
+        going (True, default — flagged in ``FitStats``), or raise
+        :class:`~repro.exceptions.WorkerCrashError` /
+        :class:`~repro.exceptions.PhaseTimeoutError` (False).
+    """
+
+    deadline: float | None = DEFAULT_PHASE_DEADLINE
+    retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and not self.deadline > 0:
+            raise ValueError(
+                f"deadline must be positive or None, got {self.deadline}"
+            )
+        if self.retries < 0:
+            raise ValueError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError(
+                "backoff_base/backoff_cap must be >= 0, got "
+                f"{self.backoff_base}/{self.backoff_cap}"
+            )
+
+
 @dataclasses.dataclass(frozen=True)
 class ExecutionPlan:
     """A policy resolved against one answer set: no ``auto`` left.
@@ -108,6 +162,13 @@ class ExecutionPlan:
     n_shards: int
     max_workers: int
     persistent: bool = True
+    #: Recovery policy for the process tier (repr-quiet: the plan's
+    #: doctest-visible identity is the execution shape, not recovery).
+    fault_policy: FaultPolicy = dataclasses.field(
+        default=FaultPolicy(), repr=False)
+    #: Armed fault-injection plan, if any (tests/chaos runs only).
+    faults: Any = dataclasses.field(default=None, repr=False,
+                                    compare=False)
 
     @property
     def sharded(self) -> bool:
@@ -270,6 +331,8 @@ class ExecutionPolicy:
     freeze_tol: float | None = None
     verify_every: int = DEFAULT_VERIFY_EVERY
     store: StorePolicy | None = None
+    fault_policy: FaultPolicy = FaultPolicy()
+    faults: Any = None
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -306,6 +369,18 @@ class ExecutionPolicy:
                                                      StorePolicy):
             raise ValueError(
                 f"store must be a StorePolicy or None, got {self.store!r}"
+            )
+        if not isinstance(self.fault_policy, FaultPolicy):
+            raise ValueError(
+                f"fault_policy must be a FaultPolicy, "
+                f"got {self.fault_policy!r}"
+            )
+        if self.faults is not None and not (
+                hasattr(self.faults, "on_dispatch")
+                and hasattr(self.faults, "on_commit")):
+            raise ValueError(
+                f"faults must be a repro.faults.FaultPlan or None, "
+                f"got {self.faults!r}"
             )
 
     # ------------------------------------------------------------------
@@ -352,7 +427,9 @@ class ExecutionPolicy:
                                                   self.max_workers)
         return ExecutionPlan(mode=mode, n_shards=n_shards,
                              max_workers=max_workers,
-                             persistent=self.persistent)
+                             persistent=self.persistent,
+                             fault_policy=self.fault_policy,
+                             faults=self.faults)
 
     # ------------------------------------------------------------------
     @classmethod

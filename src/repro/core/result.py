@@ -53,6 +53,15 @@ class FitStats:
     #: Wall-clock seconds of the whole ``fit()`` call (stamped by the
     #: method base class alongside ``elapsed_seconds``).
     total_seconds: float = 0.0
+    #: Worker pools respawned after a crash or deadline blow-through.
+    respawns: int = 0
+    #: Phase dispatches re-tried after a crash/timeout recovery.
+    retries: int = 0
+    #: Phase futures that blew their per-phase deadline.
+    timeouts: int = 0
+    #: Shard-phase executions degraded to the in-process serial path
+    #: after the retry budget ran out.
+    degraded: int = 0
 
     @property
     def overhead_seconds(self) -> float:
@@ -75,7 +84,21 @@ class FitStats:
         parts.append(f"{self.accumulate_calls} stat-blocks")
         parts.append(f"em {self.em_seconds * 1000:.1f}ms"
                      f" + overhead {self.overhead_seconds * 1000:.1f}ms")
+        if self.respawns or self.retries or self.timeouts or self.degraded:
+            parts.append(
+                f"faults: {self.respawns} respawns, {self.retries} "
+                f"retries, {self.timeouts} timeouts, {self.degraded} "
+                f"degraded")
         return ", ".join(parts)
+
+    def record_faults(self, events: dict | None) -> None:
+        """Fold a runner's fault-event counters into the stats."""
+        if not events:
+            return
+        self.respawns += events.get("respawns", 0)
+        self.retries += events.get("retries", 0)
+        self.timeouts += events.get("timeouts", 0)
+        self.degraded += events.get("degraded", 0)
 
     def as_dict(self) -> dict:
         """JSON-ready form (the benchmarks' ``--json`` emitters)."""

@@ -171,6 +171,10 @@ class InferenceEngine:
         self._store_policy: StorePolicy | None = None
         self._spill = None
         self._snapshot_seqs: dict[str, int] = {}
+        #: Lifetime fault-recovery totals over every fit this engine
+        #: ran (``repro stream -v`` reports them at end of stream).
+        self.fault_totals = {"respawns": 0, "retries": 0,
+                             "timeouts": 0, "degraded": 0}
         if self.policy.store is not None:
             self._open_store(self.policy.store)
 
@@ -515,6 +519,9 @@ class InferenceEngine:
                     delta = delta.collect_only()
             result = instance.fit(snapshot, warm_start=warm,
                                   shard_runner=runner, delta=delta)
+        if result.fit_stats is not None:
+            for key in self.fault_totals:
+                self.fault_totals[key] += getattr(result.fit_stats, key, 0)
         self._cache[method] = _CachedFit(
             version=self.stream.version,
             replacements=self.stream.replacements,

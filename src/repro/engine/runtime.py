@@ -68,22 +68,32 @@ from __future__ import annotations
 
 import atexit
 import os
+import signal
 import threading
 import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _PoolTimeout
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from .. import faults as _faults
 from ..checks.protocol import get_verifier as _get_protocol_verifier
 from ..core.answers import AnswerSet
 from ..core.framework import radix_argsort
-from ..exceptions import EngineError, ProtocolError
+from ..exceptions import (
+    EngineError,
+    PhaseTimeoutError,
+    ProtocolError,
+    WorkerCrashError,
+)
 from ..core.policy import (
     ExecutionPlan,
     ExecutionPolicy,
+    FaultPolicy,
     MethodSpec,
     resolve_process_workers,
 )
@@ -106,6 +116,21 @@ MAX_EPOCHS = 16
 
 #: Default idle TTL (seconds) for registry eviction.
 DEFAULT_IDLE_TTL = 300.0
+
+#: Failures a dispatch round recovers from: the pool broke (worker
+#: died, pipe torn) or the phase blew its deadline (hung worker).
+#: ``concurrent.futures.TimeoutError`` is the builtin on 3.11+ but a
+#: distinct class before that; catch both spellings.
+_DISPATCH_FAILURES = (BrokenProcessPool, _PoolTimeout, TimeoutError)
+
+#: Zeroed per-lease fault-event counters (the shape ``FitStats``
+#: ingests via ``record_faults``).
+_FAULT_EVENT_KEYS = ("respawns", "retries", "timeouts", "crashes",
+                     "degraded")
+
+
+def _zero_fault_events() -> dict:
+    return dict.fromkeys(_FAULT_EVENT_KEYS, 0)
 
 #: Lease-protocol verifier (None unless ``REPRO_CHECKS=1``): the
 #: master-side hooks below report segment/pool/lease lifecycle events
@@ -320,6 +345,29 @@ def _rt_phase(k: int, phase: str, args: tuple):
     spec = _WORKER_CTX["spec"]
     shard = _materialize_shard(k)
     return getattr(spec, phase)(shard, spec.shard_ops(shard), *args)
+
+
+def _rt_replay(items: Sequence[tuple]) -> int:
+    """Re-run a respawned worker's phase history — ``(shard, phase,
+    args)`` triples in original dispatch order — to rebuild the mutable
+    per-shard ``ops`` of a stateful spec (phases are deterministic, so
+    the replayed state is bit-identical).  Results are discarded; only
+    the ``ops`` mutations matter."""
+    for k, phase, args in items:
+        _rt_phase(k, phase, args)
+    return os.getpid()
+
+
+def _rt_sleep(seconds: float) -> int:
+    """Occupy this FIFO worker for ``seconds`` before its next phase.
+
+    The ``delay`` fault: queued ahead of a phase submit, it stalls the
+    single-worker pool so the phase reply arrives late — past the
+    :class:`~repro.core.policy.FaultPolicy` deadline if the injected
+    delay is long enough.  Fault-injection only; never on a hot path.
+    """
+    time.sleep(seconds)
+    return os.getpid()
 
 
 def _rt_probe() -> dict:
@@ -655,12 +703,17 @@ class RuntimeLease(SerialShardRunner):
     """
 
     def __init__(self, runtime: "ShardRuntime", spec,
-                 task_ranges: Sequence[tuple[int, int]]) -> None:
+                 task_ranges: Sequence[tuple[int, int]],
+                 fault_events: dict | None = None) -> None:
         super().__init__(spec, shards=())
         self._runtime = runtime
         self._ranges = [tuple(r) for r in task_ranges]
         self._released = False
         self._dispatched = False
+        #: Per-lease fault-recovery counters (respawns/retries/timeouts/
+        #: crashes/degraded), folded into ``FitStats`` by the drivers.
+        self.fault_events = (fault_events if fault_events is not None
+                             else _zero_fault_events())
 
     # The lease has no master-side shard views; everything that
     # SerialShardRunner derives from ``shards`` is overridden here.
@@ -680,7 +733,9 @@ class RuntimeLease(SerialShardRunner):
             _VERIFIER.lease_dispatch(id(self._runtime), id(self))
         self._dispatched = True
         return self._runtime._dispatch(self.n_shards, phase, per_shard,
-                                       shared, only)
+                                       shared, only, spec=self.spec,
+                                       events=self.fault_events,
+                                       lease_key=id(self))
 
     def close(self) -> None:
         """Release the runtime for the next lease (idempotent)."""
@@ -752,11 +807,27 @@ class ShardRuntime:
         self._prefix_mark: tuple[int, int, int] = (0, -1, -1)
         self._closed = False
         self.last_used = time.monotonic()
+        # Fault tolerance: recovery policy (overridable per lease), the
+        # armed injection plan, the spec-configure ledger entry replayed
+        # into respawned workers, and the pool slots degraded to the
+        # master's serial path for the rest of the current lease.
+        self._fault_policy = FaultPolicy()
+        self._fault_plan = None
+        self._configure: tuple | None = None
+        self._degraded_slots: set[int] = set()
+        # Stateful specs (KOS) mutate their per-shard ``ops`` across
+        # phases, so the configure replay alone cannot revive a worker
+        # mid-fit; the per-shard phase log below is replayed on top.
+        self._stateful_spec = False
+        self._phase_log: dict[int, list] = {}
+        self._master_replayed: set[int] = set()
         # Instrumentation (see class docstring).
         self.pool_spawns = 0
         self.placements = 0
         self.extends = 0
         self.reuses = 0
+        self.respawns = 0
+        self.degraded_phases = 0
         #: Data path taken by the most recent lease:
         #: "place" / "extend" / "reuse".
         self.last_placement: str | None = None
@@ -828,6 +899,11 @@ class ShardRuntime:
         self._answers_ref = None
         self._stream_key = None
         self._prefix_mark = (0, -1, -1)
+        self._configure = None
+        self._degraded_slots = set()
+        self._stateful_spec = False
+        self._phase_log = {}
+        self._master_replayed = set()
 
     def __enter__(self) -> "ShardRuntime":
         return self
@@ -843,7 +919,8 @@ class ShardRuntime:
     # -- leasing -------------------------------------------------------
     def lease(self, answers: AnswerSet, method: str | MethodSpec,
               method_kwargs: Mapping | None = None, *,
-              stream_key=None) -> RuntimeLease:
+              stream_key=None, fault_policy: FaultPolicy | None = None,
+              faults=None) -> RuntimeLease:
         """Acquire exclusive use of the runtime for one fit.
 
         Parameters
@@ -867,6 +944,14 @@ class ShardRuntime:
             the previously placed ones element-for-element (append-only
             growth).  Callers must change the key when that stops being
             true (e.g. bump it with the stream's replacement counter).
+        fault_policy:
+            Recovery knobs (:class:`~repro.core.policy.FaultPolicy`)
+            this and subsequent leases dispatch under; ``None`` keeps
+            the runtime's current policy (the defaults, initially).
+        faults:
+            A :class:`repro.faults.FaultPlan` armed for this lease's
+            dispatches (chaos tests); ``None`` falls back to the
+            process-wide ``REPRO_FAULTS`` plan, if any.
         """
         spec = MethodSpec.coerce(method, method_kwargs)
         method, method_kwargs = spec.name, spec.kwargs
@@ -882,18 +967,31 @@ class ShardRuntime:
             # runtime nothing will ever tear down again.
             if self._closed:
                 raise ProtocolError("runtime is closed")
+            if fault_policy is not None:
+                self._fault_policy = fault_policy
+            self._fault_plan = faults
+            self._degraded_slots = set()
+            self._phase_log = {}
+            self._master_replayed = set()
+            events = _zero_fault_events()
             self._ensure_pools()
             ops = self._place(answers, stream_key)
             layout = self._layout
             sizes = dict(layout["sizes"])
-            ops.append(("configure",
-                        (method, dict(method_kwargs or {}), sizes)))
-            self._sync(ops)
+            configure = (method, dict(method_kwargs or {}), sizes)
+            ops.append(("configure", configure))
+            # Ledger entry first: a worker respawned *during* this sync
+            # replays the attach/layout derived from the live layout
+            # plus this configure, which together subsume ``ops``.
+            self._configure = configure
+            self._sync(ops, events=events)
             spec = instance.make_em_spec(**sizes)
+            self._stateful_spec = bool(getattr(spec, "stateful_ops",
+                                               False))
             cuts = layout["task_cuts"]
             ranges = list(zip(cuts[:-1], cuts[1:]))
             self.last_used = time.monotonic()
-            lease = RuntimeLease(self, spec, ranges)
+            lease = RuntimeLease(self, spec, ranges, fault_events=events)
             if _VERIFIER is not None:
                 _VERIFIER.lease_acquired(id(self), id(lease))
             return lease
@@ -921,26 +1019,267 @@ class ShardRuntime:
                 for pool in self._pools:
                     _VERIFIER.pool_spawned(id(pool))
 
-    def _sync(self, ops: list) -> list:
-        """Broadcast sync operations to every pool and wait."""
-        futures = [pool.submit(_rt_sync, ops) for pool in self._pools]
-        return [future.result() for future in futures]
+    # -- fault recovery ------------------------------------------------
+    def _wait(self, future):
+        """Deadline-bounded future wait (the no-unbounded-hangs rule)."""
+        deadline = self._fault_policy.deadline
+        if deadline is None:
+            return future.result()
+        return future.result(timeout=deadline)
+
+    @staticmethod
+    def _kill_pool_workers(pool) -> None:
+        """SIGKILL a pool's worker processes (dead or hung; a stuck
+        worker cannot be joined, only killed)."""
+        for pid in list(getattr(pool, "_processes", None) or {}):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+
+    def _replay_ops(self) -> list:
+        """The message ledger a respawned worker replays: re-attach the
+        still-live segments, adopt the master's authoritative layout
+        (which subsumes every epoch-extend sent so far), and re-apply
+        the latest spec-configure."""
+        ops: list = [("attach", (self._seg_desc(),)),
+                     ("layout", (self._copy_layout(),))]
+        if self._configure is not None:
+            ops.append(("configure", self._configure))
+        return ops
+
+    def _respawn_slot(self, slot: int, events: dict) -> bool:
+        """Replace a dead/hung pool with a fresh one and replay the
+        message ledger into it.  Returns False when the replay itself
+        failed (the caller's next round fails fast and retries or
+        degrades)."""
+        old = self._pools[slot]
+        self._kill_pool_workers(old)
+        old.shutdown(wait=True, cancel_futures=True)
+        fresh = ProcessPoolExecutor(max_workers=1)
+        self._pools[slot] = fresh
+        self.respawns += 1
+        events["respawns"] += 1
+        if _VERIFIER is not None:
+            _VERIFIER.pool_respawned(id(old), id(fresh))
+        try:
+            self._wait(fresh.submit(_rt_sync, self._replay_ops()))
+            if self._stateful_spec:
+                items = [(k, phase, args)
+                         for k in sorted(self._phase_log)
+                         if k % self.max_workers == slot
+                         for phase, args in self._phase_log[k]]
+                if items:
+                    self._wait(fresh.submit(_rt_replay, items))
+        except _DISPATCH_FAILURES:
+            return False
+        return True
+
+    def _master_shard(self, k: int) -> AnswerShard:
+        """The master-side view of shard ``k`` over the live segments.
+
+        Builds exactly what the worker's ``_materialize_shard`` builds
+        — the same epoch slices of the same shared bytes, concatenated
+        in the same order — so a phase degraded to the master is
+        bit-identical to its worker execution for deterministic phases.
+        """
+        layout = self._layout
+        pieces: list[list] = [[], [], []]
+        for _, _, bounds in layout["epochs"]:
+            lo, hi = bounds[k]
+            if hi > lo:
+                for i, field in enumerate(_FIELDS):
+                    pieces[i].append(self._segments[field].view[lo:hi])
+        fields = []
+        for i, field in enumerate(_FIELDS):
+            if not pieces[i]:
+                fields.append(self._segments[field].view[0:0])
+            elif len(pieces[i]) == 1:
+                fields.append(pieces[i][0])
+            else:
+                fields.append(np.concatenate(pieces[i]))
+        cuts = layout["task_cuts"]
+        sizes = layout["sizes"]
+        return AnswerShard(
+            tasks=fields[0], workers=fields[1], values=fields[2],
+            task_start=cuts[k], task_stop=cuts[k + 1],
+            n_tasks=sizes["n_tasks"], n_workers=sizes["n_workers"],
+            n_choices=sizes["n_choices"], index=k,
+        )
+
+    def _run_degraded(self, spec, k: int, phase: str, args: tuple,
+                      events: dict, lease_key) -> object:
+        """Execute shard ``k``'s phase in-process via the serial spec
+        path (graceful degradation after the retry budget)."""
+        if spec is None:
+            raise WorkerCrashError(
+                f"shard {k} lost its worker and no master spec is "
+                f"available to degrade to")
+        if _VERIFIER is not None and lease_key is not None:
+            _VERIFIER.phase_degraded(id(self), lease_key, k)
+        events["degraded"] += 1
+        self.degraded_phases += 1
+        shard = self._master_shard(k)
+        ops = spec.shard_ops(shard)
+        if self._stateful_spec and k not in self._master_replayed:
+            # First degraded phase for this shard: rebuild the mutable
+            # ops from the phase log (the master-side twin of the
+            # worker replay in _respawn_slot).
+            for past_phase, past_args in self._phase_log.get(k, ()):
+                getattr(spec, past_phase)(shard, ops, *past_args)
+            self._master_replayed.add(k)
+        return getattr(spec, phase)(shard, ops, *args)
+
+    # -- messaging -----------------------------------------------------
+    def _sync(self, ops: list, events: dict | None = None) -> list:
+        """Broadcast sync operations to every pool and wait.
+
+        Self-healing: a pool that broke or hung is killed, respawned
+        and replayed (the ledger replay subsumes ``ops``); a pool whose
+        replay fails too raises :class:`WorkerCrashError`.
+        """
+        if events is None:
+            events = _zero_fault_events()
+        futures: list = []
+        for pool in self._pools:
+            try:
+                futures.append(pool.submit(_rt_sync, ops))
+            except BrokenProcessPool:
+                futures.append(None)
+        results = []
+        for slot, future in enumerate(futures):
+            try:
+                if future is None:
+                    raise BrokenProcessPool("pool broke before sync")
+                results.append(self._wait(future))
+            except _DISPATCH_FAILURES:
+                events["crashes"] += 1
+                if not self._respawn_slot(slot, events):
+                    raise WorkerCrashError(
+                        f"worker pool slot {slot} could not be revived "
+                        f"for sync (died again during ledger replay)")
+                results.append(None)
+        return results
+
+    def _dispatch_round(self, indices: list, phase: str, args_of: dict,
+                        results: dict, plan, events: dict) -> list:
+        """One submit-and-collect pass; returns the failed shards.
+
+        The armed fault plan (if any) is consulted per dispatch —
+        ``kill`` SIGKILLs the worker just before the submit, ``delay``
+        queues a stall ahead of the phase on the FIFO pool.
+        """
+        futures: dict = {}
+        failed: list[int] = []
+        for k in indices:
+            pool = self._pools[k % self.max_workers]
+            if plan is not None:
+                action = plan.on_dispatch(k, phase)
+                if action is not None and action[0] == "kill":
+                    self._kill_pool_workers(pool)
+                elif action is not None:
+                    try:
+                        pool.submit(_rt_sleep, action[1])
+                    except BrokenProcessPool:
+                        pass
+            try:
+                futures[k] = pool.submit(_rt_phase, k, phase, args_of[k])
+            except BrokenProcessPool:
+                events["crashes"] += 1
+                failed.append(k)
+        for k, future in futures.items():
+            try:
+                results[k] = self._wait(future)
+                if self._stateful_spec:
+                    # Acknowledged phases mutated this shard's worker
+                    # ops; a later respawn must replay them.
+                    self._phase_log.setdefault(k, []).append(
+                        (phase, args_of[k]))
+            except BrokenProcessPool:
+                events["crashes"] += 1
+                failed.append(k)
+            except (_PoolTimeout, TimeoutError):
+                events["timeouts"] += 1
+                failed.append(k)
+        return failed
 
     def _dispatch(self, n_shards: int, phase: str, per_shard,
-                  shared: tuple, only=None) -> list:
+                  shared: tuple, only=None, *, spec=None,
+                  events: dict | None = None, lease_key=None) -> list:
         """Submit one phase per shard; with ``only``, the listed shards
         get the only messages sent — a skipped (clean or frozen) shard
-        costs no payload and no worker wake-up at all."""
-        indices = (list(only) if only is not None else range(n_shards))
-        futures = []
+        costs no payload and no worker wake-up at all.
+
+        Self-healing: future waits are deadline-bounded, a broken or
+        hung pool is respawned (replaying the message ledger over the
+        still-live segments) and only the failed shards' phases are
+        re-dispatched, with capped-backoff retries between attempts.
+        Once the retry budget is spent the orphaned shards degrade to
+        the master's serial spec path — for the rest of the lease —
+        or the failure is raised, per the :class:`FaultPolicy`.
+        """
+        indices = (list(only) if only is not None
+                   else list(range(n_shards)))
+        if events is None:
+            events = _zero_fault_events()
+        args_of: dict[int, tuple] = {}
         for pos, k in enumerate(indices):
             args: tuple = ()
             if per_shard is not None:
                 entry = per_shard[pos]
                 args = entry if isinstance(entry, tuple) else (entry,)
-            futures.append(self._pools[k % self.max_workers].submit(
-                _rt_phase, k, phase, args + shared))
-        return [future.result() for future in futures]
+            args_of[k] = args + shared
+        policy = self._fault_policy
+        plan = (self._fault_plan if self._fault_plan is not None
+                else _faults.get_plan())
+        results: dict[int, object] = {}
+        pending = []
+        for k in indices:
+            if k % self.max_workers in self._degraded_slots:
+                results[k] = self._run_degraded(spec, k, phase,
+                                                args_of[k], events,
+                                                lease_key)
+            else:
+                pending.append(k)
+        backoff = _faults.Backoff(policy.backoff_base, policy.backoff_cap)
+        attempt = 0
+        while pending:
+            failed = self._dispatch_round(pending, phase, args_of,
+                                          results, plan, events)
+            if not failed:
+                break
+            if attempt >= policy.retries:
+                if not policy.degrade:
+                    if events["timeouts"]:
+                        raise PhaseTimeoutError(
+                            f"phase {phase!r} timed out on shards "
+                            f"{failed} after {policy.retries} retries "
+                            f"(deadline {policy.deadline}s; degrade "
+                            f"disabled)")
+                    raise WorkerCrashError(
+                        f"phase {phase!r} lost its workers on shards "
+                        f"{failed} after {policy.retries} retries "
+                        f"(degrade disabled)")
+                for k in failed:
+                    slot = k % self.max_workers
+                    if slot not in self._degraded_slots:
+                        self._degraded_slots.add(slot)
+                        # Leave a sane (respawned, replayed) pool behind
+                        # for the next lease; this one is done with it.
+                        self._respawn_slot(slot, events)
+                    results[k] = self._run_degraded(spec, k, phase,
+                                                    args_of[k], events,
+                                                    lease_key)
+                break
+            attempt += 1
+            events["retries"] += len(failed)
+            if _VERIFIER is not None and lease_key is not None:
+                _VERIFIER.phase_retry(id(self), lease_key)
+            for slot in sorted({k % self.max_workers for k in failed}):
+                self._respawn_slot(slot, events)
+            backoff.sleep(attempt - 1)
+            pending = failed
+        return [results[k] for k in indices]
 
     # -- data placement ------------------------------------------------
     def _values_dtype(self, answers: AnswerSet) -> np.dtype:
@@ -1200,10 +1539,14 @@ class RuntimeRegistry:
         respawns).  Returns ``(runtime, lease)`` so callers can keep
         the runtime for introspection or an explicit ``close()``.
         """
+        fault_policy = None
+        faults = None
         if isinstance(policy, (ExecutionPolicy, ExecutionPlan)):
             answers, method = args[0], args[1]
             method_kwargs = args[2] if len(args) > 2 else None
             acquire_args = (policy,)
+            fault_policy = policy.fault_policy
+            faults = policy.faults
         else:
             max_workers, answers, method = args[0], args[1], args[2]
             method_kwargs = args[3] if len(args) > 3 else None
@@ -1213,7 +1556,9 @@ class RuntimeRegistry:
             runtime = self.acquire(*acquire_args)
             try:
                 return runtime, runtime.lease(answers, spec,
-                                              stream_key=stream_key)
+                                              stream_key=stream_key,
+                                              fault_policy=fault_policy,
+                                              faults=faults)
             except RuntimeError:
                 if not runtime.closed:
                     raise

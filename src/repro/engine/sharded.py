@@ -71,12 +71,14 @@ class ProcessShardRunner:
 
     def __init__(self, answers: AnswerSet, method: str | MethodSpec,
                  method_kwargs: Mapping | None = None, n_shards: int = 4,
-                 max_workers: int | None = None) -> None:
+                 max_workers: int | None = None, fault_policy=None,
+                 faults=None) -> None:
         self._runtime = ShardRuntime(n_shards=n_shards,
                                      max_workers=max_workers or None)
         try:
             self._lease = self._runtime.lease(
-                answers, MethodSpec.coerce(method, method_kwargs))
+                answers, MethodSpec.coerce(method, method_kwargs),
+                fault_policy=fault_policy, faults=faults)
         except BaseException:
             self._runtime.close()
             raise
@@ -98,6 +100,11 @@ class ProcessShardRunner:
     @property
     def task_ranges(self) -> list[tuple[int, int]]:
         return self._lease.task_ranges
+
+    @property
+    def fault_events(self) -> dict:
+        """The lease's fault-recovery counters (see ``RuntimeLease``)."""
+        return self._lease.fault_events
 
     def m_step(self, state: np.ndarray, prev_params=None):
         return self._lease.m_step(state, prev_params)
@@ -295,7 +302,9 @@ class ShardedInferenceEngine:
             with ProcessShardRunner(
                     answers, spec,
                     n_shards=plan.n_shards,
-                    max_workers=plan.max_workers) as runner:
+                    max_workers=plan.max_workers,
+                    fault_policy=plan.fault_policy,
+                    faults=plan.faults) as runner:
                 return instance.fit(answers, shard_runner=runner,
                                     **fit_kwargs)
         instance = create(spec, policy=plan)

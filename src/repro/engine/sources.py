@@ -33,6 +33,7 @@ import csv
 import dataclasses
 from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
+from .. import faults as _faults
 from ..core.tasktypes import TaskType
 from ..exceptions import AnswerSourceError, EngineError
 
@@ -42,6 +43,7 @@ __all__ = [
     "IterableAnswerSource",
     "LineAnswerSource",
     "TaskSchema",
+    "TcpAnswerSource",
     "infer_schema",
     "parse_task_type",
 ]
@@ -308,9 +310,14 @@ class LineAnswerSource:
         return self._schema
 
     def _records(self) -> Iterator[tuple]:
+        plan = _faults.get_plan()
         for number, row in enumerate(csv.reader(self._stream), start=1):
             if _is_header(row):
                 continue
+            if plan is not None and plan.on_source_line():
+                # Injected garble: the tail of the line is lost in
+                # transit, exactly like a torn TCP write.
+                row = row[:1]
             try:
                 yield _parse_row(row, f"{self.name}:{number}")
             except AnswerSourceError as exc:
@@ -321,6 +328,142 @@ class LineAnswerSource:
                         f"exceed max_bad_lines={self.max_bad_lines}; "
                         f"last offender at line {number}: {exc}"
                     ) from exc
+
+    def batches(self, chunk_size: int) -> Iterator[list[tuple]]:
+        return _batched(self._records(), chunk_size)
+
+
+class TcpAnswerSource:
+    """A reconnecting ``tcp:HOST:PORT`` line source.
+
+    The plain spelling (connect once, wrap the socket's
+    ``makefile("r")`` in a :class:`LineAnswerSource`) dies with the
+    first transport drop — one flaky switch and every task already
+    being inferred is abandoned.  This source owns the connection
+    lifecycle instead: a mid-stream ``OSError`` (reset, broken pipe)
+    consumes one unit of the ``reconnect`` budget, sleeps a shared
+    :class:`~repro.faults.Backoff` delay, redials, and **resumes the
+    record stream in place** — batch numbering, the malformed-line
+    budget and the engine feeding off :meth:`batches` all carry on as
+    if the drop never happened.  ``reconnect=0`` (the default, and the
+    CLI's) keeps the historical fail-fast behaviour.
+
+    Clean EOF (the peer closed after finishing) ends the stream
+    normally and never redials: a reconnect budget is for *drops*, not
+    for polling a finished producer.
+
+    Parameters
+    ----------
+    host, port:
+        The peer to dial.
+    schema:
+        Required, as for :class:`LineAnswerSource` — a socket cannot
+        be pre-scanned.
+    reconnect:
+        How many drops (mid-stream or while redialling) to survive
+        before raising :class:`~repro.exceptions.AnswerSourceError`.
+    max_bad_lines:
+        Malformed-line budget, shared across reconnects (a peer that
+        garbles lines does not get a fresh budget by dropping).
+    connect:
+        Injectable dial callable returning a connected socket (or any
+        object with ``makefile``/``readline``); defaults to
+        ``socket.create_connection((host, port))``.  Tests hand in a
+        socketpair factory here.
+    backoff:
+        The :class:`~repro.faults.Backoff` used between redials;
+        defaults to ``Backoff()``.
+    """
+
+    def __init__(self, host: str, port: int, schema: TaskSchema,
+                 name: str | None = None, reconnect: int = 0,
+                 max_bad_lines: int = LineAnswerSource.DEFAULT_MAX_BAD_LINES,
+                 connect=None, backoff=None) -> None:
+        if schema is None:
+            raise EngineError(
+                "a live stream cannot be pre-scanned; declare a "
+                "TaskSchema (e.g. --task-type on the CLI)"
+            )
+        if reconnect < 0:
+            raise EngineError(
+                f"reconnect must be >= 0, got {reconnect}"
+            )
+        self.host = host
+        self.port = int(port)
+        self._schema = schema
+        self.name = name or f"tcp:{host}:{port}"
+        self.reconnect = int(reconnect)
+        self.max_bad_lines = int(max_bad_lines)
+        self._connect = connect or self._dial
+        self._backoff = backoff if backoff is not None else _faults.Backoff()
+        #: Successful redials so far (for post-stream reporting).
+        self.reconnects = 0
+        #: Malformed lines skipped so far, across all connections.
+        self.bad_lines = 0
+        #: Records yielded so far (where a resume picks up).
+        self.records_read = 0
+        self._stream = self._open("initial connect")
+
+    def _dial(self):
+        import socket
+
+        return socket.create_connection((self.host, self.port))
+
+    def _open(self, why: str):
+        try:
+            peer = self._connect()
+        except OSError as exc:
+            raise AnswerSourceError(
+                f"cannot connect to {self.name} ({why}): {exc}"
+            ) from exc
+        return peer.makefile("r") if hasattr(peer, "makefile") else peer
+
+    @property
+    def schema(self) -> TaskSchema:
+        return self._schema
+
+    def close(self) -> None:
+        """Close the current connection (idempotent)."""
+        stream, self._stream = self._stream, None
+        if stream is not None:
+            stream.close()
+
+    def _records(self) -> Iterator[tuple]:
+        budget = self.reconnect
+        while True:
+            inner = LineAnswerSource(self._stream, self._schema,
+                                     name=self.name,
+                                     max_bad_lines=self.max_bad_lines)
+            inner.bad_lines = self.bad_lines
+            dropped = None
+            try:
+                for record in inner._records():
+                    self.records_read += 1
+                    yield record
+            except OSError as exc:
+                dropped = exc
+            finally:
+                self.bad_lines = inner.bad_lines
+            if dropped is None:
+                return
+            while True:
+                if budget <= 0:
+                    raise AnswerSourceError(
+                        f"{self.name}: connection lost after "
+                        f"{self.records_read} records with the reconnect "
+                        f"budget spent (reconnect={self.reconnect}): "
+                        f"{dropped}"
+                    ) from dropped
+                budget -= 1
+                self.reconnects += 1
+                self._backoff.sleep(self.reconnects - 1)
+                try:
+                    self._stream = self._open(
+                        f"reconnect {self.reconnects}")
+                except AnswerSourceError as exc:
+                    dropped = exc
+                    continue
+                break
 
     def batches(self, chunk_size: int) -> Iterator[list[tuple]]:
         return _batched(self._records(), chunk_size)

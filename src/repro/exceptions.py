@@ -52,6 +52,25 @@ class EngineError(ReproError, ValueError):
     """
 
 
+class WorkerCrashError(EngineError):
+    """Raised when a shard worker died and recovery was exhausted.
+
+    The self-healing dispatch path respawns dead pools and re-dispatches
+    the failed shard's phase under the :class:`~repro.core.policy.
+    FaultPolicy` retry budget first; this error means every retry died
+    too and degradation to the in-process serial path was disabled.
+    """
+
+
+class PhaseTimeoutError(EngineError):
+    """Raised when a shard phase blew its per-phase deadline.
+
+    Like :class:`WorkerCrashError`, only raised once the retry budget
+    and (if enabled) serial degradation cannot complete the phase — a
+    hung worker is killed and respawned, never waited on unboundedly.
+    """
+
+
 class InferenceError(ReproError, ValueError):
     """Raised when the inference layer is handed inconsistent state.
 

@@ -163,6 +163,14 @@ class ShardedEMSpec(abc.ABC):
     #: set this False and implement :meth:`m_step_delta` instead.
     statistics_m_step = True
 
+    #: Whether per-shard ``ops`` is *mutated* by the phase hooks (KOS
+    #: stores its message vectors there).  The fault-tolerant runtime
+    #: keeps a per-lease phase log for stateful specs and replays it
+    #: into respawned workers (and onto the master's degraded path), so
+    #: recovery stays bit-identical; stateless specs — ops built once
+    #: from shard data, never written — skip the log entirely.
+    stateful_ops = False
+
     def __init__(self) -> None:
         self._ops: dict[int, object] = {}
 
@@ -315,6 +323,11 @@ class SerialShardRunner:
         self.spec = spec
         self.shards = list(shards)
         self.pool = pool
+        #: Fault-recovery counters, zero on the in-process tiers; the
+        #: process-tier lease fills its own (same keys), and the
+        #: drivers fold whichever runner they got into ``FitStats``.
+        self.fault_events = {"respawns": 0, "retries": 0, "timeouts": 0,
+                             "crashes": 0, "degraded": 0}
 
     @property
     def n_shards(self) -> int:
@@ -857,9 +870,19 @@ def run_em_sharded(
                                 initial_parameters=initial_parameters,
                                 fit_stats=fit_stats)
         fit_stats.em_seconds = time.perf_counter() - started
+        fit_stats.record_faults(getattr(runner, "fault_events", None))
         return outcome
 
     def assemble(blocks: list[np.ndarray]) -> np.ndarray:
+        # Recovery re-dispatches and degraded executions must hand back
+        # one block per shard like an uninterrupted dispatch (phases
+        # are idempotent pure maps; a partial set means the runner's
+        # recovery contract broke).
+        if len(blocks) != runner.n_shards:
+            raise InferenceError(
+                f"e_block returned {len(blocks)} blocks for "
+                f"{runner.n_shards} shards; phase dispatch must be "
+                f"idempotent and complete")
         state = np.concatenate(blocks, axis=0)
         return spec.golden_clamp(state, golden)
 
@@ -892,6 +915,7 @@ def run_em_sharded(
         shard_state = _collect_state(runner, state, None, fit_stats)
     fit_stats.iterations = tracker.iteration
     fit_stats.em_seconds = time.perf_counter() - started
+    fit_stats.record_faults(getattr(runner, "fault_events", None))
     return EMOutcome(
         posterior=state,
         parameters=parameters,
@@ -920,6 +944,11 @@ def _accumulate_alternating(runner: SerialShardRunner, state: np.ndarray,
         computed = runner.call("accumulate", per_shard=per_shard,
                                shared=tuple(spec.accumulate_shared),
                                only=need)
+        if len(computed) != len(need):
+            raise InferenceError(
+                f"accumulate returned {len(computed)} results for "
+                f"{len(need)} requested shards; phase dispatch must be "
+                f"idempotent and complete")
         for k, stats in zip(need, computed):
             stats_cache[k] = stats
         fit_stats.accumulate_calls += len(need)
@@ -1114,6 +1143,7 @@ def run_alternating_sharded(
             golden=golden, initial_parameters=initial_parameters,
             rng=rng, fit_stats=fit_stats)
         fit_stats.em_seconds = time.perf_counter() - started
+        fit_stats.record_faults(getattr(runner, "fault_events", None))
         return outcome
 
     ranges = runner.task_ranges
@@ -1147,6 +1177,7 @@ def run_alternating_sharded(
             runner, state, list(stats), rng, fit_stats)
     fit_stats.iterations = tracker.iteration
     fit_stats.em_seconds = time.perf_counter() - started
+    fit_stats.record_faults(getattr(runner, "fault_events", None))
     return EMOutcome(
         posterior=state,
         parameters=parameters,
@@ -1239,6 +1270,7 @@ def run_gibbs_sharded(
             retained += 1
     fit_stats.iterations = n_sweeps
     fit_stats.em_seconds = time.perf_counter() - started
+    fit_stats.record_faults(getattr(runner, "fault_events", None))
     return GibbsOutcome(tally=tally, retained=retained, state=state,
                         fit_stats=fit_stats)
 

@@ -116,6 +116,11 @@ class _KOSSpec(ShardedEMSpec):
     per-edge ``y``/``x`` vectors from round to round.
     """
 
+    #: The message store makes this spec stateful: the runtime must
+    #: replay the phase log into a respawned worker (see
+    #: ``ShardedEMSpec.stateful_ops``).
+    stateful_ops = True
+
     def __init__(self, n_tasks: int, n_workers: int,
                  n_choices: int = 2) -> None:
         super().__init__()

@@ -39,12 +39,28 @@ import pickle
 import sqlite3
 from typing import Iterator, Sequence
 
+from .. import faults as _faults
 from ..exceptions import StoreError
 
 __all__ = ["AnswerLog", "decode_field", "encode_field"]
 
 #: On-disk format version (bumped on incompatible schema changes).
 FORMAT_VERSION = 1
+
+#: Bounded retry budget for transient ``database is locked``/``busy``
+#: commit failures (another process holding the write lock — e.g. a
+#: concurrent ``repro recover`` replaying the same store).  Anything
+#: else, and anything still failing after the budget, keeps the
+#: historical contract: :class:`~repro.exceptions.StoreError`, caller
+#: rolls the in-memory stream back, nothing acknowledged.
+COMMIT_RETRIES = 5
+
+
+def _is_transient(exc: sqlite3.Error) -> bool:
+    """Whether a commit failure is a lock worth waiting out."""
+    text = str(exc).lower()
+    return (isinstance(exc, sqlite3.OperationalError)
+            and ("locked" in text or "busy" in text))
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -164,19 +180,29 @@ class AnswerLog:
             raise StoreError(
                 f"cannot log a batch at seq {version}: {exc}"
             ) from exc
-        try:
-            with self._conn:  # one transaction per batch
-                self._conn.execute(
-                    "INSERT INTO log "
-                    "(first_seq, last_seq, n_replaced, payload) "
-                    "VALUES (?, ?, ?, ?)",
-                    (version - n + 1, version,
-                     int(sum(1 for o in outcomes if o)), payload))
-        except sqlite3.Error as exc:
-            raise StoreError(
-                f"failed to commit a {n}-record batch at seq {version}: "
-                f"{exc}"
-            ) from exc
+        plan = _faults.get_plan()
+        backoff = _faults.Backoff()
+        for attempt in range(COMMIT_RETRIES + 1):
+            try:
+                if plan is not None and plan.on_commit():
+                    raise sqlite3.OperationalError(
+                        "database is locked (injected commit fault)")
+                with self._conn:  # one transaction per batch
+                    self._conn.execute(
+                        "INSERT INTO log "
+                        "(first_seq, last_seq, n_replaced, payload) "
+                        "VALUES (?, ?, ?, ?)",
+                        (version - n + 1, version,
+                         int(sum(1 for o in outcomes if o)), payload))
+            except sqlite3.Error as exc:
+                if _is_transient(exc) and attempt < COMMIT_RETRIES:
+                    backoff.sleep(attempt)
+                    continue
+                raise StoreError(
+                    f"failed to commit a {n}-record batch at seq "
+                    f"{version}: {exc}"
+                ) from exc
+            return
 
     # -- reading -------------------------------------------------------
     @property

@@ -1,0 +1,17 @@
+"""R007 fixture: a ``time.sleep`` retry loop (the ad-hoc backoff ban)."""
+
+import time
+
+
+def flaky_fetch(fetch):
+    for attempt in range(5):
+        try:
+            return fetch()
+        except OSError:
+            time.sleep(0.1 * attempt)  # VIOLATION R007
+    raise OSError("gave up retrying")
+
+
+def polite_pause():
+    # A sleep outside any loop is not a retry; R007 must not fire here.
+    time.sleep(0.01)

@@ -24,6 +24,7 @@ FIXTURE_FOR = {
     "R004": ("r004_unpaired_acquire.py", "r004_unpaired_acquire.py"),
     "R005": ("r005_broad_except.py", "r005_broad_except.py"),
     "R006": ("r006_legacy_kwarg.py", "r006_legacy_kwarg.py"),
+    "R007": ("r007_adhoc_retry.py", "r007_adhoc_retry.py"),
 }
 
 RULE_BY_ID = {rule.id: rule for rule in ALL_RULES}
@@ -43,8 +44,8 @@ def violation_line(src: SourceFile, rule_id: str) -> int:
     return lines[0]
 
 
-def test_all_six_rules_are_registered():
-    assert sorted(RULE_BY_ID) == [f"R00{i}" for i in range(1, 7)]
+def test_all_seven_rules_are_registered():
+    assert sorted(RULE_BY_ID) == [f"R00{i}" for i in range(1, 8)]
     assert sorted(FIXTURE_FOR) == sorted(RULE_BY_ID)
 
 
@@ -150,3 +151,55 @@ def test_pragma_regex_shape():
     assert match.group(1) == "unpaired-acquire"
     assert match.group(2) == "worker detach hook"
     assert slug_of("R004") == "unpaired-acquire"
+
+
+class TestR007AdhocRetry:
+    def load(self, tmp_path, code, rel="mod.py"):
+        path = tmp_path / "mod.py"
+        path.write_text(code)
+        return SourceFile.load(path, rel)
+
+    def test_bare_sleep_from_time_in_a_while_loop_fires(self, tmp_path):
+        src = self.load(tmp_path, (
+            "from time import sleep\n\n"
+            "def retry():\n"
+            "    while True:\n"
+            "        sleep(1)\n"))
+        findings = lint_file(src, [RULE_BY_ID["R007"]])
+        assert [f.line for f in findings] == [5]
+
+    def test_local_sleep_function_is_not_flagged(self, tmp_path):
+        src = self.load(tmp_path, (
+            "def sleep(x):\n"
+            "    return x\n\n"
+            "def loop():\n"
+            "    for i in range(3):\n"
+            "        sleep(i)\n"))
+        assert lint_file(src, [RULE_BY_ID["R007"]]) == []
+
+    def test_sleep_outside_a_loop_is_not_flagged(self, tmp_path):
+        src = self.load(tmp_path, (
+            "import time\n\n"
+            "def nap():\n"
+            "    time.sleep(1)\n"))
+        assert lint_file(src, [RULE_BY_ID["R007"]]) == []
+
+    def test_loop_outside_the_enclosing_def_is_not_flagged(self, tmp_path):
+        src = self.load(tmp_path, (
+            "import time\n\n"
+            "for _ in range(3):\n"
+            "    def nap():\n"
+            "        time.sleep(1)\n"))
+        assert lint_file(src, [RULE_BY_ID["R007"]]) == []
+
+    def test_faults_module_is_exempt(self, tmp_path):
+        src = self.load(tmp_path, (
+            "import time\n\n"
+            "def sleeper():\n"
+            "    while True:\n"
+            "        time.sleep(1)\n"), rel="faults.py")
+        assert lint_file(src, [RULE_BY_ID["R007"]]) == []
+
+    def test_the_real_backoff_helper_is_clean(self):
+        src = SourceFile.load(SRC_ROOT / "faults.py", "faults.py")
+        assert lint_file(src, [RULE_BY_ID["R007"]]) == []

@@ -93,6 +93,51 @@ def test_lock_holds_are_timed(verifier):
     verifier.assert_clean()
 
 
+# -- fault recovery events (pure unit) --------------------------------
+def test_pool_respawn_swaps_the_ledger_entry(verifier):
+    verifier.pool_spawned(1)
+    verifier.pool_respawned(1, 2)
+    assert verifier.respawn_count == 1
+    assert verifier.outstanding()["pools"] == [2]
+    verifier.pool_shutdown(2)
+    verifier.assert_clean()
+
+
+def test_respawn_of_an_unknown_pool_raises(verifier):
+    with pytest.raises(ProtocolError, match="never spawned"):
+        verifier.pool_respawned(9, 10)
+
+
+def test_phase_retry_requires_the_live_lease(verifier):
+    with pytest.raises(ProtocolError, match="no live lease"):
+        verifier.phase_retry(10, 100)
+    verifier.lease_acquired(10, 100)
+    verifier.phase_retry(10, 100)
+    assert verifier.retry_count == 1
+    assert verifier.leases[10]["retries"] == 1
+    verifier.lease_released(10)
+    verifier.lease_acquired(10, 200)
+    with pytest.raises(ProtocolError, match="stale lease"):
+        verifier.phase_retry(10, 100)
+    verifier.lease_released(10)
+    verifier.assert_clean()
+
+
+def test_phase_degraded_requires_the_live_lease(verifier):
+    with pytest.raises(ProtocolError, match="no live lease"):
+        verifier.phase_degraded(10, 100, shard=1)
+    verifier.lease_acquired(10, 100)
+    verifier.phase_degraded(10, 100, shard=1)
+    assert verifier.degrade_count == 1
+    assert verifier.leases[10]["degraded"] == 1
+    verifier.lease_released(10)
+    verifier.lease_acquired(10, 200)
+    with pytest.raises(ProtocolError, match="stale lease"):
+        verifier.phase_degraded(10, 100, shard=1)
+    verifier.lease_released(10)
+    verifier.assert_clean()
+
+
 def test_verifier_is_opt_in(monkeypatch):
     monkeypatch.delenv("REPRO_CHECKS", raising=False)
     assert protocol.get_verifier() is None

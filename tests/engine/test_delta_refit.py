@@ -12,6 +12,8 @@ The contract under test:
   instead of rebuilding it.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -441,6 +443,10 @@ class TestSerialShardSession:
 
 
 class TestWorkerSpecRetention:
+    @pytest.mark.skipif(
+        bool(os.environ.get("REPRO_FAULTS")),
+        reason="a canned fault plan may respawn workers, resetting "
+               "their retained specs")
     def test_process_workers_retain_specs_across_refits(self):
         from repro.engine.runtime import ShardRuntime, _rt_probe
 

@@ -12,6 +12,7 @@ from repro.engine.sources import (
     IterableAnswerSource,
     LineAnswerSource,
     TaskSchema,
+    TcpAnswerSource,
     infer_schema,
     parse_task_type,
 )
@@ -273,3 +274,177 @@ class TestSourceErrorPaths:
         assert isinstance(excinfo.value, ReproError)
         assert isinstance(excinfo.value, ValueError)
         assert f"{path}:2" in str(excinfo.value)
+
+
+class _ResetTail:
+    """Replays its stream's lines, then raises ``ConnectionResetError``
+    instead of EOF — a dropped connection, deterministically."""
+
+    def __init__(self, stream):
+        self._stream = stream
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        line = self._stream.readline()
+        if not line:
+            raise ConnectionResetError("simulated transport drop")
+        return line
+
+    def close(self):
+        self._stream.close()
+
+
+def socketpair_feed(segments):
+    """A dial callable over real socketpairs: each call returns the
+    read end of a fresh pair preloaded with the next segment's rows.
+    ``drop`` segments end in a transport reset instead of a clean EOF.
+    Returns ``(connect, state)``; ``state["dials"]`` counts the calls.
+    """
+    import socket
+
+    state = {"dials": 0}
+
+    def connect():
+        index = state["dials"]
+        state["dials"] += 1
+        if index >= len(segments):
+            raise OSError("feeder exhausted")
+        rows, drop = segments[index]
+        reader, writer = socket.socketpair()
+        with writer, writer.makefile("w", newline="") as sink:
+            csv.writer(sink).writerows(rows)
+        stream = reader.makefile("r")
+        reader.close()  # the file object keeps the fd alive
+        return _ResetTail(stream) if drop else stream
+
+    return connect, state
+
+
+class TestTcpAnswerSource:
+    SCHEMA = TaskSchema.declare("decision")
+    ROWS = [(f"t{i % 4}", f"w{i % 3}", str(i % 2)) for i in range(8)]
+
+    def make_source(self, segments, **kwargs):
+        from repro.faults import Backoff
+
+        connect, state = socketpair_feed(segments)
+        kwargs.setdefault("backoff", Backoff(base=0.0, cap=0.0))
+        source = TcpAnswerSource("feed.test", 9, self.SCHEMA,
+                                 connect=connect, **kwargs)
+        return source, state
+
+    def drain(self, source, chunk_size=3):
+        return [record for batch in source.batches(chunk_size)
+                for record in batch]
+
+    def test_reconnect_resumes_mid_stream(self):
+        segments = [(self.ROWS[:5], True), (self.ROWS[5:], False)]
+        source, state = self.make_source(segments, reconnect=1)
+        assert self.drain(source) == self.ROWS
+        assert source.reconnects == 1
+        assert source.records_read == len(self.ROWS)
+        assert state["dials"] == 2
+
+    def test_default_budget_fails_fast(self):
+        from repro.exceptions import AnswerSourceError
+
+        segments = [(self.ROWS[:5], True), (self.ROWS[5:], False)]
+        source, _ = self.make_source(segments)
+        with pytest.raises(AnswerSourceError, match="budget spent"):
+            self.drain(source)
+
+    def test_exhausted_budget_reports_resume_point(self):
+        from repro.exceptions import AnswerSourceError
+
+        segments = [(self.ROWS[:5], True), (self.ROWS[5:], True)]
+        source, _ = self.make_source(segments, reconnect=1)
+        with pytest.raises(AnswerSourceError, match="8 records"):
+            self.drain(source)
+        assert source.reconnects == 1
+
+    def test_clean_eof_never_redials(self):
+        source, state = self.make_source([(self.ROWS, False)],
+                                         reconnect=5)
+        assert self.drain(source) == self.ROWS
+        assert source.reconnects == 0
+        assert state["dials"] == 1
+
+    def test_failed_redial_consumes_budget_and_retries(self):
+        import socket
+
+        from repro.faults import Backoff
+
+        inner, state = socketpair_feed(
+            [(self.ROWS[:5], True), (self.ROWS[5:], False)])
+        refusals = {"left": 1}
+
+        def flaky_connect():
+            if 0 < state["dials"] and refusals["left"] > 0:
+                refusals["left"] -= 1
+                raise socket.error("connection refused")
+            return inner()
+
+        source = TcpAnswerSource("feed.test", 9, self.SCHEMA,
+                                 connect=flaky_connect, reconnect=3,
+                                 backoff=Backoff(base=0.0, cap=0.0))
+        assert self.drain(source) == self.ROWS
+        assert source.reconnects == 2  # one refused, one that served
+
+    def test_bad_line_budget_spans_reconnects(self):
+        from repro.exceptions import AnswerSourceError
+
+        bad = [("t1", "w1"), ("t2", "w2")]  # two-field rows: malformed
+        segments = [(self.ROWS[:2] + bad[:1], True),
+                    (bad[1:] + self.ROWS[2:], False)]
+        source, _ = self.make_source(segments, reconnect=1,
+                                     max_bad_lines=1)
+        with pytest.raises(AnswerSourceError, match="max_bad_lines"):
+            self.drain(source)
+        assert source.bad_lines == 2
+
+    def test_initial_connect_failure_raises(self):
+        from repro.exceptions import AnswerSourceError
+
+        def refuse():
+            raise OSError("connection refused")
+
+        with pytest.raises(AnswerSourceError, match="initial connect"):
+            TcpAnswerSource("feed.test", 9, self.SCHEMA, connect=refuse)
+
+    def test_negative_reconnect_rejected(self):
+        with pytest.raises(ValueError, match="reconnect"):
+            TcpAnswerSource("feed.test", 9, self.SCHEMA, reconnect=-1)
+
+    def test_feeds_an_engine_across_a_drop(self):
+        segments = [(self.ROWS[:5], True), (self.ROWS[5:], False)]
+        source, _ = self.make_source(segments, reconnect=1)
+        engine = InferenceEngine(**source.schema.engine_kwargs())
+        for batch in source.batches(3):
+            engine.add_answers(batch)
+        assert set(engine.current_truth("MV")) == {"t0", "t1", "t2", "t3"}
+
+
+class TestGarbleFault:
+    def test_garbled_line_is_skipped_and_counted(self):
+        from repro import faults
+
+        plan = faults.FaultPlan.parse("garble:on=2")
+        faults.arm(plan)
+        try:
+            stream = io.StringIO("t1,w1,yes\nt2,w2,no\nt3,w3,yes\n")
+            source = LineAnswerSource(stream,
+                                      TaskSchema.declare("decision"))
+            records = [r for b in source.batches(10) for r in b]
+        finally:
+            faults.disarm()
+        assert records == [("t1", "w1", "yes"), ("t3", "w3", "yes")]
+        assert source.bad_lines == 1
+        assert plan.fired["garble"] == 1
+
+    def test_unarmed_plane_reads_every_line(self):
+        stream = io.StringIO("t1,w1,yes\nt2,w2,no\n")
+        source = LineAnswerSource(stream, TaskSchema.declare("decision"))
+        assert len([r for b in source.batches(10) for r in b]) == 2
+        assert source.bad_lines == 0

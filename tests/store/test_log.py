@@ -132,3 +132,60 @@ class TestMeta:
         log.write_meta({"seed": 0})
         log.write_meta({"seed": 7})
         assert log.read_meta()["seed"] == 7
+
+
+class TestCommitRetry:
+    """Transient ``database is locked`` commits are waited out with
+    bounded backoff; everything else keeps the rollback contract."""
+
+    def test_injected_lock_fault_is_retried_through(self, log):
+        from repro import faults
+
+        plan = faults.FaultPlan.parse("commit")
+        faults.arm(plan)
+        try:
+            log.append_batch([("t1", "w1", 1)], [0], version=1)
+        finally:
+            faults.disarm()
+        assert plan.fired["commit"] == 1
+        assert len(log) == 1
+        assert log.last_seq == 1
+
+    def test_fault_outlasting_the_budget_raises_store_error(self, log):
+        from repro import faults
+        from repro.store.log import COMMIT_RETRIES
+
+        plan = faults.FaultPlan.parse(f"commit:count={COMMIT_RETRIES + 5}")
+        faults.arm(plan)
+        try:
+            with pytest.raises(StoreError, match="failed to commit"):
+                log.append_batch([("t1", "w1", 1)], [0], version=1)
+        finally:
+            faults.disarm()
+        # All-or-nothing: the exhausted batch left no partial row.
+        assert len(log) == 0
+        assert plan.fired["commit"] == COMMIT_RETRIES + 1
+
+    def test_real_write_lock_is_waited_out(self, tmp_path):
+        import threading
+
+        path = str(tmp_path / "log.db")
+        holder = sqlite3.connect(path, check_same_thread=False)
+        log = AnswerLog(sqlite3.connect(path, timeout=0.05))
+        holder.execute("BEGIN IMMEDIATE")  # hold the write lock
+        release = threading.Timer(0.3, holder.commit)
+        release.start()
+        try:
+            log.append_batch([("t1", "w1", 1)], [0], version=1)
+        finally:
+            release.cancel()
+            holder.close()
+        assert len(log) == 1
+
+    def test_non_transient_errors_fail_immediately(self, log):
+        log.append_batch([("t1", "w1", 1)], [0], version=1)
+        # Same seq range again: a UNIQUE violation, not a lock — no
+        # retries, straight to the rollback contract.
+        with pytest.raises(StoreError, match="failed to commit"):
+            log.append_batch([("t1", "w1", 1)], [0], version=1)
+        assert len(log) == 1
